@@ -1,0 +1,390 @@
+//! **Agglomerative clustering** (Lonestar): bottom-up hierarchical
+//! clustering of a point set (the paper clusters 2 M points into a
+//! hierarchical tree).
+//!
+//! We use the *reciprocal nearest neighbour* (RNN) formulation:
+//! every round, nearest-neighbour queries over the active clusters are
+//! fanned out as *locality-flexible* chunk tasks (each chunk of the
+//! query space encapsulates nothing but cluster centroids — cheap to
+//! ship, coarse to execute — paper §II (c)); a sensitive reduction task
+//! then merges every reciprocal pair (centroid linkage) and launches
+//! the next round, until one cluster remains. At least the globally
+//! closest pair is always reciprocal, so every round makes progress.
+//!
+//! Determinism: each NN query is computed independently (no cross-task
+//! accumulation) with index-ordered tie-breaks, so the dendrogram is
+//! bit-identical under every scheduler; validation compares it against
+//! a sequential golden run and checks structural invariants (n−1
+//! merges, sizes add up).
+
+use crate::geometry::Point2;
+use distws_core::rng::SplitMix64;
+use distws_core::{
+    ClusterConfig, FinishLatch, Footprint, Locality, ObjectId, PlaceId, TaskScope, TaskSpec,
+    Workload,
+};
+use std::sync::{Arc, Mutex};
+
+/// Virtual cost per centroid-pair distance evaluation (ns).
+const NS_PER_PAIR: u64 = 200;
+/// Fixed per-task cost (ns).
+const TASK_BASE_NS: u64 = 4_000;
+/// Object id of the active-cluster table (homed at place 0).
+const TABLE_OBJ: ObjectId = ObjectId(1);
+
+/// One merge record of the dendrogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// Merged cluster ids (a < b by construction).
+    pub a: u32,
+    /// Second cluster id.
+    pub b: u32,
+    /// New cluster id.
+    pub into: u32,
+    /// Squared centroid distance at merge time.
+    pub dist2: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cluster {
+    id: u32,
+    center: Point2,
+    size: u32,
+}
+
+/// Nearest active cluster to `clusters[i]` (excluding itself), with
+/// index-ordered tie-break.
+fn nearest(clusters: &[Cluster], i: usize) -> (usize, f64) {
+    let mut best = usize::MAX;
+    let mut bd = f64::INFINITY;
+    for (j, c) in clusters.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let d = clusters[i].center.dist2(&c.center);
+        if d < bd || (d == bd && j < best) {
+            bd = d;
+            best = j;
+        }
+    }
+    (best, bd)
+}
+
+/// Merge all reciprocal NN pairs given the complete NN table; returns
+/// the surviving cluster list and appends merge records.
+fn merge_round(
+    clusters: &[Cluster],
+    nn: &[(usize, f64)],
+    next_id: &mut u32,
+    out: &mut Vec<Merge>,
+) -> Vec<Cluster> {
+    let n = clusters.len();
+    let mut dead = vec![false; n];
+    let mut merged = Vec::new();
+    for i in 0..n {
+        let (j, d) = nn[i];
+        if j > i || dead[i] || dead[j] {
+            // Handle each pair once, at the larger index.
+            if j > i && nn[j].0 == i && !dead[i] && !dead[j] {
+                // handled when the loop reaches j
+            }
+            continue;
+        }
+        // i > j here; reciprocal if nn[j] points back at i.
+        if nn[j].0 == i {
+            dead[i] = true;
+            dead[j] = true;
+            let (a, b) = (clusters[j], clusters[i]);
+            let size = a.size + b.size;
+            let w = 1.0 / size as f64;
+            let center = Point2::new(
+                (a.center.x * a.size as f64 + b.center.x * b.size as f64) * w,
+                (a.center.y * a.size as f64 + b.center.y * b.size as f64) * w,
+            );
+            let id = *next_id;
+            *next_id += 1;
+            out.push(Merge { a: a.id.min(b.id), b: a.id.max(b.id), into: id, dist2: d });
+            merged.push(Cluster { id, center, size });
+        }
+    }
+    let mut survivors: Vec<Cluster> =
+        clusters.iter().zip(&dead).filter(|(_, &d)| !d).map(|(c, _)| *c).collect();
+    survivors.extend(merged);
+    survivors
+}
+
+/// Sequential golden clustering.
+fn golden(points: &[Point2]) -> Vec<Merge> {
+    let mut clusters: Vec<Cluster> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Cluster { id: i as u32, center: *p, size: 1 })
+        .collect();
+    let mut next_id = points.len() as u32;
+    let mut merges = Vec::new();
+    while clusters.len() > 1 {
+        let nn: Vec<(usize, f64)> = (0..clusters.len()).map(|i| nearest(&clusters, i)).collect();
+        clusters = merge_round(&clusters, &nn, &mut next_id, &mut merges);
+    }
+    merges
+}
+
+/// The agglomerative-clustering workload.
+pub struct Agglomerative {
+    /// Number of points.
+    pub n: usize,
+    /// Input seed.
+    pub seed: u64,
+    /// NN-query chunks per place per round.
+    pub chunks_per_place: usize,
+    state: Mutex<Option<RunState>>,
+}
+
+struct RunState {
+    result: Arc<Mutex<AlgoState>>,
+    expect: Vec<Merge>,
+    n: usize,
+}
+
+struct AlgoState {
+    clusters: Vec<Cluster>,
+    nn: Vec<(usize, f64)>,
+    next_id: u32,
+    merges: Vec<Merge>,
+}
+
+impl Default for Agglomerative {
+    fn default() -> Self {
+        Agglomerative::new(2_048, 23)
+    }
+}
+
+impl Agglomerative {
+    /// Cluster `n` points.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        Agglomerative { n, seed, chunks_per_place: 12, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        Agglomerative::new(192, 23)
+    }
+
+    /// Clustered, highly non-uniform input: most points in one dense
+    /// blob (chunks covering it do far more shrinking work per round).
+    fn gen_points(&self) -> Vec<Point2> {
+        let mut rng = SplitMix64::new(self.seed);
+        (0..self.n)
+            .map(|i| {
+                if i % 4 != 0 {
+                    Point2::new(rng.range_f64(0.4, 0.6), rng.range_f64(0.4, 0.6))
+                } else {
+                    Point2::new(rng.range_f64(0.0, 1.0), rng.range_f64(0.0, 1.0))
+                }
+            })
+            .collect()
+    }
+}
+
+struct Shared {
+    state: Arc<Mutex<AlgoState>>,
+    places: u32,
+    chunks_per_place: usize,
+}
+
+/// NN-query task over active-cluster indices `[lo, hi)`.
+fn nn_task(sh: Arc<Shared>, lo: usize, hi: usize, home: PlaceId, latch: Arc<FinishLatch>) -> TaskSpec {
+    let sh2 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        let (snapshot, pairs) = {
+            let st = sh2.state.lock().unwrap();
+            (st.clusters.clone(), (hi - lo) * st.clusters.len())
+        };
+        // Read the cluster table (homed at place 0 — broadcast cost).
+        s.read(TABLE_OBJ, 0, snapshot.len() as u64 * 24, PlaceId(0));
+        let mut results = Vec::with_capacity(hi - lo);
+        for i in lo..hi.min(snapshot.len()) {
+            results.push((i, nearest(&snapshot, i)));
+        }
+        s.charge(NS_PER_PAIR * pairs as u64);
+        let mut st = sh2.state.lock().unwrap();
+        for (i, nn) in results {
+            st.nn[i] = nn;
+        }
+    };
+    TaskSpec::new(home, Locality::Flexible, TASK_BASE_NS, "agglom-nn", body)
+        .with_footprint(Footprint::empty())
+        .with_latch(latch)
+}
+
+/// Round coordinator: merge reciprocal pairs from the previous round,
+/// then fan out the next round of NN tasks.
+fn round_task(sh: Arc<Shared>, first: bool) -> TaskSpec {
+    let sh0 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        {
+            let mut st = sh0.state.lock().unwrap();
+            if !first {
+                let st = &mut *st;
+                let survivors = merge_round(&st.clusters, &st.nn, &mut st.next_id, &mut st.merges);
+                st.clusters = survivors;
+                s.charge(200 * st.clusters.len() as u64);
+            }
+            if st.clusters.len() <= 1 {
+                return;
+            }
+            st.nn = vec![(usize::MAX, f64::INFINITY); st.clusters.len()];
+        }
+        s.write(TABLE_OBJ, 0, 24 * sh0.state.lock().unwrap().clusters.len() as u64, PlaceId(0));
+        let active = sh0.state.lock().unwrap().clusters.len();
+        let chunks_total = (sh0.places as usize * sh0.chunks_per_place).min(active);
+        let next = round_task(Arc::clone(&sh0), false);
+        // Size-skewed spans (span k gets a share ∝ k+1): the cluster
+        // table is ordered by creation, and later entries — merged
+        // super-clusters — carry more candidate bookkeeping, so a real
+        // partitioning by id range is uneven. X10WS cannot repair this
+        // static imbalance; DistWS steals the heavy spans.
+        let weight_total = chunks_total * (chunks_total + 1) / 2;
+        let mut spans = Vec::new();
+        let mut lo = 0usize;
+        for k in 0..chunks_total {
+            let hi = if k == chunks_total - 1 {
+                active
+            } else {
+                (lo + ((k + 1) * active).div_ceil(weight_total)).min(active)
+            };
+            if hi > lo {
+                spans.push((k, lo, hi));
+            }
+            lo = hi;
+        }
+        let latch = FinishLatch::new(spans.len(), next);
+        for (k, lo, hi) in spans {
+            let home = PlaceId((k * sh0.places as usize / chunks_total) as u32);
+            s.spawn(nn_task(Arc::clone(&sh0), lo, hi, home, Arc::clone(&latch)));
+        }
+    };
+    TaskSpec::new(PlaceId(0), Locality::Sensitive, TASK_BASE_NS, "agglom-round", body)
+}
+
+impl Workload for Agglomerative {
+    fn name(&self) -> String {
+        "Agglomerative".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let points = self.gen_points();
+        let expect = golden(&points);
+        let clusters: Vec<Cluster> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Cluster { id: i as u32, center: *p, size: 1 })
+            .collect();
+        let state = Arc::new(Mutex::new(AlgoState {
+            nn: vec![(usize::MAX, f64::INFINITY); clusters.len()],
+            next_id: clusters.len() as u32,
+            clusters,
+            merges: Vec::new(),
+        }));
+        *self.state.lock().unwrap() = Some(RunState {
+            result: Arc::clone(&state),
+            expect,
+            n: self.n,
+        });
+        let sh = Arc::new(Shared {
+            state,
+            places: cfg.places,
+            chunks_per_place: self.chunks_per_place,
+        });
+        vec![round_task(sh, true)]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("agglomerative: no run state")?;
+        let algo = st.result.lock().unwrap();
+        if algo.clusters.len() != 1 {
+            return Err(format!("{} clusters remain", algo.clusters.len()));
+        }
+        if algo.merges.len() != st.n - 1 {
+            return Err(format!("{} merges, expected {}", algo.merges.len(), st.n - 1));
+        }
+        if algo.clusters[0].size as usize != st.n {
+            return Err("root cluster size wrong".into());
+        }
+        if algo.merges != st.expect {
+            return Err("dendrogram differs from sequential golden run".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_produces_full_dendrogram() {
+        let a = Agglomerative::new(64, 5);
+        let merges = golden(&a.gen_points());
+        assert_eq!(merges.len(), 63);
+        // Ids used exactly once as inputs.
+        let mut used = std::collections::HashSet::new();
+        for m in &merges {
+            assert!(used.insert(m.a), "cluster {} merged twice", m.a);
+            assert!(used.insert(m.b), "cluster {} merged twice", m.b);
+        }
+    }
+
+    #[test]
+    fn global_min_pair_is_reciprocal() {
+        let a = Agglomerative::new(128, 9);
+        let pts = a.gen_points();
+        let clusters: Vec<Cluster> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Cluster { id: i as u32, center: *p, size: 1 })
+            .collect();
+        let nn: Vec<(usize, f64)> = (0..clusters.len()).map(|i| nearest(&clusters, i)).collect();
+        // The closest pair overall must be mutual (guarantees progress).
+        let (i, _) = nn
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let j = nn[i].0;
+        assert_eq!(nn[j].0, i, "closest pair not reciprocal");
+    }
+
+    #[test]
+    fn merge_round_reduces_cluster_count() {
+        let a = Agglomerative::new(100, 3);
+        let pts = a.gen_points();
+        let clusters: Vec<Cluster> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Cluster { id: i as u32, center: *p, size: 1 })
+            .collect();
+        let nn: Vec<(usize, f64)> = (0..clusters.len()).map(|i| nearest(&clusters, i)).collect();
+        let mut next = 100;
+        let mut merges = Vec::new();
+        let out = merge_round(&clusters, &nn, &mut next, &mut merges);
+        assert!(out.len() < clusters.len());
+        assert_eq!(out.len(), clusters.len() - merges.len());
+        // Sizes conserved.
+        let total: u32 = out.iter().map(|c| c.size).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn merge_distances_trend_upward() {
+        // Centroid-linkage RNN is not strictly monotone, but the tail
+        // of the dendrogram must be far coarser than the head.
+        let a = Agglomerative::new(128, 7);
+        let merges = golden(&a.gen_points());
+        let head: f64 = merges[..16].iter().map(|m| m.dist2).sum::<f64>() / 16.0;
+        let tail: f64 = merges[merges.len() - 4..].iter().map(|m| m.dist2).sum::<f64>() / 4.0;
+        assert!(tail > head * 10.0, "head {head} tail {tail}");
+    }
+}

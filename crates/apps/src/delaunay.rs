@@ -1,0 +1,429 @@
+//! Incremental 2-D Delaunay triangulation (Bowyer–Watson) with full
+//! neighbour wiring — the substrate of the DMG and DMR applications.
+//!
+//! Representation: triangle soup with per-edge neighbour links.
+//! Triangle vertices are counter-clockwise; edge `i` of a triangle is
+//! the directed segment `v[i] → v[(i+1)%3]`, and `n[i]` is the
+//! neighbour across that edge (`NONE` on the super-triangle boundary).
+//!
+//! Insertion: walk-locate from a hint, grow the circumcircle-violating
+//! cavity by BFS, retriangulate the star of the new point, and rewire
+//! neighbours through the cavity boundary cycle.
+
+use crate::geometry::{circumcenter, in_circumcircle, min_angle_deg, orient2d, Point2};
+use std::collections::HashMap;
+
+/// Sentinel for "no neighbour".
+pub const NONE: u32 = u32::MAX;
+
+/// One triangle.
+#[derive(Debug, Clone, Copy)]
+pub struct Tri {
+    /// Vertex indices, counter-clockwise.
+    pub v: [u32; 3],
+    /// Neighbour across edge `i` = `(v[i], v[(i+1)%3])`.
+    pub n: [u32; 3],
+    /// Dead triangles stay in the arena (freed lazily).
+    pub alive: bool,
+}
+
+/// Statistics of one insertion, used for virtual-cost charging.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InsertStats {
+    /// Triangles visited during point location.
+    pub walk_steps: u32,
+    /// Cavity size (triangles removed).
+    pub cavity: u32,
+    /// Triangles created.
+    pub created: u32,
+}
+
+/// An incremental Delaunay triangulation.
+#[derive(Debug, Clone)]
+pub struct Triangulation {
+    /// Vertex coordinates; indices 0–2 are the super-triangle.
+    pub pts: Vec<Point2>,
+    tris: Vec<Tri>,
+    free: Vec<u32>,
+    last: u32,
+    inserted: usize,
+    /// Input domain (expanded); refinement only inserts circumcenters
+    /// inside it (the standard simplification of boundary handling).
+    domain: (Point2, Point2),
+}
+
+impl Triangulation {
+    /// Start from a super-triangle comfortably containing
+    /// `[min, max]²`.
+    pub fn new(min: Point2, max: Point2) -> Self {
+        let w = (max.x - min.x).max(max.y - min.y).max(1e-9);
+        let cx = (min.x + max.x) * 0.5;
+        let cy = (min.y + max.y) * 0.5;
+        let a = Point2::new(cx - 20.0 * w, cy - 10.0 * w);
+        let b = Point2::new(cx + 20.0 * w, cy - 10.0 * w);
+        let c = Point2::new(cx, cy + 20.0 * w);
+        let margin = 0.25 * w;
+        Triangulation {
+            pts: vec![a, b, c],
+            tris: vec![Tri { v: [0, 1, 2], n: [NONE; 3], alive: true }],
+            free: Vec::new(),
+            last: 0,
+            inserted: 0,
+            domain: (
+                Point2::new(min.x - margin, min.y - margin),
+                Point2::new(max.x + margin, max.y + margin),
+            ),
+        }
+    }
+
+    /// Whether `p` lies in the (slightly expanded) input domain.
+    pub fn in_domain(&self, p: &Point2) -> bool {
+        p.x >= self.domain.0.x
+            && p.x <= self.domain.1.x
+            && p.y >= self.domain.0.y
+            && p.y <= self.domain.1.y
+    }
+
+    /// Number of points inserted (excluding the super-triangle).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// All live triangles not touching the super-triangle vertices.
+    pub fn interior_triangles(&self) -> impl Iterator<Item = &Tri> {
+        self.tris.iter().filter(|t| t.alive && t.v.iter().all(|&v| v >= 3))
+    }
+
+    /// Number of live triangles (including super-adjacent ones).
+    pub fn live_triangles(&self) -> usize {
+        self.tris.iter().filter(|t| t.alive).count()
+    }
+
+    /// Corner coordinates of a triangle.
+    pub fn corners(&self, t: &Tri) -> [Point2; 3] {
+        [self.pts[t.v[0] as usize], self.pts[t.v[1] as usize], self.pts[t.v[2] as usize]]
+    }
+
+    fn alive_hint(&self) -> u32 {
+        if self.tris[self.last as usize].alive {
+            return self.last;
+        }
+        self.tris
+            .iter()
+            .position(|t| t.alive)
+            .map(|i| i as u32)
+            .expect("triangulation has no live triangle")
+    }
+
+    /// Walk from the hint to the triangle containing `p`. Returns
+    /// `(triangle, steps)`.
+    fn locate(&self, p: &Point2) -> (u32, u32) {
+        let mut t = self.alive_hint();
+        let mut steps = 0u32;
+        'walk: loop {
+            steps += 1;
+            if steps > self.tris.len() as u32 * 2 + 16 {
+                // Numerical trouble: fall back to a linear scan.
+                for (i, tri) in self.tris.iter().enumerate() {
+                    if tri.alive && self.contains(tri, p) {
+                        return (i as u32, steps);
+                    }
+                }
+                panic!("locate: point {p:?} not inside any triangle");
+            }
+            let tri = &self.tris[t as usize];
+            for i in 0..3 {
+                let a = &self.pts[tri.v[i] as usize];
+                let b = &self.pts[tri.v[(i + 1) % 3] as usize];
+                if orient2d(a, b, p) < 0.0 {
+                    let nb = tri.n[i];
+                    assert!(nb != NONE, "walked out of the super-triangle at {p:?}");
+                    t = nb;
+                    continue 'walk;
+                }
+            }
+            return (t, steps);
+        }
+    }
+
+    fn contains(&self, tri: &Tri, p: &Point2) -> bool {
+        (0..3).all(|i| {
+            orient2d(
+                &self.pts[tri.v[i] as usize],
+                &self.pts[tri.v[(i + 1) % 3] as usize],
+                p,
+            ) >= 0.0
+        })
+    }
+
+    fn circum_contains(&self, t: u32, p: &Point2) -> bool {
+        let tri = &self.tris[t as usize];
+        in_circumcircle(
+            &self.pts[tri.v[0] as usize],
+            &self.pts[tri.v[1] as usize],
+            &self.pts[tri.v[2] as usize],
+            p,
+        )
+    }
+
+    /// Insert a point; panics if it coincides (exactly) with the walk
+    /// degenerating — callers generate points in general position.
+    pub fn insert(&mut self, p: Point2) -> InsertStats {
+        let (t0, walk_steps) = self.locate(&p);
+        let vi = self.pts.len() as u32;
+        self.pts.push(p);
+
+        // Grow the cavity: BFS over circumcircle violations.
+        let mut cavity = vec![t0];
+        let mut in_cavity = HashMap::new();
+        in_cavity.insert(t0, true);
+        let mut qi = 0;
+        while qi < cavity.len() {
+            let t = cavity[qi];
+            qi += 1;
+            for i in 0..3 {
+                let nb = self.tris[t as usize].n[i];
+                if nb == NONE || in_cavity.contains_key(&nb) {
+                    continue;
+                }
+                if self.circum_contains(nb, &p) {
+                    in_cavity.insert(nb, true);
+                    cavity.push(nb);
+                } else {
+                    in_cavity.entry(nb).or_insert(false);
+                }
+            }
+        }
+
+        // Boundary edges (a, b, outer), directed as in their dead
+        // triangle (so the new point is to the left).
+        let mut boundary = Vec::new();
+        for &t in &cavity {
+            let tri = self.tris[t as usize];
+            for i in 0..3 {
+                let nb = tri.n[i];
+                let outside = nb == NONE || !in_cavity.get(&nb).copied().unwrap_or(false);
+                if outside {
+                    boundary.push((tri.v[i], tri.v[(i + 1) % 3], nb));
+                }
+            }
+        }
+
+        // Kill the cavity.
+        for &t in &cavity {
+            self.tris[t as usize].alive = false;
+            self.free.push(t);
+        }
+
+        // Retriangulate: one new triangle per boundary edge.
+        let mut start_of: HashMap<u32, u32> = HashMap::with_capacity(boundary.len());
+        let mut end_of: HashMap<u32, u32> = HashMap::with_capacity(boundary.len());
+        let mut new_ids = Vec::with_capacity(boundary.len());
+        for &(a, b, outer) in &boundary {
+            let id = self.alloc(Tri { v: [a, b, vi], n: [outer, NONE, NONE], alive: true });
+            start_of.insert(a, id);
+            end_of.insert(b, id);
+            new_ids.push(id);
+            // Fix the outer triangle's back-pointer.
+            if outer != NONE {
+                let ot = &mut self.tris[outer as usize];
+                for j in 0..3 {
+                    if ot.v[j] == b && ot.v[(j + 1) % 3] == a {
+                        ot.n[j] = id;
+                    }
+                }
+            }
+        }
+        // Wire the fan around the new vertex: triangle (a,b,v) meets
+        // the triangle starting at b across edge (b,v), and the
+        // triangle ending at a across edge (v,a).
+        for &id in &new_ids {
+            let (a, b) = {
+                let t = &self.tris[id as usize];
+                (t.v[0], t.v[1])
+            };
+            let right = *start_of.get(&b).expect("boundary cycle broken (start)");
+            let left = *end_of.get(&a).expect("boundary cycle broken (end)");
+            let t = &mut self.tris[id as usize];
+            t.n[1] = right;
+            t.n[2] = left;
+        }
+
+        self.last = new_ids[0];
+        self.inserted += 1;
+        InsertStats {
+            walk_steps,
+            cavity: cavity.len() as u32,
+            created: new_ids.len() as u32,
+        }
+    }
+
+    fn alloc(&mut self, t: Tri) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.tris[id as usize] = t;
+            id
+        } else {
+            self.tris.push(t);
+            (self.tris.len() - 1) as u32
+        }
+    }
+
+    /// Check the Delaunay property on up to `sample` (triangle, point)
+    /// combinations; returns the number of violations.
+    pub fn delaunay_violations(&self, sample: usize) -> usize {
+        let live: Vec<&Tri> = self.tris.iter().filter(|t| t.alive).collect();
+        let mut violations = 0;
+        let mut checked = 0;
+        'outer: for t in &live {
+            for (pi, p) in self.pts.iter().enumerate().skip(3) {
+                if t.v.contains(&(pi as u32)) {
+                    continue;
+                }
+                checked += 1;
+                if checked > sample {
+                    break 'outer;
+                }
+                if in_circumcircle(
+                    &self.pts[t.v[0] as usize],
+                    &self.pts[t.v[1] as usize],
+                    &self.pts[t.v[2] as usize],
+                    p,
+                ) {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// Structural invariant check: neighbour links are symmetric and
+    /// every live triangle is CCW. Returns an error description.
+    pub fn check_structure(&self) -> Result<(), String> {
+        for (i, t) in self.tris.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            let [a, b, c] = self.corners(t);
+            if orient2d(&a, &b, &c) <= 0.0 {
+                return Err(format!("triangle {i} not CCW"));
+            }
+            for e in 0..3 {
+                let nb = t.n[e];
+                if nb == NONE {
+                    continue;
+                }
+                let nt = &self.tris[nb as usize];
+                if !nt.alive {
+                    return Err(format!("triangle {i} points at dead neighbour {nb}"));
+                }
+                let (va, vb) = (t.v[e], t.v[(e + 1) % 3]);
+                let has_back = (0..3).any(|j| nt.v[j] == vb && nt.v[(j + 1) % 3] == va && nt.n[j] == i as u32);
+                if !has_back {
+                    return Err(format!("asymmetric link {i} -> {nb}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Live interior triangles with minimum angle below `deg` whose
+    /// circumradius exceeds `r_min` and whose circumcenter lies inside
+    /// the input domain (the refinement work-list).
+    pub fn bad_triangles(&self, deg: f64, r_min: f64) -> Vec<[Point2; 3]> {
+        self.interior_triangles()
+            .filter_map(|t| {
+                let [a, b, c] = self.corners(t);
+                if min_angle_deg(&a, &b, &c) < deg {
+                    if let Some(cc) = circumcenter(&a, &b, &c) {
+                        if cc.dist(&a) > r_min && self.in_domain(&cc) {
+                            return Some([a, b, c]);
+                        }
+                    }
+                }
+                None
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distws_core::rng::SplitMix64;
+
+    fn random_triangulation(n: usize, seed: u64) -> Triangulation {
+        let mut rng = SplitMix64::new(seed);
+        let mut t = Triangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        for _ in 0..n {
+            t.insert(Point2::new(rng.next_f64(), rng.next_f64()));
+        }
+        t
+    }
+
+    #[test]
+    fn triangle_count_follows_euler() {
+        // With a super-triangle, every insertion adds net 2 triangles.
+        for n in [1usize, 5, 50, 300] {
+            let t = random_triangulation(n, 42);
+            assert_eq!(t.live_triangles(), 1 + 2 * n, "n={n}");
+            assert_eq!(t.inserted(), n);
+        }
+    }
+
+    #[test]
+    fn structure_is_consistent() {
+        let t = random_triangulation(200, 7);
+        t.check_structure().unwrap();
+    }
+
+    #[test]
+    fn delaunay_property_holds() {
+        let t = random_triangulation(150, 99);
+        assert_eq!(t.delaunay_violations(50_000), 0);
+    }
+
+    #[test]
+    fn single_point_star_is_three_triangles() {
+        let mut t = Triangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let stats = t.insert(Point2::new(0.5, 0.5));
+        assert_eq!(stats.cavity, 1);
+        assert_eq!(stats.created, 3);
+        assert_eq!(t.live_triangles(), 3);
+        t.check_structure().unwrap();
+    }
+
+    #[test]
+    fn interior_triangles_exclude_super() {
+        let t = random_triangulation(40, 3);
+        for tri in t.interior_triangles() {
+            assert!(tri.v.iter().all(|&v| v >= 3));
+        }
+        // There are some interior triangles for 40 points.
+        assert!(t.interior_triangles().count() > 10);
+    }
+
+    #[test]
+    fn refinement_worklist_detects_skinny_triangles() {
+        // A flat triangle (min angle ≈ 27°) whose circumcenter stays
+        // inside the domain.
+        let mut t = Triangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        t.insert(Point2::new(0.40, 0.40));
+        t.insert(Point2::new(0.60, 0.40));
+        t.insert(Point2::new(0.50, 0.45));
+        assert!(!t.bad_triangles(30.0, 1e-6).is_empty());
+        // A well-shaped configuration yields an empty work-list.
+        let mut good = Triangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        good.insert(Point2::new(0.40, 0.40));
+        good.insert(Point2::new(0.60, 0.40));
+        good.insert(Point2::new(0.50, 0.55));
+        assert!(good.bad_triangles(30.0, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn insertion_is_deterministic() {
+        let a = random_triangulation(100, 5);
+        let b = random_triangulation(100, 5);
+        assert_eq!(a.live_triangles(), b.live_triangles());
+        assert_eq!(a.pts.len(), b.pts.len());
+    }
+}

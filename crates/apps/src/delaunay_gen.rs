@@ -1,0 +1,259 @@
+//! **Delaunay mesh generation (DMG)** (Lonestar): triangulate a point
+//! set (the paper generates a mesh from 80,000 points).
+//!
+//! The point cloud is deliberately *clustered* (Gaussian blobs), split
+//! into spatial buckets distributed round-robin over places. Each
+//! bucket is triangulated by a **chain of locality-flexible tasks**,
+//! each inserting one batch of points — the paper's §IV.A example: a
+//! triangulation task "encapsulates all the data necessary for its
+//! computation" (the growing mesh and the remaining points travel as
+//! its footprint), "copying of the triangle and its points from the
+//! victim to the thief is necessary only once", and all triangles
+//! created by the thief are local to the thief. Because the blobs make
+//! bucket workloads differ by orders of magnitude while buckets per
+//! place are equal, X10WS starves most places and DistWS shines — the
+//! paper's best case (31 % at 64 workers).
+//!
+//! Validation: per bucket — triangle count obeys the Euler relation
+//! (1 + 2·inserted with a super-triangle), neighbour links are
+//! symmetric, the Delaunay empty-circumcircle property holds on a
+//! sample; globally — every generated point was inserted.
+
+use crate::delaunay::Triangulation;
+use crate::geometry::Point2;
+use distws_core::rng::SplitMix64;
+use distws_core::{
+    Access, ClusterConfig, Footprint, Locality, ObjectId, PlaceId, TaskScope, TaskSpec, Workload,
+};
+use std::sync::{Arc, Mutex};
+
+/// Virtual cost per located triangle during the walk (ns).
+const NS_PER_WALK: u64 = 800;
+/// Virtual cost per cavity triangle (circumcircle test + rewire; ns).
+const NS_PER_CAVITY: u64 = 30_000;
+/// Fixed per-task cost (ns).
+const TASK_BASE_NS: u64 = 5_000;
+/// Accounted bytes per mesh triangle.
+const TRI_BYTES: u64 = 40;
+/// Accounted bytes per point.
+const PT_BYTES: u64 = 16;
+
+/// The DMG workload.
+pub struct DelaunayGen {
+    /// Total points.
+    pub n_points: usize,
+    /// Spatial buckets (each triangulated independently).
+    pub buckets: usize,
+    /// Points inserted per task in the bucket chain.
+    pub batch: usize,
+    /// Input seed.
+    pub seed: u64,
+    state: Mutex<Option<RunState>>,
+}
+
+struct RunState {
+    meshes: Vec<Arc<Mutex<Triangulation>>>,
+    bucket_sizes: Vec<usize>,
+}
+
+impl Default for DelaunayGen {
+    fn default() -> Self {
+        DelaunayGen::new(20_000, 256, 16, 31)
+    }
+}
+
+impl DelaunayGen {
+    /// Generate a mesh from `n_points` clustered points.
+    pub fn new(n_points: usize, buckets: usize, batch: usize, seed: u64) -> Self {
+        assert!(buckets >= 1 && batch >= 1);
+        DelaunayGen { n_points, buckets, batch, seed, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests and doctests.
+    pub fn quick() -> Self {
+        DelaunayGen::new(1_500, 48, 8, 31)
+    }
+
+    /// Paper scale: 80,000 points.
+    pub fn paper() -> Self {
+        DelaunayGen::new(80_000, 512, 32, 31)
+    }
+
+    /// Clustered points in the unit square and their bucket indices
+    /// (buckets = vertical strips; the blobs make strip loads wildly
+    /// unequal).
+    pub fn gen_points(&self) -> Vec<Vec<Point2>> {
+        let mut rng = SplitMix64::new(self.seed);
+        let blobs = 6;
+        let centers: Vec<Point2> = (0..blobs)
+            .map(|_| Point2::new(rng.range_f64(0.1, 0.9), rng.range_f64(0.1, 0.9)))
+            .collect();
+        let mut buckets = vec![Vec::new(); self.buckets];
+        for i in 0..self.n_points {
+            // Three quarters of the mass in the first two blobs.
+            let b = match i % 8 {
+                0..=2 => 0,
+                3..=5 => 1,
+                _ => 2 + (i / 8) % (blobs - 2),
+            };
+            let spread = if b < 2 { 0.04 } else { 0.15 };
+            let mut x = centers[b].x + (rng.next_f64() - 0.5) * spread;
+            let mut y = centers[b].y + (rng.next_f64() - 0.5) * spread;
+            x = x.clamp(0.0, 0.999_999);
+            y = y.clamp(0.0, 0.999_999);
+            let bucket = ((x * self.buckets as f64) as usize).min(self.buckets - 1);
+            buckets[bucket].push(Point2::new(x, y));
+        }
+        buckets
+    }
+}
+
+struct Shared {
+    meshes: Vec<Arc<Mutex<Triangulation>>>,
+    points: Vec<Vec<Point2>>,
+    batch: usize,
+    places: u32,
+}
+
+/// One link of a bucket's insertion chain: insert `batch` points
+/// starting at `offset`, then spawn the next link at the executing
+/// place (triangles created by a thief are local to the thief).
+fn chain_task(sh: Arc<Shared>, bucket: usize, offset: usize, home: PlaceId) -> TaskSpec {
+    let total = sh.points[bucket].len();
+    let n_now = sh.batch.min(total - offset);
+    // Footprint: current mesh + remaining points (what a thief copies).
+    let mesh_bytes = (1 + 2 * offset) as u64 * TRI_BYTES;
+    let rest_bytes = (total - offset) as u64 * PT_BYTES;
+    let obj = ObjectId(1 + bucket as u64);
+    let fp = Footprint { regions: vec![Access::read(obj, 0, mesh_bytes + rest_bytes, home)] };
+    let est = TASK_BASE_NS;
+    let sh2 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        let here = s.here();
+        let mut mesh = sh2.meshes[bucket].lock().unwrap();
+        let mut walk = 0u64;
+        let mut cavity = 0u64;
+        for p in &sh2.points[bucket][offset..offset + n_now] {
+            let st = mesh.insert(*p);
+            walk += st.walk_steps as u64;
+            cavity += st.cavity as u64;
+        }
+        s.charge(NS_PER_WALK * walk + NS_PER_CAVITY * cavity);
+        // The mesh data is local wherever this link ran.
+        let grown = (1 + 2 * (offset + n_now)) as u64 * TRI_BYTES;
+        s.access(Access::read(obj, 0, grown.min(1 << 20), here));
+        s.access(Access::write(obj, 0, (n_now as u64 * 3) * TRI_BYTES, here));
+        drop(mesh);
+        if offset + n_now < total {
+            s.spawn(chain_task(Arc::clone(&sh2), bucket, offset + n_now, here));
+        }
+    };
+    TaskSpec::new(home, Locality::Flexible, est, "dmg-chain", body).with_footprint(fp)
+}
+
+impl Workload for DelaunayGen {
+    fn name(&self) -> String {
+        "DMG".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let points = self.gen_points();
+        let meshes: Vec<Arc<Mutex<Triangulation>>> = (0..self.buckets)
+            .map(|_| {
+                Arc::new(Mutex::new(Triangulation::new(
+                    Point2::new(0.0, 0.0),
+                    Point2::new(1.0, 1.0),
+                )))
+            })
+            .collect();
+        *self.state.lock().unwrap() = Some(RunState {
+            meshes: meshes.clone(),
+            bucket_sizes: points.iter().map(|b| b.len()).collect(),
+        });
+        let sh = Arc::new(Shared {
+            meshes,
+            points,
+            batch: self.batch,
+            places: cfg.places,
+        });
+        // Contiguous block assignment: buckets are x-strips, so the
+        // clustered blobs land on a few places — exactly the static
+        // distribution a programmer would write and exactly the
+        // imbalance the paper's DMG exhibits.
+        let buckets = self.buckets;
+        (0..buckets)
+            .filter(|&b| !sh.points[b].is_empty())
+            .map(|b| {
+                let home = PlaceId((b * sh.places as usize / buckets) as u32);
+                chain_task(Arc::clone(&sh), b, 0, home)
+            })
+            .collect()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("dmg: no run state")?;
+        let mut total = 0usize;
+        for (b, mesh) in st.meshes.iter().enumerate() {
+            let m = mesh.lock().unwrap();
+            if m.inserted() != st.bucket_sizes[b] {
+                return Err(format!(
+                    "bucket {b}: inserted {} of {}",
+                    m.inserted(),
+                    st.bucket_sizes[b]
+                ));
+            }
+            if m.live_triangles() != 1 + 2 * m.inserted() {
+                return Err(format!("bucket {b}: Euler relation violated"));
+            }
+            m.check_structure().map_err(|e| format!("bucket {b}: {e}"))?;
+            if m.delaunay_violations(2_000) > 0 {
+                return Err(format!("bucket {b}: Delaunay property violated"));
+            }
+            total += m.inserted();
+        }
+        if total != st.bucket_sizes.iter().sum::<usize>() {
+            return Err("points lost".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_imbalanced() {
+        let g = DelaunayGen::default();
+        let pts = g.gen_points();
+        let sizes: Vec<usize> = pts.iter().map(|b| b.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let nonzero_min = *sizes.iter().filter(|&&s| s > 0).min().unwrap();
+        assert!(
+            max >= nonzero_min * 10,
+            "bucket sizes too even for the imbalance study: {sizes:?}"
+        );
+        assert_eq!(sizes.iter().sum::<usize>(), g.n_points);
+    }
+
+    #[test]
+    fn points_stay_in_unit_square() {
+        let g = DelaunayGen::quick();
+        for bucket in g.gen_points() {
+            for p in bucket {
+                assert!((0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DelaunayGen::quick().gen_points();
+        let b = DelaunayGen::quick().gen_points();
+        assert_eq!(
+            a.iter().map(|v| v.len()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.len()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! 2-D / 3-D geometry primitives shared by the Delaunay, clustering and
+//! n-body applications.
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn dist2(&self, other: &Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point2) -> f64 {
+        self.dist2(other).sqrt()
+    }
+}
+
+/// A point/vector in 3-space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct a vector.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Vec3::default()
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, o: &Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(&self, o: &Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Squared magnitude.
+    pub fn norm2(&self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+}
+
+/// Sign of the area of triangle `(a, b, c)`: positive if
+/// counter-clockwise, negative if clockwise, ~0 if collinear.
+pub fn orient2d(a: &Point2, b: &Point2, c: &Point2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Whether point `p` lies strictly inside the circumcircle of the
+/// counter-clockwise triangle `(a, b, c)` — the Delaunay predicate.
+///
+/// Standard 3×3 determinant formulation with coordinates translated to
+/// `p` for conditioning; sufficient for the randomly perturbed inputs
+/// our generators produce (we do not need Shewchuk-exact arithmetic).
+pub fn in_circumcircle(a: &Point2, b: &Point2, c: &Point2, p: &Point2) -> bool {
+    let adx = a.x - p.x;
+    let ady = a.y - p.y;
+    let bdx = b.x - p.x;
+    let bdy = b.y - p.y;
+    let cdx = c.x - p.x;
+    let cdy = c.y - p.y;
+    let ad = adx * adx + ady * ady;
+    let bd = bdx * bdx + bdy * bdy;
+    let cd = cdx * cdx + cdy * cdy;
+    let det = adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx)
+        + ad * (bdx * cdy - bdy * cdx);
+    det > 0.0
+}
+
+/// Circumcenter of triangle `(a, b, c)`; `None` if degenerate.
+pub fn circumcenter(a: &Point2, b: &Point2, c: &Point2) -> Option<Point2> {
+    let d = 2.0 * orient2d(a, b, c);
+    if d.abs() < 1e-30 {
+        return None;
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+    let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+    Some(Point2::new(ux, uy))
+}
+
+/// Minimum interior angle of triangle `(a, b, c)` in degrees.
+pub fn min_angle_deg(a: &Point2, b: &Point2, c: &Point2) -> f64 {
+    let la = b.dist(c);
+    let lb = a.dist(c);
+    let lc = a.dist(b);
+    let angle = |opp: f64, s1: f64, s2: f64| -> f64 {
+        let cos = ((s1 * s1 + s2 * s2 - opp * opp) / (2.0 * s1 * s2)).clamp(-1.0, 1.0);
+        cos.acos().to_degrees()
+    };
+    angle(la, lb, lc).min(angle(lb, la, lc)).min(angle(lc, la, lb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_signs() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = Point2::new(0.0, 1.0);
+        assert!(orient2d(&a, &b, &c) > 0.0, "ccw positive");
+        assert!(orient2d(&a, &c, &b) < 0.0, "cw negative");
+        let d = Point2::new(2.0, 0.0);
+        assert_eq!(orient2d(&a, &b, &d), 0.0, "collinear zero");
+    }
+
+    #[test]
+    fn circumcircle_membership() {
+        // Unit circle through (1,0), (0,1), (-1,0).
+        let a = Point2::new(1.0, 0.0);
+        let b = Point2::new(0.0, 1.0);
+        let c = Point2::new(-1.0, 0.0);
+        assert!(in_circumcircle(&a, &b, &c, &Point2::new(0.0, 0.0)));
+        assert!(in_circumcircle(&a, &b, &c, &Point2::new(0.5, -0.3)));
+        assert!(!in_circumcircle(&a, &b, &c, &Point2::new(2.0, 0.0)));
+        assert!(!in_circumcircle(&a, &b, &c, &Point2::new(0.0, -1.5)));
+    }
+
+    #[test]
+    fn circumcenter_of_right_triangle() {
+        // Right triangle: circumcenter is the hypotenuse midpoint.
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 0.0);
+        let c = Point2::new(0.0, 2.0);
+        let cc = circumcenter(&a, &b, &c).unwrap();
+        assert!((cc.x - 1.0).abs() < 1e-12 && (cc.y - 1.0).abs() < 1e-12);
+        // Degenerate triangle has none.
+        assert!(circumcenter(&a, &b, &Point2::new(4.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn angles_of_known_triangles() {
+        // Equilateral: 60°.
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = Point2::new(0.5, 3f64.sqrt() / 2.0);
+        assert!((min_angle_deg(&a, &b, &c) - 60.0).abs() < 1e-9);
+        // 30-60-90 triangle.
+        let c2 = Point2::new(0.0, 1.0 / 3f64.sqrt());
+        assert!((min_angle_deg(&a, &b, &c2) - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vec3_algebra() {
+        let v = Vec3::new(1.0, 2.0, 2.0);
+        assert_eq!(v.norm2(), 9.0);
+        let w = v.add(&v.scale(-1.0));
+        assert_eq!(w, Vec3::zero());
+        assert_eq!(v.sub(&Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 2.0, 2.0));
+    }
+}

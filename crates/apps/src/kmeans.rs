@@ -1,0 +1,396 @@
+//! **k-Means** (Cowichan): Lloyd's algorithm, 4 clusters, fixed
+//! iteration count (the paper runs 1000 iterations).
+//!
+//! Points are block-distributed across places. Each iteration runs one
+//! *locality-flexible* assignment task per point chunk (the chunk's
+//! points are its footprint — a stolen chunk carries everything it
+//! needs and its partial sums are tiny), followed by a sensitive
+//! reduction task at place 0 that recomputes the centroids and launches
+//! the next iteration. Assignment tasks read the centroid block, which
+//! is homed at place 0 — the per-iteration broadcast traffic a real
+//! distributed k-means pays.
+//!
+//! All accumulation is **fixed-point** (20 fractional bits), so partial
+//! sums are exactly associative: every scheduler and engine must
+//! produce bit-identical centroids, validated against a sequential
+//! golden reference. Inertia is additionally checked to be
+//! non-increasing across iterations (the Lloyd invariant).
+
+use distws_core::rng::SplitMix64;
+use distws_core::{
+    Access, ClusterConfig, FinishLatch, Footprint, Locality, ObjectId, PlaceId, TaskScope,
+    TaskSpec, Workload,
+};
+use std::sync::{Arc, Mutex};
+
+/// Fixed-point fractional bits.
+const FP: u32 = 20;
+/// Virtual cost per point-centroid distance evaluation (ns).
+const NS_PER_DIST: u64 = 300;
+/// Fixed per-task cost (ns).
+const TASK_BASE_NS: u64 = 3_000;
+
+/// Object id of the centroid block (homed at place 0).
+const CENTROID_OBJ: ObjectId = ObjectId(1);
+/// First object id of the per-place point blocks.
+const POINTS_OBJ_BASE: u64 = 2;
+
+/// The k-means workload.
+pub struct KMeans {
+    /// Number of points.
+    pub n: usize,
+    /// Number of clusters (paper: 4).
+    pub k: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Lloyd iterations (paper: 1000).
+    pub iterations: usize,
+    /// Input seed.
+    pub seed: u64,
+    /// Assignment chunks per place per iteration.
+    pub chunks_per_place: usize,
+    state: Mutex<Option<RunState>>,
+}
+
+struct RunState {
+    result: Arc<Mutex<ResultState>>,
+    expect_centroids: Vec<i64>,
+}
+
+/// Fixed-point coordinates: points[i*dim..][..dim].
+struct ResultState {
+    centroids: Vec<i64>,
+    inertia_history: Vec<u128>,
+}
+
+impl Default for KMeans {
+    fn default() -> Self {
+        KMeans::new(32_768, 4, 4, 25, 11)
+    }
+}
+
+impl KMeans {
+    /// k-means over `n` points in `dim` dimensions.
+    pub fn new(n: usize, k: usize, dim: usize, iterations: usize, seed: u64) -> Self {
+        assert!(k >= 1 && dim >= 1 && n >= k);
+        KMeans { n, k, dim, iterations, seed, chunks_per_place: 16, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        KMeans::new(2_000, 4, 2, 8, 3)
+    }
+
+    /// Paper scale: 4 clusters, 1000 iterations.
+    pub fn paper() -> Self {
+        KMeans::new(250_000, 4, 4, 1_000, 11)
+    }
+
+    /// Deterministic clustered input in fixed point.
+    fn gen_points(&self) -> Vec<i64> {
+        let mut rng = SplitMix64::new(self.seed);
+        let one = 1i64 << FP;
+        // k true centers, points scattered around them.
+        let centers: Vec<i64> =
+            (0..self.k * self.dim).map(|_| (rng.next_f64() * one as f64) as i64).collect();
+        let mut pts = Vec::with_capacity(self.n * self.dim);
+        for i in 0..self.n {
+            let c = i % self.k;
+            for d in 0..self.dim {
+                let noise = ((rng.next_f64() - 0.5) * 0.2 * one as f64) as i64;
+                pts.push(centers[c * self.dim + d] + noise);
+            }
+        }
+        pts
+    }
+
+    fn initial_centroids(points: &[i64], k: usize, dim: usize) -> Vec<i64> {
+        points[..k * dim].to_vec()
+    }
+}
+
+fn dist2(a: &[i64], b: &[i64]) -> u128 {
+    let mut s = 0u128;
+    for (x, y) in a.iter().zip(b) {
+        let d = (x - y) as i128;
+        s += (d * d) as u128;
+    }
+    s
+}
+
+/// One Lloyd iteration computed sequentially (golden reference and the
+/// reduction step share this math).
+fn assign_chunk(
+    points: &[i64],
+    dim: usize,
+    centroids: &[i64],
+    k: usize,
+) -> (Vec<i64>, Vec<u64>, u128) {
+    let mut sums = vec![0i64; k * dim];
+    let mut counts = vec![0u64; k];
+    let mut inertia = 0u128;
+    for p in points.chunks_exact(dim) {
+        let mut best = 0usize;
+        let mut bd = u128::MAX;
+        for c in 0..k {
+            let d = dist2(p, &centroids[c * dim..(c + 1) * dim]);
+            if d < bd {
+                bd = d;
+                best = c;
+            }
+        }
+        inertia += bd;
+        counts[best] += 1;
+        for (s, &x) in sums[best * dim..(best + 1) * dim].iter_mut().zip(p) {
+            *s += x >> 8; // pre-scale to avoid i64 overflow on big n
+        }
+    }
+    (sums, counts, inertia)
+}
+
+fn new_centroids(sums: &[i64], counts: &[u64], old: &[i64], k: usize, dim: usize) -> Vec<i64> {
+    let mut out = old.to_vec();
+    for c in 0..k {
+        if counts[c] > 0 {
+            for d in 0..dim {
+                out[c * dim + d] = (sums[c * dim + d] / counts[c] as i64) << 8;
+            }
+        }
+    }
+    out
+}
+
+fn golden(points: &[i64], k: usize, dim: usize, iters: usize) -> Vec<i64> {
+    let mut centroids = KMeans::initial_centroids(points, k, dim);
+    for _ in 0..iters {
+        let (s, c, _) = assign_chunk(points, dim, &centroids, k);
+        centroids = new_centroids(&s, &c, &centroids, k, dim);
+    }
+    centroids
+}
+
+struct Shared {
+    points: Arc<Vec<i64>>,
+    /// Point chunks `(lo, hi, home)`: deliberately size-skewed (data
+    /// volume per ingestion source varies), so per-place load is
+    /// unequal — the imbalance X10WS cannot repair.
+    chunks: Vec<(usize, usize, PlaceId)>,
+    k: usize,
+    dim: usize,
+    iterations: usize,
+    result: Arc<Mutex<ResultState>>,
+    /// Partial sums of the in-flight iteration.
+    acc: Mutex<(Vec<i64>, Vec<u64>, u128)>,
+}
+
+/// Build size-skewed chunk ranges: chunk `i` gets a share ∝ `i + 1`,
+/// chunks assigned to places in contiguous blocks.
+fn skewed_chunks(n: usize, nchunks: usize, places: u32) -> Vec<(usize, usize, PlaceId)> {
+    let nchunks = nchunks.min(n).max(1);
+    let total_weight: usize = nchunks * (nchunks + 1) / 2;
+    let mut out = Vec::with_capacity(nchunks);
+    let mut lo = 0usize;
+    for i in 0..nchunks {
+        let hi = if i == nchunks - 1 {
+            n
+        } else {
+            (lo + ((i + 1) * n).div_ceil(total_weight)).min(n)
+        };
+        let home = PlaceId((i * places as usize / nchunks) as u32);
+        out.push((lo, hi, home));
+        lo = hi;
+    }
+    out
+}
+
+/// One flexible assignment task over chunk `idx`.
+fn chunk_task(sh: Arc<Shared>, idx: usize, latch: Arc<FinishLatch>) -> TaskSpec {
+    let (lo, hi, home) = sh.chunks[idx];
+    let npts = hi - lo;
+    let est = TASK_BASE_NS + NS_PER_DIST * (npts * sh.k * sh.dim) as u64;
+    let bytes = (npts * sh.dim * 8) as u64;
+    let obj = ObjectId(POINTS_OBJ_BASE + idx as u64);
+    let fp = Footprint { regions: vec![Access::read(obj, 0, bytes, home)] };
+    let sh2 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        let centroids = sh2.result.lock().unwrap().centroids.clone();
+        // Centroid broadcast: homed at place 0.
+        s.read(CENTROID_OBJ, 0, (sh2.k * sh2.dim * 8) as u64, PlaceId(0));
+        // Point chunk: local at the executing place (carried if stolen).
+        s.access(Access::read(obj, 0, bytes, s.here()));
+        let pts = &sh2.points[lo * sh2.dim..hi * sh2.dim];
+        let (sums, counts, inertia) = assign_chunk(pts, sh2.dim, &centroids, sh2.k);
+        let mut acc = sh2.acc.lock().unwrap();
+        for (a, b) in acc.0.iter_mut().zip(&sums) {
+            *a += b;
+        }
+        for (a, b) in acc.1.iter_mut().zip(&counts) {
+            *a += b;
+        }
+        acc.2 += inertia;
+    };
+    TaskSpec::new(home, Locality::Flexible, est, "kmeans-chunk", body)
+        .with_footprint(fp)
+        .with_latch(latch)
+}
+
+/// Per-iteration coordinator: reduce the previous iteration (if any),
+/// then fan out the next round of chunk tasks.
+fn iteration_task(sh: Arc<Shared>, iter: usize) -> TaskSpec {
+    let sh0 = Arc::clone(&sh);
+    let est = TASK_BASE_NS + (sh.k * sh.dim * 200) as u64;
+    let body = move |s: &mut dyn TaskScope| {
+        if iter > 0 {
+            // Reduction: fold partial sums into new centroids.
+            let (sums, counts, inertia) = {
+                let mut acc = sh0.acc.lock().unwrap();
+                let k = sh0.k * sh0.dim;
+                let taken =
+                    (std::mem::replace(&mut acc.0, vec![0i64; k]), std::mem::replace(&mut acc.1, vec![0u64; sh0.k]), acc.2);
+                acc.2 = 0;
+                taken
+            };
+            let mut res = sh0.result.lock().unwrap();
+            let next = new_centroids(&sums, &counts, &res.centroids, sh0.k, sh0.dim);
+            res.centroids = next;
+            res.inertia_history.push(inertia);
+            s.write(CENTROID_OBJ, 0, (sh0.k * sh0.dim * 8) as u64, PlaceId(0));
+        }
+        if iter == sh0.iterations {
+            return;
+        }
+        let next = iteration_task(Arc::clone(&sh0), iter + 1);
+        let latch = FinishLatch::new(sh0.chunks.len(), next);
+        for idx in 0..sh0.chunks.len() {
+            s.spawn(chunk_task(Arc::clone(&sh0), idx, Arc::clone(&latch)));
+        }
+    };
+    TaskSpec::new(PlaceId(0), Locality::Sensitive, est, "kmeans-iter", body)
+}
+
+impl Workload for KMeans {
+    fn name(&self) -> String {
+        "k-Means".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let points = Arc::new(self.gen_points());
+        let centroids = KMeans::initial_centroids(&points, self.k, self.dim);
+        let expect = golden(&points, self.k, self.dim, self.iterations);
+        let result = Arc::new(Mutex::new(ResultState {
+            centroids,
+            inertia_history: Vec::new(),
+        }));
+        *self.state.lock().unwrap() = Some(RunState {
+            result: Arc::clone(&result),
+            expect_centroids: expect,
+        });
+        let nchunks = self.chunks_per_place * cfg.places as usize;
+        let sh = Arc::new(Shared {
+            points,
+            chunks: skewed_chunks(self.n, nchunks, cfg.places),
+            k: self.k,
+            dim: self.dim,
+            iterations: self.iterations,
+            result,
+            acc: Mutex::new((vec![0i64; self.k * self.dim], vec![0u64; self.k], 0)),
+        });
+        vec![iteration_task(sh, 0)]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("kmeans: no run state")?;
+        let res = st.result.lock().unwrap();
+        if res.centroids != st.expect_centroids {
+            return Err("centroids differ from sequential golden run".into());
+        }
+        // Lloyd's invariant: inertia is non-increasing (up to the
+        // 8-bit centroid rounding of the fixed-point representation,
+        // which can wiggle the plateau at convergence by a hair).
+        for w in res.inertia_history.windows(2) {
+            if w[1] > w[0] + w[0] / 100_000 {
+                return Err(format!("inertia increased: {} -> {}", w[0], w[1]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_chunks_partition_exactly_and_skew() {
+        for (n, c, places) in [(1_000usize, 16usize, 4u32), (32_768, 64, 16), (10, 64, 4)] {
+            let chunks = skewed_chunks(n, c, places);
+            // Exact partition of [0, n).
+            assert_eq!(chunks[0].0, 0);
+            assert_eq!(chunks.last().unwrap().1, n);
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            // Place loads are skewed: last place's points far exceed
+            // the first's (when there are enough points to skew).
+            if n >= 1_000 {
+                let load = |p: u32| -> usize {
+                    chunks.iter().filter(|(_, _, h)| h.0 == p).map(|(lo, hi, _)| hi - lo).sum()
+                };
+                assert!(load(places - 1) >= 4 * load(0).max(1), "not skewed enough");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_assignment_is_exact() {
+        let km = KMeans::quick();
+        let pts = km.gen_points();
+        let cent = KMeans::initial_centroids(&pts, km.k, km.dim);
+        let a = assign_chunk(&pts, km.dim, &cent, km.k);
+        let b = assign_chunk(&pts, km.dim, &cent, km.k);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn chunked_sums_equal_whole() {
+        let km = KMeans::quick();
+        let pts = km.gen_points();
+        let cent = KMeans::initial_centroids(&pts, km.k, km.dim);
+        let (s_all, c_all, i_all) = assign_chunk(&pts, km.dim, &cent, km.k);
+        let half = (km.n / 2) * km.dim;
+        let (s1, c1, i1) = assign_chunk(&pts[..half], km.dim, &cent, km.k);
+        let (s2, c2, i2) = assign_chunk(&pts[half..], km.dim, &cent, km.k);
+        let s: Vec<i64> = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
+        let c: Vec<u64> = c1.iter().zip(&c2).map(|(a, b)| a + b).collect();
+        assert_eq!(s, s_all);
+        assert_eq!(c, c_all);
+        assert_eq!(i1 + i2, i_all);
+    }
+
+    #[test]
+    fn golden_inertia_decreases() {
+        let km = KMeans::quick();
+        let pts = km.gen_points();
+        let mut cent = KMeans::initial_centroids(&pts, km.k, km.dim);
+        let mut last = u128::MAX;
+        for _ in 0..5 {
+            let (s, c, inertia) = assign_chunk(&pts, km.dim, &cent, km.k);
+            assert!(inertia <= last);
+            last = inertia;
+            cent = new_centroids(&s, &c, &cent, km.k, km.dim);
+        }
+    }
+
+    #[test]
+    fn empty_cluster_keeps_old_centroid() {
+        let old = vec![1, 2, 3, 4];
+        let sums = vec![100, 100, 0, 0];
+        let counts = vec![2, 0];
+        let out = new_centroids(&sums, &counts, &old, 2, 2);
+        assert_eq!(&out[2..], &[3, 4], "empty cluster must keep its centroid");
+        assert_eq!(&out[..2], &[(100 / 2) << 8, (100 / 2) << 8]);
+    }
+}

@@ -1,0 +1,80 @@
+//! # distws-apps
+//!
+//! The application suite of the paper, implemented from scratch:
+//!
+//! **Cowichan problems** (§VII d):
+//! * [`quicksort`] — global sort of a large integer array
+//! * [`turing_ring`] — predator/prey dynamics on a distributed ring of
+//!   cells with body migration (the paper's §IV.B running example)
+//! * [`kmeans`] — k-means clustering, 4 clusters, fixed iterations
+//! * [`nbody`] — Barnes–Hut n-body simulation
+//!
+//! **Lonestar problems** (ported from Galois in the paper):
+//! * [`agglomerative`] — bottom-up hierarchical clustering
+//! * [`delaunay_gen`] — 2-D Delaunay mesh generation (Bowyer–Watson)
+//! * [`delaunay_refine`] — Delaunay mesh refinement to a 30° minimum
+//!   angle (Chew/Ruppert-style circumcenter insertion)
+//!
+//! **§X comparison**: [`uts`] — Unbalanced Tree Search.
+//!
+//! **§VIII.2 granularity study micro-apps** ([`micro`]): merge sort,
+//! skyline matrix multiplication, Monte-Carlo π, matrix chain
+//! multiplication, random access.
+//!
+//! Every application implements [`distws_core::Workload`]: it produces
+//! annotated root tasks (locality-sensitive / locality-flexible exactly
+//! as the paper's examples prescribe), runs unmodified under every
+//! scheduler and engine, and validates its own answer afterwards —
+//! scheduling must never change results.
+
+pub mod agglomerative;
+pub mod delaunay;
+pub mod delaunay_gen;
+pub mod delaunay_refine;
+pub mod geometry;
+pub mod kmeans;
+pub mod micro;
+pub mod nbody;
+pub mod quicksort;
+pub mod turing_ring;
+pub mod util;
+pub mod uts;
+
+pub use agglomerative::Agglomerative;
+pub use delaunay_gen::DelaunayGen;
+pub use delaunay_refine::DelaunayRefine;
+pub use kmeans::KMeans;
+pub use nbody::NBody;
+pub use quicksort::Quicksort;
+pub use turing_ring::TuringRing;
+pub use uts::Uts;
+
+use distws_core::Workload;
+
+/// The seven applications of the paper's main evaluation (Figs. 3–7,
+/// Tables I–III), at reduced default scale. Order matches the paper's
+/// tables.
+pub fn paper_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Quicksort::default()),
+        Box::new(TuringRing::default()),
+        Box::new(KMeans::default()),
+        Box::new(Agglomerative::default()),
+        Box::new(DelaunayGen::default()),
+        Box::new(DelaunayRefine::default()),
+        Box::new(NBody::default()),
+    ]
+}
+
+/// Tiny-input versions of the same seven applications, for fast tests.
+pub fn quick_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Quicksort::quick()),
+        Box::new(TuringRing::quick()),
+        Box::new(KMeans::quick()),
+        Box::new(Agglomerative::quick()),
+        Box::new(DelaunayGen::quick()),
+        Box::new(DelaunayRefine::quick()),
+        Box::new(NBody::quick()),
+    ]
+}

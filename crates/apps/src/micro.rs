@@ -1,0 +1,675 @@
+//! §VIII.2 **granularity study** micro-applications.
+//!
+//! The paper's separate study runs five small applications whose task
+//! granularities (0.005 ms – 0.93 ms) are far below the main suite's
+//! (1.1 ms – 899 ms) and shows DistWS performing *worse* on them —
+//! fine-grained tasks cannot amortize a distributed steal. These are
+//! real implementations with exact validation; their task sizes are
+//! tuned to the granularities the paper reports:
+//!
+//! | app | paper granularity |
+//! |---|---|
+//! | merge sort | 0.12 ms |
+//! | skyline matrix multiplication | 0.93 ms |
+//! | Monte-Carlo π | 0.005 ms |
+//! | matrix chain multiplication | 0.09 ms |
+//! | random access | 0.006 ms |
+
+use crate::util::SharedSlice;
+use distws_core::rng::SplitMix64;
+use distws_core::{
+    BlockDist, ClusterConfig, FinishLatch, Locality, PlaceId, TaskScope, TaskSpec, Workload,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// All five micro workloads, paper order.
+pub fn micro_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(MergeSortMicro::default()),
+        Box::new(SkylineMM::default()),
+        Box::new(MonteCarloPi::default()),
+        Box::new(MatrixChain::default()),
+        Box::new(RandomAccess::default()),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Merge sort (0.12 ms tasks)
+// ---------------------------------------------------------------------------
+
+/// Bottom-up parallel merge sort: phase `r` merges adjacent runs of
+/// length `2^r` with one flexible task per merge pair, phases separated
+/// by finish latches.
+pub struct MergeSortMicro {
+    /// Element count (power of two for clean phases).
+    pub n: usize,
+    /// Initial run length (sorted sequentially inside the leaf tasks).
+    pub run: usize,
+    /// Input seed.
+    pub seed: u64,
+    state: Mutex<Option<MsState>>,
+}
+
+struct MsState {
+    a: Arc<SharedSlice<u64>>,
+    b: Arc<SharedSlice<u64>>,
+    phases: u32,
+    expect_sum: u64,
+    n: usize,
+}
+
+impl Default for MergeSortMicro {
+    fn default() -> Self {
+        MergeSortMicro::new(1 << 16, 1 << 10, 3)
+    }
+}
+
+impl MergeSortMicro {
+    /// Sort `n` elements with initial runs of length `run`.
+    pub fn new(n: usize, run: usize, seed: u64) -> Self {
+        assert!(n.is_power_of_two() && run.is_power_of_two() && run <= n);
+        MergeSortMicro { n, run, seed, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        MergeSortMicro::new(1 << 12, 1 << 8, 3)
+    }
+}
+
+fn ms_phase(st: Arc<MsState>, dist: BlockDist, phase: u32) -> TaskSpec {
+    let body = move |s: &mut dyn TaskScope| {
+        if phase > st.phases {
+            return;
+        }
+        let run = st.a.len() >> (st.phases - phase + 1) << 1; // current run after this phase
+        let in_a = phase % 2 == 1; // odd phases read a, write b
+        let pairs = st.n / run;
+        let next = ms_phase(Arc::clone(&st), dist, phase + 1);
+        let latch = FinishLatch::new(pairs, next);
+        for k in 0..pairs {
+            let lo = k * run;
+            let st2 = Arc::clone(&st);
+            let home = dist.place_of(lo.min(dist.len() - 1));
+            let t = TaskSpec::new(
+                home,
+                Locality::Flexible,
+                120_000, // 0.12 ms, the paper's merge-sort granularity
+                "msort-merge",
+                move |_s: &mut dyn TaskScope| {
+                    // SAFETY: merge pairs own disjoint ranges in both
+                    // buffers.
+                    let (src, dst) = unsafe {
+                        if in_a {
+                            (st2.a.slice(lo, lo + run), st2.b.slice_mut(lo, lo + run))
+                        } else {
+                            (st2.b.slice(lo, lo + run), st2.a.slice_mut(lo, lo + run))
+                        }
+                    };
+                    merge_halves(src, dst);
+                },
+            )
+            .with_latch(Arc::clone(&latch));
+            s.spawn(t);
+        }
+    };
+    TaskSpec::new(PlaceId(0), Locality::Sensitive, 2_000, "msort-phase", body)
+}
+
+fn merge_halves(src: &[u64], dst: &mut [u64]) {
+    let mid = src.len() / 2;
+    let (mut i, mut j) = (0usize, mid);
+    for d in dst.iter_mut() {
+        if i < mid && (j >= src.len() || src[i] <= src[j]) {
+            *d = src[i];
+            i += 1;
+        } else {
+            *d = src[j];
+            j += 1;
+        }
+    }
+}
+
+impl Workload for MergeSortMicro {
+    fn name(&self) -> String {
+        "MergeSort".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut data: Vec<u64> = (0..self.n).map(|_| rng.next_u64()).collect();
+        let expect_sum = data.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        // Pre-sort the initial runs (leaf granularity control).
+        for chunk in data.chunks_mut(self.run) {
+            chunk.sort_unstable();
+        }
+        let phases = (self.n / self.run).trailing_zeros();
+        let st = Arc::new(MsState {
+            a: SharedSlice::new(data.clone()),
+            b: SharedSlice::new(data),
+            phases,
+            expect_sum,
+            n: self.n,
+        });
+        *self.state.lock().unwrap() = Some(MsState {
+            a: Arc::clone(&st.a),
+            b: Arc::clone(&st.b),
+            phases,
+            expect_sum,
+            n: self.n,
+        });
+        vec![ms_phase(st, BlockDist::new(self.n, cfg.places), 1)]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("mergesort: no run state")?;
+        // Final data lives in `a` if the phase count is even, else `b`.
+        let out = unsafe {
+            if st.phases % 2 == 0 {
+                st.a.slice(0, st.n)
+            } else {
+                st.b.slice(0, st.n)
+            }
+        };
+        if !out.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("not sorted".into());
+        }
+        let sum = out.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        if sum != st.expect_sum {
+            return Err("not a permutation".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Skyline matrix multiplication (0.93 ms tasks)
+// ---------------------------------------------------------------------------
+
+/// Multiply a skyline (variable row-profile) matrix by a vector, one
+/// flexible task per row chunk.
+pub struct SkylineMM {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Rows per task.
+    pub rows_per_task: usize,
+    /// Input seed.
+    pub seed: u64,
+    state: Mutex<Option<SkState>>,
+}
+
+struct SkState {
+    y: Arc<SharedSlice<i64>>,
+    expect: Vec<i64>,
+}
+
+impl Default for SkylineMM {
+    fn default() -> Self {
+        SkylineMM::new(1_024, 16, 5)
+    }
+}
+
+impl SkylineMM {
+    /// An `n × n` skyline matrix.
+    pub fn new(n: usize, rows_per_task: usize, seed: u64) -> Self {
+        SkylineMM { n, rows_per_task, seed, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        SkylineMM::new(128, 8, 5)
+    }
+
+    /// Row `i` stores columns `[skyline[i], i]` (lower triangular
+    /// profile). Integer entries keep validation exact.
+    fn gen(&self) -> (Vec<usize>, Vec<Vec<i64>>, Vec<i64>) {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut skyline = Vec::with_capacity(self.n);
+        let mut rows = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let start = rng.below_usize(i + 1);
+            skyline.push(start);
+            rows.push((start..=i).map(|_| rng.below(2_000) as i64 - 1_000).collect());
+        }
+        let x: Vec<i64> = (0..self.n).map(|_| rng.below(2_000) as i64 - 1_000).collect();
+        (skyline, rows, x)
+    }
+}
+
+impl Workload for SkylineMM {
+    fn name(&self) -> String {
+        "SkylineMM".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let (skyline, rows, x) = self.gen();
+        // Sequential golden product.
+        let expect: Vec<i64> = (0..self.n)
+            .map(|i| rows[i].iter().zip(&x[skyline[i]..=i]).map(|(a, b)| a * b).sum())
+            .collect();
+        let y = SharedSlice::new(vec![0i64; self.n]);
+        *self.state.lock().unwrap() = Some(SkState { y: Arc::clone(&y), expect });
+        let rows = Arc::new(rows);
+        let skyline = Arc::new(skyline);
+        let x = Arc::new(x);
+        let dist = BlockDist::new(self.n, cfg.places);
+        let mut out = Vec::new();
+        let mut lo = 0usize;
+        while lo < self.n {
+            let hi = (lo + self.rows_per_task).min(self.n);
+            let (rows, skyline, x, y) =
+                (Arc::clone(&rows), Arc::clone(&skyline), Arc::clone(&x), Arc::clone(&y));
+            let est_ops: usize = (lo..hi).map(|i| i - skyline[i] + 1).sum();
+            out.push(TaskSpec::new(
+                dist.place_of(lo),
+                Locality::Flexible,
+                (est_ops as u64) * 15 + 2_000,
+                "skyline-rows",
+                move |_s: &mut dyn TaskScope| {
+                    // SAFETY: row chunks write disjoint y ranges.
+                    let yc = unsafe { y.slice_mut(lo, hi) };
+                    for (k, i) in (lo..hi).enumerate() {
+                        yc[k] = rows[i].iter().zip(&x[skyline[i]..=i]).map(|(a, b)| a * b).sum();
+                    }
+                },
+            ));
+            lo = hi;
+        }
+        out
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("skyline: no run state")?;
+        let got = unsafe { st.y.slice(0, st.expect.len()) };
+        if got != st.expect.as_slice() {
+            return Err("product differs from sequential result".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo π (0.005 ms tasks)
+// ---------------------------------------------------------------------------
+
+/// Estimate π by dart throwing; each tiny task handles one seeded
+/// sample block, so the hit count is scheduler-independent.
+pub struct MonteCarloPi {
+    /// Total samples.
+    pub samples: u64,
+    /// Samples per task.
+    pub per_task: u64,
+    /// Base seed.
+    pub seed: u64,
+    state: Mutex<Option<PiState>>,
+}
+
+struct PiState {
+    hits: Arc<AtomicU64>,
+    expect_hits: u64,
+    samples: u64,
+}
+
+impl Default for MonteCarloPi {
+    fn default() -> Self {
+        MonteCarloPi::new(2_000_000, 1_000, 17)
+    }
+}
+
+impl MonteCarloPi {
+    /// `samples` darts in blocks of `per_task`.
+    pub fn new(samples: u64, per_task: u64, seed: u64) -> Self {
+        MonteCarloPi { samples, per_task, seed, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        MonteCarloPi::new(100_000, 500, 17)
+    }
+
+    fn block_hits(seed: u64, n: u64) -> u64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut hits = 0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            let y = rng.next_f64();
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+impl Workload for MonteCarloPi {
+    fn name(&self) -> String {
+        "MonteCarloPi".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let blocks = self.samples.div_ceil(self.per_task);
+        let expect_hits: u64 = (0..blocks)
+            .map(|b| {
+                let n = self.per_task.min(self.samples - b * self.per_task);
+                Self::block_hits(self.seed ^ (b + 1), n)
+            })
+            .sum();
+        let hits = Arc::new(AtomicU64::new(0));
+        *self.state.lock().unwrap() = Some(PiState {
+            hits: Arc::clone(&hits),
+            expect_hits,
+            samples: self.samples,
+        });
+        let mut out = Vec::new();
+        for b in 0..blocks {
+            let n = self.per_task.min(self.samples - b * self.per_task);
+            let seed = self.seed ^ (b + 1);
+            let hits = Arc::clone(&hits);
+            out.push(TaskSpec::new(
+                PlaceId((b % cfg.places as u64) as u32),
+                Locality::Flexible,
+                5_000, // 0.005 ms, the paper's π granularity
+                "pi-block",
+                move |_s: &mut dyn TaskScope| {
+                    hits.fetch_add(Self::block_hits(seed, n), Ordering::Relaxed);
+                },
+            ));
+        }
+        out
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("pi: no run state")?;
+        let got = st.hits.load(Ordering::Relaxed);
+        if got != st.expect_hits {
+            return Err(format!("hits {got} != expected {}", st.expect_hits));
+        }
+        let pi = 4.0 * got as f64 / st.samples as f64;
+        if (pi - std::f64::consts::PI).abs() > 0.05 {
+            return Err(format!("π estimate {pi} implausibly bad"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix chain multiplication (0.09 ms tasks)
+// ---------------------------------------------------------------------------
+
+/// The classic O(n³) dynamic program over parenthesisations, one task
+/// per diagonal chunk with a latch barrier between diagonals.
+pub struct MatrixChain {
+    /// Number of matrices in the chain.
+    pub n: usize,
+    /// Cells per task along a diagonal.
+    pub cells_per_task: usize,
+    /// Dimension seed.
+    pub seed: u64,
+    state: Mutex<Option<McState>>,
+}
+
+struct McState {
+    m: Arc<SharedSlice<u64>>,
+    n: usize,
+    expect: u64,
+}
+
+impl Default for MatrixChain {
+    fn default() -> Self {
+        MatrixChain::new(192, 8, 29)
+    }
+}
+
+impl MatrixChain {
+    /// A chain of `n` matrices with random dimensions.
+    pub fn new(n: usize, cells_per_task: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        MatrixChain { n, cells_per_task, seed, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        MatrixChain::new(48, 4, 29)
+    }
+
+    fn dims(&self) -> Vec<u64> {
+        let mut rng = SplitMix64::new(self.seed);
+        (0..=self.n).map(|_| 5 + rng.below(95)).collect()
+    }
+
+    fn golden(dims: &[u64]) -> u64 {
+        let n = dims.len() - 1;
+        let mut m = vec![0u64; n * n];
+        for len in 2..=n {
+            for i in 0..=n - len {
+                let j = i + len - 1;
+                m[i * n + j] = (i..j)
+                    .map(|k| m[i * n + k] + m[(k + 1) * n + j] + dims[i] * dims[k + 1] * dims[j + 1])
+                    .min()
+                    .unwrap();
+            }
+        }
+        m[n - 1]
+    }
+}
+
+fn mc_diagonal(
+    m: Arc<SharedSlice<u64>>,
+    dims: Arc<Vec<u64>>,
+    n: usize,
+    len: usize,
+    cells_per_task: usize,
+    places: u32,
+) -> TaskSpec {
+    let body = move |s: &mut dyn TaskScope| {
+        if len > n {
+            return;
+        }
+        let cells: Vec<usize> = (0..=n - len).collect();
+        let next = mc_diagonal(
+            Arc::clone(&m),
+            Arc::clone(&dims),
+            n,
+            len + 1,
+            cells_per_task,
+            places,
+        );
+        let chunks: Vec<Vec<usize>> =
+            cells.chunks(cells_per_task).map(|c| c.to_vec()).collect();
+        let latch = FinishLatch::new(chunks.len(), next);
+        for (ci, chunk) in chunks.into_iter().enumerate() {
+            let (m, dims) = (Arc::clone(&m), Arc::clone(&dims));
+            let est = (chunk.len() * (len - 1)) as u64 * 90 + 2_000;
+            s.spawn(
+                TaskSpec::new(
+                    PlaceId((ci % places as usize) as u32),
+                    Locality::Flexible,
+                    est,
+                    "mchain-cells",
+                    move |_s: &mut dyn TaskScope| {
+                        // SAFETY: each diagonal cell is written once by
+                        // exactly one task; reads target previous
+                        // diagonals, already final.
+                        let mm = unsafe { m.slice_mut(0, n * n) };
+                        for &i in &chunk {
+                            let j = i + len - 1;
+                            mm[i * n + j] = (i..j)
+                                .map(|k| {
+                                    mm[i * n + k]
+                                        + mm[(k + 1) * n + j]
+                                        + dims[i] * dims[k + 1] * dims[j + 1]
+                                })
+                                .min()
+                                .unwrap();
+                        }
+                    },
+                )
+                .with_latch(Arc::clone(&latch)),
+            );
+        }
+    };
+    TaskSpec::new(PlaceId(0), Locality::Sensitive, 2_000, "mchain-diag", body)
+}
+
+impl Workload for MatrixChain {
+    fn name(&self) -> String {
+        "MatrixChain".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let dims = Arc::new(self.dims());
+        let expect = Self::golden(&dims);
+        let m = SharedSlice::new(vec![0u64; self.n * self.n]);
+        *self.state.lock().unwrap() = Some(McState {
+            m: Arc::clone(&m),
+            n: self.n,
+            expect,
+        });
+        vec![mc_diagonal(m, dims, self.n, 2, self.cells_per_task, cfg.places)]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("mchain: no run state")?;
+        let mm = unsafe { st.m.slice(0, st.n * st.n) };
+        let got = mm[st.n - 1];
+        if got != st.expect {
+            return Err(format!("optimal cost {got} != {}", st.expect));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random access (0.006 ms tasks)
+// ---------------------------------------------------------------------------
+
+/// GUPS-style random table updates. XOR updates commute, so the final
+/// table is scheduler-independent and validated exactly.
+pub struct RandomAccess {
+    /// Table size (power of two).
+    pub table: usize,
+    /// Total updates.
+    pub updates: u64,
+    /// Updates per task.
+    pub per_task: u64,
+    /// Seed.
+    pub seed: u64,
+    state: Mutex<Option<RaState>>,
+}
+
+struct RaState {
+    table: Arc<Vec<AtomicU64>>,
+    expect: Vec<u64>,
+}
+
+impl Default for RandomAccess {
+    fn default() -> Self {
+        RandomAccess::new(1 << 16, 400_000, 200, 43)
+    }
+}
+
+impl RandomAccess {
+    /// `updates` XOR updates over a `table`-entry table.
+    pub fn new(table: usize, updates: u64, per_task: u64, seed: u64) -> Self {
+        assert!(table.is_power_of_two());
+        RandomAccess { table, updates, per_task, seed, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        RandomAccess::new(1 << 12, 20_000, 100, 43)
+    }
+}
+
+impl Workload for RandomAccess {
+    fn name(&self) -> String {
+        "RandomAccess".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let mask = (self.table - 1) as u64;
+        // Golden table.
+        let mut expect = vec![0u64; self.table];
+        let blocks = self.updates.div_ceil(self.per_task);
+        for b in 0..blocks {
+            let mut rng = SplitMix64::new(self.seed ^ (b + 1));
+            let n = self.per_task.min(self.updates - b * self.per_task);
+            for _ in 0..n {
+                let r = rng.next_u64();
+                expect[(r & mask) as usize] ^= r;
+            }
+        }
+        let table: Arc<Vec<AtomicU64>> =
+            Arc::new((0..self.table).map(|_| AtomicU64::new(0)).collect());
+        *self.state.lock().unwrap() = Some(RaState { table: Arc::clone(&table), expect });
+        let mut out = Vec::new();
+        for b in 0..blocks {
+            let n = self.per_task.min(self.updates - b * self.per_task);
+            let seed = self.seed ^ (b + 1);
+            let table = Arc::clone(&table);
+            out.push(TaskSpec::new(
+                PlaceId((b % cfg.places as u64) as u32),
+                Locality::Flexible,
+                6_000, // 0.006 ms, the paper's random-access granularity
+                "gups-block",
+                move |_s: &mut dyn TaskScope| {
+                    let mut rng = SplitMix64::new(seed);
+                    for _ in 0..n {
+                        let r = rng.next_u64();
+                        table[(r & mask) as usize].fetch_xor(r, Ordering::Relaxed);
+                    }
+                },
+            ));
+        }
+        out
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("gups: no run state")?;
+        for (i, e) in st.expect.iter().enumerate() {
+            let got = st.table[i].load(Ordering::Relaxed);
+            if got != *e {
+                return Err(format!("table[{i}] = {got}, expected {e}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_halves_merges() {
+        let src = vec![1u64, 3, 5, 2, 4, 6];
+        let mut dst = vec![0u64; 6];
+        merge_halves(&src, &mut dst);
+        assert_eq!(dst, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn matrix_chain_golden_matches_known_example() {
+        // CLRS example: dims [30,35,15,5,10,20,25] → 15125.
+        assert_eq!(MatrixChain::golden(&[30, 35, 15, 5, 10, 20, 25]), 15_125);
+    }
+
+    #[test]
+    fn pi_block_hits_deterministic() {
+        assert_eq!(MonteCarloPi::block_hits(9, 1_000), MonteCarloPi::block_hits(9, 1_000));
+        let hits = MonteCarloPi::block_hits(9, 100_000);
+        let pi = 4.0 * hits as f64 / 100_000.0;
+        assert!((pi - std::f64::consts::PI).abs() < 0.05, "pi {pi}");
+    }
+
+    #[test]
+    fn micro_suite_has_five_apps() {
+        assert_eq!(micro_suite().len(), 5);
+    }
+}

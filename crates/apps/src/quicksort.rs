@@ -1,0 +1,394 @@
+//! **Quicksort** (Cowichan): global sort of a large integer array.
+//!
+//! Structure follows a distributed sample sort, which is how a global
+//! sort is realistically expressed over X10 places:
+//!
+//! 1. a root task at place 0 samples splitters and partitions the
+//!    array into one bucket per place (deliberately coarse sampling —
+//!    real sample sorts have unequal buckets, and those unequal buckets
+//!    are precisely the cross-place imbalance DistWS exploits);
+//! 2. one *locality-sensitive* region task per place (`async at (p)`)
+//!    quicksorts its bucket, recursively spawning sub-segment tasks;
+//! 3. sub-segments small enough to ship cheaply are annotated
+//!    *locality-flexible* (`@AnyPlaceTask`) with their segment bytes as
+//!    the migration footprint — a quicksort sub-tree encapsulates all
+//!    data it needs (paper §II condition (d)).
+//!
+//! Validation: the final array is globally sorted and is a permutation
+//! of the input (length + wrapping sum + xor preserved).
+
+use crate::util::SharedSlice;
+use distws_core::rng::SplitMix64;
+use distws_core::{
+    Access, ClusterConfig, Footprint, Locality, ObjectId, PlaceId, TaskScope, TaskSpec, Workload,
+};
+use std::sync::{Arc, Mutex};
+
+/// Virtual cost of partitioning, per element (ns).
+const PARTITION_NS_PER_ELEM: u64 = 20;
+/// Virtual cost of a leaf sort, per element per log-level (ns).
+const LEAF_NS_PER_ELEM_LEVEL: u64 = 20;
+
+/// The quicksort workload.
+pub struct Quicksort {
+    /// Array length.
+    pub n: usize,
+    /// Input seed.
+    pub seed: u64,
+    /// Segments at or below this length sort sequentially in one task.
+    pub grain: usize,
+    /// Segments at or below this length are locality-flexible.
+    pub flex_max: usize,
+    state: Mutex<Option<RunState>>,
+}
+
+struct RunState {
+    data: Arc<SharedSlice<u64>>,
+    expect_sum: u64,
+    expect_xor: u64,
+    n: usize,
+}
+
+impl Default for Quicksort {
+    fn default() -> Self {
+        Quicksort::new(1 << 20, 42)
+    }
+}
+
+impl Quicksort {
+    /// Quicksort of `n` random u64s.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Quicksort {
+            n,
+            seed,
+            grain: (n / 256).clamp(1 << 10, 1 << 17),
+            flex_max: (n / 8).clamp(1 << 12, 1 << 21),
+            state: Mutex::new(None),
+        }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        Quicksort::new(20_000, 7)
+    }
+
+    /// The paper's full-scale instance: 100 M elements.
+    pub fn paper() -> Self {
+        Quicksort::new(100_000_000, 42)
+    }
+}
+
+/// Per-bucket segment map used for data-access accounting: bucket `i`
+/// is object `base + i`, homed at place `i`.
+#[derive(Clone, Copy)]
+struct SegMap {
+    base: u64,
+}
+
+impl SegMap {
+    fn access_rw(&self, bucket: usize, bucket_start: usize, lo: usize, hi: usize, home: PlaceId) -> [Access; 2] {
+        let obj = ObjectId(self.base + bucket as u64);
+        let off = (lo - bucket_start) as u64 * 8;
+        let bytes = (hi - lo) as u64 * 8;
+        [Access::read(obj, off, bytes, home), Access::write(obj, off, bytes, home)]
+    }
+
+    fn footprint(&self, bucket: usize, bucket_start: usize, lo: usize, hi: usize, home: PlaceId) -> Footprint {
+        let obj = ObjectId(self.base + bucket as u64);
+        Footprint {
+            regions: vec![Access::read(
+                obj,
+                (lo - bucket_start) as u64 * 8,
+                (hi - lo) as u64 * 8,
+                home,
+            )],
+        }
+    }
+}
+
+struct Shared {
+    data: Arc<SharedSlice<u64>>,
+    seg: SegMap,
+    grain: usize,
+    flex_max: usize,
+}
+
+/// Recursive quicksort task over `[lo, hi)` inside `bucket` (whose
+/// range starts at `bucket_start`).
+fn sort_task(sh: Arc<Shared>, bucket: usize, bucket_start: usize, lo: usize, hi: usize) -> TaskSpec {
+    let len = hi - lo;
+    let leaf = len <= sh.grain;
+    let est = if leaf {
+        let levels = usize::BITS - len.max(2).leading_zeros();
+        LEAF_NS_PER_ELEM_LEVEL * len as u64 * levels as u64
+    } else {
+        PARTITION_NS_PER_ELEM * len as u64
+    };
+    let locality = if len <= sh.flex_max { Locality::Flexible } else { Locality::Sensitive };
+    let sh2 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        let here = s.here();
+        // The data this task touches is local at the executing place:
+        // either genuinely (home run) or as the carried copy of a
+        // migrated sub-tree (paper §II(d)).
+        for a in sh2.seg.access_rw(bucket, bucket_start, lo, hi, here) {
+            s.access(a);
+        }
+        // SAFETY: quicksort tasks own disjoint [lo, hi) ranges carved
+        // out by their parents.
+        let seg = unsafe { sh2.data.slice_mut(lo, hi) };
+        if seg.len() <= sh2.grain {
+            seg.sort_unstable();
+            return;
+        }
+        // Hoare-style partition around a median-of-3 pivot.
+        let mid = seg.len() / 2;
+        let last = seg.len() - 1;
+        let pivot = median3(seg[0], seg[mid], seg[last]);
+        let split = partition(seg, pivot);
+        // Guard against degenerate splits (many duplicates).
+        let split = split.clamp(1, seg.len() - 1);
+        let here = s.here();
+        for (clo, chi) in [(lo, lo + split), (lo + split, hi)] {
+            if chi > clo {
+                let mut child = sort_task(Arc::clone(&sh2), bucket, bucket_start, clo, chi);
+                child.home = here;
+                // Data homes follow the executing place (thief copies
+                // are local to children created at the thief).
+                child.footprint = sh2.seg.footprint(bucket, bucket_start, clo, chi, here);
+                s.spawn(child);
+            }
+        }
+    };
+    let fp = sh.seg.footprint(bucket, bucket_start, lo, hi, PlaceId(0));
+    TaskSpec::new(PlaceId(0), locality, est, if leaf { "qsort-leaf" } else { "qsort-part" }, body)
+        .with_footprint(fp)
+}
+
+fn median3(a: u64, b: u64, c: u64) -> u64 {
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// Partition `seg` so that elements `< pivot` precede the returned
+/// index and elements `>= pivot` follow it.
+fn partition(seg: &mut [u64], pivot: u64) -> usize {
+    let mut i = 0usize;
+    for j in 0..seg.len() {
+        if seg[j] < pivot {
+            seg.swap(i, j);
+            i += 1;
+        }
+    }
+    i
+}
+
+impl Workload for Quicksort {
+    fn name(&self) -> String {
+        "Quicksort".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let mut rng = SplitMix64::new(self.seed);
+        let data: Vec<u64> = (0..self.n).map(|_| rng.next_u64()).collect();
+        let expect_sum = data.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        let expect_xor = data.iter().fold(0u64, |a, &x| a ^ x);
+        let shared = SharedSlice::new(data);
+        *self.state.lock().unwrap() = Some(RunState {
+            data: Arc::clone(&shared),
+            expect_sum,
+            expect_xor,
+            n: self.n,
+        });
+
+        let places = cfg.places as usize;
+        let n = self.n;
+        let sh = Arc::new(Shared {
+            data: shared,
+            seg: SegMap { base: 1 },
+            grain: self.grain,
+            flex_max: self.flex_max,
+        });
+        let seed = self.seed;
+
+        // --- Parallel sample-sort pipeline ---------------------------------
+        // 1. the root samples coarse splitters (deliberately few
+        //    samples, so bucket sizes genuinely vary — the imbalance);
+        // 2. one *exchange* task per place partitions its input block
+        //    into per-destination pieces (the all-to-all);
+        // 3. after a finish barrier, one *assemble* task per place
+        //    concatenates the pieces destined for it and kicks off the
+        //    recursive bucket sort.
+        let pieces: Arc<Vec<Mutex<Vec<Vec<u64>>>>> =
+            Arc::new((0..places).map(|_| Mutex::new(Vec::new())).collect());
+
+        let root_body = move |s: &mut dyn TaskScope| {
+            let mut rng = SplitMix64::new(seed ^ 0xABCD);
+            // SAFETY: the root samples alone before any children run.
+            let all = unsafe { sh.data.slice(0, n) };
+            let mut sample: Vec<u64> =
+                (0..4 * places).map(|_| all[rng.below_usize(n)]).collect();
+            sample.sort_unstable();
+            let splitters: Arc<Vec<u64>> = Arc::new(
+                (1..places).map(|i| sample[i * sample.len() / places]).collect(),
+            );
+            s.charge(1_000 * (4 * places) as u64); // remote sampling probes
+
+            // Assemble phase runs after every exchange completed.
+            let sh_a = Arc::clone(&sh);
+            let pieces_a = Arc::clone(&pieces);
+            let assemble_coord = TaskSpec::new(
+                PlaceId(0),
+                Locality::Sensitive,
+                10_000,
+                "qsort-assemble-coord",
+                move |s: &mut dyn TaskScope| {
+                    // Bucket offsets from the piece sizes (prefix sums).
+                    let sizes: Vec<usize> = (0..places)
+                        .map(|b| pieces_a[b].lock().unwrap().iter().map(|v| v.len()).sum())
+                        .collect();
+                    let mut off = 0usize;
+                    for (b, &size) in sizes.iter().enumerate() {
+                        let lo = off;
+                        off += size;
+                        if size == 0 {
+                            continue;
+                        }
+                        let sh_b = Arc::clone(&sh_a);
+                        let pieces_b = Arc::clone(&pieces_a);
+                        let t = TaskSpec::new(
+                            PlaceId(b as u32),
+                            Locality::Sensitive,
+                            6 * size as u64, // concatenation is memcpy-bound
+                            "qsort-assemble",
+                            move |s: &mut dyn TaskScope| {
+                                // SAFETY: assemble tasks own disjoint
+                                // bucket ranges.
+                                let dst = unsafe { sh_b.data.slice_mut(lo, lo + size) };
+                                let mut w = 0usize;
+                                for piece in pieces_b[b].lock().unwrap().drain(..) {
+                                    dst[w..w + piece.len()].copy_from_slice(&piece);
+                                    w += piece.len();
+                                }
+                                let here = s.here();
+                                for a in sh_b.seg.access_rw(b, lo, lo, lo + size, here) {
+                                    s.access(a);
+                                }
+                                // Recursive in-place sort of the bucket.
+                                let mut t = sort_task(Arc::clone(&sh_b), b, lo, lo, lo + size);
+                                t.home = here;
+                                t.locality = Locality::Sensitive;
+                                t.footprint = sh_b.seg.footprint(b, lo, lo, lo + size, here);
+                                s.spawn(t);
+                            },
+                        );
+                        s.spawn(t);
+                    }
+                },
+            );
+            let latch = distws_core::FinishLatch::new(places, assemble_coord);
+
+            // One exchange task per place (`async at (p)`).
+            for p in 0..places {
+                let lo = p * n / places;
+                let hi = (p + 1) * n / places;
+                let sh_e = Arc::clone(&sh);
+                let pieces_e = Arc::clone(&pieces);
+                let splitters = Arc::clone(&splitters);
+                let t = TaskSpec::new(
+                    PlaceId(p as u32),
+                    Locality::Sensitive,
+                    8 * (hi - lo) as u64, // scan + bucket, memcpy-bound
+                    "qsort-exchange",
+                    move |s: &mut dyn TaskScope| {
+                        // SAFETY: exchange tasks read disjoint blocks.
+                        let block = unsafe { sh_e.data.slice(lo, hi) };
+                        let mut out: Vec<Vec<u64>> = vec![Vec::new(); places];
+                        for &x in block {
+                            let b = splitters.partition_point(|&sp| sp <= x);
+                            out[b].push(x);
+                        }
+                        let here = s.here();
+                        s.access(Access::read(
+                            ObjectId(1 + p as u64),
+                            0,
+                            (hi - lo) as u64 * 8,
+                            here,
+                        ));
+                        // The all-to-all: send each piece to its owner.
+                        for (b, piece) in out.iter().enumerate() {
+                            if !piece.is_empty() && b != p {
+                                s.write(
+                                    ObjectId(1 + b as u64),
+                                    0,
+                                    piece.len() as u64 * 8,
+                                    PlaceId(b as u32),
+                                );
+                            }
+                        }
+                        for (b, piece) in out.into_iter().enumerate() {
+                            pieces_e[b].lock().unwrap().push(piece);
+                        }
+                    },
+                )
+                .with_latch(std::sync::Arc::clone(&latch));
+                s.spawn(t);
+            }
+        };
+        vec![TaskSpec::new(
+            PlaceId(0),
+            Locality::Sensitive,
+            50_000,
+            "qsort-root",
+            root_body,
+        )]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("quicksort: no run state")?;
+        // SAFETY: the run has completed; no tasks are live.
+        let data = unsafe { st.data.snapshot() };
+        if data.len() != st.n {
+            return Err(format!("length changed: {} != {}", data.len(), st.n));
+        }
+        if !data.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("array not sorted".into());
+        }
+        let sum = data.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        let xor = data.iter().fold(0u64, |a, &x| a ^ x);
+        if sum != st.expect_sum || xor != st.expect_xor {
+            return Err("not a permutation of the input".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_splits_correctly() {
+        let mut v = vec![5u64, 1, 9, 3, 7, 2, 8];
+        let s = partition(&mut v, 5);
+        assert_eq!(s, 3);
+        assert!(v[..s].iter().all(|&x| x < 5));
+        assert!(v[s..].iter().all(|&x| x >= 5));
+    }
+
+    #[test]
+    fn median3_is_middle() {
+        assert_eq!(median3(1, 2, 3), 2);
+        assert_eq!(median3(3, 1, 2), 2);
+        assert_eq!(median3(2, 3, 1), 2);
+        assert_eq!(median3(5, 5, 1), 5);
+    }
+
+    #[test]
+    fn roots_shape() {
+        let q = Quicksort::quick();
+        let roots = q.roots(&ClusterConfig::new(4, 2));
+        assert_eq!(roots.len(), 1, "single partition root");
+        assert_eq!(roots[0].home, PlaceId(0));
+    }
+}

@@ -1,0 +1,388 @@
+//! **Turing ring** (Cowichan): predator/prey dynamics on a distributed
+//! ring of cells — the paper's §IV.B running example.
+//!
+//! Each iteration updates every cell's predator and prey populations
+//! and migrates bodies to neighbouring cells; migration "can change the
+//! workload in cells by as much as two orders of magnitude in a single
+//! iteration", which is exactly the imbalance source here: bodies start
+//! concentrated in a few cells and travel around the ring as a wave, so
+//! places take turns being overloaded.
+//!
+//! Task structure mirrors the paper's pseudo-code (Fig. 1):
+//!
+//! * the **outer per-cell task** performs the predator update and the
+//!   migration bookkeeping; it is *locality-flexible* — once the cell
+//!   is copied to a thief, every remaining operation is local and no
+//!   results need copying back (§IV.B);
+//! * the **inner `async (thisPlace)` task** (`updatePreyPop`) is
+//!   *locality-sensitive*: stealing it remotely would require copying
+//!   population data to the thief *and the result back* — the paper's
+//!   example of a task that should not migrate.
+//!
+//! Iterations are separated by `finish` barriers ([`distws_core::FinishLatch`]):
+//! compute tasks → per-place apply tasks → next iteration.
+//!
+//! Validation: the final per-cell populations must equal a sequential
+//! golden reference — the dynamics are deterministic and
+//! order-independent within an iteration, so any scheduler must produce
+//! the identical answer.
+
+use crate::util::SharedSlice;
+use distws_core::{
+    Access, BlockDist, ClusterConfig, FinishLatch, Footprint, Locality, ObjectId, PlaceId,
+    TaskScope, TaskSpec, Workload,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Population cap per species per cell (keeps integer dynamics bounded
+/// and deterministic).
+const CAP: u64 = 100_000;
+/// Virtual compute cost per body processed (ns).
+const NS_PER_BODY: u64 = 400;
+/// Fixed per-task cost (ns).
+const TASK_BASE_NS: u64 = 20_000;
+/// Accounted size of one cell in bytes.
+const CELL_BYTES: u64 = 48;
+
+/// One ring cell. `pred`/`prey` are the current populations (read-only
+/// during a compute phase); `next_*` are written only by the cell's own
+/// tasks; `in_*` receive atomic migration deposits from neighbours.
+#[derive(Debug, Default)]
+pub struct Cell {
+    /// Current predator population.
+    pub pred: u64,
+    /// Current prey population.
+    pub prey: u64,
+    next_pred: AtomicU64,
+    next_prey: AtomicU64,
+    in_pred: AtomicU64,
+    in_prey: AtomicU64,
+}
+
+/// Pure single-cell step: returns (resident predators, resident prey,
+/// predators migrating left, predators migrating right, prey migrating
+/// right). Shared by the parallel tasks and the golden reference.
+fn step_cell(pred: u64, prey: u64) -> (u64, u64, u64, u64, u64) {
+    let interactions = pred.saturating_mul(prey) / 1_000;
+    let prey_births = prey / 5;
+    let prey_deaths = interactions.min(prey);
+    let pred_births = interactions / 4;
+    let pred_deaths = pred / 10;
+    let next_prey = (prey + prey_births - prey_deaths).min(CAP);
+    let next_pred = (pred + pred_births - pred_deaths).min(CAP);
+    // Migration: the travelling-wave imbalance source.
+    let prey_right = next_prey / 4;
+    let pred_right = next_pred / 10;
+    let pred_left = next_pred / 20;
+    (
+        next_pred - pred_right - pred_left,
+        next_prey - prey_right,
+        pred_left,
+        pred_right,
+        prey_right,
+    )
+}
+
+/// Sequential golden reference for `iters` iterations.
+fn golden(mut pred: Vec<u64>, mut prey: Vec<u64>, iters: usize) -> (Vec<u64>, Vec<u64>) {
+    let n = pred.len();
+    for _ in 0..iters {
+        let mut np = vec![0u64; n];
+        let mut ny = vec![0u64; n];
+        for i in 0..n {
+            let (rp, ry, pl, pr, yr) = step_cell(pred[i], prey[i]);
+            np[i] += rp;
+            ny[i] += ry;
+            np[(i + n - 1) % n] += pl;
+            np[(i + 1) % n] += pr;
+            ny[(i + 1) % n] += yr;
+        }
+        pred = np;
+        prey = ny;
+    }
+    (pred, prey)
+}
+
+/// The Turing-ring workload.
+pub struct TuringRing {
+    /// Number of ring cells.
+    pub cells: usize,
+    /// Initial bodies (split across the first cells as a wave seed).
+    pub bodies: u64,
+    /// Iterations to simulate.
+    pub iterations: usize,
+    state: Mutex<Option<RunState>>,
+}
+
+struct RunState {
+    ring: Arc<SharedSlice<Cell>>,
+    expect_pred: Vec<u64>,
+    expect_prey: Vec<u64>,
+}
+
+impl Default for TuringRing {
+    fn default() -> Self {
+        TuringRing::new(1024, 1 << 16, 24)
+    }
+}
+
+impl TuringRing {
+    /// A ring of `cells` cells seeded with `bodies` bodies, run for
+    /// `iterations` iterations.
+    pub fn new(cells: usize, bodies: u64, iterations: usize) -> Self {
+        assert!(cells >= 2);
+        TuringRing { cells, bodies, iterations, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        TuringRing::new(32, 4_000, 8)
+    }
+
+    /// The paper's scale: 1 M bodies.
+    pub fn paper() -> Self {
+        TuringRing::new(1024, 1_000_000, 100)
+    }
+
+    fn initial(&self) -> (Vec<u64>, Vec<u64>) {
+        let n = self.cells;
+        let seed_cells = (n / 16).max(1);
+        let mut pred = vec![0u64; n];
+        let mut prey = vec![0u64; n];
+        for i in 0..seed_cells {
+            prey[i] = self.bodies * 3 / 4 / seed_cells as u64;
+            pred[i] = self.bodies / 4 / seed_cells as u64;
+        }
+        (pred, prey)
+    }
+}
+
+struct Shared {
+    ring: Arc<SharedSlice<Cell>>,
+    dist: BlockDist,
+    cells: usize,
+    iterations: usize,
+}
+
+impl Shared {
+    /// Access descriptor for cell `i` (object = its place's block).
+    fn cell_access(&self, i: usize, write: bool) -> Access {
+        let home = self.dist.place_of(i);
+        self.cell_access_at(i, write, home)
+    }
+
+    /// Access descriptor for cell `i` with an overridden data home —
+    /// used by the inner prey task, whose cell data is local wherever
+    /// its (possibly migrated) parent ran (paper §IV.B: once the cell
+    /// is copied to the thief, all further operations on it are local).
+    fn cell_access_at(&self, i: usize, write: bool, home: PlaceId) -> Access {
+        let block = self.dist.place_of(i);
+        let start = self.dist.range_of(block).start;
+        let obj = ObjectId(1 + block.0 as u64);
+        let off = (i - start) as u64 * CELL_BYTES;
+        if write {
+            Access::write(obj, off, CELL_BYTES, home)
+        } else {
+            Access::read(obj, off, CELL_BYTES, home)
+        }
+    }
+}
+
+/// The inner `async (thisPlace)` prey-update task (locality-sensitive).
+fn prey_task(sh: Arc<Shared>, i: usize, latch: Arc<FinishLatch>, here: PlaceId) -> TaskSpec {
+    let sh2 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        // SAFETY: reads current populations (stable during the phase),
+        // writes only this cell's `next_prey` / neighbour inboxes
+        // (atomics).
+        let ring = unsafe { sh2.ring.slice(0, sh2.cells) };
+        let c = &ring[i];
+        let (_, ry, _, _, yr) = step_cell(c.pred, c.prey);
+        c.next_prey.store(ry, Ordering::Relaxed);
+        let right = (i + 1) % sh2.cells;
+        ring[right].in_prey.fetch_add(yr, Ordering::Relaxed);
+        // Own cell: local where the parent ran; neighbour inbox: at the
+        // neighbour's true home (the result must reach the real cell).
+        let here = s.here();
+        s.access(sh2.cell_access_at(i, false, here));
+        s.access(sh2.cell_access(right, true));
+        s.charge(NS_PER_BODY * (c.prey + 1));
+    };
+    TaskSpec::new(here, Locality::Sensitive, TASK_BASE_NS, "turing-prey", body).with_latch(latch)
+}
+
+/// The outer per-cell task (locality-flexible, `@AnyPlaceTask`).
+fn cell_task(sh: Arc<Shared>, i: usize, latch: Arc<FinishLatch>) -> TaskSpec {
+    let home = sh.dist.place_of(i);
+    let fp = Footprint { regions: vec![sh.cell_access(i, false)] };
+    let sh2 = Arc::clone(&sh);
+    let latch2 = Arc::clone(&latch);
+    let body = move |s: &mut dyn TaskScope| {
+        let ring = unsafe { sh2.ring.slice(0, sh2.cells) };
+        let c = &ring[i];
+        let (rp, _, pl, pr, _) = step_cell(c.pred, c.prey);
+        c.next_pred.store(rp, Ordering::Relaxed);
+        let left = (i + sh2.cells - 1) % sh2.cells;
+        let right = (i + 1) % sh2.cells;
+        ring[left].in_pred.fetch_add(pl, Ordering::Relaxed);
+        ring[right].in_pred.fetch_add(pr, Ordering::Relaxed);
+        s.access(sh2.cell_access(i, false));
+        s.access(sh2.cell_access(left, true));
+        s.access(sh2.cell_access(right, true));
+        s.charge(NS_PER_BODY * (c.pred + 1));
+        // The paper's line 6: async (thisPlace) c.updatePreyPop().
+        s.spawn(prey_task(Arc::clone(&sh2), i, Arc::clone(&latch2), s.here()));
+    };
+    TaskSpec::new(home, Locality::Flexible, TASK_BASE_NS, "turing-cell", body)
+        .with_footprint(fp)
+        .with_latch(latch)
+}
+
+/// Per-place apply task: fold `next + inbox` into the current
+/// populations for this place's cells.
+fn apply_task(sh: Arc<Shared>, p: PlaceId, latch: Arc<FinishLatch>) -> TaskSpec {
+    let range = sh.dist.range_of(p);
+    let est = TASK_BASE_NS + 200 * range.len() as u64;
+    let sh2 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        let range = sh2.dist.range_of(p);
+        // SAFETY: apply tasks own disjoint per-place ranges and run in
+        // a phase where no compute task is live.
+        let cells = unsafe { sh2.ring.slice_mut(range.start, range.end) };
+        for c in cells.iter_mut() {
+            c.pred = c.next_pred.load(Ordering::Relaxed) + c.in_pred.swap(0, Ordering::Relaxed);
+            c.prey = c.next_prey.load(Ordering::Relaxed) + c.in_prey.swap(0, Ordering::Relaxed);
+            c.pred = c.pred.min(CAP * 2);
+            c.prey = c.prey.min(CAP * 2);
+        }
+        s.access(Access::write(
+            ObjectId(1 + p.0 as u64),
+            0,
+            range.len() as u64 * CELL_BYTES,
+            p,
+        ));
+    };
+    TaskSpec::new(p, Locality::Sensitive, est, "turing-apply", body).with_latch(latch)
+}
+
+/// Coordinator spawning one iteration: compute phase → apply phase →
+/// recurse.
+fn iteration_task(sh: Arc<Shared>, iter: usize) -> TaskSpec {
+    let sh0 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        if iter == sh0.iterations {
+            return; // done
+        }
+        let places = sh0.dist.places();
+        // apply latch → next iteration
+        let next = iteration_task(Arc::clone(&sh0), iter + 1);
+        let apply_latch = FinishLatch::new(places as usize, next);
+        // compute latch → apply coordinator
+        let sh1 = Arc::clone(&sh0);
+        let al = Arc::clone(&apply_latch);
+        let apply_coord = TaskSpec::new(
+            PlaceId(0),
+            Locality::Sensitive,
+            TASK_BASE_NS,
+            "turing-apply-coord",
+            move |s: &mut dyn TaskScope| {
+                for p in 0..sh1.dist.places() {
+                    s.spawn(apply_task(Arc::clone(&sh1), PlaceId(p), Arc::clone(&al)));
+                }
+            },
+        );
+        // outer + inner task per cell
+        let compute_latch = FinishLatch::new(2 * sh0.cells, apply_coord);
+        for i in 0..sh0.cells {
+            s.spawn(cell_task(Arc::clone(&sh0), i, Arc::clone(&compute_latch)));
+        }
+    };
+    TaskSpec::new(PlaceId(0), Locality::Sensitive, TASK_BASE_NS, "turing-iter", body)
+}
+
+impl Workload for TuringRing {
+    fn name(&self) -> String {
+        "TuringRing".into()
+    }
+
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let (pred0, prey0) = self.initial();
+        let cells: Vec<Cell> = pred0
+            .iter()
+            .zip(&prey0)
+            .map(|(&p, &y)| Cell { pred: p, prey: y, ..Default::default() })
+            .collect();
+        let ring = SharedSlice::new(cells);
+        let (expect_pred, expect_prey) = golden(pred0, prey0, self.iterations);
+        *self.state.lock().unwrap() = Some(RunState {
+            ring: Arc::clone(&ring),
+            expect_pred,
+            expect_prey,
+        });
+        let sh = Arc::new(Shared {
+            ring,
+            dist: BlockDist::new(self.cells, cfg.places),
+            cells: self.cells,
+            iterations: self.iterations,
+        });
+        vec![iteration_task(sh, 0)]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("turing ring: no run state")?;
+        let ring = unsafe { st.ring.slice(0, st.expect_pred.len()) };
+        for (i, c) in ring.iter().enumerate() {
+            if c.pred != st.expect_pred[i] || c.prey != st.expect_prey[i] {
+                return Err(format!(
+                    "cell {i}: got ({}, {}), golden ({}, {})",
+                    c.pred, c.prey, st.expect_pred[i], st.expect_prey[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_conserves_migrants() {
+        let (rp, ry, pl, pr, yr) = step_cell(500, 2_000);
+        // Residents + emigrants equal the post-dynamics populations.
+        let interactions = 500u64 * 2_000 / 1_000;
+        let next_prey = (2_000 + 2_000 / 5 - interactions.min(2_000)).min(CAP);
+        let next_pred = (500 + interactions / 4 - 50).min(CAP);
+        assert_eq!(rp + pl + pr, next_pred);
+        assert_eq!(ry + yr, next_prey);
+    }
+
+    #[test]
+    fn golden_wave_travels() {
+        let n = 16;
+        let mut prey = vec![0u64; n];
+        prey[0] = 10_000;
+        let pred = vec![0u64; n];
+        let (_, prey_after) = golden(pred, prey, 8);
+        // After 8 iterations the prey front has moved right.
+        assert!(prey_after[4] > 0, "wave did not propagate: {prey_after:?}");
+    }
+
+    #[test]
+    fn empty_cells_stay_empty_without_neighbours() {
+        let (rp, ry, pl, pr, yr) = step_cell(0, 0);
+        assert_eq!((rp, ry, pl, pr, yr), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn golden_is_deterministic() {
+        let t = TuringRing::quick();
+        let (p0, y0) = t.initial();
+        let a = golden(p0.clone(), y0.clone(), t.iterations);
+        let b = golden(p0, y0, t.iterations);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,248 @@
+//! **UTS — Unbalanced Tree Search** (§X comparison workload).
+//!
+//! Counts the nodes of an implicitly defined, highly unbalanced tree.
+//! Each node's child count is derived deterministically from a hash of
+//! the node's path, geometric-distribution style with depth-decaying
+//! expectation, so subtree sizes vary wildly and cannot be predicted
+//! without traversal — the canonical stress test for dynamic load
+//! balancing, and the benchmark on which the paper compares DistWS
+//! against random stealing and lifeline-based load balancing.
+//!
+//! Every task is *locality-flexible* with an empty footprint: UTS has
+//! no data to move, which is exactly why the paper notes "DistWS does
+//! not incur any overhead on the UTS problem" even though its selective
+//! machinery buys nothing here.
+//!
+//! Validation: the parallel node count must equal a sequential count
+//! of the same tree.
+
+use distws_core::rng::SplitMix64;
+use distws_core::{ClusterConfig, Locality, PlaceId, TaskScope, TaskSpec, Workload};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Virtual cost of expanding one node (SHA-1 evaluation in classic
+/// UTS; ns).
+const NS_PER_NODE: u64 = 4_000;
+
+/// UTS tree shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UtsParams {
+    /// Root branching factor.
+    pub root_children: u32,
+    /// Expected branching at depth 1 (decays linearly to 0 at
+    /// `max_depth`).
+    pub b0: f64,
+    /// Maximum depth.
+    pub max_depth: u32,
+    /// Tree seed.
+    pub seed: u64,
+}
+
+/// Deterministic child count of a node with hash `h` at `depth`.
+fn child_count(p: &UtsParams, h: u64, depth: u32) -> u32 {
+    if depth >= p.max_depth {
+        return 0;
+    }
+    if depth == 0 {
+        return p.root_children;
+    }
+    // Expected branching decays with depth; draw from a geometric-ish
+    // distribution using the node hash.
+    let decay = 1.0 - depth as f64 / p.max_depth as f64;
+    let b = p.b0 * decay;
+    let mut rng = SplitMix64::new(h);
+    let u = rng.next_f64();
+    // Geometric with mean b: P(k children) ~ q^k, q = b/(b+1).
+    let q = b / (b + 1.0);
+    if q <= 0.0 {
+        return 0;
+    }
+    let k = (u.ln() / q.ln()).floor();
+    k.clamp(0.0, 10.0) as u32
+}
+
+fn child_hash(h: u64, i: u32) -> u64 {
+    let mut r = SplitMix64::new(h ^ (0x9E37_79B9 + i as u64));
+    r.next_u64()
+}
+
+/// Sequential traversal (golden count).
+fn count_sequential(p: &UtsParams) -> u64 {
+    let mut stack = vec![(p.seed, 0u32)];
+    let mut count = 0u64;
+    while let Some((h, d)) = stack.pop() {
+        count += 1;
+        let c = child_count(p, h, d);
+        for i in 0..c {
+            stack.push((child_hash(h, i), d + 1));
+        }
+    }
+    count
+}
+
+/// The UTS workload.
+pub struct Uts {
+    /// Tree shape.
+    pub params: UtsParams,
+    /// Nodes processed per task before spawning children as separate
+    /// tasks (grain control).
+    pub grain: usize,
+    state: Mutex<Option<RunState>>,
+}
+
+struct RunState {
+    counted: Arc<AtomicU64>,
+    expect: u64,
+}
+
+impl Default for Uts {
+    fn default() -> Self {
+        Uts::new(UtsParams { root_children: 256, b0: 2.8, max_depth: 14, seed: 19 }, 32)
+    }
+}
+
+impl Uts {
+    /// UTS with explicit shape parameters.
+    pub fn new(params: UtsParams, grain: usize) -> Self {
+        Uts { params, grain, state: Mutex::new(None) }
+    }
+
+    /// Tiny instance for tests.
+    pub fn quick() -> Self {
+        Uts::new(UtsParams { root_children: 16, b0: 1.8, max_depth: 8, seed: 19 }, 8)
+    }
+
+    /// Number of tree nodes (runs the sequential traversal).
+    pub fn tree_size(&self) -> u64 {
+        count_sequential(&self.params)
+    }
+}
+
+struct Shared {
+    params: UtsParams,
+    grain: usize,
+    counted: Arc<AtomicU64>,
+}
+
+/// A task that expands a frontier of nodes. It processes up to `grain`
+/// nodes depth-first; any remaining frontier is split into child tasks.
+fn subtree_task(sh: Arc<Shared>, frontier: Vec<(u64, u32)>) -> TaskSpec {
+    let est = NS_PER_NODE * sh.grain.min(8) as u64;
+    let sh2 = Arc::clone(&sh);
+    let body = move |s: &mut dyn TaskScope| {
+        let mut stack = frontier;
+        let mut processed = 0u64;
+        while let Some((h, d)) = stack.pop() {
+            processed += 1;
+            let c = child_count(&sh2.params, h, d);
+            for i in 0..c {
+                stack.push((child_hash(h, i), d + 1));
+            }
+            if processed as usize >= sh2.grain {
+                break;
+            }
+        }
+        sh2.counted.fetch_add(processed, Ordering::Relaxed);
+        s.charge(NS_PER_NODE * processed);
+        // Split the remaining frontier into two child tasks (binary
+        // split keeps task sizes workable without exploding counts).
+        if !stack.is_empty() {
+            let here = s.here();
+            if stack.len() == 1 {
+                s.spawn(subtree_task_at(Arc::clone(&sh2), stack, here));
+            } else {
+                let half = stack.len() / 2;
+                let rest = stack.split_off(half);
+                s.spawn(subtree_task_at(Arc::clone(&sh2), stack, here));
+                s.spawn(subtree_task_at(Arc::clone(&sh2), rest, here));
+            }
+        }
+    };
+    TaskSpec::new(PlaceId(0), Locality::Flexible, est, "uts", body)
+}
+
+fn subtree_task_at(sh: Arc<Shared>, frontier: Vec<(u64, u32)>, home: PlaceId) -> TaskSpec {
+    let mut t = subtree_task(sh, frontier);
+    t.home = home;
+    t
+}
+
+impl Workload for Uts {
+    fn name(&self) -> String {
+        "UTS".into()
+    }
+
+    fn roots(&self, _cfg: &ClusterConfig) -> Vec<TaskSpec> {
+        let counted = Arc::new(AtomicU64::new(0));
+        *self.state.lock().unwrap() = Some(RunState {
+            counted: Arc::clone(&counted),
+            expect: count_sequential(&self.params),
+        });
+        let sh = Arc::new(Shared { params: self.params, grain: self.grain, counted });
+        // Single root at place 0: the pathological imbalance UTS is
+        // famous for.
+        vec![subtree_task(sh, vec![(self.params.seed, 0)])]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let guard = self.state.lock().unwrap();
+        let st = guard.as_ref().ok_or("uts: no run state")?;
+        let got = st.counted.load(Ordering::Relaxed);
+        if got != st.expect {
+            return Err(format!("node count {got} != sequential {}", st.expect));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_is_deterministic() {
+        let p = UtsParams { root_children: 16, b0: 1.8, max_depth: 8, seed: 19 };
+        assert_eq!(count_sequential(&p), count_sequential(&p));
+    }
+
+    #[test]
+    fn tree_is_nontrivial_and_unbalanced() {
+        let u = Uts::quick();
+        let n = u.tree_size();
+        assert!(n > 100, "tree too small: {n}");
+        // Subtree sizes under the root should vary (unbalance check).
+        let p = u.params;
+        let sizes: Vec<u64> = (0..p.root_children)
+            .map(|i| {
+                let sub = UtsParams { root_children: 0, seed: child_hash(p.seed, i), ..p };
+                // count subtree rooted at depth 1
+                let mut stack = vec![(sub.seed, 1u32)];
+                let mut c = 0u64;
+                while let Some((h, d)) = stack.pop() {
+                    c += 1;
+                    for j in 0..child_count(&p, h, d) {
+                        stack.push((child_hash(h, j), d + 1));
+                    }
+                }
+                c
+            })
+            .collect();
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max >= &(min * 2), "subtrees suspiciously balanced: {sizes:?}");
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let p = UtsParams { root_children: 4, b0: 3.0, max_depth: 3, seed: 1 };
+        assert_eq!(child_count(&p, 12345, 3), 0);
+        assert_eq!(child_count(&p, 12345, 7), 0);
+    }
+
+    #[test]
+    fn root_branching_is_exact() {
+        let p = UtsParams { root_children: 7, b0: 2.0, max_depth: 5, seed: 9 };
+        assert_eq!(child_count(&p, p.seed, 0), 7);
+    }
+}

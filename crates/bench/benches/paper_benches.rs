@@ -1,0 +1,84 @@
+//! Criterion benches: one per table/figure of the paper, at quick
+//! scale so `cargo bench` stays tractable. The `repro` binary runs the
+//! same experiments at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distws_bench as bench;
+use distws_bench::Scale;
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_steal_ratio", |b| {
+        b.iter(|| std::hint::black_box(bench::fig3_steal_ratio(Scale::Quick)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_sequential", |b| {
+        b.iter(|| std::hint::black_box(bench::fig4_sequential(Scale::Quick)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_speedups", |b| {
+        b.iter(|| std::hint::black_box(bench::fig5_speedups(Scale::Quick)))
+    });
+}
+
+fn bench_fig6_tables23(c: &mut Criterion) {
+    // Fig. 6, Table II and Table III share the three-way runs.
+    c.bench_function("fig6_table2_table3_three_way", |b| {
+        b.iter(|| std::hint::black_box(bench::three_way(Scale::Quick)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_utilization", |b| {
+        b.iter(|| std::hint::black_box(bench::fig7_utilization(Scale::Quick)))
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_granularity", |b| {
+        b.iter(|| std::hint::black_box(bench::table1_granularity(Scale::Quick)))
+    });
+}
+
+fn bench_granularity_study(c: &mut Criterion) {
+    c.bench_function("granularity_study", |b| {
+        b.iter(|| std::hint::black_box(bench::granularity_study(Scale::Quick)))
+    });
+}
+
+fn bench_uts(c: &mut Criterion) {
+    c.bench_function("uts_study", |b| {
+        b.iter(|| std::hint::black_box(bench::uts_study(Scale::Quick)))
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("ablation_chunk", |b| {
+        b.iter(|| std::hint::black_box(bench::ablation_chunk(Scale::Quick)))
+    });
+    c.bench_function("ablation_mapping_rule", |b| {
+        b.iter(|| std::hint::black_box(bench::ablation_mapping_rule(Scale::Quick)))
+    });
+    c.bench_function("ablation_victim_order", |b| {
+        b.iter(|| std::hint::black_box(bench::ablation_victim_order(Scale::Quick)))
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets =
+        bench_fig3,
+        bench_fig4,
+        bench_fig5,
+        bench_fig6_tables23,
+        bench_fig7,
+        bench_table1,
+        bench_granularity_study,
+        bench_uts,
+        bench_ablations
+}
+criterion_main!(paper);

@@ -1,0 +1,32 @@
+//! `diag` — side-by-side X10WS vs DistWS report for one application at
+//! full scale (a development aid; the `repro` binary generates the
+//! paper's tables).
+//!
+//! ```text
+//! diag <turing|nbody|dmr|qsort|dmg|kmeans|agglom>
+//! ```
+//! schedulers at full scale.
+fn main() {
+    use distws_core::{ClusterConfig, Workload};
+    use distws_sched::{DistWs, Policy, X10Ws};
+    use distws_sim::Simulation;
+    let name = std::env::args().nth(1).unwrap_or_else(|| "turing".into());
+    let app: Box<dyn Workload> = match name.as_str() {
+        "turing" => Box::new(distws_apps::TuringRing::default()),
+        "nbody" => Box::new(distws_apps::NBody::default()),
+        "dmr" => Box::new(distws_apps::DelaunayRefine::default()),
+        "qsort" => Box::new(distws_apps::Quicksort::default()),
+        "dmg" => Box::new(distws_apps::DelaunayGen::default()),
+        "kmeans" => Box::new(distws_apps::KMeans::default()),
+        "agglom" => Box::new(distws_apps::Agglomerative::default()),
+        other => panic!("unknown app {other}"),
+    };
+    for policy in [Box::new(X10Ws) as Box<dyn Policy>, Box::new(DistWs::default())] {
+        let pname = policy.name();
+        let r = Simulation::new(ClusterConfig::paper(), policy).run_app(app.as_ref());
+        eprintln!("{pname:<8} makespan {:>9.2} ms  work {:>9.2} ms  tasks {}", r.makespan_ns as f64/1e6, r.total_work_ns as f64/1e6, r.tasks_executed);
+        eprintln!("  steals: priv {} shared {} remote {} failed {}", r.steals.local_private, r.steals.local_shared, r.steals.remote, r.steals.failed_attempts);
+        eprintln!("  msgs: req {} reply {} migrate {} dreq {} drep {} bytes {}", r.messages.steal_requests, r.messages.steal_replies, r.messages.task_migrations, r.messages.data_requests, r.messages.data_replies, r.messages.bytes);
+        eprintln!("  remote_refs {}  util mean {:.1}% disparity {:.1}%", r.remote_refs, r.utilization.mean()*100.0, r.utilization.disparity()*100.0);
+    }
+}

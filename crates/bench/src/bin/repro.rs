@@ -1,0 +1,295 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale quick|default|paper] [--json DIR]
+//!
+//! experiments:
+//!   fig3 fig4 fig5 fig6 fig7 table1 table2 table3
+//!   granularity uts adaptive ablation all
+//! ```
+
+use distws_bench as bench;
+use distws_bench::Scale;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut scale = Scale::Default;
+    let mut json_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(|s| s.as_str()) {
+                    Some("quick") => Scale::Quick,
+                    Some("default") => Scale::Default,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| ".".into()));
+            }
+            name if experiment.is_none() => experiment = Some(name.to_string()),
+            other => {
+                eprintln!("unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let experiment = experiment.unwrap_or_else(|| "all".into());
+
+    let run = |name: &str| experiment == "all" || experiment == name;
+    let mut ran_any = false;
+
+    macro_rules! experiment {
+        ($name:literal, $rows:expr, $printer:expr) => {
+            if run($name) {
+                ran_any = true;
+                let rows = $rows;
+                $printer(&rows);
+                if let Some(dir) = &json_dir {
+                    write_json(dir, $name, &rows);
+                }
+            }
+        };
+    }
+
+    experiment!("fig3", bench::fig3_steal_ratio(scale), print_fig3);
+    experiment!("fig4", bench::fig4_sequential(scale), print_fig4);
+    experiment!("fig5", bench::fig5_speedups(scale), print_fig5);
+    if run("fig6") || run("table2") || run("table3") {
+        ran_any = true;
+        let rows = bench::three_way(scale);
+        print_fig6(&rows);
+        print_table2(&rows);
+        print_table3(&rows);
+        if let Some(dir) = &json_dir {
+            write_json(dir, "three_way", &rows);
+        }
+    }
+    experiment!("fig7", bench::fig7_utilization(scale), print_fig7);
+    experiment!("table1", bench::table1_granularity(scale), print_table1);
+    experiment!("granularity", bench::granularity_study(scale), print_granularity);
+    experiment!("uts", bench::uts_study(scale), print_uts);
+    experiment!("adaptive", bench::adaptive_study(scale), print_adaptive);
+    if run("ablation") {
+        ran_any = true;
+        let chunk = bench::ablation_chunk(scale);
+        let rule = bench::ablation_mapping_rule(scale);
+        let order = bench::ablation_victim_order(scale);
+        print_ablation("remote chunk size (paper §V.B.3: 2 is best)", &chunk);
+        print_ablation("Algorithm 1 line 5 mapping rule", &rule);
+        print_ablation("ring victim ordering (footnote 2)", &order);
+        if let Some(dir) = &json_dir {
+            write_json(dir, "ablation_chunk", &chunk);
+            write_json(dir, "ablation_mapping_rule", &rule);
+            write_json(dir, "ablation_victim_order", &order);
+        }
+    }
+
+    if !ran_any {
+        eprintln!("unknown experiment '{experiment}'");
+        eprintln!(
+            "experiments: fig3 fig4 fig5 fig6 fig7 table1 table2 table3 granularity uts adaptive ablation all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn write_json<T: serde::Serialize>(dir: &str, name: &str, rows: &T) {
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = format!("{dir}/{name}.json");
+    let mut f = std::fs::File::create(&path).expect("create json file");
+    let body = serde_json::to_string_pretty(rows).expect("serialize rows");
+    f.write_all(body.as_bytes()).expect("write json");
+    eprintln!("wrote {path}");
+}
+
+fn hr(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn print_fig3(rows: &[bench::Fig3Row]) {
+    hr("Fig. 3 — steals-to-task ratio (DistWS, 16 places x 8 workers)");
+    println!("{:<14} {:>10} {:>12} {:>12}", "app", "steals", "tasks", "ratio");
+    for r in rows {
+        println!("{:<14} {:>10} {:>12} {:>12.3e}", r.app, r.steals, r.tasks, r.ratio);
+    }
+}
+
+fn print_fig4(rows: &[bench::Fig4Row]) {
+    hr("Fig. 4 — sequential execution time (X10WS, 1 worker)");
+    println!("{:<14} {:>12} {:>12}", "app", "seq (ms)", "tasks");
+    for r in rows {
+        println!("{:<14} {:>12.2} {:>12}", r.app, r.seq_ms, r.tasks);
+    }
+}
+
+fn print_fig5(rows: &[bench::Fig5Point]) {
+    hr("Fig. 5 — speedup over sequential vs workers");
+    let mut apps: Vec<&str> = rows.iter().map(|r| r.app.as_str()).collect();
+    apps.dedup();
+    let mut workers: Vec<u32> = rows.iter().map(|r| r.workers).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for app in apps {
+        println!("\n  {app}");
+        print!("    {:<10}", "workers");
+        for w in &workers {
+            print!(" {:>8}", w);
+        }
+        println!();
+        for sched in ["X10WS", "DistWS"] {
+            print!("    {:<10}", sched);
+            for w in &workers {
+                let p = rows
+                    .iter()
+                    .find(|r| r.app == app && r.workers == *w && r.scheduler == sched);
+                match p {
+                    Some(p) => print!(" {:>8.2}", p.speedup),
+                    None => print!(" {:>8}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+}
+
+fn print_fig6(rows: &[bench::ThreeWayRow]) {
+    hr("Fig. 6 — speedups at full scale: X10WS vs DistWS-NS vs DistWS");
+    println!("{:<14} {:>10} {:>12} {:>10}", "app", "X10WS", "DistWS-NS", "DistWS");
+    for app in dedup_apps(rows) {
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.app == app && r.scheduler == s)
+                .map(|r| r.speedup)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<14} {:>10.2} {:>12.2} {:>10.2}",
+            app,
+            get("X10WS"),
+            get("DistWS-NS"),
+            get("DistWS")
+        );
+    }
+}
+
+fn print_table2(rows: &[bench::ThreeWayRow]) {
+    hr("Table II — L1d miss rates (%) at full scale");
+    println!("{:<14} {:>10} {:>12} {:>10}", "app", "X10WS", "DistWS-NS", "DistWS");
+    for app in dedup_apps(rows) {
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.app == app && r.scheduler == s)
+                .map(|r| r.l1d_miss_pct)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<14} {:>10.1} {:>12.1} {:>10.1}",
+            app,
+            get("X10WS"),
+            get("DistWS-NS"),
+            get("DistWS")
+        );
+    }
+}
+
+fn print_table3(rows: &[bench::ThreeWayRow]) {
+    hr("Table III — messages transmitted across nodes at full scale");
+    println!("{:<14} {:>12} {:>12} {:>12}", "app", "X10WS", "DistWS-NS", "DistWS");
+    for app in dedup_apps(rows) {
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.app == app && r.scheduler == s)
+                .map(|r| r.messages)
+                .unwrap_or(0)
+        };
+        println!(
+            "{:<14} {:>12} {:>12} {:>12}",
+            app,
+            get("X10WS"),
+            get("DistWS-NS"),
+            get("DistWS")
+        );
+    }
+}
+
+fn print_fig7(rows: &[bench::Fig7Row]) {
+    hr("Fig. 7 — per-node CPU utilization (%)");
+    for r in rows {
+        let places: Vec<String> = r.per_place_pct.iter().map(|u| format!("{u:>5.1}")).collect();
+        println!(
+            "{:<14} {:<10} mean {:>5.1}  disparity {:>5.1}  [{}]",
+            r.app,
+            r.scheduler,
+            r.mean_pct,
+            r.disparity_pct,
+            places.join(" ")
+        );
+    }
+}
+
+fn print_table1(rows: &[bench::Table1Row]) {
+    hr("Table I — task granularities (ms)");
+    println!("{:<14} {:>14} {:>12}", "app", "granularity", "tasks");
+    for r in rows {
+        println!("{:<14} {:>14.3} {:>12}", r.app, r.granularity_ms, r.tasks);
+    }
+}
+
+fn print_granularity(rows: &[bench::GranularityRow]) {
+    hr("§VIII.2 — fine-grained micro-apps (DistWS should NOT win here)");
+    println!("{:<16} {:<10} {:>16} {:>10}", "app", "scheduler", "granularity(ms)", "speedup");
+    for r in rows {
+        println!(
+            "{:<16} {:<10} {:>16.4} {:>10.2}",
+            r.app, r.scheduler, r.granularity_ms, r.speedup
+        );
+    }
+}
+
+fn print_adaptive(rows: &[bench::AdaptiveRow]) {
+    hr("Extension — annotation-free AdaptiveWS vs annotated DistWS");
+    println!("{:<14} {:<12} {:>10} {:>14}", "app", "scheduler", "speedup", "remote refs");
+    for r in rows {
+        println!("{:<14} {:<12} {:>10.2} {:>14}", r.app, r.scheduler, r.speedup, r.remote_refs);
+    }
+}
+
+fn print_uts(rows: &[bench::UtsRow]) {
+    hr("§X — UTS: random vs DistWS vs lifeline load balancing");
+    println!("{:<12} {:>10} {:>14}", "scheduler", "speedup", "remote steals");
+    for r in rows {
+        println!("{:<12} {:>10.2} {:>14}", r.scheduler, r.speedup, r.remote_steals);
+    }
+}
+
+fn print_ablation(title: &str, rows: &[bench::AblationRow]) {
+    hr(&format!("Ablation — {title}"));
+    println!("{:<24} {:<14} {:>14} {:>14}", "variant", "app", "makespan(ms)", "remote steals");
+    for r in rows {
+        println!(
+            "{:<24} {:<14} {:>14.2} {:>14}",
+            r.variant, r.app, r.makespan_ms, r.remote_steals
+        );
+    }
+}
+
+fn dedup_apps(rows: &[bench::ThreeWayRow]) -> Vec<String> {
+    let mut apps = Vec::new();
+    for r in rows {
+        if !apps.contains(&r.app) {
+            apps.push(r.app.clone());
+        }
+    }
+    apps
+}

@@ -1,0 +1,242 @@
+//! # distws-cachesim
+//!
+//! A set-associative LRU data-cache model.
+//!
+//! Table II of the paper reports L1d miss rates measured with hardware
+//! counters; the scheduler-dependent differences come from tasks losing
+//! cache warmth when they (or random neighbours) migrate between nodes.
+//! We reproduce that mechanism by giving each simulated worker its own
+//! L1 model and replaying every task's data accesses against the cache
+//! of the worker that actually executed it: a task stolen to a remote
+//! place naturally starts cold there, and a victim whose tasks are
+//! stolen at random (DistWS-NS) loses reuse it would otherwise have had.
+//!
+//! Addresses are formed from `(ObjectId, byte offset)`; distinct
+//! objects never alias.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// 32 KiB, 8-way, 64-byte lines — the Opteron-era L1d of the
+    /// paper's testbed (and most x86 cores since).
+    pub fn l1d() -> Self {
+        CacheConfig { line_bytes: 64, sets: 64, ways: 8 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.line_bytes * self.sets as u64 * self.ways as u64
+    }
+}
+
+/// Outcome counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Line-granular accesses.
+    pub accesses: u64,
+    /// Misses among them.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in percent (0 if no accesses).
+    pub fn miss_rate_pct(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Monotone LRU stamp: larger = more recently used.
+    stamp: u64,
+}
+
+/// One set-associative LRU cache instance (one per simulated worker).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two());
+        assert!(cfg.sets.is_power_of_two());
+        assert!(cfg.ways > 0);
+        Cache {
+            cfg,
+            lines: vec![Line::default(); (cfg.sets * cfg.ways) as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Touch one line containing `addr`; returns `true` on hit.
+    pub fn touch_line(&mut self, addr: u64) -> bool {
+        let line_addr = addr / self.cfg.line_bytes;
+        let set = (line_addr & (self.cfg.sets as u64 - 1)) as usize;
+        let tag = line_addr >> self.cfg.sets.trailing_zeros();
+        self.clock += 1;
+        self.stats.accesses += 1;
+
+        let base = set * self.cfg.ways as usize;
+        let ways = &mut self.lines[base..base + self.cfg.ways as usize];
+        // Hit?
+        for l in ways.iter_mut() {
+            if l.valid && l.tag == tag {
+                l.stamp = self.clock;
+                return true;
+            }
+        }
+        // Miss: fill LRU victim.
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("ways > 0");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.stamp = self.clock;
+        false
+    }
+
+    /// Replay a contiguous access of `bytes` at `(obj, offset)`,
+    /// touching every covered line. Returns the number of misses.
+    pub fn access(&mut self, obj: u64, offset: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        // Object id forms the high address bits; objects never alias.
+        let base = (obj << 40).wrapping_add(offset);
+        let first = base / self.cfg.line_bytes;
+        let last = (base + bytes - 1) / self.cfg.line_bytes;
+        let mut misses = 0;
+        for line in first..=last {
+            if !self.touch_line(line * self.cfg.line_bytes) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Invalidate everything (e.g. to model a context wipe).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset the counters, keeping cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert_eq!(c.access(1, 0, 64), 1); // cold miss
+        assert_eq!(c.access(1, 0, 64), 0); // warm hit
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn spanning_access_touches_every_line() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        // 300 bytes starting at offset 10 crosses ceil((10+300)/64)=5 lines.
+        assert_eq!(c.access(2, 10, 300), 5);
+        assert_eq!(c.stats().accesses, 5);
+    }
+
+    #[test]
+    fn distinct_objects_do_not_alias() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(1, 0, 64);
+        assert_eq!(c.access(2, 0, 64), 1, "object 2 must miss cold");
+        assert_eq!(c.access(1, 0, 64), 0, "object 1 must still be warm");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let cfg = CacheConfig::l1d();
+        let mut c = Cache::new(cfg);
+        let big = cfg.capacity() * 4;
+        // Two sequential sweeps over 4× capacity: second sweep must
+        // still miss everywhere (LRU evicted the head long ago).
+        let m1 = c.access(7, 0, big);
+        let m2 = c.access(7, 0, big);
+        assert_eq!(m1, big / cfg.line_bytes);
+        assert_eq!(m2, big / cfg.line_bytes);
+    }
+
+    #[test]
+    fn small_working_set_fits() {
+        let cfg = CacheConfig::l1d();
+        let mut c = Cache::new(cfg);
+        let small = cfg.capacity() / 4;
+        c.access(3, 0, small);
+        assert_eq!(c.access(3, 0, small), 0, "quarter-capacity set must be fully resident");
+    }
+
+    #[test]
+    fn flush_forces_cold_misses() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(1, 0, 512);
+        c.flush();
+        assert_eq!(c.access(1, 0, 512), 8);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Tiny direct-mapped-ish cache: 1 set, 2 ways, 64B lines.
+        let mut c = Cache::new(CacheConfig { line_bytes: 64, sets: 1, ways: 2 });
+        c.access(1, 0, 1); // A miss
+        c.access(2, 0, 1); // B miss
+        c.access(1, 0, 1); // A hit (B is now LRU)
+        assert_eq!(c.access(3, 0, 1), 1); // C evicts B
+        assert_eq!(c.access(1, 0, 1), 0); // A survives
+        assert_eq!(c.access(2, 0, 1), 1); // B gone
+    }
+
+    #[test]
+    fn zero_byte_access_is_noop() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert_eq!(c.access(1, 0, 0), 0);
+        assert_eq!(c.stats().accesses, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Property tests for the cache model.
+
+use distws_cachesim::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn misses_never_exceed_accesses(ops in proptest::collection::vec((0u64..8, 0u64..100_000, 1u64..512), 1..200)) {
+        let mut c = Cache::new(CacheConfig::l1d());
+        for (obj, off, bytes) in ops {
+            c.access(obj, off, bytes);
+        }
+        let s = c.stats();
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(s.miss_rate_pct() <= 100.0);
+    }
+
+    #[test]
+    fn replay_is_deterministic(ops in proptest::collection::vec((0u64..4, 0u64..10_000, 1u64..256), 1..100)) {
+        let run = || {
+            let mut c = Cache::new(CacheConfig::l1d());
+            for (obj, off, bytes) in &ops {
+                c.access(*obj, *off, *bytes);
+            }
+            c.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn immediate_reaccess_hits_when_it_fits(obj in 0u64..8, off in 0u64..100_000, bytes in 1u64..1_000) {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(obj, off, bytes);
+        // The lines were just brought in; re-touching a range well
+        // under capacity must be all hits.
+        if bytes < CacheConfig::l1d().capacity() / 2 {
+            prop_assert_eq!(c.access(obj, off, bytes), 0);
+        }
+    }
+}

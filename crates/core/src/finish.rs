@@ -1,0 +1,115 @@
+//! The X10 `finish` analogue: completion latches.
+//!
+//! X10's `finish { ... }` blocks until all transitively spawned
+//! activities terminate. Our engines are event-driven rather than
+//! blocking, so phases are expressed with a [`FinishLatch`]: the
+//! application registers `n` child tasks plus one *continuation* task;
+//! when the engine observes the `n`-th completion it releases the
+//! continuation at that task's finish time. Latches may be registered
+//! on dynamically spawned children too ([`FinishLatch::add`]), which
+//! covers X10's transitive semantics for the patterns our applications
+//! use (iterative phase barriers, divide-and-conquer joins).
+
+use crate::task::TaskSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A countdown latch that releases a continuation task when the last
+/// registered child completes.
+pub struct FinishLatch {
+    remaining: AtomicUsize,
+    continuation: Mutex<Option<TaskSpec>>,
+}
+
+impl FinishLatch {
+    /// A latch expecting `children` completions before releasing
+    /// `continuation`.
+    pub fn new(children: usize, continuation: TaskSpec) -> Arc<Self> {
+        Arc::new(FinishLatch {
+            remaining: AtomicUsize::new(children),
+            continuation: Mutex::new(Some(continuation)),
+        })
+    }
+
+    /// A latch with no continuation: purely a counter (useful in tests
+    /// and for top-level termination).
+    pub fn bare(children: usize) -> Arc<Self> {
+        Arc::new(FinishLatch {
+            remaining: AtomicUsize::new(children),
+            continuation: Mutex::new(None),
+        })
+    }
+
+    /// Register `k` additional children (must be called before the
+    /// latch could otherwise reach zero — i.e. from a task that is
+    /// itself registered on this latch, before it completes).
+    pub fn add(&self, k: usize) {
+        self.remaining.fetch_add(k, Ordering::AcqRel);
+    }
+
+    /// Engine hook: record one child completion. Returns the
+    /// continuation when this was the last outstanding child.
+    pub fn complete_one(&self) -> Option<TaskSpec> {
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "FinishLatch completed more children than registered");
+        if prev == 1 {
+            self.continuation.lock().expect("latch poisoned").take()
+        } else {
+            None
+        }
+    }
+
+    /// Children still outstanding.
+    pub fn pending(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for FinishLatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FinishLatch").field("remaining", &self.pending()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Locality, PlaceId};
+
+    fn noop() -> TaskSpec {
+        TaskSpec::new(PlaceId(0), Locality::Sensitive, 0, "noop", |_| {})
+    }
+
+    #[test]
+    fn releases_on_last_completion() {
+        let latch = FinishLatch::new(3, noop());
+        assert!(latch.complete_one().is_none());
+        assert!(latch.complete_one().is_none());
+        let cont = latch.complete_one();
+        assert!(cont.is_some());
+        assert_eq!(latch.pending(), 0);
+    }
+
+    #[test]
+    fn dynamic_registration_defers_release() {
+        let latch = FinishLatch::new(1, noop());
+        latch.add(1);
+        assert!(latch.complete_one().is_none());
+        assert!(latch.complete_one().is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_completion_panics() {
+        let latch = FinishLatch::bare(1);
+        latch.complete_one();
+        latch.complete_one();
+    }
+
+    #[test]
+    fn bare_latch_never_yields_continuation() {
+        let latch = FinishLatch::bare(2);
+        assert!(latch.complete_one().is_none());
+        assert!(latch.complete_one().is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Strongly-typed identifiers for places, workers, tasks and data objects.
+//!
+//! The paper's cluster is 16 nodes × 8 worker threads; we index places
+//! and workers with small newtypes so the scheduler code cannot confuse
+//! "worker 3 of place 5" with "global worker 43".
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a *place*: one shared-memory partition of the cluster
+/// (one node in the paper's blade server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PlaceId(pub u32);
+
+impl PlaceId {
+    /// Place index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a worker *within* its place (0..workers_per_place).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// Worker index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Cluster-wide worker identifier; bijective with `(place, worker)`
+/// given the number of workers per place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalWorkerId(pub u32);
+
+impl GlobalWorkerId {
+    /// Build a global id from `(place, local worker)` under a fixed
+    /// `workers_per_place`.
+    #[inline]
+    pub fn new(place: PlaceId, worker: WorkerId, workers_per_place: u32) -> Self {
+        GlobalWorkerId(place.0 * workers_per_place + worker.0)
+    }
+
+    /// The place this worker belongs to.
+    #[inline]
+    pub fn place(self, workers_per_place: u32) -> PlaceId {
+        PlaceId(self.0 / workers_per_place)
+    }
+
+    /// The worker's index within its place.
+    #[inline]
+    pub fn local(self, workers_per_place: u32) -> WorkerId {
+        WorkerId(self.0 % workers_per_place)
+    }
+
+    /// Global index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GlobalWorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "W{}", self.0)
+    }
+}
+
+/// Identifier of a spawned task (activity). Unique within one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+/// Identifier of a logical data object (an array block, a mesh region, a
+/// cell of the Turing ring, ...). Objects have a *home place*; accessing
+/// an object away from its home is a remote reference unless the object
+/// was copied along with a migrated task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_worker_roundtrip() {
+        let wpp = 8;
+        for p in 0..16u32 {
+            for w in 0..wpp {
+                let g = GlobalWorkerId::new(PlaceId(p), WorkerId(w), wpp);
+                assert_eq!(g.place(wpp), PlaceId(p));
+                assert_eq!(g.local(wpp), WorkerId(w));
+            }
+        }
+    }
+
+    #[test]
+    fn global_worker_is_dense() {
+        let wpp = 8;
+        let g = GlobalWorkerId::new(PlaceId(15), WorkerId(7), wpp);
+        assert_eq!(g.index(), 127);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PlaceId(3).to_string(), "P3");
+        assert_eq!(GlobalWorkerId(12).to_string(), "W12");
+    }
+}

@@ -1,0 +1,46 @@
+//! # distws-core
+//!
+//! Core vocabulary types for **DistWS**, a reproduction of
+//! *"On the Merits of Distributed Work-Stealing on Selective
+//! Locality-Aware Tasks"* (Paudel, Tardieu, Amaral — ICPP 2013).
+//!
+//! The paper's runtime model is X10's APGAS: a cluster is a set of
+//! **places** (shared-memory partitions, one per node), each place runs a
+//! fixed set of **workers**, and every computation is an asynchronous
+//! **activity** (task) spawned *at* a place. DistWS extends this model
+//! with a per-task **locality annotation**: tasks are either
+//! *locality-sensitive* (must run at their home place) or
+//! *locality-flexible* (`@AnyPlaceTask` — may be stolen by a remote
+//! place when load is imbalanced).
+//!
+//! This crate defines the identifiers, task descriptors, cluster
+//! topology, cost model, metrics, and the [`TaskScope`] interface that
+//! application code programs against. Two execution engines consume
+//! these types:
+//!
+//! * `distws-sim` — a deterministic discrete-event simulator that runs
+//!   real task bodies under virtual time (used to regenerate every table
+//!   and figure of the paper at full 128-worker scale), and
+//! * `distws-runtime` — a real multithreaded work-stealing runtime.
+
+pub mod cost;
+pub mod dist;
+pub mod finish;
+pub mod ids;
+pub mod locality;
+pub mod metrics;
+pub mod rng;
+pub mod task;
+pub mod topology;
+pub mod workload;
+
+pub use cost::CostModel;
+pub use finish::FinishLatch;
+pub use workload::Workload;
+pub use dist::{BlockDist, DistArray};
+pub use ids::{GlobalWorkerId, ObjectId, PlaceId, TaskId, WorkerId};
+pub use locality::Locality;
+pub use metrics::{CacheSummary, MessageCounts, RunReport, StealCounts, UtilizationSummary};
+pub use rng::SplitMix64;
+pub use task::{Access, AccessKind, Footprint, TaskBody, TaskScope, TaskSpec};
+pub use topology::ClusterConfig;

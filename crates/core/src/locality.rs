@@ -1,0 +1,50 @@
+//! The paper's central classification: locality-*sensitive* vs
+//! locality-*flexible* tasks (§II).
+//!
+//! A task qualifies as **flexible** (annotated `@AnyPlaceTask` in the
+//! paper's X10 prototype) if stealing it across nodes can pay for
+//! itself: it encapsulates its data, is coarse enough to keep a thief
+//! node busy, or is already local to the thief. Everything else is
+//! **sensitive** and must execute at its programmer-specified place.
+
+use serde::{Deserialize, Serialize};
+
+/// Locality classification of a task, supplied by the application
+/// (the paper's `@AnyPlaceTask` annotation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// The task bears strong affinity to its home place; it may be
+    /// stolen only by co-located workers, never across places.
+    Sensitive,
+    /// The task may be migrated to any place by distributed stealing
+    /// (`@AnyPlaceTask`).
+    Flexible,
+}
+
+impl Locality {
+    /// Whether the task may be stolen by a worker in a *different* place.
+    #[inline]
+    pub fn remotely_stealable(self) -> bool {
+        matches!(self, Locality::Flexible)
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Locality::Sensitive => write!(f, "sensitive"),
+            Locality::Flexible => write!(f, "flexible"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexibility() {
+        assert!(Locality::Flexible.remotely_stealable());
+        assert!(!Locality::Sensitive.remotely_stealable());
+    }
+}

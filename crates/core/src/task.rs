@@ -1,0 +1,219 @@
+//! Task descriptors and the [`TaskScope`] interface application code
+//! programs against.
+//!
+//! A DistWS task corresponds to an X10 `async (p) S` activity: a body
+//! closure, a home place `p`, a [`Locality`] annotation, an estimated
+//! compute cost, and a *data footprint* — the objects the task
+//! encapsulates and would carry along if migrated (§II condition (d),
+//! §IV examples: a Delaunay triangle plus its points, a Turing-ring
+//! cell plus its bodies).
+
+use crate::ids::{GlobalWorkerId, ObjectId, PlaceId, TaskId};
+use crate::locality::Locality;
+use serde::{Deserialize, Serialize};
+
+/// Kind of a data access, for cache/traffic accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Load from the object.
+    Read,
+    /// Store to the object.
+    Write,
+}
+
+/// One contiguous access to a logical data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// The object touched.
+    pub obj: ObjectId,
+    /// Byte offset within the object.
+    pub offset: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Home place of the object (where its memory lives).
+    pub home: PlaceId,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Convenience constructor for a read.
+    pub fn read(obj: ObjectId, offset: u64, bytes: u64, home: PlaceId) -> Self {
+        Access { obj, offset, bytes, home, kind: AccessKind::Read }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(obj: ObjectId, offset: u64, bytes: u64, home: PlaceId) -> Self {
+        Access { obj, offset, bytes, home, kind: AccessKind::Write }
+    }
+}
+
+/// The data a task *encapsulates*: regions copied together with the task
+/// when it migrates to a remote place. After migration these regions are
+/// local to the thief (no further remote references), exactly the
+/// property the paper's flexible tasks exploit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// Encapsulated regions.
+    pub regions: Vec<Access>,
+}
+
+impl Footprint {
+    /// The empty footprint (task carries nothing but its closure).
+    pub fn empty() -> Self {
+        Footprint::default()
+    }
+
+    /// A footprint with a single encapsulated region.
+    pub fn single(obj: ObjectId, bytes: u64, home: PlaceId) -> Self {
+        Footprint { regions: vec![Access::read(obj, 0, bytes, home)] }
+    }
+
+    /// Total bytes moved with the task on migration.
+    pub fn total_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Whether `obj` is encapsulated by (copied with) the task.
+    pub fn contains(&self, obj: ObjectId) -> bool {
+        self.regions.iter().any(|r| r.obj == obj)
+    }
+}
+
+/// The closure a task runs. The scope argument is how the body spawns
+/// children, charges data-dependent compute time, and records data
+/// accesses.
+pub type TaskBody = Box<dyn FnOnce(&mut dyn TaskScope) + Send + 'static>;
+
+/// Complete description of a spawnable task (an X10 `async (p)` plus
+/// the DistWS metadata).
+pub struct TaskSpec {
+    /// Place the `async` names — where the task runs unless stolen.
+    pub home: PlaceId,
+    /// `Sensitive` or `Flexible` (`@AnyPlaceTask`).
+    pub locality: Locality,
+    /// Estimated pure-compute time of the body in virtual ns, excluding
+    /// scheduling and communication. Bodies can add to this at run time
+    /// with [`TaskScope::charge`].
+    pub est_cost_ns: u64,
+    /// Data the task encapsulates and carries on migration.
+    pub footprint: Footprint,
+    /// Short static label for metrics (e.g. `"triangulate"`).
+    pub label: &'static str,
+    /// Completion latch this task is registered on, if any (the X10
+    /// `finish` analogue — see [`crate::finish::FinishLatch`]).
+    pub latch: Option<std::sync::Arc<crate::finish::FinishLatch>>,
+    /// The body.
+    pub body: TaskBody,
+}
+
+impl TaskSpec {
+    /// Build a task with an empty footprint.
+    pub fn new(
+        home: PlaceId,
+        locality: Locality,
+        est_cost_ns: u64,
+        label: &'static str,
+        body: impl FnOnce(&mut dyn TaskScope) + Send + 'static,
+    ) -> Self {
+        TaskSpec {
+            home,
+            locality,
+            est_cost_ns,
+            footprint: Footprint::empty(),
+            label,
+            latch: None,
+            body: Box::new(body),
+        }
+    }
+
+    /// Attach a footprint (builder style).
+    pub fn with_footprint(mut self, footprint: Footprint) -> Self {
+        self.footprint = footprint;
+        self
+    }
+
+    /// Register this task on a completion latch (builder style).
+    pub fn with_latch(mut self, latch: std::sync::Arc<crate::finish::FinishLatch>) -> Self {
+        self.latch = Some(latch);
+        self
+    }
+
+    /// Bytes that must cross the network if this task migrates.
+    pub fn migration_bytes(&self) -> u64 {
+        self.footprint.total_bytes()
+    }
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("home", &self.home)
+            .field("locality", &self.locality)
+            .field("est_cost_ns", &self.est_cost_ns)
+            .field("footprint_bytes", &self.footprint.total_bytes())
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+/// What a running task sees: its execution context plus the operations
+/// it may perform against the runtime. Implemented by both the
+/// discrete-event simulator and the threaded runtime, so application
+/// code is written once.
+pub trait TaskScope {
+    /// Place where the task is *actually executing* (≠ [`Self::home`]
+    /// if the task was stolen remotely).
+    fn here(&self) -> PlaceId;
+    /// Place the task was spawned at (`async (p)`).
+    fn home(&self) -> PlaceId;
+    /// Executing worker.
+    fn worker(&self) -> GlobalWorkerId;
+    /// Id of the executing task.
+    fn task_id(&self) -> TaskId;
+    /// Spawn a child activity.
+    fn spawn(&mut self, spec: TaskSpec);
+    /// Charge additional data-dependent compute time discovered while
+    /// running (virtual ns).
+    fn charge(&mut self, ns: u64);
+    /// Record a data access. The engine decides whether it is local
+    /// (object home == here, or the object was encapsulated in the
+    /// migrated task's footprint) or a remote reference, and feeds the
+    /// cache model.
+    fn access(&mut self, access: Access);
+    /// Convenience: record a read of `bytes` at `offset` in `obj`.
+    fn read(&mut self, obj: ObjectId, offset: u64, bytes: u64, home: PlaceId) {
+        self.access(Access::read(obj, offset, bytes, home));
+    }
+    /// Convenience: record a write of `bytes` at `offset` in `obj`.
+    fn write(&mut self, obj: ObjectId, offset: u64, bytes: u64, home: PlaceId) {
+        self.access(Access::write(obj, offset, bytes, home));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_accounting() {
+        let p = PlaceId(0);
+        let mut fp = Footprint::single(ObjectId(1), 100, p);
+        fp.regions.push(Access::read(ObjectId(2), 0, 28, p));
+        assert_eq!(fp.total_bytes(), 128);
+        assert!(fp.contains(ObjectId(1)));
+        assert!(fp.contains(ObjectId(2)));
+        assert!(!fp.contains(ObjectId(3)));
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = TaskSpec::new(PlaceId(2), Locality::Flexible, 1_000, "t", |_s| {})
+            .with_footprint(Footprint::single(ObjectId(7), 64, PlaceId(2)));
+        assert_eq!(spec.migration_bytes(), 64);
+        assert_eq!(spec.home, PlaceId(2));
+        assert!(spec.locality.remotely_stealable());
+        let dbg = format!("{spec:?}");
+        assert!(dbg.contains("TaskSpec"));
+    }
+}

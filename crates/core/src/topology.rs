@@ -1,0 +1,125 @@
+//! Cluster topology configuration.
+//!
+//! The paper's platform (§VII) is a 16-node blade server, two quad-core
+//! Opterons per node, eight X10 worker threads per place
+//! (`X10_NTHREADS=8`), places varied 1..16 so threads = cores.
+
+use crate::ids::{GlobalWorkerId, PlaceId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Static shape of the (simulated or real) cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of places (nodes / shared-memory partitions).
+    pub places: u32,
+    /// Worker threads per place that exist at startup.
+    pub workers_per_place: u32,
+    /// Upper bound on dynamically-created threads per place. A place
+    /// with `workers < max_threads` counts as *under-utilized* for the
+    /// DistWS mapping rule (Algorithm 1 line 5). We model the bound but
+    /// keep the worker count fixed; `spare_threads` expresses slack.
+    pub max_threads_per_place: u32,
+    /// Spare (not yet running) thread slots per place; `spares > 0`
+    /// marks a place under-utilized in Algorithm 1.
+    pub spare_threads: u32,
+    /// Consecutive failed steal attempts after which a place declares
+    /// itself idle (§VI.B: `n` = workers per place).
+    pub idle_threshold: u32,
+}
+
+impl ClusterConfig {
+    /// The paper's full-scale platform: 16 places × 8 workers = 128.
+    pub fn paper() -> Self {
+        ClusterConfig::new(16, 8)
+    }
+
+    /// A cluster of `places` places with `workers_per_place` workers
+    /// each, idle threshold = workers per place as in the paper.
+    pub fn new(places: u32, workers_per_place: u32) -> Self {
+        assert!(places > 0 && workers_per_place > 0);
+        ClusterConfig {
+            places,
+            workers_per_place,
+            max_threads_per_place: workers_per_place,
+            spare_threads: 0,
+            idle_threshold: workers_per_place,
+        }
+    }
+
+    /// The paper's Fig. 5 sweep: for a total worker budget `workers`,
+    /// use one place up to 8 workers, then places of 8 workers each
+    /// (threads = cores on the testbed).
+    pub fn for_total_workers(workers: u32) -> Self {
+        assert!(workers > 0);
+        if workers <= 8 {
+            ClusterConfig::new(1, workers)
+        } else {
+            assert!(workers.is_multiple_of(8), "worker counts above 8 must be multiples of 8");
+            ClusterConfig::new(workers / 8, 8)
+        }
+    }
+
+    /// Total number of workers in the cluster.
+    #[inline]
+    pub fn total_workers(&self) -> u32 {
+        self.places * self.workers_per_place
+    }
+
+    /// Iterate over all place ids.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.places).map(PlaceId)
+    }
+
+    /// Iterate over all global worker ids.
+    pub fn worker_ids(&self) -> impl Iterator<Item = GlobalWorkerId> {
+        (0..self.total_workers()).map(GlobalWorkerId)
+    }
+
+    /// Global id of worker `w` at place `p`.
+    #[inline]
+    pub fn global(&self, p: PlaceId, w: WorkerId) -> GlobalWorkerId {
+        GlobalWorkerId::new(p, w, self.workers_per_place)
+    }
+
+    /// Place that global worker `g` belongs to.
+    #[inline]
+    pub fn place_of(&self, g: GlobalWorkerId) -> PlaceId {
+        g.place(self.workers_per_place)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale() {
+        let c = ClusterConfig::paper();
+        assert_eq!(c.total_workers(), 128);
+        assert_eq!(c.places, 16);
+        assert_eq!(c.idle_threshold, 8);
+    }
+
+    #[test]
+    fn fig5_sweep_shapes() {
+        for (w, p, wpp) in [(1, 1, 1), (4, 1, 4), (8, 1, 8), (16, 2, 8), (128, 16, 8)] {
+            let c = ClusterConfig::for_total_workers(w);
+            assert_eq!((c.places, c.workers_per_place), (p, wpp));
+            assert_eq!(c.total_workers(), w);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ragged_worker_counts() {
+        ClusterConfig::for_total_workers(12);
+    }
+
+    #[test]
+    fn id_iteration_is_dense() {
+        let c = ClusterConfig::new(3, 4);
+        let ids: Vec<_> = c.worker_ids().collect();
+        assert_eq!(ids.len(), 12);
+        assert_eq!(c.place_of(GlobalWorkerId(11)), PlaceId(2));
+    }
+}

@@ -1,0 +1,56 @@
+//! The [`Workload`] trait: how applications hand their root tasks to an
+//! execution engine.
+//!
+//! Implementations live in `distws-apps`; both the discrete-event
+//! simulator and the threaded runtime accept any `Workload`, so every
+//! application runs unmodified under every scheduler and engine.
+
+use crate::task::TaskSpec;
+use crate::topology::ClusterConfig;
+
+/// A runnable application workload.
+pub trait Workload {
+    /// Display name used in reports (e.g. `"DMG"`, `"Quicksort"`).
+    fn name(&self) -> String;
+
+    /// Produce the root tasks for a run on the given cluster shape.
+    /// Roots typically distribute initial data/work across places —
+    /// e.g. the initial Delaunay triangles, the cells of the Turing
+    /// ring — exactly as the paper's applications do.
+    ///
+    /// Called once per run; the workload may capture shared state in
+    /// the returned closures (via `Arc`) to validate results afterwards.
+    fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec>;
+
+    /// Optional post-run validation hook: return `Err` with a message
+    /// if the computation produced a wrong answer. Engines call this
+    /// after the run completes; tests assert on it.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Locality, PlaceId};
+
+    struct Two;
+    impl Workload for Two {
+        fn name(&self) -> String {
+            "two".into()
+        }
+        fn roots(&self, _cfg: &ClusterConfig) -> Vec<TaskSpec> {
+            (0..2)
+                .map(|_| TaskSpec::new(PlaceId(0), Locality::Flexible, 10, "r", |_| {}))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn default_validation_passes() {
+        let w = Two;
+        assert_eq!(w.roots(&ClusterConfig::new(1, 1)).len(), 2);
+        assert!(w.validate().is_ok());
+    }
+}

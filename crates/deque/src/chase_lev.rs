@@ -1,0 +1,402 @@
+//! A lock-free Chase–Lev work-stealing deque.
+//!
+//! Single owner ([`Worker`]) pushes and pops at the *bottom*; any
+//! number of thieves ([`Stealer`]) compete with a compare-and-swap on
+//! the *top*. Memory orderings follow the C11 formulation of Lê,
+//! Pop, Cohen & Zappa Nardelli, *"Correct and Efficient Work-Stealing
+//! for Weak Memory Models"* (PPoPP 2013) — the same deque X10's XRX
+//! runtime and Cilk use for per-worker task queues.
+//!
+//! ## Memory reclamation
+//!
+//! When the circular buffer grows, thieves may still be reading the
+//! old buffer. Instead of hazard pointers or epochs we *retire* old
+//! buffers into a list owned by the deque itself; they are freed only
+//! when the last handle drops. Work-stealing deques grow a handful of
+//! times per run (capacity doubles), so the retired list stays tiny —
+//! this trades a few kilobytes for zero read-side synchronization.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was stolen.
+    Success(T),
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; retrying may work.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Convert to `Option`, treating `Retry` as `None`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Steal::Empty`.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+struct Buffer<T> {
+    cap: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer { cap, slots })
+    }
+
+    #[inline]
+    unsafe fn read(&self, index: isize) -> T {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        (*slot.get()).assume_init_read()
+    }
+
+    #[inline]
+    unsafe fn write(&self, index: isize, value: T) {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        (*slot.get()).write(value);
+    }
+}
+
+struct Inner<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Retired buffers, freed when the deque drops.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole owner now: drain remaining elements, then free buffers.
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buf_ptr = self.buffer.load(Ordering::Relaxed);
+        unsafe {
+            let buf = &*buf_ptr;
+            let mut i = top;
+            while i < bottom {
+                drop(buf.read(i));
+                i += 1;
+            }
+            drop(Box::from_raw(buf_ptr));
+            for p in self.retired.lock().unwrap().drain(..) {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+/// Owner handle: push/pop at the bottom. Not `Clone` — exactly one
+/// owner per deque.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Thief handle: steal from the top. Cheap to clone.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// Create a new deque, returning the unique owner handle and a
+/// cloneable stealer handle.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(Buffer::new(64))),
+        retired: Mutex::new(Vec::new()),
+    });
+    (Worker { inner: Arc::clone(&inner) }, Stealer { inner })
+}
+
+impl<T: Send> Worker<T> {
+    /// Push a task at the bottom (owner end). Never blocks; grows the
+    /// buffer when full.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf_ptr = inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if b - t >= (*buf_ptr).cap as isize {
+                buf_ptr = self.grow(buf_ptr, t, b);
+            }
+            (*buf_ptr).write(b, value);
+        }
+        fence(Ordering::Release);
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pop the most recently pushed task (LIFO). Only the owner calls
+    /// this.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf_ptr = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty.
+            let value = unsafe { (*buf_ptr).read(b) };
+            if t == b {
+                // Last element: race with thieves for it.
+                if inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Lost: a thief took it. Forget our bitwise copy.
+                    std::mem::forget(value);
+                    inner.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            Some(value)
+        } else {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Number of elements visible to the owner (approximate under
+    /// concurrent steals).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque looks empty to the owner.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+
+    #[cold]
+    unsafe fn grow(&self, old_ptr: *mut Buffer<T>, t: isize, b: isize) -> *mut Buffer<T> {
+        let old = &*old_ptr;
+        let new = Buffer::new(old.cap * 2);
+        let mut i = t;
+        while i < b {
+            // Bitwise move: ownership transfers to the new buffer; the
+            // old slots are never read again by the owner (thieves that
+            // raced will CAS-fail on `top`).
+            let slot = &old.slots[(i as usize) & (old.cap - 1)];
+            let v = (*slot.get()).assume_init_read();
+            new.write(i, v);
+            i += 1;
+        }
+        let new_ptr = Box::into_raw(new);
+        self.inner.buffer.store(new_ptr, Ordering::Release);
+        self.inner.retired.lock().unwrap().push(old_ptr);
+        new_ptr
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempt to steal the oldest task (top end).
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t < b {
+            let buf_ptr = inner.buffer.load(Ordering::Acquire);
+            let value = unsafe { (*buf_ptr).read(t) };
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                // Lost the race; the bitwise copy must not be dropped.
+                std::mem::forget(value);
+                return Steal::Retry;
+            }
+            Steal::Success(value)
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Steal with bounded retries, turning `Retry` storms into a
+    /// single `Option`.
+    pub fn steal_with_retries(&self, max_retries: usize) -> Option<T> {
+        for _ in 0..=max_retries {
+            match self.steal() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+        None
+    }
+
+    /// Approximate number of elements.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque looks empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lifo_for_owner() {
+        let (w, _s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn fifo_for_thief() {
+        let (w, s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(s.steal().success(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let (w, s) = deque::<usize>();
+        for i in 0..1_000 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 1_000);
+        // Steal the first half, pop the second half.
+        for i in 0..500 {
+            assert_eq!(s.steal().success(), Some(i));
+        }
+        for i in (500..1_000).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_remaining_elements() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (w, _s) = deque::<D>();
+            for _ in 0..10 {
+                w.push(D);
+            }
+            drop(w.pop()); // one dropped here
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn concurrent_thieves_see_each_item_once() {
+        const ITEMS: usize = 20_000;
+        const THIEVES: usize = 3;
+        let (w, s) = deque::<usize>();
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = s.clone();
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let mut popped = Vec::new();
+        for i in 0..ITEMS {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    popped.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            popped.push(v);
+        }
+        done.store(true, Ordering::Release);
+
+        let mut seen: HashSet<usize> = popped.into_iter().collect();
+        let mut total = seen.len();
+        for h in handles {
+            let got = h.join().unwrap();
+            total += got.len();
+            for v in got {
+                assert!(seen.insert(v), "item {v} observed twice");
+            }
+        }
+        assert_eq!(total, ITEMS, "items lost: saw {total} of {ITEMS}");
+    }
+}

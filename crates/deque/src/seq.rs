@@ -1,0 +1,129 @@
+//! Single-threaded deques with the exact semantics the schedulers rely
+//! on, used by the deterministic discrete-event simulator (which models
+//! 128 workers inside one OS thread).
+//!
+//! [`SeqPrivateDeque`] mirrors the Chase–Lev private deque: the owner
+//! pops the **newest** task (LIFO → cache locality, paper §V.A), while
+//! thieves steal the **oldest**. [`SeqSharedFifo`] mirrors the shared
+//! deque: strict FIFO with chunked steals.
+
+use std::collections::VecDeque;
+
+/// Owner-LIFO / thief-FIFO private deque (single-threaded).
+#[derive(Debug)]
+pub struct SeqPrivateDeque<T> {
+    inner: VecDeque<T>,
+}
+
+impl<T> Default for SeqPrivateDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SeqPrivateDeque<T> {
+    /// New empty deque.
+    pub fn new() -> Self {
+        SeqPrivateDeque { inner: VecDeque::new() }
+    }
+
+    /// Owner push (bottom).
+    pub fn push(&mut self, value: T) {
+        self.inner.push_back(value);
+    }
+
+    /// Owner pop: most recently pushed task (bottom, LIFO).
+    pub fn pop(&mut self) -> Option<T> {
+        self.inner.pop_back()
+    }
+
+    /// Thief steal: oldest task (top).
+    pub fn steal(&mut self) -> Option<T> {
+        self.inner.pop_front()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// Strict-FIFO shared deque with chunked steal (single-threaded).
+#[derive(Debug)]
+pub struct SeqSharedFifo<T> {
+    inner: VecDeque<T>,
+}
+
+impl<T> Default for SeqSharedFifo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SeqSharedFifo<T> {
+    /// New empty deque.
+    pub fn new() -> Self {
+        SeqSharedFifo { inner: VecDeque::new() }
+    }
+
+    /// Enqueue at the tail.
+    pub fn push(&mut self, value: T) {
+        self.inner.push_back(value);
+    }
+
+    /// Dequeue the oldest task.
+    pub fn take(&mut self) -> Option<T> {
+        self.inner.pop_front()
+    }
+
+    /// Dequeue up to `chunk` oldest tasks.
+    pub fn take_chunk(&mut self, chunk: usize) -> Vec<T> {
+        let n = chunk.min(self.inner.len());
+        self.inner.drain(..n).collect()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_owner_lifo_thief_fifo() {
+        let mut d = SeqPrivateDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn shared_fifo_chunks() {
+        let mut q = SeqSharedFifo::new();
+        for i in 0..5 {
+            q.push(i);
+        }
+        assert_eq!(q.take(), Some(0));
+        assert_eq!(q.take_chunk(2), vec![1, 2]);
+        assert_eq!(q.take_chunk(9), vec![3, 4]);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: the lock-free Chase–Lev deque, driven from a single
+//! thread, must behave exactly like the sequential reference model for
+//! any interleaving of push / pop / steal operations.
+
+use distws_deque::{deque, SeqPrivateDeque, Steal};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u32>().prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chase_lev_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let (w, s) = deque::<u32>();
+        let mut model = SeqPrivateDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    model.push(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), model.pop());
+                }
+                Op::Steal => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        // Single-threaded: Retry is impossible.
+                        Steal::Retry => return Err(TestCaseError::fail("retry without contention")),
+                    };
+                    prop_assert_eq!(got, model.steal());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+        // Drain and compare the final contents.
+        let mut rest = Vec::new();
+        while let Some(v) = w.pop() {
+            rest.push(v);
+        }
+        let mut model_rest = Vec::new();
+        while let Some(v) = model.pop() {
+            model_rest.push(v);
+        }
+        prop_assert_eq!(rest, model_rest);
+    }
+
+    #[test]
+    fn shared_fifo_take_chunk_equals_repeated_take(
+        items in proptest::collection::vec(any::<u32>(), 0..100),
+        chunk in 1usize..8,
+    ) {
+        let a = distws_deque::SharedFifo::new();
+        let mut b = distws_deque::SeqSharedFifo::new();
+        for &i in &items {
+            a.push(i);
+            b.push(i);
+        }
+        loop {
+            let xs = a.take_chunk(chunk);
+            let mut ys = Vec::new();
+            for _ in 0..chunk {
+                if let Some(v) = b.take() {
+                    ys.push(v);
+                }
+            }
+            prop_assert_eq!(&xs, &ys);
+            if xs.is_empty() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! # distws-netsim
+//!
+//! Simulated cluster interconnect.
+//!
+//! The paper's testbed connects 16 nodes with 10 Gbit/s InfiniBand and
+//! communicates through MVAPICH2. The scheduling results depend on two
+//! properties of that fabric which this crate models exactly:
+//!
+//! 1. every cross-place interaction costs *latency + size/bandwidth*
+//!    (per message), so remote steals are orders of magnitude more
+//!    expensive than local deque operations, and
+//! 2. the number of messages and bytes moved is observable — Table III
+//!    of the paper counts messages transmitted across nodes per
+//!    scheduler.
+//!
+//! [`Network::send`] charges a message between two places and returns
+//! its virtual-time cost; intra-place "sends" are free and uncounted,
+//! mirroring shared-memory communication within a node.
+
+pub mod topology;
+
+pub use topology::Topology;
+
+use distws_core::{CostModel, MessageCounts, PlaceId};
+
+/// Classification of cross-place messages, matching the events of
+/// Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// A thief probing a remote shared deque.
+    StealRequest,
+    /// The victim's reply (may carry zero tasks).
+    StealReply,
+    /// Migration payload: serialized closure + encapsulated footprint.
+    TaskMigrate,
+    /// Request for data homed at a remote place.
+    DataRequest,
+    /// Reply carrying remote data.
+    DataReply,
+    /// Termination detection / place-status control traffic.
+    Control,
+}
+
+/// The simulated interconnect: cost model + topology + accounting.
+#[derive(Debug, Clone)]
+pub struct Network {
+    cost: CostModel,
+    topo: Topology,
+    places: u32,
+    counts: MessageCounts,
+    /// Messages per directed edge, row-major `[src][dst]`.
+    per_edge: Vec<u64>,
+}
+
+impl Network {
+    /// A network over `places` places with the given cost model and
+    /// topology.
+    pub fn new(places: u32, cost: CostModel, topo: Topology) -> Self {
+        Network {
+            cost,
+            topo,
+            places,
+            counts: MessageCounts::default(),
+            per_edge: vec![0; (places as usize) * (places as usize)],
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Send one message. Returns the virtual-time cost in ns. Messages
+    /// within one place cost nothing and are not counted (shared
+    /// memory).
+    pub fn send(&mut self, src: PlaceId, dst: PlaceId, kind: MsgKind, payload_bytes: u64) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        debug_assert!(src.0 < self.places && dst.0 < self.places);
+        match kind {
+            MsgKind::StealRequest => self.counts.steal_requests += 1,
+            MsgKind::StealReply => self.counts.steal_replies += 1,
+            MsgKind::TaskMigrate => self.counts.task_migrations += 1,
+            MsgKind::DataRequest => self.counts.data_requests += 1,
+            MsgKind::DataReply => self.counts.data_replies += 1,
+            MsgKind::Control => self.counts.control += 1,
+        }
+        self.counts.bytes += payload_bytes;
+        self.per_edge[src.index() * self.places as usize + dst.index()] += 1;
+        let hops = self.topo.hops(src, dst, self.places) as u64;
+        hops * self.cost.net_latency_ns + self.cost.transfer_ns(payload_bytes)
+    }
+
+    /// Cost of a full task migration from victim place `src` to thief
+    /// place `dst`: steal request + reply carrying closure + footprint.
+    pub fn migrate_task(&mut self, src: PlaceId, dst: PlaceId, footprint_bytes: u64) -> u64 {
+        let req = self.send(dst, src, MsgKind::StealRequest, 64);
+        let closure = self.cost.closure_bytes;
+        let reply = self.send(src, dst, MsgKind::TaskMigrate, closure + footprint_bytes);
+        req + reply
+    }
+
+    /// Cost of a remote data reference of `bytes` from a task at `from`
+    /// to data homed at `home`: request + data reply.
+    pub fn remote_ref(&mut self, from: PlaceId, home: PlaceId, bytes: u64) -> u64 {
+        let req = self.send(from, home, MsgKind::DataRequest, 64);
+        let rep = self.send(home, from, MsgKind::DataReply, bytes);
+        req + rep
+    }
+
+    /// A failed remote steal probe: request + empty reply.
+    pub fn failed_steal(&mut self, thief: PlaceId, victim: PlaceId) -> u64 {
+        let req = self.send(thief, victim, MsgKind::StealRequest, 64);
+        let rep = self.send(victim, thief, MsgKind::StealReply, 16);
+        req + rep
+    }
+
+    /// Accumulated message counters (Table III source data).
+    pub fn counts(&self) -> &MessageCounts {
+        &self.counts
+    }
+
+    /// Messages sent on the directed edge `src → dst`.
+    pub fn edge_count(&self, src: PlaceId, dst: PlaceId) -> u64 {
+        self.per_edge[src.index() * self.places as usize + dst.index()]
+    }
+
+    /// Reset all counters (between experiment phases).
+    pub fn reset_counts(&mut self) {
+        self.counts = MessageCounts::default();
+        self.per_edge.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(4, CostModel::default(), Topology::FullyConnected)
+    }
+
+    #[test]
+    fn intra_place_is_free_and_uncounted() {
+        let mut n = net();
+        assert_eq!(n.send(PlaceId(1), PlaceId(1), MsgKind::DataRequest, 1_000), 0);
+        assert_eq!(n.counts().total(), 0);
+        assert_eq!(n.counts().bytes, 0);
+    }
+
+    #[test]
+    fn cross_place_charges_latency_plus_bandwidth() {
+        let mut n = net();
+        let cost = n.send(PlaceId(0), PlaceId(1), MsgKind::DataReply, 1_000);
+        let cm = CostModel::default();
+        assert_eq!(cost, cm.net_latency_ns + cm.transfer_ns(1_000));
+        assert_eq!(n.counts().data_replies, 1);
+        assert_eq!(n.counts().bytes, 1_000);
+        assert_eq!(n.edge_count(PlaceId(0), PlaceId(1)), 1);
+        assert_eq!(n.edge_count(PlaceId(1), PlaceId(0)), 0);
+    }
+
+    #[test]
+    fn migration_counts_request_and_payload() {
+        let mut n = net();
+        let cost = n.migrate_task(PlaceId(2), PlaceId(0), 4_096);
+        assert!(cost >= 2 * CostModel::default().net_latency_ns);
+        assert_eq!(n.counts().steal_requests, 1);
+        assert_eq!(n.counts().task_migrations, 1);
+        assert_eq!(n.counts().total(), 2);
+        // payload includes the closure bytes on top of the footprint
+        assert_eq!(n.counts().bytes, 64 + CostModel::default().closure_bytes + 4_096);
+    }
+
+    #[test]
+    fn remote_ref_round_trip() {
+        let mut n = net();
+        n.remote_ref(PlaceId(0), PlaceId(3), 256);
+        assert_eq!(n.counts().data_requests, 1);
+        assert_eq!(n.counts().data_replies, 1);
+    }
+
+    #[test]
+    fn failed_steal_costs_round_trip() {
+        let mut n = net();
+        let c = n.failed_steal(PlaceId(0), PlaceId(1));
+        assert_eq!(n.counts().steal_requests, 1);
+        assert_eq!(n.counts().steal_replies, 1);
+        assert!(c >= 2 * CostModel::default().net_latency_ns);
+    }
+
+    #[test]
+    fn ring_topology_multiplies_latency_by_hops() {
+        let mut n = Network::new(8, CostModel::default(), Topology::Ring);
+        let near = n.send(PlaceId(0), PlaceId(1), MsgKind::Control, 0);
+        let far = n.send(PlaceId(0), PlaceId(4), MsgKind::Control, 0);
+        assert_eq!(far, 4 * near);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut n = net();
+        n.migrate_task(PlaceId(0), PlaceId(1), 10);
+        n.reset_counts();
+        assert_eq!(n.counts().total(), 0);
+        assert_eq!(n.edge_count(PlaceId(0), PlaceId(1)), 0);
+    }
+}

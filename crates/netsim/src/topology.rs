@@ -1,0 +1,90 @@
+//! Cluster wiring topologies.
+//!
+//! The paper's cluster is fully connected (InfiniBand switch), but
+//! footnote 2 observes that victim-*node* selection matters more on
+//! sparser fabrics: "in a cluster with ring topology it is a common
+//! practice to chose nearest, or adjacent nodes first". We model both
+//! so the victim-ordering ablation can demonstrate exactly that.
+
+use distws_core::PlaceId;
+use serde::{Deserialize, Serialize};
+
+/// Interconnect shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of places is one hop apart (switched fabric).
+    FullyConnected,
+    /// Places form a ring; hop count is the shorter arc distance.
+    Ring,
+}
+
+impl Topology {
+    /// Number of hops between two places.
+    pub fn hops(self, src: PlaceId, dst: PlaceId, places: u32) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        match self {
+            Topology::FullyConnected => 1,
+            Topology::Ring => {
+                let d = src.0.abs_diff(dst.0);
+                d.min(places - d)
+            }
+        }
+    }
+
+    /// Remote places ordered by increasing distance from `from`
+    /// (ties broken by increasing id). For a fully connected fabric the
+    /// order is simply id order starting after `from` (callers shuffle
+    /// or rotate as their policy demands).
+    pub fn victim_order(self, from: PlaceId, places: u32) -> Vec<PlaceId> {
+        let mut others: Vec<PlaceId> = (0..places).map(PlaceId).filter(|p| *p != from).collect();
+        match self {
+            Topology::FullyConnected => {
+                // Rotate so the scan starts just after `from`.
+                others.sort_by_key(|p| (p.0 + places - from.0) % places);
+            }
+            Topology::Ring => {
+                others.sort_by_key(|p| (self.hops(from, *p, places), p.0));
+            }
+        }
+        others
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_is_one_hop() {
+        let t = Topology::FullyConnected;
+        assert_eq!(t.hops(PlaceId(0), PlaceId(5), 8), 1);
+        assert_eq!(t.hops(PlaceId(3), PlaceId(3), 8), 0);
+    }
+
+    #[test]
+    fn ring_uses_shorter_arc() {
+        let t = Topology::Ring;
+        assert_eq!(t.hops(PlaceId(0), PlaceId(1), 8), 1);
+        assert_eq!(t.hops(PlaceId(0), PlaceId(7), 8), 1);
+        assert_eq!(t.hops(PlaceId(0), PlaceId(4), 8), 4);
+        assert_eq!(t.hops(PlaceId(1), PlaceId(6), 8), 3);
+    }
+
+    #[test]
+    fn ring_victims_nearest_first() {
+        let order = Topology::Ring.victim_order(PlaceId(0), 6);
+        let dists: Vec<u32> = order.iter().map(|p| Topology::Ring.hops(PlaceId(0), *p, 6)).collect();
+        let mut sorted = dists.clone();
+        sorted.sort_unstable();
+        assert_eq!(dists, sorted);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn fully_connected_victims_rotate_after_self() {
+        let order = Topology::FullyConnected.victim_order(PlaceId(2), 5);
+        assert_eq!(order.iter().map(|p| p.0).collect::<Vec<_>>(), vec![3, 4, 0, 1]);
+    }
+}

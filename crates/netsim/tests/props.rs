@@ -1,0 +1,41 @@
+//! Property tests for the network model.
+
+use distws_core::{CostModel, PlaceId};
+use distws_netsim::{MsgKind, Network, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cost_is_monotone_in_payload(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let mut n = Network::new(4, CostModel::default(), Topology::FullyConnected);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let c_lo = n.send(PlaceId(0), PlaceId(1), MsgKind::DataReply, lo);
+        let c_hi = n.send(PlaceId(0), PlaceId(1), MsgKind::DataReply, hi);
+        prop_assert!(c_lo <= c_hi);
+    }
+
+    #[test]
+    fn counters_are_additive(msgs in proptest::collection::vec((0u32..4, 0u32..4, 0u64..10_000), 0..100)) {
+        let mut n = Network::new(4, CostModel::default(), Topology::FullyConnected);
+        let mut expect_total = 0u64;
+        let mut expect_bytes = 0u64;
+        for (src, dst, bytes) in msgs {
+            n.send(PlaceId(src), PlaceId(dst), MsgKind::Control, bytes);
+            if src != dst {
+                expect_total += 1;
+                expect_bytes += bytes;
+            }
+        }
+        prop_assert_eq!(n.counts().total(), expect_total);
+        prop_assert_eq!(n.counts().bytes, expect_bytes);
+    }
+
+    #[test]
+    fn ring_hops_are_symmetric_and_bounded(a in 0u32..16, b in 0u32..16) {
+        let t = Topology::Ring;
+        let ab = t.hops(PlaceId(a), PlaceId(b), 16);
+        let ba = t.hops(PlaceId(b), PlaceId(a), 16);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab <= 8, "ring distance over half the ring: {}", ab);
+    }
+}

@@ -1,0 +1,95 @@
+//! Atomic cluster-status board: the threaded runtime's
+//! [`distws_sched::ClusterView`] implementation (the paper's per-place
+//! status object, §VI.B — read without locks by every worker).
+
+use distws_core::{ClusterConfig, GlobalWorkerId, PlaceId};
+use distws_sched::ClusterView;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Lock-free per-place busy counts and deque-length snapshots.
+pub struct SharedBoard {
+    cfg: ClusterConfig,
+    busy: Vec<AtomicU32>,
+    shared_len: Vec<AtomicUsize>,
+    private_len: Vec<AtomicUsize>,
+}
+
+impl SharedBoard {
+    /// A board for a cluster shape, all idle.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let np = cfg.places as usize;
+        let nw = cfg.total_workers() as usize;
+        SharedBoard {
+            cfg,
+            busy: (0..np).map(|_| AtomicU32::new(0)).collect(),
+            shared_len: (0..np).map(|_| AtomicUsize::new(0)).collect(),
+            private_len: (0..nw).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// A worker at `p` started executing a task.
+    pub fn worker_busy(&self, p: PlaceId) {
+        self.busy[p.index()].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A worker at `p` stopped executing.
+    pub fn worker_idle(&self, p: PlaceId) {
+        self.busy[p.index()].fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Update the cached shared-deque length of a place.
+    pub fn set_shared_len(&self, p: PlaceId, len: usize) {
+        self.shared_len[p.index()].store(len, Ordering::Release);
+    }
+
+    /// Update the cached private-deque length of a worker.
+    pub fn set_private_len(&self, w: GlobalWorkerId, len: usize) {
+        self.private_len[w.index()].store(len, Ordering::Release);
+    }
+}
+
+impl ClusterView for SharedBoard {
+    fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    fn busy_workers(&self, p: PlaceId) -> u32 {
+        self.busy[p.index()].load(Ordering::Acquire)
+    }
+
+    fn shared_len(&self, p: PlaceId) -> usize {
+        self.shared_len[p.index()].load(Ordering::Acquire)
+    }
+
+    fn private_len(&self, w: GlobalWorkerId) -> usize {
+        self.private_len[w.index()].load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_transitions() {
+        let b = SharedBoard::new(ClusterConfig::new(2, 2));
+        assert!(!b.is_place_active(PlaceId(0)));
+        b.worker_busy(PlaceId(0));
+        assert!(b.is_place_active(PlaceId(0)));
+        assert!(b.is_under_utilized(PlaceId(0)));
+        b.worker_busy(PlaceId(0));
+        assert!(!b.is_under_utilized(PlaceId(0)));
+        b.worker_idle(PlaceId(0));
+        b.worker_idle(PlaceId(0));
+        assert!(!b.is_place_active(PlaceId(0)));
+    }
+
+    #[test]
+    fn deque_length_snapshots() {
+        let b = SharedBoard::new(ClusterConfig::new(1, 2));
+        b.set_shared_len(PlaceId(0), 5);
+        assert_eq!(b.shared_len(PlaceId(0)), 5);
+        b.set_private_len(GlobalWorkerId(1), 3);
+        assert_eq!(b.private_len(GlobalWorkerId(1)), 3);
+    }
+}

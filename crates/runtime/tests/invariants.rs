@@ -1,0 +1,98 @@
+//! Threaded-runtime invariants under concurrency: policy guarantees
+//! must hold on real threads exactly as in the simulator.
+
+use distws_core::{ClusterConfig, Locality, PlaceId, TaskScope, TaskSpec};
+use distws_runtime::Runtime;
+use distws_sched::{DistWs, DistWsNs, X10Ws};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn x10ws_never_steals_remotely_on_threads() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let roots: Vec<TaskSpec> = (0..64)
+        .map(|i| {
+            let c = Arc::clone(&counter);
+            TaskSpec::new(PlaceId(i % 2), Locality::Flexible, 0, "t", move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    let mut rt = Runtime::new(ClusterConfig::new(2, 2), Box::new(X10Ws));
+    let report = rt.run_roots("x10", roots);
+    assert_eq!(report.steals.remote, 0, "X10WS crossed places on threads");
+    assert_eq!(counter.load(Ordering::Relaxed), 64);
+}
+
+#[test]
+fn sensitive_tasks_execute_at_their_place_on_threads() {
+    // Under every selective policy, sensitive tasks must observe
+    // here() == home() even with concurrent thieves hammering the
+    // deques.
+    for policy in [Box::new(DistWs::default()) as Box<dyn distws_sched::Policy>, Box::new(X10Ws)] {
+        let violations = Arc::new(AtomicU64::new(0));
+        let roots: Vec<TaskSpec> = (0..80)
+            .map(|i| {
+                let v = Arc::clone(&violations);
+                let home = PlaceId(i % 3);
+                TaskSpec::new(home, Locality::Sensitive, 0, "pin", move |s: &mut dyn TaskScope| {
+                    if s.here() != home {
+                        v.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        let mut rt = Runtime::new(ClusterConfig::new(3, 2), policy);
+        rt.run_roots("pin", roots);
+        assert_eq!(violations.load(Ordering::Relaxed), 0, "a sensitive task ran off-place");
+    }
+}
+
+#[test]
+fn ns_policy_may_move_sensitive_tasks_on_threads() {
+    // DistWS-NS is allowed to migrate anything — tasks must still all
+    // run exactly once.
+    let counter = Arc::new(AtomicU64::new(0));
+    let roots: Vec<TaskSpec> = (0..100)
+        .map(|_| {
+            let c = Arc::clone(&counter);
+            TaskSpec::new(PlaceId(0), Locality::Sensitive, 0, "ns", move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    let mut rt = Runtime::new(ClusterConfig::new(2, 2), Box::new(DistWsNs::default()));
+    let report = rt.run_roots("ns", roots);
+    assert_eq!(counter.load(Ordering::Relaxed), 100);
+    assert_eq!(report.tasks_executed, 100);
+}
+
+#[test]
+fn deep_recursion_with_mixed_localities_terminates() {
+    // A fan-out/fan-in tree with alternating annotations, checking the
+    // quiescence detector under rapid spawn/complete races.
+    fn tree(depth: u32, counter: Arc<AtomicU64>) -> TaskSpec {
+        TaskSpec::new(
+            PlaceId(0),
+            if depth % 2 == 0 { Locality::Flexible } else { Locality::Sensitive },
+            0,
+            "tree",
+            move |s: &mut dyn TaskScope| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                if depth > 0 {
+                    for _ in 0..3 {
+                        let mut t = tree(depth - 1, Arc::clone(&counter));
+                        t.home = s.here();
+                        s.spawn(t);
+                    }
+                }
+            },
+        )
+    }
+    let counter = Arc::new(AtomicU64::new(0));
+    let mut rt = Runtime::new(ClusterConfig::new(2, 2), Box::new(DistWs::default()));
+    let report = rt.run_roots("tree", vec![tree(6, Arc::clone(&counter))]);
+    let expect = (3u64.pow(7) - 1) / 2; // 1 + 3 + … + 3^6
+    assert_eq!(counter.load(Ordering::Relaxed), expect);
+    assert_eq!(report.tasks_executed, expect);
+}

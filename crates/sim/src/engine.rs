@@ -1,0 +1,764 @@
+//! The discrete-event engine.
+
+use crate::scope::SimScope;
+use distws_cachesim::{Cache, CacheConfig};
+use distws_core::rng::SplitMix64;
+use distws_core::{
+    CacheSummary, ClusterConfig, CostModel, FinishLatch, Footprint, GlobalWorkerId, Locality,
+    PlaceId, RunReport, StealCounts, TaskBody, TaskId, TaskSpec, UtilizationSummary, Workload,
+};
+use distws_deque::{SeqPrivateDeque, SeqSharedFifo};
+use distws_netsim::{MsgKind, Network, Topology};
+use distws_sched::{ClusterView, DequeChoice, Policy, StealStep, TaskMeta};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Full simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster shape.
+    pub cluster: ClusterConfig,
+    /// Virtual-time cost constants.
+    pub cost: CostModel,
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// L1 model per worker; `None` disables cache accounting.
+    pub cache: Option<CacheConfig>,
+    /// RNG seed — same seed ⇒ identical run.
+    pub seed: u64,
+    /// On a shared-deque enqueue, how many *remote* dormant workers are
+    /// prodded to retry their steal loop (bounds wake storms; local
+    /// dormant workers are always prodded).
+    pub remote_wake_limit: usize,
+    /// Safety valve: abort if the event count explodes.
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// Defaults for a given cluster shape.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        SimConfig {
+            cluster,
+            cost: CostModel::default(),
+            topology: Topology::FullyConnected,
+            cache: Some(CacheConfig::l1d()),
+            seed: 0x5EED,
+            remote_wake_limit: 4,
+            max_events: 500_000_000,
+        }
+    }
+}
+
+/// A simulation: configuration + policy. Reusable across runs (each
+/// `run_*` call builds fresh state).
+pub struct Simulation {
+    cfg: SimConfig,
+    policy: Box<dyn Policy>,
+}
+
+impl Simulation {
+    /// Simulation with default cost model, topology, cache and seed.
+    pub fn new(cluster: ClusterConfig, policy: Box<dyn Policy>) -> Self {
+        Simulation { cfg: SimConfig::new(cluster), policy }
+    }
+
+    /// Simulation with a fully explicit configuration.
+    pub fn with_config(cfg: SimConfig, policy: Box<dyn Policy>) -> Self {
+        Simulation { cfg, policy }
+    }
+
+    /// Mutable access to the configuration (tune costs, seed, …).
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.cfg
+    }
+
+    /// Run a [`Workload`]: generate its roots, execute to completion,
+    /// and validate its result (panicking on an application-level
+    /// wrong answer — scheduling must never change answers).
+    pub fn run_app(&mut self, app: &dyn Workload) -> RunReport {
+        let roots = app.roots(&self.cfg.cluster);
+        let report = self.run_roots(&app.name(), roots);
+        if let Err(e) = app.validate() {
+            panic!("workload '{}' failed validation under {}: {e}", app.name(), report.scheduler);
+        }
+        report
+    }
+
+    /// Run an explicit set of root tasks.
+    pub fn run_roots(&mut self, name: &str, roots: Vec<TaskSpec>) -> RunReport {
+        let mut engine = Engine::new(&self.cfg, self.policy.as_mut());
+        engine.inject_roots(roots);
+        engine.run();
+        engine.into_report(name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+/// A runnable task instance inside the engine.
+struct Task {
+    id: TaskId,
+    locality: Locality,
+    /// Place named by the original `async (p)`.
+    origin_home: PlaceId,
+    spawned_at: PlaceId,
+    spawner: Option<GlobalWorkerId>,
+    /// Current owner place (thief place after a migration).
+    exec_home: PlaceId,
+    /// True once the task migrated with its footprint copied along.
+    carried: bool,
+    est: u64,
+    footprint: Footprint,
+    #[allow(dead_code)]
+    label: &'static str,
+    latch: Option<Arc<FinishLatch>>,
+    body: TaskBody,
+}
+
+enum EventKind {
+    /// Task lands at `task.exec_home`: map & enqueue.
+    Arrive(Task),
+    /// Worker finished its current task.
+    Free(GlobalWorkerId),
+    /// Prod a parked worker to retry acquiring work. `strong` also
+    /// wakes quiesced (lifeline) workers.
+    Wake(GlobalWorkerId, bool),
+}
+
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerStatus {
+    /// Parked with nothing to do.
+    Dormant,
+    /// Executing a task body.
+    Busy,
+    /// Lifeline protocol: parked until a lifeline push (strong wake).
+    Quiesced,
+}
+
+struct WorkerState {
+    deque: SeqPrivateDeque<Task>,
+    cache: Option<Cache>,
+    status: WorkerStatus,
+    /// Pending Wake event already scheduled (dedup).
+    wake_pending: bool,
+    /// Whether this worker currently counts toward its place's busy
+    /// count (claimed by a mapped task or actually executing).
+    counted: bool,
+    /// Time until which the worker's CPU is occupied (tasks + steal
+    /// rounds are serialized on this clock, so accounted time can never
+    /// exceed wall time).
+    avail_at: u64,
+    busy_ns: u64,
+    overhead_ns: u64,
+    /// Latch of the task currently executing, processed at `Free`.
+    finishing_latch: Option<Arc<FinishLatch>>,
+}
+
+struct PlaceState {
+    shared: SeqSharedFifo<Task>,
+    /// Places quiesced on us (they named us as a lifeline).
+    lifeline_dependents: Vec<PlaceId>,
+    /// Round-robin cursor for private-deque target selection.
+    rr: u32,
+}
+
+/// Incrementally maintained cluster status — the `ClusterView` handed
+/// to policies (the paper's per-place status object, §VI.B).
+struct Board {
+    cfg: ClusterConfig,
+    busy: Vec<u32>,
+    shared_len: Vec<usize>,
+    private_len: Vec<usize>,
+}
+
+impl ClusterView for Board {
+    fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+    fn busy_workers(&self, p: PlaceId) -> u32 {
+        self.busy[p.index()]
+    }
+    fn shared_len(&self, p: PlaceId) -> usize {
+        self.shared_len[p.index()]
+    }
+    fn private_len(&self, w: GlobalWorkerId) -> usize {
+        self.private_len[w.index()]
+    }
+}
+
+struct Engine<'p> {
+    cfg: SimConfig,
+    policy: &'p mut dyn Policy,
+    rng: SplitMix64,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    workers: Vec<WorkerState>,
+    places: Vec<PlaceState>,
+    board: Board,
+    net: Network,
+    steals: StealCounts,
+    remote_refs: u64,
+    tasks_spawned: u64,
+    tasks_executed: u64,
+    total_work: u64,
+    next_task: u64,
+    makespan: u64,
+    events: u64,
+}
+
+impl<'p> Engine<'p> {
+    fn new(cfg: &SimConfig, policy: &'p mut dyn Policy) -> Self {
+        let cluster = cfg.cluster.clone();
+        let nw = cluster.total_workers() as usize;
+        let np = cluster.places as usize;
+        let workers = (0..nw)
+            .map(|_| WorkerState {
+                deque: SeqPrivateDeque::new(),
+                cache: cfg.cache.map(Cache::new),
+                status: WorkerStatus::Dormant,
+                wake_pending: false,
+                counted: false,
+                avail_at: 0,
+                busy_ns: 0,
+                overhead_ns: 0,
+                finishing_latch: None,
+            })
+            .collect();
+        let places = (0..np)
+            .map(|_| PlaceState {
+                shared: SeqSharedFifo::new(),
+                lifeline_dependents: Vec::new(),
+                rr: 0,
+            })
+            .collect();
+        Engine {
+            cfg: cfg.clone(),
+            policy,
+            rng: SplitMix64::new(cfg.seed),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            workers,
+            places,
+            board: Board {
+                cfg: cluster.clone(),
+                busy: vec![0; np],
+                shared_len: vec![0; np],
+                private_len: vec![0; nw],
+            },
+            net: Network::new(cluster.places, cfg.cost.clone(), cfg.topology),
+            steals: StealCounts::default(),
+            remote_refs: 0,
+            tasks_spawned: 0,
+            tasks_executed: 0,
+            total_work: 0,
+            next_task: 0,
+            makespan: 0,
+            events: 0,
+        }
+    }
+
+    fn schedule(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Event { time, seq: self.seq, kind });
+    }
+
+    fn make_task(&mut self, spec: TaskSpec, spawned_at: PlaceId, spawner: Option<GlobalWorkerId>) -> Task {
+        self.next_task += 1;
+        self.tasks_spawned += 1;
+        Task {
+            id: TaskId(self.next_task),
+            locality: spec.locality,
+            origin_home: spec.home,
+            spawned_at,
+            spawner,
+            exec_home: spec.home,
+            carried: false,
+            est: spec.est_cost_ns,
+            footprint: spec.footprint,
+            label: spec.label,
+            latch: spec.latch,
+            body: spec.body,
+        }
+    }
+
+    fn inject_roots(&mut self, roots: Vec<TaskSpec>) {
+        for spec in roots {
+            let home = spec.home;
+            let fp = spec.migration_bytes();
+            let task = self.make_task(spec, home, None);
+            // Roots conceptually originate at place 0 (X10's main
+            // activity); distributing them is real communication.
+            if home == PlaceId(0) {
+                self.schedule(0, EventKind::Arrive(task));
+            } else {
+                let bytes = self.cfg.cost.closure_bytes + fp;
+                let cost = self.net.send(PlaceId(0), home, MsgKind::TaskMigrate, bytes);
+                self.schedule(cost, EventKind::Arrive(task));
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(ev) = self.heap.pop() {
+            self.events += 1;
+            assert!(
+                self.events <= self.cfg.max_events,
+                "event budget exceeded ({}) — runaway simulation?",
+                self.cfg.max_events
+            );
+            let now = ev.time;
+            self.makespan = self.makespan.max(now);
+            match ev.kind {
+                EventKind::Arrive(task) => self.map_and_enqueue(now, task),
+                EventKind::Free(w) => self.on_free(now, w),
+                EventKind::Wake(w, strong) => self.on_wake(now, w, strong),
+            }
+        }
+        assert_eq!(
+            self.tasks_spawned, self.tasks_executed,
+            "task conservation violated: spawned {} executed {}",
+            self.tasks_spawned, self.tasks_executed
+        );
+    }
+
+    // -- worker bookkeeping --------------------------------------------------
+
+    fn place_of(&self, w: GlobalWorkerId) -> PlaceId {
+        self.cfg.cluster.place_of(w)
+    }
+
+    fn claim(&mut self, w: GlobalWorkerId) {
+        let p = self.place_of(w).index();
+        if !self.workers[w.index()].counted {
+            self.workers[w.index()].counted = true;
+            self.board.busy[p] += 1;
+        }
+    }
+
+    fn unclaim(&mut self, w: GlobalWorkerId) {
+        let p = self.place_of(w).index();
+        if self.workers[w.index()].counted {
+            self.workers[w.index()].counted = false;
+            self.board.busy[p] -= 1;
+        }
+    }
+
+    fn wake(&mut self, now: u64, w: GlobalWorkerId, delay: u64, strong: bool) {
+        let ws = &mut self.workers[w.index()];
+        if ws.wake_pending || ws.status == WorkerStatus::Busy {
+            return;
+        }
+        if ws.status == WorkerStatus::Quiesced && !strong {
+            return;
+        }
+        ws.wake_pending = true;
+        self.schedule(now + delay, EventKind::Wake(w, strong));
+    }
+
+    fn on_wake(&mut self, now: u64, w: GlobalWorkerId, strong: bool) {
+        self.workers[w.index()].wake_pending = false;
+        match self.workers[w.index()].status {
+            WorkerStatus::Busy => {}
+            WorkerStatus::Quiesced if !strong => {}
+            _ => self.acquire(now, w),
+        }
+    }
+
+    fn on_free(&mut self, now: u64, w: GlobalWorkerId) {
+        self.tasks_executed += 1;
+        let latch = self.workers[w.index()].finishing_latch.take();
+        // Leave Busy state before acquiring again.
+        self.workers[w.index()].status = WorkerStatus::Dormant;
+        if let Some(latch) = latch {
+            if let Some(cont) = latch.complete_one() {
+                // Release the continuation from this place.
+                let here = self.place_of(w);
+                let cont_home = cont.home;
+                let fp = cont.migration_bytes();
+                let task = self.make_task(cont, here, Some(w));
+                if cont_home == here {
+                    self.schedule(now, EventKind::Arrive(task));
+                } else {
+                    let bytes = self.cfg.cost.closure_bytes + fp;
+                    let cost = self.net.send(here, cont_home, MsgKind::TaskMigrate, bytes);
+                    self.schedule(now + cost, EventKind::Arrive(task));
+                }
+            }
+        }
+        self.acquire(now, w);
+    }
+
+    // -- mapping (Algorithm 1 lines 1–8) --------------------------------------
+
+    fn map_and_enqueue(&mut self, now: u64, task: Task) {
+        let place = task.exec_home;
+        let meta = TaskMeta {
+            home: place,
+            locality: task.locality,
+            spawned_at: task.spawned_at,
+            est_cost_ns: task.est,
+            footprint_bytes: task.footprint.total_bytes(),
+        };
+        let choice = self.policy.map_task(&meta, &self.board, &mut self.rng);
+        match choice {
+            DequeChoice::Private => {
+                let target = self.pick_private_target(place, task.spawner);
+                self.workers[target.index()].deque.push(task);
+                self.board.private_len[target.index()] += 1;
+                self.claim(target);
+                let d = self.cfg.cost.private_deque_op_ns;
+                self.wake(now, target, d, true);
+            }
+            DequeChoice::Shared => {
+                // Lifeline push path: hand the task straight to a
+                // quiesced dependent instead of pooling it.
+                if self.policy.uses_lifelines()
+                    && !self.places[place.index()].lifeline_dependents.is_empty()
+                {
+                    let q = self.places[place.index()].lifeline_dependents.remove(0);
+                    self.push_to_lifeline(now, place, q, task);
+                    return;
+                }
+                self.places[place.index()].shared.push(task);
+                self.board.shared_len[place.index()] += 1;
+                self.wake_for_shared(now, place);
+            }
+        }
+        // Any arrival of work also prods quiesced workers of the place
+        // (they re-run their loop and re-quiesce if they lose the race).
+        let wpp = self.cfg.cluster.workers_per_place;
+        for i in 0..wpp {
+            let w = self.cfg.cluster.global(place, distws_core::WorkerId(i));
+            if self.workers[w.index()].status == WorkerStatus::Quiesced {
+                let d = self.cfg.cost.shared_deque_op_ns + w.0 as u64;
+                self.wake(now, w, d, true);
+            }
+        }
+    }
+
+    fn pick_private_target(&mut self, place: PlaceId, spawner: Option<GlobalWorkerId>) -> GlobalWorkerId {
+        let wpp = self.cfg.cluster.workers_per_place;
+        // Prefer an idle (unclaimed, parked) worker — Algorithm 1 maps
+        // tasks on under-utilized places directly to idle workers.
+        for i in 0..wpp {
+            let w = self.cfg.cluster.global(place, distws_core::WorkerId(i));
+            let ws = &self.workers[w.index()];
+            if !ws.counted && ws.status != WorkerStatus::Busy {
+                return w;
+            }
+        }
+        // Help-first: the spawning worker keeps its own children.
+        if let Some(s) = spawner {
+            if self.place_of(s) == place {
+                return s;
+            }
+        }
+        // Round-robin fallback.
+        let p = &mut self.places[place.index()];
+        let w = self.cfg.cluster.global(place, distws_core::WorkerId(p.rr % wpp));
+        p.rr = p.rr.wrapping_add(1);
+        w
+    }
+
+    fn wake_for_shared(&mut self, now: u64, place: PlaceId) {
+        let cfg = self.cfg.cluster.clone();
+        let base = self.cfg.cost.shared_deque_op_ns;
+        // All dormant co-located workers.
+        for i in 0..cfg.workers_per_place {
+            let w = cfg.global(place, distws_core::WorkerId(i));
+            if self.workers[w.index()].status == WorkerStatus::Dormant {
+                self.wake(now, w, base + w.0 as u64, false);
+            }
+        }
+        // A bounded number of remote dormant workers (they will pay
+        // their own probe round trips when they retry).
+        let mut budget = self.cfg.remote_wake_limit;
+        for off in 1..cfg.places {
+            if budget == 0 {
+                break;
+            }
+            let p = PlaceId((place.0 + off) % cfg.places);
+            for i in 0..cfg.workers_per_place {
+                let w = cfg.global(p, distws_core::WorkerId(i));
+                let ws = &self.workers[w.index()];
+                if ws.status == WorkerStatus::Dormant && !ws.wake_pending {
+                    // Discovery delay: one network round trip.
+                    let d = base + 2 * self.cfg.cost.net_latency_ns + w.0 as u64;
+                    self.wake(now, w, d, false);
+                    budget -= 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn push_to_lifeline(&mut self, now: u64, from: PlaceId, to: PlaceId, mut task: Task) {
+        assert!(
+            self.policy.may_migrate(task.locality),
+            "lifeline push of non-migratable task"
+        );
+        let bytes = task.footprint.total_bytes();
+        let cost = self.net.send(
+            from,
+            to,
+            MsgKind::TaskMigrate,
+            self.cfg.cost.closure_bytes + bytes,
+        );
+        task.exec_home = to;
+        task.carried = true;
+        self.steals.remote += 1;
+        self.schedule(now + cost, EventKind::Arrive(task));
+    }
+
+    // -- stealing (Algorithm 1 lines 9–29) ------------------------------------
+
+    fn acquire(&mut self, now: u64, w: GlobalWorkerId) {
+        let place = self.place_of(w);
+        // Serialize this worker's activities: a steal round cannot
+        // start before the previous round / task ended.
+        let now = now.max(self.workers[w.index()].avail_at);
+        let steps = self.policy.steal_sequence(w, &self.board, &mut self.rng);
+        let mut overhead = 0u64;
+        let mut got: Option<Task> = None;
+
+        for step in steps {
+            match step {
+                StealStep::PollPrivate => {
+                    overhead += self.cfg.cost.private_deque_op_ns;
+                    if let Some(t) = self.workers[w.index()].deque.pop() {
+                        self.board.private_len[w.index()] -= 1;
+                        got = Some(t);
+                    }
+                }
+                StealStep::ProbeNetwork => {
+                    overhead += self.cfg.cost.network_probe_ns;
+                }
+                StealStep::StealCoWorker => {
+                    let wpp = self.cfg.cluster.workers_per_place;
+                    let local = w.local(wpp).0;
+                    for off in 1..wpp {
+                        let v = self
+                            .cfg
+                            .cluster
+                            .global(place, distws_core::WorkerId((local + off) % wpp));
+                        overhead += self.cfg.cost.private_deque_op_ns;
+                        if let Some(t) = self.workers[v.index()].deque.steal() {
+                            self.board.private_len[v.index()] -= 1;
+                            overhead += self.cfg.cost.local_steal_ns;
+                            self.steals.local_private += 1;
+                            got = Some(t);
+                            break;
+                        }
+                    }
+                }
+                StealStep::StealLocalShared => {
+                    overhead += self.cfg.cost.shared_deque_op_ns;
+                    if let Some(t) = self.places[place.index()].shared.take() {
+                        self.board.shared_len[place.index()] -= 1;
+                        self.steals.local_shared += 1;
+                        got = Some(t);
+                    }
+                }
+                StealStep::StealRemoteShared(victim) => {
+                    if self.board.shared_len[victim.index()] == 0 {
+                        overhead += self.net.failed_steal(place, victim);
+                        self.steals.failed_attempts += 1;
+                        continue;
+                    }
+                    let victim_len = self.board.shared_len[victim.index()];
+                    let chunk = self.policy.remote_chunk_for(victim_len);
+                    let tasks = self.places[victim.index()].shared.take_chunk(chunk);
+                    self.board.shared_len[victim.index()] -= tasks.len();
+                    let mut bytes = 0;
+                    for t in &tasks {
+                        assert!(
+                            self.policy.may_migrate(t.locality),
+                            "policy {} migrated a non-migratable task",
+                            self.policy.name()
+                        );
+                        bytes += self.cfg.cost.closure_bytes + t.footprint.total_bytes();
+                    }
+                    overhead += self.net.migrate_task(victim, place, bytes);
+                    self.steals.remote += tasks.len() as u64;
+                    let mut iter = tasks.into_iter();
+                    if let Some(mut first) = iter.next() {
+                        first.exec_home = place;
+                        first.carried = true;
+                        got = Some(first);
+                    }
+                    // Chunk extras land at the thief place and are
+                    // re-mapped there, feeding co-located workers.
+                    let arrive_at = now + overhead;
+                    for mut t in iter {
+                        t.exec_home = place;
+                        t.carried = true;
+                        self.schedule(arrive_at, EventKind::Arrive(t));
+                    }
+                }
+                StealStep::Quiesce => {
+                    self.workers[w.index()].overhead_ns += overhead;
+                    self.workers[w.index()].avail_at = now + overhead;
+                    self.makespan = self.makespan.max(now + overhead);
+                    self.unclaim(w);
+                    self.workers[w.index()].status = WorkerStatus::Quiesced;
+                    // Register on the lifeline partners.
+                    let partners =
+                        self.policy.lifeline_partners(place, self.cfg.cluster.places);
+                    for o in partners {
+                        let deps = &mut self.places[o.index()].lifeline_dependents;
+                        if !deps.contains(&place) {
+                            deps.push(place);
+                        }
+                    }
+                    return;
+                }
+            }
+            if got.is_some() {
+                break;
+            }
+        }
+
+        self.workers[w.index()].overhead_ns += overhead;
+        self.workers[w.index()].avail_at = now + overhead;
+        self.makespan = self.makespan.max(now + overhead);
+        self.policy.note_result(w, got.is_some());
+        match got {
+            Some(task) => self.start_task(now + overhead, w, task),
+            None => {
+                self.steals.failed_attempts += 1;
+                self.unclaim(w);
+                self.workers[w.index()].status = WorkerStatus::Dormant;
+            }
+        }
+    }
+
+    // -- execution -------------------------------------------------------------
+
+    fn start_task(&mut self, t: u64, w: GlobalWorkerId, task: Task) {
+        let place = self.place_of(w);
+        self.claim(w);
+        self.workers[w.index()].status = WorkerStatus::Busy;
+
+        // Run the body for real, recording its behaviour.
+        let mut scope = SimScope::new(place, task.origin_home, w, task.id);
+        (task.body)(&mut scope);
+
+        // Pure compute.
+        let work = task.est + scope.charged;
+        self.total_work += work;
+        let mut duration = work;
+
+        // Spawn bookkeeping cost (help-first push per child; DistWS
+        // additionally pays the mapping/status overhead per spawn).
+        let per_spawn = self.cfg.cost.private_deque_op_ns
+            + if self.policy.has_mapping_overhead() {
+                self.cfg.cost.mapping_overhead_ns
+            } else {
+                0
+            };
+        duration += scope.spawned.len() as u64 * per_spawn;
+
+        // Data accesses: remote references + cache model.
+        for a in &scope.accesses {
+            let local = a.home == place || (task.carried && task.footprint.contains(a.obj));
+            if !local {
+                duration += self.net.remote_ref(place, a.home, a.bytes);
+                self.remote_refs += 1;
+            }
+            if let Some(cache) = self.workers[w.index()].cache.as_mut() {
+                let misses = cache.access(a.obj.0, a.offset, a.bytes);
+                duration += misses * self.cfg.cost.l1_miss_penalty_ns;
+            }
+        }
+
+        self.workers[w.index()].busy_ns += duration;
+        let finish = t + duration;
+        self.workers[w.index()].avail_at = finish;
+        self.makespan = self.makespan.max(finish);
+
+        // Release children at evenly interpolated points of the
+        // execution window (a coarse task feeds the cluster while it
+        // runs, as under a real help-first runtime).
+        let n = scope.spawned.len() as u64;
+        for (i, spec) in scope.spawned.into_iter().enumerate() {
+            let rt = t + duration * (i as u64 + 1) / (n + 1);
+            let child_home = spec.home;
+            let fp = spec.migration_bytes();
+            let child = self.make_task(spec, place, Some(w));
+            if child_home == place {
+                self.schedule(rt, EventKind::Arrive(child));
+            } else {
+                // Cross-place `async at` launch: a real message.
+                let bytes = self.cfg.cost.closure_bytes + fp;
+                let cost = self.net.send(place, child_home, MsgKind::TaskMigrate, bytes);
+                self.schedule(rt + cost, EventKind::Arrive(child));
+            }
+        }
+
+        self.workers[w.index()].finishing_latch = task.latch;
+        self.schedule(finish, EventKind::Free(w));
+    }
+
+    // -- reporting ---------------------------------------------------------------
+
+    fn into_report(self, app: &str) -> RunReport {
+        let cluster = self.cfg.cluster.clone();
+        let wpp = cluster.workers_per_place as usize;
+        let makespan = self.makespan.max(1);
+        let mut per_place = Vec::with_capacity(cluster.places as usize);
+        for p in 0..cluster.places as usize {
+            let total: u64 = self.workers[p * wpp..(p + 1) * wpp]
+                .iter()
+                .map(|w| w.busy_ns + w.overhead_ns)
+                .sum();
+            per_place.push(total as f64 / (makespan as f64 * wpp as f64));
+        }
+        let mut cache = CacheSummary::default();
+        for w in &self.workers {
+            if let Some(c) = &w.cache {
+                cache.accesses += c.stats().accesses;
+                cache.misses += c.stats().misses;
+            }
+        }
+        RunReport {
+            scheduler: self.policy.name().to_string(),
+            app: app.to_string(),
+            config: cluster,
+            makespan_ns: self.makespan,
+            total_work_ns: self.total_work,
+            tasks_spawned: self.tasks_spawned,
+            tasks_executed: self.tasks_executed,
+            steals: self.steals,
+            messages: *self.net.counts(),
+            cache,
+            utilization: UtilizationSummary { per_place },
+            remote_refs: self.remote_refs,
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The [`TaskScope`] the simulator hands to executing task bodies: a
+//! recorder. Bodies run for real (mutating application state through
+//! their captured `Arc`s), while spawns, data accesses and
+//! data-dependent compute charges are collected here and converted to
+//! virtual-time costs by the engine afterwards.
+
+use distws_core::{Access, GlobalWorkerId, PlaceId, TaskId, TaskScope, TaskSpec};
+
+/// Recording scope for one task execution.
+pub(crate) struct SimScope {
+    pub here: PlaceId,
+    pub home: PlaceId,
+    pub worker: GlobalWorkerId,
+    pub task: TaskId,
+    /// Children spawned by the body, in spawn order.
+    pub spawned: Vec<TaskSpec>,
+    /// Extra compute charged by the body (virtual ns).
+    pub charged: u64,
+    /// Data accesses performed by the body, in program order.
+    pub accesses: Vec<Access>,
+}
+
+impl SimScope {
+    pub fn new(here: PlaceId, home: PlaceId, worker: GlobalWorkerId, task: TaskId) -> Self {
+        SimScope { here, home, worker, task, spawned: Vec::new(), charged: 0, accesses: Vec::new() }
+    }
+}
+
+impl TaskScope for SimScope {
+    fn here(&self) -> PlaceId {
+        self.here
+    }
+
+    fn home(&self) -> PlaceId {
+        self.home
+    }
+
+    fn worker(&self) -> GlobalWorkerId {
+        self.worker
+    }
+
+    fn task_id(&self) -> TaskId {
+        self.task
+    }
+
+    fn spawn(&mut self, spec: TaskSpec) {
+        self.spawned.push(spec);
+    }
+
+    fn charge(&mut self, ns: u64) {
+        self.charged += ns;
+    }
+
+    fn access(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distws_core::{Locality, ObjectId};
+
+    #[test]
+    fn records_everything_in_order() {
+        let mut s = SimScope::new(PlaceId(1), PlaceId(0), GlobalWorkerId(9), TaskId(7));
+        assert_eq!(s.here(), PlaceId(1));
+        assert_eq!(s.home(), PlaceId(0));
+        assert_eq!(s.worker(), GlobalWorkerId(9));
+        assert_eq!(s.task_id(), TaskId(7));
+        s.charge(100);
+        s.charge(50);
+        s.read(ObjectId(3), 0, 64, PlaceId(0));
+        s.write(ObjectId(3), 64, 64, PlaceId(0));
+        s.spawn(TaskSpec::new(PlaceId(1), Locality::Flexible, 1, "c", |_| {}));
+        assert_eq!(s.charged, 150);
+        assert_eq!(s.accesses.len(), 2);
+        assert_eq!(s.spawned.len(), 1);
+        assert_eq!(s.accesses[0].kind, distws_core::AccessKind::Read);
+        assert_eq!(s.accesses[1].kind, distws_core::AccessKind::Write);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests over the discrete-event engine: conservation,
+//! determinism and policy invariants must hold for *arbitrary* task
+//! graphs, not just the shipped applications.
+
+use distws_core::{ClusterConfig, Locality, PlaceId, TaskScope, TaskSpec};
+use distws_sched::{DistWs, DistWsNs, Policy, RandomWs, X10Ws};
+use distws_sim::Simulation;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A synthetic task tree description drawn by proptest.
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    roots: Vec<NodeSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    home: u32,
+    flexible: bool,
+    cost: u64,
+    children: u8,
+    grandchildren: u8,
+}
+
+fn node_strategy(places: u32) -> impl Strategy<Value = NodeSpec> {
+    (
+        0..places,
+        any::<bool>(),
+        1_000u64..200_000,
+        0u8..5,
+        0u8..4,
+    )
+        .prop_map(|(home, flexible, cost, children, grandchildren)| NodeSpec {
+            home,
+            flexible,
+            cost,
+            children,
+            grandchildren,
+        })
+}
+
+fn tree_strategy(places: u32) -> impl Strategy<Value = TreeSpec> {
+    proptest::collection::vec(node_strategy(places), 1..12)
+        .prop_map(|roots| TreeSpec { roots })
+}
+
+/// Materialize the tree as TaskSpecs; `executed` counts task bodies.
+fn build(tree: &TreeSpec, executed: &Arc<AtomicU64>) -> (Vec<TaskSpec>, u64) {
+    let mut total = 0u64;
+    let mut roots = Vec::new();
+    for node in &tree.roots {
+        total += 1 + node.children as u64 * (1 + node.grandchildren as u64);
+        let node = node.clone();
+        let executed = Arc::clone(executed);
+        let locality = if node.flexible { Locality::Flexible } else { Locality::Sensitive };
+        roots.push(TaskSpec::new(
+            PlaceId(node.home),
+            locality,
+            node.cost,
+            "prop-root",
+            move |s: &mut dyn TaskScope| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                for c in 0..node.children {
+                    let executed2 = Arc::clone(&executed);
+                    let grandchildren = node.grandchildren;
+                    let cost = node.cost / 2 + 500;
+                    let loc = if c % 2 == 0 { Locality::Flexible } else { Locality::Sensitive };
+                    s.spawn(TaskSpec::new(
+                        s.here(),
+                        loc,
+                        cost,
+                        "prop-child",
+                        move |s2: &mut dyn TaskScope| {
+                            executed2.fetch_add(1, Ordering::Relaxed);
+                            for _ in 0..grandchildren {
+                                let e3 = Arc::clone(&executed2);
+                                s2.spawn(TaskSpec::new(
+                                    s2.here(),
+                                    Locality::Flexible,
+                                    cost / 2 + 200,
+                                    "prop-leaf",
+                                    move |_| {
+                                        e3.fetch_add(1, Ordering::Relaxed);
+                                    },
+                                ));
+                            }
+                        },
+                    ));
+                }
+            },
+        ));
+    }
+    (roots, total)
+}
+
+fn policies() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(X10Ws),
+        Box::new(DistWs::default()),
+        Box::new(DistWsNs::default()),
+        Box::new(RandomWs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every task spawned is executed exactly once, under every policy,
+    /// for arbitrary trees.
+    #[test]
+    fn task_conservation(tree in tree_strategy(4)) {
+        for policy in policies() {
+            let executed = Arc::new(AtomicU64::new(0));
+            let (roots, total) = build(&tree, &executed);
+            let mut sim = Simulation::new(ClusterConfig::new(4, 2), policy);
+            let report = sim.run_roots("prop", roots);
+            prop_assert_eq!(report.tasks_spawned, total);
+            prop_assert_eq!(report.tasks_executed, total);
+            prop_assert_eq!(executed.load(Ordering::Relaxed), total);
+        }
+    }
+
+    /// Same tree + same seed ⇒ bit-identical reports.
+    #[test]
+    fn determinism(tree in tree_strategy(3)) {
+        let run = || {
+            let executed = Arc::new(AtomicU64::new(0));
+            let (roots, _) = build(&tree, &executed);
+            let mut sim = Simulation::new(ClusterConfig::new(3, 2), Box::new(DistWs::default()));
+            sim.run_roots("prop", roots)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.makespan_ns, b.makespan_ns);
+        prop_assert_eq!(a.steals, b.steals);
+        prop_assert_eq!(a.messages, b.messages);
+        prop_assert_eq!(a.utilization.per_place, b.utilization.per_place);
+    }
+
+    /// X10WS never produces cross-place steals or migrations, and
+    /// utilization stays in range, for arbitrary trees.
+    #[test]
+    fn x10ws_stays_within_places(tree in tree_strategy(4)) {
+        let executed = Arc::new(AtomicU64::new(0));
+        let (roots, _) = build(&tree, &executed);
+        let mut sim = Simulation::new(ClusterConfig::new(4, 2), Box::new(X10Ws));
+        let report = sim.run_roots("prop", roots);
+        prop_assert_eq!(report.steals.remote, 0);
+        for &u in &report.utilization.per_place {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    /// The makespan is sandwiched between total-work/workers (perfect
+    /// parallelism) and total work + all overheads on one worker.
+    #[test]
+    fn makespan_bounds(tree in tree_strategy(2)) {
+        let executed = Arc::new(AtomicU64::new(0));
+        let (roots, _) = build(&tree, &executed);
+        let cfg = ClusterConfig::new(2, 2);
+        let mut sim = Simulation::new(cfg.clone(), Box::new(DistWs::default()));
+        let report = sim.run_roots("prop", roots);
+        let lower = report.total_work_ns / u64::from(cfg.total_workers());
+        prop_assert!(report.makespan_ns >= lower,
+            "makespan {} below perfect-parallel bound {}", report.makespan_ns, lower);
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run Delaunay mesh generation under the paper's DistWS
+//! scheduler on a simulated 4-node cluster and print the headline
+//! numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use distws::apps::DelaunayGen;
+use distws::prelude::*;
+
+fn main() {
+    // A 4-place × 8-worker cluster (the paper's full evaluation uses
+    // 16 × 8 = 128 workers; see the `repro` binary for that).
+    let cluster = ClusterConfig::new(4, 8);
+    let app = DelaunayGen::default();
+
+    // Baseline: X10's shipped scheduler — stealing confined to a place.
+    let baseline = Simulation::new(cluster.clone(), Box::new(X10Ws)).run_app(&app);
+    // DistWS: locality-flexible tasks may be stolen across places.
+    let distws = Simulation::new(cluster, Box::new(DistWs::default())).run_app(&app);
+
+    println!("Delaunay mesh generation, {} tasks", distws.tasks_executed);
+    println!(
+        "  X10WS : makespan {:>8.2} ms, remote steals {:>5}, mean utilization {:>5.1} %",
+        baseline.makespan_ns as f64 / 1e6,
+        baseline.steals.remote,
+        baseline.utilization.mean() * 100.0
+    );
+    println!(
+        "  DistWS: makespan {:>8.2} ms, remote steals {:>5}, mean utilization {:>5.1} %",
+        distws.makespan_ns as f64 / 1e6,
+        distws.steals.remote,
+        distws.utilization.mean() * 100.0
+    );
+    println!(
+        "  DistWS speedup over X10WS: {:.1} %",
+        (baseline.makespan_ns as f64 / distws.makespan_ns as f64 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,40 @@
+//! Domain scenario: the Turing ring's travelling predator/prey wave
+//! and what it does to per-node utilization (the paper's §IV.B
+//! motivating example and Fig. 7 in miniature).
+//!
+//! ```sh
+//! cargo run --release --example turing_ring_wave
+//! ```
+
+use distws::apps::TuringRing;
+use distws::prelude::*;
+
+fn bar(frac: f64) -> String {
+    let n = (frac * 30.0).round().clamp(0.0, 30.0) as usize;
+    format!("{}{}", "#".repeat(n), ".".repeat(30 - n))
+}
+
+fn main() {
+    let cluster = ClusterConfig::new(8, 4);
+    let app = TuringRing::new(512, 1 << 16, 60);
+
+    println!("Turing ring: 512 cells, 65 536 bodies, 60 iterations, 8 places × 4 workers");
+    println!("bodies start concentrated in the first cells and travel around the ring,");
+    println!("so places take turns being overloaded — X10WS cannot rebalance them.\n");
+
+    for policy in [
+        Box::new(X10Ws) as Box<dyn Policy>,
+        Box::new(DistWs::default()) as Box<dyn Policy>,
+    ] {
+        let name = policy.name();
+        let r = Simulation::new(cluster.clone(), policy).run_app(&app);
+        println!("{name}: makespan {:.2} ms, remote steals {}", r.makespan_ns as f64 / 1e6, r.steals.remote);
+        for (p, u) in r.utilization.per_place.iter().enumerate() {
+            println!("  place {p}: {} {:>5.1} %", bar(*u), u * 100.0);
+        }
+        println!(
+            "  utilization disparity (max-min): {:.1} %\n",
+            r.utilization.disparity() * 100.0
+        );
+    }
+}

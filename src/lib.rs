@@ -1,0 +1,53 @@
+//! # distws — facade crate
+//!
+//! Reproduction of *"On the Merits of Distributed Work-Stealing on
+//! Selective Locality-Aware Tasks"* (Paudel, Tardieu, Amaral, ICPP
+//! 2013): a work-stealing runtime in which only programmer-annotated
+//! **locality-flexible** tasks may be stolen across places, plus the
+//! simulated cluster substrate, the full application suite, and the
+//! benchmark harness that regenerates every table and figure of the
+//! paper.
+//!
+//! This crate re-exports the workspace members under stable paths:
+//!
+//! * [`core`] — places, tasks, locality annotations, cost model, metrics
+//! * [`deque`] — Chase–Lev private deques and the shared FIFO deque
+//! * [`netsim`] — simulated interconnect with message accounting
+//! * [`cachesim`] — L1 cache model for Table II
+//! * [`sched`] — the scheduling policies (X10WS, DistWS, DistWS-NS, …)
+//! * [`sim`] — deterministic discrete-event cluster simulator
+//! * [`runtime`] — real multithreaded work-stealing runtime
+//! * [`apps`] — Cowichan + Lonestar + UTS + micro application suite
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distws::prelude::*;
+//!
+//! // Build the paper's 16-place × 8-worker cluster and run Delaunay
+//! // mesh generation under DistWS.
+//! let cfg = ClusterConfig::new(4, 2); // small shape for the doctest
+//! let app = distws::apps::delaunay_gen::DelaunayGen::quick();
+//! let report = distws::sim::Simulation::new(cfg, Box::new(DistWs::default()))
+//!     .run_app(&app);
+//! assert_eq!(report.tasks_spawned, report.tasks_executed);
+//! ```
+
+pub use distws_apps as apps;
+pub use distws_cachesim as cachesim;
+pub use distws_core as core;
+pub use distws_deque as deque;
+pub use distws_netsim as netsim;
+pub use distws_runtime as runtime;
+pub use distws_sched as sched;
+pub use distws_sim as sim;
+
+/// Convenience prelude: the types almost every user needs.
+pub mod prelude {
+    pub use distws_core::{
+        ClusterConfig, CostModel, Footprint, GlobalWorkerId, Locality, PlaceId, RunReport,
+        TaskScope, TaskSpec, WorkerId,
+    };
+    pub use distws_sched::{DistWs, DistWsNs, Policy, RandomWs, X10Ws};
+    pub use distws_sim::Simulation;
+}

@@ -1,0 +1,93 @@
+//! The full application suite on the **real threaded runtime**: same
+//! policies, real lock-free deques, real threads. Every workload must
+//! validate — scheduling and engine choice must never change answers.
+
+use distws::apps;
+use distws::prelude::*;
+use distws::runtime::Runtime;
+use distws_core::Workload;
+
+fn policies() -> Vec<Box<dyn Policy>> {
+    vec![Box::new(X10Ws), Box::new(DistWs::default()), Box::new(DistWsNs::default())]
+}
+
+fn run_all(app: &dyn Workload) {
+    for policy in policies() {
+        let name = policy.name();
+        let mut rt = Runtime::new(ClusterConfig::new(2, 2), policy);
+        let report = rt.run_app(app);
+        assert_eq!(
+            report.tasks_spawned, report.tasks_executed,
+            "{name}: task conservation violated on {}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn threaded_quicksort() {
+    run_all(&apps::Quicksort::quick());
+}
+
+#[test]
+fn threaded_turing_ring() {
+    run_all(&apps::TuringRing::quick());
+}
+
+#[test]
+fn threaded_kmeans() {
+    run_all(&apps::KMeans::quick());
+}
+
+#[test]
+fn threaded_agglomerative() {
+    run_all(&apps::Agglomerative::quick());
+}
+
+#[test]
+fn threaded_delaunay_gen() {
+    run_all(&apps::DelaunayGen::quick());
+}
+
+#[test]
+fn threaded_delaunay_refine() {
+    run_all(&apps::DelaunayRefine::quick());
+}
+
+#[test]
+fn threaded_nbody() {
+    run_all(&apps::NBody::quick());
+}
+
+#[test]
+fn threaded_uts() {
+    run_all(&apps::Uts::quick());
+}
+
+#[test]
+fn threaded_micro_suite() {
+    for app in apps::micro::micro_suite() {
+        let mut rt = Runtime::new(ClusterConfig::new(2, 2), Box::new(DistWs::default()));
+        rt.run_app(app.as_ref());
+    }
+}
+
+#[test]
+fn engines_agree_on_results() {
+    // The same workload object (fresh state per run) through both
+    // engines: both must validate, i.e. both produced the golden
+    // answer.
+    let app = apps::TuringRing::quick();
+    let mut sim = Simulation::new(ClusterConfig::new(2, 2), Box::new(DistWs::default()));
+    sim.run_app(&app);
+    let mut rt = Runtime::new(ClusterConfig::new(2, 2), Box::new(DistWs::default()));
+    rt.run_app(&app);
+}
+
+#[test]
+fn threaded_runtime_with_injected_latency() {
+    let mut cfg = distws::runtime::RuntimeConfig::new(ClusterConfig::new(2, 2));
+    cfg.net_delay = Some(std::time::Duration::from_micros(100));
+    let mut rt = Runtime::with_config(cfg, Box::new(DistWs::default()));
+    rt.run_app(&apps::KMeans::quick());
+}

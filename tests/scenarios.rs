@@ -1,0 +1,125 @@
+//! Failure-injection / stress scenarios for the scheduling machinery:
+//! bursty arrivals, hotspot shifts, pathological task mixes.
+
+use distws::prelude::*;
+use distws_core::{FinishLatch, TaskSpec, Workload};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A workload whose load hotspot jumps between places in bursts:
+/// phase k drops a burst of coarse flexible tasks on place `k % P`,
+/// with a finish barrier between phases.
+struct BurstHotspot {
+    phases: usize,
+    burst: usize,
+    counter: Mutex<Option<Arc<AtomicU64>>>,
+}
+
+impl BurstHotspot {
+    fn phase_task(counter: Arc<AtomicU64>, phases: usize, burst: usize, k: usize, places: u32) -> TaskSpec {
+        TaskSpec::new(PlaceId(0), Locality::Sensitive, 5_000, "burst-coord", move |s| {
+            if k == phases {
+                return;
+            }
+            let next = Self::phase_task(Arc::clone(&counter), phases, burst, k + 1, places);
+            let latch = FinishLatch::new(burst, next);
+            let hot = PlaceId((k as u32) % places);
+            for _ in 0..burst {
+                let c = Arc::clone(&counter);
+                s.spawn(
+                    TaskSpec::new(hot, Locality::Flexible, 400_000, "burst-work", move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .with_latch(Arc::clone(&latch)),
+                );
+            }
+        })
+    }
+}
+
+impl Workload for BurstHotspot {
+    fn name(&self) -> String {
+        "BurstHotspot".into()
+    }
+
+    fn roots(&self, cfg: &distws_core::ClusterConfig) -> Vec<TaskSpec> {
+        let counter = Arc::new(AtomicU64::new(0));
+        *self.counter.lock().unwrap() = Some(Arc::clone(&counter));
+        vec![Self::phase_task(counter, self.phases, self.burst, 0, cfg.places)]
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let got = self
+            .counter
+            .lock()
+            .unwrap()
+            .as_ref()
+            .ok_or("no run")?
+            .load(Ordering::Relaxed);
+        let expect = (self.phases * self.burst) as u64;
+        if got == expect {
+            Ok(())
+        } else {
+            Err(format!("{got} != {expect} burst tasks ran"))
+        }
+    }
+}
+
+#[test]
+fn distws_absorbs_moving_hotspots() {
+    let app = BurstHotspot { phases: 6, burst: 48, counter: Mutex::new(None) };
+    let cfg = ClusterConfig::new(4, 4);
+    let x10 = Simulation::new(cfg.clone(), Box::new(X10Ws)).run_app(&app);
+    let dws = Simulation::new(cfg, Box::new(DistWs::default())).run_app(&app);
+    assert!(dws.steals.remote > 0);
+    assert!(
+        dws.makespan_ns * 2 < x10.makespan_ns,
+        "a moving hotspot should be where DistWS dominates: {} vs {}",
+        dws.makespan_ns,
+        x10.makespan_ns
+    );
+    // The burst place alone bounds X10WS: every phase serializes on 4
+    // workers of one place.
+    let per_phase_x10 = x10.makespan_ns / 6;
+    assert!(per_phase_x10 >= 48 / 4 * 400_000, "X10WS faster than its own lower bound?");
+}
+
+#[test]
+fn all_policies_survive_pathological_task_mixes() {
+    // Alternating zero-cost and coarse tasks, some sensitive at
+    // rotating places, deep latch chains.
+    for policy in [
+        Box::new(X10Ws) as Box<dyn Policy>,
+        Box::new(DistWs::default()),
+        Box::new(DistWsNs::default()),
+        Box::new(RandomWs),
+    ] {
+        let app = BurstHotspot { phases: 3, burst: 17, counter: Mutex::new(None) };
+        let r = Simulation::new(ClusterConfig::new(3, 2), policy).run_app(&app);
+        assert_eq!(r.tasks_spawned, r.tasks_executed);
+    }
+}
+
+#[test]
+fn zero_cost_tasks_do_not_break_accounting() {
+    let roots: Vec<TaskSpec> = (0..50)
+        .map(|i| TaskSpec::new(PlaceId(i % 2), Locality::Flexible, 0, "zero", |_| {}))
+        .collect();
+    let mut sim = Simulation::new(ClusterConfig::new(2, 2), Box::new(DistWs::default()));
+    let r = sim.run_roots("zero", roots);
+    assert_eq!(r.tasks_executed, 50);
+    for &u in &r.utilization.per_place {
+        assert!((0.0..=1.0).contains(&u));
+    }
+}
+
+#[test]
+fn single_worker_cluster_handles_everything() {
+    let app = BurstHotspot { phases: 2, burst: 5, counter: Mutex::new(None) };
+    let r = Simulation::new(ClusterConfig::new(1, 1), Box::new(DistWs::default())).run_app(&app);
+    // The lone worker may still pull from its own shared deque, but
+    // nothing can cross places.
+    assert_eq!(r.steals.remote, 0);
+    assert_eq!(r.steals.local_private, 0);
+    assert_eq!(r.messages.total(), 0);
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration: every application of the paper's suite
+//! runs to completion under every scheduling policy on the
+//! discrete-event simulator, produces a *validated* answer (scheduling
+//! must never change results), and conserves tasks.
+
+use distws::apps;
+use distws::prelude::*;
+use distws::sched::{AdaptiveWs, LifelineWs};
+use distws_core::Workload;
+
+fn policies() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(X10Ws),
+        Box::new(DistWs::default()),
+        Box::new(DistWsNs::default()),
+        Box::new(RandomWs),
+        Box::new(LifelineWs::default()),
+        Box::new(AdaptiveWs::default()),
+    ]
+}
+
+fn run_all(app: &dyn Workload) {
+    for policy in policies() {
+        let name = policy.name();
+        let mut sim = Simulation::new(ClusterConfig::new(4, 2), policy);
+        // run_app panics if the workload fails validation.
+        let report = sim.run_app(app);
+        assert_eq!(
+            report.tasks_spawned, report.tasks_executed,
+            "{name}: task conservation violated on {}",
+            app.name()
+        );
+        assert!(report.makespan_ns > 0);
+        for &u in &report.utilization.per_place {
+            assert!((0.0..=1.0).contains(&u), "{name}: utilization {u} out of range");
+        }
+    }
+}
+
+#[test]
+fn quicksort_all_policies() {
+    run_all(&apps::Quicksort::quick());
+}
+
+#[test]
+fn turing_ring_all_policies() {
+    run_all(&apps::TuringRing::quick());
+}
+
+#[test]
+fn kmeans_all_policies() {
+    run_all(&apps::KMeans::quick());
+}
+
+#[test]
+fn agglomerative_all_policies() {
+    run_all(&apps::Agglomerative::quick());
+}
+
+#[test]
+fn delaunay_gen_all_policies() {
+    run_all(&apps::DelaunayGen::quick());
+}
+
+#[test]
+fn delaunay_refine_all_policies() {
+    run_all(&apps::DelaunayRefine::quick());
+}
+
+#[test]
+fn nbody_all_policies() {
+    run_all(&apps::NBody::quick());
+}
+
+#[test]
+fn uts_all_policies() {
+    run_all(&apps::Uts::quick());
+}
+
+#[test]
+fn micro_suite_all_policies() {
+    for app in apps::micro::micro_suite() {
+        // Micro apps use smaller instances in tests.
+        run_all(app.as_ref());
+    }
+}
+
+#[test]
+fn single_place_runs_every_app() {
+    // Degenerate cluster: one place, one worker.
+    for app in apps::quick_suite() {
+        let mut sim = Simulation::new(ClusterConfig::new(1, 1), Box::new(DistWs::default()));
+        let report = sim.run_app(app.as_ref());
+        assert_eq!(report.steals.remote, 0, "{}: no remote steals possible", app.name());
+    }
+}
+
+#[test]
+fn distws_beats_x10ws_on_imbalanced_apps_at_scale() {
+    // The paper's headline: on irregular apps over multiple places,
+    // DistWS outperforms X10WS. DMG is the paper's best case.
+    let app = apps::DelaunayGen::quick();
+    let mut x10 = Simulation::new(ClusterConfig::new(8, 2), Box::new(X10Ws));
+    let r_x10 = x10.run_app(&app);
+    let mut dws = Simulation::new(ClusterConfig::new(8, 2), Box::new(DistWs::default()));
+    let r_dws = dws.run_app(&app);
+    assert!(
+        r_dws.makespan_ns < r_x10.makespan_ns,
+        "DistWS ({}) should beat X10WS ({}) on DMG",
+        r_dws.makespan_ns,
+        r_x10.makespan_ns
+    );
+}
+
+#[test]
+fn distws_never_migrates_sensitive_tasks_in_any_app() {
+    // The paper's guarantee, checked by the engine on every migration:
+    // running the full suite under DistWS would panic on a violation.
+    for app in apps::quick_suite() {
+        let mut sim = Simulation::new(ClusterConfig::new(4, 2), Box::new(DistWs::default()));
+        sim.run_app(app.as_ref());
+    }
+}
+
+#[test]
+fn reports_are_deterministic_across_repeated_runs() {
+    let run = || {
+        let app = apps::TuringRing::quick();
+        let mut sim = Simulation::new(ClusterConfig::new(4, 2), Box::new(DistWs::default()));
+        sim.run_app(&app)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan_ns, b.makespan_ns);
+    assert_eq!(a.steals, b.steals);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.cache, b.cache);
+}
