@@ -103,12 +103,21 @@ fn merge_round(
             );
             let id = *next_id;
             *next_id += 1;
-            out.push(Merge { a: a.id.min(b.id), b: a.id.max(b.id), into: id, dist2: d });
+            out.push(Merge {
+                a: a.id.min(b.id),
+                b: a.id.max(b.id),
+                into: id,
+                dist2: d,
+            });
             merged.push(Cluster { id, center, size });
         }
     }
-    let mut survivors: Vec<Cluster> =
-        clusters.iter().zip(&dead).filter(|(_, &d)| !d).map(|(c, _)| *c).collect();
+    let mut survivors: Vec<Cluster> = clusters
+        .iter()
+        .zip(&dead)
+        .filter(|(_, &d)| !d)
+        .map(|(c, _)| *c)
+        .collect();
     survivors.extend(merged);
     survivors
 }
@@ -118,7 +127,11 @@ fn golden(points: &[Point2]) -> Vec<Merge> {
     let mut clusters: Vec<Cluster> = points
         .iter()
         .enumerate()
-        .map(|(i, p)| Cluster { id: i as u32, center: *p, size: 1 })
+        .map(|(i, p)| Cluster {
+            id: i as u32,
+            center: *p,
+            size: 1,
+        })
         .collect();
     let mut next_id = points.len() as u32;
     let mut merges = Vec::new();
@@ -163,7 +176,12 @@ impl Agglomerative {
     /// Cluster `n` points.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 2);
-        Agglomerative { n, seed, chunks_per_place: 12, state: Mutex::new(None) }
+        Agglomerative {
+            n,
+            seed,
+            chunks_per_place: 12,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -194,7 +212,13 @@ struct Shared {
 }
 
 /// NN-query task over active-cluster indices `[lo, hi)`.
-fn nn_task(sh: Arc<Shared>, lo: usize, hi: usize, home: PlaceId, latch: Arc<FinishLatch>) -> TaskSpec {
+fn nn_task(
+    sh: Arc<Shared>,
+    lo: usize,
+    hi: usize,
+    home: PlaceId,
+    latch: Arc<FinishLatch>,
+) -> TaskSpec {
     let sh2 = Arc::clone(&sh);
     let body = move |s: &mut dyn TaskScope| {
         let (snapshot, pairs) = {
@@ -236,7 +260,12 @@ fn round_task(sh: Arc<Shared>, first: bool) -> TaskSpec {
             }
             st.nn = vec![(usize::MAX, f64::INFINITY); st.clusters.len()];
         }
-        s.write(TABLE_OBJ, 0, 24 * sh0.state.lock().unwrap().clusters.len() as u64, PlaceId(0));
+        s.write(
+            TABLE_OBJ,
+            0,
+            24 * sh0.state.lock().unwrap().clusters.len() as u64,
+            PlaceId(0),
+        );
         let active = sh0.state.lock().unwrap().clusters.len();
         let chunks_total = (sh0.places as usize * sh0.chunks_per_place).min(active);
         let next = round_task(Arc::clone(&sh0), false);
@@ -265,7 +294,13 @@ fn round_task(sh: Arc<Shared>, first: bool) -> TaskSpec {
             s.spawn(nn_task(Arc::clone(&sh0), lo, hi, home, Arc::clone(&latch)));
         }
     };
-    TaskSpec::new(PlaceId(0), Locality::Sensitive, TASK_BASE_NS, "agglom-round", body)
+    TaskSpec::new(
+        PlaceId(0),
+        Locality::Sensitive,
+        TASK_BASE_NS,
+        "agglom-round",
+        body,
+    )
 }
 
 impl Workload for Agglomerative {
@@ -279,7 +314,11 @@ impl Workload for Agglomerative {
         let clusters: Vec<Cluster> = points
             .iter()
             .enumerate()
-            .map(|(i, p)| Cluster { id: i as u32, center: *p, size: 1 })
+            .map(|(i, p)| Cluster {
+                id: i as u32,
+                center: *p,
+                size: 1,
+            })
             .collect();
         let state = Arc::new(Mutex::new(AlgoState {
             nn: vec![(usize::MAX, f64::INFINITY); clusters.len()],
@@ -308,7 +347,11 @@ impl Workload for Agglomerative {
             return Err(format!("{} clusters remain", algo.clusters.len()));
         }
         if algo.merges.len() != st.n - 1 {
-            return Err(format!("{} merges, expected {}", algo.merges.len(), st.n - 1));
+            return Err(format!(
+                "{} merges, expected {}",
+                algo.merges.len(),
+                st.n - 1
+            ));
         }
         if algo.clusters[0].size as usize != st.n {
             return Err("root cluster size wrong".into());
@@ -344,7 +387,11 @@ mod tests {
         let clusters: Vec<Cluster> = pts
             .iter()
             .enumerate()
-            .map(|(i, p)| Cluster { id: i as u32, center: *p, size: 1 })
+            .map(|(i, p)| Cluster {
+                id: i as u32,
+                center: *p,
+                size: 1,
+            })
             .collect();
         let nn: Vec<(usize, f64)> = (0..clusters.len()).map(|i| nearest(&clusters, i)).collect();
         // The closest pair overall must be mutual (guarantees progress).
@@ -364,7 +411,11 @@ mod tests {
         let clusters: Vec<Cluster> = pts
             .iter()
             .enumerate()
-            .map(|(i, p)| Cluster { id: i as u32, center: *p, size: 1 })
+            .map(|(i, p)| Cluster {
+                id: i as u32,
+                center: *p,
+                size: 1,
+            })
             .collect();
         let nn: Vec<(usize, f64)> = (0..clusters.len()).map(|i| nearest(&clusters, i)).collect();
         let mut next = 100;
@@ -384,7 +435,11 @@ mod tests {
         let a = Agglomerative::new(128, 7);
         let merges = golden(&a.gen_points());
         let head: f64 = merges[..16].iter().map(|m| m.dist2).sum::<f64>() / 16.0;
-        let tail: f64 = merges[merges.len() - 4..].iter().map(|m| m.dist2).sum::<f64>() / 4.0;
+        let tail: f64 = merges[merges.len() - 4..]
+            .iter()
+            .map(|m| m.dist2)
+            .sum::<f64>()
+            / 4.0;
         assert!(tail > head * 10.0, "head {head} tail {tail}");
     }
 }

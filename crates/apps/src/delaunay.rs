@@ -65,7 +65,11 @@ impl Triangulation {
         let margin = 0.25 * w;
         Triangulation {
             pts: vec![a, b, c],
-            tris: vec![Tri { v: [0, 1, 2], n: [NONE; 3], alive: true }],
+            tris: vec![Tri {
+                v: [0, 1, 2],
+                n: [NONE; 3],
+                alive: true,
+            }],
             free: Vec::new(),
             last: 0,
             inserted: 0,
@@ -91,7 +95,9 @@ impl Triangulation {
 
     /// All live triangles not touching the super-triangle vertices.
     pub fn interior_triangles(&self) -> impl Iterator<Item = &Tri> {
-        self.tris.iter().filter(|t| t.alive && t.v.iter().all(|&v| v >= 3))
+        self.tris
+            .iter()
+            .filter(|t| t.alive && t.v.iter().all(|&v| v >= 3))
     }
 
     /// Number of live triangles (including super-adjacent ones).
@@ -101,7 +107,11 @@ impl Triangulation {
 
     /// Corner coordinates of a triangle.
     pub fn corners(&self, t: &Tri) -> [Point2; 3] {
-        [self.pts[t.v[0] as usize], self.pts[t.v[1] as usize], self.pts[t.v[2] as usize]]
+        [
+            self.pts[t.v[0] as usize],
+            self.pts[t.v[1] as usize],
+            self.pts[t.v[2] as usize],
+        ]
     }
 
     fn alive_hint(&self) -> u32 {
@@ -220,7 +230,11 @@ impl Triangulation {
         let mut end_of: HashMap<u32, u32> = HashMap::with_capacity(boundary.len());
         let mut new_ids = Vec::with_capacity(boundary.len());
         for &(a, b, outer) in &boundary {
-            let id = self.alloc(Tri { v: [a, b, vi], n: [outer, NONE, NONE], alive: true });
+            let id = self.alloc(Tri {
+                v: [a, b, vi],
+                n: [outer, NONE, NONE],
+                alive: true,
+            });
             start_of.insert(a, id);
             end_of.insert(b, id);
             new_ids.push(id);
@@ -317,7 +331,8 @@ impl Triangulation {
                     return Err(format!("triangle {i} points at dead neighbour {nb}"));
                 }
                 let (va, vb) = (t.v[e], t.v[(e + 1) % 3]);
-                let has_back = (0..3).any(|j| nt.v[j] == vb && nt.v[(j + 1) % 3] == va && nt.n[j] == i as u32);
+                let has_back =
+                    (0..3).any(|j| nt.v[j] == vb && nt.v[(j + 1) % 3] == va && nt.n[j] == i as u32);
                 if !has_back {
                     return Err(format!("asymmetric link {i} -> {nb}"));
                 }

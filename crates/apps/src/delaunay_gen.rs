@@ -66,7 +66,13 @@ impl DelaunayGen {
     /// Generate a mesh from `n_points` clustered points.
     pub fn new(n_points: usize, buckets: usize, batch: usize, seed: u64) -> Self {
         assert!(buckets >= 1 && batch >= 1);
-        DelaunayGen { n_points, buckets, batch, seed, state: Mutex::new(None) }
+        DelaunayGen {
+            n_points,
+            buckets,
+            batch,
+            seed,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests and doctests.
@@ -125,7 +131,9 @@ fn chain_task(sh: Arc<Shared>, bucket: usize, offset: usize, home: PlaceId) -> T
     let mesh_bytes = (1 + 2 * offset) as u64 * TRI_BYTES;
     let rest_bytes = (total - offset) as u64 * PT_BYTES;
     let obj = ObjectId(1 + bucket as u64);
-    let fp = Footprint { regions: vec![Access::read(obj, 0, mesh_bytes + rest_bytes, home)] };
+    let fp = Footprint {
+        regions: vec![Access::read(obj, 0, mesh_bytes + rest_bytes, home)],
+    };
     let est = TASK_BASE_NS;
     let sh2 = Arc::clone(&sh);
     let body = move |s: &mut dyn TaskScope| {
@@ -206,7 +214,8 @@ impl Workload for DelaunayGen {
             if m.live_triangles() != 1 + 2 * m.inserted() {
                 return Err(format!("bucket {b}: Euler relation violated"));
             }
-            m.check_structure().map_err(|e| format!("bucket {b}: {e}"))?;
+            m.check_structure()
+                .map_err(|e| format!("bucket {b}: {e}"))?;
             if m.delaunay_violations(2_000) > 0 {
                 return Err(format!("bucket {b}: Delaunay property violated"));
             }

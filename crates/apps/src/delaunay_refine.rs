@@ -100,8 +100,7 @@ impl DelaunayRefine {
         buckets
             .into_iter()
             .map(|pts| {
-                let mut t =
-                    Triangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+                let mut t = Triangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
                 for p in pts {
                     t.insert(p);
                 }
@@ -126,12 +125,7 @@ struct Shared {
 /// inside the circumcircle — so centers closer than `r_min` to this
 /// round's insertions are skipped. The point set then stays
 /// `r_min`-separated and refinement terminates by a packing argument.
-fn insert_round(
-    mesh: &mut Triangulation,
-    bad: &[[Point2; 3]],
-    batch: usize,
-    r_min: f64,
-) -> u64 {
+fn insert_round(mesh: &mut Triangulation, bad: &[[Point2; 3]], batch: usize, r_min: f64) -> u64 {
     let mut placed: Vec<Point2> = Vec::with_capacity(batch);
     for tri in bad.iter() {
         if placed.len() >= batch {
@@ -173,7 +167,9 @@ fn refine_task(sh: Arc<Shared>, bucket: usize, home: PlaceId) -> TaskSpec {
         let m = sh.meshes[bucket].lock().unwrap();
         m.live_triangles() as u64 * TRI_BYTES
     };
-    let fp = Footprint { regions: vec![Access::read(obj, 0, mesh_bytes, home)] };
+    let fp = Footprint {
+        regions: vec![Access::read(obj, 0, mesh_bytes, home)],
+    };
     TaskSpec::new(home, Locality::Flexible, TASK_BASE_NS, "dmr-round", body).with_footprint(fp)
 }
 
@@ -184,8 +180,10 @@ impl Workload for DelaunayRefine {
 
     fn roots(&self, cfg: &ClusterConfig) -> Vec<TaskSpec> {
         let seeds = self.build_seed();
-        let initial_bad: usize =
-            seeds.iter().map(|m| m.bad_triangles(self.min_angle, self.r_min).len()).sum();
+        let initial_bad: usize = seeds
+            .iter()
+            .map(|m| m.bad_triangles(self.min_angle, self.r_min).len())
+            .sum();
         let meshes: Vec<Arc<Mutex<Triangulation>>> =
             seeds.into_iter().map(|m| Arc::new(Mutex::new(m))).collect();
         *self.state.lock().unwrap() = Some(RunState {
@@ -220,7 +218,8 @@ impl Workload for DelaunayRefine {
                     "bucket {b}: {remaining} bad triangles above the floor remain"
                 ));
             }
-            m.check_structure().map_err(|e| format!("bucket {b}: {e}"))?;
+            m.check_structure()
+                .map_err(|e| format!("bucket {b}: {e}"))?;
             if m.delaunay_violations(1_000) > 0 {
                 return Err(format!("bucket {b}: Delaunay property violated"));
             }
@@ -247,7 +246,11 @@ mod tests {
                 rounds += 1;
                 assert!(rounds < 10_000, "refinement did not terminate");
                 let inserted = insert_round(m, &bad, 16, r.r_min);
-                assert!(inserted > 0, "round made no progress with {} bad triangles", bad.len());
+                assert!(
+                    inserted > 0,
+                    "round made no progress with {} bad triangles",
+                    bad.len()
+                );
             }
             assert!(m.bad_triangles(r.min_angle, r.r_min).is_empty());
             m.check_structure().unwrap();
@@ -258,7 +261,9 @@ mod tests {
     fn refinement_adds_points() {
         let r = DelaunayRefine::quick();
         let meshes = r.build_seed();
-        let has_bad = meshes.iter().any(|m| !m.bad_triangles(r.min_angle, r.r_min).is_empty());
+        let has_bad = meshes
+            .iter()
+            .any(|m| !m.bad_triangles(r.min_angle, r.r_min).is_empty());
         assert!(has_bad, "seed mesh has nothing to refine — bad test input");
     }
 

@@ -94,8 +94,8 @@ pub fn in_circumcircle(a: &Point2, b: &Point2, c: &Point2, p: &Point2) -> bool {
     let ad = adx * adx + ady * ady;
     let bd = bdx * bdx + bdy * bdy;
     let cd = cdx * cdx + cdy * cdy;
-    let det = adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx)
-        + ad * (bdx * cdy - bdy * cdx);
+    let det =
+        adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) + ad * (bdx * cdy - bdy * cdx);
     det > 0.0
 }
 
@@ -122,7 +122,9 @@ pub fn min_angle_deg(a: &Point2, b: &Point2, c: &Point2) -> f64 {
         let cos = ((s1 * s1 + s2 * s2 - opp * opp) / (2.0 * s1 * s2)).clamp(-1.0, 1.0);
         cos.acos().to_degrees()
     };
-    angle(la, lb, lc).min(angle(lb, la, lc)).min(angle(lc, la, lb))
+    angle(la, lb, lc)
+        .min(angle(lb, la, lc))
+        .min(angle(lc, la, lb))
 }
 
 #[cfg(test)]

@@ -73,7 +73,15 @@ impl KMeans {
     /// k-means over `n` points in `dim` dimensions.
     pub fn new(n: usize, k: usize, dim: usize, iterations: usize, seed: u64) -> Self {
         assert!(k >= 1 && dim >= 1 && n >= k);
-        KMeans { n, k, dim, iterations, seed, chunks_per_place: 16, state: Mutex::new(None) }
+        KMeans {
+            n,
+            k,
+            dim,
+            iterations,
+            seed,
+            chunks_per_place: 16,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -91,8 +99,9 @@ impl KMeans {
         let mut rng = SplitMix64::new(self.seed);
         let one = 1i64 << FP;
         // k true centers, points scattered around them.
-        let centers: Vec<i64> =
-            (0..self.k * self.dim).map(|_| (rng.next_f64() * one as f64) as i64).collect();
+        let centers: Vec<i64> = (0..self.k * self.dim)
+            .map(|_| (rng.next_f64() * one as f64) as i64)
+            .collect();
         let mut pts = Vec::with_capacity(self.n * self.dim);
         for i in 0..self.n {
             let c = i % self.k;
@@ -210,7 +219,9 @@ fn chunk_task(sh: Arc<Shared>, idx: usize, latch: Arc<FinishLatch>) -> TaskSpec 
     let est = TASK_BASE_NS + NS_PER_DIST * (npts * sh.k * sh.dim) as u64;
     let bytes = (npts * sh.dim * 8) as u64;
     let obj = ObjectId(POINTS_OBJ_BASE + idx as u64);
-    let fp = Footprint { regions: vec![Access::read(obj, 0, bytes, home)] };
+    let fp = Footprint {
+        regions: vec![Access::read(obj, 0, bytes, home)],
+    };
     let sh2 = Arc::clone(&sh);
     let body = move |s: &mut dyn TaskScope| {
         let centroids = sh2.result.lock().unwrap().centroids.clone();
@@ -245,8 +256,11 @@ fn iteration_task(sh: Arc<Shared>, iter: usize) -> TaskSpec {
             let (sums, counts, inertia) = {
                 let mut acc = sh0.acc.lock().unwrap();
                 let k = sh0.k * sh0.dim;
-                let taken =
-                    (std::mem::replace(&mut acc.0, vec![0i64; k]), std::mem::replace(&mut acc.1, vec![0u64; sh0.k]), acc.2);
+                let taken = (
+                    std::mem::replace(&mut acc.0, vec![0i64; k]),
+                    std::mem::replace(&mut acc.1, vec![0u64; sh0.k]),
+                    acc.2,
+                );
                 acc.2 = 0;
                 taken
             };
@@ -335,7 +349,11 @@ mod tests {
             // the first's (when there are enough points to skew).
             if n >= 1_000 {
                 let load = |p: u32| -> usize {
-                    chunks.iter().filter(|(_, _, h)| h.0 == p).map(|(lo, hi, _)| hi - lo).sum()
+                    chunks
+                        .iter()
+                        .filter(|(_, _, h)| h.0 == p)
+                        .map(|(lo, hi, _)| hi - lo)
+                        .sum()
                 };
                 assert!(load(places - 1) >= 4 * load(0).max(1), "not skewed enough");
             }

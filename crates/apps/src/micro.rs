@@ -69,7 +69,12 @@ impl MergeSortMicro {
     /// Sort `n` elements with initial runs of length `run`.
     pub fn new(n: usize, run: usize, seed: u64) -> Self {
         assert!(n.is_power_of_two() && run.is_power_of_two() && run <= n);
-        MergeSortMicro { n, run, seed, state: Mutex::new(None) }
+        MergeSortMicro {
+            n,
+            run,
+            seed,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -214,7 +219,12 @@ impl Default for SkylineMM {
 impl SkylineMM {
     /// An `n × n` skyline matrix.
     pub fn new(n: usize, rows_per_task: usize, seed: u64) -> Self {
-        SkylineMM { n, rows_per_task, seed, state: Mutex::new(None) }
+        SkylineMM {
+            n,
+            rows_per_task,
+            seed,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -231,9 +241,15 @@ impl SkylineMM {
         for i in 0..self.n {
             let start = rng.below_usize(i + 1);
             skyline.push(start);
-            rows.push((start..=i).map(|_| rng.below(2_000) as i64 - 1_000).collect());
+            rows.push(
+                (start..=i)
+                    .map(|_| rng.below(2_000) as i64 - 1_000)
+                    .collect(),
+            );
         }
-        let x: Vec<i64> = (0..self.n).map(|_| rng.below(2_000) as i64 - 1_000).collect();
+        let x: Vec<i64> = (0..self.n)
+            .map(|_| rng.below(2_000) as i64 - 1_000)
+            .collect();
         (skyline, rows, x)
     }
 }
@@ -247,10 +263,19 @@ impl Workload for SkylineMM {
         let (skyline, rows, x) = self.gen();
         // Sequential golden product.
         let expect: Vec<i64> = (0..self.n)
-            .map(|i| rows[i].iter().zip(&x[skyline[i]..=i]).map(|(a, b)| a * b).sum())
+            .map(|i| {
+                rows[i]
+                    .iter()
+                    .zip(&x[skyline[i]..=i])
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
             .collect();
         let y = SharedSlice::new(vec![0i64; self.n]);
-        *self.state.lock().unwrap() = Some(SkState { y: Arc::clone(&y), expect });
+        *self.state.lock().unwrap() = Some(SkState {
+            y: Arc::clone(&y),
+            expect,
+        });
         let rows = Arc::new(rows);
         let skyline = Arc::new(skyline);
         let x = Arc::new(x);
@@ -259,8 +284,12 @@ impl Workload for SkylineMM {
         let mut lo = 0usize;
         while lo < self.n {
             let hi = (lo + self.rows_per_task).min(self.n);
-            let (rows, skyline, x, y) =
-                (Arc::clone(&rows), Arc::clone(&skyline), Arc::clone(&x), Arc::clone(&y));
+            let (rows, skyline, x, y) = (
+                Arc::clone(&rows),
+                Arc::clone(&skyline),
+                Arc::clone(&x),
+                Arc::clone(&y),
+            );
             let est_ops: usize = (lo..hi).map(|i| i - skyline[i] + 1).sum();
             out.push(TaskSpec::new(
                 dist.place_of(lo),
@@ -271,7 +300,11 @@ impl Workload for SkylineMM {
                     // SAFETY: row chunks write disjoint y ranges.
                     let yc = unsafe { y.slice_mut(lo, hi) };
                     for (k, i) in (lo..hi).enumerate() {
-                        yc[k] = rows[i].iter().zip(&x[skyline[i]..=i]).map(|(a, b)| a * b).sum();
+                        yc[k] = rows[i]
+                            .iter()
+                            .zip(&x[skyline[i]..=i])
+                            .map(|(a, b)| a * b)
+                            .sum();
                     }
                 },
             ));
@@ -322,7 +355,12 @@ impl Default for MonteCarloPi {
 impl MonteCarloPi {
     /// `samples` darts in blocks of `per_task`.
     pub fn new(samples: u64, per_task: u64, seed: u64) -> Self {
-        MonteCarloPi { samples, per_task, seed, state: Mutex::new(None) }
+        MonteCarloPi {
+            samples,
+            per_task,
+            seed,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -428,7 +466,12 @@ impl MatrixChain {
     /// A chain of `n` matrices with random dimensions.
     pub fn new(n: usize, cells_per_task: usize, seed: u64) -> Self {
         assert!(n >= 2);
-        MatrixChain { n, cells_per_task, seed, state: Mutex::new(None) }
+        MatrixChain {
+            n,
+            cells_per_task,
+            seed,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -448,7 +491,9 @@ impl MatrixChain {
             for i in 0..=n - len {
                 let j = i + len - 1;
                 m[i * n + j] = (i..j)
-                    .map(|k| m[i * n + k] + m[(k + 1) * n + j] + dims[i] * dims[k + 1] * dims[j + 1])
+                    .map(|k| {
+                        m[i * n + k] + m[(k + 1) * n + j] + dims[i] * dims[k + 1] * dims[j + 1]
+                    })
                     .min()
                     .unwrap();
             }
@@ -478,8 +523,7 @@ fn mc_diagonal(
             cells_per_task,
             places,
         );
-        let chunks: Vec<Vec<usize>> =
-            cells.chunks(cells_per_task).map(|c| c.to_vec()).collect();
+        let chunks: Vec<Vec<usize>> = cells.chunks(cells_per_task).map(|c| c.to_vec()).collect();
         let latch = FinishLatch::new(chunks.len(), next);
         for (ci, chunk) in chunks.into_iter().enumerate() {
             let (m, dims) = (Arc::clone(&m), Arc::clone(&dims));
@@ -529,7 +573,14 @@ impl Workload for MatrixChain {
             n: self.n,
             expect,
         });
-        vec![mc_diagonal(m, dims, self.n, 2, self.cells_per_task, cfg.places)]
+        vec![mc_diagonal(
+            m,
+            dims,
+            self.n,
+            2,
+            self.cells_per_task,
+            cfg.places,
+        )]
     }
 
     fn validate(&self) -> Result<(), String> {
@@ -577,7 +628,13 @@ impl RandomAccess {
     /// `updates` XOR updates over a `table`-entry table.
     pub fn new(table: usize, updates: u64, per_task: u64, seed: u64) -> Self {
         assert!(table.is_power_of_two());
-        RandomAccess { table, updates, per_task, seed, state: Mutex::new(None) }
+        RandomAccess {
+            table,
+            updates,
+            per_task,
+            seed,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -606,7 +663,10 @@ impl Workload for RandomAccess {
         }
         let table: Arc<Vec<AtomicU64>> =
             Arc::new((0..self.table).map(|_| AtomicU64::new(0)).collect());
-        *self.state.lock().unwrap() = Some(RaState { table: Arc::clone(&table), expect });
+        *self.state.lock().unwrap() = Some(RaState {
+            table: Arc::clone(&table),
+            expect,
+        });
         let mut out = Vec::new();
         for b in 0..blocks {
             let n = self.per_task.min(self.updates - b * self.per_task);
@@ -662,7 +722,10 @@ mod tests {
 
     #[test]
     fn pi_block_hits_deterministic() {
-        assert_eq!(MonteCarloPi::block_hits(9, 1_000), MonteCarloPi::block_hits(9, 1_000));
+        assert_eq!(
+            MonteCarloPi::block_hits(9, 1_000),
+            MonteCarloPi::block_hits(9, 1_000)
+        );
         let hits = MonteCarloPi::block_hits(9, 100_000);
         let pi = 4.0 * hits as f64 / 100_000.0;
         assert!((pi - std::f64::consts::PI).abs() < 0.05, "pi {pi}");

@@ -155,7 +155,11 @@ impl Octree {
             return;
         }
         // Internal (or leaf that must split).
-        let existing = if n.count == 1 && n.body != NONE { Some(n.body) } else { None };
+        let existing = if n.count == 1 && n.body != NONE {
+            Some(n.body)
+        } else {
+            None
+        };
         self.nodes[node as usize].count += 1;
         if let Some(old) = existing {
             self.nodes[node as usize].body = NONE;
@@ -201,7 +205,9 @@ impl Octree {
         if self.nodes[node as usize].body != NONE {
             let b = self.nodes[node as usize].body as usize;
             mass += self.masses[b] * self.nodes[node as usize].count as f64;
-            com = com.add(&self.positions[b].scale(self.masses[b] * self.nodes[node as usize].count as f64));
+            com = com.add(
+                &self.positions[b].scale(self.masses[b] * self.nodes[node as usize].count as f64),
+            );
         }
         for c in children {
             if c != NONE {
@@ -213,7 +219,11 @@ impl Octree {
         }
         let n = &mut self.nodes[node as usize];
         n.mass = mass;
-        n.com = if mass > 0.0 { com.scale(1.0 / mass) } else { n.center };
+        n.com = if mass > 0.0 {
+            com.scale(1.0 / mass)
+        } else {
+            n.center
+        };
     }
 
     /// Acceleration on a test position using the θ opening criterion.
@@ -303,7 +313,14 @@ impl Default for NBody {
 impl NBody {
     /// n bodies, Plummer-ish clustered initial conditions.
     pub fn new(n: usize, iterations: usize, theta: f64, seed: u64) -> Self {
-        NBody { n, iterations, theta, seed, chunks_per_place: 16, state: Mutex::new(None) }
+        NBody {
+            n,
+            iterations,
+            theta,
+            seed,
+            chunks_per_place: 16,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -323,7 +340,13 @@ impl NBody {
         let mut rng = SplitMix64::new(self.seed);
         let clumps = 5;
         let centers: Vec<Vec3> = (0..clumps)
-            .map(|_| Vec3::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                )
+            })
             .collect();
         (0..self.n)
             .map(|i| {
@@ -332,14 +355,22 @@ impl NBody {
                 // have wildly different traversal costs (spatial
                 // locality follows array order, as in a real BH code
                 // after sorting).
-                let c = if i < self.n / 2 { 0 } else { 1 + i % (clumps - 1) };
+                let c = if i < self.n / 2 {
+                    0
+                } else {
+                    1 + i % (clumps - 1)
+                };
                 let spread = if c == 0 { 0.05 } else { 0.3 };
                 let pos = centers[c].add(&Vec3::new(
                     rng.range_f64(-spread, spread),
                     rng.range_f64(-spread, spread),
                     rng.range_f64(-spread, spread),
                 ));
-                Body { pos, vel: Vec3::zero(), mass: 1.0 / self.n as f64 }
+                Body {
+                    pos,
+                    vel: Vec3::zero(),
+                    mass: 1.0 / self.n as f64,
+                }
             })
             .collect()
     }
@@ -373,7 +404,9 @@ fn force_task(sh: Arc<Shared>, lo: usize, hi: usize, latch: Arc<FinishLatch>) ->
     let obj = ObjectId(BODY_OBJ_BASE + home.0 as u64);
     let bytes = (hi - lo) as u64 * BODY_BYTES;
     let off = (lo - block_start) as u64 * BODY_BYTES;
-    let fp = Footprint { regions: vec![Access::read(obj, off, bytes, home)] };
+    let fp = Footprint {
+        regions: vec![Access::read(obj, off, bytes, home)],
+    };
     let est = TASK_BASE_NS;
     let sh2 = Arc::clone(&sh);
     let body = move |s: &mut dyn TaskScope| {
@@ -382,7 +415,12 @@ fn force_task(sh: Arc<Shared>, lo: usize, hi: usize, latch: Arc<FinishLatch>) ->
         // bodies are local too (carried when stolen).
         let here = s.here();
         let tree_bytes = (tree.node_count() * 48) as u64;
-        s.read(ObjectId(TREE_OBJ_BASE + here.0 as u64), 0, tree_bytes.min(1 << 18), here);
+        s.read(
+            ObjectId(TREE_OBJ_BASE + here.0 as u64),
+            0,
+            tree_bytes.min(1 << 18),
+            here,
+        );
         s.access(Access::read(obj, off, bytes, s.here()));
         s.access(Access::write(obj, off, bytes, s.here()));
         // SAFETY: force tasks own disjoint body ranges.
@@ -432,7 +470,12 @@ fn build_task(sh: Arc<Shared>, iter: usize) -> TaskSpec {
         // places but 0 — the real per-iteration broadcast traffic).
         let tree_bytes = (tree.node_count() * 48) as u64;
         for p in 0..sh0.dist.places() {
-            s.write(ObjectId(TREE_OBJ_BASE + p as u64), 0, tree_bytes, PlaceId(p));
+            s.write(
+                ObjectId(TREE_OBJ_BASE + p as u64),
+                0,
+                tree_bytes,
+                PlaceId(p),
+            );
         }
         *sh0.tree.lock().unwrap() = Some(tree);
         // Fan out force chunks.
@@ -472,7 +515,10 @@ impl Workload for NBody {
             NBody::step_sequential(&mut expect, self.theta);
         }
         let bodies = SharedSlice::new(init);
-        *self.state.lock().unwrap() = Some(RunState { bodies: Arc::clone(&bodies), expect });
+        *self.state.lock().unwrap() = Some(RunState {
+            bodies: Arc::clone(&bodies),
+            expect,
+        });
         let sh = Arc::new(Shared {
             bodies,
             dist: BlockDist::new(self.n, cfg.places),

@@ -86,14 +86,31 @@ struct SegMap {
 }
 
 impl SegMap {
-    fn access_rw(&self, bucket: usize, bucket_start: usize, lo: usize, hi: usize, home: PlaceId) -> [Access; 2] {
+    fn access_rw(
+        &self,
+        bucket: usize,
+        bucket_start: usize,
+        lo: usize,
+        hi: usize,
+        home: PlaceId,
+    ) -> [Access; 2] {
         let obj = ObjectId(self.base + bucket as u64);
         let off = (lo - bucket_start) as u64 * 8;
         let bytes = (hi - lo) as u64 * 8;
-        [Access::read(obj, off, bytes, home), Access::write(obj, off, bytes, home)]
+        [
+            Access::read(obj, off, bytes, home),
+            Access::write(obj, off, bytes, home),
+        ]
     }
 
-    fn footprint(&self, bucket: usize, bucket_start: usize, lo: usize, hi: usize, home: PlaceId) -> Footprint {
+    fn footprint(
+        &self,
+        bucket: usize,
+        bucket_start: usize,
+        lo: usize,
+        hi: usize,
+        home: PlaceId,
+    ) -> Footprint {
         let obj = ObjectId(self.base + bucket as u64);
         Footprint {
             regions: vec![Access::read(
@@ -115,7 +132,13 @@ struct Shared {
 
 /// Recursive quicksort task over `[lo, hi)` inside `bucket` (whose
 /// range starts at `bucket_start`).
-fn sort_task(sh: Arc<Shared>, bucket: usize, bucket_start: usize, lo: usize, hi: usize) -> TaskSpec {
+fn sort_task(
+    sh: Arc<Shared>,
+    bucket: usize,
+    bucket_start: usize,
+    lo: usize,
+    hi: usize,
+) -> TaskSpec {
     let len = hi - lo;
     let leaf = len <= sh.grain;
     let est = if leaf {
@@ -124,7 +147,11 @@ fn sort_task(sh: Arc<Shared>, bucket: usize, bucket_start: usize, lo: usize, hi:
     } else {
         PARTITION_NS_PER_ELEM * len as u64
     };
-    let locality = if len <= sh.flex_max { Locality::Flexible } else { Locality::Sensitive };
+    let locality = if len <= sh.flex_max {
+        Locality::Flexible
+    } else {
+        Locality::Sensitive
+    };
     let sh2 = Arc::clone(&sh);
     let body = move |s: &mut dyn TaskScope| {
         let here = s.here();
@@ -161,8 +188,14 @@ fn sort_task(sh: Arc<Shared>, bucket: usize, bucket_start: usize, lo: usize, hi:
         }
     };
     let fp = sh.seg.footprint(bucket, bucket_start, lo, hi, PlaceId(0));
-    TaskSpec::new(PlaceId(0), locality, est, if leaf { "qsort-leaf" } else { "qsort-part" }, body)
-        .with_footprint(fp)
+    TaskSpec::new(
+        PlaceId(0),
+        locality,
+        est,
+        if leaf { "qsort-leaf" } else { "qsort-part" },
+        body,
+    )
+    .with_footprint(fp)
 }
 
 fn median3(a: u64, b: u64, c: u64) -> u64 {
@@ -225,11 +258,12 @@ impl Workload for Quicksort {
             let mut rng = SplitMix64::new(seed ^ 0xABCD);
             // SAFETY: the root samples alone before any children run.
             let all = unsafe { sh.data.slice(0, n) };
-            let mut sample: Vec<u64> =
-                (0..4 * places).map(|_| all[rng.below_usize(n)]).collect();
+            let mut sample: Vec<u64> = (0..4 * places).map(|_| all[rng.below_usize(n)]).collect();
             sample.sort_unstable();
             let splitters: Arc<Vec<u64>> = Arc::new(
-                (1..places).map(|i| sample[i * sample.len() / places]).collect(),
+                (1..places)
+                    .map(|i| sample[i * sample.len() / places])
+                    .collect(),
             );
             s.charge(1_000 * (4 * places) as u64); // remote sampling probes
 

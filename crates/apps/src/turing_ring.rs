@@ -132,7 +132,12 @@ impl TuringRing {
     /// `iterations` iterations.
     pub fn new(cells: usize, bodies: u64, iterations: usize) -> Self {
         assert!(cells >= 2);
-        TuringRing { cells, bodies, iterations, state: Mutex::new(None) }
+        TuringRing {
+            cells,
+            bodies,
+            iterations,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
@@ -215,7 +220,9 @@ fn prey_task(sh: Arc<Shared>, i: usize, latch: Arc<FinishLatch>, here: PlaceId) 
 /// The outer per-cell task (locality-flexible, `@AnyPlaceTask`).
 fn cell_task(sh: Arc<Shared>, i: usize, latch: Arc<FinishLatch>) -> TaskSpec {
     let home = sh.dist.place_of(i);
-    let fp = Footprint { regions: vec![sh.cell_access(i, false)] };
+    let fp = Footprint {
+        regions: vec![sh.cell_access(i, false)],
+    };
     let sh2 = Arc::clone(&sh);
     let latch2 = Arc::clone(&latch);
     let body = move |s: &mut dyn TaskScope| {
@@ -232,7 +239,12 @@ fn cell_task(sh: Arc<Shared>, i: usize, latch: Arc<FinishLatch>) -> TaskSpec {
         s.access(sh2.cell_access(right, true));
         s.charge(NS_PER_BODY * (c.pred + 1));
         // The paper's line 6: async (thisPlace) c.updatePreyPop().
-        s.spawn(prey_task(Arc::clone(&sh2), i, Arc::clone(&latch2), s.here()));
+        s.spawn(prey_task(
+            Arc::clone(&sh2),
+            i,
+            Arc::clone(&latch2),
+            s.here(),
+        ));
     };
     TaskSpec::new(home, Locality::Flexible, TASK_BASE_NS, "turing-cell", body)
         .with_footprint(fp)
@@ -298,7 +310,13 @@ fn iteration_task(sh: Arc<Shared>, iter: usize) -> TaskSpec {
             s.spawn(cell_task(Arc::clone(&sh0), i, Arc::clone(&compute_latch)));
         }
     };
-    TaskSpec::new(PlaceId(0), Locality::Sensitive, TASK_BASE_NS, "turing-iter", body)
+    TaskSpec::new(
+        PlaceId(0),
+        Locality::Sensitive,
+        TASK_BASE_NS,
+        "turing-iter",
+        body,
+    )
 }
 
 impl Workload for TuringRing {
@@ -311,7 +329,11 @@ impl Workload for TuringRing {
         let cells: Vec<Cell> = pred0
             .iter()
             .zip(&prey0)
-            .map(|(&p, &y)| Cell { pred: p, prey: y, ..Default::default() })
+            .map(|(&p, &y)| Cell {
+                pred: p,
+                prey: y,
+                ..Default::default()
+            })
             .collect();
         let ring = SharedSlice::new(cells);
         let (expect_pred, expect_prey) = golden(pred0, prey0, self.iterations);

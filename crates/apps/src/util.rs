@@ -1,6 +1,5 @@
 //! Shared utilities for the application suite.
 
-
 use std::sync::Arc;
 
 /// A heap array that multiple tasks may mutate through **disjoint
@@ -54,7 +53,11 @@ impl<T> SharedSlice<T> {
     /// live reference obtained from this array (see type docs).
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, end: usize) -> &mut [T] {
-        assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds {}", self.len);
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds {}",
+            self.len
+        );
         std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
     }
 
@@ -64,7 +67,11 @@ impl<T> SharedSlice<T> {
     /// The caller must guarantee no overlapping mutable reference is
     /// live (see type docs).
     pub unsafe fn slice(&self, start: usize, end: usize) -> &[T] {
-        assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds {}", self.len);
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds {}",
+            self.len
+        );
         std::slice::from_raw_parts(self.ptr.add(start), end - start)
     }
 
@@ -102,7 +109,9 @@ impl<T> Drop for SharedSlice<T> {
     fn drop(&mut self) {
         // SAFETY: constructed from Box::into_raw in `new`.
         unsafe {
-            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(self.ptr, self.len)));
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.ptr, self.len,
+            )));
         }
     }
 }
@@ -149,7 +158,7 @@ mod tests {
     #[test]
     fn kahan_handles_catastrophic_cancellation() {
         // 1 + 1e-16 repeated: naive f64 sum loses the small terms.
-        let xs = std::iter::once(1.0).chain(std::iter::repeat(1e-16).take(1_000_000));
+        let xs = std::iter::once(1.0).chain(std::iter::repeat_n(1e-16, 1_000_000));
         let s = kahan_sum(xs);
         assert!((s - (1.0 + 1e-10)).abs() < 1e-12, "kahan sum {s}");
     }

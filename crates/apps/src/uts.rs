@@ -98,19 +98,39 @@ struct RunState {
 
 impl Default for Uts {
     fn default() -> Self {
-        Uts::new(UtsParams { root_children: 256, b0: 2.8, max_depth: 14, seed: 19 }, 32)
+        Uts::new(
+            UtsParams {
+                root_children: 256,
+                b0: 2.8,
+                max_depth: 14,
+                seed: 19,
+            },
+            32,
+        )
     }
 }
 
 impl Uts {
     /// UTS with explicit shape parameters.
     pub fn new(params: UtsParams, grain: usize) -> Self {
-        Uts { params, grain, state: Mutex::new(None) }
+        Uts {
+            params,
+            grain,
+            state: Mutex::new(None),
+        }
     }
 
     /// Tiny instance for tests.
     pub fn quick() -> Self {
-        Uts::new(UtsParams { root_children: 16, b0: 1.8, max_depth: 8, seed: 19 }, 8)
+        Uts::new(
+            UtsParams {
+                root_children: 16,
+                b0: 1.8,
+                max_depth: 8,
+                seed: 19,
+            },
+            8,
+        )
     }
 
     /// Number of tree nodes (runs the sequential traversal).
@@ -179,7 +199,11 @@ impl Workload for Uts {
             counted: Arc::clone(&counted),
             expect: count_sequential(&self.params),
         });
-        let sh = Arc::new(Shared { params: self.params, grain: self.grain, counted });
+        let sh = Arc::new(Shared {
+            params: self.params,
+            grain: self.grain,
+            counted,
+        });
         // Single root at place 0: the pathological imbalance UTS is
         // famous for.
         vec![subtree_task(sh, vec![(self.params.seed, 0)])]
@@ -202,7 +226,12 @@ mod tests {
 
     #[test]
     fn tree_is_deterministic() {
-        let p = UtsParams { root_children: 16, b0: 1.8, max_depth: 8, seed: 19 };
+        let p = UtsParams {
+            root_children: 16,
+            b0: 1.8,
+            max_depth: 8,
+            seed: 19,
+        };
         assert_eq!(count_sequential(&p), count_sequential(&p));
     }
 
@@ -215,7 +244,11 @@ mod tests {
         let p = u.params;
         let sizes: Vec<u64> = (0..p.root_children)
             .map(|i| {
-                let sub = UtsParams { root_children: 0, seed: child_hash(p.seed, i), ..p };
+                let sub = UtsParams {
+                    root_children: 0,
+                    seed: child_hash(p.seed, i),
+                    ..p
+                };
                 // count subtree rooted at depth 1
                 let mut stack = vec![(sub.seed, 1u32)];
                 let mut c = 0u64;
@@ -230,19 +263,32 @@ mod tests {
             .collect();
         let max = sizes.iter().max().unwrap();
         let min = sizes.iter().min().unwrap();
-        assert!(max >= &(min * 2), "subtrees suspiciously balanced: {sizes:?}");
+        assert!(
+            max >= &(min * 2),
+            "subtrees suspiciously balanced: {sizes:?}"
+        );
     }
 
     #[test]
     fn depth_limit_holds() {
-        let p = UtsParams { root_children: 4, b0: 3.0, max_depth: 3, seed: 1 };
+        let p = UtsParams {
+            root_children: 4,
+            b0: 3.0,
+            max_depth: 3,
+            seed: 1,
+        };
         assert_eq!(child_count(&p, 12345, 3), 0);
         assert_eq!(child_count(&p, 12345, 7), 0);
     }
 
     #[test]
     fn root_branching_is_exact() {
-        let p = UtsParams { root_children: 7, b0: 2.0, max_depth: 5, seed: 9 };
+        let p = UtsParams {
+            root_children: 7,
+            b0: 2.0,
+            max_depth: 5,
+            seed: 9,
+        };
         assert_eq!(child_count(&p, p.seed, 0), 7);
     }
 }

@@ -1,84 +1,75 @@
-//! Criterion benches: one per table/figure of the paper, at quick
-//! scale so `cargo bench` stays tractable. The `repro` binary runs the
-//! same experiments at full scale.
+//! Plain timing harness (`cargo bench`, `harness = false`): one entry
+//! per table/figure of the paper, at quick scale so the run stays
+//! tractable. The `repro` binary runs the same experiments at full
+//! scale. The container builds offline, so this is a hand-rolled
+//! min/mean-of-N loop instead of Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use distws_bench as bench;
 use distws_bench::Scale;
+use std::time::Instant;
 
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_steal_ratio", |b| {
-        b.iter(|| std::hint::black_box(bench::fig3_steal_ratio(Scale::Quick)))
-    });
+const SAMPLES: u32 = 5;
+
+fn time<R>(name: &str, mut f: impl FnMut() -> R) {
+    // One warm-up, then SAMPLES measured iterations.
+    std::hint::black_box(f());
+    let mut total = 0.0f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        total += dt;
+        best = best.min(dt);
+    }
+    println!(
+        "{name:<32} min {best:>9.3} ms   mean {:>9.3} ms   ({SAMPLES} samples)",
+        total / SAMPLES as f64
+    );
 }
 
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_sequential", |b| {
-        b.iter(|| std::hint::black_box(bench::fig4_sequential(Scale::Quick)))
-    });
-}
+fn main() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let run = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
 
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_speedups", |b| {
-        b.iter(|| std::hint::black_box(bench::fig5_speedups(Scale::Quick)))
-    });
+    println!("paper benches, quick scale, {SAMPLES} samples each\n");
+    if run("fig3") {
+        time("fig3_steal_ratio", || bench::fig3_steal_ratio(Scale::Quick));
+    }
+    if run("fig4") {
+        time("fig4_sequential", || bench::fig4_sequential(Scale::Quick));
+    }
+    if run("fig5") {
+        time("fig5_speedups", || bench::fig5_speedups(Scale::Quick));
+    }
+    if run("three_way") || run("fig6") {
+        time("fig6_table2_table3_three_way", || {
+            bench::three_way(Scale::Quick)
+        });
+    }
+    if run("fig7") {
+        time("fig7_utilization", || bench::fig7_utilization(Scale::Quick));
+    }
+    if run("table1") {
+        time("table1_granularity", || {
+            bench::table1_granularity(Scale::Quick)
+        });
+    }
+    if run("granularity_study") {
+        time("granularity_study", || {
+            bench::granularity_study(Scale::Quick)
+        });
+    }
+    if run("uts") {
+        time("uts_study", || bench::uts_study(Scale::Quick));
+    }
+    if run("ablation") {
+        time("ablation_chunk", || bench::ablation_chunk(Scale::Quick));
+        time("ablation_mapping_rule", || {
+            bench::ablation_mapping_rule(Scale::Quick)
+        });
+        time("ablation_victim_order", || {
+            bench::ablation_victim_order(Scale::Quick)
+        });
+    }
 }
-
-fn bench_fig6_tables23(c: &mut Criterion) {
-    // Fig. 6, Table II and Table III share the three-way runs.
-    c.bench_function("fig6_table2_table3_three_way", |b| {
-        b.iter(|| std::hint::black_box(bench::three_way(Scale::Quick)))
-    });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("fig7_utilization", |b| {
-        b.iter(|| std::hint::black_box(bench::fig7_utilization(Scale::Quick)))
-    });
-}
-
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_granularity", |b| {
-        b.iter(|| std::hint::black_box(bench::table1_granularity(Scale::Quick)))
-    });
-}
-
-fn bench_granularity_study(c: &mut Criterion) {
-    c.bench_function("granularity_study", |b| {
-        b.iter(|| std::hint::black_box(bench::granularity_study(Scale::Quick)))
-    });
-}
-
-fn bench_uts(c: &mut Criterion) {
-    c.bench_function("uts_study", |b| {
-        b.iter(|| std::hint::black_box(bench::uts_study(Scale::Quick)))
-    });
-}
-
-fn bench_ablations(c: &mut Criterion) {
-    c.bench_function("ablation_chunk", |b| {
-        b.iter(|| std::hint::black_box(bench::ablation_chunk(Scale::Quick)))
-    });
-    c.bench_function("ablation_mapping_rule", |b| {
-        b.iter(|| std::hint::black_box(bench::ablation_mapping_rule(Scale::Quick)))
-    });
-    c.bench_function("ablation_victim_order", |b| {
-        b.iter(|| std::hint::black_box(bench::ablation_victim_order(Scale::Quick)))
-    });
-}
-
-criterion_group! {
-    name = paper;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
-    targets =
-        bench_fig3,
-        bench_fig4,
-        bench_fig5,
-        bench_fig6_tables23,
-        bench_fig7,
-        bench_table1,
-        bench_granularity_study,
-        bench_uts,
-        bench_ablations
-}
-criterion_main!(paper);

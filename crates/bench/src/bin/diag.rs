@@ -21,12 +21,55 @@ fn main() {
         "agglom" => Box::new(distws_apps::Agglomerative::default()),
         other => panic!("unknown app {other}"),
     };
-    for policy in [Box::new(X10Ws) as Box<dyn Policy>, Box::new(DistWs::default())] {
+    for policy in [
+        Box::new(X10Ws) as Box<dyn Policy>,
+        Box::new(DistWs::default()),
+    ] {
+        use distws_sim::SimConfig;
         let pname = policy.name();
-        let r = Simulation::new(ClusterConfig::paper(), policy).run_app(app.as_ref());
-        eprintln!("{pname:<8} makespan {:>9.2} ms  work {:>9.2} ms  tasks {}", r.makespan_ns as f64/1e6, r.total_work_ns as f64/1e6, r.tasks_executed);
-        eprintln!("  steals: priv {} shared {} remote {} failed {}", r.steals.local_private, r.steals.local_shared, r.steals.remote, r.steals.failed_attempts);
-        eprintln!("  msgs: req {} reply {} migrate {} dreq {} drep {} bytes {}", r.messages.steal_requests, r.messages.steal_replies, r.messages.task_migrations, r.messages.data_requests, r.messages.data_replies, r.messages.bytes);
-        eprintln!("  remote_refs {}  util mean {:.1}% disparity {:.1}%", r.remote_refs, r.utilization.mean()*100.0, r.utilization.disparity()*100.0);
+        // Pass 1 sizes the sampling grid; pass 2 collects the series.
+        // Virtual time is deterministic, so the reports are identical.
+        let pre = Simulation::new(ClusterConfig::paper(), policy.clone_box()).run_app(app.as_ref());
+        let mut cfg = SimConfig::new(ClusterConfig::paper());
+        cfg.sample_interval_ns = Some((pre.makespan_ns / 160).max(1));
+        let (r, series) = Simulation::with_config(cfg, policy)
+            .run_app_traced(app.as_ref(), &mut distws_trace::NullSink);
+        eprintln!(
+            "{pname:<8} makespan {:>9.2} ms  work {:>9.2} ms  tasks {}",
+            r.makespan_ns as f64 / 1e6,
+            r.total_work_ns as f64 / 1e6,
+            r.tasks_executed
+        );
+        eprintln!(
+            "  steals: priv {} shared {} remote {} failed {}",
+            r.steals.local_private,
+            r.steals.local_shared,
+            r.steals.remote,
+            r.steals.failed_attempts
+        );
+        eprintln!(
+            "  msgs: req {} reply {} migrate {} dreq {} drep {} bytes {}",
+            r.messages.steal_requests,
+            r.messages.steal_replies,
+            r.messages.task_migrations,
+            r.messages.data_requests,
+            r.messages.data_replies,
+            r.messages.bytes
+        );
+        eprintln!(
+            "  remote_refs {}  util mean {:.1}% disparity {:.1}%",
+            r.remote_refs,
+            r.utilization.mean() * 100.0,
+            r.utilization.disparity() * 100.0
+        );
+        let g = &r.percentiles.task_granularity_ns;
+        let s = &r.percentiles.steal_remote_ns;
+        eprintln!(
+            "  granularity p50/p99 {}/{} ns  remote-steal p50/p99 {}/{} ns",
+            g.p50, g.p99, s.p50, s.p99
+        );
+        if let Some(series) = series {
+            eprint!("{}", distws_trace::render_timeline(&series, 100));
+        }
     }
 }

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! repro <experiment> [--scale quick|default|paper] [--json DIR]
+//! repro trace <app> [--scale ...] [--policy NAME] [--json DIR]
 //!
 //! experiments:
 //!   fig3 fig4 fig5 fig6 fig7 table1 table2 table3
 //!   granularity uts adaptive ablation all
 //! ```
+//!
+//! `repro trace` runs one application once with full observability:
+//! it streams the typed event log as JSONL, exports a Chrome
+//! `trace_event` JSON (load it at <https://ui.perfetto.dev>), dumps the
+//! utilization time series, and prints a terminal place timeline plus
+//! the latency/granularity percentile summaries.
 
 use distws_bench as bench;
 use distws_bench::Scale;
@@ -14,9 +21,10 @@ use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiment = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut scale = Scale::Default;
     let mut json_dir: Option<String> = None;
+    let mut policy_name = "DistWS".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,15 +44,40 @@ fn main() {
                 i += 1;
                 json_dir = Some(args.get(i).cloned().unwrap_or_else(|| ".".into()));
             }
-            name if experiment.is_none() => experiment = Some(name.to_string()),
-            other => {
-                eprintln!("unexpected argument {other}");
+            "--policy" => {
+                i += 1;
+                policy_name = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--policy needs a scheduler name");
+                    std::process::exit(2);
+                });
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unexpected argument {flag}");
                 std::process::exit(2);
             }
+            name => positional.push(name.to_string()),
         }
         i += 1;
     }
-    let experiment = experiment.unwrap_or_else(|| "all".into());
+
+    if positional.first().map(String::as_str) == Some("trace") {
+        let Some(app) = positional.get(1) else {
+            eprintln!("usage: repro trace <app> [--scale S] [--policy P] [--json DIR]");
+            std::process::exit(2);
+        };
+        run_trace(
+            app,
+            scale,
+            &policy_name,
+            json_dir.as_deref().unwrap_or("trace-out"),
+        );
+        return;
+    }
+    if positional.len() > 1 {
+        eprintln!("unexpected argument {}", positional[1]);
+        std::process::exit(2);
+    }
+    let experiment = positional.pop().unwrap_or_else(|| "all".into());
 
     let run = |name: &str| experiment == "all" || experiment == name;
     let mut ran_any = false;
@@ -77,7 +110,11 @@ fn main() {
     }
     experiment!("fig7", bench::fig7_utilization(scale), print_fig7);
     experiment!("table1", bench::table1_granularity(scale), print_table1);
-    experiment!("granularity", bench::granularity_study(scale), print_granularity);
+    experiment!(
+        "granularity",
+        bench::granularity_study(scale),
+        print_granularity
+    );
     experiment!("uts", bench::uts_study(scale), print_uts);
     experiment!("adaptive", bench::adaptive_study(scale), print_adaptive);
     if run("ablation") {
@@ -100,16 +137,124 @@ fn main() {
         eprintln!(
             "experiments: fig3 fig4 fig5 fig6 fig7 table1 table2 table3 granularity uts adaptive ablation all"
         );
+        eprintln!("or: repro trace <app> [--scale S] [--policy P] [--json DIR]");
         std::process::exit(2);
     }
 }
 
-fn write_json<T: serde::Serialize>(dir: &str, name: &str, rows: &T) {
+/// In-memory sink keeping the events for the Chrome exporter while
+/// accumulating the JSONL stream byte-for-byte as it will hit disk.
+#[derive(Default)]
+struct TeeSink {
+    events: Vec<distws_trace::TraceEvent>,
+    jsonl: String,
+}
+
+impl distws_trace::TraceSink for TeeSink {
+    fn record(&mut self, ev: distws_trace::TraceEvent) {
+        self.jsonl.push_str(&ev.to_jsonl());
+        self.jsonl.push('\n');
+        self.events.push(ev);
+    }
+}
+
+fn run_trace(app_name: &str, scale: Scale, policy_name: &str, dir: &str) {
+    use distws_sim::{SimConfig, Simulation};
+
+    let Some(app) = bench::app_by_name(app_name, scale) else {
+        let names: Vec<String> = bench::suite(scale).iter().map(|a| a.name()).collect();
+        eprintln!("unknown app '{app_name}'; apps: {}", names.join(" "));
+        std::process::exit(2);
+    };
+    let Some(policy) = bench::policy_by_name(policy_name) else {
+        eprintln!("unknown policy '{policy_name}' (X10WS DistWS DistWS-NS RandomWS LifelineWS AdaptiveWS)");
+        std::process::exit(2);
+    };
+    let cluster = bench::eval_cluster(scale);
+
+    // Pass 1 (untraced) sizes the sampling grid: ~240 samples across
+    // the run regardless of app or scale.
+    let probe = bench::policy_by_name(policy_name).unwrap();
+    let pre = Simulation::new(cluster.clone(), probe).run_app(app.as_ref());
+    let interval = (pre.makespan_ns / 240).max(1);
+
+    let mut cfg = SimConfig::new(cluster.clone());
+    cfg.sample_interval_ns = Some(interval);
+    let mut sink = TeeSink::default();
+    let app = bench::app_by_name(app_name, scale).unwrap();
+    let (report, series) =
+        Simulation::with_config(cfg, policy).run_app_traced(app.as_ref(), &mut sink);
+    let series = series.expect("sampling was configured");
+
+    println!(
+        "{} / {} on {} places x {} workers ({} events traced)",
+        report.app,
+        report.scheduler,
+        cluster.places,
+        cluster.workers_per_place,
+        sink.events.len()
+    );
+    println!(
+        "makespan {:.3} ms  tasks {}  steals priv/shared/remote {}/{}/{}  messages {}",
+        report.makespan_ns as f64 / 1e6,
+        report.tasks_executed,
+        report.steals.local_private,
+        report.steals.local_shared,
+        report.steals.remote,
+        report.messages.total(),
+    );
+    println!();
+    print!("{}", distws_trace::render_timeline(&series, 100));
+    println!();
+    print_percentiles(&report);
+
+    std::fs::create_dir_all(dir).expect("create trace dir");
+    let slug = report.app.to_ascii_lowercase().replace(' ', "_");
+    let write = |suffix: &str, body: &str| {
+        let path = format!("{dir}/{slug}.{suffix}");
+        let mut f = std::fs::File::create(&path).expect("create trace file");
+        f.write_all(body.as_bytes()).expect("write trace file");
+        if !body.ends_with('\n') {
+            f.write_all(b"\n").expect("write trace file");
+        }
+        eprintln!("wrote {path}");
+    };
+    write("trace.jsonl", &sink.jsonl);
+    write(
+        "chrome.json",
+        &distws_trace::chrome_trace(&sink.events, &cluster).render(),
+    );
+    write("series.json", &series.to_json().render_pretty());
+    write("report.json", &distws_json::to_string_pretty(&report));
+}
+
+fn print_percentiles(report: &distws_core::RunReport) {
+    let p = &report.percentiles;
+    println!(
+        "{:<22} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "histogram (ns)", "count", "p50", "p95", "p99", "max"
+    );
+    for (name, s) in [
+        ("steal local private", &p.steal_local_private_ns),
+        ("steal local shared", &p.steal_local_shared_ns),
+        ("steal remote", &p.steal_remote_ns),
+        ("task granularity", &p.task_granularity_ns),
+        ("dormancy", &p.dormancy_ns),
+    ] {
+        println!(
+            "{:<22} {:>9} {:>12} {:>12} {:>12} {:>12}",
+            name, s.count, s.p50, s.p95, s.p99, s.max
+        );
+    }
+}
+
+fn write_json<T: distws_json::ToJson>(dir: &str, name: &str, rows: &T) {
     std::fs::create_dir_all(dir).expect("create json dir");
     let path = format!("{dir}/{name}.json");
     let mut f = std::fs::File::create(&path).expect("create json file");
-    let body = serde_json::to_string_pretty(rows).expect("serialize rows");
+    let body = distws_json::to_string_pretty(rows);
     f.write_all(body.as_bytes()).expect("write json");
+    f.write_all(b"\n").expect("write json");
     eprintln!("wrote {path}");
 }
 
@@ -119,9 +264,15 @@ fn hr(title: &str) {
 
 fn print_fig3(rows: &[bench::Fig3Row]) {
     hr("Fig. 3 — steals-to-task ratio (DistWS, 16 places x 8 workers)");
-    println!("{:<14} {:>10} {:>12} {:>12}", "app", "steals", "tasks", "ratio");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "app", "steals", "tasks", "ratio"
+    );
     for r in rows {
-        println!("{:<14} {:>10} {:>12} {:>12.3e}", r.app, r.steals, r.tasks, r.ratio);
+        println!(
+            "{:<14} {:>10} {:>12} {:>12.3e}",
+            r.app, r.steals, r.tasks, r.ratio
+        );
     }
 }
 
@@ -165,7 +316,10 @@ fn print_fig5(rows: &[bench::Fig5Point]) {
 
 fn print_fig6(rows: &[bench::ThreeWayRow]) {
     hr("Fig. 6 — speedups at full scale: X10WS vs DistWS-NS vs DistWS");
-    println!("{:<14} {:>10} {:>12} {:>10}", "app", "X10WS", "DistWS-NS", "DistWS");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "app", "X10WS", "DistWS-NS", "DistWS"
+    );
     for app in dedup_apps(rows) {
         let get = |s: &str| {
             rows.iter()
@@ -185,7 +339,10 @@ fn print_fig6(rows: &[bench::ThreeWayRow]) {
 
 fn print_table2(rows: &[bench::ThreeWayRow]) {
     hr("Table II — L1d miss rates (%) at full scale");
-    println!("{:<14} {:>10} {:>12} {:>10}", "app", "X10WS", "DistWS-NS", "DistWS");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "app", "X10WS", "DistWS-NS", "DistWS"
+    );
     for app in dedup_apps(rows) {
         let get = |s: &str| {
             rows.iter()
@@ -205,7 +362,10 @@ fn print_table2(rows: &[bench::ThreeWayRow]) {
 
 fn print_table3(rows: &[bench::ThreeWayRow]) {
     hr("Table III — messages transmitted across nodes at full scale");
-    println!("{:<14} {:>12} {:>12} {:>12}", "app", "X10WS", "DistWS-NS", "DistWS");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "app", "X10WS", "DistWS-NS", "DistWS"
+    );
     for app in dedup_apps(rows) {
         let get = |s: &str| {
             rows.iter()
@@ -226,7 +386,11 @@ fn print_table3(rows: &[bench::ThreeWayRow]) {
 fn print_fig7(rows: &[bench::Fig7Row]) {
     hr("Fig. 7 — per-node CPU utilization (%)");
     for r in rows {
-        let places: Vec<String> = r.per_place_pct.iter().map(|u| format!("{u:>5.1}")).collect();
+        let places: Vec<String> = r
+            .per_place_pct
+            .iter()
+            .map(|u| format!("{u:>5.1}"))
+            .collect();
         println!(
             "{:<14} {:<10} mean {:>5.1}  disparity {:>5.1}  [{}]",
             r.app,
@@ -248,7 +412,10 @@ fn print_table1(rows: &[bench::Table1Row]) {
 
 fn print_granularity(rows: &[bench::GranularityRow]) {
     hr("§VIII.2 — fine-grained micro-apps (DistWS should NOT win here)");
-    println!("{:<16} {:<10} {:>16} {:>10}", "app", "scheduler", "granularity(ms)", "speedup");
+    println!(
+        "{:<16} {:<10} {:>16} {:>10}",
+        "app", "scheduler", "granularity(ms)", "speedup"
+    );
     for r in rows {
         println!(
             "{:<16} {:<10} {:>16.4} {:>10.2}",
@@ -259,23 +426,38 @@ fn print_granularity(rows: &[bench::GranularityRow]) {
 
 fn print_adaptive(rows: &[bench::AdaptiveRow]) {
     hr("Extension — annotation-free AdaptiveWS vs annotated DistWS");
-    println!("{:<14} {:<12} {:>10} {:>14}", "app", "scheduler", "speedup", "remote refs");
+    println!(
+        "{:<14} {:<12} {:>10} {:>14}",
+        "app", "scheduler", "speedup", "remote refs"
+    );
     for r in rows {
-        println!("{:<14} {:<12} {:>10.2} {:>14}", r.app, r.scheduler, r.speedup, r.remote_refs);
+        println!(
+            "{:<14} {:<12} {:>10.2} {:>14}",
+            r.app, r.scheduler, r.speedup, r.remote_refs
+        );
     }
 }
 
 fn print_uts(rows: &[bench::UtsRow]) {
     hr("§X — UTS: random vs DistWS vs lifeline load balancing");
-    println!("{:<12} {:>10} {:>14}", "scheduler", "speedup", "remote steals");
+    println!(
+        "{:<12} {:>10} {:>14}",
+        "scheduler", "speedup", "remote steals"
+    );
     for r in rows {
-        println!("{:<12} {:>10.2} {:>14}", r.scheduler, r.speedup, r.remote_steals);
+        println!(
+            "{:<12} {:>10.2} {:>14}",
+            r.scheduler, r.speedup, r.remote_steals
+        );
     }
 }
 
 fn print_ablation(title: &str, rows: &[bench::AblationRow]) {
     hr(&format!("Ablation — {title}"));
-    println!("{:<24} {:<14} {:>14} {:>14}", "variant", "app", "makespan(ms)", "remote steals");
+    println!(
+        "{:<24} {:<14} {:>14} {:>14}",
+        "variant", "app", "makespan(ms)", "remote steals"
+    );
     for r in rows {
         println!(
             "{:<24} {:<14} {:>14.2} {:>14}",

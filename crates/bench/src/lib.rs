@@ -24,10 +24,12 @@
 
 use distws_apps as apps;
 use distws_core::{ClusterConfig, RunReport, Workload};
+use distws_json::impl_to_json;
 use distws_netsim::Topology;
-use distws_sched::{AdaptiveWs, DistWs, DistWsNs, LifelineWs, Policy, RandomWs, VictimOrder, X10Ws};
+use distws_sched::{
+    AdaptiveWs, DistWs, DistWsNs, LifelineWs, Policy, RandomWs, VictimOrder, X10Ws,
+};
 use distws_sim::{SimConfig, Simulation};
-use serde::Serialize;
 
 /// Input scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,34 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
             Box::new(apps::NBody::paper()),
         ],
     }
+}
+
+/// Find an application of [`suite`] by (case-insensitive) name.
+/// `"quicksort"`, `"Quicksort"` and `"quick"` all find Quicksort.
+pub fn app_by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    let want = name.to_ascii_lowercase();
+    let mut apps = suite(scale);
+    let idx = apps
+        .iter()
+        .position(|a| a.name().to_ascii_lowercase() == want)
+        .or_else(|| {
+            apps.iter()
+                .position(|a| a.name().to_ascii_lowercase().starts_with(&want))
+        })?;
+    Some(apps.swap_remove(idx))
+}
+
+/// Construct a policy by (case-insensitive) display name.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn Policy>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "x10ws" => Box::new(X10Ws),
+        "distws" => Box::new(DistWs::default()),
+        "distws-ns" | "distwsns" => Box::new(DistWsNs::default()),
+        "randomws" | "random" => Box::new(RandomWs),
+        "lifelinews" | "lifeline" => Box::new(LifelineWs::default()),
+        "adaptivews" | "adaptive" => Box::new(AdaptiveWs::default()),
+        _ => return None,
+    })
 }
 
 /// The paper's evaluation cluster at a scale (full scale: 16 × 8).
@@ -93,7 +123,7 @@ fn simulate_topo(
 // ---------------------------------------------------------------------------
 
 /// One row of Fig. 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Row {
     /// Application name.
     pub app: String,
@@ -111,7 +141,11 @@ pub fn fig3_steal_ratio(scale: Scale) -> Vec<Fig3Row> {
     suite(scale)
         .iter()
         .map(|app| {
-            let r = simulate(eval_cluster(scale), Box::new(DistWs::default()), app.as_ref());
+            let r = simulate(
+                eval_cluster(scale),
+                Box::new(DistWs::default()),
+                app.as_ref(),
+            );
             Fig3Row {
                 app: app.name(),
                 steals: r.steals.total(),
@@ -127,7 +161,7 @@ pub fn fig3_steal_ratio(scale: Scale) -> Vec<Fig3Row> {
 // ---------------------------------------------------------------------------
 
 /// One row of Fig. 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// Application name.
     pub app: String,
@@ -157,7 +191,7 @@ pub fn fig4_sequential(scale: Scale) -> Vec<Fig4Row> {
 // ---------------------------------------------------------------------------
 
 /// One (app, workers, scheduler) point of Fig. 5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Point {
     /// Application name.
     pub app: String,
@@ -205,7 +239,7 @@ pub fn fig5_speedups(scale: Scale) -> Vec<Fig5Point> {
 /// One (app, scheduler) row of the 128-worker three-way comparison,
 /// feeding Fig. 6 (speedups), Table II (miss rates) and Table III
 /// (messages).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ThreeWayRow {
     /// Application name.
     pub app: String,
@@ -266,7 +300,7 @@ pub fn table3_messages(scale: Scale) -> Vec<ThreeWayRow> {
 // ---------------------------------------------------------------------------
 
 /// One (app, scheduler) utilization line of Fig. 7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Row {
     /// Application name.
     pub app: String,
@@ -308,7 +342,7 @@ pub fn fig7_utilization(scale: Scale) -> Vec<Fig7Row> {
 // ---------------------------------------------------------------------------
 
 /// One row of Table I.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Application name.
     pub app: String,
@@ -339,7 +373,7 @@ pub fn table1_granularity(scale: Scale) -> Vec<Table1Row> {
 // ---------------------------------------------------------------------------
 
 /// One (micro-app, scheduler) row of the granularity study.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GranularityRow {
     /// Micro-application name.
     pub app: String,
@@ -380,7 +414,7 @@ pub fn granularity_study(scale: Scale) -> Vec<GranularityRow> {
 // ---------------------------------------------------------------------------
 
 /// One row of the UTS comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct UtsRow {
     /// Scheduler name.
     pub scheduler: String,
@@ -421,7 +455,7 @@ pub fn uts_study(scale: Scale) -> Vec<UtsRow> {
 // ---------------------------------------------------------------------------
 
 /// One row of the adaptive-classification study.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveRow {
     /// Application name.
     pub app: String,
@@ -463,7 +497,7 @@ pub fn adaptive_study(scale: Scale) -> Vec<AdaptiveRow> {
 // ---------------------------------------------------------------------------
 
 /// One ablation data point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Varied parameter rendered as text.
     pub variant: String,
@@ -494,7 +528,10 @@ pub fn ablation_chunk(scale: Scale) -> Vec<AblationRow> {
         let variants: Vec<(String, DistWs)> = [1usize, 2, 4, 8]
             .into_iter()
             .map(|c| (format!("chunk={c}"), DistWs::with_chunk(c)))
-            .chain(std::iter::once(("chunk=half".to_string(), DistWs::steal_half())))
+            .chain(std::iter::once((
+                "chunk=half".to_string(),
+                DistWs::steal_half(),
+            )))
             .collect();
         for (label, policy) in variants {
             let r = simulate(eval_cluster(scale), Box::new(policy), app.as_ref());
@@ -569,6 +606,68 @@ pub fn ablation_victim_order(scale: Scale) -> Vec<AblationRow> {
     .collect()
 }
 
+// ---------------------------------------------------------------------------
+// JSON output (`repro --json DIR`)
+// ---------------------------------------------------------------------------
+
+impl_to_json!(Fig3Row {
+    app,
+    steals,
+    tasks,
+    ratio
+});
+impl_to_json!(Fig4Row { app, seq_ms, tasks });
+impl_to_json!(Fig5Point {
+    app,
+    workers,
+    scheduler,
+    speedup,
+    makespan_ms
+});
+impl_to_json!(ThreeWayRow {
+    app,
+    scheduler,
+    speedup,
+    l1d_miss_pct,
+    messages,
+    remote_refs
+});
+impl_to_json!(Fig7Row {
+    app,
+    scheduler,
+    per_place_pct,
+    disparity_pct,
+    mean_pct
+});
+impl_to_json!(Table1Row {
+    app,
+    granularity_ms,
+    tasks
+});
+impl_to_json!(GranularityRow {
+    app,
+    scheduler,
+    granularity_ms,
+    speedup
+});
+impl_to_json!(UtsRow {
+    scheduler,
+    speedup,
+    remote_steals
+});
+impl_to_json!(AdaptiveRow {
+    app,
+    scheduler,
+    speedup,
+    remote_refs
+});
+impl_to_json!(AblationRow {
+    variant,
+    app,
+    makespan_ms,
+    remote_steals
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,7 +681,12 @@ mod tests {
             // At quick scale tasks are few and coarse, so ratios are far
             // above the paper's 1e-4 (a task may even be re-stolen after
             // arriving in a chunk); they must still be bounded.
-            assert!(r.ratio >= 0.0 && r.ratio < 2.0, "{}: ratio {}", r.app, r.ratio);
+            assert!(
+                r.ratio >= 0.0 && r.ratio < 2.0,
+                "{}: ratio {}",
+                r.app,
+                r.ratio
+            );
         }
     }
 
@@ -590,8 +694,10 @@ mod tests {
     fn fig5_speedup_grows_with_workers_for_distws() {
         let pts = fig5_speedups(Scale::Quick);
         // For DMG under DistWS, 16 workers must beat 1 worker.
-        let dmg: Vec<&Fig5Point> =
-            pts.iter().filter(|p| p.app == "DMG" && p.scheduler == "DistWS").collect();
+        let dmg: Vec<&Fig5Point> = pts
+            .iter()
+            .filter(|p| p.app == "DMG" && p.scheduler == "DistWS")
+            .collect();
         let s1 = dmg.iter().find(|p| p.workers == 1).unwrap().speedup;
         let s16 = dmg.iter().find(|p| p.workers == 16).unwrap().speedup;
         assert!(s16 > s1 * 2.0, "DMG DistWS speedup 1w={s1} 16w={s16}");
@@ -617,7 +723,13 @@ mod tests {
         let rows = adaptive_study(Scale::Quick);
         assert_eq!(rows.len(), 21);
         for r in &rows {
-            assert!(r.speedup > 0.2, "{} under {}: speedup {}", r.app, r.scheduler, r.speedup);
+            assert!(
+                r.speedup > 0.2,
+                "{} under {}: speedup {}",
+                r.app,
+                r.scheduler,
+                r.speedup
+            );
         }
     }
 

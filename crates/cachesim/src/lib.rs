@@ -14,10 +14,8 @@
 //! Addresses are formed from `(ObjectId, byte offset)`; distinct
 //! objects never alias.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Cache line size in bytes (power of two).
     pub line_bytes: u64,
@@ -31,7 +29,11 @@ impl CacheConfig {
     /// 32 KiB, 8-way, 64-byte lines — the Opteron-era L1d of the
     /// paper's testbed (and most x86 cores since).
     pub fn l1d() -> Self {
-        CacheConfig { line_bytes: 64, sets: 64, ways: 8 }
+        CacheConfig {
+            line_bytes: 64,
+            sets: 64,
+            ways: 8,
+        }
     }
 
     /// Total capacity in bytes.
@@ -41,7 +43,7 @@ impl CacheConfig {
 }
 
 /// Outcome counters of one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Line-granular accesses.
     pub accesses: u64,
@@ -210,7 +212,11 @@ mod tests {
         let mut c = Cache::new(cfg);
         let small = cfg.capacity() / 4;
         c.access(3, 0, small);
-        assert_eq!(c.access(3, 0, small), 0, "quarter-capacity set must be fully resident");
+        assert_eq!(
+            c.access(3, 0, small),
+            0,
+            "quarter-capacity set must be fully resident"
+        );
     }
 
     #[test]
@@ -224,7 +230,11 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         // Tiny direct-mapped-ish cache: 1 set, 2 ways, 64B lines.
-        let mut c = Cache::new(CacheConfig { line_bytes: 64, sets: 1, ways: 2 });
+        let mut c = Cache::new(CacheConfig {
+            line_bytes: 64,
+            sets: 1,
+            ways: 2,
+        });
         c.access(1, 0, 1); // A miss
         c.access(2, 0, 1); // B miss
         c.access(1, 0, 1); // A hit (B is now LRU)

@@ -1,22 +1,42 @@
-//! Property tests for the cache model.
+//! Randomized property tests for the cache model, driven by seeded
+//! SplitMix64 generation (each seed is one deterministic case).
 
 use distws_cachesim::{Cache, CacheConfig};
-use proptest::prelude::*;
+use distws_core::rng::SplitMix64;
 
-proptest! {
-    #[test]
-    fn misses_never_exceed_accesses(ops in proptest::collection::vec((0u64..8, 0u64..100_000, 1u64..512), 1..200)) {
+fn random_ops(
+    rng: &mut SplitMix64,
+    max_len: usize,
+    objs: u64,
+    offs: u64,
+    bytes: u64,
+) -> Vec<(u64, u64, u64)> {
+    let n = 1 + rng.below_usize(max_len);
+    (0..n)
+        .map(|_| (rng.below(objs), rng.below(offs), 1 + rng.below(bytes - 1)))
+        .collect()
+}
+
+#[test]
+fn misses_never_exceed_accesses() {
+    for seed in 0..100u64 {
+        let mut rng = SplitMix64::new(0xCAC4E + seed);
+        let ops = random_ops(&mut rng, 200, 8, 100_000, 512);
         let mut c = Cache::new(CacheConfig::l1d());
         for (obj, off, bytes) in ops {
             c.access(obj, off, bytes);
         }
         let s = c.stats();
-        prop_assert!(s.misses <= s.accesses);
-        prop_assert!(s.miss_rate_pct() <= 100.0);
+        assert!(s.misses <= s.accesses, "seed {seed}");
+        assert!(s.miss_rate_pct() <= 100.0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn replay_is_deterministic(ops in proptest::collection::vec((0u64..4, 0u64..10_000, 1u64..256), 1..100)) {
+#[test]
+fn replay_is_deterministic() {
+    for seed in 0..100u64 {
+        let mut rng = SplitMix64::new(0xDE7 + seed);
+        let ops = random_ops(&mut rng, 100, 4, 10_000, 256);
         let run = || {
             let mut c = Cache::new(CacheConfig::l1d());
             for (obj, off, bytes) in &ops {
@@ -24,17 +44,23 @@ proptest! {
             }
             c.stats()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn immediate_reaccess_hits_when_it_fits(obj in 0u64..8, off in 0u64..100_000, bytes in 1u64..1_000) {
+#[test]
+fn immediate_reaccess_hits_when_it_fits() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::new(0x41A + seed);
+        let obj = rng.below(8);
+        let off = rng.below(100_000);
+        let bytes = 1 + rng.below(999);
         let mut c = Cache::new(CacheConfig::l1d());
         c.access(obj, off, bytes);
         // The lines were just brought in; re-touching a range well
         // under capacity must be all hits.
         if bytes < CacheConfig::l1d().capacity() / 2 {
-            prop_assert_eq!(c.access(obj, off, bytes), 0);
+            assert_eq!(c.access(obj, off, bytes), 0, "seed {seed}");
         }
     }
 }

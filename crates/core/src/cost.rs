@@ -8,10 +8,8 @@
 //! steal ≫ local steal ≫ deque op), not on exact constants; every
 //! constant is a public field so experiments can sweep them.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost constants used by the discrete-event engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Push/pop on a worker's private deque (uncontended, lock-free).
     pub private_deque_op_ns: u64,

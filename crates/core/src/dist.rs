@@ -120,7 +120,12 @@ impl<T> DistArray<T> {
     pub fn new(data: Vec<T>, places: u32, elem_bytes: u64, alloc: &mut ObjectAllocator) -> Self {
         let dist = BlockDist::new(data.len(), places);
         let base_obj = alloc.alloc_n(places as u64);
-        DistArray { data, dist, base_obj, elem_bytes }
+        DistArray {
+            data,
+            dist,
+            base_obj,
+            elem_bytes,
+        }
     }
 
     /// Number of elements.

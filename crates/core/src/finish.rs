@@ -51,7 +51,10 @@ impl FinishLatch {
     /// continuation when this was the last outstanding child.
     pub fn complete_one(&self) -> Option<TaskSpec> {
         let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
-        assert!(prev > 0, "FinishLatch completed more children than registered");
+        assert!(
+            prev > 0,
+            "FinishLatch completed more children than registered"
+        );
         if prev == 1 {
             self.continuation.lock().expect("latch poisoned").take()
         } else {
@@ -67,7 +70,9 @@ impl FinishLatch {
 
 impl std::fmt::Debug for FinishLatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FinishLatch").field("remaining", &self.pending()).finish()
+        f.debug_struct("FinishLatch")
+            .field("remaining", &self.pending())
+            .finish()
     }
 }
 

@@ -4,11 +4,9 @@
 //! and workers with small newtypes so the scheduler code cannot confuse
 //! "worker 3 of place 5" with "global worker 43".
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a *place*: one shared-memory partition of the cluster
 /// (one node in the paper's blade server).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PlaceId(pub u32);
 
 impl PlaceId {
@@ -26,7 +24,7 @@ impl std::fmt::Display for PlaceId {
 }
 
 /// Identifier of a worker *within* its place (0..workers_per_place).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WorkerId(pub u32);
 
 impl WorkerId {
@@ -39,7 +37,7 @@ impl WorkerId {
 
 /// Cluster-wide worker identifier; bijective with `(place, worker)`
 /// given the number of workers per place.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GlobalWorkerId(pub u32);
 
 impl GlobalWorkerId {
@@ -76,14 +74,14 @@ impl std::fmt::Display for GlobalWorkerId {
 }
 
 /// Identifier of a spawned task (activity). Unique within one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u64);
 
 /// Identifier of a logical data object (an array block, a mesh region, a
 /// cell of the Turing ring, ...). Objects have a *home place*; accessing
 /// an object away from its home is a remote reference unless the object
 /// was copied along with a migrated task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u64);
 
 #[cfg(test)]

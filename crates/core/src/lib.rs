@@ -35,12 +35,15 @@ pub mod topology;
 pub mod workload;
 
 pub use cost::CostModel;
-pub use finish::FinishLatch;
-pub use workload::Workload;
 pub use dist::{BlockDist, DistArray};
+pub use finish::FinishLatch;
 pub use ids::{GlobalWorkerId, ObjectId, PlaceId, TaskId, WorkerId};
 pub use locality::Locality;
-pub use metrics::{CacheSummary, MessageCounts, RunReport, StealCounts, UtilizationSummary};
+pub use metrics::{
+    CacheSummary, MessageCounts, PercentileSummary, RunPercentiles, RunReport, StealCounts,
+    UtilizationSummary,
+};
 pub use rng::SplitMix64;
 pub use task::{Access, AccessKind, Footprint, TaskBody, TaskScope, TaskSpec};
 pub use topology::ClusterConfig;
+pub use workload::Workload;

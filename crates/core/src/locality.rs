@@ -7,11 +7,9 @@
 //! node busy, or is already local to the thief. Everything else is
 //! **sensitive** and must execute at its programmer-specified place.
 
-use serde::{Deserialize, Serialize};
-
 /// Locality classification of a task, supplied by the application
 /// (the paper's `@AnyPlaceTask` annotation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Locality {
     /// The task bears strong affinity to its home place; it may be
     /// stolen only by co-located workers, never across places.

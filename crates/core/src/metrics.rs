@@ -6,10 +6,10 @@
 //! miss rates) and Table III (messages transmitted across nodes).
 
 use crate::topology::ClusterConfig;
-use serde::{Deserialize, Serialize};
+use distws_json::impl_to_json;
 
 /// Steal-operation counters, split by the tiers of Algorithm 1.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StealCounts {
     /// Successful steals from a co-located worker's private deque.
     pub local_private: u64,
@@ -39,7 +39,7 @@ impl StealCounts {
 
 /// Cross-place message counters (Table III). Intra-place scheduling
 /// does not send messages.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessageCounts {
     /// Steal request probes sent to remote places.
     pub steal_requests: u64,
@@ -82,7 +82,7 @@ impl MessageCounts {
 }
 
 /// L1 data-cache accounting (Table II).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheSummary {
     /// Total line accesses replayed against the model.
     pub accesses: u64,
@@ -109,51 +109,103 @@ impl CacheSummary {
 
 /// Per-place CPU utilization (Fig. 7): fraction of the makespan each
 /// place's workers spent executing task bodies.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UtilizationSummary {
     /// Utilization per place, each in `[0, 1]`.
     pub per_place: Vec<f64>,
 }
 
 impl UtilizationSummary {
-    /// Mean utilization across places.
-    pub fn mean(&self) -> f64 {
-        if self.per_place.is_empty() {
-            return 0.0;
-        }
-        self.per_place.iter().sum::<f64>() / self.per_place.len() as f64
+    /// The finite per-place samples. A place whose workers never ran
+    /// (zero elapsed time) can surface as NaN/∞ when a caller divides
+    /// by a zero makespan; every derived statistic ignores such
+    /// entries instead of poisoning the whole summary.
+    fn finite(&self) -> impl Iterator<Item = f64> + '_ {
+        self.per_place.iter().copied().filter(|u| u.is_finite())
     }
 
-    /// Max − min utilization, the paper's "disparity" (≈35 % for X10WS).
+    /// Mean utilization across places (0.0 when no place reported a
+    /// finite utilization).
+    pub fn mean(&self) -> f64 {
+        let (sum, n) = self.finite().fold((0.0, 0u32), |(s, n), u| (s + u, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Max − min utilization, the paper's "disparity" (≈35 % for
+    /// X10WS). 0.0 for empty, single-place and all-non-finite inputs —
+    /// disparity needs at least two comparable places.
     pub fn disparity(&self) -> f64 {
-        let max = self.per_place.iter().cloned().fold(f64::NAN, f64::max);
-        let min = self.per_place.iter().cloned().fold(f64::NAN, f64::min);
-        if max.is_nan() {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut n = 0u32;
+        for u in self.finite() {
+            min = min.min(u);
+            max = max.max(u);
+            n += 1;
+        }
+        if n < 2 {
             0.0
         } else {
             max - min
         }
     }
 
-    /// Population standard deviation of per-place utilization.
+    /// Population standard deviation of per-place utilization (over
+    /// the finite entries; 0.0 when fewer than two remain).
     pub fn std_dev(&self) -> f64 {
-        if self.per_place.is_empty() {
+        let n = self.finite().count();
+        if n < 2 {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .per_place
-            .iter()
-            .map(|u| (u - m) * (u - m))
-            .sum::<f64>()
-            / self.per_place.len() as f64;
+        let var = self.finite().map(|u| (u - m) * (u - m)).sum::<f64>() / n as f64;
         var.sqrt()
     }
 }
 
+/// Percentile summary of one virtual-time distribution, folded out of
+/// the trace layer's histograms (all values in ns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PercentileSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+}
+
+/// The distribution summaries folded into a run: steal latency per
+/// tier of Algorithm 1, task granularity and dormancy duration.
+/// Engines maintain these unconditionally (they are ordinary run
+/// metrics), so traced and untraced runs report identical values;
+/// engines without the histogram machinery report all-zero
+/// (`count == 0`) summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunPercentiles {
+    /// Latency of successful steals from co-located private deques.
+    pub steal_local_private_ns: PercentileSummary,
+    /// Latency of successful steals from the local shared deque.
+    pub steal_local_shared_ns: PercentileSummary,
+    /// Latency of successful remote (distributed) steals.
+    pub steal_remote_ns: PercentileSummary,
+    /// Per-task execution time (granularity).
+    pub task_granularity_ns: PercentileSummary,
+    /// Dormant-until-wakeup episode durations.
+    pub dormancy_ns: PercentileSummary,
+}
+
 /// Complete result of one run: application outcome metrics under one
 /// scheduler on one cluster shape.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Scheduler name (`"X10WS"`, `"DistWS"`, `"DistWS-NS"`, ...).
     pub scheduler: String,
@@ -181,7 +233,57 @@ pub struct RunReport {
     /// Remote data references performed by tasks running away from
     /// their data (0 under X10WS, the cost DistWS-NS pays).
     pub remote_refs: u64,
+    /// Latency/granularity/dormancy percentile summaries from the
+    /// trace layer (all-zero when the run traced into a null sink).
+    pub percentiles: RunPercentiles,
 }
+
+impl_to_json!(StealCounts {
+    local_private,
+    local_shared,
+    remote,
+    failed_attempts
+});
+impl_to_json!(MessageCounts {
+    steal_requests,
+    steal_replies,
+    task_migrations,
+    data_requests,
+    data_replies,
+    control,
+    bytes,
+});
+impl_to_json!(CacheSummary { accesses, misses });
+impl_to_json!(UtilizationSummary { per_place });
+impl_to_json!(PercentileSummary {
+    count,
+    p50,
+    p95,
+    p99,
+    max
+});
+impl_to_json!(RunPercentiles {
+    steal_local_private_ns,
+    steal_local_shared_ns,
+    steal_remote_ns,
+    task_granularity_ns,
+    dormancy_ns,
+});
+impl_to_json!(RunReport {
+    scheduler,
+    app,
+    config,
+    makespan_ns,
+    total_work_ns,
+    tasks_spawned,
+    tasks_executed,
+    steals,
+    messages,
+    cache,
+    utilization,
+    remote_refs,
+    percentiles,
+});
 
 impl RunReport {
     /// Speedup relative to a sequential execution time.
@@ -227,11 +329,22 @@ mod tests {
             total_work_ns: 3_000,
             tasks_spawned: 10,
             tasks_executed: 10,
-            steals: StealCounts { local_private: 2, local_shared: 1, remote: 1, failed_attempts: 5 },
+            steals: StealCounts {
+                local_private: 2,
+                local_shared: 1,
+                remote: 1,
+                failed_attempts: 5,
+            },
             messages: MessageCounts::default(),
-            cache: CacheSummary { accesses: 200, misses: 20 },
-            utilization: UtilizationSummary { per_place: vec![0.9, 0.5] },
+            cache: CacheSummary {
+                accesses: 200,
+                misses: 20,
+            },
+            utilization: UtilizationSummary {
+                per_place: vec![0.9, 0.5],
+            },
             remote_refs: 0,
+            percentiles: RunPercentiles::default(),
         }
     }
 
@@ -249,11 +362,24 @@ mod tests {
 
     #[test]
     fn counters_merge() {
-        let mut a = StealCounts { local_private: 1, local_shared: 2, remote: 3, failed_attempts: 4 };
+        let mut a = StealCounts {
+            local_private: 1,
+            local_shared: 2,
+            remote: 3,
+            failed_attempts: 4,
+        };
         a.merge(&a.clone());
         assert_eq!(a.total(), 12);
-        let mut m = MessageCounts { steal_requests: 1, bytes: 10, ..Default::default() };
-        m.merge(&MessageCounts { steal_replies: 2, bytes: 5, ..Default::default() });
+        let mut m = MessageCounts {
+            steal_requests: 1,
+            bytes: 10,
+            ..Default::default()
+        };
+        m.merge(&MessageCounts {
+            steal_replies: 2,
+            bytes: 5,
+            ..Default::default()
+        });
         assert_eq!(m.total(), 3);
         assert_eq!(m.bytes, 15);
     }
@@ -267,10 +393,51 @@ mod tests {
     }
 
     #[test]
+    fn single_place_utilization_has_no_disparity() {
+        let u = UtilizationSummary {
+            per_place: vec![0.7],
+        };
+        assert!((u.mean() - 0.7).abs() < 1e-12);
+        assert_eq!(
+            u.disparity(),
+            0.0,
+            "one place cannot be disparate with itself"
+        );
+        assert_eq!(u.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_entries_are_ignored() {
+        // A place with zero elapsed time divides to NaN (or ∞ with a
+        // zero makespan); statistics must skip it, not become NaN.
+        let u = UtilizationSummary {
+            per_place: vec![0.8, f64::NAN, 0.2, f64::INFINITY],
+        };
+        assert!((u.mean() - 0.5).abs() < 1e-12);
+        assert!((u.disparity() - 0.6).abs() < 1e-12);
+        assert!((u.std_dev() - 0.3).abs() < 1e-12);
+        let all_bad = UtilizationSummary {
+            per_place: vec![f64::NAN, f64::NAN],
+        };
+        assert_eq!(all_bad.mean(), 0.0);
+        assert_eq!(all_bad.disparity(), 0.0);
+        assert_eq!(all_bad.std_dev(), 0.0);
+    }
+
+    #[test]
     fn report_is_serializable() {
-        // serde_json lives downstream; here we only assert the derive
-        // produced a Serialize implementation.
-        fn assert_ser<T: serde::Serialize>(_: &T) {}
-        assert_ser(&report());
+        let body = distws_json::to_string_pretty(&report());
+        assert!(body.contains("\"makespan_ns\": 1000"));
+        assert!(body.contains("\"percentiles\""));
+        // Same report twice ⇒ byte-identical JSON (regression-oracle
+        // property the trace layer depends on).
+        assert_eq!(body, distws_json::to_string_pretty(&report()));
+    }
+
+    #[test]
+    fn percentile_summaries_default_to_zero() {
+        let p = RunPercentiles::default();
+        assert_eq!(p.task_granularity_ns.count, 0);
+        assert_eq!(p.steal_remote_ns.p99, 0);
     }
 }

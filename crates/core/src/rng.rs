@@ -115,7 +115,10 @@ mod tests {
             counts[r.below_usize(8)] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 
@@ -127,7 +130,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left slice unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left slice unchanged"
+        );
     }
 
     #[test]

@@ -10,10 +10,9 @@
 
 use crate::ids::{GlobalWorkerId, ObjectId, PlaceId, TaskId};
 use crate::locality::Locality;
-use serde::{Deserialize, Serialize};
 
 /// Kind of a data access, for cache/traffic accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
     /// Load from the object.
     Read,
@@ -22,7 +21,7 @@ pub enum AccessKind {
 }
 
 /// One contiguous access to a logical data object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
     /// The object touched.
     pub obj: ObjectId,
@@ -39,12 +38,24 @@ pub struct Access {
 impl Access {
     /// Convenience constructor for a read.
     pub fn read(obj: ObjectId, offset: u64, bytes: u64, home: PlaceId) -> Self {
-        Access { obj, offset, bytes, home, kind: AccessKind::Read }
+        Access {
+            obj,
+            offset,
+            bytes,
+            home,
+            kind: AccessKind::Read,
+        }
     }
 
     /// Convenience constructor for a write.
     pub fn write(obj: ObjectId, offset: u64, bytes: u64, home: PlaceId) -> Self {
-        Access { obj, offset, bytes, home, kind: AccessKind::Write }
+        Access {
+            obj,
+            offset,
+            bytes,
+            home,
+            kind: AccessKind::Write,
+        }
     }
 }
 
@@ -52,7 +63,7 @@ impl Access {
 /// when it migrates to a remote place. After migration these regions are
 /// local to the thief (no further remote references), exactly the
 /// property the paper's flexible tasks exploit.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Footprint {
     /// Encapsulated regions.
     pub regions: Vec<Access>,
@@ -66,7 +77,9 @@ impl Footprint {
 
     /// A footprint with a single encapsulated region.
     pub fn single(obj: ObjectId, bytes: u64, home: PlaceId) -> Self {
-        Footprint { regions: vec![Access::read(obj, 0, bytes, home)] }
+        Footprint {
+            regions: vec![Access::read(obj, 0, bytes, home)],
+        }
     }
 
     /// Total bytes moved with the task on migration.

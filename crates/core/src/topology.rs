@@ -5,10 +5,10 @@
 //! (`X10_NTHREADS=8`), places varied 1..16 so threads = cores.
 
 use crate::ids::{GlobalWorkerId, PlaceId, WorkerId};
-use serde::{Deserialize, Serialize};
+use distws_json::impl_to_json;
 
 /// Static shape of the (simulated or real) cluster.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Number of places (nodes / shared-memory partitions).
     pub places: u32,
@@ -26,6 +26,14 @@ pub struct ClusterConfig {
     /// itself idle (§VI.B: `n` = workers per place).
     pub idle_threshold: u32,
 }
+
+impl_to_json!(ClusterConfig {
+    places,
+    workers_per_place,
+    max_threads_per_place,
+    spare_threads,
+    idle_threshold,
+});
 
 impl ClusterConfig {
     /// The paper's full-scale platform: 16 places × 8 workers = 128.
@@ -54,7 +62,10 @@ impl ClusterConfig {
         if workers <= 8 {
             ClusterConfig::new(1, workers)
         } else {
-            assert!(workers.is_multiple_of(8), "worker counts above 8 must be multiples of 8");
+            assert!(
+                workers.is_multiple_of(8),
+                "worker counts above 8 must be multiples of 8"
+            );
             ClusterConfig::new(workers / 8, 8)
         }
     }

@@ -120,7 +120,9 @@ pub struct Stealer<T> {
 
 impl<T> Clone for Stealer<T> {
     fn clone(&self) -> Self {
-        Stealer { inner: Arc::clone(&self.inner) }
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -133,7 +135,12 @@ pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
         buffer: AtomicPtr::new(Box::into_raw(Buffer::new(64))),
         retired: Mutex::new(Vec::new()),
     });
-    (Worker { inner: Arc::clone(&inner) }, Stealer { inner })
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+        },
+        Stealer { inner },
+    )
 }
 
 impl<T: Send> Worker<T> {
@@ -203,7 +210,9 @@ impl<T: Send> Worker<T> {
 
     /// A stealer handle for this deque.
     pub fn stealer(&self) -> Stealer<T> {
-        Stealer { inner: Arc::clone(&self.inner) }
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     #[cold]

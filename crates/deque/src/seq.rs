@@ -24,7 +24,9 @@ impl<T> Default for SeqPrivateDeque<T> {
 impl<T> SeqPrivateDeque<T> {
     /// New empty deque.
     pub fn new() -> Self {
-        SeqPrivateDeque { inner: VecDeque::new() }
+        SeqPrivateDeque {
+            inner: VecDeque::new(),
+        }
     }
 
     /// Owner push (bottom).
@@ -68,7 +70,9 @@ impl<T> Default for SeqSharedFifo<T> {
 impl<T> SeqSharedFifo<T> {
     /// New empty deque.
     pub fn new() -> Self {
-        SeqSharedFifo { inner: VecDeque::new() }
+        SeqSharedFifo {
+            inner: VecDeque::new(),
+        }
     }
 
     /// Enqueue at the tail.

@@ -11,9 +11,9 @@
 //! only after their private deque, the network probe, and co-located
 //! private steals all came up empty (Algorithm 1 lines 9–21).
 
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Thread-safe FIFO deque shared by all workers of a place and exposed
 /// to remote thieves.
@@ -46,7 +46,7 @@ impl<T> SharedFifo<T> {
 
     /// Enqueue a task at the tail.
     pub fn push(&self, value: T) {
-        let mut q = self.queue.lock();
+        let mut q = self.queue.lock().unwrap();
         q.push_back(value);
         self.len.store(q.len(), Ordering::Release);
         self.pushes.fetch_add(1, Ordering::Relaxed);
@@ -55,7 +55,7 @@ impl<T> SharedFifo<T> {
     /// Dequeue the oldest task (local workers and remote thieves use
     /// the same end — strict FIFO).
     pub fn take(&self) -> Option<T> {
-        let mut q = self.queue.lock();
+        let mut q = self.queue.lock().unwrap();
         let v = q.pop_front();
         self.len.store(q.len(), Ordering::Release);
         if v.is_some() {
@@ -68,7 +68,7 @@ impl<T> SharedFifo<T> {
     /// chunk = 2 in the paper). Returns an empty vector when the deque
     /// is empty.
     pub fn take_chunk(&self, chunk: usize) -> Vec<T> {
-        let mut q = self.queue.lock();
+        let mut q = self.queue.lock().unwrap();
         let n = chunk.min(q.len());
         let out: Vec<T> = q.drain(..n).collect();
         self.len.store(q.len(), Ordering::Release);

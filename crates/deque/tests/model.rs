@@ -1,9 +1,13 @@
-//! Property tests: the lock-free Chase–Lev deque, driven from a single
-//! thread, must behave exactly like the sequential reference model for
-//! any interleaving of push / pop / steal operations.
+//! Randomized model tests: the lock-free Chase–Lev deque, driven from a
+//! single thread, must behave exactly like the sequential reference
+//! model for any interleaving of push / pop / steal operations.
+//!
+//! The container builds offline, so instead of `proptest` these use
+//! seeded SplitMix64-driven generation: each seed is one "case", cases
+//! are fully deterministic, and a failing seed reproduces exactly.
 
+use distws_core::rng::SplitMix64;
 use distws_deque::{deque, SeqPrivateDeque, Steal};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,41 +16,44 @@ enum Op {
     Steal,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u32>().prop_map(Op::Push),
-        Just(Op::Pop),
-        Just(Op::Steal),
-    ]
+fn random_ops(rng: &mut SplitMix64, max_len: usize) -> Vec<Op> {
+    let n = rng.below_usize(max_len + 1);
+    (0..n)
+        .map(|_| match rng.below(3) {
+            0 => Op::Push(rng.next_u64() as u32),
+            1 => Op::Pop,
+            _ => Op::Steal,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn chase_lev_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+#[test]
+fn chase_lev_matches_reference_model() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(0xC4A5E + seed);
+        let ops = random_ops(&mut rng, 400);
         let (w, s) = deque::<u32>();
         let mut model = SeqPrivateDeque::new();
-        for op in ops {
+        for op in &ops {
             match op {
                 Op::Push(v) => {
-                    w.push(v);
-                    model.push(v);
+                    w.push(*v);
+                    model.push(*v);
                 }
                 Op::Pop => {
-                    prop_assert_eq!(w.pop(), model.pop());
+                    assert_eq!(w.pop(), model.pop(), "seed {seed}: pop diverged");
                 }
                 Op::Steal => {
                     let got = match s.steal() {
                         Steal::Success(v) => Some(v),
                         Steal::Empty => None,
                         // Single-threaded: Retry is impossible.
-                        Steal::Retry => return Err(TestCaseError::fail("retry without contention")),
+                        Steal::Retry => panic!("seed {seed}: retry without contention"),
                     };
-                    prop_assert_eq!(got, model.steal());
+                    assert_eq!(got, model.steal(), "seed {seed}: steal diverged");
                 }
             }
-            prop_assert_eq!(w.len(), model.len());
+            assert_eq!(w.len(), model.len(), "seed {seed}: length diverged");
         }
         // Drain and compare the final contents.
         let mut rest = Vec::new();
@@ -57,14 +64,18 @@ proptest! {
         while let Some(v) = model.pop() {
             model_rest.push(v);
         }
-        prop_assert_eq!(rest, model_rest);
+        assert_eq!(rest, model_rest, "seed {seed}: final contents diverged");
     }
+}
 
-    #[test]
-    fn shared_fifo_take_chunk_equals_repeated_take(
-        items in proptest::collection::vec(any::<u32>(), 0..100),
-        chunk in 1usize..8,
-    ) {
+#[test]
+fn shared_fifo_take_chunk_equals_repeated_take() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(0xF1F0 + seed);
+        let items: Vec<u32> = (0..rng.below_usize(100))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
+        let chunk = 1 + rng.below_usize(7);
         let a = distws_deque::SharedFifo::new();
         let mut b = distws_deque::SeqSharedFifo::new();
         for &i in &items {
@@ -79,7 +90,7 @@ proptest! {
                     ys.push(v);
                 }
             }
-            prop_assert_eq!(&xs, &ys);
+            assert_eq!(&xs, &ys, "seed {seed}: chunked take diverged");
             if xs.is_empty() {
                 break;
             }

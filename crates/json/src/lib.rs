@@ -1,0 +1,366 @@
+//! # distws-json
+//!
+//! A tiny, dependency-free JSON value model and serializer.
+//!
+//! The reproduction container builds fully offline, so this crate
+//! replaces `serde`/`serde_json` for everything DistWS writes out:
+//! the `repro --json` result files, the JSONL trace event stream and
+//! the Chrome `trace_event` exports. Determinism is a feature here,
+//! not an accident: objects preserve insertion order and numbers are
+//! formatted by a single fixed routine, so the same data always
+//! serializes to the same bytes (the trace layer relies on this to use
+//! traces as regression oracles).
+//!
+//! Types implement [`ToJson`]; the [`impl_to_json!`] macro derives the
+//! obvious struct implementation:
+//!
+//! ```
+//! use distws_json::{impl_to_json, to_string, ToJson};
+//!
+//! struct Point { x: u64, y: f64 }
+//! impl_to_json!(Point { x, y });
+//!
+//! assert_eq!(to_string(&Point { x: 1, y: 0.5 }), r#"{"x":1,"y":0.5}"#);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (serialized without decimal point).
+    UInt(u64),
+    /// Signed integer (serialized without decimal point).
+    Int(i64),
+    /// Floating-point number. Non-finite values serialize as `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Insert a key into an object value (panics on non-objects).
+    pub fn set(&mut self, key: &str, value: impl ToJson) -> &mut Self {
+        match self {
+            Value::Object(fields) => fields.push((key.to_string(), value.to_json())),
+            other => panic!("Value::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => write_f64(out, *x),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Value::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    write_escaped(out, &fields[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    fields[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+/// Deterministic float formatting: shortest round-trip via `{}` (Rust's
+/// float Display is shortest-representation and stable), integers keep
+/// a trailing `.0` so they stay floats on re-parse.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{x}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a JSON [`Value`].
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+/// Derive a field-by-field object [`ToJson`] impl for a struct.
+///
+/// ```
+/// use distws_json::impl_to_json;
+/// struct Row { app: String, speedup: f64 }
+/// impl_to_json!(Row { app, speedup });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                let mut obj = $crate::Value::object();
+                $(obj.set(stringify!($field), &self.$field);)+
+                obj
+            }
+        }
+    };
+}
+
+/// Serialize any [`ToJson`] value compactly.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render()
+}
+
+/// Serialize any [`ToJson`] value with 2-space indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i64), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&3.0f64), "3.0");
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string("a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&Option::<u64>::None), "null");
+    }
+
+    #[test]
+    fn collections_render() {
+        assert_eq!(to_string(&vec![1u64, 2, 3]), "[1,2,3]");
+        let mut obj = Value::object();
+        obj.set("b", 1u64).set("a", "x");
+        assert_eq!(obj.render(), r#"{"b":1,"a":"x"}"#);
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let mut obj = Value::object();
+        obj.set("xs", vec![1u64]);
+        assert_eq!(obj.render_pretty(), "{\n  \"xs\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn derive_macro_covers_structs() {
+        struct P {
+            x: u64,
+            label: String,
+            opt: Option<f64>,
+        }
+        impl_to_json!(P { x, label, opt });
+        let p = P {
+            x: 9,
+            label: "hi".into(),
+            opt: Some(0.25),
+        };
+        assert_eq!(to_string(&p), r#"{"x":9,"label":"hi","opt":0.25}"#);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut a = Value::object();
+        a.set("k", vec![0.1f64, 2.0, 3.5]).set("s", "x");
+        assert_eq!(a.render(), a.clone().render());
+        assert_eq!(a.render(), r#"{"k":[0.1,2.0,3.5],"s":"x"}"#);
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(to_string("\u{1}"), "\"\\u0001\"");
+    }
+}

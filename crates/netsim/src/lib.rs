@@ -41,6 +41,21 @@ pub enum MsgKind {
     Control,
 }
 
+/// One recorded cross-place message (see [`Network::set_recording`]).
+/// The network has no clock; the engine drains the log right after the
+/// call that produced the messages and stamps virtual time itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Sending place.
+    pub src: PlaceId,
+    /// Receiving place.
+    pub dst: PlaceId,
+    /// Message classification.
+    pub kind: MsgKind,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
 /// The simulated interconnect: cost model + topology + accounting.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -50,6 +65,9 @@ pub struct Network {
     counts: MessageCounts,
     /// Messages per directed edge, row-major `[src][dst]`.
     per_edge: Vec<u64>,
+    /// Per-message log, populated only while `recording` (tracing).
+    recording: bool,
+    log: Vec<MsgRecord>,
 }
 
 impl Network {
@@ -62,7 +80,24 @@ impl Network {
             places,
             counts: MessageCounts::default(),
             per_edge: vec![0; (places as usize) * (places as usize)],
+            recording: false,
+            log: Vec::new(),
         }
+    }
+
+    /// Enable or disable per-message logging. Off by default so
+    /// untraced runs pay one branch per send and no allocation.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.log = Vec::new();
+        }
+    }
+
+    /// Drain the messages logged since the last call, in send order.
+    /// Empty unless [`Self::set_recording`] was turned on.
+    pub fn take_log(&mut self) -> Vec<MsgRecord> {
+        std::mem::take(&mut self.log)
     }
 
     /// The cost model in use.
@@ -93,6 +128,14 @@ impl Network {
         }
         self.counts.bytes += payload_bytes;
         self.per_edge[src.index() * self.places as usize + dst.index()] += 1;
+        if self.recording {
+            self.log.push(MsgRecord {
+                src,
+                dst,
+                kind,
+                bytes: payload_bytes,
+            });
+        }
         let hops = self.topo.hops(src, dst, self.places) as u64;
         hops * self.cost.net_latency_ns + self.cost.transfer_ns(payload_bytes)
     }
@@ -149,7 +192,10 @@ mod tests {
     #[test]
     fn intra_place_is_free_and_uncounted() {
         let mut n = net();
-        assert_eq!(n.send(PlaceId(1), PlaceId(1), MsgKind::DataRequest, 1_000), 0);
+        assert_eq!(
+            n.send(PlaceId(1), PlaceId(1), MsgKind::DataRequest, 1_000),
+            0
+        );
         assert_eq!(n.counts().total(), 0);
         assert_eq!(n.counts().bytes, 0);
     }
@@ -175,7 +221,10 @@ mod tests {
         assert_eq!(n.counts().task_migrations, 1);
         assert_eq!(n.counts().total(), 2);
         // payload includes the closure bytes on top of the footprint
-        assert_eq!(n.counts().bytes, 64 + CostModel::default().closure_bytes + 4_096);
+        assert_eq!(
+            n.counts().bytes,
+            64 + CostModel::default().closure_bytes + 4_096
+        );
     }
 
     #[test]
@@ -201,6 +250,32 @@ mod tests {
         let near = n.send(PlaceId(0), PlaceId(1), MsgKind::Control, 0);
         let far = n.send(PlaceId(0), PlaceId(4), MsgKind::Control, 0);
         assert_eq!(far, 4 * near);
+    }
+
+    #[test]
+    fn recording_logs_each_cross_place_message_in_order() {
+        let mut n = net();
+        n.set_recording(true);
+        n.send(PlaceId(0), PlaceId(0), MsgKind::Control, 8); // intra: not logged
+        n.migrate_task(PlaceId(2), PlaceId(0), 100);
+        let log = n.take_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].kind, MsgKind::StealRequest);
+        assert_eq!((log[0].src, log[0].dst), (PlaceId(0), PlaceId(2)));
+        assert_eq!(log[1].kind, MsgKind::TaskMigrate);
+        assert_eq!(log[1].bytes, CostModel::default().closure_bytes + 100);
+        assert!(n.take_log().is_empty(), "take_log drains");
+    }
+
+    #[test]
+    fn recording_off_by_default_and_clears_on_disable() {
+        let mut n = net();
+        n.send(PlaceId(0), PlaceId(1), MsgKind::Control, 8);
+        assert!(n.take_log().is_empty());
+        n.set_recording(true);
+        n.send(PlaceId(0), PlaceId(1), MsgKind::Control, 8);
+        n.set_recording(false);
+        assert!(n.take_log().is_empty());
     }
 
     #[test]

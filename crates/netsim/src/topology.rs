@@ -7,10 +7,9 @@
 //! so the victim-ordering ablation can demonstrate exactly that.
 
 use distws_core::PlaceId;
-use serde::{Deserialize, Serialize};
 
 /// Interconnect shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
     /// Every pair of places is one hop apart (switched fabric).
     FullyConnected,
@@ -75,7 +74,10 @@ mod tests {
     #[test]
     fn ring_victims_nearest_first() {
         let order = Topology::Ring.victim_order(PlaceId(0), 6);
-        let dists: Vec<u32> = order.iter().map(|p| Topology::Ring.hops(PlaceId(0), *p, 6)).collect();
+        let dists: Vec<u32> = order
+            .iter()
+            .map(|p| Topology::Ring.hops(PlaceId(0), *p, 6))
+            .collect();
         let mut sorted = dists.clone();
         sorted.sort_unstable();
         assert_eq!(dists, sorted);
@@ -85,6 +87,9 @@ mod tests {
     #[test]
     fn fully_connected_victims_rotate_after_self() {
         let order = Topology::FullyConnected.victim_order(PlaceId(2), 5);
-        assert_eq!(order.iter().map(|p| p.0).collect::<Vec<_>>(), vec![3, 4, 0, 1]);
+        assert_eq!(
+            order.iter().map(|p| p.0).collect::<Vec<_>>(),
+            vec![3, 4, 0, 1]
+        );
     }
 }

@@ -1,21 +1,34 @@
-//! Property tests for the network model.
+//! Randomized property tests for the network model, driven by seeded
+//! SplitMix64 generation (each seed is one deterministic case).
 
+use distws_core::rng::SplitMix64;
 use distws_core::{CostModel, PlaceId};
 use distws_netsim::{MsgKind, Network, Topology};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn cost_is_monotone_in_payload(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+#[test]
+fn cost_is_monotone_in_payload() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::new(0x9A9 + seed);
+        let a = rng.below(1_000_000);
+        let b = rng.below(1_000_000);
         let mut n = Network::new(4, CostModel::default(), Topology::FullyConnected);
         let (lo, hi) = (a.min(b), a.max(b));
         let c_lo = n.send(PlaceId(0), PlaceId(1), MsgKind::DataReply, lo);
         let c_hi = n.send(PlaceId(0), PlaceId(1), MsgKind::DataReply, hi);
-        prop_assert!(c_lo <= c_hi);
+        assert!(
+            c_lo <= c_hi,
+            "seed {seed}: cost not monotone ({c_lo} > {c_hi})"
+        );
     }
+}
 
-    #[test]
-    fn counters_are_additive(msgs in proptest::collection::vec((0u32..4, 0u32..4, 0u64..10_000), 0..100)) {
+#[test]
+fn counters_are_additive() {
+    for seed in 0..100u64 {
+        let mut rng = SplitMix64::new(0xADD + seed);
+        let msgs: Vec<(u32, u32, u64)> = (0..rng.below_usize(100))
+            .map(|_| (rng.below(4) as u32, rng.below(4) as u32, rng.below(10_000)))
+            .collect();
         let mut n = Network::new(4, CostModel::default(), Topology::FullyConnected);
         let mut expect_total = 0u64;
         let mut expect_bytes = 0u64;
@@ -26,16 +39,20 @@ proptest! {
                 expect_bytes += bytes;
             }
         }
-        prop_assert_eq!(n.counts().total(), expect_total);
-        prop_assert_eq!(n.counts().bytes, expect_bytes);
+        assert_eq!(n.counts().total(), expect_total, "seed {seed}");
+        assert_eq!(n.counts().bytes, expect_bytes, "seed {seed}");
     }
+}
 
-    #[test]
-    fn ring_hops_are_symmetric_and_bounded(a in 0u32..16, b in 0u32..16) {
-        let t = Topology::Ring;
-        let ab = t.hops(PlaceId(a), PlaceId(b), 16);
-        let ba = t.hops(PlaceId(b), PlaceId(a), 16);
-        prop_assert_eq!(ab, ba);
-        prop_assert!(ab <= 8, "ring distance over half the ring: {}", ab);
+#[test]
+fn ring_hops_are_symmetric_and_bounded() {
+    for a in 0..16u32 {
+        for b in 0..16u32 {
+            let t = Topology::Ring;
+            let ab = t.hops(PlaceId(a), PlaceId(b), 16);
+            let ba = t.hops(PlaceId(b), PlaceId(a), 16);
+            assert_eq!(ab, ba);
+            assert!(ab <= 8, "ring distance over half the ring: {ab}");
+        }
     }
 }

@@ -31,15 +31,18 @@ mod worker;
 
 pub use board::SharedBoard;
 
-use distws_core::{ClusterConfig, PlaceId, RunReport, StealCounts, TaskSpec, UtilizationSummary, Workload};
+use distws_core::{
+    ClusterConfig, PlaceId, RunReport, StealCounts, TaskSpec, UtilizationSummary, Workload,
+};
 use distws_deque::SharedFifo;
 use distws_sched::Policy;
-use parking_lot::Mutex;
+use distws_trace::SharedSink;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use worker::{RtTask, WorkerHarness};
+use worker::{RtTask, WorkerHarness, WorkerStats};
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -56,7 +59,11 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// Defaults for a cluster shape.
     pub fn new(cluster: ClusterConfig) -> Self {
-        RuntimeConfig { cluster, net_delay: None, seed: 0x5EED }
+        RuntimeConfig {
+            cluster,
+            net_delay: None,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -80,12 +87,24 @@ pub(crate) struct RunShared {
     pub steals_failed: AtomicU64,
     pub messages: AtomicU64,
     pub total_est_ns: AtomicU64,
+    /// Trace sink shared by all workers (null unless
+    /// [`Runtime::run_roots_traced`] was used).
+    pub trace: SharedSink,
+    /// Run start — the zero point of the wall-clock trace timeline.
+    pub epoch: Instant,
 }
 
 impl RunShared {
     /// Register this worker's stealer handle (called once per thread).
-    pub fn register_stealer(&self, w: distws_core::GlobalWorkerId, s: distws_deque::Stealer<RtTask>) {
-        self.stealers[w.index()].set(s).ok().expect("stealer registered twice");
+    pub fn register_stealer(
+        &self,
+        w: distws_core::GlobalWorkerId,
+        s: distws_deque::Stealer<RtTask>,
+    ) {
+        self.stealers[w.index()]
+            .set(s)
+            .ok()
+            .expect("stealer registered twice");
     }
 
     /// Block until every worker has registered (startup barrier).
@@ -104,7 +123,8 @@ impl RunShared {
     /// the spawning place (or `None` for roots).
     pub fn route(&self, task: RtTask, from: Option<PlaceId>) {
         self.spawned.fetch_add(1, Ordering::SeqCst);
-        self.total_est_ns.fetch_add(task.spec_est, Ordering::Relaxed);
+        self.total_est_ns
+            .fetch_add(task.spec_est, Ordering::Relaxed);
         let home = task.home;
         let cross_place = from.map(|f| f != home).unwrap_or(true);
         if cross_place {
@@ -114,12 +134,18 @@ impl RunShared {
                 Some(d) => Instant::now() + d,
                 None => Instant::now(),
             };
-            self.inbox[home.index()].lock().push_back((ready, task));
+            self.inbox[home.index()]
+                .lock()
+                .unwrap()
+                .push_back((ready, task));
         } else {
             // Local spawn: the worker maps it directly (help-first);
             // handled by the caller — reaching here means the caller
             // chose inbox delivery anyway.
-            self.inbox[home.index()].lock().push_back((Instant::now(), task));
+            self.inbox[home.index()]
+                .lock()
+                .unwrap()
+                .push_back((Instant::now(), task));
         }
     }
 }
@@ -133,7 +159,10 @@ pub struct Runtime {
 impl Runtime {
     /// A runtime with default configuration for a cluster shape.
     pub fn new(cluster: ClusterConfig, policy: Box<dyn Policy>) -> Self {
-        Runtime { cfg: RuntimeConfig::new(cluster), policy }
+        Runtime {
+            cfg: RuntimeConfig::new(cluster),
+            policy,
+        }
     }
 
     /// A runtime with an explicit configuration.
@@ -146,13 +175,30 @@ impl Runtime {
         let roots = app.roots(&self.cfg.cluster);
         let report = self.run_roots(&app.name(), roots);
         if let Err(e) = app.validate() {
-            panic!("workload '{}' failed validation under {}: {e}", app.name(), report.scheduler);
+            panic!(
+                "workload '{}' failed validation under {}: {e}",
+                app.name(),
+                report.scheduler
+            );
         }
         report
     }
 
     /// Run explicit root tasks to completion.
     pub fn run_roots(&mut self, name: &str, roots: Vec<TaskSpec>) -> RunReport {
+        self.run_roots_traced(name, roots, SharedSink::null())
+    }
+
+    /// Like [`Self::run_roots`], but streams [`distws_trace`] events
+    /// into `sink`. Event timestamps are wall-clock nanoseconds since
+    /// run start; unlike the simulator's traces they are **not**
+    /// deterministic across runs.
+    pub fn run_roots_traced(
+        &mut self,
+        name: &str,
+        roots: Vec<TaskSpec>,
+        sink: SharedSink,
+    ) -> RunReport {
         let cluster = self.cfg.cluster.clone();
         let np = cluster.places as usize;
         let shared = Arc::new(RunShared {
@@ -173,6 +219,8 @@ impl Runtime {
             steals_failed: AtomicU64::new(0),
             messages: AtomicU64::new(0),
             total_est_ns: AtomicU64::new(0),
+            trace: sink,
+            epoch: Instant::now(),
         });
 
         let start = Instant::now();
@@ -204,10 +252,18 @@ impl Runtime {
             }
         }
         let mut busy = vec![0u64; cluster.total_workers() as usize];
+        let mut merged = WorkerStats::default();
         for (i, h) in handles.into_iter().enumerate() {
-            busy[i] = h.join().expect("worker panicked");
+            let stats = h.join().expect("worker panicked");
+            busy[i] = stats.busy_ns;
+            merged.granularity.merge(&stats.granularity);
+            merged.steal_local_private.merge(&stats.steal_local_private);
+            merged.steal_local_shared.merge(&stats.steal_local_shared);
+            merged.steal_remote.merge(&stats.steal_remote);
+            merged.dormancy.merge(&stats.dormancy);
         }
         let makespan = start.elapsed().as_nanos() as u64;
+        shared.trace.with(|s| s.flush());
 
         let wpp = cluster.workers_per_place as usize;
         let per_place = (0..np)
@@ -238,6 +294,13 @@ impl Runtime {
             cache: Default::default(),
             utilization: UtilizationSummary { per_place },
             remote_refs: 0,
+            percentiles: distws_core::RunPercentiles {
+                steal_local_private_ns: merged.steal_local_private.summary(),
+                steal_local_shared_ns: merged.steal_local_shared.summary(),
+                steal_remote_ns: merged.steal_remote.summary(),
+                task_granularity_ns: merged.granularity.summary(),
+                dormancy_ns: merged.dormancy.summary(),
+            },
         }
     }
 }
@@ -245,7 +308,7 @@ impl Runtime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distws_core::{Locality, TaskScope as _};
+    use distws_core::Locality;
     use distws_sched::{DistWs, X10Ws};
     use std::sync::atomic::AtomicU64 as A64;
 
@@ -274,14 +337,26 @@ mod tests {
         let root = TaskSpec::new(PlaceId(0), Locality::Flexible, 0, "root", move |s| {
             for _ in 0..8 {
                 let c1 = Arc::clone(&c0);
-                s.spawn(TaskSpec::new(s.here(), Locality::Flexible, 0, "mid", move |s2| {
-                    for _ in 0..8 {
-                        let c2 = Arc::clone(&c1);
-                        s2.spawn(TaskSpec::new(s2.here(), Locality::Flexible, 0, "leaf", move |_| {
-                            c2.fetch_add(1, Ordering::Relaxed);
-                        }));
-                    }
-                }));
+                s.spawn(TaskSpec::new(
+                    s.here(),
+                    Locality::Flexible,
+                    0,
+                    "mid",
+                    move |s2| {
+                        for _ in 0..8 {
+                            let c2 = Arc::clone(&c1);
+                            s2.spawn(TaskSpec::new(
+                                s2.here(),
+                                Locality::Flexible,
+                                0,
+                                "leaf",
+                                move |_| {
+                                    c2.fetch_add(1, Ordering::Relaxed);
+                                },
+                            ));
+                        }
+                    },
+                ));
             }
         });
         let mut rt = Runtime::new(ClusterConfig::new(2, 2), Box::new(DistWs::default()));
@@ -296,10 +371,20 @@ mod tests {
         let c0 = Arc::clone(&counter);
         let root = TaskSpec::new(PlaceId(0), Locality::Sensitive, 0, "root", move |s| {
             let c = Arc::clone(&c0);
-            s.spawn(TaskSpec::new(PlaceId(1), Locality::Sensitive, 0, "remote", move |s2| {
-                assert_eq!(s2.here(), PlaceId(1), "sensitive task must run at its place");
-                c.fetch_add(1, Ordering::Relaxed);
-            }));
+            s.spawn(TaskSpec::new(
+                PlaceId(1),
+                Locality::Sensitive,
+                0,
+                "remote",
+                move |s2| {
+                    assert_eq!(
+                        s2.here(),
+                        PlaceId(1),
+                        "sensitive task must run at its place"
+                    );
+                    c.fetch_add(1, Ordering::Relaxed);
+                },
+            ));
         });
         let mut rt = Runtime::new(ClusterConfig::new(2, 1), Box::new(X10Ws));
         rt.run_roots("xspawn", vec![root]);
@@ -337,9 +422,15 @@ mod tests {
         let root = TaskSpec::new(PlaceId(0), Locality::Sensitive, 0, "root", move |s| {
             for p in 0..2u32 {
                 let c = Arc::clone(&c0);
-                s.spawn(TaskSpec::new(PlaceId(p), Locality::Sensitive, 0, "child", move |_| {
-                    c.fetch_add(1, Ordering::Relaxed);
-                }));
+                s.spawn(TaskSpec::new(
+                    PlaceId(p),
+                    Locality::Sensitive,
+                    0,
+                    "child",
+                    move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    },
+                ));
             }
         });
         let mut cfg = RuntimeConfig::new(ClusterConfig::new(2, 1));

@@ -3,12 +3,30 @@
 
 use crate::RunShared;
 use distws_core::rng::SplitMix64;
-use distws_core::{FinishLatch, GlobalWorkerId, Locality, PlaceId, TaskBody, TaskId, TaskScope, TaskSpec};
+use distws_core::{
+    FinishLatch, GlobalWorkerId, Locality, PlaceId, TaskBody, TaskId, TaskScope, TaskSpec,
+};
 use distws_deque::chase_lev::{deque, Worker};
 use distws_sched::{DequeChoice, Policy, StealStep, TaskMeta};
+use distws_trace::{Histogram, SharedSink, StealTier, TraceEvent, TraceEventKind, TraceSink};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// What a worker thread hands back when it exits: its busy time plus
+/// the distribution observations merged into `RunReport.percentiles`.
+/// Wall-clock analogues of the simulator's histograms — useful for
+/// spotting contention, but (unlike the simulator's) not
+/// deterministic across runs.
+#[derive(Default)]
+pub(crate) struct WorkerStats {
+    pub busy_ns: u64,
+    pub granularity: Histogram,
+    pub steal_local_private: Histogram,
+    pub steal_local_shared: Histogram,
+    pub steal_remote: Histogram,
+    pub dormancy: Histogram,
+}
 
 /// A task inside the threaded runtime.
 pub(crate) struct RtTask {
@@ -43,6 +61,7 @@ pub(crate) struct WorkerHarness {
     shared: Arc<RunShared>,
     policy: Box<dyn Policy>,
     rng: SplitMix64,
+    trace: SharedSink,
 }
 
 impl WorkerHarness {
@@ -53,11 +72,36 @@ impl WorkerHarness {
         seed: u64,
     ) -> Self {
         let place = shared.cfg.place_of(id);
-        WorkerHarness { id, place, shared, policy, rng: SplitMix64::new(seed) }
+        let trace = shared.trace.clone();
+        WorkerHarness {
+            id,
+            place,
+            shared,
+            policy,
+            rng: SplitMix64::new(seed),
+            trace,
+        }
     }
 
-    /// Thread entry point. Returns accumulated busy nanoseconds.
-    pub fn run(mut self) -> u64 {
+    /// Nanoseconds since the run started (the trace clock).
+    fn now_ns(&self) -> u64 {
+        self.shared.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn emit(&mut self, kind: TraceEventKind) {
+        if self.trace.enabled() {
+            let ev = TraceEvent {
+                t_ns: self.now_ns(),
+                worker: self.id,
+                place: self.place,
+                kind,
+            };
+            self.trace.with(|s| s.record(ev));
+        }
+    }
+
+    /// Thread entry point. Returns busy time + histogram observations.
+    pub fn run(mut self) -> WorkerStats {
         // Deques are created lazily per thread and registered through
         // the shared registry; to keep this simple and lock-free at
         // steady state, the registry is built with a barrier below.
@@ -66,23 +110,34 @@ impl WorkerHarness {
         // Wait until every worker registered (barrier).
         self.shared.wait_registry();
 
-        let mut busy_ns = 0u64;
+        let mut stats = WorkerStats::default();
         let mut idle_spins = 0u32;
+        let mut parked_at: Option<Instant> = None;
         loop {
             if self.shared.done.load(Ordering::SeqCst) {
                 break;
             }
-            let got = self.acquire(&worker);
+            let got = self.acquire(&worker, &mut stats);
             self.policy.note_result(self.id, got.is_some());
             match got {
                 Some(task) => {
+                    if let Some(since) = parked_at.take() {
+                        stats.dormancy.record(since.elapsed().as_nanos() as u64);
+                        self.emit(TraceEventKind::Wakeup);
+                    }
                     idle_spins = 0;
-                    busy_ns += self.execute(&worker, task);
+                    let dur = self.execute(&worker, task);
+                    stats.granularity.record(dur);
+                    stats.busy_ns += dur;
                 }
                 None => {
                     self.shared.steals_failed.fetch_add(1, Ordering::Relaxed);
                     idle_spins += 1;
                     if idle_spins > 50 {
+                        if parked_at.is_none() {
+                            parked_at = Some(Instant::now());
+                            self.emit(TraceEventKind::Dormant);
+                        }
                         std::thread::sleep(Duration::from_micros(200));
                     } else {
                         std::thread::yield_now();
@@ -90,12 +145,14 @@ impl WorkerHarness {
                 }
             }
         }
-        busy_ns
+        stats
     }
 
     /// Algorithm 1 lines 9–29 against the real deques.
-    fn acquire(&mut self, worker: &Worker<RtTask>) -> Option<RtTask> {
-        let steps = self.policy.steal_sequence(self.id, &self.shared.board, &mut self.rng);
+    fn acquire(&mut self, worker: &Worker<RtTask>, stats: &mut WorkerStats) -> Option<RtTask> {
+        let steps = self
+            .policy
+            .steal_sequence(self.id, &self.shared.board, &mut self.rng);
         let wpp = self.shared.cfg.workers_per_place;
         for step in steps {
             match step {
@@ -111,6 +168,7 @@ impl WorkerHarness {
                     }
                 }
                 StealStep::StealCoWorker => {
+                    let started = Instant::now();
                     let local = self.id.local(wpp).0;
                     for off in 1..wpp {
                         let v = self
@@ -119,19 +177,37 @@ impl WorkerHarness {
                             .global(self.place, distws_core::WorkerId((local + off) % wpp));
                         if let Some(t) = self.shared.stealer(v).steal_with_retries(4) {
                             self.shared.steals_private.fetch_add(1, Ordering::Relaxed);
+                            let latency = started.elapsed().as_nanos() as u64;
+                            stats.steal_local_private.record(latency);
+                            self.emit(TraceEventKind::StealSuccess {
+                                tier: StealTier::LocalPrivate,
+                                task: TaskId(0),
+                                victim: self.place,
+                                latency_ns: latency,
+                            });
                             return Some(t);
                         }
                     }
                 }
                 StealStep::StealLocalShared => {
+                    let started = Instant::now();
                     let q = &self.shared.shared[self.place.index()];
                     if let Some(t) = q.take() {
                         self.shared.board.set_shared_len(self.place, q.len());
                         self.shared.steals_shared.fetch_add(1, Ordering::Relaxed);
+                        let latency = started.elapsed().as_nanos() as u64;
+                        stats.steal_local_shared.record(latency);
+                        self.emit(TraceEventKind::StealSuccess {
+                            tier: StealTier::LocalShared,
+                            task: TaskId(0),
+                            victim: self.place,
+                            latency_ns: latency,
+                        });
                         return Some(t);
                     }
                 }
                 StealStep::StealRemoteShared(victim) => {
+                    let started = Instant::now();
                     let q = &self.shared.shared[victim.index()];
                     if q.is_empty() {
                         continue;
@@ -143,7 +219,9 @@ impl WorkerHarness {
                     }
                     // A distributed steal is a message exchange.
                     self.shared.messages.fetch_add(2, Ordering::Relaxed);
-                    self.shared.steals_remote.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    self.shared
+                        .steals_remote
+                        .fetch_add(chunk.len() as u64, Ordering::Relaxed);
                     if let Some(d) = self.shared.net_delay {
                         std::thread::sleep(d);
                     }
@@ -161,6 +239,14 @@ impl WorkerHarness {
                     if let Some(t) = &first {
                         assert!(self.policy.may_migrate(t.locality));
                     }
+                    let latency = started.elapsed().as_nanos() as u64;
+                    stats.steal_remote.record(latency);
+                    self.emit(TraceEventKind::StealSuccess {
+                        tier: StealTier::Remote,
+                        task: TaskId(0),
+                        victim,
+                        latency_ns: latency,
+                    });
                     return first;
                 }
                 StealStep::Quiesce => {
@@ -179,7 +265,7 @@ impl WorkerHarness {
     /// 1–8). Returns a task if the mapping handed it straight to us.
     fn probe_inbox(&mut self, worker: &Worker<RtTask>) -> Option<RtTask> {
         let task = {
-            let mut inbox = self.shared.inbox[self.place.index()].lock();
+            let mut inbox = self.shared.inbox[self.place.index()].lock().unwrap();
             match inbox.front() {
                 Some((ready, _)) if *ready <= Instant::now() => inbox.pop_front().map(|(_, t)| t),
                 _ => None,
@@ -192,7 +278,10 @@ impl WorkerHarness {
             est_cost_ns: task.spec_est,
             footprint_bytes: 0,
         };
-        match self.policy.map_task(&meta, &self.shared.board, &mut self.rng) {
+        match self
+            .policy
+            .map_task(&meta, &self.shared.board, &mut self.rng)
+        {
             DequeChoice::Private => Some(task),
             DequeChoice::Shared => {
                 let q = &self.shared.shared[self.place.index()];
@@ -211,6 +300,7 @@ impl WorkerHarness {
     /// Execute one task body; returns its wall-clock duration in ns.
     fn execute(&mut self, worker: &Worker<RtTask>, task: RtTask) -> u64 {
         self.shared.board.worker_busy(self.place);
+        self.emit(TraceEventKind::TaskStart { task: TaskId(0) });
         let started = Instant::now();
         {
             let here = self.place;
@@ -226,6 +316,7 @@ impl WorkerHarness {
             (task.body)(&mut scope);
         }
         let elapsed = started.elapsed().as_nanos() as u64;
+        self.emit(TraceEventKind::TaskEnd { task: TaskId(0) });
         self.shared.board.set_private_len(self.id, worker.len());
         self.shared.board.worker_idle(self.place);
         // Completion: release the latch continuation (counted as
@@ -246,7 +337,9 @@ impl WorkerHarness {
         let task = RtTask::from_spec(spec);
         if task.home == self.place {
             self.shared.spawned.fetch_add(1, Ordering::SeqCst);
-            self.shared.total_est_ns.fetch_add(task.spec_est, Ordering::Relaxed);
+            self.shared
+                .total_est_ns
+                .fetch_add(task.spec_est, Ordering::Relaxed);
             let meta = TaskMeta {
                 home: self.place,
                 locality: task.locality,
@@ -254,7 +347,10 @@ impl WorkerHarness {
                 est_cost_ns: task.spec_est,
                 footprint_bytes: 0,
             };
-            match self.policy.map_task(&meta, &self.shared.board, &mut self.rng) {
+            match self
+                .policy
+                .map_task(&meta, &self.shared.board, &mut self.rng)
+            {
                 DequeChoice::Private => {
                     worker.push(task);
                     self.shared.board.set_private_len(self.id, worker.len());

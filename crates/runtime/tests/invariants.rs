@@ -29,22 +29,35 @@ fn sensitive_tasks_execute_at_their_place_on_threads() {
     // Under every selective policy, sensitive tasks must observe
     // here() == home() even with concurrent thieves hammering the
     // deques.
-    for policy in [Box::new(DistWs::default()) as Box<dyn distws_sched::Policy>, Box::new(X10Ws)] {
+    for policy in [
+        Box::new(DistWs::default()) as Box<dyn distws_sched::Policy>,
+        Box::new(X10Ws),
+    ] {
         let violations = Arc::new(AtomicU64::new(0));
         let roots: Vec<TaskSpec> = (0..80)
             .map(|i| {
                 let v = Arc::clone(&violations);
                 let home = PlaceId(i % 3);
-                TaskSpec::new(home, Locality::Sensitive, 0, "pin", move |s: &mut dyn TaskScope| {
-                    if s.here() != home {
-                        v.fetch_add(1, Ordering::Relaxed);
-                    }
-                })
+                TaskSpec::new(
+                    home,
+                    Locality::Sensitive,
+                    0,
+                    "pin",
+                    move |s: &mut dyn TaskScope| {
+                        if s.here() != home {
+                            v.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                )
             })
             .collect();
         let mut rt = Runtime::new(ClusterConfig::new(3, 2), policy);
         rt.run_roots("pin", roots);
-        assert_eq!(violations.load(Ordering::Relaxed), 0, "a sensitive task ran off-place");
+        assert_eq!(
+            violations.load(Ordering::Relaxed),
+            0,
+            "a sensitive task ran off-place"
+        );
     }
 }
 
@@ -74,7 +87,11 @@ fn deep_recursion_with_mixed_localities_terminates() {
     fn tree(depth: u32, counter: Arc<AtomicU64>) -> TaskSpec {
         TaskSpec::new(
             PlaceId(0),
-            if depth % 2 == 0 { Locality::Flexible } else { Locality::Sensitive },
+            if depth.is_multiple_of(2) {
+                Locality::Flexible
+            } else {
+                Locality::Sensitive
+            },
             0,
             "tree",
             move |s: &mut dyn TaskScope| {

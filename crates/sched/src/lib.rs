@@ -98,7 +98,11 @@ pub trait Policy: Send {
 
     /// Lifeline partners of a place (outgoing lifeline edges); empty
     /// for non-lifeline policies.
-    fn lifeline_partners(&self, _place: distws_core::PlaceId, _places: u32) -> Vec<distws_core::PlaceId> {
+    fn lifeline_partners(
+        &self,
+        _place: distws_core::PlaceId,
+        _places: u32,
+    ) -> Vec<distws_core::PlaceId> {
         Vec::new()
     }
 

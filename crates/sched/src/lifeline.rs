@@ -30,7 +30,10 @@ pub struct LifelineWs {
 
 impl Default for LifelineWs {
     fn default() -> Self {
-        LifelineWs { random_attempts: 2, base: 2 }
+        LifelineWs {
+            random_attempts: 2,
+            base: 2,
+        }
     }
 }
 
@@ -163,7 +166,10 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let seq = p.steal_sequence(GlobalWorkerId(0), &view, &mut rng);
         assert_eq!(*seq.last().unwrap(), StealStep::Quiesce);
-        let remotes = seq.iter().filter(|s| matches!(s, StealStep::StealRemoteShared(_))).count();
+        let remotes = seq
+            .iter()
+            .filter(|s| matches!(s, StealStep::StealRemoteShared(_)))
+            .count();
         assert_eq!(remotes, 2);
     }
 

@@ -21,8 +21,7 @@ pub enum VictimOrder {
 impl VictimOrder {
     /// Remote places in visiting order for a thief at `from`.
     pub fn victims(self, from: PlaceId, places: u32, rng: &mut SplitMix64) -> Vec<PlaceId> {
-        let mut others: Vec<PlaceId> =
-            (0..places).map(PlaceId).filter(|p| *p != from).collect();
+        let mut others: Vec<PlaceId> = (0..places).map(PlaceId).filter(|p| *p != from).collect();
         match self {
             VictimOrder::Random => rng.shuffle(&mut others),
             VictimOrder::NearestFirstRing => {
@@ -82,7 +81,11 @@ impl FailBackoff {
         if self.fails.len() <= i {
             self.fails.resize(i + 1, 0);
         }
-        self.fails[i] = if found { 0 } else { self.fails[i].saturating_add(1) };
+        self.fails[i] = if found {
+            0
+        } else {
+            self.fails[i].saturating_add(1)
+        };
     }
 }
 
@@ -146,7 +149,11 @@ impl Policy for X10Ws {
         _view: &dyn ClusterView,
         _rng: &mut SplitMix64,
     ) -> Vec<StealStep> {
-        vec![StealStep::PollPrivate, StealStep::ProbeNetwork, StealStep::StealCoWorker]
+        vec![
+            StealStep::PollPrivate,
+            StealStep::ProbeNetwork,
+            StealStep::StealCoWorker,
+        ]
     }
 
     fn may_migrate(&self, _locality: Locality) -> bool {
@@ -200,22 +207,34 @@ impl DistWs {
     /// DistWS with a non-default fixed remote chunk size (§V.B.3).
     pub fn with_chunk(chunk: usize) -> Self {
         assert!(chunk > 0);
-        DistWs { chunk_policy: ChunkPolicy::Fixed(chunk), ..Default::default() }
+        DistWs {
+            chunk_policy: ChunkPolicy::Fixed(chunk),
+            ..Default::default()
+        }
     }
 
     /// DistWS with Olivier & Prins' StealHalf chunking (§V.B.3).
     pub fn steal_half() -> Self {
-        DistWs { chunk_policy: ChunkPolicy::Half, ..Default::default() }
+        DistWs {
+            chunk_policy: ChunkPolicy::Half,
+            ..Default::default()
+        }
     }
 
     /// DistWS with a specific victim ordering.
     pub fn with_victim_order(order: VictimOrder) -> Self {
-        DistWs { victim_order: order, ..Default::default() }
+        DistWs {
+            victim_order: order,
+            ..Default::default()
+        }
     }
 
     /// DistWS without the idle/under-utilized mapping rule (ablation).
     pub fn without_utilization_rule() -> Self {
-        DistWs { respect_utilization: false, ..Default::default() }
+        DistWs {
+            respect_utilization: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -255,9 +274,9 @@ impl Policy for DistWs {
     ) -> Vec<StealStep> {
         let place = view.config().place_of(thief);
         let mut steps = vec![
-            StealStep::PollPrivate,     // line 9
-            StealStep::ProbeNetwork,    // line 11
-            StealStep::StealCoWorker,   // line 13
+            StealStep::PollPrivate,      // line 9
+            StealStep::ProbeNetwork,     // line 11
+            StealStep::StealCoWorker,    // line 13
             StealStep::StealLocalShared, // line 15
         ];
         let budget = self.backoff.budget(thief, view.config().places);
@@ -451,9 +470,15 @@ mod tests {
         let view = StaticView::saturated(cfg);
         let mut p = X10Ws;
         let mut rng = SplitMix64::new(1);
-        assert_eq!(p.map_task(&meta(Locality::Flexible), &view, &mut rng), DequeChoice::Private);
+        assert_eq!(
+            p.map_task(&meta(Locality::Flexible), &view, &mut rng),
+            DequeChoice::Private
+        );
         let seq = p.steal_sequence(GlobalWorkerId(0), &view, &mut rng);
-        assert!(seq.iter().all(|s| !matches!(s, StealStep::StealRemoteShared(_) | StealStep::StealLocalShared)));
+        assert!(seq.iter().all(|s| !matches!(
+            s,
+            StealStep::StealRemoteShared(_) | StealStep::StealLocalShared
+        )));
         assert!(!p.may_migrate(Locality::Flexible));
     }
 
@@ -463,7 +488,10 @@ mod tests {
         let view = StaticView::saturated(cfg);
         let mut p = DistWs::default();
         let mut rng = SplitMix64::new(1);
-        assert_eq!(p.map_task(&meta(Locality::Sensitive), &view, &mut rng), DequeChoice::Private);
+        assert_eq!(
+            p.map_task(&meta(Locality::Sensitive), &view, &mut rng),
+            DequeChoice::Private
+        );
     }
 
     #[test]
@@ -473,14 +501,23 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         // Fully utilized place → shared deque.
         let view = StaticView::saturated(cfg.clone());
-        assert_eq!(p.map_task(&meta(Locality::Flexible), &view, &mut rng), DequeChoice::Shared);
+        assert_eq!(
+            p.map_task(&meta(Locality::Flexible), &view, &mut rng),
+            DequeChoice::Shared
+        );
         // Under-utilized place → private deque (Algorithm 1 line 5–6).
         let mut view = StaticView::saturated(cfg.clone());
         view.busy[0] = 1;
-        assert_eq!(p.map_task(&meta(Locality::Flexible), &view, &mut rng), DequeChoice::Private);
+        assert_eq!(
+            p.map_task(&meta(Locality::Flexible), &view, &mut rng),
+            DequeChoice::Private
+        );
         // Idle place → private deque.
         let view = StaticView::idle(cfg);
-        assert_eq!(p.map_task(&meta(Locality::Flexible), &view, &mut rng), DequeChoice::Private);
+        assert_eq!(
+            p.map_task(&meta(Locality::Flexible), &view, &mut rng),
+            DequeChoice::Private
+        );
     }
 
     #[test]
@@ -535,7 +572,12 @@ mod tests {
             .collect();
         assert_eq!(
             choices,
-            vec![DequeChoice::Shared, DequeChoice::Private, DequeChoice::Shared, DequeChoice::Private]
+            vec![
+                DequeChoice::Shared,
+                DequeChoice::Private,
+                DequeChoice::Shared,
+                DequeChoice::Private
+            ]
         );
         assert!(p.may_migrate(Locality::Sensitive));
     }
@@ -567,7 +609,11 @@ mod tests {
     fn chunk_policies() {
         assert_eq!(ChunkPolicy::Fixed(2).amount(100), 2);
         assert_eq!(ChunkPolicy::Half.amount(100), 50);
-        assert_eq!(ChunkPolicy::Half.amount(1), 1, "StealHalf takes at least one");
+        assert_eq!(
+            ChunkPolicy::Half.amount(1),
+            1,
+            "StealHalf takes at least one"
+        );
         let p = DistWs::steal_half();
         assert_eq!(p.remote_chunk_for(10), 5);
         assert_eq!(DistWs::with_chunk(4).remote_chunk_for(10), 4);
@@ -592,7 +638,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(victims.len(), 4, "2 loaded + 2 staleness probes: {victims:?}");
+        assert_eq!(
+            victims.len(),
+            4,
+            "2 loaded + 2 staleness probes: {victims:?}"
+        );
         assert_eq!(victims[0], PlaceId(3), "most loaded place probed first");
         assert_eq!(victims[1], PlaceId(6));
     }
@@ -618,7 +668,9 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let thief = GlobalWorkerId(0);
         let remotes = |seq: &[StealStep]| {
-            seq.iter().filter(|s| matches!(s, StealStep::StealRemoteShared(_))).count()
+            seq.iter()
+                .filter(|s| matches!(s, StealStep::StealRemoteShared(_)))
+                .count()
         };
         // Fresh thief: full sweep of the 7 other places.
         assert_eq!(remotes(&p.steal_sequence(thief, &view, &mut rng)), 7);
@@ -630,7 +682,10 @@ mod tests {
         p.note_result(thief, true);
         assert_eq!(remotes(&p.steal_sequence(thief, &view, &mut rng)), 7);
         // Backoff is per thief.
-        assert_eq!(remotes(&p.steal_sequence(GlobalWorkerId(5), &view, &mut rng)), 7);
+        assert_eq!(
+            remotes(&p.steal_sequence(GlobalWorkerId(5), &view, &mut rng)),
+            7
+        );
     }
 
     #[test]

@@ -26,7 +26,13 @@ impl TaskMeta {
     /// Metadata carrying only placement facts (granularity/footprint
     /// zeroed) — convenient in tests of annotation-driven policies.
     pub fn basic(home: PlaceId, locality: Locality, spawned_at: PlaceId) -> Self {
-        TaskMeta { home, locality, spawned_at, est_cost_ns: 0, footprint_bytes: 0 }
+        TaskMeta {
+            home,
+            locality,
+            spawned_at,
+            est_cost_ns: 0,
+            footprint_bytes: 0,
+        }
     }
 }
 
@@ -63,6 +69,21 @@ pub enum StealStep {
     /// Lifeline protocol: go quiescent; the engine will wake this
     /// worker when a lifeline partner pushes work.
     Quiesce,
+}
+
+impl StealStep {
+    /// The Algorithm 1 steal tier this step probes, as the stable wire
+    /// name used by the trace layer (`distws_trace::StealTier`), or
+    /// `None` for steps that are not steals (own-deque polls, network
+    /// probes, quiescing).
+    pub fn tier_name(self) -> Option<&'static str> {
+        match self {
+            StealStep::StealCoWorker => Some("local_private"),
+            StealStep::StealLocalShared => Some("local_shared"),
+            StealStep::StealRemoteShared(_) => Some("remote"),
+            StealStep::PollPrivate | StealStep::ProbeNetwork | StealStep::Quiesce => None,
+        }
+    }
 }
 
 /// Engine state a policy may observe when making decisions.
@@ -116,7 +137,12 @@ impl StaticView {
     pub fn idle(config: ClusterConfig) -> Self {
         let places = config.places as usize;
         let workers = config.total_workers() as usize;
-        StaticView { config, busy: vec![0; places], shared: vec![0; places], private: vec![0; workers] }
+        StaticView {
+            config,
+            busy: vec![0; places],
+            shared: vec![0; places],
+            private: vec![0; workers],
+        }
     }
 
     /// A view of a fully busy cluster.
@@ -169,6 +195,9 @@ mod tests {
         cfg.spare_threads = 1;
         let mut v = StaticView::idle(cfg);
         v.busy[0] = 2;
-        assert!(v.is_under_utilized(PlaceId(0)), "spares>0 must imply under-utilized");
+        assert!(
+            v.is_under_utilized(PlaceId(0)),
+            "spares>0 must imply under-utilized"
+        );
     }
 }

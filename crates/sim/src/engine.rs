@@ -10,8 +10,23 @@ use distws_core::{
 use distws_deque::{SeqPrivateDeque, SeqSharedFifo};
 use distws_netsim::{MsgKind, Network, Topology};
 use distws_sched::{ClusterView, DequeChoice, Policy, StealStep, TaskMeta};
+use distws_trace::{
+    Histogram, MessageKind, NullSink, PlaceSample, StealTier, TimeSeries, TraceEvent,
+    TraceEventKind, TraceSink,
+};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+fn trace_msg_kind(kind: MsgKind) -> MessageKind {
+    match kind {
+        MsgKind::StealRequest => MessageKind::StealRequest,
+        MsgKind::StealReply => MessageKind::StealReply,
+        MsgKind::TaskMigrate => MessageKind::TaskMigrate,
+        MsgKind::DataRequest => MessageKind::DataRequest,
+        MsgKind::DataReply => MessageKind::DataReply,
+        MsgKind::Control => MessageKind::Control,
+    }
+}
 
 /// Full simulator configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +47,10 @@ pub struct SimConfig {
     pub remote_wake_limit: usize,
     /// Safety valve: abort if the event count explodes.
     pub max_events: u64,
+    /// Virtual-time interval of the telemetry sampler. `None` (the
+    /// default) disables sampling; `Some(dt)` makes traced runs return
+    /// a per-place queue-depth/utilization [`TimeSeries`].
+    pub sample_interval_ns: Option<u64>,
 }
 
 impl SimConfig {
@@ -45,6 +64,7 @@ impl SimConfig {
             seed: 0x5EED,
             remote_wake_limit: 4,
             max_events: 500_000_000,
+            sample_interval_ns: None,
         }
     }
 }
@@ -59,7 +79,10 @@ pub struct Simulation {
 impl Simulation {
     /// Simulation with default cost model, topology, cache and seed.
     pub fn new(cluster: ClusterConfig, policy: Box<dyn Policy>) -> Self {
-        Simulation { cfg: SimConfig::new(cluster), policy }
+        Simulation {
+            cfg: SimConfig::new(cluster),
+            policy,
+        }
     }
 
     /// Simulation with a fully explicit configuration.
@@ -76,20 +99,47 @@ impl Simulation {
     /// and validate its result (panicking on an application-level
     /// wrong answer — scheduling must never change answers).
     pub fn run_app(&mut self, app: &dyn Workload) -> RunReport {
-        let roots = app.roots(&self.cfg.cluster);
-        let report = self.run_roots(&app.name(), roots);
-        if let Err(e) = app.validate() {
-            panic!("workload '{}' failed validation under {}: {e}", app.name(), report.scheduler);
-        }
-        report
+        self.run_app_traced(app, &mut NullSink).0
     }
 
     /// Run an explicit set of root tasks.
     pub fn run_roots(&mut self, name: &str, roots: Vec<TaskSpec>) -> RunReport {
-        let mut engine = Engine::new(&self.cfg, self.policy.as_mut());
+        self.run_roots_traced(name, roots, &mut NullSink).0
+    }
+
+    /// [`Self::run_app`] with structured event tracing into `sink`.
+    /// Also returns the telemetry time series when
+    /// [`SimConfig::sample_interval_ns`] is set. Tracing never changes
+    /// virtual time: the report is identical to an untraced run.
+    pub fn run_app_traced(
+        &mut self,
+        app: &dyn Workload,
+        sink: &mut dyn TraceSink,
+    ) -> (RunReport, Option<TimeSeries>) {
+        let roots = app.roots(&self.cfg.cluster);
+        let out = self.run_roots_traced(&app.name(), roots, sink);
+        if let Err(e) = app.validate() {
+            panic!(
+                "workload '{}' failed validation under {}: {e}",
+                app.name(),
+                out.0.scheduler
+            );
+        }
+        out
+    }
+
+    /// [`Self::run_roots`] with structured event tracing into `sink`.
+    pub fn run_roots_traced(
+        &mut self,
+        name: &str,
+        roots: Vec<TaskSpec>,
+        sink: &mut dyn TraceSink,
+    ) -> (RunReport, Option<TimeSeries>) {
+        let mut engine = Engine::new(&self.cfg, self.policy.as_mut(), sink);
         engine.inject_roots(roots);
         engine.run();
-        engine.into_report(name)
+        let series = engine.take_series();
+        (engine.into_report(name), series)
     }
 }
 
@@ -212,6 +262,18 @@ impl ClusterView for Board {
     }
 }
 
+/// The distribution observations folded into `RunReport.percentiles`.
+/// Maintained unconditionally — they are ordinary run metrics, so a
+/// traced and an untraced run produce identical reports.
+#[derive(Default)]
+struct Hists {
+    steal_local_private: Histogram,
+    steal_local_shared: Histogram,
+    steal_remote: Histogram,
+    granularity: Histogram,
+    dormancy: Histogram,
+}
+
 struct Engine<'p> {
     cfg: SimConfig,
     policy: &'p mut dyn Policy,
@@ -230,10 +292,19 @@ struct Engine<'p> {
     next_task: u64,
     makespan: u64,
     events: u64,
+    trace: &'p mut dyn TraceSink,
+    /// Cached `trace.enabled()` — the per-site check.
+    tracing: bool,
+    series: Option<TimeSeries>,
+    hists: Hists,
+    /// Task currently executing per worker (for `TaskEnd` pairing).
+    running: Vec<Option<TaskId>>,
+    /// When each parked worker went dormant/quiesced (dormancy hist).
+    parked_since: Vec<Option<u64>>,
 }
 
 impl<'p> Engine<'p> {
-    fn new(cfg: &SimConfig, policy: &'p mut dyn Policy) -> Self {
+    fn new(cfg: &SimConfig, policy: &'p mut dyn Policy, trace: &'p mut dyn TraceSink) -> Self {
         let cluster = cfg.cluster.clone();
         let nw = cluster.total_workers() as usize;
         let np = cluster.places as usize;
@@ -271,7 +342,11 @@ impl<'p> Engine<'p> {
                 shared_len: vec![0; np],
                 private_len: vec![0; nw],
             },
-            net: Network::new(cluster.places, cfg.cost.clone(), cfg.topology),
+            net: {
+                let mut net = Network::new(cluster.places, cfg.cost.clone(), cfg.topology);
+                net.set_recording(trace.enabled());
+                net
+            },
             steals: StealCounts::default(),
             remote_refs: 0,
             tasks_spawned: 0,
@@ -280,15 +355,120 @@ impl<'p> Engine<'p> {
             next_task: 0,
             makespan: 0,
             events: 0,
+            tracing: trace.enabled(),
+            trace,
+            series: cfg
+                .sample_interval_ns
+                .map(|dt| TimeSeries::new(cluster.places, cluster.workers_per_place, dt)),
+            hists: Hists::default(),
+            running: vec![None; nw],
+            parked_since: vec![None; nw],
+        }
+    }
+
+    // -- telemetry -----------------------------------------------------------
+
+    /// Emit one trace event. Callers must have checked `self.tracing`.
+    fn emit(&mut self, t_ns: u64, w: GlobalWorkerId, kind: TraceEventKind) {
+        let place = self.cfg.cluster.place_of(w);
+        self.trace.record(TraceEvent {
+            t_ns,
+            worker: w,
+            place,
+            kind,
+        });
+    }
+
+    /// Drain the network's message log (non-empty only while tracing)
+    /// and emit one `Message` event per record, stamped with `t_ns` and
+    /// attributed to `w` (the worker whose action caused the traffic).
+    fn drain_net(&mut self, t_ns: u64, w: GlobalWorkerId) {
+        if !self.tracing {
+            return;
+        }
+        for m in self.net.take_log() {
+            self.trace.record(TraceEvent {
+                t_ns,
+                worker: w,
+                place: m.src,
+                kind: TraceEventKind::Message {
+                    kind: trace_msg_kind(m.kind),
+                    to: m.dst,
+                    bytes: m.bytes,
+                },
+            });
+        }
+    }
+
+    /// Record samples for every grid instant the clock has passed.
+    fn sample_series(&mut self, now: u64) {
+        let Some(mut series) = self.series.take() else {
+            return;
+        };
+        while series.due(now) {
+            let np = self.cfg.cluster.places as usize;
+            let wpp = self.cfg.cluster.workers_per_place as usize;
+            let mut places = Vec::with_capacity(np);
+            for p in 0..np {
+                let mut s = PlaceSample {
+                    queue_depth: self.board.shared_len[p] as u64,
+                    ..Default::default()
+                };
+                for wi in p * wpp..(p + 1) * wpp {
+                    s.queue_depth += self.board.private_len[wi] as u64;
+                    match self.workers[wi].status {
+                        WorkerStatus::Busy => s.busy_workers += 1,
+                        WorkerStatus::Dormant | WorkerStatus::Quiesced => s.dormant_workers += 1,
+                    }
+                }
+                places.push(s);
+            }
+            series.push(places);
+        }
+        self.series = Some(series);
+    }
+
+    /// Take the collected telemetry series (after `run`).
+    fn take_series(&mut self) -> Option<TimeSeries> {
+        self.series.take()
+    }
+
+    /// A worker obtained work after being parked: close the dormancy
+    /// episode and emit the wakeup marker.
+    fn note_unparked(&mut self, t: u64, w: GlobalWorkerId) {
+        if let Some(since) = self.parked_since[w.index()].take() {
+            self.hists.dormancy.record(t.saturating_sub(since));
+            if self.tracing {
+                self.emit(t, w, TraceEventKind::Wakeup);
+            }
+        }
+    }
+
+    /// A worker found no work and parked (dormant or quiesced).
+    fn note_parked(&mut self, t: u64, w: GlobalWorkerId) {
+        if self.parked_since[w.index()].is_none() {
+            self.parked_since[w.index()] = Some(t);
+            if self.tracing {
+                self.emit(t, w, TraceEventKind::Dormant);
+            }
         }
     }
 
     fn schedule(&mut self, time: u64, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Event { time, seq: self.seq, kind });
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
     }
 
-    fn make_task(&mut self, spec: TaskSpec, spawned_at: PlaceId, spawner: Option<GlobalWorkerId>) -> Task {
+    fn make_task(
+        &mut self,
+        spec: TaskSpec,
+        spawned_at: PlaceId,
+        spawner: Option<GlobalWorkerId>,
+    ) -> Task {
         self.next_task += 1;
         self.tasks_spawned += 1;
         Task {
@@ -308,17 +488,23 @@ impl<'p> Engine<'p> {
     }
 
     fn inject_roots(&mut self, roots: Vec<TaskSpec>) {
+        // Roots conceptually originate from X10's main activity:
+        // worker 0 at place 0.
+        let main = GlobalWorkerId(0);
         for spec in roots {
             let home = spec.home;
             let fp = spec.migration_bytes();
             let task = self.make_task(spec, home, None);
-            // Roots conceptually originate at place 0 (X10's main
-            // activity); distributing them is real communication.
+            if self.tracing {
+                self.emit(0, main, TraceEventKind::Spawn { task: task.id });
+            }
+            // Distributing roots to other places is real communication.
             if home == PlaceId(0) {
                 self.schedule(0, EventKind::Arrive(task));
             } else {
                 let bytes = self.cfg.cost.closure_bytes + fp;
                 let cost = self.net.send(PlaceId(0), home, MsgKind::TaskMigrate, bytes);
+                self.drain_net(0, main);
                 self.schedule(cost, EventKind::Arrive(task));
             }
         }
@@ -334,12 +520,20 @@ impl<'p> Engine<'p> {
             );
             let now = ev.time;
             self.makespan = self.makespan.max(now);
+            if self.series.is_some() {
+                self.sample_series(now);
+            }
             match ev.kind {
                 EventKind::Arrive(task) => self.map_and_enqueue(now, task),
                 EventKind::Free(w) => self.on_free(now, w),
                 EventKind::Wake(w, strong) => self.on_wake(now, w, strong),
             }
         }
+        if self.series.is_some() {
+            // Close the telemetry grid out to the makespan.
+            self.sample_series(self.makespan);
+        }
+        self.trace.flush();
         assert_eq!(
             self.tasks_spawned, self.tasks_executed,
             "task conservation violated: spawned {} executed {}",
@@ -392,6 +586,11 @@ impl<'p> Engine<'p> {
 
     fn on_free(&mut self, now: u64, w: GlobalWorkerId) {
         self.tasks_executed += 1;
+        if let Some(task) = self.running[w.index()].take() {
+            if self.tracing {
+                self.emit(now, w, TraceEventKind::TaskEnd { task });
+            }
+        }
         let latch = self.workers[w.index()].finishing_latch.take();
         // Leave Busy state before acquiring again.
         self.workers[w.index()].status = WorkerStatus::Dormant;
@@ -402,11 +601,15 @@ impl<'p> Engine<'p> {
                 let cont_home = cont.home;
                 let fp = cont.migration_bytes();
                 let task = self.make_task(cont, here, Some(w));
+                if self.tracing {
+                    self.emit(now, w, TraceEventKind::Spawn { task: task.id });
+                }
                 if cont_home == here {
                     self.schedule(now, EventKind::Arrive(task));
                 } else {
                     let bytes = self.cfg.cost.closure_bytes + fp;
                     let cost = self.net.send(here, cont_home, MsgKind::TaskMigrate, bytes);
+                    self.drain_net(now, w);
                     self.schedule(now + cost, EventKind::Arrive(task));
                 }
             }
@@ -462,7 +665,11 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn pick_private_target(&mut self, place: PlaceId, spawner: Option<GlobalWorkerId>) -> GlobalWorkerId {
+    fn pick_private_target(
+        &mut self,
+        place: PlaceId,
+        spawner: Option<GlobalWorkerId>,
+    ) -> GlobalWorkerId {
         let wpp = self.cfg.cluster.workers_per_place;
         // Prefer an idle (unclaimed, parked) worker — Algorithm 1 maps
         // tasks on under-utilized places directly to idle workers.
@@ -481,7 +688,10 @@ impl<'p> Engine<'p> {
         }
         // Round-robin fallback.
         let p = &mut self.places[place.index()];
-        let w = self.cfg.cluster.global(place, distws_core::WorkerId(p.rr % wpp));
+        let w = self
+            .cfg
+            .cluster
+            .global(place, distws_core::WorkerId(p.rr % wpp));
         p.rr = p.rr.wrapping_add(1);
         w
     }
@@ -533,6 +743,21 @@ impl<'p> Engine<'p> {
         task.exec_home = to;
         task.carried = true;
         self.steals.remote += 1;
+        if self.tracing {
+            // The push is place-level (no thief worker yet); attribute
+            // it to the victim place's first worker.
+            let w = self.cfg.cluster.global(from, distws_core::WorkerId(0));
+            self.drain_net(now, w);
+            self.emit(
+                now,
+                w,
+                TraceEventKind::Migration {
+                    task: task.id,
+                    from,
+                    to,
+                },
+            );
+        }
         self.schedule(now + cost, EventKind::Arrive(task));
     }
 
@@ -560,6 +785,15 @@ impl<'p> Engine<'p> {
                     overhead += self.cfg.cost.network_probe_ns;
                 }
                 StealStep::StealCoWorker => {
+                    if self.tracing {
+                        self.emit(
+                            now + overhead,
+                            w,
+                            TraceEventKind::StealAttempt {
+                                tier: StealTier::LocalPrivate,
+                            },
+                        );
+                    }
                     let wpp = self.cfg.cluster.workers_per_place;
                     let local = w.local(wpp).0;
                     for off in 1..wpp {
@@ -572,22 +806,67 @@ impl<'p> Engine<'p> {
                             self.board.private_len[v.index()] -= 1;
                             overhead += self.cfg.cost.local_steal_ns;
                             self.steals.local_private += 1;
+                            self.hists.steal_local_private.record(overhead);
+                            if self.tracing {
+                                self.emit(
+                                    now + overhead,
+                                    w,
+                                    TraceEventKind::StealSuccess {
+                                        tier: StealTier::LocalPrivate,
+                                        task: t.id,
+                                        victim: place,
+                                        latency_ns: overhead,
+                                    },
+                                );
+                            }
                             got = Some(t);
                             break;
                         }
                     }
                 }
                 StealStep::StealLocalShared => {
+                    if self.tracing {
+                        self.emit(
+                            now + overhead,
+                            w,
+                            TraceEventKind::StealAttempt {
+                                tier: StealTier::LocalShared,
+                            },
+                        );
+                    }
                     overhead += self.cfg.cost.shared_deque_op_ns;
                     if let Some(t) = self.places[place.index()].shared.take() {
                         self.board.shared_len[place.index()] -= 1;
                         self.steals.local_shared += 1;
+                        self.hists.steal_local_shared.record(overhead);
+                        if self.tracing {
+                            self.emit(
+                                now + overhead,
+                                w,
+                                TraceEventKind::StealSuccess {
+                                    tier: StealTier::LocalShared,
+                                    task: t.id,
+                                    victim: place,
+                                    latency_ns: overhead,
+                                },
+                            );
+                        }
                         got = Some(t);
                     }
                 }
                 StealStep::StealRemoteShared(victim) => {
+                    if self.tracing {
+                        self.emit(
+                            now + overhead,
+                            w,
+                            TraceEventKind::StealAttempt {
+                                tier: StealTier::Remote,
+                            },
+                        );
+                    }
                     if self.board.shared_len[victim.index()] == 0 {
                         overhead += self.net.failed_steal(place, victim);
+                        self.drain_net(now + overhead, w);
                         self.steals.failed_attempts += 1;
                         continue;
                     }
@@ -605,11 +884,34 @@ impl<'p> Engine<'p> {
                         bytes += self.cfg.cost.closure_bytes + t.footprint.total_bytes();
                     }
                     overhead += self.net.migrate_task(victim, place, bytes);
+                    self.drain_net(now + overhead, w);
                     self.steals.remote += tasks.len() as u64;
                     let mut iter = tasks.into_iter();
                     if let Some(mut first) = iter.next() {
                         first.exec_home = place;
                         first.carried = true;
+                        self.hists.steal_remote.record(overhead);
+                        if self.tracing {
+                            self.emit(
+                                now + overhead,
+                                w,
+                                TraceEventKind::StealSuccess {
+                                    tier: StealTier::Remote,
+                                    task: first.id,
+                                    victim,
+                                    latency_ns: overhead,
+                                },
+                            );
+                            self.emit(
+                                now + overhead,
+                                w,
+                                TraceEventKind::Migration {
+                                    task: first.id,
+                                    from: victim,
+                                    to: place,
+                                },
+                            );
+                        }
                         got = Some(first);
                     }
                     // Chunk extras land at the thief place and are
@@ -618,6 +920,17 @@ impl<'p> Engine<'p> {
                     for mut t in iter {
                         t.exec_home = place;
                         t.carried = true;
+                        if self.tracing {
+                            self.emit(
+                                arrive_at,
+                                w,
+                                TraceEventKind::Migration {
+                                    task: t.id,
+                                    from: victim,
+                                    to: place,
+                                },
+                            );
+                        }
                         self.schedule(arrive_at, EventKind::Arrive(t));
                     }
                 }
@@ -627,9 +940,11 @@ impl<'p> Engine<'p> {
                     self.makespan = self.makespan.max(now + overhead);
                     self.unclaim(w);
                     self.workers[w.index()].status = WorkerStatus::Quiesced;
+                    self.note_parked(now + overhead, w);
                     // Register on the lifeline partners.
-                    let partners =
-                        self.policy.lifeline_partners(place, self.cfg.cluster.places);
+                    let partners = self
+                        .policy
+                        .lifeline_partners(place, self.cfg.cluster.places);
                     for o in partners {
                         let deps = &mut self.places[o.index()].lifeline_dependents;
                         if !deps.contains(&place) {
@@ -654,6 +969,7 @@ impl<'p> Engine<'p> {
                 self.steals.failed_attempts += 1;
                 self.unclaim(w);
                 self.workers[w.index()].status = WorkerStatus::Dormant;
+                self.note_parked(now + overhead, w);
             }
         }
     }
@@ -664,6 +980,11 @@ impl<'p> Engine<'p> {
         let place = self.place_of(w);
         self.claim(w);
         self.workers[w.index()].status = WorkerStatus::Busy;
+        self.note_unparked(t, w);
+        if self.tracing {
+            self.emit(t, w, TraceEventKind::TaskStart { task: task.id });
+        }
+        self.running[w.index()] = Some(task.id);
 
         // Run the body for real, recording its behaviour.
         let mut scope = SimScope::new(place, task.origin_home, w, task.id);
@@ -690,6 +1011,18 @@ impl<'p> Engine<'p> {
             if !local {
                 duration += self.net.remote_ref(place, a.home, a.bytes);
                 self.remote_refs += 1;
+                if self.tracing {
+                    self.drain_net(t, w);
+                    self.emit(
+                        t,
+                        w,
+                        TraceEventKind::RemoteRef {
+                            task: task.id,
+                            home: a.home,
+                            bytes: a.bytes,
+                        },
+                    );
+                }
             }
             if let Some(cache) = self.workers[w.index()].cache.as_mut() {
                 let misses = cache.access(a.obj.0, a.offset, a.bytes);
@@ -697,6 +1030,7 @@ impl<'p> Engine<'p> {
             }
         }
 
+        self.hists.granularity.record(duration);
         self.workers[w.index()].busy_ns += duration;
         let finish = t + duration;
         self.workers[w.index()].avail_at = finish;
@@ -711,12 +1045,18 @@ impl<'p> Engine<'p> {
             let child_home = spec.home;
             let fp = spec.migration_bytes();
             let child = self.make_task(spec, place, Some(w));
+            if self.tracing {
+                self.emit(rt, w, TraceEventKind::Spawn { task: child.id });
+            }
             if child_home == place {
                 self.schedule(rt, EventKind::Arrive(child));
             } else {
                 // Cross-place `async at` launch: a real message.
                 let bytes = self.cfg.cost.closure_bytes + fp;
-                let cost = self.net.send(place, child_home, MsgKind::TaskMigrate, bytes);
+                let cost = self
+                    .net
+                    .send(place, child_home, MsgKind::TaskMigrate, bytes);
+                self.drain_net(rt, w);
                 self.schedule(rt + cost, EventKind::Arrive(child));
             }
         }
@@ -759,6 +1099,13 @@ impl<'p> Engine<'p> {
             cache,
             utilization: UtilizationSummary { per_place },
             remote_refs: self.remote_refs,
+            percentiles: distws_core::RunPercentiles {
+                steal_local_private_ns: self.hists.steal_local_private.summary(),
+                steal_local_shared_ns: self.hists.steal_local_shared.summary(),
+                steal_remote_ns: self.hists.steal_remote.summary(),
+                task_granularity_ns: self.hists.granularity.summary(),
+                dormancy_ns: self.hists.dormancy.summary(),
+            },
         }
     }
 }

@@ -89,9 +89,15 @@ mod tests {
         let root = TaskSpec::new(PlaceId(0), Locality::Sensitive, 10_000, "root", move |s| {
             for _ in 0..64 {
                 let c = Arc::clone(&c0);
-                s.spawn(TaskSpec::new(s.here(), Locality::Sensitive, 100_000, "child", move |_| {
-                    c.fetch_add(1, Ordering::Relaxed);
-                }));
+                s.spawn(TaskSpec::new(
+                    s.here(),
+                    Locality::Sensitive,
+                    100_000,
+                    "child",
+                    move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    },
+                ));
             }
         });
         let mut sim = Simulation::new(ClusterConfig::new(1, 4), Box::new(X10Ws));
@@ -120,7 +126,10 @@ mod tests {
         assert_eq!(report.messages.task_migrations, 0);
         let u = &report.utilization.per_place;
         assert!(u[0] > 0.5, "home place should be busy, got {u:?}");
-        assert!(u[1] < 0.05 && u[2] < 0.05 && u[3] < 0.05, "remote places must stay idle: {u:?}");
+        assert!(
+            u[1] < 0.05 && u[2] < 0.05 && u[3] < 0.05,
+            "remote places must stay idle: {u:?}"
+        );
     }
 
     #[test]
@@ -139,7 +148,11 @@ mod tests {
             r_x10.makespan_ns
         );
         // With 8 workers on 64×100µs, DistWS should get decent speedup.
-        assert!(r_dist.self_speedup() > 3.0, "speedup {}", r_dist.self_speedup());
+        assert!(
+            r_dist.self_speedup() > 3.0,
+            "speedup {}",
+            r_dist.self_speedup()
+        );
     }
 
     #[test]
@@ -177,9 +190,15 @@ mod tests {
         let root = TaskSpec::new(PlaceId(0), Locality::Flexible, 10_000, "root", move |s| {
             for _ in 0..10 {
                 let c = Arc::clone(&c0);
-                s.spawn(TaskSpec::new(s.here(), Locality::Flexible, 5_000, "child", move |_| {
-                    c.fetch_add(1, Ordering::Relaxed);
-                }));
+                s.spawn(TaskSpec::new(
+                    s.here(),
+                    Locality::Flexible,
+                    5_000,
+                    "child",
+                    move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    },
+                ));
             }
         });
         let mut sim = Simulation::new(ClusterConfig::new(2, 2), Box::new(DistWs::default()));
@@ -193,12 +212,21 @@ mod tests {
     fn cross_place_spawn_is_a_message() {
         let root = TaskSpec::new(PlaceId(0), Locality::Sensitive, 1_000, "root", |s| {
             // async at (P1): sensitive child homed at a different place.
-            s.spawn(TaskSpec::new(PlaceId(1), Locality::Sensitive, 1_000, "remote-child", |_| {}));
+            s.spawn(TaskSpec::new(
+                PlaceId(1),
+                Locality::Sensitive,
+                1_000,
+                "remote-child",
+                |_| {},
+            ));
         });
         let mut sim = Simulation::new(ClusterConfig::new(2, 1), Box::new(X10Ws));
         let report = sim.run_roots("xspawn", vec![root]);
         assert_eq!(report.tasks_executed, 2);
-        assert!(report.messages.total() > 0, "cross-place launch must be counted");
+        assert!(
+            report.messages.total() > 0,
+            "cross-place launch must be counted"
+        );
     }
 
     #[test]
@@ -206,16 +234,28 @@ mod tests {
         use distws_core::FinishLatch;
         let order = Arc::new(std::sync::Mutex::new(Vec::new()));
         let o2 = Arc::clone(&order);
-        let cont = TaskSpec::new(PlaceId(0), Locality::Sensitive, 1_000, "phase2", move |_| {
-            o2.lock().unwrap().push("phase2");
-        });
+        let cont = TaskSpec::new(
+            PlaceId(0),
+            Locality::Sensitive,
+            1_000,
+            "phase2",
+            move |_| {
+                o2.lock().unwrap().push("phase2");
+            },
+        );
         let latch = FinishLatch::new(8, cont);
         let roots: Vec<TaskSpec> = (0..8)
             .map(|_| {
                 let o = Arc::clone(&order);
-                TaskSpec::new(PlaceId(0), Locality::Flexible, 50_000, "phase1", move |_| {
-                    o.lock().unwrap().push("phase1");
-                })
+                TaskSpec::new(
+                    PlaceId(0),
+                    Locality::Flexible,
+                    50_000,
+                    "phase1",
+                    move |_| {
+                        o.lock().unwrap().push("phase1");
+                    },
+                )
                 .with_latch(Arc::clone(&latch))
             })
             .collect();
@@ -224,7 +264,11 @@ mod tests {
         assert_eq!(report.tasks_executed, 9);
         let seen = order.lock().unwrap();
         assert_eq!(seen.len(), 9);
-        assert_eq!(*seen.last().unwrap(), "phase2", "continuation must run last");
+        assert_eq!(
+            *seen.last().unwrap(),
+            "phase2",
+            "continuation must run last"
+        );
     }
 
     #[test]
@@ -234,7 +278,11 @@ mod tests {
                 .map(|i| {
                     TaskSpec::new(
                         PlaceId(i % 4),
-                        if i % 3 == 0 { Locality::Sensitive } else { Locality::Flexible },
+                        if i % 3 == 0 {
+                            Locality::Sensitive
+                        } else {
+                            Locality::Flexible
+                        },
                         10_000 + (i as u64 * 7_919) % 90_000,
                         "mix",
                         |_| {},
@@ -303,8 +351,14 @@ mod tests {
             .collect();
         let mut sim = Simulation::new(ClusterConfig::new(2, 1), Box::new(DistWs::default()));
         let report = sim.run_roots("enc", roots);
-        assert!(report.steals.remote > 0, "test needs at least one migration");
-        assert_eq!(report.remote_refs, 0, "carried data must be local at the thief");
+        assert!(
+            report.steals.remote > 0,
+            "test needs at least one migration"
+        );
+        assert_eq!(
+            report.remote_refs, 0,
+            "carried data must be local at the thief"
+        );
         // Migration payloads include the 1 KiB footprints.
         assert!(report.messages.bytes > 1_024);
     }

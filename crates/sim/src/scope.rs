@@ -22,7 +22,15 @@ pub(crate) struct SimScope {
 
 impl SimScope {
     pub fn new(here: PlaceId, home: PlaceId, worker: GlobalWorkerId, task: TaskId) -> Self {
-        SimScope { here, home, worker, task, spawned: Vec::new(), charged: 0, accesses: Vec::new() }
+        SimScope {
+            here,
+            home,
+            worker,
+            task,
+            spawned: Vec::new(),
+            charged: 0,
+            accesses: Vec::new(),
+        }
     }
 }
 
@@ -72,7 +80,13 @@ mod tests {
         s.charge(50);
         s.read(ObjectId(3), 0, 64, PlaceId(0));
         s.write(ObjectId(3), 64, 64, PlaceId(0));
-        s.spawn(TaskSpec::new(PlaceId(1), Locality::Flexible, 1, "c", |_| {}));
+        s.spawn(TaskSpec::new(
+            PlaceId(1),
+            Locality::Flexible,
+            1,
+            "c",
+            |_| {},
+        ));
         assert_eq!(s.charged, 150);
         assert_eq!(s.accesses.len(), 2);
         assert_eq!(s.spawned.len(), 1);

@@ -44,11 +44,15 @@ fn expensive_network_suppresses_stealing_benefit() {
         let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
         cfg.cost.net_latency_ns = latency;
         let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
-        sim.run_roots("net-sweep", imbalanced_roots(64, 1_000_000)).makespan_ns
+        sim.run_roots("net-sweep", imbalanced_roots(64, 1_000_000))
+            .makespan_ns
     };
     let cheap = run(1_000);
     let dear = run(500_000);
-    assert!(dear > cheap, "500µs-latency run ({dear}) should be slower than 1µs ({cheap})");
+    assert!(
+        dear > cheap,
+        "500µs-latency run ({dear}) should be slower than 1µs ({cheap})"
+    );
 }
 
 #[test]
@@ -58,7 +62,10 @@ fn ring_topology_runs_and_charges_hop_distances() {
     let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
     let report = sim.run_roots("ring", imbalanced_roots(32, 500_000));
     assert_eq!(report.tasks_executed, 32);
-    assert!(report.steals.remote > 0, "hotspot must be drained over the ring");
+    assert!(
+        report.steals.remote > 0,
+        "hotspot must be drained over the ring"
+    );
 }
 
 #[test]
@@ -113,11 +120,23 @@ fn single_place_schedulers_are_equivalent_within_tolerance() {
     // mapping overhead but its shared-deque handoff is cheaper than a
     // private-deque steal). Neither may dominate by more than 10 %.
     let spawny_root = || {
-        vec![TaskSpec::new(PlaceId(0), Locality::Flexible, 1_000, "root", |s| {
-            for _ in 0..500 {
-                s.spawn(TaskSpec::new(s.here(), Locality::Flexible, 20_000, "c", |_| {}));
-            }
-        })]
+        vec![TaskSpec::new(
+            PlaceId(0),
+            Locality::Flexible,
+            1_000,
+            "root",
+            |s| {
+                for _ in 0..500 {
+                    s.spawn(TaskSpec::new(
+                        s.here(),
+                        Locality::Flexible,
+                        20_000,
+                        "c",
+                        |_| {},
+                    ));
+                }
+            },
+        )]
     };
     let mut x10 = Simulation::new(ClusterConfig::new(1, 4), Box::new(X10Ws));
     let rx = x10.run_roots("sp", spawny_root());

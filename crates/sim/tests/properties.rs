@@ -1,15 +1,19 @@
-//! Property tests over the discrete-event engine: conservation,
-//! determinism and policy invariants must hold for *arbitrary* task
-//! graphs, not just the shipped applications.
+//! Randomized property tests over the discrete-event engine:
+//! conservation, determinism and policy invariants must hold for
+//! *arbitrary* task graphs, not just the shipped applications.
+//!
+//! The container builds offline, so instead of `proptest` these use
+//! seeded SplitMix64-driven tree generation — each seed is one fully
+//! deterministic case, and a failing seed reproduces exactly.
 
+use distws_core::rng::SplitMix64;
 use distws_core::{ClusterConfig, Locality, PlaceId, TaskScope, TaskSpec};
 use distws_sched::{DistWs, DistWsNs, Policy, RandomWs, X10Ws};
 use distws_sim::Simulation;
-use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A synthetic task tree description drawn by proptest.
+/// A synthetic task-tree description drawn from a seeded RNG.
 #[derive(Debug, Clone)]
 struct TreeSpec {
     roots: Vec<NodeSpec>,
@@ -24,26 +28,18 @@ struct NodeSpec {
     grandchildren: u8,
 }
 
-fn node_strategy(places: u32) -> impl Strategy<Value = NodeSpec> {
-    (
-        0..places,
-        any::<bool>(),
-        1_000u64..200_000,
-        0u8..5,
-        0u8..4,
-    )
-        .prop_map(|(home, flexible, cost, children, grandchildren)| NodeSpec {
-            home,
-            flexible,
-            cost,
-            children,
-            grandchildren,
+fn random_tree(rng: &mut SplitMix64, places: u32) -> TreeSpec {
+    let n = 1 + rng.below_usize(11);
+    let roots = (0..n)
+        .map(|_| NodeSpec {
+            home: rng.below(places as u64) as u32,
+            flexible: rng.below(2) == 0,
+            cost: 1_000 + rng.below(199_000),
+            children: rng.below(5) as u8,
+            grandchildren: rng.below(4) as u8,
         })
-}
-
-fn tree_strategy(places: u32) -> impl Strategy<Value = TreeSpec> {
-    proptest::collection::vec(node_strategy(places), 1..12)
-        .prop_map(|roots| TreeSpec { roots })
+        .collect();
+    TreeSpec { roots }
 }
 
 /// Materialize the tree as TaskSpecs; `executed` counts task bodies.
@@ -54,7 +50,11 @@ fn build(tree: &TreeSpec, executed: &Arc<AtomicU64>) -> (Vec<TaskSpec>, u64) {
         total += 1 + node.children as u64 * (1 + node.grandchildren as u64);
         let node = node.clone();
         let executed = Arc::clone(executed);
-        let locality = if node.flexible { Locality::Flexible } else { Locality::Sensitive };
+        let locality = if node.flexible {
+            Locality::Flexible
+        } else {
+            Locality::Sensitive
+        };
         roots.push(TaskSpec::new(
             PlaceId(node.home),
             locality,
@@ -66,7 +66,11 @@ fn build(tree: &TreeSpec, executed: &Arc<AtomicU64>) -> (Vec<TaskSpec>, u64) {
                     let executed2 = Arc::clone(&executed);
                     let grandchildren = node.grandchildren;
                     let cost = node.cost / 2 + 500;
-                    let loc = if c % 2 == 0 { Locality::Flexible } else { Locality::Sensitive };
+                    let loc = if c % 2 == 0 {
+                        Locality::Flexible
+                    } else {
+                        Locality::Sensitive
+                    };
                     s.spawn(TaskSpec::new(
                         s.here(),
                         loc,
@@ -104,27 +108,29 @@ fn policies() -> Vec<Box<dyn Policy>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every task spawned is executed exactly once, under every policy,
-    /// for arbitrary trees.
-    #[test]
-    fn task_conservation(tree in tree_strategy(4)) {
+/// Every task spawned is executed exactly once, under every policy,
+/// for arbitrary trees.
+#[test]
+fn task_conservation() {
+    for seed in 0..48u64 {
+        let tree = random_tree(&mut SplitMix64::new(0xC0 + seed), 4);
         for policy in policies() {
             let executed = Arc::new(AtomicU64::new(0));
             let (roots, total) = build(&tree, &executed);
             let mut sim = Simulation::new(ClusterConfig::new(4, 2), policy);
             let report = sim.run_roots("prop", roots);
-            prop_assert_eq!(report.tasks_spawned, total);
-            prop_assert_eq!(report.tasks_executed, total);
-            prop_assert_eq!(executed.load(Ordering::Relaxed), total);
+            assert_eq!(report.tasks_spawned, total, "seed {seed}");
+            assert_eq!(report.tasks_executed, total, "seed {seed}");
+            assert_eq!(executed.load(Ordering::Relaxed), total, "seed {seed}");
         }
     }
+}
 
-    /// Same tree + same seed ⇒ bit-identical reports.
-    #[test]
-    fn determinism(tree in tree_strategy(3)) {
+/// Same tree + same seed ⇒ bit-identical reports.
+#[test]
+fn determinism() {
+    for seed in 0..48u64 {
+        let tree = random_tree(&mut SplitMix64::new(0xDE7E0 + seed), 3);
         let run = || {
             let executed = Arc::new(AtomicU64::new(0));
             let (roots, _) = build(&tree, &executed);
@@ -133,37 +139,49 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.makespan_ns, b.makespan_ns);
-        prop_assert_eq!(a.steals, b.steals);
-        prop_assert_eq!(a.messages, b.messages);
-        prop_assert_eq!(a.utilization.per_place, b.utilization.per_place);
+        assert_eq!(a.makespan_ns, b.makespan_ns, "seed {seed}");
+        assert_eq!(a.steals, b.steals, "seed {seed}");
+        assert_eq!(a.messages, b.messages, "seed {seed}");
+        assert_eq!(
+            a.utilization.per_place, b.utilization.per_place,
+            "seed {seed}"
+        );
     }
+}
 
-    /// X10WS never produces cross-place steals or migrations, and
-    /// utilization stays in range, for arbitrary trees.
-    #[test]
-    fn x10ws_stays_within_places(tree in tree_strategy(4)) {
+/// X10WS never produces cross-place steals or migrations, and
+/// utilization stays in range, for arbitrary trees.
+#[test]
+fn x10ws_stays_within_places() {
+    for seed in 0..48u64 {
+        let tree = random_tree(&mut SplitMix64::new(0x10A + seed), 4);
         let executed = Arc::new(AtomicU64::new(0));
         let (roots, _) = build(&tree, &executed);
         let mut sim = Simulation::new(ClusterConfig::new(4, 2), Box::new(X10Ws));
         let report = sim.run_roots("prop", roots);
-        prop_assert_eq!(report.steals.remote, 0);
+        assert_eq!(report.steals.remote, 0, "seed {seed}");
         for &u in &report.utilization.per_place {
-            prop_assert!((0.0..=1.0).contains(&u));
+            assert!((0.0..=1.0).contains(&u), "seed {seed}: utilization {u}");
         }
     }
+}
 
-    /// The makespan is sandwiched between total-work/workers (perfect
-    /// parallelism) and total work + all overheads on one worker.
-    #[test]
-    fn makespan_bounds(tree in tree_strategy(2)) {
+/// The makespan is at least total-work/workers (perfect parallelism).
+#[test]
+fn makespan_bounds() {
+    for seed in 0..48u64 {
+        let tree = random_tree(&mut SplitMix64::new(0xB0D + seed), 2);
         let executed = Arc::new(AtomicU64::new(0));
         let (roots, _) = build(&tree, &executed);
         let cfg = ClusterConfig::new(2, 2);
         let mut sim = Simulation::new(cfg.clone(), Box::new(DistWs::default()));
         let report = sim.run_roots("prop", roots);
         let lower = report.total_work_ns / u64::from(cfg.total_workers());
-        prop_assert!(report.makespan_ns >= lower,
-            "makespan {} below perfect-parallel bound {}", report.makespan_ns, lower);
+        assert!(
+            report.makespan_ns >= lower,
+            "seed {seed}: makespan {} below perfect-parallel bound {}",
+            report.makespan_ns,
+            lower
+        );
     }
 }

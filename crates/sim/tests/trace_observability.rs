@@ -1,0 +1,197 @@
+//! Observability invariants of the simulator:
+//!
+//! 1. tracing is a pure observer — running with a JSONL sink produces
+//!    a byte-identical `RunReport` to running with the null sink;
+//! 2. the event stream itself is deterministic — same seed, same
+//!    bytes, down to the serialized JSONL;
+//! 3. the sampled utilization series is deterministic and consistent
+//!    with the cluster shape.
+
+use distws_core::rng::SplitMix64;
+use distws_core::{ClusterConfig, Locality, PlaceId, TaskScope, TaskSpec};
+use distws_sched::{DistWs, LifelineWs, Policy, X10Ws};
+use distws_sim::{SimConfig, Simulation};
+use distws_trace::{JsonlSink, NullSink, RingSink, TraceEventKind};
+
+/// A deterministic, steal-heavy workload: all roots homed at place 0
+/// so every other place must acquire work through the steal tiers.
+fn roots(n: u64, seed: u64) -> Vec<TaskSpec> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let cost = 5_000 + rng.below(95_000);
+            let fanout = rng.below(4);
+            TaskSpec::new(
+                PlaceId(0),
+                Locality::Flexible,
+                cost,
+                "trace-root",
+                move |s: &mut dyn TaskScope| {
+                    for _ in 0..fanout {
+                        s.spawn(TaskSpec::new(
+                            s.here(),
+                            Locality::Flexible,
+                            cost / 2 + 100,
+                            "trace-child",
+                            |_| {},
+                        ));
+                    }
+                },
+            )
+        })
+        .collect()
+}
+
+fn policies() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(X10Ws),
+        Box::new(DistWs::default()),
+        Box::new(LifelineWs::default()),
+    ]
+}
+
+fn report_json(policy: Box<dyn Policy>, sink: &mut dyn distws_trace::TraceSink) -> String {
+    let mut sim = Simulation::new(ClusterConfig::new(4, 2), policy);
+    let (report, _) = sim.run_roots_traced("trace-prop", roots(40, 7), sink);
+    distws_json::to_string(&report)
+}
+
+/// Tracing must not perturb the simulation: every RunReport field —
+/// makespan, steal counts, messages, percentiles — is identical
+/// whether events are discarded or serialized.
+#[test]
+fn null_sink_and_jsonl_sink_agree_on_every_report_field() {
+    for policy in policies() {
+        let name = policy.name();
+        let untraced = report_json(policy.clone_box(), &mut NullSink);
+        let mut jsonl = JsonlSink::new(Vec::new());
+        let traced = report_json(policy, &mut jsonl);
+        assert!(jsonl.written() > 0, "{name}: traced run must emit events");
+        assert_eq!(untraced, traced, "{name}: tracing changed the report");
+    }
+}
+
+/// Same seed ⇒ byte-identical JSONL event stream.
+#[test]
+fn event_stream_is_byte_identical_across_runs() {
+    for policy in policies() {
+        let name = policy.name();
+        let stream = |policy: Box<dyn Policy>| {
+            let mut sink = JsonlSink::new(Vec::new());
+            let mut sim = Simulation::new(ClusterConfig::new(4, 2), policy);
+            sim.run_roots_traced("trace-prop", roots(40, 7), &mut sink);
+            sink.into_inner()
+        };
+        let a = stream(policy.clone_box());
+        let b = stream(policy);
+        assert!(!a.is_empty(), "{name}: no events traced");
+        assert_eq!(a, b, "{name}: event stream not deterministic");
+    }
+}
+
+/// The traced stream contains the expected event vocabulary for a
+/// steal-driven run, and timestamps never exceed the makespan.
+#[test]
+fn stream_covers_lifecycle_and_respects_makespan() {
+    let mut sink = RingSink::new(1 << 20);
+    let mut sim = Simulation::new(ClusterConfig::new(4, 2), Box::new(DistWs::default()));
+    let (report, _) = sim.run_roots_traced("trace-prop", roots(40, 7), &mut sink);
+    assert_eq!(sink.dropped(), 0, "ring sized too small for the test");
+    let events = sink.into_events();
+    let mut spawns = 0u64;
+    let mut starts = 0u64;
+    let mut ends = 0u64;
+    let mut steal_local_private = 0u64;
+    let mut steal_local_shared = 0u64;
+    let mut steal_remote = 0u64;
+    for ev in &events {
+        assert!(ev.t_ns <= report.makespan_ns, "event after makespan");
+        match ev.kind {
+            TraceEventKind::Spawn { .. } => spawns += 1,
+            TraceEventKind::TaskStart { .. } => starts += 1,
+            TraceEventKind::TaskEnd { .. } => ends += 1,
+            TraceEventKind::StealSuccess { tier, .. } => match tier {
+                distws_trace::StealTier::LocalPrivate => steal_local_private += 1,
+                distws_trace::StealTier::LocalShared => steal_local_shared += 1,
+                distws_trace::StealTier::Remote => steal_remote += 1,
+            },
+            _ => {}
+        }
+    }
+    assert_eq!(spawns, report.tasks_spawned, "one Spawn per spawned task");
+    assert_eq!(
+        starts, report.tasks_executed,
+        "one TaskStart per executed task"
+    );
+    assert_eq!(ends, report.tasks_executed, "one TaskEnd per executed task");
+    // Local steals move one task per operation: events match counters
+    // exactly. A remote steal moves a whole chunk (and lifeline pushes
+    // bump the counter without a thief-side steal), so remote events
+    // bound the counter from below but must still be present.
+    assert_eq!(steal_local_private, report.steals.local_private);
+    assert_eq!(steal_local_shared, report.steals.local_shared);
+    assert!(
+        steal_remote >= 1,
+        "work homed at one place must steal remotely"
+    );
+    assert!(steal_remote <= report.steals.remote);
+}
+
+/// Sampling runs on a fixed virtual-time grid and is deterministic.
+#[test]
+fn sampled_series_is_deterministic_and_well_formed() {
+    let run = || {
+        let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+        cfg.sample_interval_ns = Some(10_000);
+        let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+        sim.run_roots_traced("trace-prop", roots(40, 7), &mut NullSink)
+    };
+    let (report_a, series_a) = run();
+    let (_, series_b) = run();
+    let a = series_a.expect("sampling configured");
+    let b = series_b.expect("sampling configured");
+    assert_eq!(
+        a.to_json().render(),
+        b.to_json().render(),
+        "series not deterministic"
+    );
+    assert!(!a.samples().is_empty());
+    for (i, s) in a.samples().iter().enumerate() {
+        assert_eq!(s.t_ns, i as u64 * 10_000, "samples must sit on the grid");
+        assert_eq!(s.places.len(), 4);
+        for p in &s.places {
+            assert!(p.busy_workers <= 2, "busy bounded by workers per place");
+        }
+    }
+    assert!(a.samples().last().unwrap().t_ns >= report_a.makespan_ns.saturating_sub(10_000));
+}
+
+/// Percentile summaries are populated (unconditionally — even with
+/// the null sink) and internally ordered p50 ≤ p95 ≤ p99 ≤ max.
+#[test]
+fn percentile_summaries_are_populated_and_ordered() {
+    let mut sim = Simulation::new(ClusterConfig::new(4, 2), Box::new(DistWs::default()));
+    let (report, _) = sim.run_roots_traced("trace-prop", roots(40, 7), &mut NullSink);
+    let p = &report.percentiles;
+    assert_eq!(p.task_granularity_ns.count, report.tasks_executed);
+    assert!(p.task_granularity_ns.count > 0);
+    for s in [
+        &p.steal_local_private_ns,
+        &p.steal_local_shared_ns,
+        &p.steal_remote_ns,
+        &p.task_granularity_ns,
+        &p.dormancy_ns,
+    ] {
+        assert!(
+            s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max,
+            "percentiles out of order"
+        );
+    }
+    // Local tiers: one latency observation per steal. The remote tier
+    // records one observation per chunked steal operation (and none
+    // for lifeline pushes), so its count is a lower bound.
+    assert_eq!(p.steal_local_private_ns.count, report.steals.local_private);
+    assert_eq!(p.steal_local_shared_ns.count, report.steals.local_shared);
+    assert!(p.steal_remote_ns.count >= 1);
+    assert!(p.steal_remote_ns.count <= report.steals.remote);
+}

@@ -1,0 +1,270 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) that
+//! Perfetto and `chrome://tracing` load directly. Mapping:
+//!
+//! * process (`pid`) = place, thread (`tid`) = worker — so the UI
+//!   groups one lane per worker under one bar per place;
+//! * `TaskStart`/`TaskEnd` pairs become complete (`"X"`) slices;
+//! * steals, migrations, remote refs and dormancy transitions become
+//!   instant (`"i"`) events on the worker's lane;
+//! * metadata (`"M"`) events name every process and thread.
+//!
+//! Timestamps are microseconds; virtual nanoseconds are emitted as
+//! integer-division µs plus a `.` fraction only when needed — all
+//! integer arithmetic, so export is deterministic.
+
+use crate::event::{TraceEvent, TraceEventKind};
+use distws_core::ClusterConfig;
+use distws_json::Value;
+use std::collections::HashMap;
+
+/// Microsecond timestamp with three deterministic fraction digits.
+fn us(t_ns: u64) -> Value {
+    // 1234567 ns -> 1234.567 µs, rendered from integers.
+    let whole = t_ns / 1_000;
+    let frac = t_ns % 1_000;
+    if frac == 0 {
+        Value::UInt(whole)
+    } else {
+        // The format string keeps leading zeros in the fraction.
+        Value::Float(format!("{whole}.{frac:03}").parse().unwrap())
+    }
+}
+
+fn base(ph: &str, name: &str, ev: &TraceEvent) -> Value {
+    let mut o = Value::object();
+    o.set("name", name);
+    o.set("ph", ph);
+    o.set("ts", us(ev.t_ns));
+    o.set("pid", ev.place.0);
+    o.set("tid", ev.worker.0);
+    o
+}
+
+fn meta(name: &str, pid: u32, tid: Option<u32>, label: String) -> Value {
+    let mut o = Value::object();
+    o.set("name", name);
+    o.set("ph", "M");
+    o.set("pid", pid);
+    if let Some(tid) = tid {
+        o.set("tid", tid);
+    }
+    let mut args = Value::object();
+    args.set("name", label);
+    o.set("args", args);
+    o
+}
+
+/// Convert an event stream into a Chrome trace JSON value.
+///
+/// Events must be the complete stream of one run (start/end pairing is
+/// reconstructed per worker); unmatched `TaskStart`s at stream end are
+/// emitted as zero-length slices so truncated ring buffers still load.
+pub fn chrome_trace(events: &[TraceEvent], config: &ClusterConfig) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+
+    // Name the lanes.
+    for p in config.place_ids() {
+        out.push(meta("process_name", p.0, None, format!("place {}", p.0)));
+        out.push(meta("process_sort_index", p.0, None, format!("{}", p.0)));
+    }
+    for g in config.worker_ids() {
+        let p = config.place_of(g);
+        out.push(meta(
+            "thread_name",
+            p.0,
+            Some(g.0),
+            format!("worker {}", g.0),
+        ));
+    }
+
+    // Open TaskStart per worker, to pair with the matching TaskEnd.
+    let mut open: HashMap<u32, Vec<(u64, u64)>> = HashMap::new(); // worker -> (task, t0)
+    let mut last_t = 0u64;
+
+    for ev in events {
+        last_t = last_t.max(ev.t_ns);
+        match ev.kind {
+            TraceEventKind::TaskStart { task } => {
+                open.entry(ev.worker.0).or_default().push((task.0, ev.t_ns));
+            }
+            TraceEventKind::TaskEnd { task } => {
+                let t0 = open
+                    .get_mut(&ev.worker.0)
+                    .and_then(|stack| {
+                        stack
+                            .iter()
+                            .rposition(|(t, _)| *t == task.0)
+                            .map(|i| stack.remove(i).1)
+                    })
+                    .unwrap_or(ev.t_ns);
+                let mut o = Value::object();
+                o.set("name", format!("task {}", task.0));
+                o.set("ph", "X");
+                o.set("ts", us(t0));
+                o.set("dur", us(ev.t_ns - t0));
+                o.set("pid", ev.place.0);
+                o.set("tid", ev.worker.0);
+                out.push(o);
+            }
+            TraceEventKind::Spawn { task } => {
+                let mut o = base("i", "spawn", ev);
+                o.set("s", "t");
+                let mut args = Value::object();
+                args.set("task", task.0);
+                o.set("args", args);
+                out.push(o);
+            }
+            TraceEventKind::StealAttempt { .. } => {
+                // One instant per probe would swamp the UI; attempts are
+                // summarized by the histogram layer instead.
+            }
+            TraceEventKind::StealSuccess {
+                tier,
+                task,
+                victim,
+                latency_ns,
+            } => {
+                let mut o = base("i", &format!("steal:{}", tier.name()), ev);
+                o.set("s", "t");
+                let mut args = Value::object();
+                args.set("task", task.0);
+                args.set("victim", victim.0);
+                args.set("latency_ns", latency_ns);
+                o.set("args", args);
+                out.push(o);
+            }
+            TraceEventKind::Migration { task, from, to } => {
+                let mut o = base("i", "migration", ev);
+                o.set("s", "p");
+                let mut args = Value::object();
+                args.set("task", task.0);
+                args.set("from", from.0);
+                args.set("to", to.0);
+                o.set("args", args);
+                out.push(o);
+            }
+            TraceEventKind::RemoteRef { task, home, bytes } => {
+                let mut o = base("i", "remote_ref", ev);
+                o.set("s", "t");
+                let mut args = Value::object();
+                args.set("task", task.0);
+                args.set("home", home.0);
+                args.set("bytes", bytes);
+                o.set("args", args);
+                out.push(o);
+            }
+            TraceEventKind::Dormant => {
+                let mut o = base("i", "dormant", ev);
+                o.set("s", "t");
+                out.push(o);
+            }
+            TraceEventKind::Wakeup => {
+                let mut o = base("i", "wakeup", ev);
+                o.set("s", "t");
+                out.push(o);
+            }
+            TraceEventKind::Message { kind, to, bytes } => {
+                let mut o = base("i", &format!("msg:{}", kind.name()), ev);
+                o.set("s", "t");
+                let mut args = Value::object();
+                args.set("to", to.0);
+                args.set("bytes", bytes);
+                o.set("args", args);
+                out.push(o);
+            }
+        }
+    }
+
+    // Close any still-open slices (ring-buffer truncation).
+    let mut stragglers: Vec<(u32, u64, u64)> = open
+        .into_iter()
+        .flat_map(|(w, stack)| stack.into_iter().map(move |(task, t0)| (w, task, t0)))
+        .collect();
+    stragglers.sort_unstable();
+    for (w, task, t0) in stragglers {
+        let mut o = Value::object();
+        o.set("name", format!("task {task} (truncated)"));
+        o.set("ph", "X");
+        o.set("ts", us(t0));
+        o.set("dur", us(last_t.saturating_sub(t0)));
+        o.set("pid", config.place_of(distws_core::GlobalWorkerId(w)).0);
+        o.set("tid", w);
+        out.push(o);
+    }
+
+    let mut root = Value::object();
+    root.set("displayTimeUnit", "ns");
+    root.set("traceEvents", Value::Array(out));
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StealTier;
+    use distws_core::{GlobalWorkerId, PlaceId, TaskId};
+
+    fn ev(t: u64, w: u32, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            worker: GlobalWorkerId(w),
+            place: PlaceId(w / 2),
+            kind,
+        }
+    }
+
+    #[test]
+    fn pairs_start_end_into_slices() {
+        let cfg = ClusterConfig::new(2, 2);
+        let events = vec![
+            ev(1_000, 0, TraceEventKind::TaskStart { task: TaskId(1) }),
+            ev(5_000, 0, TraceEventKind::TaskEnd { task: TaskId(1) }),
+        ];
+        let json = chrome_trace(&events, &cfg).render();
+        assert!(json.contains(r#""ph":"X""#), "{json}");
+        assert!(json.contains(r#""ts":1,"dur":4"#), "{json}");
+        assert!(json.contains(r#""name":"task 1""#), "{json}");
+    }
+
+    #[test]
+    fn sub_microsecond_times_keep_fractions() {
+        let cfg = ClusterConfig::new(1, 1);
+        let events = vec![
+            ev(500, 0, TraceEventKind::TaskStart { task: TaskId(1) }),
+            ev(1_750, 0, TraceEventKind::TaskEnd { task: TaskId(1) }),
+        ];
+        let json = chrome_trace(&events, &cfg).render();
+        assert!(json.contains(r#""ts":0.5,"dur":1.25"#), "{json}");
+    }
+
+    #[test]
+    fn unmatched_starts_become_truncated_slices() {
+        let cfg = ClusterConfig::new(1, 1);
+        let events = vec![ev(100, 0, TraceEventKind::TaskStart { task: TaskId(9) })];
+        let json = chrome_trace(&events, &cfg).render();
+        assert!(json.contains("truncated"), "{json}");
+    }
+
+    #[test]
+    fn lanes_are_named_and_output_is_deterministic() {
+        let cfg = ClusterConfig::new(2, 2);
+        let events = vec![ev(
+            10,
+            3,
+            TraceEventKind::StealSuccess {
+                tier: StealTier::Remote,
+                task: TaskId(4),
+                victim: PlaceId(0),
+                latency_ns: 7,
+            },
+        )];
+        let a = chrome_trace(&events, &cfg).render();
+        let b = chrome_trace(&events, &cfg).render();
+        assert_eq!(a, b);
+        assert!(a.contains(r#""name":"place 1""#), "{a}");
+        assert!(a.contains(r#""name":"worker 3""#), "{a}");
+        assert!(a.contains("steal:remote"), "{a}");
+    }
+}

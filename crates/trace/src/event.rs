@@ -1,0 +1,267 @@
+//! The typed event vocabulary.
+//!
+//! Every event carries the virtual time it happened at, the worker
+//! that caused it and the place that worker belongs to; the payload
+//! describes what happened. The wire encoding (JSONL) is produced by
+//! [`TraceEvent::to_json`] and is deterministic: object keys are
+//! emitted in declaration order and floats never appear.
+
+use distws_core::{GlobalWorkerId, PlaceId, TaskId};
+use distws_json::Value;
+
+/// Which tier of Algorithm 1 a steal touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StealTier {
+    /// A co-located worker's private (Chase–Lev) deque.
+    LocalPrivate,
+    /// The local place's shared FIFO deque.
+    LocalShared,
+    /// A remote place's shared FIFO deque (distributed steal).
+    Remote,
+}
+
+impl StealTier {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StealTier::LocalPrivate => "local_private",
+            StealTier::LocalShared => "local_shared",
+            StealTier::Remote => "remote",
+        }
+    }
+}
+
+/// Kind of a simulated network message (mirrors `distws_netsim::MsgKind`
+/// without a crate dependency, so the trace vocabulary stays
+/// engine-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// A thief probing a remote shared deque.
+    StealRequest,
+    /// The victim's reply (may carry zero tasks).
+    StealReply,
+    /// Migration payload: closure + encapsulated footprint.
+    TaskMigrate,
+    /// Request for data homed at a remote place.
+    DataRequest,
+    /// Reply carrying remote data.
+    DataReply,
+    /// Termination detection / place-status control traffic.
+    Control,
+}
+
+impl MessageKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageKind::StealRequest => "steal_request",
+            MessageKind::StealReply => "steal_reply",
+            MessageKind::TaskMigrate => "task_migrate",
+            MessageKind::DataRequest => "data_request",
+            MessageKind::DataReply => "data_reply",
+            MessageKind::Control => "control",
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A task was created (inside `finish`/`async` or as a root).
+    Spawn {
+        /// The new task.
+        task: TaskId,
+    },
+    /// A worker began executing a task body.
+    TaskStart {
+        /// The task.
+        task: TaskId,
+    },
+    /// A worker finished executing a task body.
+    TaskEnd {
+        /// The task.
+        task: TaskId,
+    },
+    /// A worker probed a deque tier for work (successful or not).
+    StealAttempt {
+        /// The tier probed.
+        tier: StealTier,
+    },
+    /// A steal returned at least one task.
+    StealSuccess {
+        /// The tier stolen from.
+        tier: StealTier,
+        /// The (first) stolen task.
+        task: TaskId,
+        /// The victim place.
+        victim: PlaceId,
+        /// Virtual nanoseconds between first probing for work and this
+        /// success (steal latency).
+        latency_ns: u64,
+    },
+    /// A locality-flexible task moved to another place.
+    Migration {
+        /// The migrated task.
+        task: TaskId,
+        /// Origin place.
+        from: PlaceId,
+        /// Destination place.
+        to: PlaceId,
+    },
+    /// A task touched data homed at a remote place.
+    RemoteRef {
+        /// The task doing the access.
+        task: TaskId,
+        /// Where the data lives.
+        home: PlaceId,
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// A worker ran out of work and went dormant.
+    Dormant,
+    /// A dormant worker was woken by new local work.
+    Wakeup,
+    /// A network message left this worker's place.
+    Message {
+        /// Kind of message.
+        kind: MessageKind,
+        /// Destination place.
+        to: PlaceId,
+        /// Payload size.
+        bytes: u64,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable wire name of the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::Spawn { .. } => "spawn",
+            TraceEventKind::TaskStart { .. } => "task_start",
+            TraceEventKind::TaskEnd { .. } => "task_end",
+            TraceEventKind::StealAttempt { .. } => "steal_attempt",
+            TraceEventKind::StealSuccess { .. } => "steal_success",
+            TraceEventKind::Migration { .. } => "migration",
+            TraceEventKind::RemoteRef { .. } => "remote_ref",
+            TraceEventKind::Dormant => "dormant",
+            TraceEventKind::Wakeup => "wakeup",
+            TraceEventKind::Message { .. } => "message",
+        }
+    }
+}
+
+/// One timestamped, attributed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time (simulator) or wall-clock offset (runtime), ns.
+    pub t_ns: u64,
+    /// The worker the event is attributed to.
+    pub worker: GlobalWorkerId,
+    /// The place that worker belongs to.
+    pub place: PlaceId,
+    /// Payload.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Deterministic JSON encoding: `{"t":..,"w":..,"p":..,"ev":"..",...}`.
+    /// Payload fields are flattened into the object, keys in fixed order.
+    pub fn to_json(&self) -> Value {
+        let mut o = Value::object();
+        o.set("t", self.t_ns);
+        o.set("w", self.worker.0);
+        o.set("p", self.place.0);
+        o.set("ev", self.kind.name());
+        match self.kind {
+            TraceEventKind::Spawn { task }
+            | TraceEventKind::TaskStart { task }
+            | TraceEventKind::TaskEnd { task } => {
+                o.set("task", task.0);
+            }
+            TraceEventKind::StealAttempt { tier } => {
+                o.set("tier", tier.name());
+            }
+            TraceEventKind::StealSuccess {
+                tier,
+                task,
+                victim,
+                latency_ns,
+            } => {
+                o.set("tier", tier.name());
+                o.set("task", task.0);
+                o.set("victim", victim.0);
+                o.set("latency_ns", latency_ns);
+            }
+            TraceEventKind::Migration { task, from, to } => {
+                o.set("task", task.0);
+                o.set("from", from.0);
+                o.set("to", to.0);
+            }
+            TraceEventKind::RemoteRef { task, home, bytes } => {
+                o.set("task", task.0);
+                o.set("home", home.0);
+                o.set("bytes", bytes);
+            }
+            TraceEventKind::Dormant | TraceEventKind::Wakeup => {}
+            TraceEventKind::Message { kind, to, bytes } => {
+                o.set("kind", kind.name());
+                o.set("to", to.0);
+                o.set("bytes", bytes);
+            }
+        }
+        o
+    }
+
+    /// One JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_flat_and_stable() {
+        let ev = TraceEvent {
+            t_ns: 1234,
+            worker: GlobalWorkerId(7),
+            place: PlaceId(3),
+            kind: TraceEventKind::StealSuccess {
+                tier: StealTier::Remote,
+                task: TaskId(42),
+                victim: PlaceId(1),
+                latency_ns: 900,
+            },
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"t":1234,"w":7,"p":3,"ev":"steal_success","tier":"remote","task":42,"victim":1,"latency_ns":900}"#
+        );
+    }
+
+    #[test]
+    fn bare_events_have_no_payload_keys() {
+        let ev = TraceEvent {
+            t_ns: 5,
+            worker: GlobalWorkerId(0),
+            place: PlaceId(0),
+            kind: TraceEventKind::Dormant,
+        };
+        assert_eq!(ev.to_jsonl(), r#"{"t":5,"w":0,"p":0,"ev":"dormant"}"#);
+    }
+
+    #[test]
+    fn wire_names_are_unique() {
+        let names = [
+            StealTier::LocalPrivate.name(),
+            StealTier::LocalShared.name(),
+            StealTier::Remote.name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,218 @@
+//! Log-linear histogram with deterministic percentiles.
+//!
+//! HDR-style bucketing: values below 16 get exact buckets; above that,
+//! each power-of-two range is split into 16 linear sub-buckets, so the
+//! relative quantization error is bounded by 1/16 ≈ 6 % at any
+//! magnitude while memory stays O(log(max value)). Percentile queries
+//! return the bucket's upper bound (conservative), clamped to the
+//! exact observed maximum — all integer arithmetic, so two identical
+//! runs summarize identically.
+
+use distws_core::PercentileSummary;
+
+/// Number of linear sub-buckets per power-of-two group (and the size
+/// of the exact low range).
+const SUB: u64 = 16;
+const SUB_BITS: u32 = 4;
+
+/// A histogram of `u64` samples (nanoseconds, bytes, counts...).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let group = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) - SUB) as usize;
+        (group << SUB_BITS) + sub
+    }
+}
+
+/// Largest value mapping to bucket `i` (the reported representative).
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB as usize {
+        i as u64
+    } else {
+        let group = (i >> SUB_BITS) as u32; // >= 1
+        let sub = (i & (SUB as usize - 1)) as u64;
+        ((SUB + sub) << (group - 1)) + (1u64 << (group - 1)) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of the samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.total)) as u64
+        }
+    }
+
+    /// Value at percentile `p` ∈ [0, 100]: the upper bound of the
+    /// bucket containing the `ceil(p/100 · count)`-th smallest sample,
+    /// clamped to the exact maximum. 0 when empty.
+    pub fn percentile(&self, p: u32) -> u64 {
+        assert!(p <= 100, "percentile out of range: {p}");
+        if self.total == 0 {
+            return 0;
+        }
+        // rank = ceil(p * total / 100), at least 1.
+        let rank = ((u128::from(p) * u128::from(self.total)).div_ceil(100)).max(1);
+        let mut seen: u128 = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += u128::from(c);
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold into the fixed-quantile summary carried by `RunReport`.
+    pub fn summary(&self) -> PercentileSummary {
+        PercentileSummary {
+            count: self.total,
+            p50: self.percentile(50),
+            p95: self.percentile(95),
+            p99: self.percentile(99),
+            max: self.max,
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100), 15);
+        assert_eq!(h.percentile(50), 7);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = bucket_of(0);
+        assert_eq!(prev, 0);
+        for v in 1..100_000u64 {
+            let b = bucket_of(v);
+            assert!(b == prev || b == prev + 1, "gap at {v}: {prev} -> {b}");
+            assert!(bucket_upper(b) >= v, "upper({b}) < {v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [17, 100, 1_000, 123_456, 10_000_000, u64::from(u32::MAX)] {
+            let upper = bucket_upper(bucket_of(v));
+            assert!(upper >= v);
+            assert!(
+                (upper - v) as f64 <= v as f64 / 16.0 + 1.0,
+                "value {v} reported as {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_track_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1k .. 1000k
+        }
+        let p50 = h.percentile(50);
+        let p99 = h.percentile(99);
+        assert!((500_000..=540_000).contains(&p50), "p50 {p50}");
+        assert!((990_000..=1_060_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.percentile(100), 1_000_000);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        assert_eq!(Histogram::new().summary(), PercentileSummary::default());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 900, 17, 65_536, 12] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64 << 40, 5, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), both.summary());
+        assert_eq!(a.mean(), both.mean());
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut h = Histogram::new();
+            for v in (0..5000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000) {
+                h.record(v);
+            }
+            h.summary()
+        };
+        assert_eq!(run(), run());
+    }
+}

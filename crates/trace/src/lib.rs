@@ -1,0 +1,43 @@
+//! # distws-trace
+//!
+//! Structured event tracing and time-series telemetry for the DistWS
+//! simulator and runtime.
+//!
+//! The execution engines emit typed [`TraceEvent`]s — spawns, task
+//! start/end, steal attempts and successes per tier of Algorithm 1,
+//! migrations, remote data references, dormancy transitions and network
+//! messages — into a [`TraceSink`]. Three sinks ship:
+//!
+//! * [`NullSink`] — `enabled() == false`; instrumentation sites skip
+//!   event construction entirely, so a run without tracing pays only a
+//!   branch per site.
+//! * [`RingSink`] — bounded in-memory ring buffer, for exporters and
+//!   tests.
+//! * [`JsonlSink`] — streams one deterministic JSON object per event to
+//!   any `Write`; the same seed yields a byte-identical stream.
+//!
+//! On top of the raw stream sit the derived views:
+//!
+//! * [`Histogram`] — log-linear (HDR-style) histogram with exact max
+//!   and deterministic p50/p95/p99, folded into
+//!   `distws_core::RunPercentiles` via [`Histogram::summary`].
+//! * [`TimeSeries`] — engine-driven sampler of per-place queue depth
+//!   and busy workers at a fixed virtual-time interval.
+//! * [`chrome_trace`] — Chrome `trace_event` JSON (one lane per
+//!   worker), loadable in Perfetto / `chrome://tracing`.
+//! * [`render_timeline`] — terminal renderer of the per-place
+//!   utilization curves.
+
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod series;
+pub mod sink;
+pub mod timeline;
+
+pub use chrome::chrome_trace;
+pub use event::{MessageKind, StealTier, TraceEvent, TraceEventKind};
+pub use hist::Histogram;
+pub use series::{PlaceSample, Sample, TimeSeries};
+pub use sink::{JsonlSink, NullSink, RingSink, SharedSink, TraceSink};
+pub use timeline::render_timeline;

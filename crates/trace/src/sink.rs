@@ -1,0 +1,245 @@
+//! Trace sinks: where events go.
+//!
+//! Instrumentation sites are written as
+//!
+//! ```ignore
+//! if sink.enabled() {
+//!     sink.record(TraceEvent { .. });
+//! }
+//! ```
+//!
+//! so a [`NullSink`] costs one predictable branch per site and no
+//! event construction — the pay-for-what-you-use contract the
+//! acceptance criteria check (< 1 % makespan delta with tracing off).
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Receiver of trace events.
+pub trait TraceSink {
+    /// Whether callers should construct and submit events at all.
+    /// Sites must check this before building a [`TraceEvent`].
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event. Events arrive in nondecreasing `t_ns` order
+    /// per worker, but only the simulator guarantees a global order.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Flush any buffered output (streaming sinks).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything; `enabled()` is `false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// Bounded in-memory ring buffer: keeps the **last** `capacity` events.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` events (the most recent win).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consume the sink, yielding the retained events oldest-first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+/// Streams one deterministic JSON object per event to a writer.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    written: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Stream events to `out`, one JSONL line each.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, written: 0 }
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: TraceEvent) {
+        // Panicking on a broken pipe mid-simulation would poison a
+        // deterministic run; drop the line instead and keep counting.
+        let mut line = ev.to_jsonl();
+        line.push('\n');
+        if self.out.write_all(line.as_bytes()).is_ok() {
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Clonable, thread-safe handle around any sink — the multithreaded
+/// runtime's workers each hold one and serialize through the mutex.
+#[derive(Clone)]
+pub struct SharedSink {
+    inner: Arc<Mutex<dyn TraceSink + Send>>,
+    enabled: bool,
+}
+
+impl SharedSink {
+    /// Wrap `sink` for concurrent use. `enabled` is captured once so
+    /// the hot-path check stays lock-free.
+    pub fn new<S: TraceSink + Send + 'static>(sink: S) -> Self {
+        let enabled = sink.enabled();
+        SharedSink {
+            inner: Arc::new(Mutex::new(sink)),
+            enabled,
+        }
+    }
+
+    /// A disabled shared sink.
+    pub fn null() -> Self {
+        SharedSink::new(NullSink)
+    }
+
+    /// Run `f` against the wrapped sink.
+    pub fn with<R>(&self, f: impl FnOnce(&mut dyn TraceSink) -> R) -> R {
+        f(&mut *self.inner.lock().unwrap())
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        self.inner.lock().unwrap().record(ev);
+    }
+
+    fn flush(&mut self) {
+        self.inner.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind;
+    use distws_core::{GlobalWorkerId, PlaceId};
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            worker: GlobalWorkerId(0),
+            place: PlaceId(0),
+            kind: TraceEventKind::Dormant,
+        }
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = RingSink::new(3);
+        for t in 0..5 {
+            r.record(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.into_events().iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_streams_lines() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.record(ev(1));
+        s.record(ev(2));
+        assert_eq!(s.written(), 2);
+        let out = String::from_utf8(s.into_inner()).unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn shared_sink_serializes_access() {
+        let shared = SharedSink::new(JsonlSink::new(Vec::new()));
+        assert!(shared.enabled());
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        a.record(ev(1));
+        b.record(ev(2));
+        shared.with(|s| s.flush());
+    }
+
+    #[test]
+    fn shared_null_is_disabled() {
+        assert!(!SharedSink::null().enabled());
+    }
+}

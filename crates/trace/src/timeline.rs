@@ -1,0 +1,126 @@
+//! Terminal place-timeline renderer.
+//!
+//! Renders a [`TimeSeries`] as one row of unicode block glyphs per
+//! place — glyph height = busy-worker fraction at that instant — plus
+//! a per-place mean column. Long runs are downsampled by averaging
+//! consecutive samples into at most `width` columns, so the picture
+//! always fits a terminal.
+
+use crate::series::TimeSeries;
+use std::fmt::Write as _;
+
+const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn glyph(frac: f64) -> char {
+    let f = frac.clamp(0.0, 1.0);
+    // Round to the nearest of 9 levels; any non-zero activity shows.
+    let mut idx = (f * 8.0).round() as usize;
+    if idx == 0 && f > 0.0 {
+        idx = 1;
+    }
+    BLOCKS[idx.min(8)]
+}
+
+/// Render the utilization timeline, at most `width` columns wide.
+pub fn render_timeline(ts: &TimeSeries, width: usize) -> String {
+    let samples = ts.samples();
+    let mut out = String::new();
+    if samples.is_empty() {
+        out.push_str("(no samples)\n");
+        return out;
+    }
+    let width = width.max(8);
+    let n = samples.len();
+    // Downsample: column c covers samples [c*n/width, (c+1)*n/width).
+    let cols = n.min(width);
+    let span_ns = samples.last().unwrap().t_ns + ts.interval_ns();
+    let _ = writeln!(
+        out,
+        "utilization timeline — {} places × {} workers, {} samples @ {} ns, span {:.3} ms",
+        ts.places(),
+        ts.workers_per_place(),
+        n,
+        ts.interval_ns(),
+        span_ns as f64 / 1e6
+    );
+    for p in 0..ts.places() as usize {
+        let mut row = String::new();
+        let mut total = 0.0f64;
+        for c in 0..cols {
+            let lo = c * n / cols;
+            let hi = ((c + 1) * n / cols).max(lo + 1);
+            let mut acc = 0.0;
+            for i in lo..hi {
+                acc += ts.utilization(i, p);
+            }
+            let frac = acc / (hi - lo) as f64;
+            row.push(glyph(frac));
+        }
+        for i in 0..n {
+            total += ts.utilization(i, p);
+        }
+        let _ = writeln!(out, "p{p:<3} |{row}| {:>5.1}%", 100.0 * total / n as f64);
+    }
+    let _ = writeln!(
+        out,
+        "      0 ms{}{:.3} ms",
+        " ".repeat(cols.saturating_sub(12)),
+        span_ns as f64 / 1e6
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::PlaceSample;
+
+    fn series(samples: usize) -> TimeSeries {
+        let mut ts = TimeSeries::new(2, 4, 100);
+        for i in 0..samples {
+            ts.push(vec![
+                PlaceSample {
+                    queue_depth: 0,
+                    busy_workers: 4,
+                    dormant_workers: 0,
+                },
+                PlaceSample {
+                    queue_depth: 1,
+                    busy_workers: (i % 5) as u32,
+                    dormant_workers: 0,
+                },
+            ]);
+        }
+        ts
+    }
+
+    #[test]
+    fn full_places_render_full_blocks() {
+        let r = render_timeline(&series(10), 80);
+        let p0 = r.lines().find(|l| l.starts_with("p0")).unwrap();
+        assert!(p0.contains("██████████"), "{r}");
+        assert!(p0.contains("100.0%"), "{r}");
+    }
+
+    #[test]
+    fn long_series_downsample_to_width() {
+        let r = render_timeline(&series(1000), 40);
+        let p1 = r.lines().find(|l| l.starts_with("p1")).unwrap();
+        let bar = p1.split('|').nth(1).unwrap();
+        assert_eq!(bar.chars().count(), 40, "{r}");
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let ts = TimeSeries::new(1, 1, 10);
+        assert!(render_timeline(&ts, 80).contains("no samples"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(
+            render_timeline(&series(333), 60),
+            render_timeline(&series(333), 60)
+        );
+    }
+}

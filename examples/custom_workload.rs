@@ -27,7 +27,7 @@ struct RangeSum {
 
 fn f(i: u64) -> u64 {
     // Deliberately irregular per-item cost: some items are 100× heavier.
-    if i % 97 == 0 {
+    if i.is_multiple_of(97) {
         (0..100).fold(i, |a, k| a.wrapping_mul(31).wrapping_add(k))
     } else {
         i.wrapping_mul(2654435761)
@@ -38,7 +38,11 @@ fn split_task(acc: Arc<AtomicU64>, lo: u64, hi: u64, grain: u64) -> TaskSpec {
     let n = hi - lo;
     // Cost model: heavy items dominate.
     let est = 40 * n + 4_000 * (n / 97);
-    let locality = if n <= grain * 8 { Locality::Flexible } else { Locality::Sensitive };
+    let locality = if n <= grain * 8 {
+        Locality::Flexible
+    } else {
+        Locality::Sensitive
+    };
     TaskSpec::new(PlaceId(0), locality, est, "range-sum", move |s| {
         if hi - lo <= grain {
             let mut sum = 0u64;
@@ -73,7 +77,11 @@ impl Workload for RangeSum {
         (0..cfg.places)
             .map(|p| {
                 let lo = p as u64 * per;
-                let hi = if p == cfg.places - 1 { self.n } else { lo + per };
+                let hi = if p == cfg.places - 1 {
+                    self.n
+                } else {
+                    lo + per
+                };
                 let mut t = split_task(Arc::clone(&acc), lo, hi, self.grain);
                 t.home = PlaceId(p);
                 t
@@ -99,9 +107,16 @@ impl Workload for RangeSum {
 }
 
 fn main() {
-    let app = RangeSum { n: 1 << 20, grain: 1 << 12, acc: Mutex::new(None) };
+    let app = RangeSum {
+        n: 1 << 20,
+        grain: 1 << 12,
+        acc: Mutex::new(None),
+    };
     let cluster = ClusterConfig::new(4, 4);
-    println!("custom RangeSum workload on {} workers:", cluster.total_workers());
+    println!(
+        "custom RangeSum workload on {} workers:",
+        cluster.total_workers()
+    );
     for policy in [
         Box::new(X10Ws) as Box<dyn Policy>,
         Box::new(DistWsNs::default()) as Box<dyn Policy>,

@@ -28,7 +28,11 @@ fn main() {
     ] {
         let name = policy.name();
         let r = Simulation::new(cluster.clone(), policy).run_app(&app);
-        println!("{name}: makespan {:.2} ms, remote steals {}", r.makespan_ns as f64 / 1e6, r.steals.remote);
+        println!(
+            "{name}: makespan {:.2} ms, remote steals {}",
+            r.makespan_ns as f64 / 1e6,
+            r.steals.remote
+        );
         for (p, u) in r.utilization.per_place.iter().enumerate() {
             println!("  place {p}: {} {:>5.1} %", bar(*u), u * 100.0);
         }

@@ -8,7 +8,11 @@ use distws::runtime::Runtime;
 use distws_core::Workload;
 
 fn policies() -> Vec<Box<dyn Policy>> {
-    vec![Box::new(X10Ws), Box::new(DistWs::default()), Box::new(DistWsNs::default())]
+    vec![
+        Box::new(X10Ws),
+        Box::new(DistWs::default()),
+        Box::new(DistWsNs::default()),
+    ]
 }
 
 fn run_all(app: &dyn Workload) {
@@ -17,7 +21,8 @@ fn run_all(app: &dyn Workload) {
         let mut rt = Runtime::new(ClusterConfig::new(2, 2), policy);
         let report = rt.run_app(app);
         assert_eq!(
-            report.tasks_spawned, report.tasks_executed,
+            report.tasks_spawned,
+            report.tasks_executed,
             "{name}: task conservation violated on {}",
             app.name()
         );

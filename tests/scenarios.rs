@@ -16,24 +16,36 @@ struct BurstHotspot {
 }
 
 impl BurstHotspot {
-    fn phase_task(counter: Arc<AtomicU64>, phases: usize, burst: usize, k: usize, places: u32) -> TaskSpec {
-        TaskSpec::new(PlaceId(0), Locality::Sensitive, 5_000, "burst-coord", move |s| {
-            if k == phases {
-                return;
-            }
-            let next = Self::phase_task(Arc::clone(&counter), phases, burst, k + 1, places);
-            let latch = FinishLatch::new(burst, next);
-            let hot = PlaceId((k as u32) % places);
-            for _ in 0..burst {
-                let c = Arc::clone(&counter);
-                s.spawn(
-                    TaskSpec::new(hot, Locality::Flexible, 400_000, "burst-work", move |_| {
-                        c.fetch_add(1, Ordering::Relaxed);
-                    })
-                    .with_latch(Arc::clone(&latch)),
-                );
-            }
-        })
+    fn phase_task(
+        counter: Arc<AtomicU64>,
+        phases: usize,
+        burst: usize,
+        k: usize,
+        places: u32,
+    ) -> TaskSpec {
+        TaskSpec::new(
+            PlaceId(0),
+            Locality::Sensitive,
+            5_000,
+            "burst-coord",
+            move |s| {
+                if k == phases {
+                    return;
+                }
+                let next = Self::phase_task(Arc::clone(&counter), phases, burst, k + 1, places);
+                let latch = FinishLatch::new(burst, next);
+                let hot = PlaceId((k as u32) % places);
+                for _ in 0..burst {
+                    let c = Arc::clone(&counter);
+                    s.spawn(
+                        TaskSpec::new(hot, Locality::Flexible, 400_000, "burst-work", move |_| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .with_latch(Arc::clone(&latch)),
+                    );
+                }
+            },
+        )
     }
 }
 
@@ -45,7 +57,13 @@ impl Workload for BurstHotspot {
     fn roots(&self, cfg: &distws_core::ClusterConfig) -> Vec<TaskSpec> {
         let counter = Arc::new(AtomicU64::new(0));
         *self.counter.lock().unwrap() = Some(Arc::clone(&counter));
-        vec![Self::phase_task(counter, self.phases, self.burst, 0, cfg.places)]
+        vec![Self::phase_task(
+            counter,
+            self.phases,
+            self.burst,
+            0,
+            cfg.places,
+        )]
     }
 
     fn validate(&self) -> Result<(), String> {
@@ -67,7 +85,11 @@ impl Workload for BurstHotspot {
 
 #[test]
 fn distws_absorbs_moving_hotspots() {
-    let app = BurstHotspot { phases: 6, burst: 48, counter: Mutex::new(None) };
+    let app = BurstHotspot {
+        phases: 6,
+        burst: 48,
+        counter: Mutex::new(None),
+    };
     let cfg = ClusterConfig::new(4, 4);
     let x10 = Simulation::new(cfg.clone(), Box::new(X10Ws)).run_app(&app);
     let dws = Simulation::new(cfg, Box::new(DistWs::default())).run_app(&app);
@@ -81,7 +103,10 @@ fn distws_absorbs_moving_hotspots() {
     // The burst place alone bounds X10WS: every phase serializes on 4
     // workers of one place.
     let per_phase_x10 = x10.makespan_ns / 6;
-    assert!(per_phase_x10 >= 48 / 4 * 400_000, "X10WS faster than its own lower bound?");
+    assert!(
+        per_phase_x10 >= 48 / 4 * 400_000,
+        "X10WS faster than its own lower bound?"
+    );
 }
 
 #[test]
@@ -94,7 +119,11 @@ fn all_policies_survive_pathological_task_mixes() {
         Box::new(DistWsNs::default()),
         Box::new(RandomWs),
     ] {
-        let app = BurstHotspot { phases: 3, burst: 17, counter: Mutex::new(None) };
+        let app = BurstHotspot {
+            phases: 3,
+            burst: 17,
+            counter: Mutex::new(None),
+        };
         let r = Simulation::new(ClusterConfig::new(3, 2), policy).run_app(&app);
         assert_eq!(r.tasks_spawned, r.tasks_executed);
     }
@@ -115,7 +144,11 @@ fn zero_cost_tasks_do_not_break_accounting() {
 
 #[test]
 fn single_worker_cluster_handles_everything() {
-    let app = BurstHotspot { phases: 2, burst: 5, counter: Mutex::new(None) };
+    let app = BurstHotspot {
+        phases: 2,
+        burst: 5,
+        counter: Mutex::new(None),
+    };
     let r = Simulation::new(ClusterConfig::new(1, 1), Box::new(DistWs::default())).run_app(&app);
     // The lone worker may still pull from its own shared deque, but
     // nothing can cross places.

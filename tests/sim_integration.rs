@@ -26,13 +26,17 @@ fn run_all(app: &dyn Workload) {
         // run_app panics if the workload fails validation.
         let report = sim.run_app(app);
         assert_eq!(
-            report.tasks_spawned, report.tasks_executed,
+            report.tasks_spawned,
+            report.tasks_executed,
             "{name}: task conservation violated on {}",
             app.name()
         );
         assert!(report.makespan_ns > 0);
         for &u in &report.utilization.per_place {
-            assert!((0.0..=1.0).contains(&u), "{name}: utilization {u} out of range");
+            assert!(
+                (0.0..=1.0).contains(&u),
+                "{name}: utilization {u} out of range"
+            );
         }
     }
 }
@@ -91,7 +95,12 @@ fn single_place_runs_every_app() {
     for app in apps::quick_suite() {
         let mut sim = Simulation::new(ClusterConfig::new(1, 1), Box::new(DistWs::default()));
         let report = sim.run_app(app.as_ref());
-        assert_eq!(report.steals.remote, 0, "{}: no remote steals possible", app.name());
+        assert_eq!(
+            report.steals.remote,
+            0,
+            "{}: no remote steals possible",
+            app.name()
+        );
     }
 }
 
