@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--scale quick|default|paper] [--json DIR]
-//! repro trace <app> [--scale ...] [--policy NAME] [--json DIR]
+//! repro trace <app> [--scale ...] [--policy NAME] [--seed N] [--json DIR]
+//! repro chaos <app> --faults SPEC [--scale ...] [--policy NAME] [--seed N] [--json DIR]
 //!
 //! experiments:
 //!   fig3 fig4 fig5 fig6 fig7 table1 table2 table3
@@ -14,6 +15,13 @@
 //! `trace_event` JSON (load it at <https://ui.perfetto.dev>), dumps the
 //! utilization time series, and prints a terminal place timeline plus
 //! the latency/granularity percentile summaries.
+//!
+//! `repro chaos` sweeps fault-injection intensities of a `--faults`
+//! spec (grammar in `docs/faults.md`, e.g.
+//! `drop=0.05,jitter=2us,kill=3@40%`) and prints a degradation table:
+//! makespan inflation vs the fault-free baseline plus drop/timeout/
+//! retry/recovery counters per level. Every run asserts exactly-once
+//! task execution.
 
 use distws_bench as bench;
 use distws_bench::Scale;
@@ -25,9 +33,25 @@ fn main() {
     let mut scale = Scale::Default;
     let mut json_dir: Option<String> = None;
     let mut policy_name = "DistWS".to_string();
+    let mut fault_spec: Option<String> = None;
+    let mut seed: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--faults" => {
+                i += 1;
+                fault_spec = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--faults needs a spec (e.g. drop=0.05,kill=3@40%)");
+                    std::process::exit(2);
+                }));
+            }
+            "--seed" => {
+                i += 1;
+                seed = Some(args.get(i).and_then(|s| parse_seed(s)).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer (decimal or 0x hex)");
+                    std::process::exit(2);
+                }));
+            }
             "--scale" => {
                 i += 1;
                 scale = match args.get(i).map(|s| s.as_str()) {
@@ -62,15 +86,30 @@ fn main() {
 
     if positional.first().map(String::as_str) == Some("trace") {
         let Some(app) = positional.get(1) else {
-            eprintln!("usage: repro trace <app> [--scale S] [--policy P] [--json DIR]");
+            eprintln!("usage: repro trace <app> [--scale S] [--policy P] [--seed N] [--json DIR]");
             std::process::exit(2);
         };
         run_trace(
             app,
             scale,
             &policy_name,
+            seed,
             json_dir.as_deref().unwrap_or("trace-out"),
         );
+        return;
+    }
+    if positional.first().map(String::as_str) == Some("chaos") {
+        let Some(app) = positional.get(1) else {
+            eprintln!(
+                "usage: repro chaos <app> --faults SPEC [--scale S] [--policy P] [--seed N] [--json DIR]"
+            );
+            std::process::exit(2);
+        };
+        let Some(spec) = fault_spec else {
+            eprintln!("repro chaos needs --faults SPEC (e.g. drop=0.05,kill=3@40%)");
+            std::process::exit(2);
+        };
+        run_chaos(app, scale, &policy_name, &spec, seed, json_dir.as_deref());
         return;
     }
     if positional.len() > 1 {
@@ -137,9 +176,90 @@ fn main() {
         eprintln!(
             "experiments: fig3 fig4 fig5 fig6 fig7 table1 table2 table3 granularity uts adaptive ablation all"
         );
-        eprintln!("or: repro trace <app> [--scale S] [--policy P] [--json DIR]");
+        eprintln!("or: repro trace <app> [--scale S] [--policy P] [--seed N] [--json DIR]");
+        eprintln!(
+            "or: repro chaos <app> --faults SPEC [--scale S] [--policy P] [--seed N] [--json DIR]"
+        );
         std::process::exit(2);
     }
+}
+
+/// `--seed` accepts decimal or `0x` hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn run_chaos(
+    app_name: &str,
+    scale: Scale,
+    policy_name: &str,
+    spec_text: &str,
+    seed: Option<u64>,
+    json_dir: Option<&str>,
+) {
+    let spec = match distws_sim::FaultSpec::parse(spec_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad --faults spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = seed.unwrap_or(0x5EED);
+    let Some(rows) = bench::chaos_sweep(app_name, policy_name, &spec, scale, seed) else {
+        let names: Vec<String> = bench::suite(scale).iter().map(|a| a.name()).collect();
+        eprintln!(
+            "unknown app '{app_name}' or policy '{policy_name}'; apps: {}",
+            names.join(" ")
+        );
+        std::process::exit(2);
+    };
+    print_chaos(spec_text, seed, &rows);
+    if let Some(dir) = json_dir {
+        let slug = rows[0].app.to_ascii_lowercase().replace(' ', "_");
+        write_json(dir, &format!("chaos_{slug}"), &rows);
+    }
+}
+
+fn print_chaos(spec_text: &str, seed: u64, rows: &[bench::ChaosRow]) {
+    hr(&format!(
+        "Chaos — {} / {} under \"{}\" (seed {:#x})",
+        rows[0].app, rows[0].scheduler, spec_text, seed
+    ));
+    println!(
+        "{:>6} {:>13} {:>8} {:>7} {:>6} {:>9} {:>8} {:>8} {:>10} {:>7} {:>7}",
+        "level",
+        "makespan(ms)",
+        "degr(%)",
+        "drops",
+        "dups",
+        "timeouts",
+        "retries",
+        "retrans",
+        "recovered",
+        "leases",
+        "failed"
+    );
+    for r in rows {
+        println!(
+            "{:>6.2} {:>13.3} {:>8.1} {:>7} {:>6} {:>9} {:>8} {:>8} {:>10} {:>7} {:>7}",
+            r.level,
+            r.makespan_ms,
+            r.degradation_pct,
+            r.msgs_dropped,
+            r.msgs_duplicated,
+            r.steal_timeouts,
+            r.steal_retries,
+            r.retransmissions,
+            r.tasks_recovered,
+            r.lease_reclaims,
+            r.places_failed
+        );
+    }
+    println!("(every level validated its application output and executed every spawned task exactly once)");
 }
 
 /// In-memory sink keeping the events for the Chrome exporter while
@@ -158,7 +278,7 @@ impl distws_trace::TraceSink for TeeSink {
     }
 }
 
-fn run_trace(app_name: &str, scale: Scale, policy_name: &str, dir: &str) {
+fn run_trace(app_name: &str, scale: Scale, policy_name: &str, seed: Option<u64>, dir: &str) {
     use distws_sim::{SimConfig, Simulation};
 
     let Some(app) = bench::app_by_name(app_name, scale) else {
@@ -175,10 +295,16 @@ fn run_trace(app_name: &str, scale: Scale, policy_name: &str, dir: &str) {
     // Pass 1 (untraced) sizes the sampling grid: ~240 samples across
     // the run regardless of app or scale.
     let probe = bench::policy_by_name(policy_name).unwrap();
-    let pre = Simulation::new(cluster.clone(), probe).run_app(app.as_ref());
+    let mut pre_cfg = SimConfig::new(cluster.clone());
+    if let Some(s) = seed {
+        pre_cfg.seed = s;
+    }
+    let effective_seed = pre_cfg.seed;
+    let pre = Simulation::with_config(pre_cfg, probe).run_app(app.as_ref());
     let interval = (pre.makespan_ns / 240).max(1);
 
     let mut cfg = SimConfig::new(cluster.clone());
+    cfg.seed = effective_seed;
     cfg.sample_interval_ns = Some(interval);
     let mut sink = TeeSink::default();
     let app = bench::app_by_name(app_name, scale).unwrap();
@@ -187,11 +313,12 @@ fn run_trace(app_name: &str, scale: Scale, policy_name: &str, dir: &str) {
     let series = series.expect("sampling was configured");
 
     println!(
-        "{} / {} on {} places x {} workers ({} events traced)",
+        "{} / {} on {} places x {} workers, seed {:#x} ({} events traced)",
         report.app,
         report.scheduler,
         cluster.places,
         cluster.workers_per_place,
+        effective_seed,
         sink.events.len()
     );
     println!(

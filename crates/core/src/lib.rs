@@ -40,8 +40,8 @@ pub use finish::FinishLatch;
 pub use ids::{GlobalWorkerId, ObjectId, PlaceId, TaskId, WorkerId};
 pub use locality::Locality;
 pub use metrics::{
-    CacheSummary, MessageCounts, PercentileSummary, RunPercentiles, RunReport, StealCounts,
-    UtilizationSummary,
+    CacheSummary, FaultSummary, KindCounts, MessageCounts, PercentileSummary, RunPercentiles,
+    RunReport, StealCounts, UtilizationSummary,
 };
 pub use rng::SplitMix64;
 pub use task::{Access, AccessKind, Footprint, TaskBody, TaskScope, TaskSpec};

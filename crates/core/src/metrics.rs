@@ -37,6 +37,47 @@ impl StealCounts {
     }
 }
 
+/// Per-message-kind counters, one bucket per `MsgKind`. Used for the
+/// fault-injection layer's dropped/duplicated accounting so chaos
+/// reports can say *which* traffic class a lossy link hurt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Steal request probes.
+    pub steal_requests: u64,
+    /// Replies to steal requests.
+    pub steal_replies: u64,
+    /// Task-migration payloads.
+    pub task_migrations: u64,
+    /// Remote data-reference requests.
+    pub data_requests: u64,
+    /// Remote data-reference replies.
+    pub data_replies: u64,
+    /// Control traffic.
+    pub control: u64,
+}
+
+impl KindCounts {
+    /// Sum over all kinds.
+    pub fn total(&self) -> u64 {
+        self.steal_requests
+            + self.steal_replies
+            + self.task_migrations
+            + self.data_requests
+            + self.data_replies
+            + self.control
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &KindCounts) {
+        self.steal_requests += other.steal_requests;
+        self.steal_replies += other.steal_replies;
+        self.task_migrations += other.task_migrations;
+        self.data_requests += other.data_requests;
+        self.data_replies += other.data_replies;
+        self.control += other.control;
+    }
+}
+
 /// Cross-place message counters (Table III). Intra-place scheduling
 /// does not send messages.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +96,14 @@ pub struct MessageCounts {
     pub control: u64,
     /// Total payload bytes moved across places.
     pub bytes: u64,
+    /// Messages lost to fault injection, per kind. Lost messages are
+    /// *also* counted in the per-kind sent counters above — the sender
+    /// paid to transmit them; they just never arrived.
+    pub dropped: KindCounts,
+    /// Messages duplicated in flight by fault injection, per kind.
+    /// Duplicates add traffic (and are counted in the sent counters)
+    /// but are deduplicated at the receiver.
+    pub duplicated: KindCounts,
 }
 
 impl MessageCounts {
@@ -78,6 +127,8 @@ impl MessageCounts {
         self.data_replies += other.data_replies;
         self.control += other.control;
         self.bytes += other.bytes;
+        self.dropped.merge(&other.dropped);
+        self.duplicated.merge(&other.duplicated);
     }
 }
 
@@ -203,6 +254,50 @@ pub struct RunPercentiles {
     pub dormancy_ns: PercentileSummary,
 }
 
+/// Fault-injection and recovery counters for one run. All-zero on a
+/// fault-free run (the default), so fault-free reports carry an inert
+/// block rather than an absent one — JSON diffs stay structural.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Messages lost in flight (drops + partition cuts), all kinds.
+    pub msgs_dropped: u64,
+    /// Messages duplicated in flight, all kinds.
+    pub msgs_duplicated: u64,
+    /// Remote steal probes that timed out (request or reply lost, or
+    /// the victim was dead).
+    pub steal_timeouts: u64,
+    /// Backoff retries performed after steal timeouts.
+    pub steal_retries: u64,
+    /// Reliable-channel retransmissions of task-carrying messages.
+    pub retransmissions: u64,
+    /// Tasks re-enqueued away from a failed place (fail-stop recovery).
+    pub tasks_recovered: u64,
+    /// Migrated tasks reclaimed by the victim after a lease expired
+    /// (the migration payload was lost in flight).
+    pub lease_reclaims: u64,
+    /// Places that suffered a fail-stop during the run.
+    pub places_failed: u64,
+}
+
+impl FaultSummary {
+    /// Whether the run saw no fault activity at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+
+    /// Accumulate another summary into this one.
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.msgs_dropped += other.msgs_dropped;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.steal_timeouts += other.steal_timeouts;
+        self.steal_retries += other.steal_retries;
+        self.retransmissions += other.retransmissions;
+        self.tasks_recovered += other.tasks_recovered;
+        self.lease_reclaims += other.lease_reclaims;
+        self.places_failed += other.places_failed;
+    }
+}
+
 /// Complete result of one run: application outcome metrics under one
 /// scheduler on one cluster shape.
 #[derive(Debug, Clone)]
@@ -236,6 +331,9 @@ pub struct RunReport {
     /// Latency/granularity/dormancy percentile summaries from the
     /// trace layer (all-zero when the run traced into a null sink).
     pub percentiles: RunPercentiles,
+    /// Fault-injection and recovery counters (all-zero when the run
+    /// was fault-free).
+    pub faults: FaultSummary,
 }
 
 impl_to_json!(StealCounts {
@@ -243,6 +341,14 @@ impl_to_json!(StealCounts {
     local_shared,
     remote,
     failed_attempts
+});
+impl_to_json!(KindCounts {
+    steal_requests,
+    steal_replies,
+    task_migrations,
+    data_requests,
+    data_replies,
+    control,
 });
 impl_to_json!(MessageCounts {
     steal_requests,
@@ -252,6 +358,18 @@ impl_to_json!(MessageCounts {
     data_replies,
     control,
     bytes,
+    dropped,
+    duplicated,
+});
+impl_to_json!(FaultSummary {
+    msgs_dropped,
+    msgs_duplicated,
+    steal_timeouts,
+    steal_retries,
+    retransmissions,
+    tasks_recovered,
+    lease_reclaims,
+    places_failed,
 });
 impl_to_json!(CacheSummary { accesses, misses });
 impl_to_json!(UtilizationSummary { per_place });
@@ -283,6 +401,7 @@ impl_to_json!(RunReport {
     utilization,
     remote_refs,
     percentiles,
+    faults,
 });
 
 impl RunReport {
@@ -345,6 +464,7 @@ mod tests {
             },
             remote_refs: 0,
             percentiles: RunPercentiles::default(),
+            faults: FaultSummary::default(),
         }
     }
 
@@ -439,5 +559,48 @@ mod tests {
         let p = RunPercentiles::default();
         assert_eq!(p.task_granularity_ns.count, 0);
         assert_eq!(p.steal_remote_ns.p99, 0);
+    }
+
+    #[test]
+    fn fault_summary_defaults_clean_and_merges() {
+        let mut f = FaultSummary::default();
+        assert!(f.is_clean());
+        f.merge(&FaultSummary {
+            msgs_dropped: 3,
+            steal_timeouts: 2,
+            tasks_recovered: 1,
+            ..Default::default()
+        });
+        f.merge(&FaultSummary {
+            msgs_dropped: 1,
+            places_failed: 1,
+            ..Default::default()
+        });
+        assert!(!f.is_clean());
+        assert_eq!(f.msgs_dropped, 4);
+        assert_eq!(f.steal_timeouts, 2);
+        assert_eq!(f.places_failed, 1);
+    }
+
+    #[test]
+    fn dropped_and_duplicated_ride_along_in_message_counts() {
+        let mut m = MessageCounts {
+            steal_requests: 5,
+            ..MessageCounts::default()
+        };
+        m.dropped.steal_requests = 2;
+        m.duplicated.task_migrations = 1;
+        // total() counts sent messages only; drops are a subset of
+        // sends and duplicates extra traffic tracked separately.
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.dropped.total(), 2);
+        assert_eq!(m.duplicated.total(), 1);
+        let mut other = MessageCounts::default();
+        other.dropped.control = 7;
+        m.merge(&other);
+        assert_eq!(m.dropped.total(), 9);
+        let body = distws_json::to_string_pretty(&m);
+        assert!(body.contains("\"dropped\""));
+        assert!(body.contains("\"duplicated\""));
     }
 }

@@ -1,0 +1,287 @@
+//! Seeded network fault injection.
+//!
+//! A [`FaultPlan`] describes how the interconnect misbehaves: per-edge
+//! message drop and duplication probabilities, latency jitter and
+//! spikes, and link partitions over virtual-time windows. The plan is
+//! applied inside [`crate::Network::transmit`] with its own
+//! `SplitMix64` stream, so the same `(plan, seed)` pair reproduces the
+//! exact same fault pattern — chaos runs are as deterministic as
+//! fault-free ones.
+//!
+//! An empty plan (`FaultPlan::default()`) is guaranteed to consume no
+//! random draws and to change no costs or counters: fault-free runs
+//! stay byte-identical with or without the fault machinery compiled in.
+
+use distws_core::PlaceId;
+
+/// Fault parameters of one (directed) link. All probabilities are
+/// clamped to `[0, MAX_PROB]` on construction so retransmission loops
+/// terminate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Probability a message on this link is silently dropped.
+    pub drop_p: f64,
+    /// Probability a delivered message is duplicated (the duplicate is
+    /// counted as extra traffic; receivers deduplicate by sequence
+    /// number, so duplication never changes scheduling decisions).
+    pub dup_p: f64,
+    /// Uniform extra latency in `[0, jitter_ns]` added per message.
+    pub jitter_ns: u64,
+    /// Probability of a latency spike.
+    pub spike_p: f64,
+    /// Extra latency added when a spike fires.
+    pub spike_ns: u64,
+}
+
+/// Upper bound on drop/dup probabilities — keeps the expected number
+/// of retransmissions finite (≤ 10 per message at the cap).
+pub const MAX_PROB: f64 = 0.9;
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            jitter_ns: 0,
+            spike_p: 0.0,
+            spike_ns: 0,
+        }
+    }
+}
+
+impl LinkFault {
+    /// Whether this link is perfectly reliable and deterministic.
+    pub fn is_clean(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0 && self.jitter_ns == 0 && self.spike_p == 0.0
+    }
+
+    /// Clamp probabilities into legal range.
+    pub fn clamped(mut self) -> Self {
+        self.drop_p = self.drop_p.clamp(0.0, MAX_PROB);
+        self.dup_p = self.dup_p.clamp(0.0, MAX_PROB);
+        self.spike_p = self.spike_p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// A symmetric link cut between two places over a virtual-time window:
+/// every message between `a` and `b` (either direction) sent while
+/// `from_ns <= now < until_ns` is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// One endpoint.
+    pub a: PlaceId,
+    /// The other endpoint.
+    pub b: PlaceId,
+    /// Window start (inclusive), virtual ns.
+    pub from_ns: u64,
+    /// Window end (exclusive), virtual ns.
+    pub until_ns: u64,
+}
+
+impl Partition {
+    /// Whether a message `src → dst` at virtual time `now` is cut.
+    pub fn cuts(&self, now: u64, src: PlaceId, dst: PlaceId) -> bool {
+        let on_link = (src == self.a && dst == self.b) || (src == self.b && dst == self.a);
+        on_link && now >= self.from_ns && now < self.until_ns
+    }
+}
+
+/// The full network fault specification: a default link fault, sparse
+/// per-edge overrides, and partitions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Fault parameters of every link without an override.
+    pub default: LinkFault,
+    /// Directed per-edge overrides `(src, dst) → LinkFault`.
+    pub edges: Vec<((PlaceId, PlaceId), LinkFault)>,
+    /// Link cuts over virtual-time windows.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan dropping every message with probability `p` on every
+    /// link (the simplest lossy-network model).
+    pub fn uniform_loss(p: f64) -> Self {
+        FaultPlan {
+            default: LinkFault {
+                drop_p: p,
+                ..LinkFault::default()
+            }
+            .clamped(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether the plan injects no fault at all. An empty plan makes
+    /// [`crate::Network::transmit`] behave exactly like
+    /// [`crate::Network::send`], consuming no random draws.
+    pub fn is_empty(&self) -> bool {
+        self.default.is_clean()
+            && self.edges.iter().all(|(_, l)| l.is_clean())
+            && self.partitions.is_empty()
+    }
+
+    /// The fault parameters of the directed edge `src → dst`.
+    pub fn link(&self, src: PlaceId, dst: PlaceId) -> LinkFault {
+        self.edges
+            .iter()
+            .find(|((s, d), _)| *s == src && *d == dst)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default)
+    }
+
+    /// Override the fault parameters of the directed edge `src → dst`.
+    pub fn set_edge(&mut self, src: PlaceId, dst: PlaceId, link: LinkFault) {
+        let link = link.clamped();
+        if let Some(e) = self
+            .edges
+            .iter_mut()
+            .find(|((s, d), _)| *s == src && *d == dst)
+        {
+            e.1 = link;
+        } else {
+            self.edges.push(((src, dst), link));
+        }
+    }
+
+    /// Whether a message `src → dst` at `now` falls inside a partition
+    /// window.
+    pub fn partitioned(&self, now: u64, src: PlaceId, dst: PlaceId) -> bool {
+        self.partitions.iter().any(|p| p.cuts(now, src, dst))
+    }
+
+    /// A copy with every probabilistic intensity (drop, dup, spike
+    /// probability and jitter) multiplied by `level` in `[0, 1]`.
+    /// Structural faults (partitions) are kept when `level > 0` and
+    /// removed at `level == 0` — they are binary, not graded.
+    pub fn scaled(&self, level: f64) -> FaultPlan {
+        let level = level.clamp(0.0, 1.0);
+        let scale = |l: LinkFault| {
+            LinkFault {
+                drop_p: l.drop_p * level,
+                dup_p: l.dup_p * level,
+                jitter_ns: (l.jitter_ns as f64 * level) as u64,
+                spike_p: l.spike_p * level,
+                spike_ns: l.spike_ns,
+            }
+            .clamped()
+        };
+        FaultPlan {
+            default: scale(self.default),
+            edges: self.edges.iter().map(|(e, l)| (*e, scale(*l))).collect(),
+            partitions: if level > 0.0 {
+                self.partitions.clone()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+/// Outcome of one [`crate::Network::transmit`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// The message reached the destination after `cost_ns` virtual ns.
+    Delivered {
+        /// One-way delivery latency, including any jitter or spike.
+        cost_ns: u64,
+    },
+    /// The message was lost (random drop or partition window). The
+    /// send itself is still counted — the sender paid for it.
+    Dropped,
+}
+
+impl SendFate {
+    /// The delivery cost, or `None` if the message was lost.
+    pub fn cost(self) -> Option<u64> {
+        match self {
+            SendFate::Delivered { cost_ns } => Some(cost_ns),
+            SendFate::Dropped => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_detection() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::uniform_loss(0.0).is_empty());
+        assert!(!FaultPlan::uniform_loss(0.01).is_empty());
+        let mut plan = FaultPlan::default();
+        plan.partitions.push(Partition {
+            a: PlaceId(0),
+            b: PlaceId(1),
+            from_ns: 0,
+            until_ns: 10,
+        });
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let plan = FaultPlan::uniform_loss(5.0);
+        assert_eq!(plan.default.drop_p, MAX_PROB);
+    }
+
+    #[test]
+    fn edge_override_takes_precedence() {
+        let mut plan = FaultPlan::uniform_loss(0.1);
+        plan.set_edge(
+            PlaceId(0),
+            PlaceId(1),
+            LinkFault {
+                drop_p: 0.5,
+                ..LinkFault::default()
+            },
+        );
+        assert_eq!(plan.link(PlaceId(0), PlaceId(1)).drop_p, 0.5);
+        // Directed: the reverse edge keeps the default.
+        assert_eq!(plan.link(PlaceId(1), PlaceId(0)).drop_p, 0.1);
+        // Re-setting replaces rather than duplicates.
+        plan.set_edge(PlaceId(0), PlaceId(1), LinkFault::default());
+        assert_eq!(plan.edges.len(), 1);
+        assert_eq!(plan.link(PlaceId(0), PlaceId(1)).drop_p, 0.0);
+    }
+
+    #[test]
+    fn partition_windows_are_half_open_and_symmetric() {
+        let p = Partition {
+            a: PlaceId(0),
+            b: PlaceId(2),
+            from_ns: 100,
+            until_ns: 200,
+        };
+        assert!(!p.cuts(99, PlaceId(0), PlaceId(2)));
+        assert!(p.cuts(100, PlaceId(0), PlaceId(2)));
+        assert!(p.cuts(199, PlaceId(2), PlaceId(0)), "symmetric");
+        assert!(!p.cuts(200, PlaceId(0), PlaceId(2)), "end exclusive");
+        assert!(!p.cuts(150, PlaceId(0), PlaceId(1)), "other link");
+    }
+
+    #[test]
+    fn scaling_grades_probabilities_and_gates_partitions() {
+        let mut plan = FaultPlan::uniform_loss(0.04);
+        plan.default.jitter_ns = 1_000;
+        plan.partitions.push(Partition {
+            a: PlaceId(0),
+            b: PlaceId(1),
+            from_ns: 0,
+            until_ns: 10,
+        });
+        let half = plan.scaled(0.5);
+        assert!((half.default.drop_p - 0.02).abs() < 1e-12);
+        assert_eq!(half.default.jitter_ns, 500);
+        assert_eq!(half.partitions.len(), 1);
+        let zero = plan.scaled(0.0);
+        assert!(zero.is_empty());
+    }
+}

@@ -31,11 +31,13 @@ mod worker;
 
 pub use board::SharedBoard;
 
+use distws_core::rng::SplitMix64;
 use distws_core::{
-    ClusterConfig, PlaceId, RunReport, StealCounts, TaskSpec, UtilizationSummary, Workload,
+    ClusterConfig, FaultSummary, PlaceId, RunReport, StealCounts, TaskSpec, UtilizationSummary,
+    Workload,
 };
 use distws_deque::SharedFifo;
-use distws_sched::Policy;
+use distws_sched::{Policy, RetryPolicy};
 use distws_trace::SharedSink;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +56,21 @@ pub struct RuntimeConfig {
     pub net_delay: Option<Duration>,
     /// Seed for the per-worker policy RNGs.
     pub seed: u64,
+    /// Probability that a cross-place delivery is "lost" on its first
+    /// transmission. The runtime's inbox is shared memory, so loss is
+    /// emulated sender-side: each loss delays the delivery by one
+    /// retransmission round ([`RetryPolicy::timeout_ns`]) and bumps
+    /// the drop/retransmission counters — the task itself is never
+    /// lost, keeping exactly-once execution by construction. Clamped
+    /// to 0.9 so retransmission always terminates.
+    pub drop_p: f64,
+    /// Timeout/backoff parameters for emulated loss and for remote
+    /// steal retries in the workers.
+    pub retry: RetryPolicy,
+    /// Retries against an empty remote victim before falling through
+    /// to the next victim (0 = probe once, matching the historical
+    /// behavior).
+    pub steal_retry_budget: u32,
 }
 
 impl RuntimeConfig {
@@ -63,6 +80,9 @@ impl RuntimeConfig {
             cluster,
             net_delay: None,
             seed: 0x5EED,
+            drop_p: 0.0,
+            retry: RetryPolicy::default(),
+            steal_retry_budget: 0,
         }
     }
 }
@@ -87,6 +107,19 @@ pub(crate) struct RunShared {
     pub steals_failed: AtomicU64,
     pub messages: AtomicU64,
     pub total_est_ns: AtomicU64,
+    // fault emulation
+    /// First-transmission loss probability for cross-place deliveries.
+    pub drop_p: f64,
+    pub retry: RetryPolicy,
+    /// Empty-victim retries per remote probe before moving on.
+    pub steal_retry_budget: u32,
+    /// Seeded stream deciding which deliveries are "lost". A mutex is
+    /// fine: it is touched only on cross-place sends when `drop_p > 0`.
+    pub drop_rng: Mutex<SplitMix64>,
+    pub msgs_dropped: AtomicU64,
+    pub retransmissions: AtomicU64,
+    pub steal_timeouts: AtomicU64,
+    pub steal_retries: AtomicU64,
     /// Trace sink shared by all workers (null unless
     /// [`Runtime::run_roots_traced`] was used).
     pub trace: SharedSink,
@@ -130,10 +163,22 @@ impl RunShared {
         if cross_place {
             // `async at (p)`: a network delivery.
             self.messages.fetch_add(1, Ordering::Relaxed);
-            let ready = match self.net_delay {
+            let mut ready = match self.net_delay {
                 Some(d) => Instant::now() + d,
                 None => Instant::now(),
             };
+            if self.drop_p > 0.0 {
+                // Emulated loss: the sender keeps retransmitting until
+                // a transmission "arrives", so the delivery is delayed
+                // by one timeout per loss but never actually lost.
+                let p = self.drop_p.min(0.9);
+                let mut rng = self.drop_rng.lock().unwrap();
+                while rng.next_f64() < p {
+                    self.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.retransmissions.fetch_add(1, Ordering::Relaxed);
+                    ready += Duration::from_nanos(self.retry.timeout_ns.max(1));
+                }
+            }
             self.inbox[home.index()]
                 .lock()
                 .unwrap()
@@ -219,6 +264,14 @@ impl Runtime {
             steals_failed: AtomicU64::new(0),
             messages: AtomicU64::new(0),
             total_est_ns: AtomicU64::new(0),
+            drop_p: self.cfg.drop_p,
+            retry: self.cfg.retry,
+            steal_retry_budget: self.cfg.steal_retry_budget,
+            drop_rng: Mutex::new(SplitMix64::new(self.cfg.seed ^ 0xFA17)),
+            msgs_dropped: AtomicU64::new(0),
+            retransmissions: AtomicU64::new(0),
+            steal_timeouts: AtomicU64::new(0),
+            steal_retries: AtomicU64::new(0),
             trace: sink,
             epoch: Instant::now(),
         });
@@ -294,6 +347,13 @@ impl Runtime {
             cache: Default::default(),
             utilization: UtilizationSummary { per_place },
             remote_refs: 0,
+            faults: FaultSummary {
+                msgs_dropped: shared.msgs_dropped.load(Ordering::Relaxed),
+                retransmissions: shared.retransmissions.load(Ordering::Relaxed),
+                steal_timeouts: shared.steal_timeouts.load(Ordering::Relaxed),
+                steal_retries: shared.steal_retries.load(Ordering::Relaxed),
+                ..Default::default()
+            },
             percentiles: distws_core::RunPercentiles {
                 steal_local_private_ns: merged.steal_local_private.summary(),
                 steal_local_shared_ns: merged.steal_local_shared.summary(),
@@ -413,6 +473,66 @@ mod tests {
         let report = rt.run_roots("latch", roots);
         assert_eq!(flag.load(Ordering::Relaxed), 1_010);
         assert_eq!(report.tasks_executed, 11);
+    }
+
+    #[test]
+    fn lossy_delivery_never_loses_tasks() {
+        // 40 cross-place spawns under 40% emulated loss: every task
+        // must still execute exactly once (loss only delays delivery),
+        // and the report must account for the drops.
+        let counter = Arc::new(A64::new(0));
+        let c0 = Arc::clone(&counter);
+        let root = TaskSpec::new(PlaceId(0), Locality::Sensitive, 0, "root", move |s| {
+            for i in 0..40u32 {
+                let c = Arc::clone(&c0);
+                s.spawn(TaskSpec::new(
+                    PlaceId(1 + i % 3),
+                    Locality::Sensitive,
+                    0,
+                    "remote",
+                    move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    },
+                ));
+            }
+        });
+        let mut cfg = RuntimeConfig::new(ClusterConfig::new(4, 1));
+        cfg.drop_p = 0.4;
+        cfg.retry.timeout_ns = 50_000;
+        let mut rt = Runtime::with_config(cfg, Box::new(X10Ws));
+        let report = rt.run_roots("lossy", vec![root]);
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+        assert_eq!(report.tasks_spawned, report.tasks_executed);
+        assert!(
+            report.faults.msgs_dropped > 0,
+            "40% loss over 40 deliveries must drop something"
+        );
+        assert_eq!(report.faults.msgs_dropped, report.faults.retransmissions);
+    }
+
+    #[test]
+    fn steal_retry_budget_is_exercised_and_bounded() {
+        // Root keeps one worker busy while the others probe remotely;
+        // with a retry budget the probes against empty victims must
+        // back off and recount, and the run must still terminate.
+        let counter = Arc::new(A64::new(0));
+        let roots: Vec<TaskSpec> = (0..20)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                TaskSpec::new(PlaceId(0), Locality::Flexible, 10_000, "t", move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(50));
+                })
+            })
+            .collect();
+        let mut cfg = RuntimeConfig::new(ClusterConfig::new(2, 2));
+        cfg.steal_retry_budget = 2;
+        cfg.retry.backoff_base_ns = 1_000;
+        cfg.retry.backoff_max_ns = 4_000;
+        let mut rt = Runtime::with_config(cfg, Box::new(DistWs::default()));
+        let report = rt.run_roots("retry", roots);
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+        assert_eq!(report.faults.steal_timeouts, report.faults.steal_retries);
     }
 
     #[test]

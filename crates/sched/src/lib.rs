@@ -31,11 +31,13 @@
 pub mod adaptive;
 pub mod lifeline;
 pub mod policies;
+pub mod retry;
 pub mod view;
 
 pub use adaptive::AdaptiveWs;
 pub use lifeline::LifelineWs;
 pub use policies::{ChunkPolicy, DistWs, DistWsNs, RandomWs, VictimOrder, X10Ws};
+pub use retry::RetryPolicy;
 pub use view::{ClusterView, DequeChoice, StealStep, TaskMeta};
 
 use distws_core::rng::SplitMix64;

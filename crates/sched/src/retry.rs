@@ -1,0 +1,110 @@
+//! Timeout/backoff policy for remote steal probes.
+//!
+//! On a reliable interconnect a steal probe always answers, so the
+//! thief can block on the reply. Under loss or place failure the reply
+//! may never come: the thief waits [`RetryPolicy::timeout_ns`], then
+//! either retries the same victim after an exponential backoff with
+//! jitter (while its retry budget lasts) or falls through to the next
+//! victim in the steal order. The same policy is shared by the
+//! discrete-event simulator (virtual time) and the threaded runtime
+//! (wall-clock time) so both degrade the same way.
+
+use distws_core::SplitMix64;
+
+/// Timeout, backoff and retry-budget parameters for one remote probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long a thief waits for a steal reply before declaring the
+    /// probe lost. Should comfortably exceed one network round trip.
+    pub timeout_ns: u64,
+    /// Backoff before retry `n` is `base << (n-1)`, capped at
+    /// [`Self::backoff_max_ns`].
+    pub backoff_base_ns: u64,
+    /// Upper bound on the exponential backoff.
+    pub backoff_max_ns: u64,
+    /// Uniform random extra `[0, jitter_ns]` added to every backoff so
+    /// synchronized thieves don't re-collide.
+    pub jitter_ns: u64,
+    /// Retries against the *same* victim after the first timeout
+    /// before giving up and moving to the next victim. 0 disables
+    /// retrying (timeout once, move on).
+    pub budget: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Tuned to the default CostModel: one-way latency 5 µs, so a
+        // probe round trip is ~10 µs; time out at 3× that.
+        RetryPolicy {
+            timeout_ns: 30_000,
+            backoff_base_ns: 10_000,
+            backoff_max_ns: 160_000,
+            jitter_ns: 5_000,
+            budget: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before retry `attempt` (1-based): exponential in
+    /// the attempt number, capped, plus uniform jitter drawn from
+    /// `rng`. Draws from `rng` only when `jitter_ns > 0`.
+    pub fn backoff_ns(&self, attempt: u32, rng: &mut SplitMix64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        let exp = self
+            .backoff_base_ns
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_max_ns);
+        let jitter = if self.jitter_ns > 0 {
+            rng.below(self.jitter_ns + 1)
+        } else {
+            0
+        };
+        exp + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let p = RetryPolicy {
+            jitter_ns: 0,
+            ..Default::default()
+        };
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(p.backoff_ns(1, &mut rng), 10_000);
+        assert_eq!(p.backoff_ns(2, &mut rng), 20_000);
+        assert_eq!(p.backoff_ns(3, &mut rng), 40_000);
+        assert_eq!(p.backoff_ns(10, &mut rng), 160_000, "capped");
+        assert_eq!(p.backoff_ns(64, &mut rng), 160_000, "shift saturates");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let p = RetryPolicy::default();
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for attempt in 1..=6u32 {
+            let x = p.backoff_ns(attempt, &mut a);
+            let y = p.backoff_ns(attempt, &mut b);
+            assert_eq!(x, y, "same seed, same backoff");
+            let exp = (p.backoff_base_ns << (attempt - 1)).min(p.backoff_max_ns);
+            assert!((exp..=exp + p.jitter_ns).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_draws_nothing() {
+        let p = RetryPolicy {
+            jitter_ns: 0,
+            ..Default::default()
+        };
+        let mut rng = SplitMix64::new(3);
+        let before = rng.clone();
+        let _ = p.backoff_ns(2, &mut rng);
+        assert_eq!(rng, before, "no random draw without jitter");
+    }
+}

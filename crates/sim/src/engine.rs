@@ -1,15 +1,17 @@
 //! The discrete-event engine.
 
+use crate::faults::FaultConfig;
 use crate::scope::SimScope;
 use distws_cachesim::{Cache, CacheConfig};
 use distws_core::rng::SplitMix64;
 use distws_core::{
-    CacheSummary, ClusterConfig, CostModel, FinishLatch, Footprint, GlobalWorkerId, Locality,
-    PlaceId, RunReport, StealCounts, TaskBody, TaskId, TaskSpec, UtilizationSummary, Workload,
+    CacheSummary, ClusterConfig, CostModel, FaultSummary, FinishLatch, Footprint, GlobalWorkerId,
+    Locality, PlaceId, RunReport, StealCounts, TaskBody, TaskId, TaskSpec, UtilizationSummary,
+    Workload,
 };
 use distws_deque::{SeqPrivateDeque, SeqSharedFifo};
-use distws_netsim::{MsgKind, Network, Topology};
-use distws_sched::{ClusterView, DequeChoice, Policy, StealStep, TaskMeta};
+use distws_netsim::{MsgKind, Network, SendFate, Topology};
+use distws_sched::{ClusterView, DequeChoice, Policy, RetryPolicy, StealStep, TaskMeta};
 use distws_trace::{
     Histogram, MessageKind, NullSink, PlaceSample, StealTier, TimeSeries, TraceEvent,
     TraceEventKind, TraceSink,
@@ -51,6 +53,10 @@ pub struct SimConfig {
     /// default) disables sampling; `Some(dt)` makes traced runs return
     /// a per-place queue-depth/utilization [`TimeSeries`].
     pub sample_interval_ns: Option<u64>,
+    /// Fault injection. The default is empty, and an empty config is
+    /// guaranteed not to change a single virtual-time value, counter
+    /// or random draw relative to a fault-free build.
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -65,6 +71,7 @@ impl SimConfig {
             remote_wake_limit: 4,
             max_events: 500_000_000,
             sample_interval_ns: None,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -175,6 +182,11 @@ enum EventKind {
     /// Prod a parked worker to retry acquiring work. `strong` also
     /// wakes quiesced (lifeline) workers.
     Wake(GlobalWorkerId, bool),
+    /// Fail-stop: the place's queued tasks are recovered elsewhere,
+    /// its workers halt at the next task boundary.
+    PlaceFail(PlaceId),
+    /// A killed place rejoins the cluster empty-handed.
+    PlaceRestart(PlaceId),
 }
 
 struct Event {
@@ -301,6 +313,21 @@ struct Engine<'p> {
     running: Vec<Option<TaskId>>,
     /// When each parked worker went dormant/quiesced (dormancy hist).
     parked_since: Vec<Option<u64>>,
+    /// Fault injection. `faulty` caches "the fault config is
+    /// non-empty": every fault code path is gated on it so a fault-free
+    /// run takes the exact pre-fault-injection instruction sequence
+    /// (no extra random draws, costs or counters).
+    faulty: bool,
+    alive: Vec<bool>,
+    /// Per-place straggler multiplier (1.0 = nominal speed).
+    slow: Vec<f64>,
+    /// Dedicated stream for backoff jitter — independent of both the
+    /// scheduling RNG and the network's drop/dup stream.
+    fault_rng: SplitMix64,
+    fault_stats: FaultSummary,
+    retry: RetryPolicy,
+    detect_ns: u64,
+    lease_timeout_ns: u64,
 }
 
 impl<'p> Engine<'p> {
@@ -328,7 +355,7 @@ impl<'p> Engine<'p> {
                 rr: 0,
             })
             .collect();
-        Engine {
+        let mut engine = Engine {
             cfg: cfg.clone(),
             policy,
             rng: SplitMix64::new(cfg.seed),
@@ -345,6 +372,7 @@ impl<'p> Engine<'p> {
             net: {
                 let mut net = Network::new(cluster.places, cfg.cost.clone(), cfg.topology);
                 net.set_recording(trace.enabled());
+                net.set_fault_plan(cfg.faults.net.clone(), cfg.faults.seed);
                 net
             },
             steals: StealCounts::default(),
@@ -363,7 +391,40 @@ impl<'p> Engine<'p> {
             hists: Hists::default(),
             running: vec![None; nw],
             parked_since: vec![None; nw],
+            faulty: !cfg.faults.is_empty(),
+            alive: vec![true; np],
+            slow: {
+                let mut slow = vec![1.0; np];
+                for (p, f) in &cfg.faults.slow {
+                    slow[p.index()] = *f;
+                }
+                slow
+            },
+            // Offset so the backoff jitter stream never mirrors the
+            // network's drop/dup stream even though both derive from
+            // the same fault seed.
+            fault_rng: SplitMix64::new(cfg.faults.seed ^ 0x9E3779B97F4A7C15),
+            fault_stats: FaultSummary::default(),
+            retry: cfg.faults.retry,
+            detect_ns: cfg.faults.detect_ns,
+            lease_timeout_ns: cfg.faults.lease_timeout_ns,
+        };
+        if engine.faulty {
+            engine
+                .cfg
+                .faults
+                .validate(engine.cfg.cluster.places)
+                .unwrap_or_else(|e| panic!("invalid fault config: {e}"));
+            let kills = engine.cfg.faults.kills.clone();
+            for (p, at) in kills {
+                engine.schedule(at, EventKind::PlaceFail(p));
+            }
+            let restarts = engine.cfg.faults.restarts.clone();
+            for (p, at) in restarts {
+                engine.schedule(at, EventKind::PlaceRestart(p));
+            }
         }
+        engine
     }
 
     // -- telemetry -----------------------------------------------------------
@@ -395,6 +456,7 @@ impl<'p> Engine<'p> {
                     kind: trace_msg_kind(m.kind),
                     to: m.dst,
                     bytes: m.bytes,
+                    dropped: m.dropped,
                 },
             });
         }
@@ -454,6 +516,128 @@ impl<'p> Engine<'p> {
         }
     }
 
+    // -- fault machinery -----------------------------------------------------
+
+    /// Reliable cross-place send of a task-carrying message: the
+    /// sender retransmits after an ack timeout until one copy gets
+    /// through. Returns the total delay from `now` to delivery. With
+    /// no faults installed this is exactly [`Network::send`].
+    fn reliable_send(
+        &mut self,
+        now: u64,
+        src: PlaceId,
+        dst: PlaceId,
+        kind: MsgKind,
+        bytes: u64,
+    ) -> u64 {
+        if !self.faulty {
+            return self.net.send(src, dst, kind, bytes);
+        }
+        let mut delay = 0u64;
+        let mut attempts = 0u32;
+        loop {
+            match self.net.transmit(now + delay, src, dst, kind, bytes) {
+                SendFate::Delivered { cost_ns } => return delay + cost_ns,
+                SendFate::Dropped => {
+                    self.fault_stats.retransmissions += 1;
+                    delay += self.retry.timeout_ns.max(1);
+                    attempts += 1;
+                    assert!(
+                        attempts < 100_000,
+                        "reliable send {src:?}->{dst:?} starved — is a partition window unbounded?"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-enqueue a task stranded at the failed place `from`: back to
+    /// its origin home if that place is alive, else to place 0 (which
+    /// can never be killed). The task has not started executing, so
+    /// re-enqueueing preserves exactly-once.
+    fn recover_task(&mut self, now: u64, mut task: Task, from: PlaceId) {
+        let target = if self.alive[task.origin_home.index()] {
+            task.origin_home
+        } else {
+            PlaceId(0)
+        };
+        task.exec_home = target;
+        task.carried = false;
+        self.fault_stats.tasks_recovered += 1;
+        if self.tracing {
+            let w = self.cfg.cluster.global(from, distws_core::WorkerId(0));
+            self.emit(
+                now,
+                w,
+                TraceEventKind::TaskRecover {
+                    task: task.id,
+                    from,
+                    to: target,
+                },
+            );
+        }
+        self.schedule(now + self.detect_ns, EventKind::Arrive(task));
+    }
+
+    fn on_place_fail(&mut self, now: u64, p: PlaceId) {
+        if !self.alive[p.index()] {
+            return;
+        }
+        self.alive[p.index()] = false;
+        self.fault_stats.places_failed += 1;
+        if self.tracing {
+            let w = self.cfg.cluster.global(p, distws_core::WorkerId(0));
+            self.emit(now, w, TraceEventKind::PlaceFail);
+        }
+        // Recover the place's queued (never-started) tasks: shared
+        // FIFO first, then each worker's private deque.
+        while let Some(t) = self.places[p.index()].shared.take() {
+            self.recover_task(now, t, p);
+        }
+        self.board.shared_len[p.index()] = 0;
+        let wpp = self.cfg.cluster.workers_per_place;
+        for i in 0..wpp {
+            let w = self.cfg.cluster.global(p, distws_core::WorkerId(i));
+            while let Some(t) = self.workers[w.index()].deque.pop() {
+                self.recover_task(now, t, p);
+            }
+            self.board.private_len[w.index()] = 0;
+            // Busy workers finish their current task (bodies already
+            // ran — side effects exist) and halt at the Free boundary;
+            // parked ones halt immediately.
+            if self.workers[w.index()].status != WorkerStatus::Busy {
+                self.unclaim(w);
+                self.workers[w.index()].status = WorkerStatus::Dormant;
+            }
+        }
+        // No lifeline pushes to or from a dead place.
+        self.places[p.index()].lifeline_dependents.clear();
+        for place in &mut self.places {
+            place.lifeline_dependents.retain(|d| *d != p);
+        }
+    }
+
+    fn on_place_restart(&mut self, now: u64, p: PlaceId) {
+        if self.alive[p.index()] {
+            return;
+        }
+        self.alive[p.index()] = true;
+        if self.tracing {
+            let w = self.cfg.cluster.global(p, distws_core::WorkerId(0));
+            self.emit(now, w, TraceEventKind::PlaceRestart);
+        }
+        // The place rejoins empty-handed: its workers resume the steal
+        // loop with a small stagger.
+        let wpp = self.cfg.cluster.workers_per_place;
+        for i in 0..wpp {
+            let w = self.cfg.cluster.global(p, distws_core::WorkerId(i));
+            let ws = &mut self.workers[w.index()];
+            ws.status = WorkerStatus::Dormant;
+            ws.avail_at = ws.avail_at.max(now);
+            self.wake(now, w, self.cfg.cost.shared_deque_op_ns + w.0 as u64, true);
+        }
+    }
+
     fn schedule(&mut self, time: u64, kind: EventKind) {
         self.seq += 1;
         self.heap.push(Event {
@@ -503,7 +687,7 @@ impl<'p> Engine<'p> {
                 self.schedule(0, EventKind::Arrive(task));
             } else {
                 let bytes = self.cfg.cost.closure_bytes + fp;
-                let cost = self.net.send(PlaceId(0), home, MsgKind::TaskMigrate, bytes);
+                let cost = self.reliable_send(0, PlaceId(0), home, MsgKind::TaskMigrate, bytes);
                 self.drain_net(0, main);
                 self.schedule(cost, EventKind::Arrive(task));
             }
@@ -527,6 +711,8 @@ impl<'p> Engine<'p> {
                 EventKind::Arrive(task) => self.map_and_enqueue(now, task),
                 EventKind::Free(w) => self.on_free(now, w),
                 EventKind::Wake(w, strong) => self.on_wake(now, w, strong),
+                EventKind::PlaceFail(p) => self.on_place_fail(now, p),
+                EventKind::PlaceRestart(p) => self.on_place_restart(now, p),
             }
         }
         if self.series.is_some() {
@@ -608,11 +794,18 @@ impl<'p> Engine<'p> {
                     self.schedule(now, EventKind::Arrive(task));
                 } else {
                     let bytes = self.cfg.cost.closure_bytes + fp;
-                    let cost = self.net.send(here, cont_home, MsgKind::TaskMigrate, bytes);
+                    let cost =
+                        self.reliable_send(now, here, cont_home, MsgKind::TaskMigrate, bytes);
                     self.drain_net(now, w);
                     self.schedule(now + cost, EventKind::Arrive(task));
                 }
             }
+        }
+        // A worker on a failed place flushes its finished task (the
+        // body already ran) and halts instead of stealing again.
+        if self.faulty && !self.alive[self.place_of(w).index()] {
+            self.unclaim(w);
+            return;
         }
         self.acquire(now, w);
     }
@@ -621,6 +814,12 @@ impl<'p> Engine<'p> {
 
     fn map_and_enqueue(&mut self, now: u64, task: Task) {
         let place = task.exec_home;
+        // A task landing at a dead place was in flight when the place
+        // failed (or was queued behind the failure event): recover it.
+        if self.faulty && !self.alive[place.index()] {
+            self.recover_task(now, task, place);
+            return;
+        }
         let meta = TaskMeta {
             home: place,
             locality: task.locality,
@@ -644,9 +843,16 @@ impl<'p> Engine<'p> {
                 if self.policy.uses_lifelines()
                     && !self.places[place.index()].lifeline_dependents.is_empty()
                 {
-                    let q = self.places[place.index()].lifeline_dependents.remove(0);
-                    self.push_to_lifeline(now, place, q, task);
-                    return;
+                    // Dead dependents were purged at fail time, but a
+                    // dependent may die between purge and push; skip
+                    // any that did.
+                    while let Some(&q) = self.places[place.index()].lifeline_dependents.first() {
+                        self.places[place.index()].lifeline_dependents.remove(0);
+                        if self.alive[q.index()] {
+                            self.push_to_lifeline(now, place, q, task);
+                            return;
+                        }
+                    }
                 }
                 self.places[place.index()].shared.push(task);
                 self.board.shared_len[place.index()] += 1;
@@ -734,7 +940,8 @@ impl<'p> Engine<'p> {
             "lifeline push of non-migratable task"
         );
         let bytes = task.footprint.total_bytes();
-        let cost = self.net.send(
+        let cost = self.reliable_send(
+            now,
             from,
             to,
             MsgKind::TaskMigrate,
@@ -765,6 +972,12 @@ impl<'p> Engine<'p> {
 
     fn acquire(&mut self, now: u64, w: GlobalWorkerId) {
         let place = self.place_of(w);
+        // A worker on a dead place never steals again (until restart).
+        if self.faulty && !self.alive[place.index()] {
+            self.unclaim(w);
+            self.workers[w.index()].status = WorkerStatus::Dormant;
+            return;
+        }
         // Serialize this worker's activities: a steal round cannot
         // start before the previous round / task ended.
         let now = now.max(self.workers[w.index()].avail_at);
@@ -863,6 +1076,13 @@ impl<'p> Engine<'p> {
                                 tier: StealTier::Remote,
                             },
                         );
+                    }
+                    if self.faulty {
+                        self.remote_steal_faulty(now, &mut overhead, w, place, victim, &mut got);
+                        if got.is_some() {
+                            break;
+                        }
+                        continue;
                     }
                     if self.board.shared_len[victim.index()] == 0 {
                         overhead += self.net.failed_steal(place, victim);
@@ -974,6 +1194,161 @@ impl<'p> Engine<'p> {
         }
     }
 
+    /// Fault-tolerant remote steal probe (Algorithm 1 line 24 under an
+    /// unreliable interconnect). The probe carries a timeout: a lost
+    /// request, lost reply, lost migration payload or dead victim all
+    /// surface as a timeout, after which the thief backs off
+    /// exponentially (with jitter) and retries the same victim while
+    /// its budget lasts, then falls through to the next victim in the
+    /// steal order. A chunk whose migration payload is lost stays
+    /// owned by the victim (lease): it is re-enqueued there once the
+    /// lease expires — never lost, never double-run.
+    fn remote_steal_faulty(
+        &mut self,
+        now: u64,
+        overhead: &mut u64,
+        w: GlobalWorkerId,
+        place: PlaceId,
+        victim: PlaceId,
+        got: &mut Option<Task>,
+    ) {
+        let retry = self.retry;
+        let mut attempt: u32 = 1;
+        loop {
+            let send_t = now + *overhead;
+            let req = self
+                .net
+                .transmit(send_t, place, victim, MsgKind::StealRequest, 64);
+            // A dead victim never answers, whatever happened to the
+            // request on the wire.
+            if self.alive[victim.index()] {
+                if let SendFate::Delivered { cost_ns: c_req } = req {
+                    if self.board.shared_len[victim.index()] == 0 {
+                        if let SendFate::Delivered { cost_ns: c_rep } = self.net.transmit(
+                            send_t + c_req,
+                            victim,
+                            place,
+                            MsgKind::StealReply,
+                            16,
+                        ) {
+                            // Clean round trip, empty victim: behave
+                            // exactly like the fault-free failed probe.
+                            *overhead += c_req + c_rep;
+                            self.drain_net(now + *overhead, w);
+                            self.steals.failed_attempts += 1;
+                            return;
+                        }
+                        // Reply lost → thief times out below.
+                    } else {
+                        let victim_len = self.board.shared_len[victim.index()];
+                        let chunk = self.policy.remote_chunk_for(victim_len);
+                        let tasks = self.places[victim.index()].shared.take_chunk(chunk);
+                        self.board.shared_len[victim.index()] -= tasks.len();
+                        let mut bytes = 0;
+                        for t in &tasks {
+                            assert!(
+                                self.policy.may_migrate(t.locality),
+                                "policy {} migrated a non-migratable task",
+                                self.policy.name()
+                            );
+                            bytes += self.cfg.cost.closure_bytes + t.footprint.total_bytes();
+                        }
+                        match self.net.transmit(
+                            send_t + c_req,
+                            victim,
+                            place,
+                            MsgKind::TaskMigrate,
+                            bytes,
+                        ) {
+                            SendFate::Delivered { cost_ns: c_mig } => {
+                                *overhead += c_req + c_mig;
+                                self.drain_net(now + *overhead, w);
+                                self.steals.remote += tasks.len() as u64;
+                                let mut iter = tasks.into_iter();
+                                if let Some(mut first) = iter.next() {
+                                    first.exec_home = place;
+                                    first.carried = true;
+                                    self.hists.steal_remote.record(*overhead);
+                                    if self.tracing {
+                                        self.emit(
+                                            now + *overhead,
+                                            w,
+                                            TraceEventKind::StealSuccess {
+                                                tier: StealTier::Remote,
+                                                task: first.id,
+                                                victim,
+                                                latency_ns: *overhead,
+                                            },
+                                        );
+                                        self.emit(
+                                            now + *overhead,
+                                            w,
+                                            TraceEventKind::Migration {
+                                                task: first.id,
+                                                from: victim,
+                                                to: place,
+                                            },
+                                        );
+                                    }
+                                    *got = Some(first);
+                                }
+                                let arrive_at = now + *overhead;
+                                for mut t in iter {
+                                    t.exec_home = place;
+                                    t.carried = true;
+                                    if self.tracing {
+                                        self.emit(
+                                            arrive_at,
+                                            w,
+                                            TraceEventKind::Migration {
+                                                task: t.id,
+                                                from: victim,
+                                                to: place,
+                                            },
+                                        );
+                                    }
+                                    self.schedule(arrive_at, EventKind::Arrive(t));
+                                }
+                                return;
+                            }
+                            SendFate::Dropped => {
+                                // Migration payload lost. The victim
+                                // retains ownership of the chunk via
+                                // its lease table and re-enqueues the
+                                // tasks (still homed there) when the
+                                // lease expires; the thief times out.
+                                self.fault_stats.lease_reclaims += tasks.len() as u64;
+                                let reclaim_at = send_t + c_req + self.lease_timeout_ns;
+                                for t in tasks {
+                                    self.schedule(reclaim_at, EventKind::Arrive(t));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Timeout: request, reply or payload never arrived — or
+            // the victim is dead.
+            self.drain_net(send_t, w);
+            *overhead += retry.timeout_ns;
+            self.fault_stats.steal_timeouts += 1;
+            self.steals.failed_attempts += 1;
+            if self.tracing {
+                self.emit(
+                    now + *overhead,
+                    w,
+                    TraceEventKind::StealTimeout { victim, attempt },
+                );
+            }
+            if attempt > retry.budget {
+                return;
+            }
+            attempt += 1;
+            self.fault_stats.steal_retries += 1;
+            *overhead += retry.backoff_ns(attempt, &mut self.fault_rng);
+        }
+    }
+
     // -- execution -------------------------------------------------------------
 
     fn start_task(&mut self, t: u64, w: GlobalWorkerId, task: Task) {
@@ -1009,7 +1384,21 @@ impl<'p> Engine<'p> {
         for a in &scope.accesses {
             let local = a.home == place || (task.carried && task.footprint.contains(a.obj));
             if !local {
-                duration += self.net.remote_ref(place, a.home, a.bytes);
+                if !self.faulty {
+                    duration += self.net.remote_ref(place, a.home, a.bytes);
+                } else if self.alive[a.home.index()] {
+                    // Per-leg fault-aware round trip; each lost leg is
+                    // retransmitted after an ack timeout.
+                    let req = self.reliable_send(t, place, a.home, MsgKind::DataRequest, 64);
+                    let rep =
+                        self.reliable_send(t + req, a.home, place, MsgKind::DataReply, a.bytes);
+                    duration += req + rep;
+                } else {
+                    // Data homed at a dead place: modelled as served
+                    // by a replica after the failure-detection delay
+                    // (no messages charged) — see docs/faults.md.
+                    duration += self.detect_ns;
+                }
                 self.remote_refs += 1;
                 if self.tracing {
                     self.drain_net(t, w);
@@ -1027,6 +1416,15 @@ impl<'p> Engine<'p> {
             if let Some(cache) = self.workers[w.index()].cache.as_mut() {
                 let misses = cache.access(a.obj.0, a.offset, a.bytes);
                 duration += misses * self.cfg.cost.l1_miss_penalty_ns;
+            }
+        }
+
+        // Straggler model: a slow place stretches everything its
+        // workers do (compute, spawn bookkeeping, stalls).
+        if self.faulty {
+            let f = self.slow[place.index()];
+            if f != 1.0 {
+                duration = (duration as f64 * f) as u64;
             }
         }
 
@@ -1051,11 +1449,10 @@ impl<'p> Engine<'p> {
             if child_home == place {
                 self.schedule(rt, EventKind::Arrive(child));
             } else {
-                // Cross-place `async at` launch: a real message.
+                // Cross-place `async at` launch: a real message
+                // (retransmitted under faults until one copy lands).
                 let bytes = self.cfg.cost.closure_bytes + fp;
-                let cost = self
-                    .net
-                    .send(place, child_home, MsgKind::TaskMigrate, bytes);
+                let cost = self.reliable_send(rt, place, child_home, MsgKind::TaskMigrate, bytes);
                 self.drain_net(rt, w);
                 self.schedule(rt + cost, EventKind::Arrive(child));
             }
@@ -1105,6 +1502,11 @@ impl<'p> Engine<'p> {
                 steal_remote_ns: self.hists.steal_remote.summary(),
                 task_granularity_ns: self.hists.granularity.summary(),
                 dormancy_ns: self.hists.dormancy.summary(),
+            },
+            faults: FaultSummary {
+                msgs_dropped: self.net.counts().dropped.total(),
+                msgs_duplicated: self.net.counts().duplicated.total(),
+                ..self.fault_stats
             },
         }
     }

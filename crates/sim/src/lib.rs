@@ -40,9 +40,11 @@
 //! [`distws_core::RunReport`], event for event (property-tested).
 
 mod engine;
+pub mod faults;
 mod scope;
 
 pub use engine::{SimConfig, Simulation};
+pub use faults::{FaultConfig, FaultSpec, TimeSpec};
 
 #[cfg(test)]
 mod tests {

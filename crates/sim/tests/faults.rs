@@ -1,0 +1,373 @@
+//! Fault-injection integration tests: exactly-once execution under
+//! lossy networks and place failures, deterministic chaos, and the
+//! byte-identity guarantee of the empty fault plan.
+
+use distws_core::rng::SplitMix64;
+use distws_core::{ClusterConfig, Locality, PlaceId, TaskSpec};
+use distws_netsim::{FaultPlan, LinkFault};
+use distws_sched::{AdaptiveWs, DistWs, DistWsNs, LifelineWs, Policy, RandomWs, X10Ws};
+use distws_sim::{FaultConfig, SimConfig, Simulation};
+use distws_trace::{TraceEvent, TraceEventKind, TraceSink};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn all_policies() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(X10Ws),
+        Box::new(DistWs::default()),
+        Box::new(DistWsNs::default()),
+        Box::new(RandomWs),
+        Box::new(LifelineWs::default()),
+        Box::new(AdaptiveWs::default()),
+    ]
+}
+
+/// A schedule-independent task graph: one root per place, each
+/// spawning `kids` flexible children. Every body bumps the counter, so
+/// `counter == places * (1 + kids)` proves each body ran exactly once
+/// regardless of where recovery re-homed it.
+fn spread_roots(places: u32, kids: usize, counter: &Arc<AtomicU64>) -> Vec<TaskSpec> {
+    (0..places)
+        .map(|p| {
+            let c0 = Arc::clone(counter);
+            TaskSpec::new(PlaceId(p), Locality::Sensitive, 20_000, "root", move |s| {
+                c0.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..kids {
+                    let c = Arc::clone(&c0);
+                    s.spawn(TaskSpec::new(
+                        s.here(),
+                        Locality::Flexible,
+                        40_000,
+                        "kid",
+                        move |_| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        },
+                    ));
+                }
+            })
+        })
+        .collect()
+}
+
+/// Counts how many times each task id started — the ground truth for
+/// exactly-once (a recovered task may arrive twice, but must run once).
+#[derive(Default)]
+struct StartSink {
+    starts: HashMap<u64, u32>,
+    saw_fail: bool,
+    saw_recover: bool,
+    saw_dropped_msg: bool,
+}
+
+impl TraceSink for StartSink {
+    fn record(&mut self, ev: TraceEvent) {
+        match ev.kind {
+            TraceEventKind::TaskStart { task } => {
+                *self.starts.entry(task.0).or_default() += 1;
+            }
+            TraceEventKind::PlaceFail => self.saw_fail = true,
+            TraceEventKind::TaskRecover { .. } => self.saw_recover = true,
+            TraceEventKind::Message { dropped: true, .. } => self.saw_dropped_msg = true,
+            _ => {}
+        }
+    }
+}
+
+fn assert_exactly_once(sink: &StartSink, label: &str) {
+    for (task, n) in &sink.starts {
+        assert_eq!(*n, 1, "{label}: task {task} started {n} times");
+    }
+}
+
+#[test]
+fn exactly_once_under_random_fault_plans_for_all_policies() {
+    // Property loop in the house style: a seeded stream generates the
+    // fault plans; every policy must execute every task exactly once
+    // under each of them.
+    let mut rng = SplitMix64::new(0xC4A05);
+    for round in 0..6 {
+        let drop_p = (rng.below(6) as f64) / 100.0; // 0–5 % loss
+        let dup_p = (rng.below(3) as f64) / 100.0;
+        let jitter = rng.below(3_000);
+        let kill_place = 1 + rng.below(3) as u32; // never place 0
+        let kill_at = 50_000 + rng.below(400_000);
+        let with_kill = rng.below(2) == 0;
+        for policy in all_policies() {
+            let name = policy.name().to_string();
+            let label = format!("round {round} / {name}");
+            let counter = Arc::new(AtomicU64::new(0));
+            let roots = spread_roots(4, 10, &counter);
+            let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+            cfg.faults = FaultConfig {
+                net: FaultPlan {
+                    default: LinkFault {
+                        drop_p,
+                        dup_p,
+                        jitter_ns: jitter,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                kills: if with_kill {
+                    vec![(PlaceId(kill_place), kill_at)]
+                } else {
+                    Vec::new()
+                },
+                seed: rng.next_u64(),
+                ..Default::default()
+            };
+            let mut sink = StartSink::default();
+            let mut sim = Simulation::with_config(cfg, policy);
+            let (report, _) = sim.run_roots_traced("prop", roots, &mut sink);
+            assert_eq!(
+                counter.load(Ordering::Relaxed),
+                4 * 11,
+                "{label}: a task body was lost or re-run"
+            );
+            assert_eq!(report.tasks_spawned, report.tasks_executed, "{label}");
+            assert_exactly_once(&sink, &label);
+            if with_kill {
+                assert_eq!(report.faults.places_failed, 1, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fail_stop_recovers_queued_tasks() {
+    // Kill place 2 while its deques still hold work: the queued tasks
+    // must re-arrive elsewhere and run exactly once.
+    let counter = Arc::new(AtomicU64::new(0));
+    let roots = spread_roots(4, 16, &counter);
+    let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+    cfg.faults = FaultConfig {
+        kills: vec![(PlaceId(2), 100_000)],
+        ..Default::default()
+    };
+    let mut sink = StartSink::default();
+    let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+    let (report, _) = sim.run_roots_traced("kill", roots, &mut sink);
+    assert_eq!(counter.load(Ordering::Relaxed), 4 * 17);
+    assert_eq!(report.faults.places_failed, 1);
+    assert!(
+        report.faults.tasks_recovered > 0,
+        "the kill at 100 µs must strand queued tasks: {:?}",
+        report.faults
+    );
+    assert!(sink.saw_fail, "PlaceFail must be traced");
+    assert!(sink.saw_recover, "TaskRecover must be traced");
+    assert_exactly_once(&sink, "kill");
+}
+
+#[test]
+fn restarted_place_rejoins_and_takes_work() {
+    let counter = Arc::new(AtomicU64::new(0));
+    // Long tail of flexible work so the restarted place has something
+    // to steal when it comes back.
+    let roots = spread_roots(4, 40, &counter);
+    let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+    cfg.faults = FaultConfig {
+        kills: vec![(PlaceId(1), 80_000)],
+        restarts: vec![(PlaceId(1), 300_000)],
+        ..Default::default()
+    };
+    let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+    let report = sim.run_roots("restart", roots);
+    assert_eq!(counter.load(Ordering::Relaxed), 4 * 41);
+    assert_eq!(report.tasks_spawned, report.tasks_executed);
+    assert_eq!(report.faults.places_failed, 1);
+}
+
+#[test]
+fn lossy_network_terminates_and_reports_drops() {
+    for policy in all_policies() {
+        let name = policy.name().to_string();
+        let counter = Arc::new(AtomicU64::new(0));
+        let roots = spread_roots(4, 8, &counter);
+        let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+        cfg.faults = FaultConfig {
+            net: FaultPlan::uniform_loss(0.05),
+            ..Default::default()
+        };
+        let mut sink = StartSink::default();
+        let mut sim = Simulation::with_config(cfg, policy);
+        let (report, _) = sim.run_roots_traced("lossy", roots, &mut sink);
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 9, "{name}");
+        assert_exactly_once(&sink, &name);
+        // Root launches to places 1–3 cross the wire under every
+        // policy, so 5% loss is observable in the report and trace.
+        assert!(report.faults.msgs_dropped > 0, "{name}: no drops counted");
+        assert!(
+            sink.saw_dropped_msg,
+            "{name}: dropped messages must be traced"
+        );
+        assert_eq!(
+            report.faults.msgs_dropped,
+            report.messages.dropped.total(),
+            "{name}: summary and per-kind counters disagree"
+        );
+    }
+}
+
+#[test]
+fn slow_place_stretches_the_run() {
+    let mk = |factor: f64| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let roots = spread_roots(2, 20, &counter);
+        let mut cfg = SimConfig::new(ClusterConfig::new(2, 2));
+        cfg.faults = FaultConfig {
+            slow: vec![(PlaceId(1), factor)],
+            ..Default::default()
+        };
+        let mut sim = Simulation::with_config(cfg, Box::new(X10Ws));
+        sim.run_roots("slow", roots).makespan_ns
+    };
+    let base = mk(1.0);
+    let slowed = mk(4.0);
+    assert!(
+        slowed > base,
+        "4x straggler must stretch the makespan ({base} -> {slowed})"
+    );
+}
+
+#[test]
+fn same_fault_seed_gives_byte_identical_reports() {
+    let run = || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let roots = spread_roots(4, 12, &counter);
+        let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+        cfg.faults = FaultConfig {
+            net: FaultPlan {
+                default: LinkFault {
+                    drop_p: 0.08,
+                    dup_p: 0.02,
+                    jitter_ns: 2_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            kills: vec![(PlaceId(3), 150_000)],
+            seed: 0xD00F,
+            ..Default::default()
+        };
+        let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+        distws_json::to_string_pretty(&sim.run_roots("det", roots))
+    };
+    assert_eq!(run(), run(), "same fault seed, same chaos report");
+}
+
+#[test]
+fn different_fault_seeds_differ() {
+    let run = |seed: u64| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let roots = spread_roots(4, 12, &counter);
+        let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+        cfg.faults = FaultConfig {
+            net: FaultPlan::uniform_loss(0.1),
+            seed,
+            ..Default::default()
+        };
+        let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+        sim.run_roots("seeds", roots)
+    };
+    let a = run(1);
+    let b = run(2);
+    // Drops land on different messages; the runs must still both
+    // conserve tasks. (Makespans may coincide, counters rarely do.)
+    assert_eq!(a.tasks_executed, b.tasks_executed);
+    assert!(
+        a.faults.msgs_dropped != b.faults.msgs_dropped || a.makespan_ns != b.makespan_ns,
+        "fault seed had no observable effect"
+    );
+}
+
+/// The tentpole guarantee: an *empty* fault plan changes nothing — not
+/// one virtual-time value, counter, or trace byte — even when the
+/// retry/detection knobs are set to exotic values.
+#[test]
+fn empty_fault_plan_is_byte_identical() {
+    #[derive(Default)]
+    struct Jsonl(String);
+    impl TraceSink for Jsonl {
+        fn record(&mut self, ev: TraceEvent) {
+            self.0.push_str(&ev.to_jsonl());
+            self.0.push('\n');
+        }
+    }
+
+    let run = |faults: FaultConfig| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let roots = spread_roots(4, 12, &counter);
+        let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+        cfg.faults = faults;
+        let mut sink = Jsonl::default();
+        let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+        let (report, _) = sim.run_roots_traced("ident", roots, &mut sink);
+        (distws_json::to_string_pretty(&report), sink.0)
+    };
+
+    let (base_report, base_trace) = run(FaultConfig::default());
+    let exotic = FaultConfig {
+        retry: distws_sched::RetryPolicy {
+            timeout_ns: 1,
+            backoff_base_ns: 999,
+            backoff_max_ns: 1_000,
+            jitter_ns: 777,
+            budget: 9,
+        },
+        detect_ns: 1,
+        lease_timeout_ns: 2,
+        seed: 0xDEAD_BEEF,
+        // A slow factor of exactly 1.0 is a no-op and must not arm
+        // the fault machinery.
+        slow: vec![(PlaceId(1), 1.0)],
+        ..Default::default()
+    };
+    assert!(exotic.is_empty());
+    let (exotic_report, exotic_trace) = run(exotic);
+    assert_eq!(
+        base_report, exotic_report,
+        "empty plan perturbed the report"
+    );
+    assert_eq!(base_trace, exotic_trace, "empty plan perturbed the trace");
+    assert!(base_report.contains("\"msgs_dropped\": 0"));
+}
+
+#[test]
+fn invalid_fault_configs_are_rejected() {
+    let try_cfg = |faults: FaultConfig| {
+        std::panic::catch_unwind(move || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let roots = spread_roots(2, 2, &counter);
+            let mut cfg = SimConfig::new(ClusterConfig::new(2, 1));
+            cfg.faults = faults;
+            let mut sim = Simulation::with_config(cfg, Box::new(X10Ws));
+            sim.run_roots("invalid", roots)
+        })
+    };
+    assert!(
+        try_cfg(FaultConfig {
+            kills: vec![(PlaceId(0), 1_000)],
+            ..Default::default()
+        })
+        .is_err(),
+        "killing place 0 must be rejected"
+    );
+    assert!(
+        try_cfg(FaultConfig {
+            kills: vec![(PlaceId(7), 1_000)],
+            ..Default::default()
+        })
+        .is_err(),
+        "out-of-range kill must be rejected"
+    );
+    assert!(
+        try_cfg(FaultConfig {
+            slow: vec![(PlaceId(1), 0.5)],
+            ..Default::default()
+        })
+        .is_err(),
+        "sub-1.0 slow factor must be rejected"
+    );
+}

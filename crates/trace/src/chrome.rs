@@ -165,12 +165,51 @@ pub fn chrome_trace(events: &[TraceEvent], config: &ClusterConfig) -> Value {
                 o.set("s", "t");
                 out.push(o);
             }
-            TraceEventKind::Message { kind, to, bytes } => {
-                let mut o = base("i", &format!("msg:{}", kind.name()), ev);
+            TraceEventKind::Message {
+                kind,
+                to,
+                bytes,
+                dropped,
+            } => {
+                let name = if dropped {
+                    format!("msg:{}:dropped", kind.name())
+                } else {
+                    format!("msg:{}", kind.name())
+                };
+                let mut o = base("i", &name, ev);
                 o.set("s", "t");
                 let mut args = Value::object();
                 args.set("to", to.0);
                 args.set("bytes", bytes);
+                o.set("args", args);
+                out.push(o);
+            }
+            TraceEventKind::StealTimeout { victim, attempt } => {
+                let mut o = base("i", "steal_timeout", ev);
+                o.set("s", "t");
+                let mut args = Value::object();
+                args.set("victim", victim.0);
+                args.set("attempt", attempt as u64);
+                o.set("args", args);
+                out.push(o);
+            }
+            TraceEventKind::PlaceFail => {
+                let mut o = base("i", "place_fail", ev);
+                o.set("s", "g");
+                out.push(o);
+            }
+            TraceEventKind::PlaceRestart => {
+                let mut o = base("i", "place_restart", ev);
+                o.set("s", "g");
+                out.push(o);
+            }
+            TraceEventKind::TaskRecover { task, from, to } => {
+                let mut o = base("i", "task_recover", ev);
+                o.set("s", "p");
+                let mut args = Value::object();
+                args.set("task", task.0);
+                args.set("from", from.0);
+                args.set("to", to.0);
                 o.set("args", args);
                 out.push(o);
             }

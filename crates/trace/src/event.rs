@@ -129,6 +129,35 @@ pub enum TraceEventKind {
         to: PlaceId,
         /// Payload size.
         bytes: u64,
+        /// Whether fault injection lost the message in flight. Emitted
+        /// on the wire only when `true`, so fault-free traces are
+        /// byte-identical to traces produced before fault injection
+        /// existed.
+        dropped: bool,
+    },
+    /// A remote steal probe went unanswered (request or reply lost, or
+    /// the victim place is dead) and the thief's timeout expired.
+    StealTimeout {
+        /// The probed victim place.
+        victim: PlaceId,
+        /// 1-based attempt number against this victim (attempt 1 is
+        /// the original probe, ≥2 are backoff retries).
+        attempt: u32,
+    },
+    /// The event's place suffered a fail-stop: its queued tasks are
+    /// recovered elsewhere and its workers halt at the next task
+    /// boundary.
+    PlaceFail,
+    /// A previously failed place rejoined the cluster (empty-handed).
+    PlaceRestart,
+    /// A task stranded by a place failure was re-enqueued elsewhere.
+    TaskRecover {
+        /// The recovered task.
+        task: TaskId,
+        /// The failed place the task was queued at.
+        from: PlaceId,
+        /// Where it was re-enqueued.
+        to: PlaceId,
     },
 }
 
@@ -146,6 +175,10 @@ impl TraceEventKind {
             TraceEventKind::Dormant => "dormant",
             TraceEventKind::Wakeup => "wakeup",
             TraceEventKind::Message { .. } => "message",
+            TraceEventKind::StealTimeout { .. } => "steal_timeout",
+            TraceEventKind::PlaceFail => "place_fail",
+            TraceEventKind::PlaceRestart => "place_restart",
+            TraceEventKind::TaskRecover { .. } => "task_recover",
         }
     }
 }
@@ -202,11 +235,31 @@ impl TraceEvent {
                 o.set("home", home.0);
                 o.set("bytes", bytes);
             }
-            TraceEventKind::Dormant | TraceEventKind::Wakeup => {}
-            TraceEventKind::Message { kind, to, bytes } => {
+            TraceEventKind::Dormant
+            | TraceEventKind::Wakeup
+            | TraceEventKind::PlaceFail
+            | TraceEventKind::PlaceRestart => {}
+            TraceEventKind::Message {
+                kind,
+                to,
+                bytes,
+                dropped,
+            } => {
                 o.set("kind", kind.name());
                 o.set("to", to.0);
                 o.set("bytes", bytes);
+                if dropped {
+                    o.set("dropped", true);
+                }
+            }
+            TraceEventKind::StealTimeout { victim, attempt } => {
+                o.set("victim", victim.0);
+                o.set("attempt", attempt as u64);
+            }
+            TraceEventKind::TaskRecover { task, from, to } => {
+                o.set("task", task.0);
+                o.set("from", from.0);
+                o.set("to", to.0);
             }
         }
         o
@@ -250,6 +303,72 @@ mod tests {
             kind: TraceEventKind::Dormant,
         };
         assert_eq!(ev.to_jsonl(), r#"{"t":5,"w":0,"p":0,"ev":"dormant"}"#);
+    }
+
+    #[test]
+    fn delivered_messages_omit_the_dropped_key() {
+        let ev = TraceEvent {
+            t_ns: 10,
+            worker: GlobalWorkerId(1),
+            place: PlaceId(0),
+            kind: TraceEventKind::Message {
+                kind: MessageKind::StealRequest,
+                to: PlaceId(2),
+                bytes: 64,
+                dropped: false,
+            },
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"t":10,"w":1,"p":0,"ev":"message","kind":"steal_request","to":2,"bytes":64}"#
+        );
+        let dropped = TraceEvent {
+            kind: TraceEventKind::Message {
+                kind: MessageKind::StealRequest,
+                to: PlaceId(2),
+                bytes: 64,
+                dropped: true,
+            },
+            ..ev
+        };
+        assert_eq!(
+            dropped.to_jsonl(),
+            r#"{"t":10,"w":1,"p":0,"ev":"message","kind":"steal_request","to":2,"bytes":64,"dropped":true}"#
+        );
+    }
+
+    #[test]
+    fn fault_events_encode_stably() {
+        let base = TraceEvent {
+            t_ns: 99,
+            worker: GlobalWorkerId(4),
+            place: PlaceId(2),
+            kind: TraceEventKind::PlaceFail,
+        };
+        assert_eq!(base.to_jsonl(), r#"{"t":99,"w":4,"p":2,"ev":"place_fail"}"#);
+        let timeout = TraceEvent {
+            kind: TraceEventKind::StealTimeout {
+                victim: PlaceId(3),
+                attempt: 2,
+            },
+            ..base
+        };
+        assert_eq!(
+            timeout.to_jsonl(),
+            r#"{"t":99,"w":4,"p":2,"ev":"steal_timeout","victim":3,"attempt":2}"#
+        );
+        let recover = TraceEvent {
+            kind: TraceEventKind::TaskRecover {
+                task: TaskId(8),
+                from: PlaceId(2),
+                to: PlaceId(0),
+            },
+            ..base
+        };
+        assert_eq!(
+            recover.to_jsonl(),
+            r#"{"t":99,"w":4,"p":2,"ev":"task_recover","task":8,"from":2,"to":0}"#
+        );
     }
 
     #[test]
