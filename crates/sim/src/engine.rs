@@ -632,6 +632,14 @@ impl<'p> Engine<'p> {
         for i in 0..wpp {
             let w = self.cfg.cluster.global(p, distws_core::WorkerId(i));
             let ws = &mut self.workers[w.index()];
+            // A worker still Busy from before the kill has a pending
+            // Free event for its in-flight task; forcing it Dormant
+            // here would let a wake start a second task and orphan the
+            // first one's latch. It rejoins via on_free, whose
+            // alive-check now passes.
+            if ws.status == WorkerStatus::Busy {
+                continue;
+            }
             ws.status = WorkerStatus::Dormant;
             ws.avail_at = ws.avail_at.max(now);
             self.wake(now, w, self.cfg.cost.shared_deque_op_ns + w.0 as u64, true);
@@ -1329,8 +1337,8 @@ impl<'p> Engine<'p> {
             }
             // Timeout: request, reply or payload never arrived — or
             // the victim is dead.
-            self.drain_net(send_t, w);
             *overhead += retry.timeout_ns;
+            self.drain_net(now + *overhead, w);
             self.fault_stats.steal_timeouts += 1;
             self.steals.failed_attempts += 1;
             if self.tracing {
@@ -1343,9 +1351,9 @@ impl<'p> Engine<'p> {
             if attempt > retry.budget {
                 return;
             }
-            attempt += 1;
             self.fault_stats.steal_retries += 1;
             *overhead += retry.backoff_ns(attempt, &mut self.fault_rng);
+            attempt += 1;
         }
     }
 

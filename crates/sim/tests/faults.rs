@@ -180,6 +180,60 @@ fn restarted_place_rejoins_and_takes_work() {
 }
 
 #[test]
+fn restart_while_workers_busy_preserves_in_flight_tasks() {
+    // Kill/restart gap (50 µs → 70 µs) far shorter than the kids'
+    // 300 µs bodies, so every worker on place 1 is still Busy with a
+    // pre-kill task when the restart lands. Those workers must rejoin
+    // via their own Free events: a forced wake would overwrite
+    // `running`/`finishing_latch` and the shared latch below would
+    // never release its continuation.
+    use distws_core::FinishLatch;
+
+    let counter = Arc::new(AtomicU64::new(0));
+    let kids_per_root = 10;
+    let cc = Arc::clone(&counter);
+    let cont = TaskSpec::new(PlaceId(0), Locality::Flexible, 1_000, "cont", move |_| {
+        cc.fetch_add(1, Ordering::Relaxed);
+    });
+    let latch = FinishLatch::new(2 * kids_per_root, cont);
+    let roots: Vec<TaskSpec> = (0..2u32)
+        .map(|p| {
+            let c0 = Arc::clone(&counter);
+            let l0 = Arc::clone(&latch);
+            TaskSpec::new(PlaceId(p), Locality::Sensitive, 20_000, "root", move |s| {
+                c0.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..kids_per_root {
+                    let c = Arc::clone(&c0);
+                    s.spawn(
+                        TaskSpec::new(s.here(), Locality::Flexible, 300_000, "kid", move |_| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .with_latch(Arc::clone(&l0)),
+                    );
+                }
+            })
+        })
+        .collect();
+    let mut cfg = SimConfig::new(ClusterConfig::new(2, 2));
+    cfg.faults = FaultConfig {
+        kills: vec![(PlaceId(1), 50_000)],
+        restarts: vec![(PlaceId(1), 70_000)],
+        ..Default::default()
+    };
+    let mut sink = StartSink::default();
+    let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+    let (report, _) = sim.run_roots_traced("busy-restart", roots, &mut sink);
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        2 + 2 * kids_per_root as u64 + 1,
+        "a body was lost or the finish continuation never fired"
+    );
+    assert_eq!(latch.pending(), 0, "latch left with outstanding children");
+    assert_eq!(report.tasks_spawned, report.tasks_executed);
+    assert_exactly_once(&sink, "busy-restart");
+}
+
+#[test]
 fn lossy_network_terminates_and_reports_drops() {
     for policy in all_policies() {
         let name = policy.name().to_string();
