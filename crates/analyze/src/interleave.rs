@@ -1,0 +1,741 @@
+//! A bounded model checker ("mini-loom") for the two concurrent
+//! structures in `distws-deque`.
+//!
+//! The Chase–Lev deque in `crates/deque/src/chase_lev.rs` carries the
+//! repo's only lock-free unsafe code. Its correctness argument (the
+//! C11 proof of Lê et al., PPoPP 2013) rests on a handful of orderings
+//! that an ordinary unit test exercises only probabilistically. This
+//! module re-states the *algorithm* — every shared-memory access of
+//! `push`, `pop` and `steal`, in program order, including buffer
+//! growth and retirement — as an explicit step machine, then explores
+//! **every** reachable interleaving of 2–3 threads with a depth-first
+//! search over a sequentially-consistent memory model (fences and
+//! acquire/release annotations collapse to no-ops under SC; the SC
+//! state graph is exactly the set of linearizations those annotations
+//! must preserve, so a logic bug — a missing CAS, an off-by-one in
+//! grow, a lost last element — appears here as a reachable bad state).
+//!
+//! Checked properties, on every execution:
+//!
+//! * **no double-take** — a value handed out twice (pop/steal);
+//! * **no phantom/uninitialized read** — a taken value that was never
+//!   pushed, or a slot read before its write;
+//! * **no lost task** — at quiescence, values pushed minus values
+//!   taken are exactly the deque's remaining contents (use-after-grow
+//!   drops or duplicates elements, and shows up here);
+//! * **shared FIFO** — `SharedFifo` (mutex + cached length) hands out
+//!   the oldest element, exactly once, with `len` matching the queue
+//!   at quiescence, under all operation interleavings.
+//!
+//! States are deduplicated (the explorer is stateful), so the reported
+//! `states` count is the number of *distinct* global states at the
+//! bound, and `terminals` the distinct quiescent states. Exploration
+//! is exhaustive for the configured scenario — nothing is sampled.
+//!
+//! The companion tests inject seeded model bugs ([`Flaw`]) — steal
+//! without CAS, pop skipping the last-element race, grow dropping the
+//! oldest element — and assert the checker reports violations,
+//! proving its detection power rather than assuming it.
+
+use std::collections::{BTreeSet, HashSet};
+
+/// One owner-side deque operation in a scenario script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OwnerOp {
+    /// `Worker::push` of the next fresh value.
+    Push,
+    /// `Worker::pop`.
+    Pop,
+}
+
+/// A deliberately injected model bug, used by the self-tests to prove
+/// the checker detects real defect classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flaw {
+    /// Thief publishes `top = t + 1` with a plain store instead of a
+    /// compare-and-swap (two thieves can both take index `t`).
+    StealWithoutCas,
+    /// Owner's pop returns the last element without racing thieves on
+    /// `top` (the `t == b` CAS is skipped).
+    PopSkipsLastItemRace,
+    /// Buffer growth copies `t+1..b` instead of `t..b` (oldest element
+    /// is dropped on the floor).
+    GrowDropsOldest,
+}
+
+/// One bounded scenario: an owner script plus thieves that each run a
+/// fixed number of steal attempts.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name.
+    pub name: &'static str,
+    /// The owner's operation script, run in order.
+    pub owner_ops: Vec<OwnerOp>,
+    /// One entry per thief: how many steal attempts it performs.
+    pub thieves: Vec<usize>,
+    /// Initial buffer capacity (power of two; small values force the
+    /// grow path).
+    pub initial_cap: usize,
+    /// Injected bug, `None` for the faithful model.
+    pub flaw: Option<Flaw>,
+}
+
+/// Result of exploring one scenario.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Distinct global states visited.
+    pub states: u64,
+    /// Distinct quiescent (all-threads-done) states.
+    pub terminals: u64,
+    /// Property violations found on any path (deduplicated, sorted).
+    pub violations: Vec<String>,
+}
+
+/// A growable ring buffer version. Retired buffers stay readable —
+/// exactly the deque's retirement scheme.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Buf {
+    cap: usize,
+    slots: Vec<Option<u64>>,
+}
+
+impl Buf {
+    fn new(cap: usize) -> Buf {
+        Buf {
+            cap,
+            slots: vec![None; cap],
+        }
+    }
+    fn read(&self, i: i64) -> Option<u64> {
+        self.slots[(i as usize) & (self.cap - 1)]
+    }
+    fn write(&mut self, i: i64, v: u64) {
+        let cap = self.cap;
+        self.slots[(i as usize) & (cap - 1)] = Some(v);
+    }
+}
+
+/// The modeled shared memory: `top`, `bottom`, the buffer pointer
+/// (an index into the version list) and every buffer ever published.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Mem {
+    top: i64,
+    bottom: i64,
+    cur: usize,
+    buffers: Vec<Buf>,
+}
+
+/// Owner thread: program counter into the op script plus the micro
+/// step within the current op and the register file mirroring the
+/// local variables of `push`/`pop`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Owner {
+    op_idx: usize,
+    step: u8,
+    rb: i64,
+    rt: i64,
+    rbuf: usize,
+    read: Option<u64>,
+    next_val: u64,
+}
+
+/// Thief thread: remaining attempts plus the registers of `steal`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Thief {
+    attempts_left: usize,
+    step: u8,
+    rt: i64,
+    rb: i64,
+    rbuf: usize,
+    read: Option<u64>,
+}
+
+/// One global state of the model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    mem: Mem,
+    owner: Owner,
+    thieves: Vec<Thief>,
+    /// Values pushed but not yet handed out.
+    live: BTreeSet<u64>,
+}
+
+impl State {
+    fn init(s: &Scenario) -> State {
+        assert!(s.initial_cap.is_power_of_two());
+        State {
+            mem: Mem {
+                top: 0,
+                bottom: 0,
+                cur: 0,
+                buffers: vec![Buf::new(s.initial_cap)],
+            },
+            owner: Owner {
+                op_idx: 0,
+                step: 0,
+                rb: 0,
+                rt: 0,
+                rbuf: 0,
+                read: None,
+                next_val: 1,
+            },
+            thieves: s.thieves.iter().map(|&n| Thief::fresh(n)).collect(),
+            live: BTreeSet::new(),
+        }
+    }
+
+    /// Thread ids able to take a step: 0 = owner, 1.. = thieves.
+    fn runnable(&self, s: &Scenario) -> Vec<usize> {
+        let mut r = Vec::new();
+        if self.owner.op_idx < s.owner_ops.len() {
+            r.push(0);
+        }
+        for (i, t) in self.thieves.iter().enumerate() {
+            if t.attempts_left > 0 {
+                r.push(i + 1);
+            }
+        }
+        r
+    }
+
+    /// Hand a value out (pop return / successful steal) and check the
+    /// exactly-once properties.
+    fn take_value(&mut self, who: &str, v: Option<u64>, bad: &mut BTreeSet<String>) {
+        match v {
+            None => {
+                bad.insert(format!("{who}: took an uninitialized slot"));
+            }
+            Some(v) => {
+                if !self.live.remove(&v) {
+                    bad.insert(format!(
+                        "{who}: double-take or phantom value {v} (not live)"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// End-of-execution check: the current buffer's `top..bottom`
+    /// window must hold exactly the not-yet-taken values.
+    fn quiescence_checks(&self, bad: &mut BTreeSet<String>) {
+        let mem = &self.mem;
+        let mut contents = BTreeSet::new();
+        let mut i = mem.top;
+        while i < mem.bottom {
+            match mem.buffers[mem.cur].read(i) {
+                None => {
+                    bad.insert(format!("quiescence: live index {i} uninitialized"));
+                }
+                Some(v) => {
+                    contents.insert(v);
+                }
+            }
+            i += 1;
+        }
+        if contents != self.live {
+            let lost: Vec<u64> = self.live.difference(&contents).copied().collect();
+            let phantom: Vec<u64> = contents.difference(&self.live).copied().collect();
+            bad.insert(format!(
+                "quiescence: lost tasks {lost:?}, phantom contents {phantom:?}"
+            ));
+        }
+    }
+
+    /// Advance thread `tid` by exactly one shared-memory step,
+    /// mirroring `chase_lev.rs` statement by statement.
+    fn step(&mut self, tid: usize, s: &Scenario, bad: &mut BTreeSet<String>) {
+        if tid == 0 {
+            self.owner_step(s, bad);
+        } else {
+            self.thief_step(tid - 1, s, bad);
+        }
+    }
+
+    fn owner_step(&mut self, s: &Scenario, bad: &mut BTreeSet<String>) {
+        let op = s.owner_ops[self.owner.op_idx];
+        match op {
+            OwnerOp::Push => match self.owner.step {
+                // let b = bottom.load(Relaxed)
+                0 => {
+                    self.owner.rb = self.mem.bottom;
+                    self.owner.step = 1;
+                }
+                // let t = top.load(Acquire)
+                1 => {
+                    self.owner.rt = self.mem.top;
+                    self.owner.step = 2;
+                }
+                // let buf = buffer.load(Relaxed); grow if full
+                2 => {
+                    self.owner.rbuf = self.mem.cur;
+                    let full = self.owner.rb - self.owner.rt
+                        >= self.mem.buffers[self.owner.rbuf].cap as i64;
+                    self.owner.step = if full { 3 } else { 4 };
+                }
+                // grow: copy t..b into a doubled buffer, publish it
+                // (the publish store is the step's linearization point;
+                // the copy touches only unpublished memory)
+                3 => {
+                    let old = self.owner.rbuf;
+                    let mut new = Buf::new(self.mem.buffers[old].cap * 2);
+                    let from = match s.flaw {
+                        Some(Flaw::GrowDropsOldest) => self.owner.rt + 1,
+                        _ => self.owner.rt,
+                    };
+                    let mut i = from;
+                    while i < self.owner.rb {
+                        if let Some(v) = self.mem.buffers[old].read(i) {
+                            new.write(i, v);
+                        }
+                        i += 1;
+                    }
+                    self.mem.buffers.push(new);
+                    self.mem.cur = self.mem.buffers.len() - 1;
+                    self.owner.rbuf = self.mem.cur;
+                    self.owner.step = 4;
+                }
+                // buf.write(b, value)  (plain write)
+                4 => {
+                    let v = self.owner.next_val;
+                    self.mem.buffers[self.owner.rbuf].write(self.owner.rb, v);
+                    self.owner.step = 5;
+                }
+                // fence(Release); bottom.store(b + 1, Relaxed)
+                5 => {
+                    self.mem.bottom = self.owner.rb + 1;
+                    self.live.insert(self.owner.next_val);
+                    self.owner.next_val += 1;
+                    self.finish_op();
+                }
+                _ => unreachable!(),
+            },
+            OwnerOp::Pop => match self.owner.step {
+                // let b = bottom.load(Relaxed) - 1
+                0 => {
+                    self.owner.rb = self.mem.bottom - 1;
+                    self.owner.step = 1;
+                }
+                // let buf = buffer.load(Relaxed)
+                1 => {
+                    self.owner.rbuf = self.mem.cur;
+                    self.owner.step = 2;
+                }
+                // bottom.store(b, Relaxed)
+                2 => {
+                    self.mem.bottom = self.owner.rb;
+                    self.owner.step = 3;
+                }
+                // fence(SeqCst); let t = top.load(Relaxed)
+                3 => {
+                    self.owner.rt = self.mem.top;
+                    if self.owner.rt <= self.owner.rb {
+                        self.owner.step = 4; // non-empty: read the slot
+                    } else {
+                        self.owner.step = 7; // empty: restore bottom
+                    }
+                }
+                // let value = buf.read(b)
+                4 => {
+                    self.owner.read = self.mem.buffers[self.owner.rbuf].read(self.owner.rb);
+                    if self.owner.rt == self.owner.rb {
+                        self.owner.step = 5; // last element: race thieves
+                    } else {
+                        // t < b: the element is ours outright.
+                        let v = self.owner.read.take();
+                        self.take_value("pop", v, bad);
+                        self.finish_op();
+                    }
+                }
+                // top.compare_exchange(t, t + 1, SeqCst)
+                5 => {
+                    let won = match s.flaw {
+                        Some(Flaw::PopSkipsLastItemRace) => true,
+                        _ => self.mem.top == self.owner.rt,
+                    };
+                    if won {
+                        self.mem.top = self.owner.rt + 1;
+                    } else {
+                        // Lost to a thief: forget the copy.
+                        self.owner.read = None;
+                    }
+                    self.owner.step = 6;
+                }
+                // bottom.store(b + 1, Relaxed), return value or None
+                6 => {
+                    self.mem.bottom = self.owner.rb + 1;
+                    if let Some(v) = self.owner.read.take() {
+                        self.take_value("pop", Some(v), bad);
+                    }
+                    self.finish_op();
+                }
+                // empty branch: bottom.store(b + 1, Relaxed)
+                7 => {
+                    self.mem.bottom = self.owner.rb + 1;
+                    self.finish_op();
+                }
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    fn finish_op(&mut self) {
+        self.owner.op_idx += 1;
+        self.owner.step = 0;
+        self.owner.read = None;
+    }
+
+    fn thief_step(&mut self, ti: usize, s: &Scenario, bad: &mut BTreeSet<String>) {
+        match self.thieves[ti].step {
+            // let t = top.load(Acquire)
+            0 => {
+                let top = self.mem.top;
+                let t = &mut self.thieves[ti];
+                t.rt = top;
+                t.step = 1;
+            }
+            // fence(SeqCst); let b = bottom.load(Acquire)
+            1 => {
+                let bottom = self.mem.bottom;
+                let t = &mut self.thieves[ti];
+                t.rb = bottom;
+                if t.rt < t.rb {
+                    t.step = 2;
+                } else {
+                    // Empty: attempt over.
+                    t.finish_attempt();
+                }
+            }
+            // let buf = buffer.load(Acquire)
+            2 => {
+                let cur = self.mem.cur;
+                let t = &mut self.thieves[ti];
+                t.rbuf = cur;
+                t.step = 3;
+            }
+            // let value = buf.read(t)  (plain read, possibly from a
+            // retired buffer — legal as long as the CAS then fails or
+            // the slot still holds index t's value)
+            3 => {
+                let (rbuf, rt) = (self.thieves[ti].rbuf, self.thieves[ti].rt);
+                let val = self.mem.buffers[rbuf].read(rt);
+                let t = &mut self.thieves[ti];
+                t.read = val;
+                t.step = 4;
+            }
+            // top.compare_exchange(t, t + 1, SeqCst)
+            4 => {
+                let rt = self.thieves[ti].rt;
+                let won = match s.flaw {
+                    Some(Flaw::StealWithoutCas) => true,
+                    _ => self.mem.top == rt,
+                };
+                if won {
+                    self.mem.top = rt + 1;
+                    let v = self.thieves[ti].read.take();
+                    self.thieves[ti].finish_attempt();
+                    let who = format!("thief {ti}");
+                    self.take_value(&who, v, bad);
+                } else {
+                    // Retry: the bitwise copy is forgotten.
+                    let t = &mut self.thieves[ti];
+                    t.read = None;
+                    t.finish_attempt();
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl Thief {
+    fn fresh(attempts: usize) -> Thief {
+        Thief {
+            attempts_left: attempts,
+            step: 0,
+            rt: 0,
+            rb: 0,
+            rbuf: 0,
+            read: None,
+        }
+    }
+    fn finish_attempt(&mut self) {
+        self.attempts_left -= 1;
+        self.step = 0;
+        self.read = None;
+    }
+}
+
+/// Exhaustively explore every distinct interleaving of `s` and check
+/// all properties on every path and every quiescent state.
+pub fn explore(s: &Scenario) -> Outcome {
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut bad: BTreeSet<String> = BTreeSet::new();
+    let mut terminals = 0u64;
+    let mut stack = vec![State::init(s)];
+    while let Some(st) = stack.pop() {
+        if seen.contains(&st) {
+            continue;
+        }
+        let runnable = st.runnable(s);
+        if runnable.is_empty() {
+            terminals += 1;
+            st.quiescence_checks(&mut bad);
+            seen.insert(st);
+            continue;
+        }
+        for tid in runnable {
+            let mut next = st.clone();
+            next.step(tid, s, &mut bad);
+            if !seen.contains(&next) {
+                stack.push(next);
+            }
+        }
+        seen.insert(st);
+    }
+    Outcome {
+        states: seen.len() as u64,
+        terminals,
+        violations: bad.into_iter().collect(),
+    }
+}
+
+/// The checked-in scenario suite: every push/pop/steal contention
+/// pattern the deque's proof obligations name, at bounds small enough
+/// to finish in well under a second each.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    let s = |name, owner_ops: &[OwnerOp], thieves: &[usize], cap| Scenario {
+        name,
+        owner_ops: owner_ops.to_vec(),
+        thieves: thieves.to_vec(),
+        initial_cap: cap,
+        flaw: None,
+    };
+    use OwnerOp::{Pop, Push};
+    vec![
+        // The classic last-element race: owner pops the single item
+        // while a thief steals it.
+        s("last_item_race", &[Push, Pop], &[1], 2),
+        // Two thieves and the owner all chase one element.
+        s("two_thieves_one_item", &[Push, Pop], &[1, 1], 2),
+        // LIFO pops against FIFO steals over two elements.
+        s("lifo_vs_fifo", &[Push, Push, Pop, Pop], &[2], 4),
+        // Growth (cap 1 → 2 → 4) while a thief reads the old buffer.
+        s("grow_under_steal", &[Push, Push, Push], &[2], 1),
+        // Growth plus the last-item race after draining.
+        s("grow_then_drain", &[Push, Push, Pop, Pop], &[1, 1], 2),
+        // Three thieves compete for two elements (CAS storm).
+        s("cas_storm", &[Push, Push], &[1, 1, 1], 2),
+    ]
+}
+
+/// Run every builtin scenario; returns `(name, outcome)` pairs in
+/// suite order.
+pub fn check_all() -> Vec<(&'static str, Outcome)> {
+    builtin_scenarios()
+        .iter()
+        .map(|s| (s.name, explore(s)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared FIFO model
+// ---------------------------------------------------------------------------
+
+/// One operation against the [`SharedFifo`] model.
+///
+/// [`SharedFifo`]: ../../distws_deque/struct.SharedFifo.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FifoOp {
+    /// `push` of the next fresh value.
+    Push,
+    /// `take` (oldest element).
+    Take,
+    /// `take_chunk(n)`.
+    TakeChunk(usize),
+}
+
+/// Explore all interleavings of per-thread [`FifoOp`] scripts against
+/// a model of `SharedFifo` (each operation is mutex-serialized, so an
+/// operation is one atomic step; the explorer covers every operation
+/// order). Checks FIFO order (every take returns the current oldest),
+/// exactly-once, no loss, and that the cached `len` matches the queue
+/// at quiescence.
+pub fn explore_fifo(scripts: &[Vec<FifoOp>]) -> Outcome {
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct FState {
+        queue: Vec<u64>,
+        len_cache: usize,
+        pcs: Vec<usize>,
+        next_val: u64,
+        taken: BTreeSet<u64>,
+        pushed: u64,
+    }
+    let mut seen: HashSet<FState> = HashSet::new();
+    let mut bad: BTreeSet<String> = BTreeSet::new();
+    let mut terminals = 0u64;
+    let init = FState {
+        queue: Vec::new(),
+        len_cache: 0,
+        pcs: vec![0; scripts.len()],
+        next_val: 1,
+        taken: BTreeSet::new(),
+        pushed: 0,
+    };
+    let mut stack = vec![init];
+    while let Some(st) = stack.pop() {
+        if seen.contains(&st) {
+            continue;
+        }
+        let runnable: Vec<usize> = (0..scripts.len())
+            .filter(|&i| st.pcs[i] < scripts[i].len())
+            .collect();
+        if runnable.is_empty() {
+            terminals += 1;
+            if st.len_cache != st.queue.len() {
+                bad.insert(format!(
+                    "fifo: cached len {} != queue len {}",
+                    st.len_cache,
+                    st.queue.len()
+                ));
+            }
+            if st.taken.len() as u64 + st.queue.len() as u64 != st.pushed {
+                bad.insert("fifo: lost or duplicated element".to_string());
+            }
+            seen.insert(st);
+            continue;
+        }
+        for tid in runnable {
+            let mut n = st.clone();
+            match scripts[tid][n.pcs[tid]] {
+                FifoOp::Push => {
+                    let v = n.next_val;
+                    n.next_val += 1;
+                    n.pushed += 1;
+                    n.queue.push(v);
+                    n.len_cache = n.queue.len();
+                }
+                FifoOp::Take => {
+                    if !n.queue.is_empty() {
+                        let oldest = *n.queue.iter().min().unwrap();
+                        let v = n.queue.remove(0);
+                        if v != oldest {
+                            bad.insert(format!("fifo: take returned {v}, oldest was {oldest}"));
+                        }
+                        if !n.taken.insert(v) {
+                            bad.insert(format!("fifo: value {v} taken twice"));
+                        }
+                    }
+                    n.len_cache = n.queue.len();
+                }
+                FifoOp::TakeChunk(c) => {
+                    let k = c.min(n.queue.len());
+                    let mut prev = 0u64;
+                    for _ in 0..k {
+                        let v = n.queue.remove(0);
+                        if v <= prev {
+                            bad.insert("fifo: chunk not in FIFO order".to_string());
+                        }
+                        prev = v;
+                        if !n.taken.insert(v) {
+                            bad.insert(format!("fifo: value {v} taken twice"));
+                        }
+                    }
+                    n.len_cache = n.queue.len();
+                }
+            }
+            n.pcs[tid] += 1;
+            if !seen.contains(&n) {
+                stack.push(n);
+            }
+        }
+        seen.insert(st);
+    }
+    Outcome {
+        states: seen.len() as u64,
+        terminals,
+        violations: bad.into_iter().collect(),
+    }
+}
+
+/// The checked-in FIFO scenario: one producer, a local `take` consumer
+/// and a remote chunk-of-two thief.
+pub fn fifo_scenario() -> Vec<Vec<FifoOp>> {
+    use FifoOp::{Push, Take, TakeChunk};
+    vec![
+        vec![Push, Push, Push, Push],
+        vec![Take, Take],
+        vec![TakeChunk(2), TakeChunk(2)],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faithful_model_has_no_violations() {
+        for (name, out) in check_all() {
+            assert!(out.violations.is_empty(), "{name}: {:?}", out.violations);
+            assert!(out.states > 10, "{name}: trivial exploration?");
+            assert!(out.terminals > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn steal_without_cas_is_caught() {
+        let mut s = builtin_scenarios()
+            .into_iter()
+            .find(|s| s.name == "two_thieves_one_item")
+            .unwrap();
+        s.flaw = Some(Flaw::StealWithoutCas);
+        let out = explore(&s);
+        assert!(
+            out.violations.iter().any(|v| v.contains("double-take")
+                || v.contains("uninitialized")
+                || v.contains("lost")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn pop_skipping_last_item_race_is_caught() {
+        let mut s = builtin_scenarios()
+            .into_iter()
+            .find(|s| s.name == "last_item_race")
+            .unwrap();
+        s.flaw = Some(Flaw::PopSkipsLastItemRace);
+        let out = explore(&s);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.contains("double-take") || v.contains("phantom")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn grow_dropping_oldest_is_caught() {
+        let mut s = builtin_scenarios()
+            .into_iter()
+            .find(|s| s.name == "grow_under_steal")
+            .unwrap();
+        s.flaw = Some(Flaw::GrowDropsOldest);
+        let out = explore(&s);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.contains("lost") || v.contains("uninitialized")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn fifo_model_is_clean_and_ordered() {
+        let out = explore_fifo(&fifo_scenario());
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.states > 10);
+    }
+}

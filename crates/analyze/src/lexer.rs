@@ -1,0 +1,386 @@
+//! A minimal, line-aware Rust lexer for the lint pass.
+//!
+//! This is not a full Rust grammar — it only needs to answer "which
+//! identifiers, punctuation and comments appear on which line", while
+//! *never* confusing the contents of a string literal or a comment
+//! with code. That rules out `grep`: `"Instant::now"` inside a test
+//! string, a doc comment mentioning `HashMap`, or a `//` inside a URL
+//! must not fire lint rules. The lexer therefore understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, and raw strings with
+//!   arbitrary `#` fencing (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * char literals vs lifetimes (`'a'` vs `'a`);
+//! * identifiers (keywords are just identifiers here), numbers, and
+//!   single-character punctuation.
+//!
+//! Comments are kept in the token stream — the `safety-comment` rule
+//! and the `distws-lint: allow(...)` pragma scanner both read them.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// One punctuation character (`:`, `{`, `.`, …).
+    Punct,
+    /// `// …` comment, text includes the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested), text includes delimiters.
+    BlockComment,
+    /// String / byte-string / raw-string literal, text includes quotes.
+    Str,
+    /// Character literal (`'x'`).
+    Char,
+    /// Lifetime (`'a`), without the quote in `text`.
+    Lifetime,
+    /// Numeric literal (lexed loosely: digits plus alphanumerics/`_`/`.`).
+    Number,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token.
+    pub kind: TokKind,
+    /// The token text as it appears in the source.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated literals
+/// or comments consume the rest of the input as one token, which is
+/// good enough for linting (rustc will reject such files anyway).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let mut j = i;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (j, nl) = scan_string(&b, i);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_string_prefix(&b, i) => {
+                let (j, nl) = scan_prefixed_string(&b, i);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` followed by a non-quote
+                // is a lifetime; everything else is a char literal.
+                let mut j = i + 1;
+                if j < n && is_ident_start(b[j]) {
+                    let mut k = j;
+                    while k < n && is_ident(b[k]) {
+                        k += 1;
+                    }
+                    if k < n && b[k] == '\'' {
+                        // 'a' — a char literal.
+                        toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: b[i..k + 1].iter().collect(),
+                            line: start_line,
+                        });
+                        i = k + 1;
+                    } else {
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: b[j..k].iter().collect(),
+                            line: start_line,
+                        });
+                        i = k;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: '\n', '\'', '{'.
+                    if j < n && b[j] == '\\' {
+                        j += 2;
+                        // \u{…} escapes.
+                        while j < n && b[j] != '\'' {
+                            j += 1;
+                        }
+                    } else if j < n {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[i..j].iter().collect(),
+                        line: start_line,
+                    });
+                    i = j;
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < n && is_ident(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && (is_ident(b[j]) || b[j] == '.') {
+                    // Stop a `1..10` range from swallowing the second dot.
+                    if b[j] == '.' && j + 1 < n && b[j + 1] == '.' {
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: b[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: start_line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Whether `b[i..]` begins a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `br#`, `b'`-is-not-a-string).
+fn starts_string_prefix(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == '\'' {
+            return false; // byte char literal, handled as ident+char
+        }
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j < n && b[j] == '"' && j > i
+}
+
+/// Scan a plain `"…"` string starting at `i`; returns (end index past
+/// the closing quote, newlines consumed).
+fn scan_string(b: &[char], i: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            '"' => return (j + 1, nl),
+            _ => j += 1,
+        }
+    }
+    (n, nl)
+}
+
+/// Scan `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` starting at `i`.
+fn scan_prefixed_string(b: &[char], i: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < n && b[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < n && b[j] == '"');
+    j += 1; // opening quote
+    let mut nl = 0u32;
+    while j < n {
+        match b[j] {
+            '\\' if !raw => j += 2,
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            '"' => {
+                // Need `hashes` trailing #s to close a raw string.
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && k < n && b[k] == '#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return (k, nl);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (n, nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            let a = "Instant::now() // not code";
+            // HashMap in a comment is fine for code rules
+            /* Instant::now() in /* nested */ comment */
+            let b = r#"SystemTime::now()"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_line() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        let lts: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lts.len(), 3);
+    }
+
+    #[test]
+    fn char_literals_with_escapes() {
+        let src = r"let q = '\''; let n = '\n'; let open = '{'; let u = '\u{1F600}';";
+        let chars: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 4, "{chars:?}");
+        // Nothing after the literals was swallowed.
+        assert!(idents(src).contains(&"u".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "line1\n\"s\ntring\"\nunsafe { }\n";
+        let toks = lex(src);
+        let unsafe_tok = toks.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(unsafe_tok.line, 4);
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fencing() {
+        let src = r###"let x = r##"quote " and "# inside"##; let y = 1;"###;
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(idents(src).contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_are_strings() {
+        let src = r#"let x = b"HashMap"; let c = b'a';"#;
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.starts_with("b\"")));
+        assert!(!idents(src).contains(&"HashMap".to_string()));
+    }
+}

@@ -1,0 +1,37 @@
+//! # distws-analyze
+//!
+//! The correctness-tooling layer: three std-only analysis passes that
+//! turn the reproduction's implicit invariants (seeded-RNG
+//! discipline, deterministic output ordering, a sound Chase–Lev
+//! deque, causally-ordered traces) into machine-checked ones.
+//!
+//! * [`lint`] — a token-level determinism lint over the workspace's
+//!   `src/` trees (string/comment-aware hand-rolled lexer, five rules,
+//!   per-file `// distws-lint: allow(rule)` pragmas). Surface:
+//!   `repro lint`.
+//! * [`interleave`] — a bounded-DFS schedule explorer ("mini-loom")
+//!   that re-states the Chase–Lev deque and the shared FIFO as step
+//!   machines and exhaustively checks every interleaving of small
+//!   push/pop/steal scenarios for lost tasks, double-takes and
+//!   use-after-grow. Surface: `repro check interleave`.
+//! * [`hb`] — a vector-clock happens-before validator over
+//!   `distws-trace` JSONL runs: spawn ≺ execution, migration ≺ remote
+//!   execution, execution ≺ finish-latch release, exactly-once per
+//!   task id, per-worker monotonic time. Surface: `repro check hb`,
+//!   plus the fault property tests and the chaos sweep.
+//!
+//! All passes are deterministic: same input, same report, byte for
+//! byte — the tooling obeys the invariants it enforces.
+
+#![forbid(unsafe_code)]
+
+pub mod hb;
+pub mod interleave;
+pub mod lexer;
+pub mod lint;
+
+pub use hb::{validate_lines, validate_str, HbReport, HbViolation};
+pub use interleave::{
+    builtin_scenarios, check_all, explore, explore_fifo, fifo_scenario, Outcome, Scenario,
+};
+pub use lint::{lint_source, lint_workspace, Rule, Violation};

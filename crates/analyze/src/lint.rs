@@ -1,0 +1,458 @@
+//! The determinism lint pass.
+//!
+//! Five token-level rules encode the repo's reproducibility contract
+//! (every figure, trace and report must regenerate byte-identically
+//! from a seed):
+//!
+//! | rule | what it forbids | where |
+//! |---|---|---|
+//! | `hash-iter` | `HashMap`/`HashSet` (iteration order leaks into output) | `sim`, `netsim`, `sched`, `trace` |
+//! | `wall-clock` | `SystemTime::now` / `Instant::now` | everywhere except `runtime`, `bench` |
+//! | `unseeded-rng` | `thread_rng`, `from_entropy`, `OsRng`, `getrandom`, `RandomState`, `rand::random` | everywhere |
+//! | `unwrap-hot-path` | `.unwrap()` / `.expect(…)` | `sim/src/engine.rs` |
+//! | `safety-comment` | `unsafe {` / `unsafe impl` without a `// SAFETY:` comment ≤ 3 lines above | everywhere |
+//!
+//! `hash-iter` is deliberately an over-approximation: proving "this
+//! map is never iterated" needs type information a token scanner does
+//! not have, so output-path crates simply may not name the types at
+//! all — `BTreeMap`/`BTreeSet` give the same API with a deterministic
+//! order. Exceptions are explicit and greppable via a file-level
+//! pragma:
+//!
+//! ```text
+//! // distws-lint: allow(hash-iter)
+//! // distws-lint: allow(wall-clock, unseeded-rng)
+//! ```
+//!
+//! The pass lints `src/` trees only (fixtures with seeded violations
+//! live under `tests/`, and test code may use `HashMap` freely — it
+//! produces no run output).
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` named in an output-path crate.
+    HashIter,
+    /// `SystemTime::now` / `Instant::now` outside `runtime`/`bench`.
+    WallClock,
+    /// Unseeded randomness anywhere.
+    UnseededRng,
+    /// `.unwrap()` / `.expect(` in the simulator engine hot path.
+    UnwrapHotPath,
+    /// `unsafe` block/impl without a `// SAFETY:` comment.
+    SafetyComment,
+}
+
+impl Rule {
+    /// The pragma / CLI name of the rule.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::UnwrapHotPath => "unwrap-hot-path",
+            Rule::SafetyComment => "safety-comment",
+        }
+    }
+
+    /// Every rule, in diagnostic order.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::HashIter,
+            Rule::WallClock,
+            Rule::UnseededRng,
+            Rule::UnwrapHotPath,
+            Rule::SafetyComment,
+        ]
+    }
+
+    /// Parse a pragma name back to a rule.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::all().into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// One finding: `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Crates whose `src/` may not name `HashMap`/`HashSet` — anything
+/// that feeds report, trace or figure output.
+const HASH_FORBIDDEN_CRATES: &[&str] = &["sim", "netsim", "sched", "trace"];
+/// Crates allowed to read the wall clock (real-time execution and the
+/// timing harness).
+const WALL_CLOCK_ALLOWED_CRATES: &[&str] = &["runtime", "bench"];
+
+/// Crate name (the `<c>` of `crates/<c>/src/...`) a workspace-relative
+/// path belongs to; `None` for the root `src/`.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let mut parts = rel_path.split('/');
+    if parts.next()? == "crates" {
+        parts.next()
+    } else {
+        None
+    }
+}
+
+/// Lint one file's source text. `rel_path` must be workspace-relative
+/// with `/` separators (it selects which scoped rules apply).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let toks = lex(src);
+    let krate = crate_of(rel_path);
+    let mut out = Vec::new();
+
+    // File-level allow pragmas: `// distws-lint: allow(a, b)`.
+    let mut allowed: Vec<Rule> = Vec::new();
+    for t in &toks {
+        if t.kind == TokKind::LineComment || t.kind == TokKind::BlockComment {
+            collect_pragmas(&t.text, &mut allowed);
+        }
+    }
+
+    let comments: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+
+    let mut push = |rule: Rule, line: u32, message: String| {
+        if !allowed.contains(&rule) {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    let hash_scoped = krate.is_some_and(|c| HASH_FORBIDDEN_CRATES.contains(&c));
+    let wall_scoped = !krate.is_some_and(|c| WALL_CLOCK_ALLOWED_CRATES.contains(&c));
+    let engine_scoped = rel_path.ends_with("sim/src/engine.rs");
+
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if hash_scoped => push(
+                Rule::HashIter,
+                t.line,
+                format!(
+                    "`{}` in an output-path crate: iteration order is \
+                     nondeterministic; use BTreeMap/BTreeSet or sort first",
+                    t.text
+                ),
+            ),
+            "SystemTime" | "Instant" if wall_scoped && followed_by_now(&code, i) => push(
+                Rule::WallClock,
+                t.line,
+                format!(
+                    "`{}::now` leaks wall-clock time into deterministic code; \
+                     use the simulator's virtual clock",
+                    t.text
+                ),
+            ),
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" | "RandomState" => push(
+                Rule::UnseededRng,
+                t.line,
+                format!(
+                    "`{}` draws unseeded randomness; derive a stream from the \
+                     run seed (SplitMix64) instead",
+                    t.text
+                ),
+            ),
+            "random" if path_prefixed(&code, i, "rand") => push(
+                Rule::UnseededRng,
+                t.line,
+                "`rand::random` draws unseeded randomness; derive a stream \
+                 from the run seed (SplitMix64) instead"
+                    .to_string(),
+            ),
+            "unwrap" | "expect"
+                if engine_scoped && method_call(&code, i) && !in_test_span(&code, i) =>
+            {
+                push(
+                    Rule::UnwrapHotPath,
+                    t.line,
+                    format!(
+                        "`.{}()` in the engine hot path can panic mid-run; \
+                         return an error or prove the invariant upstream",
+                        t.text
+                    ),
+                )
+            }
+            "unsafe"
+                if begins_block_or_impl(&code, i) && !has_safety_comment(&comments, t.line) =>
+            {
+                push(
+                    Rule::SafetyComment,
+                    t.line,
+                    "`unsafe` without a `// SAFETY:` comment on the \
+                     preceding lines documenting why it is sound"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// `ident :: now` — the two `:` puncts plus the `now` identifier.
+fn followed_by_now(code: &[&Tok], i: usize) -> bool {
+    code.get(i + 1).is_some_and(|t| t.text == ":")
+        && code.get(i + 2).is_some_and(|t| t.text == ":")
+        && code
+            .get(i + 3)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == "now")
+}
+
+/// `prefix :: ident` at position `i` of `ident`.
+fn path_prefixed(code: &[&Tok], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && code[i - 1].text == ":"
+        && code[i - 2].text == ":"
+        && code[i - 3].kind == TokKind::Ident
+        && code[i - 3].text == prefix
+}
+
+/// `. ident (` — a method call, not a struct field or import.
+fn method_call(code: &[&Tok], i: usize) -> bool {
+    i >= 1 && code[i - 1].text == "." && code.get(i + 1).is_some_and(|t| t.text == "(")
+}
+
+/// Whether token `i` appears after a `mod tests` opener — engine
+/// test helpers may unwrap freely.
+fn in_test_span(code: &[&Tok], i: usize) -> bool {
+    let mut saw_mod = false;
+    for t in code.iter().take(i) {
+        if t.kind == TokKind::Ident && t.text == "mod" {
+            saw_mod = true;
+        } else if saw_mod && t.kind == TokKind::Ident && t.text == "tests" {
+            return true;
+        } else if t.kind == TokKind::Ident {
+            saw_mod = false;
+        }
+    }
+    false
+}
+
+/// `unsafe {` or `unsafe impl` — the forms that *perform* unsafe
+/// operations. `unsafe fn` declarations document their contract with a
+/// `# Safety` doc section instead (clippy's `missing_safety_doc`).
+fn begins_block_or_impl(code: &[&Tok], i: usize) -> bool {
+    match code.get(i + 1) {
+        Some(t) if t.text == "{" => true,
+        Some(t) if t.kind == TokKind::Ident && t.text == "impl" => true,
+        _ => false,
+    }
+}
+
+/// A comment containing `SAFETY` in the contiguous comment block
+/// immediately above (or on) the `unsafe` line. Multi-line SAFETY
+/// justifications are common, so the lookback follows the comment
+/// block however long it is — but a blank or code line breaks it.
+fn has_safety_comment(comments: &[&Tok], unsafe_line: u32) -> bool {
+    // Map every source line covered by a comment to whether that
+    // comment mentions SAFETY (block comments span multiple lines).
+    let mut by_line: BTreeMap<u32, bool> = BTreeMap::new();
+    for c in comments {
+        let span = c.text.matches('\n').count() as u32;
+        let has = c.text.contains("SAFETY");
+        for ln in c.line..=c.line + span {
+            let e = by_line.entry(ln).or_insert(false);
+            *e |= has;
+        }
+    }
+    // Trailing comment on the `unsafe` line itself counts.
+    if by_line.get(&unsafe_line).copied().unwrap_or(false) {
+        return true;
+    }
+    // Walk upward through the contiguous run of commented lines.
+    let mut ln = unsafe_line;
+    while ln > 0 {
+        ln -= 1;
+        match by_line.get(&ln) {
+            Some(true) => return true,
+            Some(false) => continue,
+            None => return false,
+        }
+    }
+    false
+}
+
+/// Extract `distws-lint: allow(a, b)` rule names from a comment.
+fn collect_pragmas(comment: &str, allowed: &mut Vec<Rule>) {
+    let Some(pos) = comment.find("distws-lint:") else {
+        return;
+    };
+    let rest = &comment[pos + "distws-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return;
+    };
+    let Some(close) = rest[open..].find(')') else {
+        return;
+    };
+    for name in rest[open + "allow(".len()..open + close].split(',') {
+        if let Some(rule) = Rule::from_name(name.trim()) {
+            if !allowed.contains(&rule) {
+                allowed.push(rule);
+            }
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for a
+/// deterministic report order.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `src/` tree of the workspace rooted at `root`
+/// (`crates/*/src/**/*.rs` plus the root crate's `src/`). Returns all
+/// violations, sorted by path then line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    rs_files(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for m in members {
+            rs_files(&m.join("src"), &mut files)?;
+        }
+    }
+    let mut out = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&f)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iter_scoped_to_output_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_source("crates/sim/src/lib.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/trace/src/x.rs", src).len(), 1);
+        // apps/core may hash freely.
+        assert!(lint_source("crates/apps/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scoped() {
+        let src = "let t = Instant::now();\n";
+        let v = lint_source("crates/sim/src/engine.rs", src);
+        assert!(v.iter().any(|v| v.rule == Rule::WallClock), "{v:?}");
+        assert!(lint_source("crates/runtime/src/worker.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+        // Mentioning the type without calling `now` is fine.
+        assert!(lint_source("crates/sim/src/x.rs", "fn f(t: Instant) {}\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_only_in_engine_and_not_fields() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); }\n";
+        assert_eq!(lint_source("crates/sim/src/engine.rs", src).len(), 2);
+        assert!(lint_source("crates/sim/src/lib.rs", src).is_empty());
+        // `unwrap` as a plain identifier does not fire.
+        assert!(lint_source("crates/sim/src/engine.rs", "let unwrap = 1;\n").is_empty());
+    }
+
+    #[test]
+    fn safety_comment_window() {
+        let ok = "// SAFETY: sound because reasons.\nunsafe { work() }\n";
+        assert!(lint_source("crates/deque/src/x.rs", ok).is_empty());
+        let bad = "unsafe { work() }\n";
+        assert_eq!(lint_source("crates/deque/src/x.rs", bad).len(), 1);
+        // unsafe fn declarations are clippy's job, not ours.
+        let decl = "pub unsafe fn f() {}\n";
+        assert!(lint_source("crates/deque/src/x.rs", decl).is_empty());
+        // unsafe impls need the comment too.
+        let imp = "unsafe impl Send for X {}\n";
+        assert_eq!(lint_source("crates/deque/src/x.rs", imp).len(), 1);
+    }
+
+    #[test]
+    fn pragma_suppresses_rule_for_file() {
+        let src = "// distws-lint: allow(hash-iter)\nuse std::collections::HashMap;\n";
+        assert!(lint_source("crates/sim/src/lib.rs", src).is_empty());
+        let multi =
+            "// distws-lint: allow(wall-clock, unseeded-rng)\nlet t = Instant::now(); thread_rng();\n";
+        assert!(lint_source("crates/sim/src/x.rs", multi).is_empty());
+    }
+
+    #[test]
+    fn strings_do_not_fire() {
+        let src = "let s = \"Instant::now() thread_rng HashMap unsafe {\";\n";
+        assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn violations_render_as_file_line_rule() {
+        let v = &lint_source(
+            "crates/sim/src/lib.rs",
+            "\nuse std::collections::HashSet;\n",
+        )[0];
+        let s = v.to_string();
+        assert!(s.starts_with("crates/sim/src/lib.rs:2: hash-iter:"), "{s}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: contains a hash-iter violation but suppresses it with a
+//! file-level allow pragma. The wall-clock violation must still fire.
+// distws-lint: allow(hash-iter)
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn suppressed() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn still_caught() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,45 @@
+//! Fixture: exercises every rule's *near-miss* and must lint clean
+//! even under the strictest path scoping (`crates/sim/src/engine.rs`).
+
+use std::collections::BTreeMap;
+
+/// Mentions of HashMap, Instant::now and unwrap() in doc comments and
+/// strings are not code.
+pub const DOC: &str = "HashMap iteration and Instant::now and rand::random and unwrap()";
+
+pub const RAW: &str = r#"thread_rng() inside a raw string is not a call"#;
+
+pub fn totals(samples: &[(u32, u64)]) -> BTreeMap<u32, u64> {
+    let mut out = BTreeMap::new();
+    for &(w, v) in samples {
+        *out.entry(w).or_insert(0u64) += v;
+    }
+    out
+}
+
+/// `unwrap_or` and `unwrap_or_else` are fine — only bare
+/// `.unwrap()` / `.expect()` can panic.
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub struct Raw(*mut u8);
+
+// SAFETY: the pointer is only dereferenced while the owning allocation
+// is live; documented contract on the constructor.
+unsafe impl Send for Raw {}
+
+pub fn deref(r: &Raw) -> u8 {
+    // SAFETY: callers uphold the liveness contract above.
+    unsafe { *r.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test modules may unwrap freely even in engine.rs.
+    #[test]
+    fn unwrap_allowed_in_tests() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: names `HashMap` inside an output-path crate (the test
+//! lints this file as if it lived at `crates/sim/src/bad.rs`).
+
+use std::collections::HashMap;
+
+pub fn per_worker_totals(samples: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut totals: HashMap<u32, u64> = HashMap::new();
+    for &(w, v) in samples {
+        *totals.entry(w).or_insert(0) += v;
+    }
+    // Iteration order here depends on the hasher seed — exactly the
+    // nondeterminism the rule exists to catch.
+    totals.into_iter().collect()
+}

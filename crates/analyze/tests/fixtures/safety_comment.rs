@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` block and `unsafe impl` without `// SAFETY:`
+//! comments.
+
+pub struct Raw(*mut u8);
+
+unsafe impl Send for Raw {}
+
+pub fn deref(r: &Raw) -> u8 {
+    unsafe { *r.0 }
+}

@@ -1,0 +1,6 @@
+//! Fixture: draws unseeded randomness (forbidden everywhere).
+
+pub fn pick_victim(n: usize) -> usize {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..n)
+}

@@ -1,0 +1,10 @@
+//! Fixture: `.unwrap()` on the engine hot path (the test lints this
+//! file as if it were `crates/sim/src/engine.rs`).
+
+pub fn pop_ready(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap()
+}
+
+pub fn lookup(map: &std::collections::BTreeMap<u64, u64>, k: u64) -> u64 {
+    *map.get(&k).expect("task must be registered")
+}

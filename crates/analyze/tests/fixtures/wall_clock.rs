@@ -1,0 +1,10 @@
+//! Fixture: reads the wall clock outside `runtime`/`bench` (the test
+//! lints this file as if it lived at `crates/sched/src/bad.rs`).
+
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos())
+}

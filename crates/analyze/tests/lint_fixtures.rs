@@ -1,0 +1,101 @@
+//! End-to-end fixtures for the determinism lint: each rule has one
+//! fixture file that must trip it (with the right `file:line`), plus a
+//! clean fixture full of near-misses that must not.
+
+use distws_analyze::{lint_source, Rule};
+
+fn lines_for(rule: Rule, rel_path: &str, src: &str) -> Vec<u32> {
+    lint_source(rel_path, src)
+        .into_iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn hash_iter_fires_in_output_path_crates() {
+    let src = include_str!("fixtures/hash_iter.rs");
+    // `HashMap` appears in the `use` (line 4) and twice in the type
+    // annotation + constructor (line 7).
+    assert_eq!(
+        lines_for(Rule::HashIter, "crates/sim/src/bad.rs", src),
+        vec![4, 7, 7]
+    );
+    // The same source is fine outside the scoped crates.
+    assert!(lines_for(Rule::HashIter, "crates/apps/src/ok.rs", src).is_empty());
+}
+
+#[test]
+fn wall_clock_fires_outside_runtime_and_bench() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    assert_eq!(
+        lines_for(Rule::WallClock, "crates/sched/src/bad.rs", src),
+        vec![7]
+    );
+    assert!(lines_for(Rule::WallClock, "crates/runtime/src/ok.rs", src).is_empty());
+    assert!(lines_for(Rule::WallClock, "crates/bench/src/ok.rs", src).is_empty());
+}
+
+#[test]
+fn unseeded_rng_fires_everywhere() {
+    let src = include_str!("fixtures/unseeded_rng.rs");
+    assert_eq!(
+        lines_for(Rule::UnseededRng, "crates/apps/src/bad.rs", src),
+        vec![4]
+    );
+    assert_eq!(
+        lines_for(Rule::UnseededRng, "crates/runtime/src/bad.rs", src),
+        vec![4]
+    );
+}
+
+#[test]
+fn unwrap_fires_only_in_engine() {
+    let src = include_str!("fixtures/unwrap_hot_path.rs");
+    assert_eq!(
+        lines_for(Rule::UnwrapHotPath, "crates/sim/src/engine.rs", src),
+        vec![5, 9]
+    );
+    assert!(lines_for(Rule::UnwrapHotPath, "crates/sim/src/events.rs", src).is_empty());
+}
+
+#[test]
+fn missing_safety_comment_fires() {
+    let src = include_str!("fixtures/safety_comment.rs");
+    assert_eq!(
+        lines_for(Rule::SafetyComment, "crates/apps/src/bad.rs", src),
+        vec![6, 9]
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_violations_under_strictest_scoping() {
+    let src = include_str!("fixtures/clean.rs");
+    let vs = lint_source("crates/sim/src/engine.rs", src);
+    assert!(vs.is_empty(), "expected clean, got: {vs:?}");
+}
+
+#[test]
+fn allow_pragma_suppresses_only_the_named_rule() {
+    let src = include_str!("fixtures/allow_pragma.rs");
+    let vs = lint_source("crates/sim/src/bad.rs", src);
+    assert!(
+        vs.iter().all(|v| v.rule != Rule::HashIter),
+        "hash-iter should be suppressed: {vs:?}"
+    );
+    assert_eq!(
+        lines_for(Rule::WallClock, "crates/sim/src/bad.rs", src),
+        vec![13]
+    );
+}
+
+#[test]
+fn violations_render_as_file_line_rule() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let vs = lint_source("crates/sched/src/bad.rs", src);
+    let rendered = vs[0].to_string();
+    assert!(
+        rendered.starts_with("crates/sched/src/bad.rs:7: wall-clock: "),
+        "unexpected rendering: {rendered}"
+    );
+}

@@ -1,0 +1,20 @@
+//! Self-check: the real workspace must pass its own determinism lint.
+//! This is the same walk `repro lint` performs, run as a test so
+//! `cargo test` alone catches regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_own_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = distws_analyze::lint_workspace(&root).expect("walk workspace");
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

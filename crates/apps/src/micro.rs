@@ -171,6 +171,8 @@ impl Workload for MergeSortMicro {
         let guard = self.state.lock().unwrap();
         let st = guard.as_ref().ok_or("mergesort: no run state")?;
         // Final data lives in `a` if the phase count is even, else `b`.
+        // SAFETY: validation runs after the simulation drained, so no
+        // task aliases either buffer.
         let out = unsafe {
             if st.phases % 2 == 0 {
                 st.a.slice(0, st.n)
@@ -316,6 +318,8 @@ impl Workload for SkylineMM {
     fn validate(&self) -> Result<(), String> {
         let guard = self.state.lock().unwrap();
         let st = guard.as_ref().ok_or("skyline: no run state")?;
+        // SAFETY: validation runs after the simulation drained, so no
+        // task aliases `y`.
         let got = unsafe { st.y.slice(0, st.expect.len()) };
         if got != st.expect.as_slice() {
             return Err("product differs from sequential result".into());
@@ -586,6 +590,8 @@ impl Workload for MatrixChain {
     fn validate(&self) -> Result<(), String> {
         let guard = self.state.lock().unwrap();
         let st = guard.as_ref().ok_or("mchain: no run state")?;
+        // SAFETY: validation runs after the simulation drained, so no
+        // task aliases the cost matrix.
         let mm = unsafe { st.m.slice(0, st.n * st.n) };
         let got = mm[st.n - 1];
         if got != st.expect {

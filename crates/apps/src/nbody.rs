@@ -534,6 +534,8 @@ impl Workload for NBody {
     fn validate(&self) -> Result<(), String> {
         let guard = self.state.lock().unwrap();
         let st = guard.as_ref().ok_or("nbody: no run state")?;
+        // SAFETY: validation runs after the simulation drained, so no
+        // task aliases `bodies`.
         let got = unsafe { st.bodies.slice(0, st.expect.len()) };
         for (i, (g, e)) in got.iter().zip(&st.expect).enumerate() {
             if g != e {

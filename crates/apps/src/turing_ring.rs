@@ -226,6 +226,8 @@ fn cell_task(sh: Arc<Shared>, i: usize, latch: Arc<FinishLatch>) -> TaskSpec {
     let sh2 = Arc::clone(&sh);
     let latch2 = Arc::clone(&latch);
     let body = move |s: &mut dyn TaskScope| {
+        // SAFETY: step tasks only read `pred`/`prey` (stable during
+        // the phase) and publish into the atomic `next_*` fields.
         let ring = unsafe { sh2.ring.slice(0, sh2.cells) };
         let c = &ring[i];
         let (rp, _, pl, pr, _) = step_cell(c.pred, c.prey);
@@ -354,6 +356,8 @@ impl Workload for TuringRing {
     fn validate(&self) -> Result<(), String> {
         let guard = self.state.lock().unwrap();
         let st = guard.as_ref().ok_or("turing ring: no run state")?;
+        // SAFETY: validation runs after the simulation drained, so no
+        // task aliases the ring.
         let ring = unsafe { st.ring.slice(0, st.expect_pred.len()) };
         for (i, c) in ring.iter().enumerate() {
             if c.pred != st.expect_pred[i] || c.prey != st.expect_prey[i] {

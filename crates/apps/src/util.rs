@@ -25,6 +25,8 @@ pub struct SharedSlice<T> {
 // SAFETY: access discipline per the documented contract; T: Send
 // suffices because disjoint ranges are touched by at most one thread.
 unsafe impl<T: Send> Send for SharedSlice<T> {}
+// SAFETY: same contract — `&SharedSlice` only yields aliased data when
+// callers break the documented range discipline.
 unsafe impl<T: Send> Sync for SharedSlice<T> {}
 
 impl<T> SharedSlice<T> {
@@ -138,12 +140,15 @@ mod tests {
     #[test]
     fn disjoint_ranges_mutate_independently() {
         let s = SharedSlice::new(vec![0u32; 10]);
+        // SAFETY: the two ranges are disjoint and nothing else holds
+        // a reference.
         unsafe {
             let a = s.slice_mut(0, 5);
             let b = s.slice_mut(5, 10);
             a.fill(1);
             b.fill(2);
         }
+        // SAFETY: the slices above were dropped; sole access again.
         let v = unsafe { s.snapshot() };
         assert_eq!(&v[..5], &[1; 5]);
         assert_eq!(&v[5..], &[2; 5]);

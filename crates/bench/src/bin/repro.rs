@@ -3,7 +3,9 @@
 //! ```text
 //! repro <experiment> [--scale quick|default|paper] [--json DIR]
 //! repro trace <app> [--scale ...] [--policy NAME] [--seed N] [--json DIR]
-//! repro chaos <app> --faults SPEC [--scale ...] [--policy NAME] [--seed N] [--json DIR]
+//! repro chaos <app> --faults SPEC [--scale ...] [--policy NAME] [--seed N] [--json DIR] [--validate]
+//! repro lint [ROOT]
+//! repro check [interleave | hb FILE.jsonl]
 //!
 //! experiments:
 //!   fig3 fig4 fig5 fig6 fig7 table1 table2 table3
@@ -21,7 +23,15 @@
 //! `drop=0.05,jitter=2us,kill=3@40%`) and prints a degradation table:
 //! makespan inflation vs the fault-free baseline plus drop/timeout/
 //! retry/recovery counters per level. Every run asserts exactly-once
-//! task execution.
+//! task execution. With `--validate`, every level additionally runs
+//! traced and its event stream is checked by the happens-before
+//! validator (tracing does not perturb results — PR 1 invariant).
+//!
+//! `repro lint` runs the determinism lint over the workspace (or a
+//! given root) and exits nonzero with `file:line` diagnostics on any
+//! violation. `repro check` runs the bounded Chase-Lev/FIFO
+//! interleaving checker; `repro check hb FILE` validates a
+//! `*.trace.jsonl` file. See `docs/analysis.md`.
 
 use distws_bench as bench;
 use distws_bench::Scale;
@@ -35,9 +45,11 @@ fn main() {
     let mut policy_name = "DistWS".to_string();
     let mut fault_spec: Option<String> = None;
     let mut seed: Option<u64> = None;
+    let mut validate = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--validate" => validate = true,
             "--faults" => {
                 i += 1;
                 fault_spec = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -84,6 +96,27 @@ fn main() {
         i += 1;
     }
 
+    if positional.first().map(String::as_str) == Some("lint") {
+        run_lint(positional.get(1).map(String::as_str));
+        return;
+    }
+    if positional.first().map(String::as_str) == Some("check") {
+        match positional.get(1).map(String::as_str) {
+            None | Some("interleave") => run_check_interleave(),
+            Some("hb") => {
+                let Some(path) = positional.get(2) else {
+                    eprintln!("usage: repro check hb FILE.jsonl");
+                    std::process::exit(2);
+                };
+                run_check_hb(path);
+            }
+            Some(other) => {
+                eprintln!("unknown check '{other}' (expected: interleave, hb FILE.jsonl)");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if positional.first().map(String::as_str) == Some("trace") {
         let Some(app) = positional.get(1) else {
             eprintln!("usage: repro trace <app> [--scale S] [--policy P] [--seed N] [--json DIR]");
@@ -101,7 +134,7 @@ fn main() {
     if positional.first().map(String::as_str) == Some("chaos") {
         let Some(app) = positional.get(1) else {
             eprintln!(
-                "usage: repro chaos <app> --faults SPEC [--scale S] [--policy P] [--seed N] [--json DIR]"
+                "usage: repro chaos <app> --faults SPEC [--scale S] [--policy P] [--seed N] [--json DIR] [--validate]"
             );
             std::process::exit(2);
         };
@@ -109,7 +142,15 @@ fn main() {
             eprintln!("repro chaos needs --faults SPEC (e.g. drop=0.05,kill=3@40%)");
             std::process::exit(2);
         };
-        run_chaos(app, scale, &policy_name, &spec, seed, json_dir.as_deref());
+        run_chaos(
+            app,
+            scale,
+            &policy_name,
+            &spec,
+            seed,
+            json_dir.as_deref(),
+            validate,
+        );
         return;
     }
     if positional.len() > 1 {
@@ -178,8 +219,10 @@ fn main() {
         );
         eprintln!("or: repro trace <app> [--scale S] [--policy P] [--seed N] [--json DIR]");
         eprintln!(
-            "or: repro chaos <app> --faults SPEC [--scale S] [--policy P] [--seed N] [--json DIR]"
+            "or: repro chaos <app> --faults SPEC [--scale S] [--policy P] [--seed N] [--json DIR] [--validate]"
         );
+        eprintln!("or: repro lint [ROOT]");
+        eprintln!("or: repro check [interleave | hb FILE.jsonl]");
         std::process::exit(2);
     }
 }
@@ -200,6 +243,7 @@ fn run_chaos(
     spec_text: &str,
     seed: Option<u64>,
     json_dir: Option<&str>,
+    validate: bool,
 ) {
     let spec = match distws_sim::FaultSpec::parse(spec_text) {
         Ok(s) => s,
@@ -209,18 +253,115 @@ fn run_chaos(
         }
     };
     let seed = seed.unwrap_or(0x5EED);
-    let Some(rows) = bench::chaos_sweep(app_name, policy_name, &spec, scale, seed) else {
+    let (rows, validation) = if validate {
+        match bench::chaos_sweep_validated(app_name, policy_name, &spec, scale, seed) {
+            Some((rows, v)) => (rows, Some(v)),
+            None => (Vec::new(), None),
+        }
+    } else {
+        (
+            bench::chaos_sweep(app_name, policy_name, &spec, scale, seed).unwrap_or_default(),
+            None,
+        )
+    };
+    if rows.is_empty() {
         let names: Vec<String> = bench::suite(scale).iter().map(|a| a.name()).collect();
         eprintln!(
             "unknown app '{app_name}' or policy '{policy_name}'; apps: {}",
             names.join(" ")
         );
         std::process::exit(2);
-    };
+    }
     print_chaos(spec_text, seed, &rows);
+    if let Some(v) = validation {
+        println!(
+            "(happens-before validator: {} levels, {} events, {} task lifecycles — all causally ordered, exactly-once)",
+            v.levels_validated, v.events_checked, v.tasks_checked
+        );
+    }
     if let Some(dir) = json_dir {
         let slug = rows[0].app.to_ascii_lowercase().replace(' ', "_");
         write_json(dir, &format!("chaos_{slug}"), &rows);
+    }
+}
+
+/// `repro lint [ROOT]` — the determinism lint over the workspace.
+fn run_lint(root: Option<&str>) {
+    let root = std::path::PathBuf::from(root.unwrap_or("."));
+    let violations = match distws_analyze::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repro lint: cannot walk {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("repro lint: workspace clean (hash-iter, wall-clock, unseeded-rng, unwrap-hot-path, safety-comment)");
+    } else {
+        eprintln!("repro lint: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}
+
+/// `repro check [interleave]` — bounded-DFS interleaving checker over
+/// the Chase-Lev deque and shared-FIFO models.
+fn run_check_interleave() {
+    hr("Bounded interleaving check — Chase-Lev deque + shared FIFO models");
+    println!(
+        "{:<22} {:>10} {:>10} {:>11}",
+        "scenario", "states", "terminals", "violations"
+    );
+    let mut failed = false;
+    let mut results = distws_analyze::check_all();
+    results.push((
+        "shared_fifo",
+        distws_analyze::explore_fifo(&distws_analyze::fifo_scenario()),
+    ));
+    for (name, out) in &results {
+        println!(
+            "{:<22} {:>10} {:>10} {:>11}",
+            name,
+            out.states,
+            out.terminals,
+            out.violations.len()
+        );
+        for v in &out.violations {
+            eprintln!("  {name}: {v}");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("repro check: interleaving violations found");
+        std::process::exit(1);
+    }
+    println!("(no lost task, no double-take, no use-after-grow on any explored schedule)");
+}
+
+/// `repro check hb FILE.jsonl` — happens-before validation of a trace.
+fn run_check_hb(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("repro check hb: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = distws_analyze::validate_str(&text);
+    for v in &report.violations {
+        println!("{path}: {v}");
+    }
+    println!(
+        "{path}: {} events, {} tasks, {} workers, {} violation(s)",
+        report.events,
+        report.tasks,
+        report.workers,
+        report.violations.len()
+    );
+    if !report.ok() {
+        std::process::exit(1);
     }
 }
 

@@ -22,6 +22,8 @@
 //! | [`ablation_mapping_rule`] | Alg. 1 line 5 — idle/under-utilized rule |
 //! | [`ablation_victim_order`] | footnote 2 — ring victim ordering |
 
+#![forbid(unsafe_code)]
+
 use distws_apps as apps;
 use distws_core::{ClusterConfig, RunReport, Workload};
 use distws_json::impl_to_json;
@@ -705,6 +707,104 @@ pub fn chaos_sweep(
         });
     }
     Some(out)
+}
+
+/// What [`chaos_sweep_validated`] proved about the sweep's traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosValidation {
+    /// Fault levels whose event streams passed the validator.
+    pub levels_validated: usize,
+    /// Total trace events checked across all levels.
+    pub events_checked: usize,
+    /// Total task lifecycles proven exactly-once and causally ordered.
+    pub tasks_checked: usize,
+}
+
+/// Like [`chaos_sweep`], but every level runs **traced** and its JSONL
+/// event stream is checked by the happens-before validator
+/// (`distws-analyze`): spawn happens-before execution, migrations
+/// happen-before remote execution, execution happens-before the
+/// finish-latch release, and every task runs exactly once — even while
+/// faults drop messages and kill places mid-run.
+///
+/// Tracing does not perturb the simulation (the PR 1 invariant: traced
+/// and untraced runs produce byte-identical reports), so the returned
+/// rows are exactly what [`chaos_sweep`] returns for the same inputs.
+///
+/// # Panics
+/// Panics with the violation list if any level's trace breaks a
+/// happens-before or exactly-once property — this is a correctness
+/// assertion in the same spirit as the exactly-once `assert_eq!` in
+/// the untraced sweep.
+pub fn chaos_sweep_validated(
+    app_name: &str,
+    policy_name: &str,
+    spec: &FaultSpec,
+    scale: Scale,
+    seed: u64,
+) -> Option<(Vec<ChaosRow>, ChaosValidation)> {
+    let cluster = eval_cluster(scale);
+    let mut out = Vec::new();
+    let mut validation = ChaosValidation {
+        levels_validated: 0,
+        events_checked: 0,
+        tasks_checked: 0,
+    };
+    let mut baseline_ns = 0u64;
+    for &level in &CHAOS_LEVELS {
+        let app = app_by_name(app_name, scale)?;
+        let policy = policy_by_name(policy_name)?;
+        let mut cfg = SimConfig::new(cluster.clone());
+        cfg.seed = seed;
+        if level > 0.0 {
+            cfg.faults = spec.resolve(baseline_ns, level, seed);
+        }
+        let mut sink = distws_trace::JsonlSink::new(Vec::new());
+        let (r, _) = Simulation::with_config(cfg, policy).run_app_traced(app.as_ref(), &mut sink);
+        assert_eq!(
+            r.tasks_spawned, r.tasks_executed,
+            "{app_name} level {level}: a task was lost or re-executed"
+        );
+        let jsonl = String::from_utf8(sink.into_inner()).expect("trace is UTF-8");
+        let hb = distws_analyze::validate_str(&jsonl);
+        assert!(
+            hb.ok(),
+            "{app_name} level {level}: happens-before violations:\n{}",
+            hb.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        validation.levels_validated += 1;
+        validation.events_checked += hb.events as usize;
+        validation.tasks_checked += hb.tasks as usize;
+        if level == 0.0 {
+            baseline_ns = r.makespan_ns;
+        }
+        let degradation_pct = if baseline_ns > 0 {
+            100.0 * (r.makespan_ns as f64 / baseline_ns as f64 - 1.0)
+        } else {
+            0.0
+        };
+        out.push(ChaosRow {
+            app: r.app.clone(),
+            scheduler: r.scheduler.clone(),
+            level,
+            makespan_ms: r.makespan_ns as f64 / 1e6,
+            degradation_pct,
+            tasks: r.tasks_executed,
+            msgs_dropped: r.faults.msgs_dropped,
+            msgs_duplicated: r.faults.msgs_duplicated,
+            steal_timeouts: r.faults.steal_timeouts,
+            steal_retries: r.faults.steal_retries,
+            retransmissions: r.faults.retransmissions,
+            tasks_recovered: r.faults.tasks_recovered,
+            lease_reclaims: r.faults.lease_reclaims,
+            places_failed: r.faults.places_failed,
+        });
+    }
+    Some((out, validation))
 }
 
 // ---------------------------------------------------------------------------

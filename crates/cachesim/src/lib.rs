@@ -14,6 +14,8 @@
 //! Addresses are formed from `(ObjectId, byte offset)`; distinct
 //! objects never alias.
 
+#![forbid(unsafe_code)]
+
 /// Geometry of one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {

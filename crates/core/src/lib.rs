@@ -23,6 +23,8 @@
 //!   and figure of the paper at full 128-worker scale), and
 //! * `distws-runtime` — a real multithreaded work-stealing runtime.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod dist;
 pub mod finish;

@@ -83,7 +83,16 @@ struct Inner<T> {
     retired: Mutex<Vec<*mut Buffer<T>>>,
 }
 
+// SAFETY: `Inner` is shared by exactly one owner and many thieves.
+// Every slot is published to thieves only via the release store of
+// `bottom` (push) and claimed only via the CAS on `top` (steal/pop),
+// so a `T` crosses threads at most once and is never aliased after a
+// successful claim; `T: Send` is therefore sufficient for both
+// auto-traits. Retired buffers are only freed in `Drop`, when no other
+// handle exists.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: see the `Send` justification above — all shared mutation
+// goes through atomics or the `retired` mutex.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
@@ -92,6 +101,10 @@ impl<T> Drop for Inner<T> {
         let top = self.top.load(Ordering::Relaxed);
         let bottom = self.bottom.load(Ordering::Relaxed);
         let buf_ptr = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: `&mut self` in `Drop` proves no other handle exists,
+        // so indices `top..bottom` hold initialized, unaliased values;
+        // the current and retired buffer pointers all came from
+        // `Box::into_raw` and are freed exactly once each.
         unsafe {
             let buf = &*buf_ptr;
             let mut i = top;
@@ -151,6 +164,11 @@ impl<T: Send> Worker<T> {
         let b = inner.bottom.load(Ordering::Relaxed);
         let t = inner.top.load(Ordering::Acquire);
         let mut buf_ptr = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: only the single owner writes the buffer pointer, so
+        // our relaxed load sees the current buffer. Slot `b` is outside
+        // every thief's reachable window (they stop at the `bottom`
+        // they observed, which is ≤ b until the release store below
+        // publishes the write), so the plain write cannot race a read.
         unsafe {
             if b - t >= (*buf_ptr).cap as isize {
                 buf_ptr = self.grow(buf_ptr, t, b);
@@ -172,6 +190,11 @@ impl<T: Send> Worker<T> {
         let t = inner.top.load(Ordering::Relaxed);
         if t <= b {
             // Non-empty.
+            // SAFETY: slot `b` was initialized by our own earlier push
+            // and cannot be freed (buffers are only retired, never
+            // freed, while handles live). If a thief claims the same
+            // index, exactly one of us wins the CAS on `top` below and
+            // the loser forgets its bitwise copy — no double drop.
             let value = unsafe { (*buf_ptr).read(b) };
             if t == b {
                 // Last element: race with thieves for it.
@@ -245,6 +268,12 @@ impl<T: Send> Stealer<T> {
         let b = inner.bottom.load(Ordering::Acquire);
         if t < b {
             let buf_ptr = inner.buffer.load(Ordering::Acquire);
+            // SAFETY: the acquire loads of `bottom` and `buffer` make
+            // the owner's write of slot `t` visible (t < b). The
+            // pointer stays valid because old buffers are retired, not
+            // freed. The bitwise copy is only kept if the CAS below
+            // claims index `t`; on failure it is forgotten, so the
+            // value is never duplicated or dropped twice.
             let value = unsafe { (*buf_ptr).read(t) };
             if inner
                 .top

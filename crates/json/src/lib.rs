@@ -23,6 +23,8 @@
 //! assert_eq!(to_string(&Point { x: 1, y: 0.5 }), r#"{"x":1,"y":0.5}"#);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -74,6 +76,54 @@ impl Value {
         let mut out = String::new();
         self.write(&mut out, Some(2), 0);
         out
+    }
+
+    /// Look up a key in an object value; `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` (`UInt`, non-negative `Int`, or an
+    /// integral non-negative `Float`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            Value::Float(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse JSON text into a [`Value`]. Integers without fraction or
+    /// exponent parse as `UInt`/`Int` (so trace timestamps survive a
+    /// render → parse round-trip exactly); everything else follows RFC
+    /// 8259. Trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -169,6 +219,233 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// A parse failure: byte offset plus a static description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError {
+            offset: self.i,
+            msg,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'n' => self.eat("null", Value::Null),
+            b't' => self.eat("true", Value::Bool(true)),
+            b'f' => self.eat("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.i += 1; // [
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.i += 1; // {
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let k = self.string()?;
+            self.ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.i += 1;
+            self.ws();
+            let v = self.value()?;
+            fields.push((k, v));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.i += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .b
+                .get(self.i)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let e = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.b.get(self.i) == Some(&b'\\')
+                                    && self.b.get(self.i + 1) == Some(&b'u')
+                                {
+                                    self.i += 2;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?);
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is &str, so the
+                    // byte stream is valid UTF-8).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.b[start..self.i]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.i + 4 > self.b.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.b[self.i..self.i + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.err("bad number"))
+        }
+    }
 }
 
 /// Conversion into a JSON [`Value`].
@@ -362,5 +639,50 @@ mod tests {
     #[test]
     fn control_chars_are_escaped() {
         assert_eq!(to_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_trace_lines() {
+        let line = r#"{"t":1234,"w":7,"p":3,"ev":"steal_success","tier":"remote","task":42,"victim":1,"latency_ns":900}"#;
+        let v = Value::parse(line).unwrap();
+        assert_eq!(v.render(), line);
+        assert_eq!(v.get("t").and_then(Value::as_u64), Some(1234));
+        assert_eq!(v.get("ev").and_then(Value::as_str), Some("steal_success"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_covers_all_value_kinds() {
+        let v = Value::parse(
+            r#"{"n":null,"b":[true,false],"i":-3,"u":18446744073709551615,"f":1.5e3,"s":"a\n\"\u0041\u00e9"}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("n"), Some(&Value::Null));
+        assert_eq!(v.get("i"), Some(&Value::Int(-3)));
+        assert_eq!(v.get("u"), Some(&Value::UInt(u64::MAX)));
+        assert_eq!(v.get("f"), Some(&Value::Float(1500.0)));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\n\"Aé"));
+    }
+
+    #[test]
+    fn parse_surrogate_pairs_and_whitespace() {
+        let v = Value::parse(" { \"e\" : \"\\ud83d\\ude00\" } ").unwrap();
+        assert_eq!(v.get("e").and_then(Value::as_str), Some("😀"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("{\"a\":1} x").is_err());
+        assert!(Value::parse("\"unterminated").is_err());
+        assert!(Value::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_empty_containers() {
+        assert_eq!(Value::parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(Value::parse("{}").unwrap(), Value::object());
     }
 }

@@ -17,6 +17,8 @@
 //! its virtual-time cost; intra-place "sends" are free and uncounted,
 //! mirroring shared-memory communication within a node.
 
+#![forbid(unsafe_code)]
+
 pub mod fault;
 pub mod topology;
 

@@ -28,6 +28,8 @@
 //! | [`LifelineWs`] | lifeline-graph global load balancing (Saraswat et al., §X) |
 //! | [`AdaptiveWs`] | extension: annotation-free, profile-style classification (§II "computed on the fly") |
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod lifeline;
 pub mod policies;

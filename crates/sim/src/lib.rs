@@ -39,6 +39,8 @@
 //! Determinism: same seed + same workload + same policy ⇒ identical
 //! [`distws_core::RunReport`], event for event (property-tested).
 
+#![forbid(unsafe_code)]
+
 mod engine;
 pub mod faults;
 mod scope;

@@ -425,3 +425,86 @@ fn invalid_fault_configs_are_rejected() {
         "sub-1.0 slow factor must be rejected"
     );
 }
+
+/// Run `roots` traced and feed the JSONL stream to the happens-before
+/// validator (`distws-analyze`): spawn hb execution, migration hb
+/// remote execution, execution hb finish-latch release, exactly-once
+/// per task id, per-worker monotonic timestamps.
+fn run_and_validate_hb(policy: Box<dyn Policy>, faults: FaultConfig, label: &str) {
+    let counter = Arc::new(AtomicU64::new(0));
+    let roots = spread_roots(4, 10, &counter);
+    let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+    cfg.faults = faults;
+    let mut sink = distws_trace::JsonlSink::new(Vec::new());
+    let mut sim = Simulation::with_config(cfg, policy);
+    let (report, _) = sim.run_roots_traced("hb", roots, &mut sink);
+    assert_eq!(report.tasks_spawned, report.tasks_executed, "{label}");
+    let jsonl = String::from_utf8(sink.into_inner()).unwrap();
+    let hb = distws_analyze::validate_str(&jsonl);
+    assert!(
+        hb.ok(),
+        "{label}: happens-before violations:\n{}",
+        hb.violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(
+        hb.tasks, report.tasks_executed,
+        "{label}: validator task count"
+    );
+}
+
+#[test]
+fn traces_satisfy_happens_before_fault_free_for_all_policies() {
+    for policy in all_policies() {
+        let name = policy.name().to_string();
+        run_and_validate_hb(policy, FaultConfig::default(), &name);
+    }
+}
+
+#[test]
+fn traces_satisfy_happens_before_under_loss_for_all_policies() {
+    // 1% loss exercises timeouts, retries and retransmissions; the
+    // causal order and exactly-once guarantees must survive them.
+    for policy in all_policies() {
+        let name = format!("{} +1% loss", policy.name());
+        let faults = FaultConfig {
+            net: FaultPlan::uniform_loss(0.01),
+            seed: 0x11B,
+            ..Default::default()
+        };
+        run_and_validate_hb(policy, faults, &name);
+    }
+}
+
+#[test]
+fn hb_validator_flags_a_doctored_trace() {
+    // Sanity-check the oracle itself: re-run fault-free, then corrupt
+    // the stream (drop the first task_start) and expect a violation.
+    let counter = Arc::new(AtomicU64::new(0));
+    let roots = spread_roots(2, 4, &counter);
+    let cfg = SimConfig::new(ClusterConfig::new(2, 2));
+    let mut sink = distws_trace::JsonlSink::new(Vec::new());
+    let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+    let _ = sim.run_roots_traced("doctored", roots, &mut sink);
+    let jsonl = String::from_utf8(sink.into_inner()).unwrap();
+    let mut dropped = false;
+    let doctored: Vec<&str> = jsonl
+        .lines()
+        .filter(|l| {
+            if !dropped && l.contains("\"ev\":\"task_start\"") {
+                dropped = true;
+                return false;
+            }
+            true
+        })
+        .collect();
+    assert!(dropped, "trace should contain a task_start to drop");
+    let hb = distws_analyze::validate_lines(doctored.iter().copied());
+    assert!(
+        !hb.ok(),
+        "validator must flag a task that ends without starting"
+    );
+}

@@ -17,7 +17,7 @@
 use crate::event::{TraceEvent, TraceEventKind};
 use distws_core::ClusterConfig;
 use distws_json::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Microsecond timestamp with three deterministic fraction digits.
 fn us(t_ns: u64) -> Value {
@@ -80,7 +80,9 @@ pub fn chrome_trace(events: &[TraceEvent], config: &ClusterConfig) -> Value {
     }
 
     // Open TaskStart per worker, to pair with the matching TaskEnd.
-    let mut open: HashMap<u32, Vec<(u64, u64)>> = HashMap::new(); // worker -> (task, t0)
+    // BTreeMap so the truncated-slice sweep below iterates workers in
+    // a deterministic order (the hash-iter lint rule).
+    let mut open: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new(); // worker -> (task, t0)
     let mut last_t = 0u64;
 
     for ev in events {
@@ -216,7 +218,9 @@ pub fn chrome_trace(events: &[TraceEvent], config: &ClusterConfig) -> Value {
         }
     }
 
-    // Close any still-open slices (ring-buffer truncation).
+    // Close any still-open slices (ring-buffer truncation). BTreeMap
+    // iteration is worker-ordered; stacks keep start order, so sort by
+    // task id within each worker for a stable, readable output.
     let mut stragglers: Vec<(u32, u64, u64)> = open
         .into_iter()
         .flat_map(|(w, stack)| stack.into_iter().map(move |(task, t0)| (w, task, t0)))

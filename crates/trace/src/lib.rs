@@ -28,6 +28,8 @@
 //! * [`render_timeline`] — terminal renderer of the per-place
 //!   utilization curves.
 
+#![forbid(unsafe_code)]
+
 pub mod chrome;
 pub mod event;
 pub mod hist;
