@@ -1,0 +1,573 @@
+//! Steal-order conformance: replay a `*.trace.jsonl` stream against
+//! the Algorithm 1 steal automaton.
+//!
+//! The happens-before validator (`crate::hb`) proves a trace is a
+//! *causally possible* run; this pass proves it is a run **of the
+//! modeled protocol**: every worker's steal activity must follow the
+//! tier order exported by `distws_sched::protocol` —
+//!
+//! 1. **Tier monotonicity** — within one steal round the attempted tier
+//!    index (`local_private` < `local_shared` < `remote`) never
+//!    decreases. Rounds are delimited by `task_start` / `dormant` /
+//!    `wakeup`; the threaded runtime's spin loop emits no delimiter
+//!    between consecutive failed rounds, so a tier regression is also
+//!    accepted as an implicit new round *iff* at least one `net_probe`
+//!    (the line 11 round opener) was seen since the last attempt — a
+//!    regression with no intervening probe is a protocol violation.
+//! 2. **Success justification** — a `steal_success` at tier *i* must
+//!    immediately follow an attempt at tier *i*, and every lower tier
+//!    must have been attempted (and failed) earlier in the same round.
+//! 3. **Line 19 re-probe** — between two consecutive remote attempts by
+//!    the same worker there must be at least one `net_probe` (either
+//!    the in-round re-probe after the failed attempt, or the line 11
+//!    probe opening the next round). Enforced only for policies that
+//!    mandate the re-probe (DistWS, DistWS-NS, AdaptiveWS — not
+//!    LifelineWS, whose random attempts deliberately skip it).
+//! 4. **Chunk bound** — the `migration` events carried by one remote
+//!    `steal_success` never exceed the policy's remote chunk
+//!    ([`distws_sched::protocol::REMOTE_STEAL_CHUNK`] for DistWS).
+//!
+//! Checks 1–3 need the probe/attempt events; traces produced before
+//! those events existed (no `steal_attempt`/`net_probe` lines at all)
+//! degrade gracefully to check 4 only.
+
+use distws_json::Value;
+use distws_sched::protocol;
+use std::collections::BTreeMap;
+
+/// Per-policy conformance parameters, derived from
+/// `distws_sched::protocol` so the checker can never drift from the
+/// implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformConfig {
+    /// Upper bound on tasks migrated per remote steal, `None` to skip
+    /// the chunk check.
+    pub max_remote_chunk: Option<usize>,
+    /// Enforce the line 19 re-probe rule between remote attempts.
+    pub require_reprobe: bool,
+}
+
+impl ConformConfig {
+    /// Policy-agnostic configuration: structural rules only (tier
+    /// order, success justification), no chunk bound, no re-probe rule.
+    pub fn generic() -> Self {
+        ConformConfig {
+            max_remote_chunk: None,
+            require_reprobe: false,
+        }
+    }
+
+    /// Configuration for one of the six named policies, or `None` for
+    /// an unknown name.
+    pub fn for_policy(name: &str) -> Option<Self> {
+        let (chunk, reprobe) = match name {
+            // X10WS never steals remotely; bound 1 is vacuous but safe.
+            "X10WS" => (1, true),
+            "DistWS" | "DistWS-NS" | "AdaptiveWS" => (protocol::REMOTE_STEAL_CHUNK, true),
+            // One random victim per round; the next round's line 11
+            // probe separates consecutive remote attempts.
+            "RandomWS" => (1, true),
+            // Lifeline random attempts run back-to-back with no
+            // interleaved probe by design (Saraswat et al.).
+            "LifelineWS" => (1, false),
+            _ => return None,
+        };
+        Some(ConformConfig {
+            max_remote_chunk: Some(chunk),
+            require_reprobe: reprobe,
+        })
+    }
+}
+
+/// One conformance failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformViolation {
+    /// 1-based JSONL line of the offending event.
+    pub line: u64,
+    /// The worker whose steal timeline broke the protocol.
+    pub worker: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConformViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}: worker {}: {}",
+            self.line, self.worker, self.message
+        )
+    }
+}
+
+/// Conformance summary.
+#[derive(Debug, Clone)]
+pub struct ConformReport {
+    /// Events consumed.
+    pub events: u64,
+    /// Distinct workers seen.
+    pub workers: u64,
+    /// `steal_attempt` events checked.
+    pub attempts: u64,
+    /// `steal_success` events checked.
+    pub successes: u64,
+    /// `net_probe` events seen.
+    pub probes: u64,
+    /// Whether the trace carries the probe/attempt vocabulary (rules
+    /// 1–3 active) or predates it (rule 4 only).
+    pub full_vocabulary: bool,
+    /// All failures, in detection order.
+    pub violations: Vec<ConformViolation>,
+}
+
+impl ConformReport {
+    /// Whether the trace conforms to the modeled steal order.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Per-worker steal-round automaton state.
+#[derive(Debug, Clone, Default)]
+struct WorkerRound {
+    /// Tier rank of the last attempt in the current round.
+    last_rank: Option<usize>,
+    /// Bitmask of tier ranks attempted this round.
+    attempted: u8,
+    /// Probes since the last steal attempt (round-boundary evidence).
+    probes_since_attempt: u32,
+    /// Probes since the last *remote* attempt (line 19 evidence).
+    probes_since_remote: u32,
+    /// Whether this worker has made any remote attempt yet.
+    seen_remote: bool,
+    /// Open chunk accounting: (success t_ns, victim place, migrations
+    /// counted so far). Cleared by any non-`migration` event.
+    pending_chunk: Option<(u64, u64, usize)>,
+}
+
+impl WorkerRound {
+    fn reset_round(&mut self) {
+        self.last_rank = None;
+        self.attempted = 0;
+        self.probes_since_attempt = 0;
+    }
+}
+
+/// Check a whole trace given as JSONL text.
+pub fn conform_str(trace: &str, cfg: &ConformConfig) -> ConformReport {
+    conform_lines(trace.lines(), cfg)
+}
+
+/// Check a trace line by line (blank lines are skipped; parse errors
+/// are reported as violations and skipped).
+pub fn conform_lines<'a>(
+    lines: impl Iterator<Item = &'a str> + Clone,
+    cfg: &ConformConfig,
+) -> ConformReport {
+    // Pre-scan: does this trace carry the steal vocabulary at all?
+    // (Backward compatibility with traces recorded before
+    // `net_probe`/`steal_attempt` existed.)
+    let full_vocabulary = lines
+        .clone()
+        .any(|l| l.contains("\"ev\":\"net_probe\"") || l.contains("\"ev\":\"steal_attempt\""));
+
+    let mut violations: Vec<ConformViolation> = Vec::new();
+    let mut rounds: BTreeMap<u32, WorkerRound> = BTreeMap::new();
+    let (mut events, mut attempts, mut successes, mut probes) = (0u64, 0u64, 0u64, 0u64);
+
+    for (lineno0, raw) in lines.enumerate() {
+        let line = lineno0 as u64 + 1;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let v = match Value::parse(raw) {
+            Ok(v) => v,
+            Err(e) => {
+                violations.push(ConformViolation {
+                    line,
+                    worker: 0,
+                    message: format!("unparseable event: {e}"),
+                });
+                continue;
+            }
+        };
+        let (Some(t_ns), Some(w), Some(ev)) = (
+            v.get("t").and_then(Value::as_u64),
+            v.get("w").and_then(Value::as_u64),
+            v.get("ev").and_then(Value::as_str),
+        ) else {
+            violations.push(ConformViolation {
+                line,
+                worker: 0,
+                message: "event missing t/w/ev fields".to_string(),
+            });
+            continue;
+        };
+        events += 1;
+        let w = w as u32;
+        let st = rounds.entry(w).or_default();
+        let mut bad = |message: String| {
+            violations.push(ConformViolation {
+                line,
+                worker: w,
+                message,
+            });
+        };
+
+        // Rule 4 bookkeeping: migrations immediately following a remote
+        // success (same worker, same timestamp, from == victim) are
+        // that steal's chunk; anything else closes the accounting.
+        if ev == "migration" {
+            let from = v.get("from").and_then(Value::as_u64);
+            if let Some((succ_t, victim, count)) = st.pending_chunk {
+                if t_ns == succ_t && from == Some(victim) {
+                    let count = count + 1;
+                    st.pending_chunk = Some((succ_t, victim, count));
+                    if let Some(max) = cfg.max_remote_chunk {
+                        if count > max {
+                            bad(format!(
+                                "remote steal from place {victim} migrated {count} tasks \
+                                 (chunk bound is {max})"
+                            ));
+                        }
+                    }
+                } else {
+                    st.pending_chunk = None;
+                }
+            }
+            continue;
+        }
+        st.pending_chunk = None;
+
+        match ev {
+            "net_probe" => {
+                probes += 1;
+                st.probes_since_attempt += 1;
+                st.probes_since_remote += 1;
+            }
+            "steal_attempt" => {
+                attempts += 1;
+                let tier = v.get("tier").and_then(Value::as_str).unwrap_or("");
+                let Some(rank) = protocol::tier_rank(tier) else {
+                    bad(format!("steal_attempt with unknown tier {tier:?}"));
+                    continue;
+                };
+                if let Some(last) = st.last_rank {
+                    if rank < last {
+                        if st.probes_since_attempt > 0 {
+                            // Implicit new round (the runtime's spin
+                            // loop emits no delimiter between failed
+                            // rounds, but every round opens with the
+                            // line 11 probe).
+                            st.reset_round();
+                        } else {
+                            bad(format!(
+                                "steal tier regressed from {} to {} with no round \
+                                 boundary or network probe in between",
+                                protocol::STEAL_TIER_ORDER[last],
+                                protocol::STEAL_TIER_ORDER[rank],
+                            ));
+                        }
+                    }
+                }
+                if rank == 2 {
+                    if cfg.require_reprobe
+                        && full_vocabulary
+                        && st.seen_remote
+                        && st.probes_since_remote == 0
+                    {
+                        bad("remote steal attempt without the line 19 network re-probe \
+                             after the previous failed remote attempt"
+                            .to_string());
+                    }
+                    st.seen_remote = true;
+                    st.probes_since_remote = 0;
+                }
+                st.last_rank = Some(rank);
+                st.attempted |= 1 << rank;
+                st.probes_since_attempt = 0;
+            }
+            "steal_success" => {
+                successes += 1;
+                let tier = v.get("tier").and_then(Value::as_str).unwrap_or("");
+                let Some(rank) = protocol::tier_rank(tier) else {
+                    bad(format!("steal_success with unknown tier {tier:?}"));
+                    continue;
+                };
+                if full_vocabulary {
+                    if st.last_rank != Some(rank) {
+                        bad(format!(
+                            "steal_success at tier {tier} not immediately preceded by an \
+                             attempt at that tier"
+                        ));
+                    }
+                    for lower in 0..rank {
+                        if st.attempted & (1 << lower) == 0 {
+                            bad(format!(
+                                "steal_success at tier {tier} not justified by a failed \
+                                 {} attempt earlier in the round",
+                                protocol::STEAL_TIER_ORDER[lower],
+                            ));
+                        }
+                    }
+                }
+                if rank == 2 {
+                    if let Some(victim) = v.get("victim").and_then(Value::as_u64) {
+                        // The success itself carries the first stolen
+                        // task; its migration event follows and counts
+                        // toward the chunk.
+                        st.pending_chunk = Some((t_ns, victim, 0));
+                    }
+                }
+                st.reset_round();
+            }
+            // Explicit round boundaries: the worker started executing,
+            // parked, or woke up.
+            "task_start" | "dormant" | "wakeup" => st.reset_round(),
+            _ => {}
+        }
+    }
+
+    ConformReport {
+        events,
+        workers: rounds.len() as u64,
+        attempts,
+        successes,
+        probes,
+        full_vocabulary,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, w: u32, kind: &str, extra: &[(&str, &str)]) -> String {
+        let mut o = Value::object();
+        o.set("t", t);
+        o.set("w", w);
+        o.set("p", 0u32);
+        o.set("ev", kind);
+        for &(k, val) in extra {
+            if let Ok(n) = val.parse::<u64>() {
+                o.set(k, n);
+            } else {
+                o.set(k, val);
+            }
+        }
+        o.render()
+    }
+
+    fn distws_cfg() -> ConformConfig {
+        ConformConfig::for_policy("DistWS").unwrap()
+    }
+
+    #[test]
+    fn clean_full_round_passes() {
+        // probe, co-worker, local shared, remote (with re-probe),
+        // success at remote, its two migrations, then execution.
+        let trace = [
+            ev(0, 1, "net_probe", &[]),
+            ev(1, 1, "steal_attempt", &[("tier", "local_private")]),
+            ev(2, 1, "steal_attempt", &[("tier", "local_shared")]),
+            ev(3, 1, "steal_attempt", &[("tier", "remote")]),
+            ev(4, 1, "net_probe", &[]),
+            ev(5, 1, "steal_attempt", &[("tier", "remote")]),
+            ev(
+                6,
+                1,
+                "steal_success",
+                &[("tier", "remote"), ("task", "7"), ("victim", "2")],
+            ),
+            ev(
+                6,
+                1,
+                "migration",
+                &[("task", "7"), ("from", "2"), ("to", "0")],
+            ),
+            ev(
+                6,
+                1,
+                "migration",
+                &[("task", "8"), ("from", "2"), ("to", "0")],
+            ),
+            ev(6, 1, "task_start", &[("task", "7")]),
+        ]
+        .join("\n");
+        let r = conform_str(&trace, &distws_cfg());
+        assert!(r.ok(), "{:?}", r.violations);
+        assert!(r.full_vocabulary);
+        assert_eq!(r.attempts, 4);
+        assert_eq!(r.successes, 1);
+    }
+
+    #[test]
+    fn tier_regression_without_probe_is_flagged() {
+        let trace = [
+            ev(0, 0, "net_probe", &[]),
+            ev(1, 0, "steal_attempt", &[("tier", "remote")]),
+            ev(2, 0, "steal_attempt", &[("tier", "local_private")]),
+        ]
+        .join("\n");
+        let r = conform_str(&trace, &distws_cfg());
+        assert!(
+            r.violations.iter().any(|v| v.message.contains("regressed")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn tier_regression_after_probe_is_a_new_round() {
+        // The threaded runtime's spin loop: failed round, no delimiter,
+        // next round opens with the line 11 probe.
+        let trace = [
+            ev(0, 0, "net_probe", &[]),
+            ev(1, 0, "steal_attempt", &[("tier", "local_private")]),
+            ev(2, 0, "steal_attempt", &[("tier", "local_shared")]),
+            ev(3, 0, "steal_attempt", &[("tier", "remote")]),
+            ev(4, 0, "net_probe", &[]),
+            ev(5, 0, "steal_attempt", &[("tier", "local_private")]),
+        ]
+        .join("\n");
+        let r = conform_str(&trace, &distws_cfg());
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn doctored_out_of_order_steal_is_flagged() {
+        // A remote success with no remote attempt and no lower-tier
+        // attempts: the doctored case the acceptance criteria require.
+        let trace = [
+            ev(0, 0, "net_probe", &[]),
+            ev(1, 0, "steal_attempt", &[("tier", "local_private")]),
+            ev(
+                2,
+                0,
+                "steal_success",
+                &[("tier", "remote"), ("task", "3"), ("victim", "1")],
+            ),
+        ]
+        .join("\n");
+        let r = conform_str(&trace, &distws_cfg());
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.message.contains("not immediately preceded")),
+            "{:?}",
+            r.violations
+        );
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.message.contains("local_shared attempt")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn missing_line19_reprobe_is_flagged_for_distws_only() {
+        let trace = [
+            ev(0, 0, "net_probe", &[]),
+            ev(1, 0, "steal_attempt", &[("tier", "local_private")]),
+            ev(2, 0, "steal_attempt", &[("tier", "local_shared")]),
+            ev(3, 0, "steal_attempt", &[("tier", "remote")]),
+            // No re-probe before the next remote attempt:
+            ev(4, 0, "steal_attempt", &[("tier", "remote")]),
+        ]
+        .join("\n");
+        let r = conform_str(&trace, &distws_cfg());
+        assert!(
+            r.violations.iter().any(|v| v.message.contains("line 19")),
+            "{:?}",
+            r.violations
+        );
+        // LifelineWS's back-to-back random attempts are legal.
+        let lifeline = ConformConfig::for_policy("LifelineWS").unwrap();
+        assert!(conform_str(&trace, &lifeline).ok());
+    }
+
+    #[test]
+    fn chunk_bound_is_enforced() {
+        let trace = [
+            ev(0, 0, "net_probe", &[]),
+            ev(1, 0, "steal_attempt", &[("tier", "local_private")]),
+            ev(2, 0, "steal_attempt", &[("tier", "local_shared")]),
+            ev(3, 0, "steal_attempt", &[("tier", "remote")]),
+            ev(
+                4,
+                0,
+                "steal_success",
+                &[("tier", "remote"), ("task", "1"), ("victim", "1")],
+            ),
+            ev(
+                4,
+                0,
+                "migration",
+                &[("task", "1"), ("from", "1"), ("to", "0")],
+            ),
+            ev(
+                4,
+                0,
+                "migration",
+                &[("task", "2"), ("from", "1"), ("to", "0")],
+            ),
+            ev(
+                4,
+                0,
+                "migration",
+                &[("task", "3"), ("from", "1"), ("to", "0")],
+            ),
+        ]
+        .join("\n");
+        let r = conform_str(&trace, &distws_cfg());
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.message.contains("chunk bound")),
+            "{:?}",
+            r.violations
+        );
+        // A push migration by another worker at a different time is not
+        // chunk accounting.
+        let generic = conform_str(&trace, &ConformConfig::generic());
+        assert!(generic.ok(), "{:?}", generic.violations);
+    }
+
+    #[test]
+    fn legacy_traces_without_probe_vocabulary_pass_structurally() {
+        // Pre-probe trace: success with no attempt events at all must
+        // not be flagged (rules 1–3 inactive).
+        let trace = [
+            ev(
+                0,
+                0,
+                "steal_success",
+                &[("tier", "remote"), ("task", "1"), ("victim", "1")],
+            ),
+            ev(1, 0, "task_start", &[("task", "1")]),
+        ]
+        .join("\n");
+        let r = conform_str(&trace, &distws_cfg());
+        assert!(!r.full_vocabulary);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn policy_table_covers_the_six_policies() {
+        for name in [
+            "X10WS",
+            "DistWS",
+            "DistWS-NS",
+            "RandomWS",
+            "LifelineWS",
+            "AdaptiveWS",
+        ] {
+            assert!(ConformConfig::for_policy(name).is_some(), "{name}");
+        }
+        assert!(ConformConfig::for_policy("NoSuchWS").is_none());
+    }
+}

@@ -19,19 +19,40 @@
 //!   execution, execution ≺ finish-latch release, exactly-once per
 //!   task id, per-worker monotonic time. Surface: `repro check hb`,
 //!   plus the fault property tests and the chaos sweep.
+//! * [`protocol`] — an explicit-state model checker for Algorithm 1
+//!   itself: task mapping, the five-tier steal order with the line 19
+//!   re-probe, chunk sizes, migration wrapping and finish-latch
+//!   termination, explored over every schedule of small place/worker/
+//!   task configurations, with optional fault transitions (drop, dup,
+//!   fail-stop kill, restart) and seeded protocol mutants that the
+//!   checker must catch. Surface: `repro check protocol` and
+//!   `repro check mutants`.
+//! * [`conform`] — a steal-order conformance pass that replays real
+//!   `*.trace.jsonl` streams against the Algorithm 1 automaton: tier
+//!   monotonicity per worker round, success justification by prior
+//!   failed attempts, the line 19 re-probe between remote attempts,
+//!   and the per-policy remote chunk bound. Surface: `repro conform`,
+//!   plus `repro trace` and `repro chaos --validate`.
 //!
 //! All passes are deterministic: same input, same report, byte for
 //! byte — the tooling obeys the invariants it enforces.
 
 #![forbid(unsafe_code)]
 
+pub mod conform;
 pub mod hb;
 pub mod interleave;
 pub mod lexer;
 pub mod lint;
+pub mod protocol;
 
+pub use conform::{conform_lines, conform_str, ConformConfig, ConformReport, ConformViolation};
 pub use hb::{validate_lines, validate_str, HbReport, HbViolation};
 pub use interleave::{
     builtin_scenarios, check_all, explore, explore_fifo, fifo_scenario, Outcome, Scenario,
 };
 pub use lint::{lint_source, lint_workspace, Rule, Violation};
+pub use protocol::{
+    check_protocol_all, check_protocol_mutants, explore_protocol, scenario_by_name, ModelFaults,
+    ModelTask, MutantCheck, ProtocolMutant, ProtocolScenario,
+};

@@ -1,0 +1,973 @@
+//! Explicit-state model checking of Algorithm 1's distributed
+//! work-stealing protocol.
+//!
+//! Where `crate::interleave` proves the *primitives* (Chase–Lev deque,
+//! shared FIFO) safe under arbitrary thread interleavings, this module
+//! checks the *protocol built on them*: the paper's §V Algorithm 1 —
+//! task mapping, the five-tier steal order with the line 19 re-probe,
+//! chunk sizes, migration of flexible tasks, and finish-latch
+//! termination — plus the fault transitions of the fault-injection
+//! layer (message drop with lease reclaim, duplicate delivery,
+//! fail-stop place kill, restart).
+//!
+//! The state space is explored by memoized DFS over small
+//! configurations (2–3 places × 1–2 workers × 3–5 tasks). Each state
+//! records every task's location, every worker's position inside the
+//! steal automaton, place liveness, and the finish latch. Transitions
+//! are generated from the protocol rules exported by
+//! `distws_sched::protocol` — the same constants the real policies
+//! consume — while an independent set of checks validates each
+//! transition against Algorithm 1. The two code paths are deliberately
+//! separate so a seeded protocol mutant (a bug injected into the
+//! *generator*) is caught by the *checker*, not masked by it.
+//!
+//! ## Algorithm 1 line ↔ model transition map
+//!
+//! | Lines | Algorithm 1 | Model transition |
+//! |---|---|---|
+//! | 1–3 | sensitive task → private deque at home | `deliver` → [`Ctx::map_deliver`], sensitive arm |
+//! | 5–8 | flexible task → private iff idle/under-utilized else shared | `deliver` → [`Ctx::map_deliver`], `map_flexible_private` |
+//! | 9 | poll own private deque | [`Phase::Idle`] step |
+//! | 11 | probe the network | [`Phase::Probe`] step |
+//! | 13 | steal 1 from a co-located worker | [`Phase::CoWorker`] step, `LOCAL_STEAL_CHUNK` |
+//! | 15 | take from the local shared deque | [`Phase::LocalShared`] step |
+//! | 18–29 | distributed sweep over remote places, chunk 2 | [`Phase::Remote`] step, `REMOTE_STEAL_CHUNK` |
+//! | 19 | re-probe the network after a failed remote steal | `probed` flag inside [`Phase::Remote`] |
+//! | — | finish-latch quiescence | `Busy` finish step + terminal-state check |
+//!
+//! ## Properties proved (on every explored schedule)
+//!
+//! 1. **No sensitive migration** — a remote steal never takes a
+//!    sensitive task off its home place.
+//! 2. **Exactly-once** — no task id executes twice.
+//! 3. **No lost latch decrement** — every terminal state has the finish
+//!    latch at exactly zero.
+//! 4. **Termination** — every terminal (transition-free) state is fully
+//!    quiescent: all tasks `Done`, nothing in flight. (Schedules are
+//!    finite-state; livelocks that require an adversarial scheduler to
+//!    recur forever — e.g. perpetual steal ping-pong — exist in any
+//!    work-stealing system and are excluded probabilistically, exactly
+//!    as in the lifeline termination argument of Saraswat et al.)
+
+use crate::interleave::Outcome;
+use distws_sched::protocol as proto;
+use std::collections::{BTreeSet, HashSet};
+
+/// A task in a model scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelTask {
+    /// Home place.
+    pub home: u8,
+    /// Locality-sensitive (never stealable remotely)?
+    pub sensitive: bool,
+    /// Spawned by this task's completion (`None` = root, in flight at
+    /// time zero).
+    pub parent: Option<usize>,
+}
+
+/// Optional fault transitions, mirroring the fault-injection layer's
+/// semantics: dropped migrate payloads are lease-reclaimed at the
+/// victim, duplicate deliveries are deduplicated by task id, a
+/// fail-stop kill recovers queued tasks elsewhere while running tasks
+/// finish at the next task boundary, and a restart rejoins the place
+/// empty-handed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelFaults {
+    /// Migrate payloads the network may drop (lease reclaim each).
+    pub max_drops: u8,
+    /// Deliveries the network may duplicate (dedup must discard each).
+    pub max_dups: u8,
+    /// A fail-stop kill of this place may fire at any point (never
+    /// place 0, which hosts recovery).
+    pub kill_place: Option<u8>,
+    /// The killed place may rejoin once.
+    pub restart: bool,
+}
+
+/// One model configuration to explore.
+#[derive(Debug, Clone)]
+pub struct ProtocolScenario {
+    /// Scenario name (stable; used by `repro check --scenario`).
+    pub name: &'static str,
+    /// Places in the cluster.
+    pub places: u8,
+    /// Workers per place.
+    pub workers_per_place: u8,
+    /// The task set (ids are indices).
+    pub tasks: Vec<ModelTask>,
+    /// Fault transitions to explore.
+    pub faults: ModelFaults,
+}
+
+/// A protocol bug seeded into the transition *generator*. Every mutant
+/// must be caught by the independent transition *checker* — that
+/// detection power is what the mutation tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMutant {
+    /// Skip the line 19 network re-probe after a failed remote steal.
+    SkipReprobe,
+    /// Let remote steals take tasks from private deques — including
+    /// sensitive tasks.
+    StealSensitiveRemotely,
+    /// Steal 2 tasks from a co-located worker (line 13 chunk is 1).
+    LocalChunkTwo,
+    /// Map flexible tasks to private deques unconditionally (ignore
+    /// the lines 5–8 utilization predicate).
+    MapFlexiblePrivateAlways,
+    /// Skip the finish-latch decrement when a migrated task completes.
+    SkipLatchDecrement,
+    /// Fail-stop recovery forgets the failed place's queued tasks
+    /// instead of re-homing them.
+    DropRecoveredTasks,
+    /// Duplicate deliveries are re-mapped instead of discarded by the
+    /// task-id dedup.
+    DupDeliveryRemaps,
+}
+
+impl ProtocolMutant {
+    /// All seeded mutants, in catch-test order.
+    pub const ALL: [ProtocolMutant; 7] = [
+        ProtocolMutant::SkipReprobe,
+        ProtocolMutant::StealSensitiveRemotely,
+        ProtocolMutant::LocalChunkTwo,
+        ProtocolMutant::MapFlexiblePrivateAlways,
+        ProtocolMutant::SkipLatchDecrement,
+        ProtocolMutant::DropRecoveredTasks,
+        ProtocolMutant::DupDeliveryRemaps,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolMutant::SkipReprobe => "skip-reprobe",
+            ProtocolMutant::StealSensitiveRemotely => "steal-sensitive-remotely",
+            ProtocolMutant::LocalChunkTwo => "local-chunk-two",
+            ProtocolMutant::MapFlexiblePrivateAlways => "map-flexible-private-always",
+            ProtocolMutant::SkipLatchDecrement => "skip-latch-decrement",
+            ProtocolMutant::DropRecoveredTasks => "drop-recovered-tasks",
+            ProtocolMutant::DupDeliveryRemaps => "dup-delivery-remaps",
+        }
+    }
+
+    /// The scenario whose exploration must catch this mutant.
+    pub fn catch_scenario(self) -> &'static str {
+        match self {
+            ProtocolMutant::SkipReprobe => "reprobe_sweep",
+            ProtocolMutant::StealSensitiveRemotely => "sensitive_pinning",
+            ProtocolMutant::LocalChunkTwo => "coworker_chunk",
+            ProtocolMutant::MapFlexiblePrivateAlways => "saturation_mapping",
+            ProtocolMutant::SkipLatchDecrement => "saturation_mapping",
+            ProtocolMutant::DropRecoveredTasks => "kill_recover",
+            ProtocolMutant::DupDeliveryRemaps => "dup_delivery",
+        }
+    }
+}
+
+/// Where a task is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Loc {
+    /// Parent has not completed yet.
+    NotSpawned,
+    /// On the network, destined for place `to`.
+    InFlight { to: u8 },
+    /// In worker `w`'s private deque.
+    Private { w: u8 },
+    /// In place `p`'s shared deque.
+    Shared { p: u8 },
+    /// Executing on worker `w`.
+    Running { w: u8 },
+    /// Completed.
+    Done,
+    /// Forgotten by buggy fail-stop recovery (mutants only).
+    Lost,
+}
+
+/// A worker's position inside the Algorithm 1 steal automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Phase {
+    /// About to run line 9 (poll own private deque).
+    Idle,
+    /// Line 11: probe the network.
+    Probe,
+    /// Line 13: steal from a co-located worker.
+    CoWorker,
+    /// Line 15: take from the local shared deque.
+    LocalShared,
+    /// Lines 18–29: the distributed sweep. `untried` is the bitmask of
+    /// places not yet visited this round; `probed` records whether the
+    /// network has been probed since the last failed remote attempt
+    /// (line 19 bookkeeping — the checker flags an attempt with
+    /// `probed == false`).
+    Remote { untried: u8, probed: bool },
+    /// Executing `task`.
+    Busy { task: u8 },
+    /// Parked (woken by newly mapped local work).
+    Dormant,
+    /// Halted by a place failure.
+    Dead,
+}
+
+/// One global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    tasks: Vec<Loc>,
+    /// Executions per task (exactly-once ⇒ never exceeds 1).
+    exec: Vec<u8>,
+    /// Tasks that ever migrated off their home place (bitmask).
+    migrated: u16,
+    /// Tasks with a duplicate delivery still in flight (bitmask).
+    dup_ghost: u16,
+    /// Ghost destination per task (255 = none).
+    dup_dest: Vec<u8>,
+    latch: i16,
+    phases: Vec<Phase>,
+    alive: Vec<bool>,
+    drops_left: u8,
+    dups_left: u8,
+    killed: bool,
+    restarted: bool,
+}
+
+/// Scenario + mutant context shared by the transition generator.
+struct Ctx<'a> {
+    sc: &'a ProtocolScenario,
+    mutant: Option<ProtocolMutant>,
+}
+
+impl<'a> Ctx<'a> {
+    fn wpp(&self) -> usize {
+        self.sc.workers_per_place as usize
+    }
+
+    fn workers(&self) -> usize {
+        self.sc.places as usize * self.wpp()
+    }
+
+    fn place_of(&self, w: usize) -> u8 {
+        (w / self.wpp()) as u8
+    }
+
+    fn is(&self, m: ProtocolMutant) -> bool {
+        self.mutant == Some(m)
+    }
+
+    fn busy_at(&self, s: &State, p: u8) -> u32 {
+        (0..self.workers())
+            .filter(|&w| self.place_of(w) == p && matches!(s.phases[w], Phase::Busy { .. }))
+            .count() as u32
+    }
+
+    /// Work a parking worker would see: its own private deque or the
+    /// local shared deque (the engine's acquire is atomic in virtual
+    /// time, so a worker never parks past visible local work).
+    fn work_visible(&self, s: &State, w: usize) -> bool {
+        let p = self.place_of(w);
+        s.tasks.iter().any(|l| {
+            matches!(l, Loc::Private { w: pw } if *pw as usize == w)
+                || matches!(l, Loc::Shared { p: sp } if *sp == p)
+        })
+    }
+
+    /// Algorithm 1 lines 1–8: map a delivered task at place `x`. The
+    /// checker recomputes the lines 5–8 predicate independently and
+    /// flags any divergence (catches `MapFlexiblePrivateAlways`).
+    fn map_deliver(&self, s: &mut State, t: usize, x: u8, bad: &mut BTreeSet<String>) {
+        let sensitive = self.sc.tasks[t].sensitive;
+        let to_private = if sensitive {
+            true // line 3
+        } else {
+            let busy = self.busy_at(s, x);
+            let active = busy > 0;
+            let under = busy < self.sc.workers_per_place as u32;
+            let faithful = proto::map_flexible_private(active, under);
+            let chosen = if self.is(ProtocolMutant::MapFlexiblePrivateAlways) {
+                true
+            } else {
+                faithful
+            };
+            if chosen != faithful {
+                bad.insert(format!(
+                    "task {t}: flexible task mapped to a {} deque at place {x} against \
+                     Algorithm 1 lines 5-8 (place {})",
+                    if chosen { "private" } else { "shared" },
+                    if faithful {
+                        "is idle/under-utilized"
+                    } else {
+                        "is saturated"
+                    },
+                ));
+            }
+            chosen
+        };
+        if to_private {
+            // The engine prefers a parked/idle worker; first non-busy
+            // worker at x, else worker 0 of x.
+            let base = x as usize * self.wpp();
+            let target = (base..base + self.wpp())
+                .find(|&w| !matches!(s.phases[w], Phase::Busy { .. } | Phase::Dead))
+                .unwrap_or(base);
+            s.tasks[t] = Loc::Private { w: target as u8 };
+            if s.phases[target] == Phase::Dormant {
+                s.phases[target] = Phase::Idle;
+            }
+        } else {
+            s.tasks[t] = Loc::Shared { p: x };
+            let base = x as usize * self.wpp();
+            for w in base..base + self.wpp() {
+                if s.phases[w] == Phase::Dormant {
+                    s.phases[w] = Phase::Idle;
+                }
+            }
+        }
+    }
+
+    /// A worker begins executing `t`.
+    fn start(&self, s: &mut State, w: usize, t: usize) {
+        s.tasks[t] = Loc::Running { w: w as u8 };
+        s.phases[w] = Phase::Busy { task: t as u8 };
+    }
+
+    /// All successor states of `s`, recording property violations into
+    /// `bad` as transitions are generated.
+    fn successors(&self, s: &State, bad: &mut BTreeSet<String>) -> Vec<State> {
+        let mut out = Vec::new();
+
+        // --- Network delivery (the engine's Arrive event) -----------
+        for t in 0..s.tasks.len() {
+            let Loc::InFlight { to } = s.tasks[t] else {
+                continue;
+            };
+            if !s.alive[to as usize] {
+                // Arrival at a dead place: recovery re-routes to place 0.
+                let mut n = s.clone();
+                n.tasks[t] = Loc::InFlight { to: 0 };
+                out.push(n);
+                continue;
+            }
+            let mut n = s.clone();
+            self.map_deliver(&mut n, t, to, bad);
+            out.push(n);
+            if s.dups_left > 0 && s.dup_ghost & (1 << t) == 0 {
+                // The network also duplicated this delivery.
+                let mut n = s.clone();
+                self.map_deliver(&mut n, t, to, bad);
+                n.dup_ghost |= 1 << t;
+                n.dup_dest[t] = to;
+                n.dups_left -= 1;
+                out.push(n);
+            }
+        }
+
+        // --- Duplicate-delivery arrival -----------------------------
+        for t in 0..s.tasks.len() {
+            if s.dup_ghost & (1 << t) == 0 {
+                continue;
+            }
+            let mut n = s.clone();
+            n.dup_ghost &= !(1 << t);
+            let dest = n.dup_dest[t];
+            n.dup_dest[t] = 255;
+            if self.is(ProtocolMutant::DupDeliveryRemaps) && n.alive[dest as usize] {
+                // Buggy dedup: the second copy is mapped again.
+                self.map_deliver(&mut n, t, dest, bad);
+            }
+            // Faithful: the place's task table already saw this id —
+            // the duplicate is discarded.
+            out.push(n);
+        }
+
+        // --- Fail-stop kill and restart -----------------------------
+        if let Some(k) = self.sc.faults.kill_place {
+            if !s.killed {
+                let mut n = s.clone();
+                n.killed = true;
+                n.alive[k as usize] = false;
+                for w in 0..self.workers() {
+                    if self.place_of(w) == k && !matches!(n.phases[w], Phase::Busy { .. }) {
+                        n.phases[w] = Phase::Dead;
+                    }
+                }
+                // Recover the failed place's queued tasks (running
+                // tasks finish at the next task boundary).
+                for t in 0..n.tasks.len() {
+                    let queued_here = match n.tasks[t] {
+                        Loc::Shared { p } => p == k,
+                        Loc::Private { w } => self.place_of(w as usize) == k,
+                        _ => false,
+                    };
+                    if queued_here {
+                        if self.is(ProtocolMutant::DropRecoveredTasks) {
+                            n.tasks[t] = Loc::Lost;
+                        } else {
+                            let home = self.sc.tasks[t].home;
+                            let dest = if home != k { home } else { 0 };
+                            n.tasks[t] = Loc::InFlight { to: dest };
+                        }
+                    }
+                }
+                out.push(n);
+            } else if self.sc.faults.restart && !s.restarted {
+                let mut n = s.clone();
+                n.restarted = true;
+                n.alive[k as usize] = true;
+                for w in 0..self.workers() {
+                    if self.place_of(w) == k && n.phases[w] == Phase::Dead {
+                        n.phases[w] = Phase::Idle;
+                    }
+                }
+                out.push(n);
+            }
+        }
+
+        // --- Worker steps -------------------------------------------
+        for w in 0..self.workers() {
+            let p = self.place_of(w);
+            match s.phases[w] {
+                Phase::Dead | Phase::Dormant => {}
+                Phase::Idle => {
+                    // Line 9: poll own private deque.
+                    let mine: Vec<usize> = (0..s.tasks.len())
+                        .filter(
+                            |&t| matches!(s.tasks[t], Loc::Private { w: pw } if pw as usize == w),
+                        )
+                        .collect();
+                    if mine.is_empty() {
+                        let mut n = s.clone();
+                        n.phases[w] = Phase::Probe;
+                        out.push(n);
+                    } else {
+                        for t in mine {
+                            let mut n = s.clone();
+                            self.start(&mut n, w, t);
+                            out.push(n);
+                        }
+                    }
+                }
+                Phase::Probe => {
+                    // Line 11: the probe itself is a pure step here —
+                    // arrivals are the asynchronous deliver transition.
+                    let mut n = s.clone();
+                    n.phases[w] = Phase::CoWorker;
+                    out.push(n);
+                }
+                Phase::CoWorker => {
+                    // Line 13: steal from a co-located worker.
+                    let base = p as usize * self.wpp();
+                    let mut any = false;
+                    for v in base..base + self.wpp() {
+                        if v == w {
+                            continue;
+                        }
+                        let theirs: Vec<usize> = (0..s.tasks.len())
+                            .filter(
+                                |&t| matches!(s.tasks[t], Loc::Private { w: pw } if pw as usize == v),
+                            )
+                            .collect();
+                        if theirs.is_empty() {
+                            continue;
+                        }
+                        any = true;
+                        let chunk = if self.is(ProtocolMutant::LocalChunkTwo) {
+                            2
+                        } else {
+                            proto::LOCAL_STEAL_CHUNK
+                        };
+                        let take: Vec<usize> = theirs.into_iter().take(chunk).collect();
+                        if take.len() > proto::LOCAL_STEAL_CHUNK {
+                            bad.insert(format!(
+                                "worker {w}: co-located steal took {} tasks; Algorithm 1 \
+                                 line 13 chunk is {}",
+                                take.len(),
+                                proto::LOCAL_STEAL_CHUNK,
+                            ));
+                        }
+                        let mut n = s.clone();
+                        self.start(&mut n, w, take[0]);
+                        for &extra in &take[1..] {
+                            n.tasks[extra] = Loc::Private { w: w as u8 };
+                        }
+                        out.push(n);
+                    }
+                    if !any {
+                        let mut n = s.clone();
+                        n.phases[w] = Phase::LocalShared;
+                        out.push(n);
+                    }
+                }
+                Phase::LocalShared => {
+                    // Line 15: take from the local shared deque.
+                    let pooled: Vec<usize> = (0..s.tasks.len())
+                        .filter(|&t| matches!(s.tasks[t], Loc::Shared { p: sp } if sp == p))
+                        .collect();
+                    if pooled.is_empty() {
+                        let mut n = s.clone();
+                        n.phases[w] = if self.sc.places > 1 {
+                            let untried = (0..self.sc.places)
+                                .filter(|&q| q != p)
+                                .fold(0u8, |m, q| m | (1 << q));
+                            // The line 11 probe already ran this round.
+                            Phase::Remote {
+                                untried,
+                                probed: true,
+                            }
+                        } else if self.work_visible(s, w) {
+                            Phase::Idle
+                        } else {
+                            Phase::Dormant
+                        };
+                        out.push(n);
+                    } else {
+                        for t in pooled {
+                            let mut n = s.clone();
+                            self.start(&mut n, w, t);
+                            out.push(n);
+                        }
+                    }
+                }
+                Phase::Remote { untried, probed } => {
+                    if untried == 0 {
+                        // Sweep exhausted: park — unless local work
+                        // appeared mid-round (the engine's atomic
+                        // acquire would have seen it).
+                        let mut n = s.clone();
+                        n.phases[w] = if self.work_visible(s, w) {
+                            Phase::Idle
+                        } else {
+                            Phase::Dormant
+                        };
+                        out.push(n);
+                        continue;
+                    }
+                    for q in 0..self.sc.places {
+                        if untried & (1 << q) == 0 {
+                            continue;
+                        }
+                        // Line 19 check: every remote attempt must be
+                        // preceded by a network probe since the last
+                        // failed one.
+                        if !probed {
+                            bad.insert(format!(
+                                "worker {w}: remote steal attempt at place {q} without \
+                                 the line 19 network re-probe after the previous failed \
+                                 attempt"
+                            ));
+                        }
+                        let rest = untried & !(1 << q);
+                        let after_fail = Phase::Remote {
+                            untried: rest,
+                            probed: !self.is(ProtocolMutant::SkipReprobe),
+                        };
+                        // Victim pool: the remote shared deque — plus,
+                        // under the sensitive-steal mutant, the remote
+                        // workers' private deques.
+                        let mut pool: Vec<usize> = Vec::new();
+                        if s.alive[q as usize] {
+                            if self.is(ProtocolMutant::StealSensitiveRemotely) {
+                                pool.extend((0..s.tasks.len()).filter(|&t| {
+                                    matches!(s.tasks[t], Loc::Private { w: pw }
+                                        if self.place_of(pw as usize) == q)
+                                }));
+                            }
+                            pool.extend((0..s.tasks.len()).filter(
+                                |&t| matches!(s.tasks[t], Loc::Shared { p: sp } if sp == q),
+                            ));
+                        }
+                        if pool.is_empty() {
+                            let mut n = s.clone();
+                            n.phases[w] = after_fail;
+                            out.push(n);
+                            continue;
+                        }
+                        let take: Vec<usize> =
+                            pool.into_iter().take(proto::REMOTE_STEAL_CHUNK).collect();
+                        for &t in &take {
+                            if self.sc.tasks[t].sensitive {
+                                bad.insert(format!(
+                                    "task {t}: sensitive task migrated off its home place \
+                                     {q} by a remote steal"
+                                ));
+                            }
+                        }
+                        // Successful steal: first task executes, the
+                        // extra rides along into the thief's private
+                        // deque (migration wrapping).
+                        let mut n = s.clone();
+                        for &t in &take {
+                            n.migrated |= 1 << t;
+                        }
+                        self.start(&mut n, w, take[0]);
+                        for &extra in &take[1..] {
+                            n.tasks[extra] = Loc::Private { w: w as u8 };
+                        }
+                        out.push(n);
+                        if s.drops_left > 0 {
+                            // The migrate payload is lost in flight:
+                            // the thief times out empty-handed and the
+                            // victim lease-reclaims the tasks.
+                            let mut n = s.clone();
+                            for &t in &take {
+                                n.tasks[t] = Loc::InFlight { to: q };
+                            }
+                            n.phases[w] = after_fail;
+                            n.drops_left -= 1;
+                            out.push(n);
+                        }
+                    }
+                }
+                Phase::Busy { task } => {
+                    let t = task as usize;
+                    let mut n = s.clone();
+                    n.exec[t] = n.exec[t].saturating_add(1);
+                    if n.exec[t] > 1 {
+                        bad.insert(format!(
+                            "task {t}: executed {} times (exactly-once violated)",
+                            n.exec[t]
+                        ));
+                    }
+                    // Guarded for the dup-remap mutant: only clear the
+                    // location this worker actually owns.
+                    if n.tasks[t] == (Loc::Running { w: w as u8 }) {
+                        n.tasks[t] = Loc::Done;
+                    }
+                    // Completion spawns the children.
+                    for c in 0..n.tasks.len() {
+                        if self.sc.tasks[c].parent == Some(t) && n.tasks[c] == Loc::NotSpawned {
+                            n.tasks[c] = Loc::InFlight {
+                                to: self.sc.tasks[c].home,
+                            };
+                            n.latch += 1;
+                        }
+                    }
+                    let skip_dec =
+                        self.is(ProtocolMutant::SkipLatchDecrement) && s.migrated & (1 << t) != 0;
+                    if !skip_dec {
+                        n.latch -= 1;
+                        if n.latch < 0 {
+                            bad.insert("finish latch decremented below zero".to_string());
+                        }
+                    }
+                    n.phases[w] = if n.alive[p as usize] {
+                        Phase::Idle
+                    } else {
+                        Phase::Dead
+                    };
+                    out.push(n);
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Quiescence checks on a transition-free state.
+    fn check_terminal(&self, s: &State, bad: &mut BTreeSet<String>) {
+        for (t, loc) in s.tasks.iter().enumerate() {
+            if *loc != Loc::Done {
+                bad.insert(format!(
+                    "termination violated: terminal state with task {t} {}",
+                    match loc {
+                        Loc::Lost => "lost by fail-stop recovery".to_string(),
+                        other => format!("stuck at {other:?}"),
+                    }
+                ));
+            }
+        }
+        if s.latch != 0 && s.tasks.iter().all(|l| *l == Loc::Done) {
+            bad.insert(format!(
+                "finish latch stuck at {} in a terminal state (lost decrement)",
+                s.latch
+            ));
+        }
+    }
+}
+
+/// Exhaustively explore one scenario, optionally with a seeded
+/// protocol mutant. Violations are deduplicated and sorted.
+pub fn explore_protocol(sc: &ProtocolScenario, mutant: Option<ProtocolMutant>) -> Outcome {
+    assert!(sc.places >= 1 && sc.places <= 8, "u8 place bitmask");
+    assert!(sc.tasks.len() <= 16, "u16 task bitmasks");
+    assert_ne!(sc.faults.kill_place, Some(0), "place 0 hosts recovery");
+    let ctx = Ctx { sc, mutant };
+    let init = State {
+        tasks: sc
+            .tasks
+            .iter()
+            .map(|t| {
+                if t.parent.is_none() {
+                    Loc::InFlight { to: t.home }
+                } else {
+                    Loc::NotSpawned
+                }
+            })
+            .collect(),
+        exec: vec![0; sc.tasks.len()],
+        migrated: 0,
+        dup_ghost: 0,
+        dup_dest: vec![255; sc.tasks.len()],
+        latch: sc.tasks.iter().filter(|t| t.parent.is_none()).count() as i16,
+        phases: vec![Phase::Idle; ctx.workers()],
+        alive: vec![true; sc.places as usize],
+        drops_left: sc.faults.max_drops,
+        dups_left: sc.faults.max_dups,
+        killed: false,
+        restarted: false,
+    };
+    let mut seen: HashSet<State> = HashSet::new();
+    seen.insert(init.clone());
+    let mut stack = vec![init];
+    let mut bad: BTreeSet<String> = BTreeSet::new();
+    let mut terminals = 0u64;
+    while let Some(s) = stack.pop() {
+        let succ = ctx.successors(&s, &mut bad);
+        if succ.is_empty() {
+            terminals += 1;
+            ctx.check_terminal(&s, &mut bad);
+        }
+        for n in succ {
+            if !seen.contains(&n) {
+                seen.insert(n.clone());
+                stack.push(n);
+            }
+        }
+    }
+    Outcome {
+        states: seen.len() as u64,
+        terminals,
+        violations: bad.into_iter().collect(),
+    }
+}
+
+fn flex(home: u8) -> ModelTask {
+    ModelTask {
+        home,
+        sensitive: false,
+        parent: None,
+    }
+}
+
+fn sens(home: u8) -> ModelTask {
+    ModelTask {
+        home,
+        sensitive: true,
+        parent: None,
+    }
+}
+
+fn child(home: u8, parent: usize) -> ModelTask {
+    ModelTask {
+        home,
+        sensitive: false,
+        parent: Some(parent),
+    }
+}
+
+/// The base scenarios explored by `repro check protocol` and CI. All
+/// must be violation-free without a mutant; each mutant is caught by
+/// its [`ProtocolMutant::catch_scenario`].
+pub fn builtin_scenarios() -> Vec<ProtocolScenario> {
+    vec![
+        // Sensitive tasks stay pinned while flexible work is raided.
+        ProtocolScenario {
+            name: "sensitive_pinning",
+            places: 2,
+            workers_per_place: 1,
+            tasks: vec![sens(0), flex(0), flex(0)],
+            faults: ModelFaults::default(),
+        },
+        // Intra-place stealing: line 13's chunk of one.
+        ProtocolScenario {
+            name: "coworker_chunk",
+            places: 1,
+            workers_per_place: 2,
+            tasks: vec![sens(0), sens(0), sens(0)],
+            faults: ModelFaults::default(),
+        },
+        // A saturated place pools flexible work; remote thieves take
+        // chunked steals and migrated tasks release the latch.
+        ProtocolScenario {
+            name: "saturation_mapping",
+            places: 2,
+            workers_per_place: 2,
+            tasks: vec![flex(0), flex(0), flex(0), flex(0)],
+            faults: ModelFaults::default(),
+        },
+        // A three-place sweep: failed remote attempts must re-probe
+        // (line 19) before the next victim.
+        ProtocolScenario {
+            name: "reprobe_sweep",
+            places: 3,
+            workers_per_place: 1,
+            tasks: vec![flex(0), flex(0), flex(0)],
+            faults: ModelFaults::default(),
+        },
+        // Completion spawns children across places; the finish latch
+        // tracks the whole tree.
+        ProtocolScenario {
+            name: "spawn_tree",
+            places: 2,
+            workers_per_place: 2,
+            tasks: vec![flex(0), child(0, 0), child(1, 0), child(1, 0)],
+            faults: ModelFaults::default(),
+        },
+        // A dropped migrate payload is lease-reclaimed at the victim.
+        ProtocolScenario {
+            name: "drop_reclaim",
+            places: 2,
+            workers_per_place: 1,
+            tasks: vec![flex(0), flex(0), flex(0)],
+            faults: ModelFaults {
+                max_drops: 1,
+                ..Default::default()
+            },
+        },
+        // A fail-stop kill: queued tasks are recovered, running tasks
+        // finish at the task boundary, the latch still reaches zero.
+        ProtocolScenario {
+            name: "kill_recover",
+            places: 3,
+            workers_per_place: 1,
+            tasks: vec![flex(0), flex(1), flex(1)],
+            faults: ModelFaults {
+                kill_place: Some(1),
+                ..Default::default()
+            },
+        },
+        // The killed place additionally rejoins empty-handed.
+        ProtocolScenario {
+            name: "kill_restart",
+            places: 3,
+            workers_per_place: 1,
+            tasks: vec![flex(0), flex(1), flex(1)],
+            faults: ModelFaults {
+                kill_place: Some(1),
+                restart: true,
+                ..Default::default()
+            },
+        },
+        // Duplicate deliveries must be discarded by task-id dedup.
+        ProtocolScenario {
+            name: "dup_delivery",
+            places: 2,
+            workers_per_place: 1,
+            tasks: vec![flex(0), flex(0)],
+            faults: ModelFaults {
+                max_dups: 1,
+                ..Default::default()
+            },
+        },
+    ]
+}
+
+/// Find a builtin scenario by name.
+pub fn scenario_by_name(name: &str) -> Option<ProtocolScenario> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// Explore every builtin scenario fault-free/mutant-free.
+pub fn check_protocol_all() -> Vec<(&'static str, Outcome)> {
+    builtin_scenarios()
+        .iter()
+        .map(|sc| (sc.name, explore_protocol(sc, None)))
+        .collect()
+}
+
+/// Result of one mutation test.
+#[derive(Debug, Clone)]
+pub struct MutantCheck {
+    /// Mutant name.
+    pub mutant: &'static str,
+    /// Scenario explored.
+    pub scenario: &'static str,
+    /// Whether the checker caught it (violations non-empty).
+    pub caught: bool,
+    /// The violations found.
+    pub violations: Vec<String>,
+}
+
+/// Re-inject every seeded protocol bug and report whether the checker
+/// caught it. CI requires all of them caught.
+pub fn check_protocol_mutants() -> Vec<MutantCheck> {
+    ProtocolMutant::ALL
+        .iter()
+        .map(|&m| {
+            let name = m.catch_scenario();
+            let sc = scenario_by_name(name).expect("catch scenario exists");
+            let outcome = explore_protocol(&sc, Some(m));
+            MutantCheck {
+                mutant: m.name(),
+                scenario: name,
+                caught: !outcome.violations.is_empty(),
+                violations: outcome.violations,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_base_scenarios_are_clean() {
+        for (name, outcome) in check_protocol_all() {
+            assert!(
+                outcome.violations.is_empty(),
+                "{name}: {:?}",
+                outcome.violations
+            );
+            assert!(outcome.states > 10, "{name} explored too little");
+            assert!(outcome.terminals > 0, "{name} never terminated");
+            // Keep the scenarios explorable in CI.
+            assert!(
+                outcome.states < 2_000_000,
+                "{name} exploded to {} states",
+                outcome.states
+            );
+        }
+    }
+
+    #[test]
+    fn every_seeded_mutant_is_caught_with_the_right_message() {
+        let expected = [
+            ("skip-reprobe", "line 19"),
+            ("steal-sensitive-remotely", "sensitive task migrated"),
+            ("local-chunk-two", "line 13 chunk"),
+            ("map-flexible-private-always", "lines 5-8"),
+            ("skip-latch-decrement", "latch stuck"),
+            ("drop-recovered-tasks", "lost by fail-stop"),
+            ("dup-delivery-remaps", "exactly-once"),
+        ];
+        let checks = check_protocol_mutants();
+        assert_eq!(checks.len(), expected.len());
+        for (check, (mutant, needle)) in checks.iter().zip(expected) {
+            assert_eq!(check.mutant, mutant);
+            assert!(
+                check.caught,
+                "mutant {} escaped on {}",
+                check.mutant, check.scenario
+            );
+            assert!(
+                check.violations.iter().any(|v| v.contains(needle)),
+                "mutant {} caught for the wrong reason on {}: {:?}",
+                check.mutant,
+                check.scenario,
+                check.violations
+            );
+        }
+    }
+
+    #[test]
+    fn fault_scenarios_still_terminate_cleanly() {
+        for name in [
+            "drop_reclaim",
+            "kill_recover",
+            "kill_restart",
+            "dup_delivery",
+        ] {
+            let sc = scenario_by_name(name).unwrap();
+            let o = explore_protocol(&sc, None);
+            assert!(o.violations.is_empty(), "{name}: {:?}", o.violations);
+            assert!(o.terminals > 0, "{name}");
+        }
+    }
+}

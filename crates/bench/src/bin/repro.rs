@@ -5,7 +5,8 @@
 //! repro trace <app> [--scale ...] [--policy NAME] [--seed N] [--json DIR]
 //! repro chaos <app> --faults SPEC [--scale ...] [--policy NAME] [--seed N] [--json DIR] [--validate]
 //! repro lint [ROOT]
-//! repro check [interleave | hb FILE.jsonl]
+//! repro check [interleave | protocol | mutants | hb FILE.jsonl] [--scenario NAME] [--list]
+//! repro conform FILE.jsonl [--policy NAME]
 //!
 //! experiments:
 //!   fig3 fig4 fig5 fig6 fig7 table1 table2 table3
@@ -30,8 +31,14 @@
 //! `repro lint` runs the determinism lint over the workspace (or a
 //! given root) and exits nonzero with `file:line` diagnostics on any
 //! violation. `repro check` runs the bounded Chase-Lev/FIFO
-//! interleaving checker; `repro check hb FILE` validates a
-//! `*.trace.jsonl` file. See `docs/analysis.md`.
+//! interleaving checker (`interleave`), the Algorithm 1 protocol
+//! model checker (`protocol`), or the protocol-mutation smoke test
+//! (`mutants`); `--scenario NAME` restricts a checker to one builtin
+//! scenario and `--list` enumerates them. `repro check hb FILE`
+//! validates a `*.trace.jsonl` file; `repro conform FILE` replays one
+//! against the Algorithm 1 steal-order automaton (pass `--policy` to
+//! apply that policy's chunk/re-probe contract). See
+//! `docs/analysis.md`.
 
 use distws_bench as bench;
 use distws_bench::Scale;
@@ -46,10 +53,20 @@ fn main() {
     let mut fault_spec: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut validate = false;
+    let mut scenario: Option<String> = None;
+    let mut list = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--validate" => validate = true,
+            "--list" => list = true,
+            "--scenario" => {
+                i += 1;
+                scenario = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--scenario needs a name (see repro check --list)");
+                    std::process::exit(2);
+                }));
+            }
             "--faults" => {
                 i += 1;
                 fault_spec = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -101,8 +118,14 @@ fn main() {
         return;
     }
     if positional.first().map(String::as_str) == Some("check") {
+        if list {
+            run_check_list();
+            return;
+        }
         match positional.get(1).map(String::as_str) {
-            None | Some("interleave") => run_check_interleave(),
+            None | Some("interleave") => run_check_interleave(scenario.as_deref()),
+            Some("protocol") => run_check_protocol(scenario.as_deref()),
+            Some("mutants") => run_check_mutants(),
             Some("hb") => {
                 let Some(path) = positional.get(2) else {
                     eprintln!("usage: repro check hb FILE.jsonl");
@@ -111,10 +134,20 @@ fn main() {
                 run_check_hb(path);
             }
             Some(other) => {
-                eprintln!("unknown check '{other}' (expected: interleave, hb FILE.jsonl)");
+                eprintln!(
+                    "unknown check '{other}' (expected: interleave, protocol, mutants, hb FILE.jsonl)"
+                );
                 std::process::exit(2);
             }
         }
+        return;
+    }
+    if positional.first().map(String::as_str) == Some("conform") {
+        let Some(path) = positional.get(1) else {
+            eprintln!("usage: repro conform FILE.jsonl [--policy NAME]");
+            std::process::exit(2);
+        };
+        run_conform(path, &policy_name, args.iter().any(|a| a == "--policy"));
         return;
     }
     if positional.first().map(String::as_str) == Some("trace") {
@@ -222,7 +255,10 @@ fn main() {
             "or: repro chaos <app> --faults SPEC [--scale S] [--policy P] [--seed N] [--json DIR] [--validate]"
         );
         eprintln!("or: repro lint [ROOT]");
-        eprintln!("or: repro check [interleave | hb FILE.jsonl]");
+        eprintln!(
+            "or: repro check [interleave | protocol | mutants | hb FILE.jsonl] [--scenario NAME] [--list]"
+        );
+        eprintln!("or: repro conform FILE.jsonl [--policy NAME]");
         std::process::exit(2);
     }
 }
@@ -278,6 +314,10 @@ fn run_chaos(
             "(happens-before validator: {} levels, {} events, {} task lifecycles — all causally ordered, exactly-once)",
             v.levels_validated, v.events_checked, v.tasks_checked
         );
+        println!(
+            "(steal-order conformance: {} attempts replayed, {} successes justified against Algorithm 1)",
+            v.steal_attempts_checked, v.steals_justified
+        );
     }
     if let Some(dir) = json_dir {
         let slug = rows[0].app.to_ascii_lowercase().replace(' ', "_");
@@ -306,21 +346,42 @@ fn run_lint(root: Option<&str>) {
     }
 }
 
-/// `repro check [interleave]` — bounded-DFS interleaving checker over
-/// the Chase-Lev deque and shared-FIFO models.
-fn run_check_interleave() {
-    hr("Bounded interleaving check — Chase-Lev deque + shared FIFO models");
+/// `repro check --list` — enumerate every builtin checker scenario.
+fn run_check_list() {
+    println!("interleave scenarios (repro check interleave --scenario NAME):");
+    for s in distws_analyze::builtin_scenarios() {
+        println!("  {}", s.name);
+    }
+    println!("  shared_fifo");
+    println!("protocol scenarios (repro check protocol --scenario NAME):");
+    for s in distws_analyze::protocol::builtin_scenarios() {
+        println!(
+            "  {:<20} {} places x {} workers, {} tasks{}",
+            s.name,
+            s.places,
+            s.workers_per_place,
+            s.tasks.len(),
+            if s.faults.kill_place.is_some() || s.faults.max_drops > 0 || s.faults.max_dups > 0 {
+                " (faults)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("protocol mutants (repro check mutants):");
+    for m in distws_analyze::ProtocolMutant::ALL {
+        println!("  {:<28} caught by {}", m.name(), m.catch_scenario());
+    }
+}
+
+/// Print one checker results table and exit nonzero on violations.
+fn print_outcomes(results: &[(&str, distws_analyze::Outcome)], what: &str) {
     println!(
         "{:<22} {:>10} {:>10} {:>11}",
         "scenario", "states", "terminals", "violations"
     );
     let mut failed = false;
-    let mut results = distws_analyze::check_all();
-    results.push((
-        "shared_fifo",
-        distws_analyze::explore_fifo(&distws_analyze::fifo_scenario()),
-    ));
-    for (name, out) in &results {
+    for (name, out) in results {
         println!(
             "{:<22} {:>10} {:>10} {:>11}",
             name,
@@ -334,10 +395,136 @@ fn run_check_interleave() {
         }
     }
     if failed {
-        eprintln!("repro check: interleaving violations found");
+        eprintln!("repro check: {what} violations found");
         std::process::exit(1);
     }
+}
+
+/// `repro check [interleave]` — bounded-DFS interleaving checker over
+/// the Chase-Lev deque and shared-FIFO models.
+fn run_check_interleave(scenario: Option<&str>) {
+    hr("Bounded interleaving check — Chase-Lev deque + shared FIFO models");
+    let mut results: Vec<(&str, distws_analyze::Outcome)> = Vec::new();
+    match scenario {
+        Some("shared_fifo") => results.push((
+            "shared_fifo",
+            distws_analyze::explore_fifo(&distws_analyze::fifo_scenario()),
+        )),
+        Some(name) => {
+            let Some(sc) = distws_analyze::builtin_scenarios()
+                .into_iter()
+                .find(|s| s.name == name)
+            else {
+                eprintln!("unknown interleave scenario '{name}' (see repro check --list)");
+                std::process::exit(2);
+            };
+            results.push((sc.name, distws_analyze::explore(&sc)));
+        }
+        None => {
+            results = distws_analyze::check_all();
+            results.push((
+                "shared_fifo",
+                distws_analyze::explore_fifo(&distws_analyze::fifo_scenario()),
+            ));
+        }
+    }
+    print_outcomes(&results, "interleaving");
     println!("(no lost task, no double-take, no use-after-grow on any explored schedule)");
+}
+
+/// `repro check protocol` — explicit-state model checking of
+/// Algorithm 1 over every builtin scenario (or one `--scenario`).
+fn run_check_protocol(scenario: Option<&str>) {
+    hr("Algorithm 1 protocol model check — mapping, steal order, chunks, latch");
+    let results: Vec<(&str, distws_analyze::Outcome)> = match scenario {
+        Some(name) => {
+            let Some(sc) = distws_analyze::scenario_by_name(name) else {
+                eprintln!("unknown protocol scenario '{name}' (see repro check --list)");
+                std::process::exit(2);
+            };
+            vec![(sc.name, distws_analyze::explore_protocol(&sc, None))]
+        }
+        None => distws_analyze::check_protocol_all(),
+    };
+    print_outcomes(&results, "protocol");
+    println!(
+        "(no sensitive migration, exactly-once, no lost latch decrement, \
+         termination — on every explored schedule)"
+    );
+}
+
+/// `repro check mutants` — re-inject the seeded protocol bugs and
+/// require the checker to catch each one.
+fn run_check_mutants() {
+    hr("Protocol mutation smoke — every seeded Algorithm 1 bug must be caught");
+    println!(
+        "{:<28} {:<20} {:>8} {:>11}",
+        "mutant", "scenario", "caught", "violations"
+    );
+    let mut escaped = false;
+    for check in distws_analyze::check_protocol_mutants() {
+        println!(
+            "{:<28} {:<20} {:>8} {:>11}",
+            check.mutant,
+            check.scenario,
+            if check.caught { "yes" } else { "NO" },
+            check.violations.len()
+        );
+        if !check.caught {
+            escaped = true;
+        }
+    }
+    if escaped {
+        eprintln!("repro check: a seeded protocol mutant escaped the checker");
+        std::process::exit(1);
+    }
+    println!("(the checker has the detection power the protocol properties require)");
+}
+
+/// `repro conform FILE.jsonl [--policy NAME]` — replay a trace against
+/// the Algorithm 1 steal-order automaton.
+fn run_conform(path: &str, policy_name: &str, explicit_policy: bool) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("repro conform: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = if explicit_policy {
+        match distws_analyze::ConformConfig::for_policy(policy_name) {
+            Some(c) => c,
+            None => {
+                eprintln!(
+                    "unknown policy '{policy_name}' (X10WS DistWS DistWS-NS RandomWS LifelineWS AdaptiveWS)"
+                );
+                std::process::exit(2);
+            }
+        }
+    } else {
+        distws_analyze::ConformConfig::generic()
+    };
+    let report = distws_analyze::conform_str(&text, &cfg);
+    for v in &report.violations {
+        println!("{path}: {v}");
+    }
+    println!(
+        "{path}: {} events, {} workers, {} attempts, {} successes, {} probes{}, {} violation(s)",
+        report.events,
+        report.workers,
+        report.attempts,
+        report.successes,
+        report.probes,
+        if report.full_vocabulary {
+            ""
+        } else {
+            " (legacy vocabulary: chunk checks only)"
+        },
+        report.violations.len()
+    );
+    if !report.ok() {
+        std::process::exit(1);
+    }
 }
 
 /// `repro check hb FILE.jsonl` — happens-before validation of a trace.
@@ -494,6 +681,26 @@ fn run_trace(app_name: &str, scale: Scale, policy_name: &str, seed: Option<u64>,
     );
     write("series.json", &series.to_json().render_pretty());
     write("report.json", &distws_json::to_string_pretty(&report));
+
+    // The fresh stream must conform to the Algorithm 1 steal-order
+    // automaton under this policy's chunk/re-probe contract.
+    let cfg = distws_analyze::ConformConfig::for_policy(policy_name)
+        .unwrap_or_else(distws_analyze::ConformConfig::generic);
+    let conform = distws_analyze::conform_str(&sink.jsonl, &cfg);
+    for v in &conform.violations {
+        eprintln!("conformance: {v}");
+    }
+    if !conform.ok() {
+        eprintln!(
+            "repro trace: {} steal-order conformance violation(s)",
+            conform.violations.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "(steal-order conformance: {} attempts, {} successes, {} probes — all justified by Algorithm 1)",
+        conform.attempts, conform.successes, conform.probes
+    );
 }
 
 fn print_percentiles(report: &distws_core::RunReport) {

@@ -712,12 +712,17 @@ pub fn chaos_sweep(
 /// What [`chaos_sweep_validated`] proved about the sweep's traces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChaosValidation {
-    /// Fault levels whose event streams passed the validator.
+    /// Fault levels whose event streams passed the validators.
     pub levels_validated: usize,
     /// Total trace events checked across all levels.
     pub events_checked: usize,
     /// Total task lifecycles proven exactly-once and causally ordered.
     pub tasks_checked: usize,
+    /// Total steal attempts replayed through the Algorithm 1
+    /// steal-order automaton.
+    pub steal_attempts_checked: usize,
+    /// Total successful steals whose tier the automaton justified.
+    pub steals_justified: usize,
 }
 
 /// Like [`chaos_sweep`], but every level runs **traced** and its JSONL
@@ -725,7 +730,10 @@ pub struct ChaosValidation {
 /// (`distws-analyze`): spawn happens-before execution, migrations
 /// happen-before remote execution, execution happens-before the
 /// finish-latch release, and every task runs exactly once — even while
-/// faults drop messages and kill places mid-run.
+/// faults drop messages and kill places mid-run. Each level's stream
+/// is additionally replayed against the Algorithm 1 steal-order
+/// automaton ([`distws_analyze::conform_str`]) under the policy's
+/// chunk/re-probe contract.
 ///
 /// Tracing does not perturb the simulation (the PR 1 invariant: traced
 /// and untraced runs produce byte-identical reports), so the returned
@@ -749,7 +757,11 @@ pub fn chaos_sweep_validated(
         levels_validated: 0,
         events_checked: 0,
         tasks_checked: 0,
+        steal_attempts_checked: 0,
+        steals_justified: 0,
     };
+    let conform_cfg = distws_analyze::ConformConfig::for_policy(policy_name)
+        .unwrap_or_else(distws_analyze::ConformConfig::generic);
     let mut baseline_ns = 0u64;
     for &level in &CHAOS_LEVELS {
         let app = app_by_name(app_name, scale)?;
@@ -776,9 +788,22 @@ pub fn chaos_sweep_validated(
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+        let conform = distws_analyze::conform_str(&jsonl, &conform_cfg);
+        assert!(
+            conform.ok(),
+            "{app_name} level {level}: steal-order conformance violations:\n{}",
+            conform
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
         validation.levels_validated += 1;
         validation.events_checked += hb.events as usize;
         validation.tasks_checked += hb.tasks as usize;
+        validation.steal_attempts_checked += conform.attempts as usize;
+        validation.steals_justified += conform.successes as usize;
         if level == 0.0 {
             baseline_ns = r.makespan_ns;
         }

@@ -1,0 +1,110 @@
+//! End-to-end steal-order conformance: fresh traces from every policy
+//! the paper evaluates must replay cleanly through the Algorithm 1
+//! automaton (`distws_analyze::conform`), fault-free and under chaos —
+//! and a doctored out-of-order trace must be rejected.
+
+use distws_analyze::{conform_str, ConformConfig};
+use distws_bench as bench;
+use distws_bench::Scale;
+use distws_netsim::FaultPlan;
+use distws_sim::{FaultConfig, SimConfig, Simulation};
+
+const POLICIES: [&str; 6] = [
+    "X10WS",
+    "DistWS",
+    "DistWS-NS",
+    "RandomWS",
+    "LifelineWS",
+    "AdaptiveWS",
+];
+
+fn traced_run(policy_name: &str, faults: Option<FaultConfig>) -> String {
+    let app = bench::app_by_name("quicksort", Scale::Quick).expect("app");
+    let policy = bench::policy_by_name(policy_name).expect("policy");
+    let mut cfg = SimConfig::new(bench::eval_cluster(Scale::Quick));
+    if let Some(f) = faults {
+        cfg.faults = f;
+    }
+    let mut sink = distws_trace::JsonlSink::new(Vec::new());
+    let _ = Simulation::with_config(cfg, policy).run_app_traced(app.as_ref(), &mut sink);
+    String::from_utf8(sink.into_inner()).expect("trace is UTF-8")
+}
+
+#[test]
+fn fresh_traces_conform_for_all_six_policies() {
+    for name in POLICIES {
+        let jsonl = traced_run(name, None);
+        let cfg = ConformConfig::for_policy(name).expect("policy table");
+        let report = conform_str(&jsonl, &cfg);
+        assert!(
+            report.ok(),
+            "{name}: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert!(report.full_vocabulary, "{name}: probe vocabulary missing");
+        assert!(report.attempts > 0, "{name}: no steal attempts traced");
+    }
+}
+
+#[test]
+fn faulty_traces_still_conform_for_all_six_policies() {
+    for name in POLICIES {
+        let faults = FaultConfig {
+            net: FaultPlan::uniform_loss(0.03),
+            kills: vec![(distws_core::PlaceId(3), 120_000)],
+            seed: 0xC0FF,
+            ..Default::default()
+        };
+        let jsonl = traced_run(name, Some(faults));
+        let cfg = ConformConfig::for_policy(name).expect("policy table");
+        let report = conform_str(&jsonl, &cfg);
+        assert!(
+            report.ok(),
+            "{name} under faults: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Moving one remote `steal_success` ahead of the probes and attempts
+/// that justified it must be flagged — the acceptance test for the
+/// conformance pass's discriminative power.
+#[test]
+fn doctored_out_of_order_steal_is_rejected() {
+    let jsonl = traced_run("DistWS", None);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    let idx = lines
+        .iter()
+        .position(|l| l.contains("\"ev\":\"steal_success\"") && l.contains("\"tier\":\"remote\""))
+        .expect("quick quicksort run always steals remotely under DistWS");
+    let mut doctored: Vec<&str> = Vec::with_capacity(lines.len());
+    doctored.push(lines[idx]);
+    doctored.extend(lines[..idx].iter().copied());
+    doctored.extend(lines[idx + 1..].iter().copied());
+    let cfg = ConformConfig::for_policy("DistWS").expect("policy table");
+    let report = conform_str(&doctored.join("\n"), &cfg);
+    assert!(
+        !report.ok(),
+        "out-of-order remote steal slipped through the automaton"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.to_string().contains("not immediately preceded")),
+        "{:?}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
+}

@@ -163,11 +163,18 @@ impl WorkerHarness {
                     }
                 }
                 StealStep::ProbeNetwork => {
+                    // Line 11 / line 19: emitted whether or not anything
+                    // arrived, so `repro conform` can justify every
+                    // remote attempt in this worker's timeline.
+                    self.emit(TraceEventKind::NetProbe);
                     if let Some(t) = self.probe_inbox(worker) {
                         return Some(t);
                     }
                 }
                 StealStep::StealCoWorker => {
+                    self.emit(TraceEventKind::StealAttempt {
+                        tier: StealTier::LocalPrivate,
+                    });
                     let started = Instant::now();
                     let local = self.id.local(wpp).0;
                     for off in 1..wpp {
@@ -190,6 +197,9 @@ impl WorkerHarness {
                     }
                 }
                 StealStep::StealLocalShared => {
+                    self.emit(TraceEventKind::StealAttempt {
+                        tier: StealTier::LocalShared,
+                    });
                     let started = Instant::now();
                     let q = &self.shared.shared[self.place.index()];
                     if let Some(t) = q.take() {
@@ -207,6 +217,9 @@ impl WorkerHarness {
                     }
                 }
                 StealStep::StealRemoteShared(victim) => {
+                    self.emit(TraceEventKind::StealAttempt {
+                        tier: StealTier::Remote,
+                    });
                     let started = Instant::now();
                     // Clone the Arc so the deque borrow doesn't pin
                     // `self` (the retry loop below needs `&mut self`

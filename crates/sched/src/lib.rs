@@ -33,12 +33,14 @@
 pub mod adaptive;
 pub mod lifeline;
 pub mod policies;
+pub mod protocol;
 pub mod retry;
 pub mod view;
 
 pub use adaptive::AdaptiveWs;
 pub use lifeline::LifelineWs;
 pub use policies::{ChunkPolicy, DistWs, DistWsNs, RandomWs, VictimOrder, X10Ws};
+pub use protocol::{LOCAL_STEAL_CHUNK, REMOTE_STEAL_CHUNK, STEAL_TIER_ORDER};
 pub use retry::RetryPolicy;
 pub use view::{ClusterView, DequeChoice, StealStep, TaskMeta};
 
@@ -80,9 +82,10 @@ pub trait Policy: Send {
     /// leave their place under DistWS — is machine-checked.
     fn may_migrate(&self, locality: Locality) -> bool;
 
-    /// Number of tasks a remote steal takes at once (§V.B.3: 2).
+    /// Number of tasks a remote steal takes at once (§V.B.3:
+    /// [`protocol::REMOTE_STEAL_CHUNK`]).
     fn remote_chunk(&self) -> usize {
-        2
+        protocol::REMOTE_STEAL_CHUNK
     }
 
     /// Chunk size given the victim's observed shared-deque length —

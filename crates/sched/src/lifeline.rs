@@ -13,6 +13,7 @@
 //! bursty), while DistWS beats plain random stealing by ~9% — our
 //! reproduction regenerates exactly that comparison.
 
+use crate::protocol;
 use crate::view::{ClusterView, DequeChoice, StealStep, TaskMeta};
 use crate::Policy;
 use distws_core::rng::SplitMix64;
@@ -71,7 +72,10 @@ impl Policy for LifelineWs {
         match meta.locality {
             Locality::Sensitive => DequeChoice::Private,
             Locality::Flexible => {
-                if !view.is_place_active(meta.home) || view.is_under_utilized(meta.home) {
+                if protocol::map_flexible_private(
+                    view.is_place_active(meta.home),
+                    view.is_under_utilized(meta.home),
+                ) {
                     DequeChoice::Private
                 } else {
                     DequeChoice::Shared
@@ -88,12 +92,7 @@ impl Policy for LifelineWs {
     ) -> Vec<StealStep> {
         let cfg = view.config();
         let place = cfg.place_of(thief);
-        let mut steps = vec![
-            StealStep::PollPrivate,
-            StealStep::ProbeNetwork,
-            StealStep::StealCoWorker,
-            StealStep::StealLocalShared,
-        ];
+        let mut steps = protocol::local_steps().to_vec();
         if cfg.places > 1 {
             for _ in 0..self.random_attempts {
                 let mut v = PlaceId(rng.below(cfg.places as u64) as u32);

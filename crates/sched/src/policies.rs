@@ -2,6 +2,7 @@
 //! contribution), DistWS-NS (non-selective ablation) and RandomWS
 //! (randomized distributed stealing used in the §X UTS comparison).
 
+use crate::protocol;
 use crate::view::{ClusterView, DequeChoice, StealStep, TaskMeta};
 use crate::Policy;
 use distws_core::rng::SplitMix64;
@@ -111,10 +112,8 @@ fn push_remote_visits(
     let loaded = victims.iter().filter(|p| view.shared_len(**p) > 0).count();
     let keep = (loaded + 2).min(budget);
     for victim in victims.into_iter().take(keep) {
-        steps.push(StealStep::StealRemoteShared(victim));
-        // Line 19: after a failed distributed steal, first probe the
-        // network before exploring other places.
-        steps.push(StealStep::ProbeNetwork);
+        // Lines 22–27 + the line 19 re-probe after a failed attempt.
+        steps.extend(protocol::remote_visit(victim));
     }
 }
 
@@ -149,11 +148,9 @@ impl Policy for X10Ws {
         _view: &dyn ClusterView,
         _rng: &mut SplitMix64,
     ) -> Vec<StealStep> {
-        vec![
-            StealStep::PollPrivate,
-            StealStep::ProbeNetwork,
-            StealStep::StealCoWorker,
-        ]
+        // Lines 9–13 only: X10WS never consults the shared deque or the
+        // network beyond the inbox probe.
+        protocol::local_steps()[..3].to_vec()
     }
 
     fn may_migrate(&self, _locality: Locality) -> bool {
@@ -196,7 +193,7 @@ impl Default for DistWs {
     fn default() -> Self {
         DistWs {
             victim_order: VictimOrder::Random,
-            chunk_policy: ChunkPolicy::Fixed(2),
+            chunk_policy: ChunkPolicy::Fixed(protocol::REMOTE_STEAL_CHUNK),
             respect_utilization: true,
             backoff: FailBackoff::default(),
         }
@@ -256,7 +253,10 @@ impl Policy for DistWs {
             // place is idle or under-utilized, else to the shared deque.
             Locality::Flexible => {
                 if self.respect_utilization
-                    && (!view.is_place_active(meta.home) || view.is_under_utilized(meta.home))
+                    && protocol::map_flexible_private(
+                        view.is_place_active(meta.home),
+                        view.is_under_utilized(meta.home),
+                    )
                 {
                     DequeChoice::Private
                 } else {
@@ -273,12 +273,7 @@ impl Policy for DistWs {
         rng: &mut SplitMix64,
     ) -> Vec<StealStep> {
         let place = view.config().place_of(thief);
-        let mut steps = vec![
-            StealStep::PollPrivate,      // line 9
-            StealStep::ProbeNetwork,     // line 11
-            StealStep::StealCoWorker,    // line 13
-            StealStep::StealLocalShared, // line 15
-        ];
+        let mut steps = protocol::local_steps().to_vec(); // lines 9–15
         let budget = self.backoff.budget(thief, view.config().places);
         push_remote_visits(&mut steps, place, view, self.victim_order, budget, rng);
         steps
@@ -289,7 +284,7 @@ impl Policy for DistWs {
     }
 
     fn remote_chunk(&self) -> usize {
-        self.chunk_policy.amount(2)
+        self.chunk_policy.amount(protocol::REMOTE_STEAL_CHUNK)
     }
 
     fn remote_chunk_for(&self, victim_len: usize) -> usize {
@@ -325,7 +320,7 @@ impl Default for DistWsNs {
     fn default() -> Self {
         DistWsNs {
             victim_order: VictimOrder::Random,
-            chunk: 2,
+            chunk: protocol::REMOTE_STEAL_CHUNK,
             rr: 0,
             backoff: FailBackoff::default(),
         }
@@ -360,12 +355,7 @@ impl Policy for DistWsNs {
         rng: &mut SplitMix64,
     ) -> Vec<StealStep> {
         let place = view.config().place_of(thief);
-        let mut steps = vec![
-            StealStep::PollPrivate,
-            StealStep::ProbeNetwork,
-            StealStep::StealCoWorker,
-            StealStep::StealLocalShared,
-        ];
+        let mut steps = protocol::local_steps().to_vec();
         let budget = self.backoff.budget(thief, view.config().places);
         push_remote_visits(&mut steps, place, view, self.victim_order, budget, rng);
         steps
@@ -423,12 +413,7 @@ impl Policy for RandomWs {
     ) -> Vec<StealStep> {
         let cfg = view.config();
         let place = cfg.place_of(thief);
-        let mut steps = vec![
-            StealStep::PollPrivate,
-            StealStep::ProbeNetwork,
-            StealStep::StealCoWorker,
-            StealStep::StealLocalShared,
-        ];
+        let mut steps = protocol::local_steps().to_vec();
         if cfg.places > 1 {
             // One random victim per round; a missed steal does not
             // inform future steals (the property lifelines fix).

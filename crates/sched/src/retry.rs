@@ -107,4 +107,76 @@ mod tests {
         let _ = p.backoff_ns(2, &mut rng);
         assert_eq!(rng, before, "no random draw without jitter");
     }
+
+    #[test]
+    fn huge_base_cannot_overflow_past_the_cap() {
+        // A pathological base would overflow `base << shift` long
+        // before the cap applied; saturating_mul must clamp instead.
+        let p = RetryPolicy {
+            backoff_base_ns: u64::MAX / 2,
+            backoff_max_ns: u64::MAX - 1,
+            jitter_ns: 1,
+            ..Default::default()
+        };
+        let mut rng = SplitMix64::new(9);
+        for attempt in [1, 2, 33, 100, u32::MAX] {
+            let b = p.backoff_ns(attempt, &mut rng);
+            // A wrapping multiply would collapse the delay to ~0;
+            // saturation keeps it at least the base, and from the
+            // first doubling onward pinned at the cap.
+            assert!(b >= p.backoff_base_ns, "attempt {attempt} wrapped: {b}");
+            if attempt >= 2 {
+                assert!(
+                    b >= p.backoff_max_ns,
+                    "attempt {attempt} under-backed-off: {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_backoff_clamp_is_exact_at_the_boundary() {
+        // The cap applies the moment the doubling crosses it — not one
+        // attempt later.
+        let p = RetryPolicy {
+            backoff_base_ns: 10_000,
+            backoff_max_ns: 35_000, // between attempt 2 (20k) and 3 (40k)
+            jitter_ns: 0,
+            ..Default::default()
+        };
+        let mut rng = SplitMix64::new(5);
+        assert_eq!(p.backoff_ns(2, &mut rng), 20_000, "below the cap: exact");
+        assert_eq!(p.backoff_ns(3, &mut rng), 35_000, "first capped attempt");
+        assert_eq!(p.backoff_ns(4, &mut rng), 35_000, "stays at the cap");
+    }
+
+    #[test]
+    fn jitter_streams_differ_across_seeds_but_replay_within_one() {
+        let p = RetryPolicy::default();
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut rng = SplitMix64::new(seed);
+            (1..=8u32).map(|a| p.backoff_ns(a, &mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42), "fixed seed replays exactly");
+        assert_ne!(
+            draw(42),
+            draw(43),
+            "different seeds must desynchronize thieves"
+        );
+    }
+
+    #[test]
+    fn budget_zero_means_no_retry_budget_consumed() {
+        // budget counts retries *after* the first timeout; a zero
+        // budget still permits the initial attempt, so the backoff for
+        // attempt 1 must be well-defined (the engine asks for it when
+        // deciding whether to re-queue).
+        let p = RetryPolicy {
+            budget: 0,
+            jitter_ns: 0,
+            ..Default::default()
+        };
+        let mut rng = SplitMix64::new(11);
+        assert_eq!(p.backoff_ns(1, &mut rng), p.backoff_base_ns);
+    }
 }

@@ -1003,6 +1003,9 @@ impl<'p> Engine<'p> {
                     }
                 }
                 StealStep::ProbeNetwork => {
+                    if self.tracing {
+                        self.emit(now + overhead, w, TraceEventKind::NetProbe);
+                    }
                     overhead += self.cfg.cost.network_probe_ns;
                 }
                 StealStep::StealCoWorker => {

@@ -264,6 +264,64 @@ fn lossy_network_terminates_and_reports_drops() {
     }
 }
 
+/// The retry budget bounds how hard a thief hammers one victim: the
+/// original probe plus `budget` backoff retries, then it moves on. A
+/// killed place answers nothing, so every probe against it times out
+/// and the full retry ladder is exercised — yet no `StealTimeout`
+/// event may ever carry an attempt number past `budget + 1`.
+#[test]
+fn retry_budget_bounds_timeout_attempts() {
+    #[derive(Default)]
+    struct TimeoutSink {
+        timeouts: u32,
+        max_attempt: u32,
+    }
+    impl TraceSink for TimeoutSink {
+        fn record(&mut self, ev: TraceEvent) {
+            if let TraceEventKind::StealTimeout { attempt, .. } = ev.kind {
+                self.timeouts += 1;
+                self.max_attempt = self.max_attempt.max(attempt);
+            }
+        }
+    }
+    for budget in [0u32, 2, 3] {
+        let counter = Arc::new(AtomicU64::new(0));
+        let roots = spread_roots(3, 10, &counter);
+        let mut cfg = SimConfig::new(ClusterConfig::new(3, 2));
+        cfg.faults = FaultConfig {
+            kills: vec![(PlaceId(2), 50_000)],
+            retry: distws_sched::RetryPolicy {
+                budget,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sink = TimeoutSink::default();
+        let mut sim = Simulation::with_config(cfg, Box::new(DistWs::default()));
+        let (report, _) = sim.run_roots_traced("budget", roots, &mut sink);
+        assert!(
+            sink.timeouts > 0,
+            "budget {budget}: dead victim never probed"
+        );
+        assert!(
+            sink.max_attempt <= budget + 1,
+            "budget {budget}: a thief kept retrying past exhaustion \
+             (max attempt {})",
+            sink.max_attempt
+        );
+        assert_eq!(
+            sink.max_attempt,
+            budget + 1,
+            "budget {budget}: the ladder never ran to exhaustion \
+             against a dead place"
+        );
+        assert_eq!(
+            report.faults.steal_timeouts as u32, sink.timeouts,
+            "budget {budget}: counter and trace disagree"
+        );
+    }
+}
+
 #[test]
 fn slow_place_stretches_the_run() {
     let mk = |factor: f64| {

@@ -118,7 +118,7 @@ pub fn chrome_trace(events: &[TraceEvent], config: &ClusterConfig) -> Value {
                 o.set("args", args);
                 out.push(o);
             }
-            TraceEventKind::StealAttempt { .. } => {
+            TraceEventKind::StealAttempt { .. } | TraceEventKind::NetProbe => {
                 // One instant per probe would swamp the UI; attempts are
                 // summarized by the histogram layer instead.
             }

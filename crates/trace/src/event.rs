@@ -87,6 +87,11 @@ pub enum TraceEventKind {
         /// The tier probed.
         tier: StealTier,
     },
+    /// A worker probed the network / its place inbox for arriving tasks
+    /// (Algorithm 1 line 11, and the line 19 re-probe after a failed
+    /// distributed steal). Emitted whether or not anything arrived, so
+    /// the conformance checker can justify every remote steal attempt.
+    NetProbe,
     /// A steal returned at least one task.
     StealSuccess {
         /// The tier stolen from.
@@ -169,6 +174,7 @@ impl TraceEventKind {
             TraceEventKind::TaskStart { .. } => "task_start",
             TraceEventKind::TaskEnd { .. } => "task_end",
             TraceEventKind::StealAttempt { .. } => "steal_attempt",
+            TraceEventKind::NetProbe => "net_probe",
             TraceEventKind::StealSuccess { .. } => "steal_success",
             TraceEventKind::Migration { .. } => "migration",
             TraceEventKind::RemoteRef { .. } => "remote_ref",
@@ -235,7 +241,8 @@ impl TraceEvent {
                 o.set("home", home.0);
                 o.set("bytes", bytes);
             }
-            TraceEventKind::Dormant
+            TraceEventKind::NetProbe
+            | TraceEventKind::Dormant
             | TraceEventKind::Wakeup
             | TraceEventKind::PlaceFail
             | TraceEventKind::PlaceRestart => {}
@@ -303,6 +310,11 @@ mod tests {
             kind: TraceEventKind::Dormant,
         };
         assert_eq!(ev.to_jsonl(), r#"{"t":5,"w":0,"p":0,"ev":"dormant"}"#);
+        let probe = TraceEvent {
+            kind: TraceEventKind::NetProbe,
+            ..ev
+        };
+        assert_eq!(probe.to_jsonl(), r#"{"t":5,"w":0,"p":0,"ev":"net_probe"}"#);
     }
 
     #[test]
