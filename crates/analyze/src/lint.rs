@@ -106,9 +106,10 @@ impl fmt::Display for Violation {
 /// Crates whose `src/` may not name `HashMap`/`HashSet` — anything
 /// that feeds report, trace or figure output.
 const HASH_FORBIDDEN_CRATES: &[&str] = &["sim", "netsim", "sched", "trace"];
-/// Crates allowed to read the wall clock (real-time execution and the
-/// timing harness).
-const WALL_CLOCK_ALLOWED_CRATES: &[&str] = &["runtime", "bench"];
+/// Crates allowed to read the wall clock (real-time execution, the
+/// timing harness, and the phase-timer metrics sink — the sim engine
+/// only ever calls sink methods, so it stays clock-free itself).
+const WALL_CLOCK_ALLOWED_CRATES: &[&str] = &["runtime", "bench", "metrics"];
 
 /// Crate name (the `<c>` of `crates/<c>/src/...`) a workspace-relative
 /// path belongs to; `None` for the root `src/`.

@@ -4,6 +4,8 @@
 //! repro <experiment> [--scale quick|default|paper] [--json DIR]
 //! repro trace <app> [--scale ...] [--policy NAME] [--seed N] [--json DIR]
 //! repro chaos <app> --faults SPEC [--scale ...] [--policy NAME] [--seed N] [--json DIR] [--validate]
+//! repro bench [--suite quick|full] [--seed S] [--out FILE] [--baseline FILE] [--threshold PCT] [--no-gate]
+//! repro bench --check FILE
 //! repro lint [ROOT]
 //! repro check [interleave | protocol | mutants | hb FILE.jsonl] [--scenario NAME] [--list]
 //! repro conform FILE.jsonl [--policy NAME]
@@ -28,6 +30,16 @@
 //! traced and its event stream is checked by the happens-before
 //! validator (tracing does not perturb results — PR 1 invariant).
 //!
+//! `repro bench` runs the performance suite (`docs/metrics.md`): a
+//! fixed matrix of apps × policies × cluster sizes with engine
+//! self-metrics enabled, recording events/sec, sim-ns per wall-ms,
+//! peak RSS and makespan per cell into the schema-versioned
+//! `BENCH_quick.json` / `BENCH_full.json` at the repo root. The run is
+//! compared cell-by-cell against the committed baseline and exits
+//! nonzero when events/sec drops by more than `--threshold` percent
+//! (default 10). `repro bench --check FILE` only schema-validates a
+//! trajectory file.
+//!
 //! `repro lint` runs the determinism lint over the workspace (or a
 //! given root) and exits nonzero with `file:line` diagnostics on any
 //! violation. `repro check` runs the bounded Chase-Lev/FIFO
@@ -41,7 +53,7 @@
 //! `docs/analysis.md`.
 
 use distws_bench as bench;
-use distws_bench::Scale;
+use distws_bench::{perf, Scale};
 use std::io::Write;
 
 fn main() {
@@ -55,6 +67,12 @@ fn main() {
     let mut validate = false;
     let mut scenario: Option<String> = None;
     let mut list = false;
+    let mut suite = perf::BenchSuite::Quick;
+    let mut bench_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut threshold = perf::DEFAULT_THRESHOLD_PCT;
+    let mut gate = true;
+    let mut check_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -103,6 +121,49 @@ fn main() {
                     eprintln!("--policy needs a scheduler name");
                     std::process::exit(2);
                 });
+            }
+            "--suite" => {
+                i += 1;
+                suite = args
+                    .get(i)
+                    .and_then(|s| perf::BenchSuite::by_name(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("--suite needs 'quick' or 'full'");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                bench_out = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a BENCH_*.json path");
+                    std::process::exit(2);
+                }));
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threshold needs a non-negative percentage (e.g. 10)");
+                        std::process::exit(2);
+                    });
+            }
+            "--no-gate" => gate = false,
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--check needs a BENCH_*.json path");
+                    std::process::exit(2);
+                }));
             }
             flag if flag.starts_with("--") => {
                 eprintln!("unexpected argument {flag}");
@@ -186,6 +247,25 @@ fn main() {
         );
         return;
     }
+    if positional.first().map(String::as_str) == Some("bench") {
+        if positional.len() > 1 {
+            eprintln!("usage: repro bench [--suite quick|full] [--seed S] [--out FILE] [--baseline FILE] [--threshold PCT] [--no-gate] | repro bench --check FILE");
+            std::process::exit(2);
+        }
+        if let Some(path) = check_path {
+            run_bench_check(&path);
+            return;
+        }
+        run_bench(
+            suite,
+            seed.unwrap_or(0),
+            bench_out.as_deref(),
+            baseline.as_deref(),
+            threshold,
+            gate,
+        );
+        return;
+    }
     if positional.len() > 1 {
         eprintln!("unexpected argument {}", positional[1]);
         std::process::exit(2);
@@ -253,6 +333,9 @@ fn main() {
         eprintln!("or: repro trace <app> [--scale S] [--policy P] [--seed N] [--json DIR]");
         eprintln!(
             "or: repro chaos <app> --faults SPEC [--scale S] [--policy P] [--seed N] [--json DIR] [--validate]"
+        );
+        eprintln!(
+            "or: repro bench [--suite quick|full] [--seed S] [--out FILE] [--baseline FILE] [--threshold PCT] [--no-gate] [--check FILE]"
         );
         eprintln!("or: repro lint [ROOT]");
         eprintln!(
@@ -726,11 +809,117 @@ fn print_percentiles(report: &distws_core::RunReport) {
 fn write_json<T: distws_json::ToJson>(dir: &str, name: &str, rows: &T) {
     std::fs::create_dir_all(dir).expect("create json dir");
     let path = format!("{dir}/{name}.json");
-    let mut f = std::fs::File::create(&path).expect("create json file");
-    let body = distws_json::to_string_pretty(rows);
-    f.write_all(body.as_bytes()).expect("write json");
-    f.write_all(b"\n").expect("write json");
+    // write_json_file guarantees exactly one trailing newline, so a
+    // regenerated file is byte-identical to the committed one.
+    distws_json::write_json_file(std::path::Path::new(&path), rows).expect("write json");
     eprintln!("wrote {path}");
+}
+
+/// `repro bench` — run a suite, print the table, write the trajectory
+/// file, and gate on events/sec regressions against the committed
+/// baseline.
+fn run_bench(
+    suite: perf::BenchSuite,
+    seed: u64,
+    out: Option<&str>,
+    baseline: Option<&str>,
+    threshold_pct: f64,
+    gate: bool,
+) {
+    let points = perf::matrix(suite);
+    hr(&format!(
+        "repro bench — suite {} ({} cells, seed {seed})",
+        suite.name(),
+        points.len()
+    ));
+    let report = perf::run_suite(suite, seed, |i, p| {
+        eprintln!(
+            "[{}/{}] {} / {} on {}x{} ...",
+            i + 1,
+            points.len(),
+            p.app,
+            p.policy,
+            p.cluster.places,
+            p.cluster.workers_per_place
+        );
+    });
+    print!("{}", perf::render_bench_table(&report));
+
+    // Load the baseline BEFORE overwriting the default output path —
+    // with no --baseline / --out, both are the committed BENCH file.
+    let out_path = out.unwrap_or_else(|| suite.default_out()).to_string();
+    let baseline_path = baseline.unwrap_or(&out_path).to_string();
+    let baseline_report = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match perf::parse_report(&text) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("baseline {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => {
+            eprintln!("no baseline at {baseline_path}; skipping the regression gate");
+            None
+        }
+    };
+
+    distws_json::write_json_file(std::path::Path::new(&out_path), &report)
+        .expect("write bench json");
+    eprintln!("wrote {out_path}");
+
+    if let Some(base) = baseline_report {
+        let regressions = perf::compare(&report, &base, threshold_pct);
+        if regressions.is_empty() {
+            println!(
+                "\nregression gate: ok ({} cells within {threshold_pct}% of baseline events/sec)",
+                report.cells.len()
+            );
+        } else {
+            println!(
+                "\nregression gate: {} cell(s) slower than baseline by more than {threshold_pct}%:",
+                regressions.len()
+            );
+            for r in &regressions {
+                println!(
+                    "  {} / {} on {}x{}: {:.0} -> {:.0} events/sec (-{:.1}%)",
+                    r.app,
+                    r.policy,
+                    r.places,
+                    r.workers_per_place,
+                    r.baseline_eps,
+                    r.current_eps,
+                    r.drop_pct
+                );
+            }
+            if gate {
+                std::process::exit(1);
+            }
+            println!("(--no-gate: not failing)");
+        }
+    }
+}
+
+/// `repro bench --check FILE` — schema-validate a trajectory file.
+fn run_bench_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    match perf::parse_report(&text) {
+        Ok(r) => {
+            println!(
+                "{path}: ok (schema v{}, suite {}, seed {}, {} cells)",
+                r.schema_version,
+                r.suite,
+                r.seed,
+                r.cells.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn hr(title: &str) {

@@ -24,6 +24,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use distws_apps as apps;
 use distws_core::{ClusterConfig, RunReport, Workload};
 use distws_json::impl_to_json;

@@ -1,0 +1,617 @@
+//! The `repro bench` performance harness.
+//!
+//! Runs a fixed matrix of apps × policies × cluster sizes with engine
+//! self-metrics enabled, records throughput (events/sec), simulation
+//! rate (sim-ns per wall-ms), peak RSS and makespan per cell, and
+//! reads/writes the schema-versioned `BENCH_quick.json` /
+//! `BENCH_full.json` trajectory files at the repo root. A committed
+//! baseline plus [`compare`] gives every later PR a regression gate.
+//!
+//! Two data classes per cell, deliberately separated in the JSON:
+//!
+//! * `tasks`, `makespan_ms`, `events` and `metrics.{counters,gauges}`
+//!   are **deterministic** — pure functions of the seed; CI asserts
+//!   two same-seed runs agree on them byte-for-byte.
+//! * `wall_ms`, `events_per_sec`, `sim_ns_per_wall_ms`, `peak_rss_kb`
+//!   and `metrics.phases_ns` are **wall-clock** — machine- and
+//!   run-dependent; only the regression gate (with its tolerance
+//!   threshold) looks at them.
+
+use crate::{app_by_name, policy_by_name, Scale};
+use distws_apps as apps;
+use distws_core::{ClusterConfig, Workload};
+use distws_json::{impl_to_json, Value};
+use distws_metrics::{peak_rss_kb, Counter, EngineMetrics, MetricsSnapshot};
+use distws_sim::{SimConfig, Simulation};
+use distws_trace::NullSink;
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` layout. Bump on any breaking change
+/// to cell fields; the loader rejects mismatches so a stale committed
+/// baseline fails loudly instead of gating against garbage.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Default regression-gate threshold: fail on a >10 % events/sec drop.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// Which benchmark matrix to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchSuite {
+    /// 3 apps × 2 policies on a 4×2 cluster — seconds; the CI smoke.
+    Quick,
+    /// 4 apps × 3 policies on the paper cluster (16×8) plus a first
+    /// above-paper size (32×16 = 512 workers) — minutes.
+    Full,
+}
+
+impl BenchSuite {
+    /// Wire name (`--suite` value and the `suite` JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchSuite::Quick => "quick",
+            BenchSuite::Full => "full",
+        }
+    }
+
+    /// Parse a `--suite` value.
+    pub fn by_name(name: &str) -> Option<BenchSuite> {
+        match name.to_ascii_lowercase().as_str() {
+            "quick" => Some(BenchSuite::Quick),
+            "full" => Some(BenchSuite::Full),
+            _ => None,
+        }
+    }
+
+    /// The committed trajectory file of this suite.
+    pub fn default_out(self) -> &'static str {
+        match self {
+            BenchSuite::Quick => "BENCH_quick.json",
+            BenchSuite::Full => "BENCH_full.json",
+        }
+    }
+
+    /// Timing repetitions per cell: each cell runs this many times and
+    /// reports the fastest wall clock (counters are asserted identical
+    /// across repetitions, so only the timing varies).
+    pub fn iters(self) -> u32 {
+        match self {
+            BenchSuite::Quick => 3,
+            BenchSuite::Full => 2,
+        }
+    }
+}
+
+/// One (app, policy, cluster, scale) point of the matrix.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// Application name (resolvable by [`bench_app`]).
+    pub app: &'static str,
+    /// Policy name (resolvable by [`policy_by_name`]).
+    pub policy: &'static str,
+    /// Cluster shape.
+    pub cluster: ClusterConfig,
+    /// Input scale.
+    pub scale: Scale,
+}
+
+/// The fixed matrix of a suite. Fixed means fixed: cells are only ever
+/// appended (the committed baselines match on cell identity).
+pub fn matrix(suite: BenchSuite) -> Vec<BenchPoint> {
+    let mut points = Vec::new();
+    match suite {
+        BenchSuite::Quick => {
+            // Default-scale inputs on a small cluster: tens of ms of
+            // wall clock per cell, enough signal to gate on; the whole
+            // suite still finishes in about a second.
+            for app in ["Quicksort", "k-Means", "UTS"] {
+                for policy in ["X10WS", "DistWS"] {
+                    points.push(BenchPoint {
+                        app,
+                        policy,
+                        cluster: ClusterConfig::new(4, 2),
+                        scale: Scale::Default,
+                    });
+                }
+            }
+        }
+        BenchSuite::Full => {
+            // ClusterConfig::paper() is 16×8 = 128 workers; 32×16 is
+            // the first above-paper point (512 workers).
+            for cluster in [ClusterConfig::paper(), ClusterConfig::new(32, 16)] {
+                for app in ["Quicksort", "k-Means", "UTS", "DMG"] {
+                    for policy in ["X10WS", "DistWS", "LifelineWS"] {
+                        points.push(BenchPoint {
+                            app,
+                            policy,
+                            cluster: cluster.clone(),
+                            scale: Scale::Default,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Resolve a benchmark app name at a scale. Extends [`app_by_name`]
+/// with UTS (which lives outside the paper's seven-app suite).
+pub fn bench_app(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    if name.eq_ignore_ascii_case("uts") {
+        return Some(match scale {
+            Scale::Quick => Box::new(apps::Uts::quick()),
+            _ => Box::new(apps::Uts::default()),
+        });
+    }
+    app_by_name(name, scale)
+}
+
+/// One measured cell of `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Application display name.
+    pub app: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Cluster places.
+    pub places: u32,
+    /// Workers per place.
+    pub workers_per_place: u32,
+    /// Tasks executed (deterministic).
+    pub tasks: u64,
+    /// Virtual makespan in milliseconds (deterministic).
+    pub makespan_ms: f64,
+    /// Engine events processed (deterministic).
+    pub events: u64,
+    /// Wall-clock run time in milliseconds (machine-dependent).
+    pub wall_ms: f64,
+    /// Engine events per wall-clock second — the gated throughput.
+    pub events_per_sec: f64,
+    /// Simulated nanoseconds per wall-clock millisecond.
+    pub sim_ns_per_wall_ms: f64,
+    /// Process peak RSS in KiB after the cell (0 where unavailable;
+    /// process-wide high-water mark, so later cells inherit earlier
+    /// peaks).
+    pub peak_rss_kb: u64,
+    /// Full counter/gauge/phase snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl BenchCell {
+    /// Cell identity used to match against a baseline.
+    pub fn key(&self) -> (String, String, u32, u32) {
+        (
+            self.app.clone(),
+            self.policy.clone(),
+            self.places,
+            self.workers_per_place,
+        )
+    }
+}
+
+/// A whole `BENCH_*.json` document.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Layout version — see [`BENCH_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Suite wire name (`"quick"` / `"full"`).
+    pub suite: String,
+    /// The seed every cell ran with.
+    pub seed: u64,
+    /// One entry per matrix point, matrix order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl_to_json!(BenchCell {
+    app,
+    policy,
+    places,
+    workers_per_place,
+    tasks,
+    makespan_ms,
+    events,
+    wall_ms,
+    events_per_sec,
+    sim_ns_per_wall_ms,
+    peak_rss_kb,
+    metrics
+});
+impl_to_json!(BenchReport {
+    schema_version,
+    suite,
+    seed,
+    cells
+});
+
+/// Run one matrix point with metrics enabled, `iters` times, and keep
+/// the fastest wall clock (counters and report are deterministic in
+/// the seed — asserted — so repetitions only de-noise the timing).
+pub fn run_cell(point: &BenchPoint, seed: u64, iters: u32) -> BenchCell {
+    assert!(iters >= 1, "run_cell needs at least one iteration");
+    let mut best: Option<(std::time::Duration, distws_core::RunReport, MetricsSnapshot)> = None;
+    for _ in 0..iters {
+        let app = bench_app(point.app, point.scale)
+            .unwrap_or_else(|| panic!("unknown bench app '{}'", point.app));
+        let policy = policy_by_name(point.policy)
+            .unwrap_or_else(|| panic!("unknown bench policy '{}'", point.policy));
+        let mut cfg = SimConfig::new(point.cluster.clone());
+        cfg.seed = seed;
+        let mut sim = Simulation::with_config(cfg, policy);
+        let mut metrics = EngineMetrics::new();
+        let start = Instant::now();
+        let (report, _) = sim.run_app_metered(app.as_ref(), &mut NullSink, &mut metrics);
+        let wall = start.elapsed();
+        let snapshot = metrics.snapshot();
+        match &best {
+            Some((best_wall, _, best_snap)) => {
+                assert_eq!(
+                    best_snap.counters, snapshot.counters,
+                    "nondeterministic counters across repetitions of {} / {}",
+                    point.app, point.policy
+                );
+                if wall < *best_wall {
+                    best = Some((wall, report, snapshot));
+                }
+            }
+            None => best = Some((wall, report, snapshot)),
+        }
+    }
+    let (wall, report, snapshot) = best.unwrap();
+    let events = snapshot.counter(Counter::EventsProcessed);
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    BenchCell {
+        app: report.app,
+        policy: report.scheduler,
+        places: point.cluster.places,
+        workers_per_place: point.cluster.workers_per_place,
+        tasks: report.tasks_executed,
+        makespan_ms: report.makespan_ns as f64 / 1e6,
+        events,
+        wall_ms,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        sim_ns_per_wall_ms: report.makespan_ns as f64 / wall_ms.max(1e-9),
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
+        metrics: snapshot,
+    }
+}
+
+/// Run a whole suite. `progress` is called before each cell with the
+/// point and its 0-based index (the CLI prints a status line; tests
+/// pass a no-op).
+pub fn run_suite(
+    suite: BenchSuite,
+    seed: u64,
+    mut progress: impl FnMut(usize, &BenchPoint),
+) -> BenchReport {
+    let points = matrix(suite);
+    let mut cells = Vec::with_capacity(points.len());
+    for (i, point) in points.iter().enumerate() {
+        progress(i, point);
+        cells.push(run_cell(point, seed, suite.iters()));
+    }
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        suite: suite.name().to_string(),
+        seed,
+        cells,
+    }
+}
+
+/// Parse a `BENCH_*.json` document, validating its schema version.
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let v = Value::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema_version = v
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or("missing schema_version")?;
+    if schema_version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {schema_version} (this binary reads {BENCH_SCHEMA_VERSION})"
+        ));
+    }
+    let suite = v
+        .get("suite")
+        .and_then(Value::as_str)
+        .ok_or("missing suite")?
+        .to_string();
+    let seed = v
+        .get("seed")
+        .and_then(Value::as_u64)
+        .ok_or("missing seed")?;
+    let mut cells = Vec::new();
+    for (i, c) in v
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("missing cells")?
+        .iter()
+        .enumerate()
+    {
+        let str_field = |k: &str| {
+            c.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or(format!("cell {i}: missing {k}"))
+        };
+        let u64_field = |k: &str| {
+            c.get(k)
+                .and_then(Value::as_u64)
+                .ok_or(format!("cell {i}: missing {k}"))
+        };
+        let f64_field = |k: &str| {
+            c.get(k)
+                .and_then(Value::as_f64)
+                .ok_or(format!("cell {i}: missing {k}"))
+        };
+        cells.push(BenchCell {
+            app: str_field("app")?,
+            policy: str_field("policy")?,
+            places: u64_field("places")? as u32,
+            workers_per_place: u64_field("workers_per_place")? as u32,
+            tasks: u64_field("tasks")?,
+            makespan_ms: f64_field("makespan_ms")?,
+            events: u64_field("events")?,
+            wall_ms: f64_field("wall_ms")?,
+            events_per_sec: f64_field("events_per_sec")?,
+            sim_ns_per_wall_ms: f64_field("sim_ns_per_wall_ms")?,
+            peak_rss_kb: u64_field("peak_rss_kb")?,
+            metrics: c
+                .get("metrics")
+                .and_then(MetricsSnapshot::from_json)
+                .ok_or(format!("cell {i}: missing metrics"))?,
+        });
+    }
+    Ok(BenchReport {
+        schema_version,
+        suite,
+        seed,
+        cells,
+    })
+}
+
+/// One gated throughput regression.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Application of the regressed cell.
+    pub app: String,
+    /// Policy of the regressed cell.
+    pub policy: String,
+    /// Cluster places of the regressed cell.
+    pub places: u32,
+    /// Workers per place of the regressed cell.
+    pub workers_per_place: u32,
+    /// Baseline events/sec.
+    pub baseline_eps: f64,
+    /// Current events/sec.
+    pub current_eps: f64,
+    /// Drop relative to baseline, in percent (positive = slower).
+    pub drop_pct: f64,
+}
+
+/// Compare `current` against a committed `baseline`, cell by cell
+/// (matched on app/policy/cluster identity — cells missing on either
+/// side are skipped, so the matrix can grow). Returns every cell whose
+/// events/sec dropped by more than `threshold_pct`.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for cur in &current.cells {
+        let Some(base) = baseline.cells.iter().find(|b| b.key() == cur.key()) else {
+            continue;
+        };
+        if base.events_per_sec <= 0.0 {
+            continue;
+        }
+        let drop_pct = (base.events_per_sec - cur.events_per_sec) / base.events_per_sec * 100.0;
+        if drop_pct > threshold_pct {
+            out.push(Regression {
+                app: cur.app.clone(),
+                policy: cur.policy.clone(),
+                places: cur.places,
+                workers_per_place: cur.workers_per_place,
+                baseline_eps: base.events_per_sec,
+                current_eps: cur.events_per_sec,
+                drop_pct,
+            });
+        }
+    }
+    out
+}
+
+/// The human bench table (`repro bench` / `diag metrics` output).
+pub fn render_bench_table(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<12} {:>8} {:>10} {:>13} {:>10} {:>9} {:>13} {:>14} {:>10}\n",
+        "app",
+        "policy",
+        "cluster",
+        "tasks",
+        "makespan(ms)",
+        "events",
+        "wall(ms)",
+        "events/sec",
+        "sim-ns/wall-ms",
+        "rss(MiB)"
+    ));
+    for c in &report.cells {
+        out.push_str(&format!(
+            "{:<12} {:<12} {:>8} {:>10} {:>13.3} {:>10} {:>9.1} {:>13.0} {:>14.0} {:>10.1}\n",
+            c.app,
+            c.policy,
+            format!("{}x{}", c.places, c.workers_per_place),
+            c.tasks,
+            c.makespan_ms,
+            c.events,
+            c.wall_ms,
+            c.events_per_sec,
+            c.sim_ns_per_wall_ms,
+            c.peak_rss_kb as f64 / 1024.0
+        ));
+    }
+    out
+}
+
+/// The `diag metrics` view: one counter/gauge/phase table per cell.
+pub fn render_metrics_view(report: &BenchReport) -> String {
+    let mut out = String::new();
+    for c in &report.cells {
+        out.push_str(&format!(
+            "## {} / {} on {}x{} (seed {})\n",
+            c.app, c.policy, c.places, c.workers_per_place, report.seed
+        ));
+        out.push_str(&c.metrics.render_table());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_point() -> BenchPoint {
+        BenchPoint {
+            app: "Quicksort",
+            policy: "DistWS",
+            cluster: ClusterConfig::new(2, 2),
+            scale: Scale::Quick,
+        }
+    }
+
+    #[test]
+    fn cell_counters_are_deterministic_in_the_seed() {
+        let a = run_cell(&quick_point(), 7, 1);
+        let b = run_cell(&quick_point(), 7, 2); // iters=2 also self-asserts
+
+        assert_eq!(a.metrics.counters, b.metrics.counters);
+        assert_eq!(a.metrics.gauges, b.metrics.gauges);
+        assert_eq!(a.tasks, b.tasks);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.makespan_ms, b.makespan_ms);
+        // Sanity: the engine actually counted things.
+        assert!(a.events > 0);
+        assert!(a.metrics.counter(Counter::EventQueuePushes) >= a.events);
+    }
+
+    #[test]
+    fn report_json_roundtrips_through_parse() {
+        let report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            suite: "quick".into(),
+            seed: 42,
+            cells: vec![run_cell(&quick_point(), 42, 1)],
+        };
+        let text = distws_json::to_string_pretty(&report);
+        let back = parse_report(&text).unwrap();
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.cells[0].key(), report.cells[0].key());
+        assert_eq!(back.cells[0].metrics, report.cells[0].metrics);
+        assert_eq!(back.cells[0].events, report.cells[0].events);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_version() {
+        let text = r#"{"schema_version": 999, "suite": "quick", "seed": 1, "cells": []}"#;
+        let err = parse_report(text).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+    }
+
+    #[test]
+    fn compare_flags_only_drops_beyond_threshold() {
+        let mut base = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            suite: "quick".into(),
+            seed: 1,
+            cells: vec![run_cell(&quick_point(), 1, 1)],
+        };
+        base.cells[0].events_per_sec = 1_000_000.0;
+        let mut cur = base.clone();
+        cur.cells[0].events_per_sec = 950_000.0; // -5 %
+        assert!(compare(&cur, &base, 10.0).is_empty());
+        cur.cells[0].events_per_sec = 850_000.0; // -15 %
+        let regs = compare(&cur, &base, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].drop_pct - 15.0).abs() < 1e-9);
+        // Faster-than-baseline never gates.
+        cur.cells[0].events_per_sec = 2_000_000.0;
+        assert!(compare(&cur, &base, 10.0).is_empty());
+    }
+
+    #[test]
+    fn quick_matrix_shape_is_fixed() {
+        let m = matrix(BenchSuite::Quick);
+        assert_eq!(m.len(), 6);
+        assert!(m.iter().all(|p| p.cluster.places == 4));
+        let full = matrix(BenchSuite::Full);
+        assert_eq!(full.len(), 24);
+        assert!(full.iter().any(|p| p.cluster.places == 32));
+    }
+
+    #[test]
+    fn metrics_view_fixture_is_pinned() {
+        let snapshot = MetricsSnapshot {
+            counters: (1..=14).collect(),
+            gauges: vec![21, 22, 23],
+            phase_ns: vec![31, 32, 33],
+        };
+        let report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            suite: "quick".into(),
+            seed: 7,
+            cells: vec![BenchCell {
+                app: "Quicksort".into(),
+                policy: "DistWS".into(),
+                places: 4,
+                workers_per_place: 2,
+                tasks: 902,
+                makespan_ms: 1.0,
+                events: 1,
+                wall_ms: 1.0,
+                events_per_sec: 1.0,
+                sim_ns_per_wall_ms: 1.0,
+                peak_rss_kb: 1024,
+                metrics: snapshot,
+            }],
+        };
+        let expected = "\
+## Quicksort / DistWS on 4x2 (seed 7)
+counter                                     value
+events_processed                                1
+event_queue_pushes                              2
+event_queue_pops                                3
+tasks_allocated                                 4
+deque_grows                                     5
+steal_attempts.local_private                    6
+steal_attempts.local_shared                     7
+steal_attempts.remote                           8
+steal_successes.local_private                   9
+steal_successes.local_shared                   10
+steal_successes.remote                         11
+msgs_sent                                      12
+msgs_dropped                                   13
+msgs_retried                                   14
+gauge                                       value
+event_queue_max_depth                          21
+private_deque_max_depth                        22
+shared_deque_max_depth                         23
+phase (wall ns)                             value
+event_dispatch                                 31
+task_execution                                 32
+trace_emission                                 33
+
+";
+        assert_eq!(render_metrics_view(&report), expected);
+    }
+
+    #[test]
+    fn bench_app_resolves_uts_and_suite_apps() {
+        assert!(bench_app("UTS", Scale::Quick).is_some());
+        assert!(bench_app("uts", Scale::Quick).is_some());
+        assert!(bench_app("Quicksort", Scale::Quick).is_some());
+        assert!(bench_app("no-such-app", Scale::Quick).is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! PR invariant: metering must not perturb results.
+//!
+//! A run with [`distws_metrics::EngineMetrics`] attached must produce
+//! a `RunReport` byte-identical (JSON serialization) to the same run
+//! with the zero-cost [`distws_metrics::NullMetrics`] default — the
+//! sink only observes, never steers. Companion to the PR 1 invariant
+//! that tracing does not perturb results.
+
+use distws_bench::{policy_by_name, suite, Scale};
+use distws_core::ClusterConfig;
+use distws_metrics::EngineMetrics;
+use distws_sim::{SimConfig, Simulation};
+use distws_trace::NullSink;
+
+const POLICIES: &[&str] = &[
+    "x10ws",
+    "distws",
+    "distws-ns",
+    "randomws",
+    "lifelinews",
+    "adaptivews",
+];
+
+fn config() -> SimConfig {
+    let mut cfg = SimConfig::new(ClusterConfig::new(4, 2));
+    cfg.seed = 0xD15C0;
+    cfg
+}
+
+#[test]
+fn metered_reports_are_byte_identical_to_unmetered() {
+    for policy_name in POLICIES {
+        for (plain_app, metered_app) in suite(Scale::Quick).into_iter().zip(suite(Scale::Quick)) {
+            let plain = Simulation::with_config(config(), policy_by_name(policy_name).unwrap())
+                .run_app(plain_app.as_ref());
+            let mut metrics = EngineMetrics::new();
+            let (metered, _) =
+                Simulation::with_config(config(), policy_by_name(policy_name).unwrap())
+                    .run_app_metered(metered_app.as_ref(), &mut NullSink, &mut metrics);
+            assert_eq!(
+                distws_json::to_string_pretty(&plain),
+                distws_json::to_string_pretty(&metered),
+                "metering perturbed the report of {} under {policy_name}",
+                plain.app
+            );
+            // And the sink actually recorded the run.
+            assert!(
+                metrics.counter(distws_metrics::Counter::EventsProcessed) > 0,
+                "no events counted for {} under {policy_name}",
+                metered.app
+            );
+        }
+    }
+}
+
+#[test]
+fn metered_counters_are_deterministic() {
+    for policy_name in POLICIES {
+        for (app_a, app_b) in suite(Scale::Quick).into_iter().zip(suite(Scale::Quick)) {
+            let run = |app: &dyn distws_core::Workload| {
+                let mut metrics = EngineMetrics::new();
+                Simulation::with_config(config(), policy_by_name(policy_name).unwrap())
+                    .run_app_metered(app, &mut NullSink, &mut metrics);
+                metrics.snapshot()
+            };
+            let (a, b) = (run(app_a.as_ref()), run(app_b.as_ref()));
+            assert_eq!(
+                a.counters,
+                b.counters,
+                "nondeterministic counters for {} under {policy_name}",
+                app_a.name()
+            );
+            assert_eq!(
+                a.gauges,
+                b.gauges,
+                "nondeterministic gauges for {} under {policy_name}",
+                app_a.name()
+            );
+        }
+    }
+}

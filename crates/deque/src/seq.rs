@@ -53,6 +53,12 @@ impl<T> SeqPrivateDeque<T> {
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
     }
+
+    /// Current buffer capacity (observing a capacity increase across a
+    /// push is how the metrics layer counts deque grows).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
 }
 
 /// Strict-FIFO shared deque with chunked steal (single-threaded).
@@ -99,6 +105,11 @@ impl<T> SeqSharedFifo<T> {
     /// Whether the deque is empty.
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
+    }
+
+    /// Current buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
     }
 }
 

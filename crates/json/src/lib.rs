@@ -108,6 +108,24 @@ impl Value {
         }
     }
 
+    /// Numeric value as `f64` (any of the three number variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Parse JSON text into a [`Value`]. Integers without fraction or
     /// exponent parse as `UInt`/`Int` (so trace timestamps survive a
     /// render → parse round-trip exactly); everything else follows RFC
@@ -581,6 +599,22 @@ pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
     value.to_json().render_pretty()
 }
 
+/// Write a value to `path` pretty-printed with **exactly one trailing
+/// newline** — the committed-artifact convention (`results/*.json`,
+/// `BENCH_*.json`), so regenerating a file never produces a
+/// whitespace-only diff.
+pub fn write_json_file<T: ToJson + ?Sized>(
+    path: &std::path::Path,
+    value: &T,
+) -> std::io::Result<()> {
+    let mut text = value.to_json().render_pretty();
+    while text.ends_with('\n') {
+        text.pop();
+    }
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +637,33 @@ mod tests {
         let mut obj = Value::object();
         obj.set("b", 1u64).set("a", "x");
         assert_eq!(obj.render(), r#"{"b":1,"a":"x"}"#);
+    }
+
+    #[test]
+    fn accessors_narrow_by_variant() {
+        assert_eq!(Value::UInt(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Int(-2).as_f64(), Some(-2.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        let arr = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        assert_eq!(arr.as_array().map(|a| a.len()), Some(2));
+        assert_eq!(Value::UInt(1).as_array(), None);
+    }
+
+    #[test]
+    fn write_json_file_guarantees_single_trailing_newline() {
+        let mut obj = Value::object();
+        obj.set("k", 1u64);
+        let path = std::env::temp_dir().join("distws_json_write_test.json");
+        write_json_file(&path, &obj).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        assert!(!text.ends_with("\n\n"));
+        assert_eq!(text.trim_end(), obj.render_pretty().trim_end());
+        // Idempotent: rewriting yields byte-identical content.
+        write_json_file(&path, &obj).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

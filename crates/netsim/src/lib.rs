@@ -278,6 +278,16 @@ impl Network {
         &self.counts
     }
 
+    /// Total messages sent across all kinds (metrics `msgs_sent`).
+    pub fn sent_total(&self) -> u64 {
+        self.counts.total()
+    }
+
+    /// Total messages lost in flight (metrics `msgs_dropped`).
+    pub fn dropped_total(&self) -> u64 {
+        self.counts.dropped.total()
+    }
+
     /// Messages sent on the directed edge `src → dst`.
     pub fn edge_count(&self, src: PlaceId, dst: PlaceId) -> u64 {
         self.per_edge[src.index() * self.places as usize + dst.index()]

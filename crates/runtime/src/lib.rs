@@ -37,6 +37,7 @@ use distws_core::{
     Workload,
 };
 use distws_deque::SharedFifo;
+use distws_metrics::{Counter, MetricsSink};
 use distws_sched::{Policy, RetryPolicy};
 use distws_trace::SharedSink;
 use std::collections::VecDeque;
@@ -232,6 +233,51 @@ impl Runtime {
     /// Run explicit root tasks to completion.
     pub fn run_roots(&mut self, name: &str, roots: Vec<TaskSpec>) -> RunReport {
         self.run_roots_traced(name, roots, SharedSink::null())
+    }
+
+    /// Run a workload with engine self-metrics folded into `metrics`
+    /// after completion. The threaded runtime's counters come from its
+    /// per-run atomics, so — unlike the simulator's — they are only as
+    /// deterministic as the thread schedule that produced them.
+    pub fn run_app_metered(
+        &mut self,
+        app: &dyn Workload,
+        metrics: &mut dyn MetricsSink,
+    ) -> RunReport {
+        let roots = app.roots(&self.cfg.cluster);
+        let report = self.run_roots_metered(&app.name(), roots, metrics);
+        if let Err(e) = app.validate() {
+            panic!(
+                "workload '{}' failed validation under {}: {e}",
+                app.name(),
+                report.scheduler
+            );
+        }
+        report
+    }
+
+    /// [`Self::run_roots`] + post-run metrics fold (see
+    /// [`Self::run_app_metered`]).
+    pub fn run_roots_metered(
+        &mut self,
+        name: &str,
+        roots: Vec<TaskSpec>,
+        metrics: &mut dyn MetricsSink,
+    ) -> RunReport {
+        let report = self.run_roots(name, roots);
+        if metrics.enabled() {
+            metrics.add(Counter::TasksAllocated, report.tasks_spawned);
+            metrics.add(Counter::steal_successes(0), report.steals.local_private);
+            metrics.add(Counter::steal_successes(1), report.steals.local_shared);
+            metrics.add(Counter::steal_successes(2), report.steals.remote);
+            metrics.add(Counter::MsgsSent, report.messages.total());
+            metrics.add(Counter::MsgsDropped, report.faults.msgs_dropped);
+            metrics.add(
+                Counter::MsgsRetried,
+                report.faults.retransmissions + report.faults.steal_retries,
+            );
+        }
+        report
     }
 
     /// Like [`Self::run_roots`], but streams [`distws_trace`] events

@@ -84,6 +84,18 @@ impl StealStep {
             StealStep::PollPrivate | StealStep::ProbeNetwork | StealStep::Quiesce => None,
         }
     }
+
+    /// The steal tier as a dense index (0 = local private, 1 = local
+    /// shared, 2 = remote) — how the metrics layer addresses its
+    /// per-tier attempt/success counters. `None` for non-steal steps.
+    pub fn tier_index(self) -> Option<usize> {
+        match self {
+            StealStep::StealCoWorker => Some(0),
+            StealStep::StealLocalShared => Some(1),
+            StealStep::StealRemoteShared(_) => Some(2),
+            StealStep::PollPrivate | StealStep::ProbeNetwork | StealStep::Quiesce => None,
+        }
+    }
 }
 
 /// Engine state a policy may observe when making decisions.

@@ -10,6 +10,7 @@ use distws_core::{
     Workload,
 };
 use distws_deque::{SeqPrivateDeque, SeqSharedFifo};
+use distws_metrics::{Counter, Gauge, MetricsSink, NullMetrics, Phase};
 use distws_netsim::{MsgKind, Network, SendFate, Topology};
 use distws_sched::{ClusterView, DequeChoice, Policy, RetryPolicy, StealStep, TaskMeta};
 use distws_trace::{
@@ -123,8 +124,30 @@ impl Simulation {
         app: &dyn Workload,
         sink: &mut dyn TraceSink,
     ) -> (RunReport, Option<TimeSeries>) {
+        self.run_app_metered(app, sink, &mut NullMetrics)
+    }
+
+    /// [`Self::run_roots`] with structured event tracing into `sink`.
+    pub fn run_roots_traced(
+        &mut self,
+        name: &str,
+        roots: Vec<TaskSpec>,
+        sink: &mut dyn TraceSink,
+    ) -> (RunReport, Option<TimeSeries>) {
+        self.run_roots_metered(name, roots, sink, &mut NullMetrics)
+    }
+
+    /// [`Self::run_app_traced`] with engine self-metrics into
+    /// `metrics`. Metering only observes: the report is byte-identical
+    /// to a [`NullMetrics`] run (property-tested in `distws-bench`).
+    pub fn run_app_metered(
+        &mut self,
+        app: &dyn Workload,
+        sink: &mut dyn TraceSink,
+        metrics: &mut dyn MetricsSink,
+    ) -> (RunReport, Option<TimeSeries>) {
         let roots = app.roots(&self.cfg.cluster);
-        let out = self.run_roots_traced(&app.name(), roots, sink);
+        let out = self.run_roots_metered(&app.name(), roots, sink, metrics);
         if let Err(e) = app.validate() {
             panic!(
                 "workload '{}' failed validation under {}: {e}",
@@ -135,14 +158,16 @@ impl Simulation {
         out
     }
 
-    /// [`Self::run_roots`] with structured event tracing into `sink`.
-    pub fn run_roots_traced(
+    /// [`Self::run_roots_traced`] with engine self-metrics into
+    /// `metrics`.
+    pub fn run_roots_metered(
         &mut self,
         name: &str,
         roots: Vec<TaskSpec>,
         sink: &mut dyn TraceSink,
+        metrics: &mut dyn MetricsSink,
     ) -> (RunReport, Option<TimeSeries>) {
-        let mut engine = Engine::new(&self.cfg, self.policy.as_mut(), sink);
+        let mut engine = Engine::new(&self.cfg, self.policy.as_mut(), sink, metrics);
         engine.inject_roots(roots);
         engine.run();
         let series = engine.take_series();
@@ -307,6 +332,9 @@ struct Engine<'p> {
     trace: &'p mut dyn TraceSink,
     /// Cached `trace.enabled()` — the per-site check.
     tracing: bool,
+    metrics: &'p mut dyn MetricsSink,
+    /// Cached `metrics.enabled()` — the per-site check.
+    metering: bool,
     series: Option<TimeSeries>,
     hists: Hists,
     /// Task currently executing per worker (for `TaskEnd` pairing).
@@ -331,7 +359,12 @@ struct Engine<'p> {
 }
 
 impl<'p> Engine<'p> {
-    fn new(cfg: &SimConfig, policy: &'p mut dyn Policy, trace: &'p mut dyn TraceSink) -> Self {
+    fn new(
+        cfg: &SimConfig,
+        policy: &'p mut dyn Policy,
+        trace: &'p mut dyn TraceSink,
+        metrics: &'p mut dyn MetricsSink,
+    ) -> Self {
         let cluster = cfg.cluster.clone();
         let nw = cluster.total_workers() as usize;
         let np = cluster.places as usize;
@@ -385,6 +418,8 @@ impl<'p> Engine<'p> {
             events: 0,
             tracing: trace.enabled(),
             trace,
+            metering: metrics.enabled(),
+            metrics,
             series: cfg
                 .sample_interval_ns
                 .map(|dt| TimeSeries::new(cluster.places, cluster.workers_per_place, dt)),
@@ -486,6 +521,12 @@ impl<'p> Engine<'p> {
                 places.push(s);
             }
             series.push(places);
+            if self.metering {
+                // Counter track point at the same grid instant, so the
+                // Chrome-trace overlay lines up with the series.
+                let t = series.samples().last().map_or(0, |s| s.t_ns);
+                self.metrics.sample(t);
+            }
         }
         self.series = Some(series);
     }
@@ -653,6 +694,11 @@ impl<'p> Engine<'p> {
             seq: self.seq,
             kind,
         });
+        if self.metering {
+            self.metrics.add(Counter::EventQueuePushes, 1);
+            self.metrics
+                .gauge_max(Gauge::EventQueueMaxDepth, self.heap.len() as u64);
+        }
     }
 
     fn make_task(
@@ -663,6 +709,9 @@ impl<'p> Engine<'p> {
     ) -> Task {
         self.next_task += 1;
         self.tasks_spawned += 1;
+        if self.metering {
+            self.metrics.add(Counter::TasksAllocated, 1);
+        }
         Task {
             id: TaskId(self.next_task),
             locality: spec.locality,
@@ -703,8 +752,17 @@ impl<'p> Engine<'p> {
     }
 
     fn run(&mut self) {
+        // The whole loop is EventDispatch wall time; TaskExecution and
+        // TraceEmission nest inside and are attributed exclusively.
+        if self.metering {
+            self.metrics.phase_start(Phase::EventDispatch);
+        }
         while let Some(ev) = self.heap.pop() {
             self.events += 1;
+            if self.metering {
+                self.metrics.add(Counter::EventsProcessed, 1);
+                self.metrics.add(Counter::EventQueuePops, 1);
+            }
             assert!(
                 self.events <= self.cfg.max_events,
                 "event budget exceeded ({}) — runaway simulation?",
@@ -713,7 +771,13 @@ impl<'p> Engine<'p> {
             let now = ev.time;
             self.makespan = self.makespan.max(now);
             if self.series.is_some() {
+                if self.metering {
+                    self.metrics.phase_start(Phase::TraceEmission);
+                }
                 self.sample_series(now);
+                if self.metering {
+                    self.metrics.phase_end(Phase::TraceEmission);
+                }
             }
             match ev.kind {
                 EventKind::Arrive(task) => self.map_and_enqueue(now, task),
@@ -725,9 +789,30 @@ impl<'p> Engine<'p> {
         }
         if self.series.is_some() {
             // Close the telemetry grid out to the makespan.
+            if self.metering {
+                self.metrics.phase_start(Phase::TraceEmission);
+            }
             self.sample_series(self.makespan);
+            if self.metering {
+                self.metrics.phase_end(Phase::TraceEmission);
+            }
+        }
+        if self.metering {
+            self.metrics.phase_start(Phase::TraceEmission);
         }
         self.trace.flush();
+        if self.metering {
+            self.metrics.phase_end(Phase::TraceEmission);
+            // Fold the network's totals in once the wire is quiet.
+            self.metrics.add(Counter::MsgsSent, self.net.sent_total());
+            self.metrics
+                .add(Counter::MsgsDropped, self.net.dropped_total());
+            self.metrics.add(
+                Counter::MsgsRetried,
+                self.fault_stats.retransmissions + self.fault_stats.steal_retries,
+            );
+            self.metrics.phase_end(Phase::EventDispatch);
+        }
         assert_eq!(
             self.tasks_spawned, self.tasks_executed,
             "task conservation violated: spawned {} executed {}",
@@ -839,8 +924,17 @@ impl<'p> Engine<'p> {
         match choice {
             DequeChoice::Private => {
                 let target = self.pick_private_target(place, task.spawner);
+                let cap_before = self.workers[target.index()].deque.capacity();
                 self.workers[target.index()].deque.push(task);
                 self.board.private_len[target.index()] += 1;
+                if self.metering {
+                    let d = &self.workers[target.index()].deque;
+                    if d.capacity() > cap_before {
+                        self.metrics.add(Counter::DequeGrows, 1);
+                    }
+                    let len = d.len() as u64;
+                    self.metrics.gauge_max(Gauge::PrivateDequeMaxDepth, len);
+                }
                 self.claim(target);
                 let d = self.cfg.cost.private_deque_op_ns;
                 self.wake(now, target, d, true);
@@ -862,8 +956,17 @@ impl<'p> Engine<'p> {
                         }
                     }
                 }
+                let cap_before = self.places[place.index()].shared.capacity();
                 self.places[place.index()].shared.push(task);
                 self.board.shared_len[place.index()] += 1;
+                if self.metering {
+                    let q = &self.places[place.index()].shared;
+                    if q.capacity() > cap_before {
+                        self.metrics.add(Counter::DequeGrows, 1);
+                    }
+                    let len = q.len() as u64;
+                    self.metrics.gauge_max(Gauge::SharedDequeMaxDepth, len);
+                }
                 self.wake_for_shared(now, place);
             }
         }
@@ -958,6 +1061,11 @@ impl<'p> Engine<'p> {
         task.exec_home = to;
         task.carried = true;
         self.steals.remote += 1;
+        // A lifeline push is a tier-2 acquisition with no thief-side
+        // attempt, so only the success counter moves.
+        if self.metering {
+            self.metrics.add(Counter::steal_successes(2), 1);
+        }
         if self.tracing {
             // The push is place-level (no thief worker yet); attribute
             // it to the victim place's first worker.
@@ -994,6 +1102,11 @@ impl<'p> Engine<'p> {
         let mut got: Option<Task> = None;
 
         for step in steps {
+            if self.metering {
+                if let Some(tier) = step.tier_index() {
+                    self.metrics.add(Counter::steal_attempts(tier), 1);
+                }
+            }
             match step {
                 StealStep::PollPrivate => {
                     overhead += self.cfg.cost.private_deque_op_ns;
@@ -1030,6 +1143,9 @@ impl<'p> Engine<'p> {
                             self.board.private_len[v.index()] -= 1;
                             overhead += self.cfg.cost.local_steal_ns;
                             self.steals.local_private += 1;
+                            if self.metering {
+                                self.metrics.add(Counter::steal_successes(0), 1);
+                            }
                             self.hists.steal_local_private.record(overhead);
                             if self.tracing {
                                 self.emit(
@@ -1062,6 +1178,9 @@ impl<'p> Engine<'p> {
                     if let Some(t) = self.places[place.index()].shared.take() {
                         self.board.shared_len[place.index()] -= 1;
                         self.steals.local_shared += 1;
+                        if self.metering {
+                            self.metrics.add(Counter::steal_successes(1), 1);
+                        }
                         self.hists.steal_local_shared.record(overhead);
                         if self.tracing {
                             self.emit(
@@ -1117,6 +1236,10 @@ impl<'p> Engine<'p> {
                     overhead += self.net.migrate_task(victim, place, bytes);
                     self.drain_net(now + overhead, w);
                     self.steals.remote += tasks.len() as u64;
+                    if self.metering {
+                        self.metrics
+                            .add(Counter::steal_successes(2), tasks.len() as u64);
+                    }
                     let mut iter = tasks.into_iter();
                     if let Some(mut first) = iter.next() {
                         first.exec_home = place;
@@ -1275,6 +1398,10 @@ impl<'p> Engine<'p> {
                                 *overhead += c_req + c_mig;
                                 self.drain_net(now + *overhead, w);
                                 self.steals.remote += tasks.len() as u64;
+                                if self.metering {
+                                    self.metrics
+                                        .add(Counter::steal_successes(2), tasks.len() as u64);
+                                }
                                 let mut iter = tasks.into_iter();
                                 if let Some(mut first) = iter.next() {
                                     first.exec_home = place;
@@ -1374,7 +1501,13 @@ impl<'p> Engine<'p> {
 
         // Run the body for real, recording its behaviour.
         let mut scope = SimScope::new(place, task.origin_home, w, task.id);
+        if self.metering {
+            self.metrics.phase_start(Phase::TaskExecution);
+        }
         (task.body)(&mut scope);
+        if self.metering {
+            self.metrics.phase_end(Phase::TaskExecution);
+        }
 
         // Pure compute.
         let work = task.est + scope.charged;

@@ -1,0 +1,133 @@
+//! Metrics → trace bridge.
+//!
+//! Turns the engine's [`CounterSample`] series (one all-counter
+//! snapshot per telemetry grid instant) into the two formats the rest
+//! of the tooling consumes:
+//!
+//! * Chrome `trace_event` **counter tracks** (`"ph":"C"`), so a trace
+//!   exported with [`crate::chrome::chrome_trace_with_counters`] shows
+//!   the counter curves stacked above the per-worker lanes;
+//! * a JSONL dump (one object per sample) for ad-hoc plotting.
+//!
+//! Both outputs are pure functions of the samples — deterministic for
+//! deterministic input.
+
+use crate::chrome::us;
+use distws_json::Value;
+use distws_metrics::{Counter, CounterSample};
+
+/// The counter groups rendered as separate Chrome tracks (one track of
+/// 14 series is unreadable; three thematic tracks are not).
+const TRACKS: &[(&str, &[Counter])] = &[
+    (
+        "ctr:events",
+        &[
+            Counter::EventsProcessed,
+            Counter::EventQueuePushes,
+            Counter::EventQueuePops,
+        ],
+    ),
+    (
+        "ctr:steals",
+        &[
+            Counter::StealAttemptsLocalPrivate,
+            Counter::StealAttemptsLocalShared,
+            Counter::StealAttemptsRemote,
+            Counter::StealSuccessesLocalPrivate,
+            Counter::StealSuccessesLocalShared,
+            Counter::StealSuccessesRemote,
+        ],
+    ),
+    (
+        "ctr:tasks+msgs",
+        &[
+            Counter::TasksAllocated,
+            Counter::DequeGrows,
+            Counter::MsgsSent,
+            Counter::MsgsDropped,
+            Counter::MsgsRetried,
+        ],
+    ),
+];
+
+/// Chrome counter events (`"ph":"C"`) for a sampled counter series,
+/// attributed to pid 0 (the counters are engine-global, not
+/// per-place).
+pub fn counter_track_events(samples: &[CounterSample]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(samples.len() * TRACKS.len());
+    for s in samples {
+        for (track, counters) in TRACKS {
+            let mut o = Value::object();
+            o.set("name", *track);
+            o.set("ph", "C");
+            o.set("ts", us(s.t_ns));
+            o.set("pid", 0u32);
+            let mut args = Value::object();
+            for c in *counters {
+                args.set(c.name(), s.counters[c.index()]);
+            }
+            o.set("args", args);
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// One JSON object per sample, newline-terminated:
+/// `{"t_ns":..,"counters":{..}}` with catalog-ordered keys.
+pub fn metrics_jsonl(samples: &[CounterSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        let mut o = Value::object();
+        o.set("t_ns", s.t_ns);
+        let mut counters = Value::object();
+        for c in Counter::ALL {
+            counters.set(c.name(), s.counters[c.index()]);
+        }
+        o.set("counters", counters);
+        out.push_str(&o.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64, events: u64) -> CounterSample {
+        let mut counters = vec![0; Counter::COUNT];
+        counters[Counter::EventsProcessed.index()] = events;
+        CounterSample { t_ns: t, counters }
+    }
+
+    #[test]
+    fn tracks_cover_every_counter_once() {
+        let mut seen: Vec<&str> = TRACKS
+            .iter()
+            .flat_map(|(_, cs)| cs.iter().map(|c| c.name()))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn counter_events_are_chrome_counters() {
+        let evs = counter_track_events(&[sample(1_000, 5), sample(2_000, 9)]);
+        assert_eq!(evs.len(), 2 * TRACKS.len());
+        let first = evs[0].render();
+        assert!(first.contains(r#""ph":"C""#), "{first}");
+        assert!(first.contains(r#""events_processed":5"#), "{first}");
+        assert!(first.contains(r#""ts":1"#), "{first}");
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_sample_and_deterministic() {
+        let samples = [sample(0, 1), sample(500, 2)];
+        let a = metrics_jsonl(&samples);
+        assert_eq!(a, metrics_jsonl(&samples));
+        assert_eq!(a.lines().count(), 2);
+        assert!(a.starts_with(r#"{"t_ns":0,"counters":{"events_processed":1"#));
+    }
+}

@@ -20,7 +20,7 @@ use distws_json::Value;
 use std::collections::BTreeMap;
 
 /// Microsecond timestamp with three deterministic fraction digits.
-fn us(t_ns: u64) -> Value {
+pub(crate) fn us(t_ns: u64) -> Value {
     // 1234567 ns -> 1234.567 µs, rendered from integers.
     let whole = t_ns / 1_000;
     let frac = t_ns % 1_000;
@@ -62,7 +62,18 @@ fn meta(name: &str, pid: u32, tid: Option<u32>, label: String) -> Value {
 /// reconstructed per worker); unmatched `TaskStart`s at stream end are
 /// emitted as zero-length slices so truncated ring buffers still load.
 pub fn chrome_trace(events: &[TraceEvent], config: &ClusterConfig) -> Value {
-    let mut out: Vec<Value> = Vec::new();
+    chrome_trace_with_counters(events, config, &[])
+}
+
+/// [`chrome_trace`] plus metrics counter tracks (`"ph":"C"`) overlaid
+/// from a sampled [`distws_metrics::CounterSample`] series — see
+/// [`crate::bridge`].
+pub fn chrome_trace_with_counters(
+    events: &[TraceEvent],
+    config: &ClusterConfig,
+    samples: &[distws_metrics::CounterSample],
+) -> Value {
+    let mut out: Vec<Value> = crate::bridge::counter_track_events(samples);
 
     // Name the lanes.
     for p in config.place_ids() {

@@ -42,7 +42,10 @@ fn bucket_upper(i: usize) -> u64 {
     } else {
         let group = (i >> SUB_BITS) as u32; // >= 1
         let sub = (i & (SUB as usize - 1)) as u64;
-        ((SUB + sub) << (group - 1)) + (1u64 << (group - 1)) - 1
+        // `+ ((1 << g) - 1)`, not `+ (1 << g) - 1`: for the top bucket
+        // (values near `u64::MAX`) the intermediate sum is exactly
+        // 2^64 and would overflow before the subtraction.
+        ((SUB + sub) << (group - 1)) + ((1u64 << (group - 1)) - 1)
     }
 }
 
@@ -202,6 +205,72 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.summary(), both.summary());
         assert_eq!(a.mean(), both.mean());
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::new();
+        for p in [0, 1, 50, 95, 99, 100] {
+            assert_eq!(h.percentile(p), 0, "p{p} of empty");
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        for p in [1, 50, 95, 99, 100] {
+            assert_eq!(h.percentile(p), 123_456, "p{p} of single sample");
+        }
+        assert_eq!(h.mean(), 123_456);
+        assert_eq!(h.summary().p50, h.summary().max);
+    }
+
+    #[test]
+    fn max_bucket_holds_u64_max() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(0);
+        // The overflow-magnitude samples stay clamped to the exact
+        // observed maximum instead of a bucket bound past u64::MAX.
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(100), u64::MAX);
+        assert_eq!(h.percentile(99), u64::MAX);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_preserves_percentile_bounds() {
+        // Mixture-quantile property: each quantile of the merged
+        // histogram lies within [min, max] of the two components'
+        // same quantile (holds for any mixture of distributions, and
+        // bucketing preserves it because both sides share the bucket
+        // layout).
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..1000u64 {
+            a.record(1_000 + i * 7); // low band
+            b.record(1_000_000 + i * 131); // high band
+        }
+        let (sa, sb) = (a.summary(), b.summary());
+        a.merge(&b);
+        let m = a.summary();
+        for (label, lo, hi, got) in [
+            ("p50", sa.p50.min(sb.p50), sa.p50.max(sb.p50), m.p50),
+            ("p95", sa.p95.min(sb.p95), sa.p95.max(sb.p95), m.p95),
+            ("p99", sa.p99.min(sb.p99), sa.p99.max(sb.p99), m.p99),
+        ] {
+            assert!(
+                (lo..=hi).contains(&got),
+                "{label} {got} outside [{lo}, {hi}]"
+            );
+        }
+        assert_eq!(m.count, sa.count + sb.count);
+        assert_eq!(m.max, sa.max.max(sb.max));
     }
 
     #[test]

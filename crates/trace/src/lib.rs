@@ -24,12 +24,16 @@
 //! * [`TimeSeries`] — engine-driven sampler of per-place queue depth
 //!   and busy workers at a fixed virtual-time interval.
 //! * [`chrome_trace`] — Chrome `trace_event` JSON (one lane per
-//!   worker), loadable in Perfetto / `chrome://tracing`.
+//!   worker), loadable in Perfetto / `chrome://tracing`;
+//!   [`chrome_trace_with_counters`] overlays engine metrics counter
+//!   tracks (`"ph":"C"`) sampled on the same virtual-time grid, and
+//!   [`metrics_jsonl`] emits that series as JSONL (see `bridge`).
 //! * [`render_timeline`] — terminal renderer of the per-place
 //!   utilization curves.
 
 #![forbid(unsafe_code)]
 
+pub mod bridge;
 pub mod chrome;
 pub mod event;
 pub mod hist;
@@ -37,7 +41,8 @@ pub mod series;
 pub mod sink;
 pub mod timeline;
 
-pub use chrome::chrome_trace;
+pub use bridge::{counter_track_events, metrics_jsonl};
+pub use chrome::{chrome_trace, chrome_trace_with_counters};
 pub use event::{MessageKind, StealTier, TraceEvent, TraceEventKind};
 pub use hist::Histogram;
 pub use series::{PlaceSample, Sample, TimeSeries};
