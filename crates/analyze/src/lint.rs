@@ -1,16 +1,17 @@
 //! The determinism lint pass.
 //!
-//! Five token-level rules encode the repo's reproducibility contract
+//! Six token-level rules encode the repo's reproducibility contract
 //! (every figure, trace and report must regenerate byte-identically
 //! from a seed):
 //!
 //! | rule | what it forbids | where |
 //! |---|---|---|
 //! | `hash-iter` | `HashMap`/`HashSet` (iteration order leaks into output) | `sim`, `netsim`, `sched`, `trace` |
-//! | `wall-clock` | `SystemTime::now` / `Instant::now` | everywhere except `runtime`, `bench` |
+//! | `wall-clock` | `SystemTime::now` / `Instant::now` | everywhere except `runtime`, `bench`, `metrics`, `cluster` |
 //! | `unseeded-rng` | `thread_rng`, `from_entropy`, `OsRng`, `getrandom`, `RandomState`, `rand::random` | everywhere |
 //! | `unwrap-hot-path` | `.unwrap()` / `.expect(…)` | `sim/src/engine.rs` |
 //! | `safety-comment` | `unsafe {` / `unsafe impl` without a `// SAFETY:` comment ≤ 3 lines above | everywhere |
+//! | `net-process` | `std::net`/`std::os::unix::net` socket types, `process::Command` | everywhere except `cluster`, `bench` |
 //!
 //! `hash-iter` is deliberately an over-approximation: proving "this
 //! map is never iterated" needs type information a token scanner does
@@ -46,6 +47,8 @@ pub enum Rule {
     UnwrapHotPath,
     /// `unsafe` block/impl without a `// SAFETY:` comment.
     SafetyComment,
+    /// Socket types / `process::Command` outside the cluster runtime.
+    NetProcess,
 }
 
 impl Rule {
@@ -57,17 +60,19 @@ impl Rule {
             Rule::UnseededRng => "unseeded-rng",
             Rule::UnwrapHotPath => "unwrap-hot-path",
             Rule::SafetyComment => "safety-comment",
+            Rule::NetProcess => "net-process",
         }
     }
 
     /// Every rule, in diagnostic order.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 6] {
         [
             Rule::HashIter,
             Rule::WallClock,
             Rule::UnseededRng,
             Rule::UnwrapHotPath,
             Rule::SafetyComment,
+            Rule::NetProcess,
         ]
     }
 
@@ -109,7 +114,12 @@ const HASH_FORBIDDEN_CRATES: &[&str] = &["sim", "netsim", "sched", "trace"];
 /// Crates allowed to read the wall clock (real-time execution, the
 /// timing harness, and the phase-timer metrics sink — the sim engine
 /// only ever calls sink methods, so it stays clock-free itself).
-const WALL_CLOCK_ALLOWED_CRATES: &[&str] = &["runtime", "bench", "metrics"];
+const WALL_CLOCK_ALLOWED_CRATES: &[&str] = &["runtime", "bench", "metrics", "cluster"];
+/// Crates allowed to open sockets and spawn processes: the real
+/// multi-process cluster runtime and the CLI that launches it.
+/// Everything else must stay runnable in the deterministic simulator,
+/// where IO and process boundaries are modelled, not real.
+const NET_ALLOWED_CRATES: &[&str] = &["cluster", "bench"];
 
 /// Crate name (the `<c>` of `crates/<c>/src/...`) a workspace-relative
 /// path belongs to; `None` for the root `src/`.
@@ -159,6 +169,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
 
     let hash_scoped = krate.is_some_and(|c| HASH_FORBIDDEN_CRATES.contains(&c));
     let wall_scoped = !krate.is_some_and(|c| WALL_CLOCK_ALLOWED_CRATES.contains(&c));
+    let net_scoped = !krate.is_some_and(|c| NET_ALLOWED_CRATES.contains(&c));
     let engine_scoped = rel_path.ends_with("sim/src/engine.rs");
 
     for (i, t) in code.iter().enumerate() {
@@ -213,6 +224,27 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
                     ),
                 )
             }
+            "TcpListener" | "TcpStream" | "UdpSocket" | "UnixListener" | "UnixStream"
+            | "UnixDatagram"
+                if net_scoped =>
+            {
+                push(
+                    Rule::NetProcess,
+                    t.line,
+                    format!(
+                        "`{}` opens a real socket outside the cluster runtime; \
+                         deterministic code must go through the simulated network",
+                        t.text
+                    ),
+                )
+            }
+            "Command" if net_scoped && path_prefixed(&code, i, "process") => push(
+                Rule::NetProcess,
+                t.line,
+                "`process::Command` spawns a real process outside the cluster \
+                 runtime; deterministic code may not fork"
+                    .to_string(),
+            ),
             "unsafe"
                 if begins_block_or_impl(&code, i) && !has_safety_comment(&comments, t.line) =>
             {
@@ -439,6 +471,38 @@ mod tests {
         let multi =
             "// distws-lint: allow(wall-clock, unseeded-rng)\nlet t = Instant::now(); thread_rng();\n";
         assert!(lint_source("crates/sim/src/x.rs", multi).is_empty());
+    }
+
+    #[test]
+    fn net_process_scoped_to_cluster_and_bench() {
+        let sock = "use std::net::TcpListener;\nlet s = UnixStream::connect(p);\n";
+        let v = lint_source("crates/sim/src/x.rs", sock);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::NetProcess));
+        // The cluster runtime and the launching CLI are the real-IO zone.
+        assert!(lint_source("crates/cluster/src/place.rs", sock).is_empty());
+        assert!(lint_source("crates/bench/src/bin/repro.rs", sock).is_empty());
+    }
+
+    #[test]
+    fn command_requires_process_path() {
+        let spawn = "let c = process::Command::new(exe);\n";
+        assert_eq!(lint_source("crates/sched/src/x.rs", spawn).len(), 1);
+        assert!(lint_source("crates/cluster/src/launch.rs", spawn).is_empty());
+        // A plain `Command` ident (e.g. a CLI enum) does not fire.
+        assert!(lint_source("crates/sched/src/x.rs", "enum Command { Run }\n").is_empty());
+    }
+
+    #[test]
+    fn net_process_pragma_escapes() {
+        let src = "// distws-lint: allow(net-process)\nuse std::net::TcpStream;\n";
+        assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cluster_may_read_wall_clock() {
+        let src = "let t = Instant::now();\n";
+        assert!(lint_source("crates/cluster/src/clock.rs", src).is_empty());
     }
 
     #[test]

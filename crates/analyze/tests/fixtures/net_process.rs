@@ -1,0 +1,23 @@
+//! Fixture: opens real sockets and spawns a process outside the
+//! cluster runtime (the test lints this file as if it lived at
+//! `crates/sched/src/bad.rs`).
+
+use std::net::TcpListener;
+use std::os::unix::net::UnixStream;
+
+pub fn serve() -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let _peer = UnixStream::connect("/tmp/sock")?;
+    let _child = std::process::Command::new("true").spawn()?;
+    drop(listener);
+    Ok(())
+}
+
+/// Near-misses: a CLI subcommand enum and a doc mention of
+/// TcpStream are not IO.
+pub enum Command {
+    Run,
+    Report,
+}
+
+pub const DOC: &str = "TcpStream and UnixListener in a string are fine";

@@ -69,6 +69,19 @@ fn missing_safety_comment_fires() {
 }
 
 #[test]
+fn net_process_fires_outside_cluster_and_bench() {
+    let src = include_str!("fixtures/net_process.rs");
+    // Two `use` lines, two constructor calls, one `process::Command`;
+    // the `enum Command` and string mentions are near-misses.
+    assert_eq!(
+        lines_for(Rule::NetProcess, "crates/sched/src/bad.rs", src),
+        vec![5, 6, 9, 10, 11]
+    );
+    assert!(lines_for(Rule::NetProcess, "crates/cluster/src/place.rs", src).is_empty());
+    assert!(lines_for(Rule::NetProcess, "crates/bench/src/bin/repro.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_has_no_violations_under_strictest_scoping() {
     let src = include_str!("fixtures/clean.rs");
     let vs = lint_source("crates/sim/src/engine.rs", src);

@@ -4,6 +4,8 @@
 //! repro <experiment> [--scale quick|default|paper] [--json DIR]
 //! repro trace <app> [--scale ...] [--policy NAME] [--seed N] [--json DIR]
 //! repro chaos <app> --faults SPEC [--scale ...] [--policy NAME] [--seed N] [--json DIR] [--validate]
+//! repro cluster <app> --places N [--wpp N] [--policy NAME] [--seed N] [--transport unix|tcp]
+//!               [--kill "place@ms[,restart@ms][;...]"] [--dir DIR]
 //! repro bench [--suite quick|full] [--seed S] [--out FILE] [--baseline FILE] [--threshold PCT] [--no-gate]
 //! repro bench --check FILE
 //! repro lint [ROOT]
@@ -58,6 +60,20 @@ use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The cluster subcommands carry their own flag namespace
+    // (--places, --kill, --place, ...) — dispatch before the main
+    // flag loop so it doesn't reject them.
+    match args.first().map(String::as_str) {
+        Some("cluster") => {
+            run_cluster_cmd(&args[1..]);
+            return;
+        }
+        Some("cluster-place") => {
+            run_cluster_place_cmd(&args[1..]);
+            return;
+        }
+        _ => {}
+    }
     let mut positional: Vec<String> = Vec::new();
     let mut scale = Scale::Default;
     let mut json_dir: Option<String> = None;
@@ -422,7 +438,7 @@ fn run_lint(root: Option<&str>) {
         println!("{v}");
     }
     if violations.is_empty() {
-        println!("repro lint: workspace clean (hash-iter, wall-clock, unseeded-rng, unwrap-hot-path, safety-comment)");
+        println!("repro lint: workspace clean (hash-iter, wall-clock, unseeded-rng, unwrap-hot-path, safety-comment, net-process)");
     } else {
         eprintln!("repro lint: {} violation(s)", violations.len());
         std::process::exit(1);
@@ -632,6 +648,219 @@ fn run_check_hb(path: &str) {
     );
     if !report.ok() {
         std::process::exit(1);
+    }
+}
+
+/// `repro cluster <app> --places N ...` — run a real multi-process
+/// cluster over sockets, optionally SIGKILLing places on schedule,
+/// then merge the per-place traces and validate them.
+fn run_cluster_cmd(args: &[String]) {
+    use distws_cluster::{parse_kill_spec, run_cluster, LaunchConfig, Transport};
+    let usage = "usage: repro cluster <app> --places N [--wpp N] [--policy P] [--seed S] \
+                 [--transport unix|tcp] [--kill \"place@ms[,restart@ms][;...]\"] [--dir DIR] \
+                 [--round-timeout-ms MS] [--run-deadline-ms MS]";
+    let mut app: Option<String> = None;
+    let mut places: u32 = 4;
+    let mut wpp: u32 = 2;
+    let mut policy = "distws".to_string();
+    let mut seed: u64 = 42;
+    let mut transport = Transport::Unix;
+    let mut kills = Vec::new();
+    let mut dir: Option<String> = None;
+    let mut round_timeout_ms: u64 = 60_000;
+    let mut run_deadline_ms: u64 = 120_000;
+    let mut i = 0;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        })
+    };
+    let parse_or_die = |what: &str, s: String| -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("repro cluster: bad {what} `{s}`");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--places" => places = parse_or_die("--places", take(&mut i)) as u32,
+            "--wpp" => wpp = parse_or_die("--wpp", take(&mut i)) as u32,
+            "--policy" => policy = take(&mut i),
+            "--seed" => seed = parse_or_die("--seed", take(&mut i)),
+            "--transport" => {
+                transport = match take(&mut i).as_str() {
+                    "unix" => Transport::Unix,
+                    "tcp" => Transport::Tcp,
+                    other => {
+                        eprintln!("repro cluster: unknown transport `{other}` (unix|tcp)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--kill" => {
+                kills = parse_kill_spec(&take(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("repro cluster: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--dir" => dir = Some(take(&mut i)),
+            "--round-timeout-ms" => {
+                round_timeout_ms = parse_or_die("--round-timeout-ms", take(&mut i))
+            }
+            "--run-deadline-ms" => {
+                run_deadline_ms = parse_or_die("--run-deadline-ms", take(&mut i))
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("repro cluster: unexpected argument {flag}\n{usage}");
+                std::process::exit(2);
+            }
+            name if app.is_none() => app = Some(name.to_string()),
+            other => {
+                eprintln!("repro cluster: unexpected argument {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(app) = app else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    if places == 0 {
+        eprintln!("repro cluster: --places must be at least 1");
+        std::process::exit(2);
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("repro cluster: cannot locate own executable: {e}");
+        std::process::exit(2);
+    });
+    let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| "cluster-out".to_string()));
+    let cfg = LaunchConfig {
+        app: app.clone(),
+        policy: policy.clone(),
+        places,
+        wpp,
+        seed,
+        transport,
+        dir: dir.clone(),
+        kills,
+        round_timeout_ms,
+        run_deadline_ms,
+        exe,
+        place_args: vec!["cluster-place".to_string()],
+    };
+    hr(&format!(
+        "Cluster — {app} / {policy}, {places} place processes x {wpp} workers"
+    ));
+    let outcome = match run_cluster(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro cluster: launch failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "coordinator exit {}; {} kill(s) delivered; places_failed at shutdown: {}",
+        outcome.exit_code,
+        outcome.kills_delivered,
+        if outcome.places_failed == u64::MAX {
+            "unknown".to_string()
+        } else {
+            outcome.places_failed.to_string()
+        }
+    );
+    println!(
+        "merged trace {} ({} lines kept, {} torn, {} superseded, {} dup spawns dropped)",
+        outcome.merged_path.display(),
+        outcome.merge_stats.lines_out,
+        outcome.merge_stats.dropped_torn,
+        outcome.merge_stats.dropped_superseded,
+        outcome.merge_stats.dropped_dup_spawn,
+    );
+    for v in outcome.hb_violations.iter().take(20) {
+        println!("hb: {v}");
+    }
+    for v in outcome.conform_violations.iter().take(20) {
+        println!("conform: {v}");
+    }
+    println!(
+        "happens-before: {} violation(s); conformance: {} violation(s)",
+        outcome.hb_violations.len(),
+        outcome.conform_violations.len()
+    );
+    if let Some(report) = &outcome.report {
+        println!("report.json:\n{report}");
+    }
+    if !outcome.ok() {
+        std::process::exit(1);
+    }
+}
+
+/// Hidden per-place entry point: `repro cluster-place --place N ...`,
+/// exec'd by the launcher for each place process.
+fn run_cluster_place_cmd(args: &[String]) {
+    use distws_cluster::{run_place, PlaceConfig, Transport};
+    let mut cfg = PlaceConfig::new(0, 1, 2, std::path::PathBuf::from("."), "quicksort");
+    let mut trace: Option<String> = None;
+    let mut i = 0;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("repro cluster-place: missing value for {}", args[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    let parse_or_die = |what: &str, s: String| -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("repro cluster-place: bad {what} `{s}`");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--place" => cfg.place = parse_or_die("--place", take(&mut i)) as u32,
+            "--places" => cfg.places = parse_or_die("--places", take(&mut i)) as u32,
+            "--wpp" => cfg.wpp = parse_or_die("--wpp", take(&mut i)) as u32,
+            "--epoch" => cfg.epoch = parse_or_die("--epoch", take(&mut i)) as u32,
+            "--transport" => {
+                cfg.transport = match take(&mut i).as_str() {
+                    "tcp" => Transport::Tcp,
+                    _ => Transport::Unix,
+                }
+            }
+            "--dir" => cfg.dir = std::path::PathBuf::from(take(&mut i)),
+            "--app" => cfg.app = take(&mut i),
+            "--policy" => cfg.policy = take(&mut i),
+            "--seed" => cfg.seed = parse_or_die("--seed", take(&mut i)),
+            "--trace" => trace = Some(take(&mut i)),
+            "--report" => cfg.report_path = Some(std::path::PathBuf::from(take(&mut i))),
+            "--round-timeout-ms" => {
+                cfg.round_timeout_ms = parse_or_die("--round-timeout-ms", take(&mut i))
+            }
+            "--run-deadline-ms" => {
+                cfg.run_deadline_ms = parse_or_die("--run-deadline-ms", take(&mut i))
+            }
+            other => {
+                eprintln!("repro cluster-place: unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    cfg.trace_path = match trace {
+        Some(t) => std::path::PathBuf::from(t),
+        None => cfg
+            .dir
+            .join(format!("trace-p{}-e{}.jsonl", cfg.place, cfg.epoch)),
+    };
+    match run_place(cfg) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("repro cluster-place: {e}");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -1,0 +1,210 @@
+//! Wall-clock adapters for [`RetryPolicy`].
+//!
+//! The simulator consumes `RetryPolicy` in virtual nanoseconds; the
+//! cluster runtime needs the same timeout/backoff/budget semantics
+//! against real deadlines. [`WallRetry`] converts the nanosecond
+//! fields to [`Duration`]s without changing the arithmetic — for a
+//! given seed the backoff sequence is bit-identical to the virtual
+//! path (`RetryPolicy::backoff_ns`), which the adapter tests pin
+//! against the `crates/sched` edge cases.
+//!
+//! [`Reconnector`] drives reconnection to a crashed-and-maybe-
+//! restarting peer: jittered exponential backoff from the same policy,
+//! but with a hard attempt budget after which it reports the peer
+//! permanently gone ([`Reconnector::next_delay`] returns `None`) so
+//! the run degrades to fewer places instead of hanging.
+
+use distws_core::SplitMix64;
+use distws_sched::RetryPolicy;
+use std::time::Duration;
+
+/// Cluster-scale defaults: sockets between local processes answer in
+/// microseconds, but a SIGKILLed peer answers never — timeouts sized
+/// in milliseconds keep live probes cheap and dead probes short.
+pub fn cluster_retry_defaults() -> RetryPolicy {
+    RetryPolicy {
+        timeout_ns: 50_000_000,     // 50 ms probe timeout
+        backoff_base_ns: 2_000_000, // 2 ms first backoff
+        backoff_max_ns: 32_000_000, // capped at 32 ms
+        jitter_ns: 1_000_000,       // up to 1 ms jitter
+        budget: 2,
+    }
+}
+
+/// Reconnect schedule defaults: a restarting place needs hundreds of
+/// milliseconds to come back, and a dead one never does; ~25 attempts
+/// with a 400 ms cap bounds the wait to roughly ten seconds.
+pub fn reconnect_defaults() -> RetryPolicy {
+    RetryPolicy {
+        timeout_ns: 200_000_000,
+        backoff_base_ns: 25_000_000,
+        backoff_max_ns: 400_000_000,
+        jitter_ns: 10_000_000,
+        budget: 25,
+    }
+}
+
+/// [`RetryPolicy`] viewed through wall-clock [`Duration`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct WallRetry {
+    /// The underlying virtual-time policy.
+    pub policy: RetryPolicy,
+}
+
+impl WallRetry {
+    /// Wrap a policy.
+    pub fn new(policy: RetryPolicy) -> Self {
+        WallRetry { policy }
+    }
+
+    /// Probe timeout as a real deadline.
+    pub fn timeout(&self) -> Duration {
+        Duration::from_nanos(self.policy.timeout_ns)
+    }
+
+    /// Backoff before retry `attempt` (1-based) — same value the
+    /// virtual-time path computes for the same `rng` state.
+    pub fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        Duration::from_nanos(self.policy.backoff_ns(attempt, rng))
+    }
+
+    /// Retry budget (retries after the first timeout).
+    pub fn budget(&self) -> u32 {
+        self.policy.budget
+    }
+}
+
+/// Bounded reconnection schedule against one peer.
+#[derive(Debug, Clone)]
+pub struct Reconnector {
+    wall: WallRetry,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Reconnector {
+    /// A fresh schedule (seeded so concurrent reconnectors de-sync).
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        Reconnector {
+            wall: WallRetry::new(policy),
+            attempt: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Delay before the next reconnect attempt, or `None` once the
+    /// budget is exhausted — the caller must then mark the peer
+    /// permanently failed and continue degraded, never block.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.wall.budget() {
+            return None;
+        }
+        self.attempt += 1;
+        Some(self.wall.backoff(self.attempt, &mut self.rng))
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// A successful connect resets the schedule (a future crash of the
+    /// same peer gets a full budget again).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The wall-clock adapter must replay the virtual-time backoff
+    /// sequence exactly — cross-checked against the values pinned by
+    /// `crates/sched/src/retry.rs::backoff_grows_exponentially_then_caps`.
+    #[test]
+    fn backoff_matches_virtual_time_sequence() {
+        let p = RetryPolicy {
+            jitter_ns: 0,
+            ..Default::default()
+        };
+        let w = WallRetry::new(p);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(w.backoff(1, &mut rng), Duration::from_nanos(10_000));
+        assert_eq!(w.backoff(2, &mut rng), Duration::from_nanos(20_000));
+        assert_eq!(w.backoff(3, &mut rng), Duration::from_nanos(40_000));
+        assert_eq!(w.backoff(10, &mut rng), Duration::from_nanos(160_000));
+        assert_eq!(w.backoff(64, &mut rng), Duration::from_nanos(160_000));
+    }
+
+    /// Identical seeds → identical jittered sequences on both paths.
+    #[test]
+    fn same_seed_same_jittered_backoffs() {
+        let p = RetryPolicy::default();
+        let w = WallRetry::new(p);
+        for seed in [1u64, 7, 0xDEAD_BEEF, u64::MAX] {
+            let mut virt = SplitMix64::new(seed);
+            let mut wall = SplitMix64::new(seed);
+            for attempt in 1..=8u32 {
+                let v = p.backoff_ns(attempt, &mut virt);
+                let d = w.backoff(attempt, &mut wall);
+                assert_eq!(d, Duration::from_nanos(v), "seed {seed} attempt {attempt}");
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_and_budget_pass_through() {
+        let w = WallRetry::new(cluster_retry_defaults());
+        assert_eq!(w.timeout(), Duration::from_millis(50));
+        assert_eq!(w.budget(), 2);
+    }
+
+    /// The reconnect schedule must terminate: after `budget` delays it
+    /// reports the peer gone rather than yielding delays forever.
+    #[test]
+    fn reconnect_budget_exhaustion_degrades_rather_than_hangs() {
+        let p = RetryPolicy {
+            budget: 3,
+            jitter_ns: 0,
+            ..cluster_retry_defaults()
+        };
+        let mut r = Reconnector::new(p, 42);
+        let mut delays = Vec::new();
+        while let Some(d) = r.next_delay() {
+            delays.push(d);
+            assert!(delays.len() <= 3, "schedule exceeded its budget");
+        }
+        assert_eq!(delays.len(), 3);
+        // Exhausted stays exhausted.
+        assert_eq!(r.next_delay(), None);
+        assert_eq!(r.next_delay(), None);
+        // Exponential shape survives the Duration conversion.
+        assert_eq!(delays[1], delays[0] * 2);
+        assert_eq!(delays[2], delays[0] * 4);
+    }
+
+    #[test]
+    fn zero_budget_never_retries() {
+        let p = RetryPolicy {
+            budget: 0,
+            ..cluster_retry_defaults()
+        };
+        let mut r = Reconnector::new(p, 1);
+        assert_eq!(r.next_delay(), None);
+    }
+
+    #[test]
+    fn reset_restores_the_full_budget() {
+        let p = RetryPolicy {
+            budget: 2,
+            ..cluster_retry_defaults()
+        };
+        let mut r = Reconnector::new(p, 9);
+        assert!(r.next_delay().is_some());
+        assert!(r.next_delay().is_some());
+        assert_eq!(r.next_delay(), None);
+        r.reset();
+        assert!(r.next_delay().is_some(), "reset must re-arm the schedule");
+    }
+}

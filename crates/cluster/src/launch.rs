@@ -1,0 +1,416 @@
+//! The cluster launcher: spawn N place *processes*, SIGKILL some of
+//! them on schedule, optionally restart them, then merge and validate
+//! the per-incarnation traces.
+//!
+//! This is the engine behind `repro cluster`. The launcher re-execs
+//! the current binary with a hidden per-place subcommand (so one
+//! executable is both launcher and place), schedules real `SIGKILL`s
+//! via [`std::process::Child::kill`], and — after the coordinator
+//! exits — feeds the HLC-merged trace ([`crate::merge`]) through the
+//! happens-before validator and the Algorithm 1 conformance automaton
+//! from `distws-analyze`. A run "survives" a fault only if all three
+//! agree: the coordinator validated its fold, the merged trace shows
+//! exactly-once execution, and every steal obeyed the policy's tier
+//! order.
+
+use crate::merge::{merge_traces, MergeStats, TraceFile};
+use crate::place::Transport;
+use distws_analyze::{conform_str, validate_str, ConformConfig};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One scheduled fault: SIGKILL `place` at `kill_ms` after launch,
+/// optionally restarting it at `restart_ms`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Victim place (never 0 — the coordinator is the root of trust).
+    pub place: u32,
+    /// Milliseconds after launch to deliver SIGKILL.
+    pub kill_ms: u64,
+    /// Milliseconds after launch to restart the place, if at all.
+    pub restart_ms: Option<u64>,
+}
+
+/// Parse a kill schedule: `place@ms[,restart@ms]`, `;`-separated.
+///
+/// ```text
+/// 1@300                  kill place 1 at t=300ms, no restart
+/// 1@300,restart@900      kill at 300ms, restart at 900ms
+/// 1@300;2@500            two victims
+/// ```
+pub fn parse_kill_spec(spec: &str) -> Result<Vec<KillSpec>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let mut fields = part.split(',');
+        let head = fields.next().unwrap();
+        let (place, kill_ms) = head
+            .split_once('@')
+            .ok_or_else(|| format!("bad kill spec `{head}`: want place@ms"))?;
+        let place: u32 = place
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad place in `{head}`"))?;
+        if place == 0 {
+            return Err("place 0 is the coordinator and cannot be killed".to_string());
+        }
+        let kill_ms: u64 = kill_ms
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad kill time in `{head}`"))?;
+        let mut restart_ms = None;
+        for extra in fields {
+            let (key, ms) = extra
+                .split_once('@')
+                .ok_or_else(|| format!("bad kill spec field `{extra}`"))?;
+            if key.trim() != "restart" {
+                return Err(format!("unknown kill spec field `{key}`"));
+            }
+            let ms: u64 = ms
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad restart time in `{extra}`"))?;
+            if ms <= kill_ms {
+                return Err(format!(
+                    "restart at {ms}ms is not after kill at {kill_ms}ms"
+                ));
+            }
+            restart_ms = Some(ms);
+        }
+        out.push(KillSpec {
+            place,
+            kill_ms,
+            restart_ms,
+        });
+    }
+    Ok(out)
+}
+
+/// Everything `run_cluster` needs.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Application name.
+    pub app: String,
+    /// Policy name.
+    pub policy: String,
+    /// Place count (processes).
+    pub places: u32,
+    /// Workers per place.
+    pub wpp: u32,
+    /// App / rng seed.
+    pub seed: u64,
+    /// Socket family.
+    pub transport: Transport,
+    /// Run directory (sockets, traces, report, merged trace).
+    pub dir: PathBuf,
+    /// Fault schedule.
+    pub kills: Vec<KillSpec>,
+    /// Per-round watchdog forwarded to the coordinator.
+    pub round_timeout_ms: u64,
+    /// Overall follower deadline.
+    pub run_deadline_ms: u64,
+    /// Binary to exec for each place (usually
+    /// `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Argument prefix selecting the per-place entry point, e.g.
+    /// `["cluster-place"]`.
+    pub place_args: Vec<String>,
+}
+
+/// What a cluster run produced.
+#[derive(Debug)]
+pub struct LaunchOutcome {
+    /// Coordinator's exit code (0 clean, 2 bad result, 3 deadline).
+    pub exit_code: i32,
+    /// Raw `report.json` text, if the coordinator wrote one.
+    pub report: Option<String>,
+    /// `places_failed` parsed out of the report (dead at shutdown).
+    pub places_failed: u64,
+    /// Path of the merged trace.
+    pub merged_path: PathBuf,
+    /// Merge bookkeeping.
+    pub merge_stats: MergeStats,
+    /// Happens-before validation messages (empty = passed).
+    pub hb_violations: Vec<String>,
+    /// Conformance automaton messages (empty = passed).
+    pub conform_violations: Vec<String>,
+    /// Kills actually delivered (a place can finish before its
+    /// scheduled kill).
+    pub kills_delivered: u32,
+}
+
+impl LaunchOutcome {
+    /// Clean run: coordinator validated, no dead places at shutdown,
+    /// and both trace validators passed.
+    pub fn ok(&self) -> bool {
+        self.exit_code == 0 && self.hb_violations.is_empty() && self.conform_violations.is_empty()
+    }
+}
+
+struct Incarnation {
+    place: u32,
+    epoch: u32,
+    trace: PathBuf,
+    failed: bool,
+}
+
+enum Action {
+    Kill(u32),
+    Restart(u32),
+}
+
+fn spawn_place(cfg: &LaunchConfig, place: u32, epoch: u32) -> io::Result<(Child, PathBuf)> {
+    let trace = cfg.dir.join(format!("trace-p{place}-e{epoch}.jsonl"));
+    let mut cmd = Command::new(&cfg.exe);
+    cmd.args(&cfg.place_args)
+        .arg("--place")
+        .arg(place.to_string())
+        .arg("--places")
+        .arg(cfg.places.to_string())
+        .arg("--wpp")
+        .arg(cfg.wpp.to_string())
+        .arg("--epoch")
+        .arg(epoch.to_string())
+        .arg("--transport")
+        .arg(match cfg.transport {
+            Transport::Unix => "unix",
+            Transport::Tcp => "tcp",
+        })
+        .arg("--dir")
+        .arg(&cfg.dir)
+        .arg("--app")
+        .arg(&cfg.app)
+        .arg("--policy")
+        .arg(&cfg.policy)
+        .arg("--seed")
+        .arg(cfg.seed.to_string())
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--round-timeout-ms")
+        .arg(cfg.round_timeout_ms.to_string())
+        .arg("--run-deadline-ms")
+        .arg(cfg.run_deadline_ms.to_string())
+        .stdin(Stdio::null());
+    if place == 0 {
+        cmd.arg("--report").arg(cfg.dir.join("report.json"));
+    }
+    cmd.spawn().map(|c| (c, trace))
+}
+
+/// Launch the cluster, run the fault schedule, collect and validate.
+pub fn run_cluster(cfg: &LaunchConfig) -> io::Result<LaunchOutcome> {
+    fs::create_dir_all(&cfg.dir)?;
+    for k in &cfg.kills {
+        if k.place == 0 || k.place >= cfg.places {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("kill spec names invalid place {}", k.place),
+            ));
+        }
+    }
+
+    let mut incarnations: Vec<Incarnation> = Vec::new();
+    let mut running: HashMap<u32, (Child, usize)> = HashMap::new(); // place -> (child, incarnation idx)
+    let mut epochs: HashMap<u32, u32> = HashMap::new();
+    // Start followers first so the coordinator's startup barrier is
+    // short, coordinator last.
+    for place in (0..cfg.places).rev() {
+        let (child, trace) = spawn_place(cfg, place, 0)?;
+        incarnations.push(Incarnation {
+            place,
+            epoch: 0,
+            trace,
+            failed: false,
+        });
+        running.insert(place, (child, incarnations.len() - 1));
+        epochs.insert(place, 0);
+    }
+
+    // Flatten the fault schedule into a timeline.
+    let start = Instant::now();
+    let mut timeline: Vec<(u64, Action)> = Vec::new();
+    for k in &cfg.kills {
+        timeline.push((k.kill_ms, Action::Kill(k.place)));
+        if let Some(ms) = k.restart_ms {
+            timeline.push((ms, Action::Restart(k.place)));
+        }
+    }
+    timeline.sort_by_key(|(ms, _)| *ms);
+    let mut next_action = 0usize;
+    let mut kills_delivered = 0u32;
+
+    // Drive: fire scheduled actions, reap children, stop once the
+    // coordinator exits.
+    let mut coord_code: Option<i32> = None;
+    let hard_deadline = start + Duration::from_millis(cfg.run_deadline_ms + 10_000);
+    while coord_code.is_none() && Instant::now() < hard_deadline {
+        let now_ms = start.elapsed().as_millis() as u64;
+        while next_action < timeline.len() && timeline[next_action].0 <= now_ms {
+            match timeline[next_action].1 {
+                Action::Kill(p) => {
+                    if let Some((child, idx)) = running.get_mut(&p) {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        incarnations[*idx].failed = true;
+                        kills_delivered += 1;
+                        running.remove(&p);
+                    }
+                }
+                #[allow(clippy::map_entry)] // spawn between check and insert
+                Action::Restart(p) => {
+                    if !running.contains_key(&p) {
+                        let epoch = epochs.get(&p).copied().unwrap_or(0) + 1;
+                        epochs.insert(p, epoch);
+                        let (child, trace) = spawn_place(cfg, p, epoch)?;
+                        incarnations.push(Incarnation {
+                            place: p,
+                            epoch,
+                            trace,
+                            failed: false,
+                        });
+                        running.insert(p, (child, incarnations.len() - 1));
+                    }
+                }
+            }
+            next_action += 1;
+        }
+        // Reap anything that exited on its own.
+        let places: Vec<u32> = running.keys().copied().collect();
+        for p in places {
+            let done = {
+                let (child, idx) = running.get_mut(&p).unwrap();
+                match child.try_wait()? {
+                    Some(status) => {
+                        let code = status.code().unwrap_or(-1);
+                        if p == 0 {
+                            coord_code = Some(code);
+                        } else if code != 0 {
+                            // A follower that dies by itself is a
+                            // failure too (e.g. its own watchdog).
+                            incarnations[*idx].failed = true;
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if done {
+                running.remove(&p);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Coordinator is done (or the hard deadline hit): give followers a
+    // moment to see the Shutdown frame, then reap stragglers.
+    let grace = Instant::now() + Duration::from_secs(5);
+    while !running.is_empty() && Instant::now() < grace {
+        let places: Vec<u32> = running.keys().copied().collect();
+        for p in places {
+            if running.get_mut(&p).unwrap().0.try_wait()?.is_some() {
+                running.remove(&p);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for (_, (mut child, idx)) in running.drain() {
+        let _ = child.kill();
+        let _ = child.wait();
+        incarnations[idx].failed = true;
+    }
+
+    // Merge the incarnation traces and validate.
+    let files: Vec<TraceFile> = incarnations
+        .iter()
+        .map(|inc| TraceFile {
+            place: inc.place,
+            epoch: inc.epoch,
+            failed: inc.failed,
+            text: fs::read_to_string(&inc.trace).unwrap_or_default(),
+        })
+        .collect();
+    let (merged, merge_stats) = merge_traces(&files);
+    let merged_path = cfg.dir.join("merged.trace.jsonl");
+    fs::write(&merged_path, &merged)?;
+
+    let hb = validate_str(&merged);
+    let hb_violations = hb.violations.iter().map(|v| v.to_string()).collect();
+    let ccfg = ConformConfig::for_policy(&cfg.policy).unwrap_or_else(ConformConfig::generic);
+    let conform = conform_str(&merged, &ccfg);
+    let conform_violations = conform.violations.iter().map(|v| v.to_string()).collect();
+
+    let report = fs::read_to_string(cfg.dir.join("report.json")).ok();
+    let places_failed = report
+        .as_deref()
+        .and_then(|r| distws_json::Value::parse(r).ok())
+        .and_then(|v| v.get("places_failed").and_then(|x| x.as_u64()))
+        .unwrap_or(u64::MAX);
+
+    Ok(LaunchOutcome {
+        exit_code: coord_code.unwrap_or(EXIT_LAUNCH_DEADLINE),
+        report,
+        places_failed,
+        merged_path,
+        merge_stats,
+        hb_violations,
+        conform_violations,
+        kills_delivered,
+    })
+}
+
+/// Synthetic exit code when the coordinator never exited and the
+/// launcher's own deadline fired.
+pub const EXIT_LAUNCH_DEADLINE: i32 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_spec_round_trips() {
+        let ks = parse_kill_spec("1@300,restart@900;2@500").unwrap();
+        assert_eq!(
+            ks,
+            vec![
+                KillSpec {
+                    place: 1,
+                    kill_ms: 300,
+                    restart_ms: Some(900)
+                },
+                KillSpec {
+                    place: 2,
+                    kill_ms: 500,
+                    restart_ms: None
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn kill_spec_rejects_the_coordinator() {
+        let err = parse_kill_spec("0@100").unwrap_err();
+        assert!(err.contains("coordinator"), "{err}");
+    }
+
+    #[test]
+    fn kill_spec_rejects_restart_before_kill() {
+        assert!(parse_kill_spec("1@500,restart@400").is_err());
+        assert!(parse_kill_spec("1@500,restart@500").is_err());
+    }
+
+    #[test]
+    fn kill_spec_rejects_garbage() {
+        assert!(parse_kill_spec("1#500").is_err());
+        assert!(parse_kill_spec("x@500").is_err());
+        assert!(parse_kill_spec("1@x").is_err());
+        assert!(parse_kill_spec("1@5,reboot@9").is_err());
+        assert!(parse_kill_spec("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # distws-cluster
+//!
+//! Real multi-process places: each place of the cluster runs as its
+//! own OS process, speaking a small length-prefixed binary protocol
+//! over Unix or TCP sockets ([`wire`]), with crash-tolerant stealing —
+//! heartbeat failure detection, lease-based reclaim of in-flight
+//! migrations, reconnect with jittered exponential backoff, and
+//! graceful degradation when a place never returns.
+
+pub mod app;
+pub mod clock;
+pub mod hlc;
+pub mod launch;
+pub mod merge;
+pub mod place;
+pub mod wire;
+
+pub use app::{app_by_name, ClusterApp, ClusterScope, RootSpec};
+pub use clock::{cluster_retry_defaults, reconnect_defaults, Reconnector, WallRetry};
+pub use hlc::Hlc;
+pub use launch::{parse_kill_spec, run_cluster, KillSpec, LaunchConfig, LaunchOutcome};
+pub use merge::{merge_traces, MergeStats, TraceFile};
+pub use place::{
+    policy_by_name, run_place, PlaceConfig, Transport, EXIT_BAD_RESULT, EXIT_DEADLINE,
+};
+pub use wire::{Frame, WireTask, TASK_RECOVERED, WIRE_VERSION};

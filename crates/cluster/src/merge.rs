@@ -1,0 +1,289 @@
+//! Merge per-place (per-incarnation) JSONL traces into one causal
+//! stream the analyzers can validate.
+//!
+//! Each place process writes its own trace file; a restarted place
+//! writes a new file per incarnation (epoch). Timestamps are hybrid
+//! logical clock values ([`crate::hlc`]): every frame carries its
+//! sender's stamp and the receiver merges it before acting, so sorting
+//! all lines by `(t, place, epoch, line)` yields an order consistent
+//! with causality — the property the happens-before validator's
+//! file-order bookkeeping depends on.
+//!
+//! A SIGKILLed incarnation leaves artifacts a naive concatenation
+//! would misreport, so the merge applies three rules:
+//!
+//! - **Torn tails.** A kill can land mid-`write`; unparseable lines in
+//!   *failed* incarnations are dropped (and counted). Live traces are
+//!   passed through untouched — garbage there is a real bug and must
+//!   reach the validator.
+//! - **Superseded executions.** A task the coordinator re-injected
+//!   executes again elsewhere. The write-ahead discipline means the
+//!   failed incarnation may hold a `task_start` (and even `task_end`)
+//!   for it. If the task started in a live incarnation, the failed
+//!   incarnation's `task_start`/`task_end`/`migration` lines for it
+//!   are dropped: the recovery protocol's claim is that the *fold*
+//!   counts it once (duplicate `FinishDec` is ignored), and the merged
+//!   trace mirrors that by keeping the surviving execution.
+//!   Duplicates *between live incarnations* are never dropped — those
+//!   are genuine exactly-once violations and must fail validation.
+//! - **Duplicate spawns.** Deterministic child ids mean a re-executed
+//!   parent re-announces the same children. Only the earliest `spawn`
+//!   per task id is kept (the validator treats a second spawn as an
+//!   error, and the earliest one is the true causal origin).
+
+use distws_json::Value;
+
+/// One incarnation's trace.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    /// Place id.
+    pub place: u32,
+    /// Incarnation epoch (0 first boot).
+    pub epoch: u32,
+    /// True if this incarnation was killed (SIGKILL / crash).
+    pub failed: bool,
+    /// The raw JSONL text.
+    pub text: String,
+}
+
+/// What the merge did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Total input lines (non-blank).
+    pub lines_in: u64,
+    /// Lines emitted.
+    pub lines_out: u64,
+    /// Torn/unparseable lines dropped from failed incarnations.
+    pub dropped_torn: u64,
+    /// start/end/migration lines dropped from failed incarnations
+    /// because the task re-executed in a surviving incarnation.
+    pub dropped_superseded: u64,
+    /// Later duplicate `spawn` lines dropped.
+    pub dropped_dup_spawn: u64,
+}
+
+struct Line {
+    t: u64,
+    place: u32,
+    epoch: u32,
+    idx: usize,
+    failed: bool,
+    ev: String,
+    task: Option<u64>,
+    raw: String,
+}
+
+fn sort_key(l: &Line) -> (u64, u32, u32, usize) {
+    (l.t, l.place, l.epoch, l.idx)
+}
+
+/// Merge incarnation traces into one validated-order JSONL string.
+pub fn merge_traces(files: &[TraceFile]) -> (String, MergeStats) {
+    let mut stats = MergeStats::default();
+    let mut lines: Vec<Line> = Vec::new();
+    for f in files {
+        for (idx, raw) in f.text.lines().enumerate() {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            stats.lines_in += 1;
+            let parsed = Value::parse(raw).ok();
+            let (t, ev, task) = match &parsed {
+                Some(v) => (
+                    v.get("t").and_then(Value::as_u64),
+                    v.get("ev").and_then(Value::as_str).map(str::to_string),
+                    v.get("task").and_then(Value::as_u64),
+                ),
+                None => (None, None, None),
+            };
+            match (t, ev) {
+                (Some(t), Some(ev)) => lines.push(Line {
+                    t,
+                    place: f.place,
+                    epoch: f.epoch,
+                    idx,
+                    failed: f.failed,
+                    ev,
+                    task,
+                    raw: raw.to_string(),
+                }),
+                _ if f.failed => stats.dropped_torn += 1,
+                _ => lines.push(Line {
+                    // Malformed line in a live trace: pass through so
+                    // the validator reports it.
+                    t: u64::MAX,
+                    place: f.place,
+                    epoch: f.epoch,
+                    idx,
+                    failed: false,
+                    ev: String::new(),
+                    task: None,
+                    raw: raw.to_string(),
+                }),
+            }
+        }
+    }
+    lines.sort_by_key(sort_key);
+
+    // Which tasks started in a surviving incarnation?
+    let mut live_started: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for l in &lines {
+        if !l.failed && l.ev == "task_start" {
+            if let Some(id) = l.task {
+                live_started.insert(id);
+            }
+        }
+    }
+
+    let mut spawned: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut out = String::new();
+    for l in &lines {
+        if l.failed {
+            if let Some(id) = l.task {
+                let superseded = live_started.contains(&id)
+                    && matches!(l.ev.as_str(), "task_start" | "task_end" | "migration");
+                if superseded {
+                    stats.dropped_superseded += 1;
+                    continue;
+                }
+            }
+        }
+        if l.ev == "spawn" {
+            if let Some(id) = l.task {
+                if !spawned.insert(id) {
+                    stats.dropped_dup_spawn += 1;
+                    continue;
+                }
+            }
+        }
+        out.push_str(&l.raw);
+        out.push('\n');
+        stats.lines_out += 1;
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, w: u32, p: u32, kind: &str, task: Option<u64>) -> String {
+        let mut o = Value::object();
+        o.set("t", t);
+        o.set("w", w);
+        o.set("p", p);
+        o.set("ev", kind);
+        if let Some(id) = task {
+            o.set("task", id);
+        }
+        o.render()
+    }
+
+    fn file(place: u32, epoch: u32, failed: bool, lines: &[String]) -> TraceFile {
+        TraceFile {
+            place,
+            epoch,
+            failed,
+            text: lines.join("\n"),
+        }
+    }
+
+    #[test]
+    fn sorts_by_hlc_stamp_across_places() {
+        let a = file(0, 0, false, &[ev(10, 0, 0, "spawn", Some(1))]);
+        let b = file(1, 0, false, &[ev(5, 2, 1, "net_probe", None)]);
+        let (out, stats) = merge_traces(&[a, b]);
+        let first = out.lines().next().unwrap();
+        assert!(first.contains("net_probe"), "{out}");
+        assert_eq!(stats.lines_out, 2);
+    }
+
+    #[test]
+    fn torn_tail_dropped_only_from_failed_incarnation() {
+        let dead = file(
+            1,
+            0,
+            true,
+            &[
+                ev(1, 2, 1, "task_start", Some(9)),
+                "{\"t\":2,\"w\":2".to_string(),
+            ],
+        );
+        let live = file(0, 0, false, &["also not json".to_string()]);
+        let (out, stats) = merge_traces(&[dead, live]);
+        assert_eq!(stats.dropped_torn, 1);
+        assert!(out.contains("also not json"), "live garbage passes through");
+    }
+
+    #[test]
+    fn reexecuted_task_keeps_only_surviving_execution() {
+        let dead = file(
+            1,
+            0,
+            true,
+            &[
+                ev(10, 2, 1, "task_start", Some(7)),
+                ev(11, 2, 1, "task_end", Some(7)),
+            ],
+        );
+        let live = file(
+            2,
+            0,
+            false,
+            &[
+                ev(20, 4, 2, "task_start", Some(7)),
+                ev(21, 4, 2, "task_end", Some(7)),
+            ],
+        );
+        let (out, stats) = merge_traces(&[dead, live]);
+        assert_eq!(stats.dropped_superseded, 2);
+        assert_eq!(out.matches("task_start").count(), 1);
+        assert_eq!(out.matches("task_end").count(), 1);
+    }
+
+    #[test]
+    fn dead_execution_without_reexecution_is_kept() {
+        // FinishDec landed before the crash: no re-injection, the dead
+        // incarnation's execution is the real one.
+        let dead = file(
+            1,
+            0,
+            true,
+            &[
+                ev(10, 2, 1, "task_start", Some(7)),
+                ev(11, 2, 1, "task_end", Some(7)),
+            ],
+        );
+        let (out, stats) = merge_traces(&[dead]);
+        assert_eq!(stats.dropped_superseded, 0);
+        assert!(out.contains("task_start") && out.contains("task_end"));
+    }
+
+    #[test]
+    fn duplicate_live_executions_are_preserved_for_the_validator() {
+        let a = file(0, 0, false, &[ev(1, 0, 0, "task_start", Some(3))]);
+        let b = file(1, 0, false, &[ev(2, 2, 1, "task_start", Some(3))]);
+        let (out, _) = merge_traces(&[a, b]);
+        assert_eq!(out.matches("task_start").count(), 2);
+    }
+
+    #[test]
+    fn earliest_spawn_wins() {
+        let dead = file(1, 0, true, &[ev(5, 2, 1, "spawn", Some(4))]);
+        let live = file(0, 0, false, &[ev(9, 0, 0, "spawn", Some(4))]);
+        let (out, stats) = merge_traces(&[dead, live]);
+        assert_eq!(stats.dropped_dup_spawn, 1);
+        assert_eq!(out.matches("spawn").count(), 1);
+        assert!(out.contains("\"t\": 5") || out.contains("\"t\":5"), "{out}");
+    }
+
+    #[test]
+    fn restarted_incarnations_interleave_by_epoch() {
+        let e0 = file(1, 0, true, &[ev(10, 2, 1, "net_probe", None)]);
+        let e1 = file(1, 1, false, &[ev(10, 2, 1, "net_probe", None)]);
+        let (out, stats) = merge_traces(&[e1, e0]);
+        assert_eq!(stats.lines_out, 2);
+        assert_eq!(out.lines().count(), 2);
+    }
+}

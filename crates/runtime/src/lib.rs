@@ -27,9 +27,11 @@
 //! run.
 
 mod board;
+pub mod shared;
 mod worker;
 
 pub use board::SharedBoard;
+pub use shared::{IdleAction, IdleGate, WorkerStats};
 
 use distws_core::rng::SplitMix64;
 use distws_core::{
@@ -45,7 +47,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use worker::{RtTask, WorkerHarness, WorkerStats};
+use worker::{RtTask, WorkerHarness};
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -355,11 +357,7 @@ impl Runtime {
         for (i, h) in handles.into_iter().enumerate() {
             let stats = h.join().expect("worker panicked");
             busy[i] = stats.busy_ns;
-            merged.granularity.merge(&stats.granularity);
-            merged.steal_local_private.merge(&stats.steal_local_private);
-            merged.steal_local_shared.merge(&stats.steal_local_shared);
-            merged.steal_remote.merge(&stats.steal_remote);
-            merged.dormancy.merge(&stats.dormancy);
+            merged.merge(&stats);
         }
         let makespan = start.elapsed().as_nanos() as u64;
         shared.trace.with(|s| s.flush());

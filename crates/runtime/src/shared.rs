@@ -1,0 +1,179 @@
+//! Worker-side pieces shared between the in-process threaded runtime
+//! and the multi-process cluster runtime (`distws-cluster`): the
+//! per-worker stats bundle and the idle/park gate.
+//!
+//! Both runtimes execute the same Algorithm 1 acquire loop; keeping
+//! the dormancy state machine and the histogram set here guarantees a
+//! cluster worker's report (steal round-trip percentiles, dormancy)
+//! means the same thing as a threaded worker's.
+
+use distws_trace::Histogram;
+use std::time::{Duration, Instant};
+
+/// What a worker hands back when it exits: its busy time plus the
+/// distribution observations merged into `RunReport.percentiles`.
+/// Wall-clock analogues of the simulator's histograms — useful for
+/// spotting contention, but (unlike the simulator's) not
+/// deterministic across runs.
+#[derive(Default)]
+pub struct WorkerStats {
+    /// Total wall-clock time spent inside task bodies.
+    pub busy_ns: u64,
+    /// Task body durations.
+    pub granularity: Histogram,
+    /// Co-worker (private-deque) steal latencies.
+    pub steal_local_private: Histogram,
+    /// Place-shared-queue steal latencies.
+    pub steal_local_shared: Histogram,
+    /// Remote steal round-trip latencies.
+    pub steal_remote: Histogram,
+    /// Park durations (dormant → wakeup).
+    pub dormancy: Histogram,
+}
+
+impl WorkerStats {
+    /// Fold another worker's observations into this one.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.busy_ns += other.busy_ns;
+        self.granularity.merge(&other.granularity);
+        self.steal_local_private.merge(&other.steal_local_private);
+        self.steal_local_shared.merge(&other.steal_local_shared);
+        self.steal_remote.merge(&other.steal_remote);
+        self.dormancy.merge(&other.dormancy);
+    }
+}
+
+/// What an idle worker should do next, per [`IdleGate::note_idle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleAction {
+    /// Still in the spin phase: yield and retry immediately.
+    Yield,
+    /// Past the spin budget: nap. `newly_dormant` is true exactly once
+    /// per dormancy episode — the caller emits the `Dormant` trace
+    /// event before napping.
+    Park {
+        /// First park of this episode.
+        newly_dormant: bool,
+    },
+}
+
+/// The idle/park state machine shared by both runtimes: spin-yield a
+/// bounded number of failed acquires, then park in short naps until
+/// work appears, measuring the dormancy span.
+#[derive(Debug)]
+pub struct IdleGate {
+    spins: u32,
+    spin_limit: u32,
+    nap: Duration,
+    parked_at: Option<Instant>,
+}
+
+impl Default for IdleGate {
+    fn default() -> Self {
+        IdleGate::new(50, Duration::from_micros(200))
+    }
+}
+
+impl IdleGate {
+    /// A gate that yields `spin_limit` times before parking in `nap`
+    /// sleeps.
+    pub fn new(spin_limit: u32, nap: Duration) -> Self {
+        IdleGate {
+            spins: 0,
+            spin_limit,
+            nap,
+            parked_at: None,
+        }
+    }
+
+    /// Record a fruitless acquire and decide what to do about it.
+    pub fn note_idle(&mut self) -> IdleAction {
+        self.spins += 1;
+        if self.spins > self.spin_limit {
+            let newly_dormant = self.parked_at.is_none();
+            if newly_dormant {
+                self.parked_at = Some(Instant::now());
+            }
+            IdleAction::Park { newly_dormant }
+        } else {
+            IdleAction::Yield
+        }
+    }
+
+    /// Sleep one park interval (call after emitting `Dormant`).
+    pub fn nap(&self) {
+        std::thread::sleep(self.nap);
+    }
+
+    /// Record a successful acquire. Returns the dormancy span in
+    /// nanoseconds if this wakeup ends a park episode — the caller
+    /// records it and emits the `Wakeup` trace event.
+    pub fn note_work(&mut self) -> Option<u64> {
+        self.spins = 0;
+        self.parked_at
+            .take()
+            .map(|since| since.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_then_parks_once_per_episode() {
+        let mut g = IdleGate::new(3, Duration::from_micros(1));
+        assert_eq!(g.note_idle(), IdleAction::Yield);
+        assert_eq!(g.note_idle(), IdleAction::Yield);
+        assert_eq!(g.note_idle(), IdleAction::Yield);
+        assert_eq!(
+            g.note_idle(),
+            IdleAction::Park {
+                newly_dormant: true
+            }
+        );
+        assert_eq!(
+            g.note_idle(),
+            IdleAction::Park {
+                newly_dormant: false
+            }
+        );
+    }
+
+    #[test]
+    fn work_ends_the_episode_and_reports_dormancy() {
+        let mut g = IdleGate::new(0, Duration::from_micros(1));
+        assert!(g.note_work().is_none(), "never parked yet");
+        assert!(matches!(g.note_idle(), IdleAction::Park { .. }));
+        std::thread::sleep(Duration::from_millis(1));
+        let span = g.note_work().expect("was parked");
+        assert!(span >= 1_000_000, "dormancy {span}ns < 1ms");
+        // Episode over: spin budget restored, next park is new.
+        assert!(g.note_work().is_none());
+        assert_eq!(
+            g.note_idle(),
+            IdleAction::Park {
+                newly_dormant: true
+            }
+        );
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = WorkerStats {
+            busy_ns: 10,
+            ..Default::default()
+        };
+        a.granularity.record(5);
+        let mut b = WorkerStats {
+            busy_ns: 32,
+            ..Default::default()
+        };
+        b.granularity.record(7);
+        b.dormancy.record(1);
+        a.merge(&b);
+        assert_eq!(a.busy_ns, 42);
+        assert_eq!(a.granularity.count(), 2);
+        assert_eq!(a.dormancy.count(), 1);
+    }
+}

@@ -1,6 +1,7 @@
 //! Worker threads: each runs Algorithm 1's acquire loop against real
 //! lock-free deques.
 
+use crate::shared::{IdleAction, IdleGate, WorkerStats};
 use crate::RunShared;
 use distws_core::rng::SplitMix64;
 use distws_core::{
@@ -8,25 +9,10 @@ use distws_core::{
 };
 use distws_deque::chase_lev::{deque, Worker};
 use distws_sched::{DequeChoice, Policy, StealStep, TaskMeta};
-use distws_trace::{Histogram, SharedSink, StealTier, TraceEvent, TraceEventKind, TraceSink};
+use distws_trace::{SharedSink, StealTier, TraceEvent, TraceEventKind, TraceSink};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// What a worker thread hands back when it exits: its busy time plus
-/// the distribution observations merged into `RunReport.percentiles`.
-/// Wall-clock analogues of the simulator's histograms — useful for
-/// spotting contention, but (unlike the simulator's) not
-/// deterministic across runs.
-#[derive(Default)]
-pub(crate) struct WorkerStats {
-    pub busy_ns: u64,
-    pub granularity: Histogram,
-    pub steal_local_private: Histogram,
-    pub steal_local_shared: Histogram,
-    pub steal_remote: Histogram,
-    pub dormancy: Histogram,
-}
 
 /// A task inside the threaded runtime.
 pub(crate) struct RtTask {
@@ -111,8 +97,7 @@ impl WorkerHarness {
         self.shared.wait_registry();
 
         let mut stats = WorkerStats::default();
-        let mut idle_spins = 0u32;
-        let mut parked_at: Option<Instant> = None;
+        let mut gate = IdleGate::default();
         loop {
             if self.shared.done.load(Ordering::SeqCst) {
                 break;
@@ -121,26 +106,24 @@ impl WorkerHarness {
             self.policy.note_result(self.id, got.is_some());
             match got {
                 Some(task) => {
-                    if let Some(since) = parked_at.take() {
-                        stats.dormancy.record(since.elapsed().as_nanos() as u64);
+                    if let Some(span) = gate.note_work() {
+                        stats.dormancy.record(span);
                         self.emit(TraceEventKind::Wakeup);
                     }
-                    idle_spins = 0;
                     let dur = self.execute(&worker, task);
                     stats.granularity.record(dur);
                     stats.busy_ns += dur;
                 }
                 None => {
                     self.shared.steals_failed.fetch_add(1, Ordering::Relaxed);
-                    idle_spins += 1;
-                    if idle_spins > 50 {
-                        if parked_at.is_none() {
-                            parked_at = Some(Instant::now());
-                            self.emit(TraceEventKind::Dormant);
+                    match gate.note_idle() {
+                        IdleAction::Yield => std::thread::yield_now(),
+                        IdleAction::Park { newly_dormant } => {
+                            if newly_dormant {
+                                self.emit(TraceEventKind::Dormant);
+                            }
+                            gate.nap();
                         }
-                        std::thread::sleep(Duration::from_micros(200));
-                    } else {
-                        std::thread::yield_now();
                     }
                 }
             }

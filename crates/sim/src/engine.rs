@@ -209,7 +209,7 @@ enum EventKind {
     Wake(GlobalWorkerId, bool),
     /// Fail-stop: the place's queued tasks are recovered elsewhere,
     /// its workers halt at the next task boundary.
-    PlaceFail(PlaceId),
+    PlaceFail(PlaceId, /* hard (SIGKILL-style, silent) */ bool),
     /// A killed place rejoins the cluster empty-handed.
     PlaceRestart(PlaceId),
 }
@@ -452,7 +452,11 @@ impl<'p> Engine<'p> {
                 .unwrap_or_else(|e| panic!("invalid fault config: {e}"));
             let kills = engine.cfg.faults.kills.clone();
             for (p, at) in kills {
-                engine.schedule(at, EventKind::PlaceFail(p));
+                engine.schedule(at, EventKind::PlaceFail(p, false));
+            }
+            let hard_kills = engine.cfg.faults.hard_kills.clone();
+            for (p, at) in hard_kills {
+                engine.schedule(at, EventKind::PlaceFail(p, true));
             }
             let restarts = engine.cfg.faults.restarts.clone();
             for (p, at) in restarts {
@@ -595,8 +599,10 @@ impl<'p> Engine<'p> {
     /// Re-enqueue a task stranded at the failed place `from`: back to
     /// its origin home if that place is alive, else to place 0 (which
     /// can never be killed). The task has not started executing, so
-    /// re-enqueueing preserves exactly-once.
-    fn recover_task(&mut self, now: u64, mut task: Task, from: PlaceId) {
+    /// re-enqueueing preserves exactly-once. `extra_ns` is added on
+    /// top of the detection delay (hard kills recover via the silent
+    /// path: silence detection plus the lease grace).
+    fn recover_task(&mut self, now: u64, mut task: Task, from: PlaceId, extra_ns: u64) {
         let target = if self.alive[task.origin_home.index()] {
             task.origin_home
         } else {
@@ -617,13 +623,17 @@ impl<'p> Engine<'p> {
                 },
             );
         }
-        self.schedule(now + self.detect_ns, EventKind::Arrive(task));
+        self.schedule(now + self.detect_ns + extra_ns, EventKind::Arrive(task));
     }
 
-    fn on_place_fail(&mut self, now: u64, p: PlaceId) {
+    /// `hard` marks a SIGKILL-style death: the place cannot announce
+    /// its failure, so recovery of its queued tasks additionally waits
+    /// out the lease grace on top of silence detection.
+    fn on_place_fail(&mut self, now: u64, p: PlaceId, hard: bool) {
         if !self.alive[p.index()] {
             return;
         }
+        let extra_ns = if hard { self.lease_timeout_ns } else { 0 };
         self.alive[p.index()] = false;
         self.fault_stats.places_failed += 1;
         if self.tracing {
@@ -633,14 +643,14 @@ impl<'p> Engine<'p> {
         // Recover the place's queued (never-started) tasks: shared
         // FIFO first, then each worker's private deque.
         while let Some(t) = self.places[p.index()].shared.take() {
-            self.recover_task(now, t, p);
+            self.recover_task(now, t, p, extra_ns);
         }
         self.board.shared_len[p.index()] = 0;
         let wpp = self.cfg.cluster.workers_per_place;
         for i in 0..wpp {
             let w = self.cfg.cluster.global(p, distws_core::WorkerId(i));
             while let Some(t) = self.workers[w.index()].deque.pop() {
-                self.recover_task(now, t, p);
+                self.recover_task(now, t, p, extra_ns);
             }
             self.board.private_len[w.index()] = 0;
             // Busy workers finish their current task (bodies already
@@ -783,7 +793,7 @@ impl<'p> Engine<'p> {
                 EventKind::Arrive(task) => self.map_and_enqueue(now, task),
                 EventKind::Free(w) => self.on_free(now, w),
                 EventKind::Wake(w, strong) => self.on_wake(now, w, strong),
-                EventKind::PlaceFail(p) => self.on_place_fail(now, p),
+                EventKind::PlaceFail(p, hard) => self.on_place_fail(now, p, hard),
                 EventKind::PlaceRestart(p) => self.on_place_restart(now, p),
             }
         }
@@ -910,7 +920,7 @@ impl<'p> Engine<'p> {
         // A task landing at a dead place was in flight when the place
         // failed (or was queued behind the failure event): recover it.
         if self.faulty && !self.alive[place.index()] {
-            self.recover_task(now, task, place);
+            self.recover_task(now, task, place, 0);
             return;
         }
         let meta = TaskMeta {

@@ -26,6 +26,12 @@ pub struct FaultConfig {
     /// Fail-stop kills: `(place, virtual time)`. Place 0 must not be
     /// killed (it hosts the root activity and the recovery fallback).
     pub kills: Vec<(PlaceId, u64)>,
+    /// Hard (SIGKILL-style) kills: the place dies silently, so its
+    /// tasks are recovered only after silence detection *plus* the
+    /// lease grace (`detect_ns + lease_timeout_ns`) instead of the
+    /// EOF-announced `detect_ns` of a graceful kill. Place 0 must not
+    /// be killed.
+    pub hard_kills: Vec<(PlaceId, u64)>,
     /// Restarts of previously killed places: `(place, virtual time)`.
     pub restarts: Vec<(PlaceId, u64)>,
     /// Straggler multipliers: `(place, factor ≥ 1.0)` applied to every
@@ -49,6 +55,7 @@ impl Default for FaultConfig {
         FaultConfig {
             net: FaultPlan::default(),
             kills: Vec::new(),
+            hard_kills: Vec::new(),
             restarts: Vec::new(),
             slow: Vec::new(),
             retry: RetryPolicy::default(),
@@ -65,13 +72,14 @@ impl FaultConfig {
     pub fn is_empty(&self) -> bool {
         self.net.is_empty()
             && self.kills.is_empty()
+            && self.hard_kills.is_empty()
             && self.restarts.is_empty()
             && self.slow.iter().all(|(_, f)| *f == 1.0)
     }
 
     /// Validate against a cluster of `places` places.
     pub fn validate(&self, places: u32) -> Result<(), String> {
-        for (p, _) in &self.kills {
+        for (p, _) in self.kills.iter().chain(&self.hard_kills) {
             if p.0 == 0 {
                 return Err("place 0 hosts the root activity and cannot be killed".into());
             }
@@ -80,7 +88,12 @@ impl FaultConfig {
             }
         }
         for (p, t) in &self.restarts {
-            if !self.kills.iter().any(|(kp, kt)| kp == p && kt < t) {
+            let killed_earlier = self
+                .kills
+                .iter()
+                .chain(&self.hard_kills)
+                .any(|(kp, kt)| kp == p && kt < t);
+            if !killed_earlier {
                 return Err(format!("restart of place {} without an earlier kill", p.0));
             }
         }
@@ -181,6 +194,7 @@ fn parse_edge(s: &str) -> Result<(u32, u32), String> {
 /// | `spike=P:DUR` | with probability `P`, add `DUR` latency |
 /// | `partition=A-B@T1..T2` | cut link `A-B` during `[T1, T2)` |
 /// | `kill=P@T` | fail-stop place `P` at time `T` (never place 0) |
+/// | `kill!=P@T` | hard-kill (SIGKILL): silent death, recovery waits out silence detection + lease grace |
 /// | `restart=P@T` | restart a killed place `P` at time `T` |
 /// | `slow=P:F` | multiply place `P` task durations by `F ≥ 1` |
 ///
@@ -202,6 +216,8 @@ pub struct FaultSpec {
     pub partitions: Vec<(u32, u32, TimeSpec, TimeSpec)>,
     /// Fail-stop kills `(place, at)`.
     pub kills: Vec<(u32, TimeSpec)>,
+    /// Hard (SIGKILL) kills `(place, at)`.
+    pub hard_kills: Vec<(u32, TimeSpec)>,
     /// Restarts `(place, at)`.
     pub restarts: Vec<(u32, TimeSpec)>,
     /// Straggler factors `(place, factor)`.
@@ -248,7 +264,8 @@ impl FaultSpec {
                     spec.partitions
                         .push((a, b, parse_time(t1)?, parse_time(t2)?));
                 }
-                "kill" => {
+                "kill" | "kill!" => {
+                    let hard = key.trim() == "kill!";
                     let (p, t) = val
                         .split_once('@')
                         .ok_or_else(|| format!("kill '{val}' must be 'P@T'"))?;
@@ -256,7 +273,11 @@ impl FaultSpec {
                     if p == 0 {
                         return Err("cannot kill place 0 (hosts the root activity)".into());
                     }
-                    spec.kills.push((p, parse_time(t)?));
+                    if hard {
+                        spec.hard_kills.push((p, parse_time(t)?));
+                    } else {
+                        spec.kills.push((p, parse_time(t)?));
+                    }
                 }
                 "restart" => {
                     let (p, t) = val
@@ -291,6 +312,7 @@ impl FaultSpec {
             || self.spike.as_ref().is_some_and(|(_, d)| pct(d))
             || self.partitions.iter().any(|(_, _, a, b)| pct(a) || pct(b))
             || self.kills.iter().any(|(_, t)| pct(t))
+            || self.hard_kills.iter().any(|(_, t)| pct(t))
             || self.restarts.iter().any(|(_, t)| pct(t))
     }
 
@@ -343,6 +365,10 @@ impl FaultSpec {
                 cfg.kills
                     .push((PlaceId(p), t.resolve(baseline_makespan_ns)));
             }
+            for &(p, t) in &self.hard_kills {
+                cfg.hard_kills
+                    .push((PlaceId(p), t.resolve(baseline_makespan_ns)));
+            }
             for &(p, t) in &self.restarts {
                 cfg.restarts
                     .push((PlaceId(p), t.resolve(baseline_makespan_ns)));
@@ -379,8 +405,31 @@ mod tests {
     }
 
     #[test]
+    fn hard_kill_parses_separately() {
+        let s = FaultSpec::parse("kill=1@10us, kill!=2@20us, restart=2@40us").unwrap();
+        assert_eq!(s.kills, vec![(1, TimeSpec::Ns(10_000))]);
+        assert_eq!(s.hard_kills, vec![(2, TimeSpec::Ns(20_000))]);
+        let cfg = s.resolve(0, 1.0, 1);
+        assert_eq!(cfg.hard_kills, vec![(PlaceId(2), 20_000)]);
+        // A restart after a hard kill validates (hard kills count as
+        // kills for the restart-ordering rule).
+        assert!(cfg.validate(4).is_ok());
+        // A hard kill alone makes the config non-empty.
+        let only = FaultSpec::parse("kill!=1@5us").unwrap().resolve(0, 1.0, 1);
+        assert!(!only.is_empty());
+    }
+
+    #[test]
     fn rejects_bad_specs() {
         assert!(FaultSpec::parse("kill=0@10us").is_err(), "place 0");
+        assert!(
+            FaultSpec::parse("kill!=0@10us").is_err(),
+            "hard kill place 0"
+        );
+        assert!(
+            FaultSpec::parse("kill!=3").is_err(),
+            "hard kill missing @time"
+        );
         assert!(FaultSpec::parse("drop=1.5").is_err(), "prob > 1");
         assert!(FaultSpec::parse("jitter=100").is_err(), "unitless time");
         assert!(FaultSpec::parse("slow=1:0.5").is_err(), "factor < 1");
