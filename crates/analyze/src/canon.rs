@@ -1,0 +1,714 @@
+//! Symmetry canonicalization and compact bit-packed state keys for
+//! the protocol model ([`crate::protocol`]).
+//!
+//! ## The orbit argument
+//!
+//! Scenario-identical places and class-identical tasks are
+//! interchangeable: relabeling them maps reachable states to reachable
+//! states and violations to violations (modulo task indices inside
+//! messages, which the verdicts never pin). Memoizing states under any
+//! fixed *orbit member* — not necessarily a unique canonical form — is
+//! therefore a sound quotient: if `canon(s)` ∈ orbit(s) for every `s`,
+//! two states with the same key are genuinely symmetric, and the
+//! exploration of one covers the other. A greedy, non-invariant
+//! canonicalizer only costs reduction quality (states in the same
+//! orbit may land on different keys), never soundness.
+//!
+//! Concretely:
+//!
+//! * **Places** `p ≥ 1` that no task calls home (and that no fault
+//!   targets) are fully symmetric: the model references them only
+//!   through uniform iteration. The canonicalizer tries every
+//!   permutation of that group — worker blocks, place-indexed masks
+//!   (`Remote::untried`, `Lease::InDoubt::answered`), liveness and
+//!   epoch arrays move along — and keeps the lexicographically
+//!   smallest packed key.
+//! * **Tasks** in the same static class — same home, sensitivity and
+//!   parent, and childless (a parent's identity is pinned by its
+//!   children's `parent` references) — are sorted within the class's
+//!   original index slots by their dynamic signature.
+//! * **Workers** are relabeled *across* places by the place
+//!   permutation (blocks move wholesale, preserving intra-place
+//!   order). Within a place they are deliberately *not* sorted: the
+//!   model's deterministic delivery-target and dormant-wake rules make
+//!   the intra-place index order observable, so within-place swaps are
+//!   not automorphisms.
+//!
+//! ## Fault gating
+//!
+//! The interchangeability argument for tasks leans on per-task fault
+//! state (duplicate ghosts, custody leases) being either absent or
+//! determined by the task's location. That holds exactly for
+//! fault-free [`Era::Sim`] scenarios — which is the scale tier the
+//! symmetry quotient exists for. Fault and cluster scenarios get
+//! [`raw_key`] under reduced mode too (partial-order reduction still
+//! applies); the `--compare` cross-validation re-verifies verdict
+//! agreement either way.
+//!
+//! ## Packed keys
+//!
+//! Keys are fixed-size `[u64; 13]` bit-strings (no heap allocation in
+//! the memo table, unlike hashing the working `State` with its five
+//! `Vec`s). Fields are written in a fixed order with widths determined
+//! by already-written discriminants, so the encoding is prefix-
+//! decodable and injective for states of one scenario.
+
+use crate::protocol::{Era, Lease, Loc, Phase, ProtocolScenario, State};
+
+/// Words per packed key: 832 bits, enough for the asserted maxima
+/// (8 places, 16 workers, 16 tasks — ≤ 630 bits worst case).
+pub(crate) const KEY_WORDS: usize = 13;
+
+/// A packed state key (raw or canonical).
+pub(crate) type Key = [u64; KEY_WORDS];
+
+struct BitWriter {
+    words: Key,
+    bit: usize,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter {
+            words: [0; KEY_WORDS],
+            bit: 0,
+        }
+    }
+
+    /// Append `width` (≤ 32) low bits of `v`.
+    fn push(&mut self, v: u64, width: usize) {
+        debug_assert!(width <= 32 && (width == 64 || v < (1u64 << width)));
+        let mut v = v;
+        let mut width = width;
+        while width > 0 {
+            let word = self.bit / 64;
+            let off = self.bit % 64;
+            let take = (64 - off).min(width);
+            assert!(word < KEY_WORDS, "state key overflow");
+            let mask = (1u64 << take) - 1;
+            self.words[word] |= (v & mask) << off;
+            v >>= take;
+            width -= take;
+            self.bit += take;
+        }
+    }
+}
+
+fn pack(sc: &ProtocolScenario, s: &State) -> Key {
+    let mut w = BitWriter::new();
+    assert!((-16..112).contains(&s.latch), "latch encoding range");
+    w.push((s.latch + 16) as u64, 8);
+    for p in 0..sc.places as usize {
+        w.push(s.alive[p] as u64, 1);
+        debug_assert!(s.epochs[p] < 4, "epoch encoding range");
+        w.push((s.epochs[p] & 3) as u64, 2);
+    }
+    debug_assert!(s.drops_left < 4 && s.dups_left < 4);
+    w.push((s.drops_left & 3) as u64, 2);
+    w.push((s.dups_left & 3) as u64, 2);
+    w.push(s.killed as u64, 1);
+    w.push(s.restarted as u64, 1);
+    for ph in &s.phases {
+        match *ph {
+            Phase::Idle => w.push(0, 3),
+            Phase::Probe => w.push(1, 3),
+            Phase::CoWorker => w.push(2, 3),
+            Phase::LocalShared => w.push(3, 3),
+            Phase::Remote { untried, probed } => {
+                w.push(4, 3);
+                w.push(untried as u64, 8);
+                w.push(probed as u64, 1);
+            }
+            Phase::Busy { task } => {
+                w.push(5, 3);
+                w.push(task as u64, 4);
+            }
+            Phase::Dormant => w.push(6, 3),
+            Phase::Dead => w.push(7, 3),
+        }
+    }
+    for t in 0..s.tasks.len() {
+        match s.tasks[t] {
+            Loc::NotSpawned => w.push(0, 3),
+            Loc::InFlight { to } => {
+                w.push(1, 3);
+                w.push(to as u64, 3);
+            }
+            Loc::Private { w: pw } => {
+                w.push(2, 3);
+                w.push(pw as u64, 4);
+            }
+            Loc::Shared { p } => {
+                w.push(3, 3);
+                w.push(p as u64, 3);
+            }
+            Loc::Running { w: pw } => {
+                w.push(4, 3);
+                w.push(pw as u64, 4);
+            }
+            Loc::Done => w.push(5, 3),
+            Loc::Lost => w.push(6, 3),
+            Loc::Vanished => w.push(7, 3),
+        }
+        w.push(s.exec[t].min(3) as u64, 2);
+        w.push(((s.migrated >> t) & 1) as u64, 1);
+        let ghost = (s.dup_ghost >> t) & 1;
+        w.push(ghost as u64, 1);
+        if ghost != 0 {
+            w.push(((s.stale_ghost >> t) & 1) as u64, 1);
+            w.push((s.dup_dest[t] & 7) as u64, 3);
+        }
+        match s.lease[t] {
+            Lease::None => w.push(0, 2),
+            Lease::Held { p, e } => {
+                w.push(1, 2);
+                w.push(p as u64, 3);
+                w.push((e & 3) as u64, 2);
+            }
+            Lease::InDoubt { answered } => {
+                w.push(2, 2);
+                w.push(answered as u64, 8);
+            }
+        }
+    }
+    w.words
+}
+
+/// The identity key: the state packed as-is. Used by full
+/// (unreduced) exploration and by every scenario the symmetry
+/// argument does not cover.
+pub(crate) fn raw_key(sc: &ProtocolScenario, s: &State) -> Key {
+    pack(sc, s)
+}
+
+/// Does the task-interchangeability argument cover this scenario?
+fn sym_eligible(sc: &ProtocolScenario) -> bool {
+    sc.era == Era::Sim
+        && sc.faults.max_drops == 0
+        && sc.faults.max_dups == 0
+        && sc.faults.kill_place.is_none()
+}
+
+/// The fully symmetric place group: non-zero places no task calls
+/// home. (Place 0 hosts recovery; fault targets are excluded by
+/// [`sym_eligible`].)
+fn free_places(sc: &ProtocolScenario) -> Vec<u8> {
+    (1..sc.places)
+        .filter(|&p| sc.tasks.iter().all(|t| t.home != p))
+        .collect()
+}
+
+/// All permutations of `items` (Heap's algorithm, iterative clone).
+fn perms(items: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut v = items.to_vec();
+    fn rec(v: &mut Vec<u8>, k: usize, out: &mut Vec<Vec<u8>>) {
+        if k <= 1 {
+            out.push(v.clone());
+            return;
+        }
+        for i in 0..k {
+            rec(v, k - 1, out);
+            if k.is_multiple_of(2) {
+                v.swap(i, k - 1);
+            } else {
+                v.swap(0, k - 1);
+            }
+        }
+    }
+    let k = v.len();
+    rec(&mut v, k, &mut out);
+    out
+}
+
+/// Permute a place-index bitmask through `pm`.
+fn perm_mask(mask: u8, pm: &[u8]) -> u8 {
+    let mut out = 0u8;
+    for (p, &to) in pm.iter().enumerate() {
+        if mask & (1 << p) != 0 {
+            out |= 1 << to;
+        }
+    }
+    out
+}
+
+/// Hard bound used by the fixed scratch arrays in the hot path.
+const MAX_TASKS: usize = 16;
+
+/// Precomputed per-scenario canonicalization tables: the free-place
+/// permutation group (with inverses) and the slot lists of task
+/// classes with ≥ 2 interchangeable members. Built once per
+/// exploration so the per-state hot path ([`Canonizer::key`]) does no
+/// static recomputation and no intermediate `State` materialization.
+pub(crate) struct Canonizer {
+    eligible: bool,
+    group: Vec<u8>,
+    group_mask: u8,
+    /// `(pm, inv)` pairs over all places; `pm[p]` is where `p` lands.
+    /// The identity mapping is always first.
+    perms: Vec<(Vec<u8>, Vec<u8>)>,
+    classes: Vec<Vec<usize>>,
+}
+
+impl Canonizer {
+    pub(crate) fn new(sc: &ProtocolScenario) -> Canonizer {
+        let eligible = sym_eligible(sc);
+        let group = if eligible {
+            free_places(sc)
+        } else {
+            Vec::new()
+        };
+        assert!(group.len() <= 5, "place permutation group too large");
+        assert!(
+            sc.tasks.len() <= MAX_TASKS,
+            "task count exceeds scratch bound"
+        );
+        let identity: Vec<u8> = (0..sc.places).collect();
+        let mut pms = Vec::new();
+        if group.len() > 1 {
+            for perm in perms(&group) {
+                let mut pm = identity.clone();
+                for (i, &g) in group.iter().enumerate() {
+                    pm[g as usize] = perm[i];
+                }
+                let mut inv = vec![0u8; pm.len()];
+                for (p, &q) in pm.iter().enumerate() {
+                    inv[q as usize] = p as u8;
+                }
+                pms.push((pm, inv));
+            }
+        } else {
+            pms.push((identity.clone(), identity));
+        }
+        debug_assert!(pms[0].0.iter().enumerate().all(|(p, &q)| p as u8 == q));
+        // Static class id per task: childless tasks share a class with
+        // equals; parents are singletons (children pin their identity).
+        let n_tasks = sc.tasks.len();
+        let has_children: Vec<bool> = (0..n_tasks)
+            .map(|t| sc.tasks.iter().any(|c| c.parent == Some(t)))
+            .collect();
+        let class_of = |t: usize| -> (u8, bool, i8, i8) {
+            let mt = &sc.tasks[t];
+            (
+                mt.home,
+                mt.sensitive,
+                mt.parent.map(|p| p as i8).unwrap_or(-1),
+                if has_children[t] { t as i8 } else { -1 },
+            )
+        };
+        let mut classes = Vec::new();
+        let mut grouped = vec![false; n_tasks];
+        for i in 0..n_tasks {
+            if grouped[i] {
+                continue;
+            }
+            let ci = class_of(i);
+            let slots: Vec<usize> = (i..n_tasks).filter(|&t| class_of(t) == ci).collect();
+            for &t in &slots {
+                grouped[t] = true;
+            }
+            if slots.len() > 1 {
+                classes.push(slots);
+            }
+        }
+        Canonizer {
+            eligible,
+            group_mask: group.iter().fold(0, |m, &g| m | (1 << g)),
+            group,
+            perms: pms,
+            classes,
+        }
+    }
+
+    /// The canonical key: the lexicographically smallest packed key
+    /// over the explored symmetry group (place permutations ×
+    /// class-internal task sorting). Falls back to [`raw_key`] for
+    /// scenarios outside the interchangeability argument
+    /// ([`sym_eligible`]).
+    pub(crate) fn key(&self, sc: &ProtocolScenario, s: &State) -> Key {
+        if !self.eligible {
+            return pack(sc, s);
+        }
+        // When the free places are literally uniform — identical
+        // worker-phase blocks and nothing anywhere referencing any of
+        // them — every group permutation leaves the state invariant,
+        // so the identity alone is already canonical.
+        let perms: &[(Vec<u8>, Vec<u8>)] = if self.perms.len() > 1 && !self.frees_uniform(sc, s) {
+            &self.perms
+        } else {
+            &self.perms[..1]
+        };
+        // Identity first (no pruning reference yet), then every other
+        // permutation packs against the best-so-far and aborts as soon
+        // as a finished 64-bit word of its output exceeds the
+        // reference prefix — most challengers die on the first word.
+        let mut best = self
+            .pack_mapped(sc, s, &perms[0].0, &perms[0].1, None)
+            .expect("identity permutation never prunes");
+        for (pm, inv_pm) in &perms[1..] {
+            if let Some(k) = self.pack_mapped(sc, s, pm, inv_pm, Some(&best)) {
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Are all free places pairwise indistinguishable in `s` — equal
+    /// liveness/epoch/worker blocks, and no task location or sweep
+    /// mask referencing the group? (A false negative only costs
+    /// speed; a `true` means every group permutation is a stabilizer.)
+    fn frees_uniform(&self, sc: &ProtocolScenario, s: &State) -> bool {
+        let wpp = sc.workers_per_place as usize;
+        let g0 = self.group[0] as usize;
+        for &g in &self.group[1..] {
+            let g = g as usize;
+            if s.alive[g] != s.alive[g0] || s.epochs[g] != s.epochs[g0] {
+                return false;
+            }
+            for j in 0..wpp {
+                if s.phases[g * wpp + j] != s.phases[g0 * wpp + j] {
+                    return false;
+                }
+            }
+        }
+        for ph in &s.phases {
+            if let Phase::Remote { untried, .. } = ph {
+                if untried & self.group_mask != 0 {
+                    return false;
+                }
+            }
+        }
+        for t in 0..s.tasks.len() {
+            let touches = match s.tasks[t] {
+                Loc::InFlight { to } => self.group_mask & (1 << to) != 0,
+                Loc::Shared { p } => self.group_mask & (1 << p) != 0,
+                Loc::Private { w } | Loc::Running { w } => {
+                    self.group_mask & (1 << (w as usize / wpp)) != 0
+                }
+                _ => false,
+            };
+            if touches {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pack `s` as if the place permutation `pm` and the class-internal
+    /// task sort had been applied, without materializing either: bit
+    /// output is identical to `pack(sort_tasks(apply_place_perm(s)))`.
+    ///
+    /// With `best` given, the pack is abandoned (`None`) as soon as a
+    /// completed prefix of the output compares greater than `best` —
+    /// that permutation cannot yield the minimum. Once a prefix
+    /// compares *smaller*, checking stops and the full key is
+    /// returned.
+    fn pack_mapped(
+        &self,
+        sc: &ProtocolScenario,
+        s: &State,
+        pm: &[u8],
+        inv_pm: &[u8],
+        best: Option<&Key>,
+    ) -> Option<Key> {
+        let n_tasks = sc.tasks.len();
+        let wpp = sc.workers_per_place as usize;
+        let wmap = |w: u8| -> u8 { pm[w as usize / wpp] * wpp as u8 + (w % wpp as u8) };
+        // The class-internal task sort is computed lazily: pruned
+        // permutations usually die on a phase-prefix word before any
+        // task index is ever emitted, and then never pay for it.
+        let mut ord: Option<([u8; MAX_TASKS], [u8; MAX_TASKS])> = None;
+
+        let mut w = BitWriter::new();
+        // Incremental lexicographic comparison against `best`: words
+        // below `bit/64` are final, so any divergence there decides
+        // the whole key's ordering.
+        let mut checking = best.is_some();
+        let mut cmp_word = 0usize;
+        let check = |w: &BitWriter, checking: &mut bool, cmp_word: &mut usize| -> bool {
+            if *checking {
+                let bestk = best.expect("checking implies a reference key");
+                let upto = w.bit / 64;
+                while *cmp_word < upto {
+                    match w.words[*cmp_word].cmp(&bestk[*cmp_word]) {
+                        std::cmp::Ordering::Less => {
+                            *checking = false;
+                            break;
+                        }
+                        std::cmp::Ordering::Greater => return false,
+                        std::cmp::Ordering::Equal => *cmp_word += 1,
+                    }
+                }
+            }
+            true
+        };
+        assert!((-16..112).contains(&s.latch), "latch encoding range");
+        w.push((s.latch + 16) as u64, 8);
+        for &src in inv_pm.iter().take(sc.places as usize) {
+            let p = src as usize;
+            w.push(s.alive[p] as u64, 1);
+            debug_assert!(s.epochs[p] < 4, "epoch encoding range");
+            w.push((s.epochs[p] & 3) as u64, 2);
+        }
+        debug_assert!(s.drops_left < 4 && s.dups_left < 4);
+        w.push((s.drops_left & 3) as u64, 2);
+        w.push((s.dups_left & 3) as u64, 2);
+        w.push(s.killed as u64, 1);
+        w.push(s.restarted as u64, 1);
+        for &src in inv_pm.iter().take(sc.places as usize) {
+            let p = src as usize;
+            for j in 0..wpp {
+                match s.phases[p * wpp + j] {
+                    Phase::Idle => w.push(0, 3),
+                    Phase::Probe => w.push(1, 3),
+                    Phase::CoWorker => w.push(2, 3),
+                    Phase::LocalShared => w.push(3, 3),
+                    Phase::Remote { untried, probed } => {
+                        w.push(4, 3);
+                        w.push(perm_mask(untried, pm) as u64, 8);
+                        w.push(probed as u64, 1);
+                    }
+                    Phase::Busy { task } => {
+                        let (_, inv_task) = ord.get_or_insert_with(|| self.task_order(sc, s, pm));
+                        w.push(5, 3);
+                        w.push(inv_task[task as usize] as u64, 4);
+                    }
+                    Phase::Dormant => w.push(6, 3),
+                    Phase::Dead => w.push(7, 3),
+                }
+            }
+            if !check(&w, &mut checking, &mut cmp_word) {
+                return None;
+            }
+        }
+        let (order, _) = *ord.get_or_insert_with(|| self.task_order(sc, s, pm));
+        for &slot_t in order.iter().take(n_tasks) {
+            let t = slot_t as usize;
+            match s.tasks[t] {
+                Loc::NotSpawned => w.push(0, 3),
+                Loc::InFlight { to } => {
+                    w.push(1, 3);
+                    w.push(pm[to as usize] as u64, 3);
+                }
+                Loc::Private { w: pw } => {
+                    w.push(2, 3);
+                    w.push(wmap(pw) as u64, 4);
+                }
+                Loc::Shared { p } => {
+                    w.push(3, 3);
+                    w.push(pm[p as usize] as u64, 3);
+                }
+                Loc::Running { w: pw } => {
+                    w.push(4, 3);
+                    w.push(wmap(pw) as u64, 4);
+                }
+                Loc::Done => w.push(5, 3),
+                Loc::Lost => w.push(6, 3),
+                Loc::Vanished => w.push(7, 3),
+            }
+            w.push(s.exec[t].min(3) as u64, 2);
+            w.push(((s.migrated >> t) & 1) as u64, 1);
+            let ghost = (s.dup_ghost >> t) & 1;
+            w.push(ghost as u64, 1);
+            if ghost != 0 {
+                w.push(((s.stale_ghost >> t) & 1) as u64, 1);
+                let dest = s.dup_dest[t];
+                let dest = if dest == 255 { dest } else { pm[dest as usize] };
+                w.push((dest & 7) as u64, 3);
+            }
+            match s.lease[t] {
+                Lease::None => w.push(0, 2),
+                Lease::Held { p, e } => {
+                    w.push(1, 2);
+                    w.push(pm[p as usize] as u64, 3);
+                    w.push((e & 3) as u64, 2);
+                }
+                Lease::InDoubt { answered } => {
+                    w.push(2, 2);
+                    w.push(perm_mask(answered, pm) as u64, 8);
+                }
+            }
+            if !check(&w, &mut checking, &mut cmp_word) {
+                return None;
+            }
+        }
+        Some(w.words)
+    }
+
+    /// `order[slot]` = which old task index lands in `slot` after
+    /// sorting each class's members by their `pm`-mapped dynamic
+    /// signature (ties keep old index order, matching a stable sort),
+    /// plus the inverse mapping for `Busy` payloads.
+    fn task_order(
+        &self,
+        sc: &ProtocolScenario,
+        s: &State,
+        pm: &[u8],
+    ) -> ([u8; MAX_TASKS], [u8; MAX_TASKS]) {
+        let n_tasks = sc.tasks.len();
+        let wpp = sc.workers_per_place as usize;
+        let wmap = |w: u8| -> u8 { pm[w as usize / wpp] * wpp as u8 + (w % wpp as u8) };
+        let mut order = [0u8; MAX_TASKS];
+        for (t, o) in order.iter_mut().enumerate().take(n_tasks) {
+            *o = t as u8;
+        }
+        let mut sigs = [(0u64, 0u8); MAX_TASKS];
+        for class in &self.classes {
+            let m = class.len();
+            for (i, &t) in class.iter().enumerate() {
+                let loc = match s.tasks[t] {
+                    Loc::NotSpawned => 0u64,
+                    Loc::InFlight { to } => (1 << 8) | pm[to as usize] as u64,
+                    Loc::Private { w } => (2 << 8) | wmap(w) as u64,
+                    Loc::Shared { p } => (3 << 8) | pm[p as usize] as u64,
+                    Loc::Running { w } => (4 << 8) | wmap(w) as u64,
+                    Loc::Done => 5 << 8,
+                    Loc::Lost => 6 << 8,
+                    Loc::Vanished => 7 << 8,
+                };
+                let sig =
+                    (loc << 16) | ((s.exec[t] as u64) << 8) | (((s.migrated >> t) & 1) as u64);
+                sigs[i] = (sig, t as u8);
+            }
+            sigs[..m].sort_unstable();
+            for (slot, &(_, t)) in class.iter().zip(sigs[..m].iter()) {
+                order[*slot] = t;
+            }
+        }
+        let mut inv_task = [0u8; MAX_TASKS];
+        for (slot, &old) in order.iter().enumerate().take(n_tasks) {
+            inv_task[old as usize] = slot as u8;
+        }
+        (order, inv_task)
+    }
+}
+
+/// Convenience one-shot wrapper over [`Canonizer`] (tests only;
+/// exploration builds the tables once instead).
+#[cfg(test)]
+pub(crate) fn canonical_key(sc: &ProtocolScenario, s: &State) -> Key {
+    Canonizer::new(sc).key(sc, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{scenario_by_name, ModelFaults, ModelTask};
+
+    fn base(sc: &ProtocolScenario) -> State {
+        State {
+            tasks: crate::protocol::FixedVec::filled(Loc::NotSpawned, sc.tasks.len()),
+            exec: crate::protocol::FixedVec::filled(0, sc.tasks.len()),
+            lease: crate::protocol::FixedVec::filled(Lease::None, sc.tasks.len()),
+            migrated: 0,
+            dup_ghost: 0,
+            stale_ghost: 0,
+            dup_dest: crate::protocol::FixedVec::filled(255, sc.tasks.len()),
+            latch: 0,
+            phases: crate::protocol::FixedVec::filled(
+                Phase::Idle,
+                sc.places as usize * sc.workers_per_place as usize,
+            ),
+            alive: crate::protocol::FixedVec::filled(true, sc.places as usize),
+            epochs: crate::protocol::FixedVec::filled(0, sc.places as usize),
+            drops_left: 0,
+            dups_left: 0,
+            killed: false,
+            restarted: false,
+        }
+    }
+
+    fn scale_scenario() -> ProtocolScenario {
+        let sc = scenario_by_name("wide_fanout").unwrap();
+        assert!(sym_eligible(&sc));
+        assert_eq!(free_places(&sc), vec![1, 2, 3]);
+        sc
+    }
+
+    #[test]
+    fn raw_key_distinguishes_distinct_states() {
+        let sc = scale_scenario();
+        let a = base(&sc);
+        let mut b = a.clone();
+        b.tasks[0] = Loc::Shared { p: 1 };
+        let mut c = a.clone();
+        c.phases[3] = Phase::Remote {
+            untried: 0b1101,
+            probed: true,
+        };
+        assert_ne!(raw_key(&sc, &a), raw_key(&sc, &b));
+        assert_ne!(raw_key(&sc, &a), raw_key(&sc, &c));
+        assert_ne!(raw_key(&sc, &b), raw_key(&sc, &c));
+    }
+
+    #[test]
+    fn symmetric_place_relabelings_share_a_key() {
+        let sc = scale_scenario();
+        let mut a = base(&sc);
+        a.tasks[2] = Loc::Shared { p: 1 };
+        a.phases[2] = Phase::CoWorker; // worker block of place 1
+        let mut b = base(&sc);
+        b.tasks[2] = Loc::Shared { p: 3 };
+        b.phases[6] = Phase::CoWorker; // worker block of place 3
+        assert_ne!(raw_key(&sc, &a), raw_key(&sc, &b));
+        assert_eq!(canonical_key(&sc, &a), canonical_key(&sc, &b));
+    }
+
+    #[test]
+    fn class_internal_task_relabelings_share_a_key() {
+        let sc = scale_scenario();
+        // Tasks 2..=7 share a static class (sensitive, home 0, no parent).
+        let mut a = base(&sc);
+        a.tasks[2] = Loc::Done;
+        a.exec[2] = 1;
+        a.tasks[3] = Loc::Shared { p: 0 };
+        let mut b = base(&sc);
+        b.tasks[4] = Loc::Done;
+        b.exec[4] = 1;
+        b.tasks[2] = Loc::Shared { p: 0 };
+        assert_ne!(raw_key(&sc, &a), raw_key(&sc, &b));
+        assert_eq!(canonical_key(&sc, &a), canonical_key(&sc, &b));
+    }
+
+    #[test]
+    fn different_classes_never_merge() {
+        let sc = scale_scenario();
+        // Task 0 (flexible) and task 2 (sensitive) are distinct classes:
+        // swapping their dynamic state must produce distinct keys.
+        let mut a = base(&sc);
+        a.tasks[0] = Loc::Done;
+        a.exec[0] = 1;
+        let mut b = base(&sc);
+        b.tasks[2] = Loc::Done;
+        b.exec[2] = 1;
+        assert_ne!(canonical_key(&sc, &a), canonical_key(&sc, &b));
+    }
+
+    #[test]
+    fn fault_scenarios_fall_back_to_raw_keys() {
+        let sc = ProtocolScenario {
+            name: "t",
+            places: 3,
+            workers_per_place: 1,
+            tasks: vec![ModelTask {
+                home: 0,
+                sensitive: false,
+                parent: None,
+            }],
+            faults: ModelFaults {
+                max_drops: 1,
+                ..Default::default()
+            },
+            era: Era::Sim,
+            full_ok: true,
+        };
+        assert!(!sym_eligible(&sc));
+        let mut a = base(&sc);
+        a.drops_left = 1;
+        a.tasks[0] = Loc::Shared { p: 1 };
+        let mut b = base(&sc);
+        b.drops_left = 1;
+        b.tasks[0] = Loc::Shared { p: 2 };
+        assert_ne!(canonical_key(&sc, &a), canonical_key(&sc, &b));
+    }
+}

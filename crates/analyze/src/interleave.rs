@@ -37,7 +37,10 @@
 //! oldest element — and assert the checker reports violations,
 //! proving its detection power rather than assuming it.
 
-use std::collections::{BTreeSet, HashSet};
+use crate::reduce::{explore_system, Mode, StepClass, Succ, System};
+use std::collections::BTreeSet;
+
+pub use crate::reduce::Outcome;
 
 /// One owner-side deque operation in a scenario script.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,17 +81,6 @@ pub struct Scenario {
     pub initial_cap: usize,
     /// Injected bug, `None` for the faithful model.
     pub flaw: Option<Flaw>,
-}
-
-/// Result of exploring one scenario.
-#[derive(Debug, Clone)]
-pub struct Outcome {
-    /// Distinct global states visited.
-    pub states: u64,
-    /// Distinct quiescent (all-threads-done) states.
-    pub terminals: u64,
-    /// Property violations found on any path (deduplicated, sorted).
-    pub violations: Vec<String>,
 }
 
 /// A growable ring buffer version. Retired buffers stay readable —
@@ -465,38 +457,50 @@ impl Thief {
     }
 }
 
+/// The deque model plugged into the shared exploration engine. Every
+/// micro-step is interleaving-sensitive shared-memory traffic, so no
+/// transition class is ample-eligible — the engine always expands in
+/// full here; the reuse buys the shared memoization/terminal plumbing
+/// and the stats surface.
+struct DequeSys<'a> {
+    sc: &'a Scenario,
+}
+
+impl System for DequeSys<'_> {
+    type State = State;
+    type Key = State;
+
+    fn initial(&self) -> State {
+        State::init(self.sc)
+    }
+
+    fn successors(&self, st: &State, bad: &mut BTreeSet<String>) -> Vec<Succ<State>> {
+        st.runnable(self.sc)
+            .into_iter()
+            .map(|tid| {
+                let mut next = st.clone();
+                next.step(tid, self.sc, bad);
+                Succ {
+                    state: next,
+                    class: StepClass::Other,
+                }
+            })
+            .collect()
+    }
+
+    fn check_terminal(&self, st: &State, bad: &mut BTreeSet<String>) {
+        st.quiescence_checks(bad);
+    }
+
+    fn key(&self, s: &State) -> State {
+        s.clone()
+    }
+}
+
 /// Exhaustively explore every distinct interleaving of `s` and check
 /// all properties on every path and every quiescent state.
 pub fn explore(s: &Scenario) -> Outcome {
-    let mut seen: HashSet<State> = HashSet::new();
-    let mut bad: BTreeSet<String> = BTreeSet::new();
-    let mut terminals = 0u64;
-    let mut stack = vec![State::init(s)];
-    while let Some(st) = stack.pop() {
-        if seen.contains(&st) {
-            continue;
-        }
-        let runnable = st.runnable(s);
-        if runnable.is_empty() {
-            terminals += 1;
-            st.quiescence_checks(&mut bad);
-            seen.insert(st);
-            continue;
-        }
-        for tid in runnable {
-            let mut next = st.clone();
-            next.step(tid, s, &mut bad);
-            if !seen.contains(&next) {
-                stack.push(next);
-            }
-        }
-        seen.insert(st);
-    }
-    Outcome {
-        states: seen.len() as u64,
-        terminals,
-        violations: bad.into_iter().collect(),
-    }
+    explore_system(&DequeSys { sc: s }, Mode::Full, None).0
 }
 
 /// The checked-in scenario suite: every push/pop/steal contention
@@ -570,27 +574,26 @@ pub fn explore_fifo(scripts: &[Vec<FifoOp>]) -> Outcome {
         taken: BTreeSet<u64>,
         pushed: u64,
     }
-    let mut seen: HashSet<FState> = HashSet::new();
-    let mut bad: BTreeSet<String> = BTreeSet::new();
-    let mut terminals = 0u64;
-    let init = FState {
-        queue: Vec::new(),
-        len_cache: 0,
-        pcs: vec![0; scripts.len()],
-        next_val: 1,
-        taken: BTreeSet::new(),
-        pushed: 0,
-    };
-    let mut stack = vec![init];
-    while let Some(st) = stack.pop() {
-        if seen.contains(&st) {
-            continue;
+    struct FifoSys<'a> {
+        scripts: &'a [Vec<FifoOp>],
+    }
+
+    impl System for FifoSys<'_> {
+        type State = FState;
+        type Key = FState;
+
+        fn initial(&self) -> FState {
+            FState {
+                queue: Vec::new(),
+                len_cache: 0,
+                pcs: vec![0; self.scripts.len()],
+                next_val: 1,
+                taken: BTreeSet::new(),
+                pushed: 0,
+            }
         }
-        let runnable: Vec<usize> = (0..scripts.len())
-            .filter(|&i| st.pcs[i] < scripts[i].len())
-            .collect();
-        if runnable.is_empty() {
-            terminals += 1;
+
+        fn check_terminal(&self, st: &FState, bad: &mut BTreeSet<String>) {
             if st.len_cache != st.queue.len() {
                 bad.insert(format!(
                     "fifo: cached len {} != queue len {}",
@@ -601,60 +604,67 @@ pub fn explore_fifo(scripts: &[Vec<FifoOp>]) -> Outcome {
             if st.taken.len() as u64 + st.queue.len() as u64 != st.pushed {
                 bad.insert("fifo: lost or duplicated element".to_string());
             }
-            seen.insert(st);
-            continue;
         }
-        for tid in runnable {
-            let mut n = st.clone();
-            match scripts[tid][n.pcs[tid]] {
-                FifoOp::Push => {
-                    let v = n.next_val;
-                    n.next_val += 1;
-                    n.pushed += 1;
-                    n.queue.push(v);
-                    n.len_cache = n.queue.len();
-                }
-                FifoOp::Take => {
-                    if !n.queue.is_empty() {
-                        let oldest = *n.queue.iter().min().unwrap();
-                        let v = n.queue.remove(0);
-                        if v != oldest {
-                            bad.insert(format!("fifo: take returned {v}, oldest was {oldest}"));
-                        }
-                        if !n.taken.insert(v) {
-                            bad.insert(format!("fifo: value {v} taken twice"));
-                        }
-                    }
-                    n.len_cache = n.queue.len();
-                }
-                FifoOp::TakeChunk(c) => {
-                    let k = c.min(n.queue.len());
-                    let mut prev = 0u64;
-                    for _ in 0..k {
-                        let v = n.queue.remove(0);
-                        if v <= prev {
-                            bad.insert("fifo: chunk not in FIFO order".to_string());
-                        }
-                        prev = v;
-                        if !n.taken.insert(v) {
-                            bad.insert(format!("fifo: value {v} taken twice"));
-                        }
-                    }
-                    n.len_cache = n.queue.len();
-                }
-            }
-            n.pcs[tid] += 1;
-            if !seen.contains(&n) {
-                stack.push(n);
-            }
+
+        fn key(&self, s: &FState) -> FState {
+            s.clone()
         }
-        seen.insert(st);
+
+        fn successors(&self, st: &FState, bad: &mut BTreeSet<String>) -> Vec<Succ<FState>> {
+            let runnable: Vec<usize> = (0..self.scripts.len())
+                .filter(|&i| st.pcs[i] < self.scripts[i].len())
+                .collect();
+            let mut out = Vec::with_capacity(runnable.len());
+            for tid in runnable {
+                let mut n = st.clone();
+                match self.scripts[tid][n.pcs[tid]] {
+                    FifoOp::Push => {
+                        let v = n.next_val;
+                        n.next_val += 1;
+                        n.pushed += 1;
+                        n.queue.push(v);
+                        n.len_cache = n.queue.len();
+                    }
+                    FifoOp::Take => {
+                        if !n.queue.is_empty() {
+                            let oldest = *n.queue.iter().min().unwrap();
+                            let v = n.queue.remove(0);
+                            if v != oldest {
+                                bad.insert(format!("fifo: take returned {v}, oldest was {oldest}"));
+                            }
+                            if !n.taken.insert(v) {
+                                bad.insert(format!("fifo: value {v} taken twice"));
+                            }
+                        }
+                        n.len_cache = n.queue.len();
+                    }
+                    FifoOp::TakeChunk(c) => {
+                        let k = c.min(n.queue.len());
+                        let mut prev = 0u64;
+                        for _ in 0..k {
+                            let v = n.queue.remove(0);
+                            if v <= prev {
+                                bad.insert("fifo: chunk not in FIFO order".to_string());
+                            }
+                            prev = v;
+                            if !n.taken.insert(v) {
+                                bad.insert(format!("fifo: value {v} taken twice"));
+                            }
+                        }
+                        n.len_cache = n.queue.len();
+                    }
+                }
+                n.pcs[tid] += 1;
+                out.push(Succ {
+                    state: n,
+                    class: StepClass::Other,
+                });
+            }
+            out
+        }
     }
-    Outcome {
-        states: seen.len() as u64,
-        terminals,
-        violations: bad.into_iter().collect(),
-    }
+
+    explore_system(&FifoSys { scripts }, Mode::Full, None).0
 }
 
 /// The checked-in FIFO scenario: one producer, a local `take` consumer

@@ -24,9 +24,20 @@
 //!   re-probe, chunk sizes, migration wrapping and finish-latch
 //!   termination, explored over every schedule of small place/worker/
 //!   task configurations, with optional fault transitions (drop, dup,
-//!   fail-stop kill, restart) and seeded protocol mutants that the
-//!   checker must catch. Surface: `repro check protocol` and
+//!   fail-stop kill, restart), cluster-era recovery transitions
+//!   (incarnation epochs, custody polls, disown fences mirroring
+//!   `distws-cluster`) and seeded protocol mutants that the checker
+//!   must catch. Surface: `repro check protocol` and
 //!   `repro check mutants`.
+//! * [`reduce`] — the shared memoized-DFS exploration engine with
+//!   ample-set partial-order reduction (visited-proviso cycle guard),
+//!   used by both [`protocol`] and [`interleave`].
+//! * [`canon`] — symmetry canonicalization (place/task orbit
+//!   representatives) and compact bit-packed state keys for the
+//!   protocol model's reduced mode.
+//! * [`tla`] — a TLA+ exporter that renders a protocol scenario's
+//!   transition relation as a TLC-checkable module. Surface:
+//!   `repro check tla`.
 //! * [`conform`] — a steal-order conformance pass that replays real
 //!   `*.trace.jsonl` streams against the Algorithm 1 automaton: tier
 //!   monotonicity per worker round, success justification by prior
@@ -39,12 +50,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod canon;
 pub mod conform;
 pub mod hb;
 pub mod interleave;
 pub mod lexer;
 pub mod lint;
 pub mod protocol;
+pub mod reduce;
+pub mod tla;
 
 pub use conform::{conform_lines, conform_str, ConformConfig, ConformReport, ConformViolation};
 pub use hb::{validate_lines, validate_str, HbReport, HbViolation};
@@ -53,6 +67,9 @@ pub use interleave::{
 };
 pub use lint::{lint_source, lint_workspace, Rule, Violation};
 pub use protocol::{
-    check_protocol_all, check_protocol_mutants, explore_protocol, scenario_by_name, ModelFaults,
-    ModelTask, MutantCheck, ProtocolMutant, ProtocolScenario,
+    builtin_scenarios as protocol_scenarios, check_protocol_all, check_protocol_mutants, era_name,
+    explore_protocol, explore_protocol_mode, scenario_by_name, Era, ModelFaults, ModelTask,
+    MutantCheck, ProtocolMutant, ProtocolScenario,
 };
+pub use reduce::{ExploreStats, Mode};
+pub use tla::export_tla;

@@ -8,13 +8,17 @@
 //! chunk sizes, migration of flexible tasks, and finish-latch
 //! termination — plus the fault transitions of the fault-injection
 //! layer (message drop with lease reclaim, duplicate delivery,
-//! fail-stop place kill, restart).
+//! fail-stop place kill, restart) and, for [`Era::Cluster`] scenarios,
+//! the `distws-cluster` recovery protocol: incarnation-epoch fencing,
+//! custody polls (`TaskQuery`/`TaskAnswer`), lease settlement lag
+//! (`TaskMoved`), and the disown fence for stale-incarnation copies.
 //!
-//! The state space is explored by memoized DFS over small
-//! configurations (2–3 places × 1–2 workers × 3–5 tasks). Each state
-//! records every task's location, every worker's position inside the
-//! steal automaton, place liveness, and the finish latch. Transitions
-//! are generated from the protocol rules exported by
+//! Exploration runs on the shared engine ([`crate::reduce`]): memoized
+//! DFS with optional ample-set partial-order reduction, keyed either
+//! on the raw bit-packed state ([`crate::canon::raw_key`], full mode)
+//! or on a canonical symmetry-orbit representative
+//! ([`crate::canon::canonical_key`], reduced mode). Transitions are
+//! generated from the protocol rules exported by
 //! `distws_sched::protocol` — the same constants the real policies
 //! consume — while an independent set of checks validates each
 //! transition against Algorithm 1. The two code paths are deliberately
@@ -35,23 +39,38 @@
 //! | 19 | re-probe the network after a failed remote steal | `probed` flag inside [`Phase::Remote`] |
 //! | — | finish-latch quiescence | `Busy` finish step + terminal-state check |
 //!
+//! ## Cluster-era ↔ model transition map (`distws-cluster`)
+//!
+//! | Wire protocol | Model transition |
+//! |---|---|
+//! | place death (SIGKILL) | cluster kill: all workers die, located tasks → [`Loc::Vanished`] |
+//! | late `TaskMoved` from the dead incarnation | stale ghost (budgeted by `max_dups`), dropped by the disown fence |
+//! | coordinator death sweep | `SweepOpen`: a lease under a dead incarnation epoch → [`Lease::InDoubt`] |
+//! | `TaskQuery` / `TaskAnswer` | custody poll: each live place answers yes (settle) or no (accumulate) |
+//! | all live places disclaim | `Reinject`: the vanished task re-enters in flight toward home-or-0 |
+//! | `TaskMoved` settlement lag | `LeaseConfirm`: a migrated task's lease catches up to its holder |
+//! | restart (`Hello` with a new epoch) | cluster restart: `epochs[k] += 1`, dead workers rejoin idle |
+//!
 //! ## Properties proved (on every explored schedule)
 //!
 //! 1. **No sensitive migration** — a remote steal never takes a
 //!    sensitive task off its home place.
-//! 2. **Exactly-once** — no task id executes twice.
+//! 2. **Exactly-once** — no task id executes twice (including across
+//!    custody reinjection and stale-incarnation copies).
 //! 3. **No lost latch decrement** — every terminal state has the finish
 //!    latch at exactly zero.
 //! 4. **Termination** — every terminal (transition-free) state is fully
-//!    quiescent: all tasks `Done`, nothing in flight. (Schedules are
-//!    finite-state; livelocks that require an adversarial scheduler to
-//!    recur forever — e.g. perpetual steal ping-pong — exist in any
-//!    work-stealing system and are excluded probabilistically, exactly
-//!    as in the lifeline termination argument of Saraswat et al.)
+//!    quiescent: all tasks `Done`, nothing in flight, no custody left
+//!    in doubt. (Schedules are finite-state; livelocks that require an
+//!    adversarial scheduler to recur forever — e.g. perpetual steal
+//!    ping-pong — exist in any work-stealing system and are excluded
+//!    probabilistically, exactly as in the lifeline termination
+//!    argument of Saraswat et al.)
 
-use crate::interleave::Outcome;
+use crate::canon;
+use crate::reduce::{explore_system, ExploreStats, Mode, Outcome, StepClass, Succ, System};
 use distws_sched::protocol as proto;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 /// A task in a model scenario.
 #[derive(Debug, Clone, Copy)]
@@ -68,9 +87,11 @@ pub struct ModelTask {
 /// Optional fault transitions, mirroring the fault-injection layer's
 /// semantics: dropped migrate payloads are lease-reclaimed at the
 /// victim, duplicate deliveries are deduplicated by task id, a
-/// fail-stop kill recovers queued tasks elsewhere while running tasks
-/// finish at the next task boundary, and a restart rejoins the place
-/// empty-handed.
+/// fail-stop kill recovers queued tasks elsewhere, and a restart
+/// rejoins the place empty-handed. In [`Era::Cluster`] scenarios the
+/// kill is a real SIGKILL (running tasks vanish and recovery goes
+/// through the custody poll) and `max_dups` budgets late
+/// stale-incarnation `TaskMoved` copies instead of plain duplicates.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ModelFaults {
     /// Migrate payloads the network may drop (lease reclaim each).
@@ -82,6 +103,25 @@ pub struct ModelFaults {
     pub kill_place: Option<u8>,
     /// The killed place may rejoin once.
     pub restart: bool,
+}
+
+/// Which protocol generation a scenario models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Era {
+    /// The in-process simulator protocol of PRs 1–4: kills respect
+    /// task boundaries and recovery re-homes queued tasks directly.
+    Sim,
+    /// The `distws-cluster` protocol of PR 7: incarnation epochs,
+    /// custody polls, lease settlement lag and disown fences.
+    Cluster,
+}
+
+/// Stable lowercase era name (stats table, TLA+ header).
+pub fn era_name(era: Era) -> &'static str {
+    match era {
+        Era::Sim => "sim",
+        Era::Cluster => "cluster",
+    }
 }
 
 /// One model configuration to explore.
@@ -97,6 +137,13 @@ pub struct ProtocolScenario {
     pub tasks: Vec<ModelTask>,
     /// Fault transitions to explore.
     pub faults: ModelFaults,
+    /// Protocol generation.
+    pub era: Era,
+    /// Whether full (unreduced) exploration is feasible in CI budgets.
+    /// `false` marks the scale scenarios that exist to demonstrate the
+    /// reductions; `repro check protocol --full`/`--compare` skip them
+    /// unless capped.
+    pub full_ok: bool,
 }
 
 /// A protocol bug seeded into the transition *generator*. Every mutant
@@ -122,11 +169,17 @@ pub enum ProtocolMutant {
     /// Duplicate deliveries are re-mapped instead of discarded by the
     /// task-id dedup.
     DupDeliveryRemaps,
+    /// Cluster era: a late `TaskMoved` copy from a dead incarnation is
+    /// re-mapped instead of being dropped by the disown fence.
+    SkipDisownFence,
+    /// Cluster era: the death sweep accepts a lease held under a
+    /// stale incarnation epoch instead of opening a custody poll.
+    AcceptStaleEpochLease,
 }
 
 impl ProtocolMutant {
     /// All seeded mutants, in catch-test order.
-    pub const ALL: [ProtocolMutant; 7] = [
+    pub const ALL: [ProtocolMutant; 9] = [
         ProtocolMutant::SkipReprobe,
         ProtocolMutant::StealSensitiveRemotely,
         ProtocolMutant::LocalChunkTwo,
@@ -134,6 +187,8 @@ impl ProtocolMutant {
         ProtocolMutant::SkipLatchDecrement,
         ProtocolMutant::DropRecoveredTasks,
         ProtocolMutant::DupDeliveryRemaps,
+        ProtocolMutant::SkipDisownFence,
+        ProtocolMutant::AcceptStaleEpochLease,
     ];
 
     /// Stable display name.
@@ -146,6 +201,8 @@ impl ProtocolMutant {
             ProtocolMutant::SkipLatchDecrement => "skip-latch-decrement",
             ProtocolMutant::DropRecoveredTasks => "drop-recovered-tasks",
             ProtocolMutant::DupDeliveryRemaps => "dup-delivery-remaps",
+            ProtocolMutant::SkipDisownFence => "skip-disown-fence",
+            ProtocolMutant::AcceptStaleEpochLease => "accept-stale-epoch-lease",
         }
     }
 
@@ -159,13 +216,15 @@ impl ProtocolMutant {
             ProtocolMutant::SkipLatchDecrement => "saturation_mapping",
             ProtocolMutant::DropRecoveredTasks => "kill_recover",
             ProtocolMutant::DupDeliveryRemaps => "dup_delivery",
+            ProtocolMutant::SkipDisownFence => "cluster_reclaim",
+            ProtocolMutant::AcceptStaleEpochLease => "cluster_epoch",
         }
     }
 }
 
 /// Where a task is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Loc {
+pub(crate) enum Loc {
     /// Parent has not completed yet.
     NotSpawned,
     /// On the network, destined for place `to`.
@@ -180,11 +239,29 @@ enum Loc {
     Done,
     /// Forgotten by buggy fail-stop recovery (mutants only).
     Lost,
+    /// Cluster era: was located at an incarnation that died; only the
+    /// custody poll may bring it back.
+    Vanished,
+}
+
+/// Cluster-era custody of a task, as the coordinator sees it. The
+/// coordinator's view deliberately *lags* the ground truth
+/// ([`Loc`]) — settlement is a separate `LeaseConfirm` transition,
+/// which is exactly the window the PR 7 races live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Lease {
+    /// No custody claim (sim era, in flight, or done).
+    None,
+    /// Place `p` holds the task under incarnation epoch `e`.
+    Held { p: u8, e: u8 },
+    /// A death sweep opened a custody poll; `answered` is the bitmask
+    /// of places that have disclaimed custody so far.
+    InDoubt { answered: u8 },
 }
 
 /// A worker's position inside the Algorithm 1 steal automaton.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Phase {
+pub(crate) enum Phase {
     /// About to run line 9 (poll own private deque).
     Idle,
     /// Line 11: probe the network.
@@ -207,31 +284,153 @@ enum Phase {
     Dead,
 }
 
-/// One global model state.
+/// A fixed-capacity inline vector: derefs to a slice of its live
+/// prefix, compares/hashes by that prefix, and clones by `memcpy`.
+/// The model state is cloned once per generated transition — tens of
+/// millions of times per scale-tier run — and inline storage removes
+/// the seven heap round-trips a `Vec`-backed state paid per clone.
+#[derive(Clone, Copy)]
+pub(crate) struct FixedVec<T: Copy, const N: usize> {
+    buf: [T; N],
+    len: u8,
+}
+
+impl<T: Copy, const N: usize> FixedVec<T, N> {
+    pub(crate) fn filled(v: T, len: usize) -> FixedVec<T, N> {
+        assert!(len <= N, "FixedVec capacity exceeded");
+        FixedVec {
+            buf: [v; N],
+            len: len as u8,
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> From<Vec<T>> for FixedVec<T, N> {
+    fn from(v: Vec<T>) -> FixedVec<T, N> {
+        assert!(!v.is_empty() && v.len() <= N, "FixedVec capacity");
+        let mut buf = [v[0]; N];
+        buf[..v.len()].copy_from_slice(&v);
+        FixedVec {
+            buf,
+            len: v.len() as u8,
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> std::ops::Deref for FixedVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl<T: Copy, const N: usize> std::ops::DerefMut for FixedVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.buf[..self.len as usize]
+    }
+}
+
+impl<'a, T: Copy, const N: usize> IntoIterator for &'a FixedVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq for FixedVec<T, N> {
+    fn eq(&self, other: &FixedVec<T, N>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: Copy + Eq, const N: usize> Eq for FixedVec<T, N> {}
+
+impl<T: Copy + std::hash::Hash, const N: usize> std::hash::Hash for FixedVec<T, N> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl<T: Copy + std::fmt::Debug, const N: usize> std::fmt::Debug for FixedVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self[..].fmt(f)
+    }
+}
+
+/// One global model state. Task-indexed arrays are bounded by the
+/// canonicalizer's 16-task scratch limit; place/worker arrays by the
+/// packed key's 8-place / 16-worker encoding widths.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct State {
-    tasks: Vec<Loc>,
+pub(crate) struct State {
+    pub(crate) tasks: FixedVec<Loc, 16>,
     /// Executions per task (exactly-once ⇒ never exceeds 1).
-    exec: Vec<u8>,
+    pub(crate) exec: FixedVec<u8, 16>,
+    /// Cluster era: the coordinator's custody view per task.
+    pub(crate) lease: FixedVec<Lease, 16>,
     /// Tasks that ever migrated off their home place (bitmask).
-    migrated: u16,
+    pub(crate) migrated: u16,
     /// Tasks with a duplicate delivery still in flight (bitmask).
-    dup_ghost: u16,
+    pub(crate) dup_ghost: u16,
+    /// Ghosts that are stale-incarnation `TaskMoved` copies (bitmask;
+    /// subset of `dup_ghost`): the disown fence must drop them.
+    pub(crate) stale_ghost: u16,
     /// Ghost destination per task (255 = none).
-    dup_dest: Vec<u8>,
-    latch: i16,
-    phases: Vec<Phase>,
-    alive: Vec<bool>,
-    drops_left: u8,
-    dups_left: u8,
-    killed: bool,
-    restarted: bool,
+    pub(crate) dup_dest: FixedVec<u8, 16>,
+    pub(crate) latch: i16,
+    pub(crate) phases: FixedVec<Phase, 16>,
+    pub(crate) alive: FixedVec<bool, 8>,
+    /// Cluster era: per-place incarnation epoch (bumped on restart).
+    pub(crate) epochs: FixedVec<u8, 8>,
+    pub(crate) drops_left: u8,
+    pub(crate) dups_left: u8,
+    pub(crate) killed: bool,
+    pub(crate) restarted: bool,
 }
 
 /// Scenario + mutant context shared by the transition generator.
 struct Ctx<'a> {
     sc: &'a ProtocolScenario,
     mutant: Option<ProtocolMutant>,
+}
+
+/// Fixed-capacity task-index list for the successor hot path. The
+/// generator builds several of these per worker per state; collecting
+/// them into heap `Vec`s was a measurable slice of exploration wall
+/// time at the scale tier. Capacity matches the canonicalizer's
+/// 16-task scratch bound.
+#[derive(Clone, Copy)]
+struct TaskBuf {
+    buf: [u8; 16],
+    len: usize,
+}
+
+impl TaskBuf {
+    fn new() -> TaskBuf {
+        TaskBuf {
+            buf: [0; 16],
+            len: 0,
+        }
+    }
+    fn push(&mut self, t: usize) {
+        self.buf[self.len] = t as u8;
+        self.len += 1;
+    }
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn truncate(&mut self, n: usize) {
+        self.len = self.len.min(n);
+    }
+    fn get(&self, i: usize) -> usize {
+        self.buf[i] as usize
+    }
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.buf[..self.len].iter().map(|&t| t as usize)
+    }
 }
 
 impl<'a> Ctx<'a> {
@@ -251,10 +450,36 @@ impl<'a> Ctx<'a> {
         self.mutant == Some(m)
     }
 
+    fn cluster(&self) -> bool {
+        self.sc.era == Era::Cluster
+    }
+
     fn busy_at(&self, s: &State, p: u8) -> u32 {
         (0..self.workers())
             .filter(|&w| self.place_of(w) == p && matches!(s.phases[w], Phase::Busy { .. }))
             .count() as u32
+    }
+
+    /// The place currently holding `t`, if it is queued or running.
+    fn cur_place(&self, s: &State, t: usize) -> Option<u8> {
+        match s.tasks[t] {
+            Loc::Private { w } | Loc::Running { w } => Some(self.place_of(w as usize)),
+            Loc::Shared { p } => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Is a lease held by place `p` under epoch `e` fenced off by
+    /// incarnation death? Uses the shared wire predicate
+    /// (`distws_sched::protocol::lease_is_stale`) — the same rule
+    /// `distws-cluster`'s coordinator sweep applies.
+    fn lease_stale(&self, s: &State, p: u8, e: u8) -> bool {
+        let cur = s.epochs[p as usize] as u32;
+        if s.alive[p as usize] {
+            cur > 0 && proto::lease_is_stale(e as u32, cur - 1)
+        } else {
+            proto::lease_is_stale(e as u32, cur)
+        }
     }
 
     /// Work a parking worker would see: its own private deque or the
@@ -270,7 +495,9 @@ impl<'a> Ctx<'a> {
 
     /// Algorithm 1 lines 1–8: map a delivered task at place `x`. The
     /// checker recomputes the lines 5–8 predicate independently and
-    /// flags any divergence (catches `MapFlexiblePrivateAlways`).
+    /// flags any divergence (catches `MapFlexiblePrivateAlways`). In
+    /// the cluster era the mapping also records the custody lease
+    /// under the place's current incarnation epoch.
     fn map_deliver(&self, s: &mut State, t: usize, x: u8, bad: &mut BTreeSet<String>) {
         let sensitive = self.sc.tasks[t].sensitive;
         let to_private = if sensitive {
@@ -319,6 +546,12 @@ impl<'a> Ctx<'a> {
                 }
             }
         }
+        if self.cluster() {
+            s.lease[t] = Lease::Held {
+                p: x,
+                e: s.epochs[x as usize],
+            };
+        }
     }
 
     /// A worker begins executing `t`.
@@ -329,8 +562,11 @@ impl<'a> Ctx<'a> {
 
     /// All successor states of `s`, recording property violations into
     /// `bad` as transitions are generated.
-    fn successors(&self, s: &State, bad: &mut BTreeSet<String>) -> Vec<State> {
-        let mut out = Vec::new();
+    fn successors(&self, s: &State, bad: &mut BTreeSet<String>) -> Vec<Succ<State>> {
+        let mut out: Vec<Succ<State>> = Vec::new();
+        let push = |out: &mut Vec<Succ<State>>, n: State, class: StepClass| {
+            out.push(Succ { state: n, class });
+        };
 
         // --- Network delivery (the engine's Arrive event) -----------
         for t in 0..s.tasks.len() {
@@ -341,81 +577,242 @@ impl<'a> Ctx<'a> {
                 // Arrival at a dead place: recovery re-routes to place 0.
                 let mut n = s.clone();
                 n.tasks[t] = Loc::InFlight { to: 0 };
-                out.push(n);
+                push(&mut out, n, StepClass::Other);
                 continue;
             }
             let mut n = s.clone();
             self.map_deliver(&mut n, t, to, bad);
-            out.push(n);
-            if s.dups_left > 0 && s.dup_ghost & (1 << t) == 0 {
+            push(&mut out, n, StepClass::Other);
+            if !self.cluster() && s.dups_left > 0 && s.dup_ghost & (1 << t) == 0 {
                 // The network also duplicated this delivery.
                 let mut n = s.clone();
                 self.map_deliver(&mut n, t, to, bad);
                 n.dup_ghost |= 1 << t;
                 n.dup_dest[t] = to;
                 n.dups_left -= 1;
-                out.push(n);
+                push(&mut out, n, StepClass::Other);
             }
         }
 
-        // --- Duplicate-delivery arrival -----------------------------
+        // --- Duplicate / stale-copy arrival -------------------------
         for t in 0..s.tasks.len() {
             if s.dup_ghost & (1 << t) == 0 {
                 continue;
             }
             let mut n = s.clone();
             n.dup_ghost &= !(1 << t);
+            let stale = s.stale_ghost & (1 << t) != 0;
+            n.stale_ghost &= !(1 << t);
             let dest = n.dup_dest[t];
             n.dup_dest[t] = 255;
-            if self.is(ProtocolMutant::DupDeliveryRemaps) && n.alive[dest as usize] {
+            if stale {
+                // A `TaskMoved` copy leased under a dead incarnation
+                // epoch arrives late. Faithful receivers drop it at
+                // the disown fence; the mutant re-maps it.
+                if self.is(ProtocolMutant::SkipDisownFence) && n.alive[dest as usize] {
+                    bad.insert(format!(
+                        "task {t}: stale-incarnation copy at place {dest} re-mapped; the \
+                         disown fence must drop copies leased under a dead epoch"
+                    ));
+                    self.map_deliver(&mut n, t, dest, bad);
+                }
+            } else if self.is(ProtocolMutant::DupDeliveryRemaps) && n.alive[dest as usize] {
                 // Buggy dedup: the second copy is mapped again.
                 self.map_deliver(&mut n, t, dest, bad);
             }
             // Faithful: the place's task table already saw this id —
             // the duplicate is discarded.
-            out.push(n);
+            push(&mut out, n, StepClass::Other);
         }
 
         // --- Fail-stop kill and restart -----------------------------
         if let Some(k) = self.sc.faults.kill_place {
             if !s.killed {
-                let mut n = s.clone();
-                n.killed = true;
-                n.alive[k as usize] = false;
-                for w in 0..self.workers() {
-                    if self.place_of(w) == k && !matches!(n.phases[w], Phase::Busy { .. }) {
-                        n.phases[w] = Phase::Dead;
-                    }
-                }
-                // Recover the failed place's queued tasks (running
-                // tasks finish at the next task boundary).
-                for t in 0..n.tasks.len() {
-                    let queued_here = match n.tasks[t] {
-                        Loc::Shared { p } => p == k,
-                        Loc::Private { w } => self.place_of(w as usize) == k,
-                        _ => false,
-                    };
-                    if queued_here {
-                        if self.is(ProtocolMutant::DropRecoveredTasks) {
-                            n.tasks[t] = Loc::Lost;
-                        } else {
-                            let home = self.sc.tasks[t].home;
-                            let dest = if home != k { home } else { 0 };
-                            n.tasks[t] = Loc::InFlight { to: dest };
+                match self.sc.era {
+                    Era::Sim => {
+                        let mut n = s.clone();
+                        n.killed = true;
+                        n.alive[k as usize] = false;
+                        for w in 0..self.workers() {
+                            if self.place_of(w) == k && !matches!(n.phases[w], Phase::Busy { .. }) {
+                                n.phases[w] = Phase::Dead;
+                            }
                         }
+                        // Recover the failed place's queued tasks (running
+                        // tasks finish at the next task boundary).
+                        for t in 0..n.tasks.len() {
+                            let queued_here = match n.tasks[t] {
+                                Loc::Shared { p } => p == k,
+                                Loc::Private { w } => self.place_of(w as usize) == k,
+                                _ => false,
+                            };
+                            if queued_here {
+                                if self.is(ProtocolMutant::DropRecoveredTasks) {
+                                    n.tasks[t] = Loc::Lost;
+                                } else {
+                                    let home = self.sc.tasks[t].home;
+                                    let dest = if home != k { home } else { 0 };
+                                    n.tasks[t] = Loc::InFlight { to: dest };
+                                }
+                            }
+                        }
+                        push(&mut out, n, StepClass::Other);
+                    }
+                    Era::Cluster => {
+                        // A real SIGKILL: every worker dies mid-step and
+                        // every task located at the incarnation vanishes.
+                        // Recovery is the coordinator's job (sweep →
+                        // custody poll → reinject), not the kill's.
+                        let mut base = s.clone();
+                        base.killed = true;
+                        base.alive[k as usize] = false;
+                        for w in 0..self.workers() {
+                            if self.place_of(w) == k {
+                                base.phases[w] = Phase::Dead;
+                            }
+                        }
+                        let mut vanished: Vec<usize> = Vec::new();
+                        for t in 0..base.tasks.len() {
+                            let here = match base.tasks[t] {
+                                Loc::Shared { p } => p == k,
+                                Loc::Private { w } | Loc::Running { w } => {
+                                    self.place_of(w as usize) == k
+                                }
+                                _ => false,
+                            };
+                            if here {
+                                base.tasks[t] = Loc::Vanished;
+                                vanished.push(t);
+                            }
+                        }
+                        if s.dups_left > 0 {
+                            // The dying incarnation may have a TaskMoved
+                            // copy of a vanished task still in flight —
+                            // the disown-fence race. It will surface at
+                            // the lowest live place.
+                            let dest = (0..self.sc.places).find(|&q| q != k && s.alive[q as usize]);
+                            if let Some(dest) = dest {
+                                for &t in &vanished {
+                                    let mut n = base.clone();
+                                    n.dup_ghost |= 1 << t;
+                                    n.stale_ghost |= 1 << t;
+                                    n.dup_dest[t] = dest;
+                                    n.dups_left -= 1;
+                                    push(&mut out, n, StepClass::Other);
+                                }
+                            }
+                        }
+                        push(&mut out, base, StepClass::Other);
                     }
                 }
-                out.push(n);
             } else if self.sc.faults.restart && !s.restarted {
                 let mut n = s.clone();
                 n.restarted = true;
                 n.alive[k as usize] = true;
+                if self.cluster() {
+                    // The rejoining place is a *new incarnation*: the
+                    // epoch bump is what fences stale leases and stale
+                    // TaskMoved copies.
+                    n.epochs[k as usize] = n.epochs[k as usize].saturating_add(1);
+                }
                 for w in 0..self.workers() {
                     if self.place_of(w) == k && n.phases[w] == Phase::Dead {
                         n.phases[w] = Phase::Idle;
                     }
                 }
-                out.push(n);
+                push(&mut out, n, StepClass::Other);
+            }
+        }
+
+        // --- Cluster coordinator: sweep, custody poll, settlement ---
+        if self.cluster() {
+            let alive_mask: u8 = (0..self.sc.places)
+                .filter(|&q| s.alive[q as usize])
+                .fold(0, |m, q| m | (1 << q));
+            for t in 0..s.tasks.len() {
+                match s.lease[t] {
+                    Lease::None => {}
+                    Lease::Held { p, e } => {
+                        if self.lease_stale(s, p, e) {
+                            // Death sweep: custody claimed by a dead
+                            // incarnation is in doubt. The checker
+                            // recomputes the fencing predicate; the
+                            // stale-epoch mutant accepts the lease.
+                            let mut n = s.clone();
+                            if self.is(ProtocolMutant::AcceptStaleEpochLease) {
+                                bad.insert(format!(
+                                    "task {t}: stale-epoch lease (place {p} epoch {e}) accepted \
+                                     as live custody; incarnation fencing requires a custody poll"
+                                ));
+                                n.lease[t] = Lease::Held {
+                                    p,
+                                    e: n.epochs[p as usize],
+                                };
+                            } else {
+                                n.lease[t] = Lease::InDoubt { answered: 0 };
+                            }
+                            if n != *s {
+                                push(&mut out, n, StepClass::Other);
+                            }
+                        } else if let Some(q) = self.cur_place(s, t) {
+                            if q != p {
+                                // LeaseConfirm: the TaskMoved note from a
+                                // migration catches up with the
+                                // coordinator.
+                                let mut n = s.clone();
+                                n.lease[t] = Lease::Held {
+                                    p: q,
+                                    e: n.epochs[q as usize],
+                                };
+                                push(&mut out, n, StepClass::Other);
+                            }
+                        } else if s.tasks[t] == Loc::Vanished {
+                            // The lease names a live incarnation that does
+                            // not actually hold the task: it migrated away
+                            // and vanished with the dead place before the
+                            // TaskMoved note settled. The named custodian
+                            // disclaims, which opens the custody poll.
+                            let mut n = s.clone();
+                            n.lease[t] = Lease::InDoubt {
+                                answered: if s.alive[p as usize] { 1 << p } else { 0 },
+                            };
+                            push(&mut out, n, StepClass::Other);
+                        }
+                    }
+                    Lease::InDoubt { answered } => {
+                        for q in 0..self.sc.places {
+                            if !s.alive[q as usize] || answered & (1 << q) != 0 {
+                                continue;
+                            }
+                            let mut n = s.clone();
+                            if self.cur_place(s, t) == Some(q) {
+                                // TaskAnswer: yes — q holds the task, the
+                                // lease settles there.
+                                n.lease[t] = Lease::Held {
+                                    p: q,
+                                    e: n.epochs[q as usize],
+                                };
+                            } else {
+                                // TaskAnswer: no.
+                                n.lease[t] = Lease::InDoubt {
+                                    answered: answered | (1 << q),
+                                };
+                            }
+                            push(&mut out, n, StepClass::Other);
+                        }
+                        if answered & alive_mask == alive_mask && s.tasks[t] == Loc::Vanished {
+                            // Every live place disclaimed custody: the
+                            // task is provably gone — reinject toward
+                            // home, or place 0 if home is down.
+                            let mut n = s.clone();
+                            let home = self.sc.tasks[t].home;
+                            let dest = if n.alive[home as usize] { home } else { 0 };
+                            n.tasks[t] = Loc::InFlight { to: dest };
+                            n.lease[t] = Lease::None;
+                            push(&mut out, n, StepClass::Other);
+                        }
+                    }
+                }
             }
         }
 
@@ -426,29 +823,56 @@ impl<'a> Ctx<'a> {
                 Phase::Dead | Phase::Dormant => {}
                 Phase::Idle => {
                     // Line 9: poll own private deque.
-                    let mine: Vec<usize> = (0..s.tasks.len())
-                        .filter(
-                            |&t| matches!(s.tasks[t], Loc::Private { w: pw } if pw as usize == w),
-                        )
-                        .collect();
+                    let mut mine = TaskBuf::new();
+                    for t in 0..s.tasks.len() {
+                        if matches!(s.tasks[t], Loc::Private { w: pw } if pw as usize == w) {
+                            mine.push(t);
+                        }
+                    }
                     if mine.is_empty() {
                         let mut n = s.clone();
-                        n.phases[w] = Phase::Probe;
-                        out.push(n);
+                        // Statement merging: the line 11 probe is an
+                        // unconditional, invisible, process-local step
+                        // (the PhaseAdvance ample argument), so the
+                        // faithful model folds it into the failed
+                        // line 9 poll instead of storing the transient
+                        // Probe state. Mutant runs keep the unfused
+                        // automaton.
+                        n.phases[w] = if self.mutant.is_none() {
+                            Phase::CoWorker
+                        } else {
+                            Phase::Probe
+                        };
+                        // Once no delivery can ever land at this place
+                        // again, the empty poll reads a deque that is
+                        // empty on every deferred execution (its only
+                        // external writer is `map_deliver`; co-worker
+                        // steals can only remove) — a pure τ-step.
+                        let class = if self.mutant.is_none() && self.place_delivery_dead(s, p) {
+                            StepClass::FreeVisit
+                        } else {
+                            StepClass::Other
+                        };
+                        push(&mut out, n, class);
                     } else {
-                        for t in mine {
+                        for t in mine.iter() {
                             let mut n = s.clone();
                             self.start(&mut n, w, t);
-                            out.push(n);
+                            push(&mut out, n, StepClass::Other);
                         }
                     }
                 }
                 Phase::Probe => {
                     // Line 11: the probe itself is a pure step here —
                     // arrivals are the asynchronous deliver transition.
+                    // This is the ample-eligible phase advance: it
+                    // touches only this worker's control state, and the
+                    // mapping/steal rules read phases solely through
+                    // the busy/dead classification, which Probe →
+                    // CoWorker does not change.
                     let mut n = s.clone();
                     n.phases[w] = Phase::CoWorker;
-                    out.push(n);
+                    push(&mut out, n, StepClass::PhaseAdvance);
                 }
                 Phase::CoWorker => {
                     // Line 13: steal from a co-located worker.
@@ -458,11 +882,12 @@ impl<'a> Ctx<'a> {
                         if v == w {
                             continue;
                         }
-                        let theirs: Vec<usize> = (0..s.tasks.len())
-                            .filter(
-                                |&t| matches!(s.tasks[t], Loc::Private { w: pw } if pw as usize == v),
-                            )
-                            .collect();
+                        let mut theirs = TaskBuf::new();
+                        for t in 0..s.tasks.len() {
+                            if matches!(s.tasks[t], Loc::Private { w: pw } if pw as usize == v) {
+                                theirs.push(t);
+                            }
+                        }
                         if theirs.is_empty() {
                             continue;
                         }
@@ -472,7 +897,8 @@ impl<'a> Ctx<'a> {
                         } else {
                             proto::LOCAL_STEAL_CHUNK
                         };
-                        let take: Vec<usize> = theirs.into_iter().take(chunk).collect();
+                        let mut take = theirs;
+                        take.truncate(chunk);
                         if take.len() > proto::LOCAL_STEAL_CHUNK {
                             bad.insert(format!(
                                 "worker {w}: co-located steal took {} tasks; Algorithm 1 \
@@ -482,32 +908,75 @@ impl<'a> Ctx<'a> {
                             ));
                         }
                         let mut n = s.clone();
-                        self.start(&mut n, w, take[0]);
-                        for &extra in &take[1..] {
+                        self.start(&mut n, w, take.get(0));
+                        for extra in take.iter().skip(1) {
                             n.tasks[extra] = Loc::Private { w: w as u8 };
                         }
-                        out.push(n);
+                        push(&mut out, n, StepClass::Other);
                     }
                     if !any {
                         let mut n = s.clone();
-                        n.phases[w] = Phase::LocalShared;
-                        out.push(n);
+                        // Statement merging again: at a statically
+                        // workless place the line 15 shared poll is a
+                        // fact, so the faithful model advances straight
+                        // into the remote sweep instead of storing the
+                        // transient LocalShared state.
+                        n.phases[w] = if self.mutant.is_none()
+                            && self.sc.places > 1
+                            && self.place_statically_empty(p)
+                        {
+                            Phase::Remote {
+                                untried: self.sweep_mask(p),
+                                probed: true,
+                            }
+                        } else {
+                            Phase::LocalShared
+                        };
+                        // With no co-located worker to rob, the advance
+                        // reads nothing at all — a pure phase step.
+                        let class = if self.wpp() == 1 {
+                            StepClass::PhaseAdvance
+                        } else if self.mutant.is_none()
+                            && self.place_delivery_dead(s, p)
+                            && self.all_places_workless(s)
+                        {
+                            // The failed co-worker probe read deques
+                            // that can never gain a task again: no
+                            // delivery can land here and no steal can
+                            // succeed anywhere (private deques' only
+                            // other source). Deterministic-fail → τ.
+                            StepClass::FreeVisit
+                        } else {
+                            StepClass::Other
+                        };
+                        push(&mut out, n, class);
                     }
                 }
                 Phase::LocalShared => {
                     // Line 15: take from the local shared deque.
-                    let pooled: Vec<usize> = (0..s.tasks.len())
-                        .filter(|&t| matches!(s.tasks[t], Loc::Shared { p: sp } if sp == p))
-                        .collect();
+                    let mut pooled = TaskBuf::new();
+                    for t in 0..s.tasks.len() {
+                        if matches!(s.tasks[t], Loc::Shared { p: sp } if sp == p) {
+                            pooled.push(t);
+                        }
+                    }
                     if pooled.is_empty() {
                         let mut n = s.clone();
+                        let mut class = StepClass::Other;
                         n.phases[w] = if self.sc.places > 1 {
-                            let untried = (0..self.sc.places)
-                                .filter(|&q| q != p)
-                                .fold(0u8, |m, q| m | (1 << q));
+                            // At a statically workless place the empty
+                            // poll is a fact, not a race outcome, and
+                            // the advance to the remote sweep is a
+                            // deterministic τ-step (same argument as
+                            // the FreeVisit remote case).
+                            if self.mutant.is_none()
+                                && (self.place_statically_empty(p) || self.place_workless(s, p))
+                            {
+                                class = StepClass::FreeVisit;
+                            }
                             // The line 11 probe already ran this round.
                             Phase::Remote {
-                                untried,
+                                untried: self.sweep_mask(p),
                                 probed: true,
                             }
                         } else if self.work_visible(s, w) {
@@ -515,12 +984,12 @@ impl<'a> Ctx<'a> {
                         } else {
                             Phase::Dormant
                         };
-                        out.push(n);
+                        push(&mut out, n, class);
                     } else {
-                        for t in pooled {
+                        for t in pooled.iter() {
                             let mut n = s.clone();
                             self.start(&mut n, w, t);
-                            out.push(n);
+                            push(&mut out, n, StepClass::Other);
                         }
                     }
                 }
@@ -529,13 +998,25 @@ impl<'a> Ctx<'a> {
                         // Sweep exhausted: park — unless local work
                         // appeared mid-round (the engine's atomic
                         // acquire would have seen it).
+                        let visible = self.work_visible(s, w);
                         let mut n = s.clone();
-                        n.phases[w] = if self.work_visible(s, w) {
-                            Phase::Idle
+                        n.phases[w] = if visible { Phase::Idle } else { Phase::Dormant };
+                        // Parking reads only this worker's private
+                        // deque and the local shared pool; if neither
+                        // can ever gain a task again the outcome is
+                        // fixed on every deferred execution, and
+                        // Remote{∅} → Dormant are both non-busy, so
+                        // the flip is invisible. τ.
+                        let class = if !visible
+                            && self.mutant.is_none()
+                            && self.place_delivery_dead(s, p)
+                            && self.place_workless(s, p)
+                        {
+                            StepClass::FreeVisit
                         } else {
-                            Phase::Dormant
+                            StepClass::Other
                         };
-                        out.push(n);
+                        push(&mut out, n, class);
                         continue;
                     }
                     for q in 0..self.sc.places {
@@ -560,27 +1041,44 @@ impl<'a> Ctx<'a> {
                         // Victim pool: the remote shared deque — plus,
                         // under the sensitive-steal mutant, the remote
                         // workers' private deques.
-                        let mut pool: Vec<usize> = Vec::new();
+                        let mut pool = TaskBuf::new();
                         if s.alive[q as usize] {
                             if self.is(ProtocolMutant::StealSensitiveRemotely) {
-                                pool.extend((0..s.tasks.len()).filter(|&t| {
-                                    matches!(s.tasks[t], Loc::Private { w: pw }
+                                for t in 0..s.tasks.len() {
+                                    if matches!(s.tasks[t], Loc::Private { w: pw }
                                         if self.place_of(pw as usize) == q)
-                                }));
+                                    {
+                                        pool.push(t);
+                                    }
+                                }
                             }
-                            pool.extend((0..s.tasks.len()).filter(
-                                |&t| matches!(s.tasks[t], Loc::Shared { p: sp } if sp == q),
-                            ));
+                            for t in 0..s.tasks.len() {
+                                if matches!(s.tasks[t], Loc::Shared { p: sp } if sp == q) {
+                                    pool.push(t);
+                                }
+                            }
                         }
                         if pool.is_empty() {
                             let mut n = s.clone();
                             n.phases[w] = after_fail;
-                            out.push(n);
+                            // Against a statically workless place the
+                            // failure is not a race outcome but a fact;
+                            // the visit is then a pure τ-step (mutants
+                            // widen the victim pool, so they disable
+                            // the classification).
+                            let class = if self.mutant.is_none()
+                                && (self.place_statically_empty(q) || self.place_workless(s, q))
+                            {
+                                StepClass::FreeVisit
+                            } else {
+                                StepClass::Other
+                            };
+                            push(&mut out, n, class);
                             continue;
                         }
-                        let take: Vec<usize> =
-                            pool.into_iter().take(proto::REMOTE_STEAL_CHUNK).collect();
-                        for &t in &take {
+                        let mut take = pool;
+                        take.truncate(proto::REMOTE_STEAL_CHUNK);
+                        for t in take.iter() {
                             if self.sc.tasks[t].sensitive {
                                 bad.insert(format!(
                                     "task {t}: sensitive task migrated off its home place \
@@ -590,27 +1088,30 @@ impl<'a> Ctx<'a> {
                         }
                         // Successful steal: first task executes, the
                         // extra rides along into the thief's private
-                        // deque (migration wrapping).
+                        // deque (migration wrapping). In the cluster
+                        // era the lease deliberately stays at the
+                        // victim until the TaskMoved note lands — the
+                        // LeaseConfirm transition models that lag.
                         let mut n = s.clone();
-                        for &t in &take {
+                        for t in take.iter() {
                             n.migrated |= 1 << t;
                         }
-                        self.start(&mut n, w, take[0]);
-                        for &extra in &take[1..] {
+                        self.start(&mut n, w, take.get(0));
+                        for extra in take.iter().skip(1) {
                             n.tasks[extra] = Loc::Private { w: w as u8 };
                         }
-                        out.push(n);
+                        push(&mut out, n, StepClass::Other);
                         if s.drops_left > 0 {
                             // The migrate payload is lost in flight:
                             // the thief times out empty-handed and the
                             // victim lease-reclaims the tasks.
                             let mut n = s.clone();
-                            for &t in &take {
+                            for t in take.iter() {
                                 n.tasks[t] = Loc::InFlight { to: q };
                             }
                             n.phases[w] = after_fail;
                             n.drops_left -= 1;
-                            out.push(n);
+                            push(&mut out, n, StepClass::Other);
                         }
                     }
                 }
@@ -628,6 +1129,9 @@ impl<'a> Ctx<'a> {
                     // location this worker actually owns.
                     if n.tasks[t] == (Loc::Running { w: w as u8 }) {
                         n.tasks[t] = Loc::Done;
+                        if self.cluster() {
+                            n.lease[t] = Lease::None;
+                        }
                     }
                     // Completion spawns the children.
                     for c in 0..n.tasks.len() {
@@ -651,7 +1155,7 @@ impl<'a> Ctx<'a> {
                     } else {
                         Phase::Dead
                     };
-                    out.push(n);
+                    push(&mut out, n, StepClass::Completion);
                 }
             }
         }
@@ -667,6 +1171,7 @@ impl<'a> Ctx<'a> {
                     "termination violated: terminal state with task {t} {}",
                     match loc {
                         Loc::Lost => "lost by fail-stop recovery".to_string(),
+                        Loc::Vanished => "vanished with a dead incarnation".to_string(),
                         other => format!("stuck at {other:?}"),
                     }
                 ));
@@ -679,16 +1184,221 @@ impl<'a> Ctx<'a> {
             ));
         }
     }
+
+    /// Ample-set nomination (see `crate::reduce` and `docs/analysis.md`
+    /// §5 for the class-by-class independence argument). Only consulted
+    /// by the reduced exploration mode.
+    fn ample(&self, s: &State, succs: &[Succ<State>]) -> Option<usize> {
+        // A pending kill conflicts with everything (it overwrites
+        // worker phases wholesale); no reduction until it has fired.
+        let kill_inert = self.sc.faults.kill_place.is_none() || s.killed;
+        if !kill_inert {
+            return None;
+        }
+        // Drained tail: every task sits at a terminal location and the
+        // fault/custody machinery is fully resolved. The only enabled
+        // transitions are workers independently walking their scan
+        // cycle toward Dormant. Each such step touches only its own
+        // worker's control state; every read it makes (task locations,
+        // place liveness, co-worker private deques) is frozen; and the
+        // per-worker remote-sweep visit choices pairwise commute (each
+        // clears a distinct untried bit and all fail). The cycle is
+        // also acyclic (it ends in Dormant), so the visited proviso
+        // never bites. Any single successor is therefore a sound
+        // ample set — this collapses an O(c^W) product of scan chains
+        // into a single interleaving.
+        if self.mutant.is_none() && self.drained(s) {
+            return Some(0);
+        }
+        // Probe → CoWorker: deterministic, invisible, process-local.
+        if let Some(i) = succs
+            .iter()
+            .position(|x| x.class == StepClass::PhaseAdvance)
+        {
+            return Some(i);
+        }
+        // A sweep step against a statically workless place: a pure
+        // τ-step by the FreeVisit confluence argument — any co-enabled
+        // transition either commutes with it exactly or (the worker's
+        // own successful steal) erases the untried mask it touched.
+        if let Some(i) = succs.iter().position(|x| x.class == StepClass::FreeVisit) {
+            return Some(i);
+        }
+        // A completion commutes with every other enabled transition
+        // when nothing can observe the worker's busy bit flipping or
+        // race the lease it clears: no delivery pending or creatable
+        // (spawn/drop), no ghost, and cluster custody fully settled.
+        let no_inflight = !s.tasks.iter().any(|l| matches!(l, Loc::InFlight { .. }));
+        if no_inflight
+            && s.dup_ghost == 0
+            && s.drops_left == 0
+            && self.no_spawnable_children(s)
+            && self.cluster_quiet(s)
+        {
+            if let Some(i) = succs.iter().position(|x| x.class == StepClass::Completion) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// The remote-sweep victim mask for a worker at place `p`.
+    /// Statically workless places are elided from the faithful sweep
+    /// outright: every visit there fails, so skipping them composes
+    /// the FreeVisit τ-steps into the sweep entry (mutants widen the
+    /// victim pool and keep the full sweep).
+    fn sweep_mask(&self, p: u8) -> u8 {
+        (0..self.sc.places)
+            .filter(|&q| q != p)
+            .filter(|&q| self.mutant.is_some() || !self.place_statically_empty(q))
+            .fold(0u8, |m, q| m | (1 << q))
+    }
+
+    /// No task is ever routed to `q`'s shared pool on any reachable
+    /// path: deliveries target the `InFlight` destination, which is
+    /// always a task's home or place 0 (init, spawn, recovery reroute,
+    /// cluster reinject), and steals move tasks into *private* deques.
+    /// A remote-sweep visit against such a place always fails, so it
+    /// only clears the sweeping worker's own untried bit — the
+    /// [`StepClass::FreeVisit`] τ-confluence argument.
+    fn place_statically_empty(&self, q: u8) -> bool {
+        q != 0 && self.sc.tasks.iter().all(|t| t.home != q)
+    }
+
+    /// Dynamic counterpart of [`Self::place_statically_empty`]: from
+    /// `s` onward, `q`'s shared pool is empty and will stay empty on
+    /// every execution. `Loc::Shared` is written in exactly one spot —
+    /// a flexible delivery targeting `q` under saturation — so the
+    /// pool is dead once no flexible task routed to `q` (home or
+    /// in-flight destination; deliveries, reroutes, and reinjects all
+    /// target those) can still reach the delivery pipeline. The
+    /// predicate is *stable*: it only flips false→true, never back, so
+    /// a sweep visit against such a place is a pure τ-step by the same
+    /// confluence argument as the static case. Fault machinery that
+    /// could resurrect a delivery (a pending kill turning running
+    /// tasks `Lost`, ghost copies, undropped deliveries) disables it
+    /// wholesale, as do mutants (which widen victim pools and re-map
+    /// ghosts).
+    fn place_workless(&self, s: &State, q: u8) -> bool {
+        if !self.quiescence_gate(s) {
+            return false;
+        }
+        (0..s.tasks.len()).all(|t| {
+            if matches!(s.tasks[t], Loc::Shared { p } if p == q) {
+                return false;
+            }
+            if self.sc.tasks[t].sensitive {
+                // Faithful mapping pins sensitive tasks to private
+                // deques (Algorithm 1 line 3); they can never surface
+                // in a shared pool.
+                return true;
+            }
+            let routed_here =
+                self.sc.tasks[t].home == q || matches!(s.tasks[t], Loc::InFlight { to } if to == q);
+            !(routed_here
+                && matches!(
+                    s.tasks[t],
+                    Loc::NotSpawned | Loc::InFlight { .. } | Loc::Lost | Loc::Vanished
+                ))
+        })
+    }
+
+    /// Shared gate for the dynamic-quiescence predicates: mutants
+    /// widen victim pools and re-map ghost copies, ghost/duplicate
+    /// machinery can replay a delivery, and a kill that has not fired
+    /// yet can turn running tasks back into routable ones.
+    fn quiescence_gate(&self, s: &State) -> bool {
+        self.mutant.is_none()
+            && s.dup_ghost == 0
+            && s.dups_left == 0
+            && (self.sc.faults.kill_place.is_none() || s.killed)
+    }
+
+    /// No delivery can ever land at place `p` again: no task routed
+    /// there (home, or current in-flight destination) can still reach
+    /// the delivery pipeline. Unlike [`Self::place_workless`] this
+    /// counts sensitive tasks too — it freezes the *private* deques of
+    /// `p`'s workers, whose only external writer is `map_deliver`.
+    /// Stable for the same reasons as `place_workless`.
+    fn place_delivery_dead(&self, s: &State, p: u8) -> bool {
+        if !self.quiescence_gate(s) {
+            return false;
+        }
+        (0..s.tasks.len()).all(|t| {
+            let routed_here =
+                self.sc.tasks[t].home == p || matches!(s.tasks[t], Loc::InFlight { to } if to == p);
+            !(routed_here
+                && matches!(
+                    s.tasks[t],
+                    Loc::NotSpawned | Loc::InFlight { .. } | Loc::Lost | Loc::Vanished
+                ))
+        })
+    }
+
+    /// Every shared pool in the system is dead ([`Self::place_workless`]
+    /// for all places): no remote or local-shared steal can ever
+    /// succeed again, so private deques can only gain tasks through
+    /// deliveries.
+    fn all_places_workless(&self, s: &State) -> bool {
+        (0..self.sc.places).all(|q| self.place_workless(s, q))
+    }
+
+    /// Every task is at a terminal location and every non-worker
+    /// transition source is spent: no delivery, ghost arrival, kill,
+    /// restart, or coordinator step can ever fire again. See the
+    /// drained-tail ample class in [`Ctx::ample`].
+    fn drained(&self, s: &State) -> bool {
+        s.tasks.iter().all(|l| matches!(l, Loc::Done | Loc::Lost))
+            && s.dup_ghost == 0
+            && (self.sc.faults.kill_place.is_none()
+                || (s.killed && (!self.sc.faults.restart || s.restarted)))
+            && (!self.cluster() || s.lease.iter().all(|l| *l == Lease::None))
+    }
+
+    /// No running task would spawn a child on completion (spawns
+    /// create deliveries, whose mapping reads the busy classification
+    /// that completions change).
+    fn no_spawnable_children(&self, s: &State) -> bool {
+        for w in 0..self.workers() {
+            if let Phase::Busy { task } = s.phases[w] {
+                let t = task as usize;
+                if (0..s.tasks.len())
+                    .any(|c| self.sc.tasks[c].parent == Some(t) && s.tasks[c] == Loc::NotSpawned)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Cluster-era custody machinery is inert: every lease settled at
+    /// its holder's current incarnation, nothing vanished or in doubt.
+    fn cluster_quiet(&self, s: &State) -> bool {
+        if !self.cluster() {
+            return true;
+        }
+        for t in 0..s.tasks.len() {
+            if s.tasks[t] == Loc::Vanished {
+                return false;
+            }
+            match s.lease[t] {
+                Lease::InDoubt { .. } => return false,
+                Lease::Held { p, e } => {
+                    if self.lease_stale(s, p, e) || self.cur_place(s, t) != Some(p) {
+                        return false;
+                    }
+                }
+                Lease::None => {}
+            }
+        }
+        true
+    }
 }
 
-/// Exhaustively explore one scenario, optionally with a seeded
-/// protocol mutant. Violations are deduplicated and sorted.
-pub fn explore_protocol(sc: &ProtocolScenario, mutant: Option<ProtocolMutant>) -> Outcome {
-    assert!(sc.places >= 1 && sc.places <= 8, "u8 place bitmask");
-    assert!(sc.tasks.len() <= 16, "u16 task bitmasks");
-    assert_ne!(sc.faults.kill_place, Some(0), "place 0 hosts recovery");
-    let ctx = Ctx { sc, mutant };
-    let init = State {
+fn init_state(sc: &ProtocolScenario) -> State {
+    let ctx = Ctx { sc, mutant: None };
+    State {
         tasks: sc
             .tasks
             .iter()
@@ -699,42 +1409,91 @@ pub fn explore_protocol(sc: &ProtocolScenario, mutant: Option<ProtocolMutant>) -
                     Loc::NotSpawned
                 }
             })
-            .collect(),
-        exec: vec![0; sc.tasks.len()],
+            .collect::<Vec<_>>()
+            .into(),
+        exec: FixedVec::filled(0, sc.tasks.len()),
+        lease: FixedVec::filled(Lease::None, sc.tasks.len()),
         migrated: 0,
         dup_ghost: 0,
-        dup_dest: vec![255; sc.tasks.len()],
+        stale_ghost: 0,
+        dup_dest: FixedVec::filled(255, sc.tasks.len()),
         latch: sc.tasks.iter().filter(|t| t.parent.is_none()).count() as i16,
-        phases: vec![Phase::Idle; ctx.workers()],
-        alive: vec![true; sc.places as usize],
+        phases: FixedVec::filled(Phase::Idle, ctx.workers()),
+        alive: FixedVec::filled(true, sc.places as usize),
+        epochs: FixedVec::filled(0, sc.places as usize),
         drops_left: sc.faults.max_drops,
         dups_left: sc.faults.max_dups,
         killed: false,
         restarted: false,
+    }
+}
+
+/// The protocol model plugged into the shared engine: raw bit-packed
+/// keys in full mode, canonical symmetry-orbit keys plus ample-set
+/// reduction in reduced mode.
+struct ProtoSys<'a> {
+    ctx: Ctx<'a>,
+    mode: Mode,
+    canon: canon::Canonizer,
+}
+
+impl System for ProtoSys<'_> {
+    type State = State;
+    type Key = canon::Key;
+
+    fn initial(&self) -> State {
+        init_state(self.ctx.sc)
+    }
+
+    fn successors(&self, s: &State, bad: &mut BTreeSet<String>) -> Vec<Succ<State>> {
+        self.ctx.successors(s, bad)
+    }
+
+    fn check_terminal(&self, s: &State, bad: &mut BTreeSet<String>) {
+        self.ctx.check_terminal(s, bad);
+    }
+
+    fn key(&self, s: &State) -> canon::Key {
+        match self.mode {
+            Mode::Full => canon::raw_key(self.ctx.sc, s),
+            Mode::Reduced => self.canon.key(self.ctx.sc, s),
+        }
+    }
+
+    fn ample(&self, s: &State, succs: &[Succ<State>]) -> Option<usize> {
+        self.ctx.ample(s, succs)
+    }
+}
+
+/// Exhaustively explore one scenario, optionally with a seeded
+/// protocol mutant, in the requested [`Mode`]; `cap` bounds stored
+/// states (see [`ExploreStats::truncated`]). Violations are
+/// deduplicated and sorted.
+pub fn explore_protocol_mode(
+    sc: &ProtocolScenario,
+    mutant: Option<ProtocolMutant>,
+    mode: Mode,
+    cap: Option<u64>,
+) -> (Outcome, ExploreStats) {
+    assert!(sc.places >= 1 && sc.places <= 8, "u8 place bitmask");
+    assert!(sc.tasks.len() <= 16, "u16 task bitmasks");
+    assert!(
+        sc.places as usize * sc.workers_per_place as usize <= 16,
+        "compact worker encoding"
+    );
+    assert_ne!(sc.faults.kill_place, Some(0), "place 0 hosts recovery");
+    let sys = ProtoSys {
+        ctx: Ctx { sc, mutant },
+        mode,
+        canon: canon::Canonizer::new(sc),
     };
-    let mut seen: HashSet<State> = HashSet::new();
-    seen.insert(init.clone());
-    let mut stack = vec![init];
-    let mut bad: BTreeSet<String> = BTreeSet::new();
-    let mut terminals = 0u64;
-    while let Some(s) = stack.pop() {
-        let succ = ctx.successors(&s, &mut bad);
-        if succ.is_empty() {
-            terminals += 1;
-            ctx.check_terminal(&s, &mut bad);
-        }
-        for n in succ {
-            if !seen.contains(&n) {
-                seen.insert(n.clone());
-                stack.push(n);
-            }
-        }
-    }
-    Outcome {
-        states: seen.len() as u64,
-        terminals,
-        violations: bad.into_iter().collect(),
-    }
+    explore_system(&sys, mode, cap)
+}
+
+/// Exhaustively explore one scenario in full (unreduced) mode —
+/// the PR 4 behavior, kept as the compatibility surface.
+pub fn explore_protocol(sc: &ProtocolScenario, mutant: Option<ProtocolMutant>) -> Outcome {
+    explore_protocol_mode(sc, mutant, Mode::Full, None).0
 }
 
 fn flex(home: u8) -> ModelTask {
@@ -761,99 +1520,230 @@ fn child(home: u8, parent: usize) -> ModelTask {
     }
 }
 
+fn sens_child(home: u8, parent: usize) -> ModelTask {
+    ModelTask {
+        home,
+        sensitive: true,
+        parent: Some(parent),
+    }
+}
+
 /// The base scenarios explored by `repro check protocol` and CI. All
 /// must be violation-free without a mutant; each mutant is caught by
-/// its [`ProtocolMutant::catch_scenario`].
+/// its [`ProtocolMutant::catch_scenario`]. Scenarios with
+/// `full_ok: false` are the scale tier: they exist to demonstrate the
+/// reductions and are only explored reduced (or capped).
 pub fn builtin_scenarios() -> Vec<ProtocolScenario> {
+    let sim = |name, places, workers_per_place, tasks: Vec<ModelTask>, faults| ProtocolScenario {
+        name,
+        places,
+        workers_per_place,
+        tasks,
+        faults,
+        era: Era::Sim,
+        full_ok: true,
+    };
     vec![
         // Sensitive tasks stay pinned while flexible work is raided.
-        ProtocolScenario {
-            name: "sensitive_pinning",
-            places: 2,
-            workers_per_place: 1,
-            tasks: vec![sens(0), flex(0), flex(0)],
-            faults: ModelFaults::default(),
-        },
+        sim(
+            "sensitive_pinning",
+            2,
+            1,
+            vec![sens(0), flex(0), flex(0)],
+            ModelFaults::default(),
+        ),
         // Intra-place stealing: line 13's chunk of one.
-        ProtocolScenario {
-            name: "coworker_chunk",
-            places: 1,
-            workers_per_place: 2,
-            tasks: vec![sens(0), sens(0), sens(0)],
-            faults: ModelFaults::default(),
-        },
+        sim(
+            "coworker_chunk",
+            1,
+            2,
+            vec![sens(0), sens(0), sens(0)],
+            ModelFaults::default(),
+        ),
         // A saturated place pools flexible work; remote thieves take
         // chunked steals and migrated tasks release the latch.
-        ProtocolScenario {
-            name: "saturation_mapping",
-            places: 2,
-            workers_per_place: 2,
-            tasks: vec![flex(0), flex(0), flex(0), flex(0)],
-            faults: ModelFaults::default(),
-        },
+        sim(
+            "saturation_mapping",
+            2,
+            2,
+            vec![flex(0), flex(0), flex(0), flex(0)],
+            ModelFaults::default(),
+        ),
         // A three-place sweep: failed remote attempts must re-probe
         // (line 19) before the next victim.
-        ProtocolScenario {
-            name: "reprobe_sweep",
-            places: 3,
-            workers_per_place: 1,
-            tasks: vec![flex(0), flex(0), flex(0)],
-            faults: ModelFaults::default(),
-        },
+        sim(
+            "reprobe_sweep",
+            3,
+            1,
+            vec![flex(0), flex(0), flex(0)],
+            ModelFaults::default(),
+        ),
         // Completion spawns children across places; the finish latch
         // tracks the whole tree.
-        ProtocolScenario {
-            name: "spawn_tree",
-            places: 2,
-            workers_per_place: 2,
-            tasks: vec![flex(0), child(0, 0), child(1, 0), child(1, 0)],
-            faults: ModelFaults::default(),
-        },
+        sim(
+            "spawn_tree",
+            2,
+            2,
+            vec![flex(0), child(0, 0), child(1, 0), child(1, 0)],
+            ModelFaults::default(),
+        ),
         // A dropped migrate payload is lease-reclaimed at the victim.
-        ProtocolScenario {
-            name: "drop_reclaim",
-            places: 2,
-            workers_per_place: 1,
-            tasks: vec![flex(0), flex(0), flex(0)],
-            faults: ModelFaults {
+        sim(
+            "drop_reclaim",
+            2,
+            1,
+            vec![flex(0), flex(0), flex(0)],
+            ModelFaults {
                 max_drops: 1,
                 ..Default::default()
             },
-        },
+        ),
         // A fail-stop kill: queued tasks are recovered, running tasks
         // finish at the task boundary, the latch still reaches zero.
+        sim(
+            "kill_recover",
+            3,
+            1,
+            vec![flex(0), flex(1), flex(1)],
+            ModelFaults {
+                kill_place: Some(1),
+                ..Default::default()
+            },
+        ),
+        // The killed place additionally rejoins empty-handed.
+        sim(
+            "kill_restart",
+            3,
+            1,
+            vec![flex(0), flex(1), flex(1)],
+            ModelFaults {
+                kill_place: Some(1),
+                restart: true,
+                ..Default::default()
+            },
+        ),
+        // Duplicate deliveries must be discarded by task-id dedup.
+        sim(
+            "dup_delivery",
+            2,
+            1,
+            vec![flex(0), flex(0)],
+            ModelFaults {
+                max_dups: 1,
+                ..Default::default()
+            },
+        ),
+        // ---- Scale tier (ROADMAP item 5): the reductions at work ----
+        // Six flexible roots over three places: the smallest scenario
+        // where full exploration visibly blows past the legacy sizes.
         ProtocolScenario {
-            name: "kill_recover",
+            name: "mid_fanout",
+            places: 3,
+            workers_per_place: 2,
+            tasks: vec![flex(0), flex(0), flex(0), flex(0), flex(0), flex(0)],
+            faults: ModelFaults::default(),
+            era: Era::Sim,
+            full_ok: false,
+        },
+        // An eight-task spawn chain hopping across three places: deep
+        // rather than wide, so completions dominate the interleavings.
+        ProtocolScenario {
+            name: "deep_spawn_chain",
+            places: 3,
+            workers_per_place: 2,
+            tasks: vec![
+                flex(0),
+                child(1, 0),
+                child(2, 1),
+                child(0, 2),
+                child(1, 3),
+                child(2, 4),
+                child(0, 5),
+                child(1, 6),
+            ],
+            faults: ModelFaults::default(),
+            era: Era::Sim,
+            full_ok: false,
+        },
+        // The acceptance-bar scenario: 4 places x 2 workers x 8 tasks,
+        // all homed at place 0 so places 1-3 are fully symmetric. Eight
+        // independent roots land in one burst: six sensitive (pinned,
+        // saturating the home place) and two flexible (spilled to the
+        // shared deque once the place saturates, then raided by six
+        // remote workers racing their scan cycles).
+        ProtocolScenario {
+            name: "wide_fanout",
+            places: 4,
+            workers_per_place: 2,
+            tasks: vec![
+                flex(0),
+                flex(0),
+                sens(0),
+                sens(0),
+                sens(0),
+                sens(0),
+                sens(0),
+                sens(0),
+            ],
+            faults: ModelFaults::default(),
+            era: Era::Sim,
+            full_ok: false,
+        },
+        // Same scale, inverted locality: two migratable coordinators
+        // fan out *pinned* work (the paper's selective locality-aware
+        // tasks). The flexible parents can be raided across the
+        // cluster, but every child they spawn must execute at place 0;
+        // spawn staggering interleaves deliveries with completions.
+        ProtocolScenario {
+            name: "mixed_sensitive_fanout",
+            places: 4,
+            workers_per_place: 2,
+            tasks: vec![
+                sens(0),
+                sens(0),
+                flex(0),
+                flex(0),
+                sens_child(0, 2),
+                sens_child(0, 2),
+                sens_child(0, 3),
+                sens_child(0, 3),
+            ],
+            faults: ModelFaults::default(),
+            era: Era::Sim,
+            full_ok: false,
+        },
+        // ---- Cluster era: the PR 7 races, model-side ---------------
+        // A SIGKILL strands tasks at the dead incarnation; the sweep,
+        // custody poll and reinject recover them, and a late TaskMoved
+        // copy must die at the disown fence.
+        ProtocolScenario {
+            name: "cluster_reclaim",
             places: 3,
             workers_per_place: 1,
             tasks: vec![flex(0), flex(1), flex(1)],
             faults: ModelFaults {
                 kill_place: Some(1),
+                max_dups: 1,
                 ..Default::default()
             },
+            era: Era::Cluster,
+            full_ok: true,
         },
-        // The killed place additionally rejoins empty-handed.
+        // The killed place rejoins as a new incarnation: the epoch
+        // bump must fence every lease held under the dead epoch.
         ProtocolScenario {
-            name: "kill_restart",
+            name: "cluster_epoch",
             places: 3,
             workers_per_place: 1,
             tasks: vec![flex(0), flex(1), flex(1)],
             faults: ModelFaults {
                 kill_place: Some(1),
                 restart: true,
-                ..Default::default()
-            },
-        },
-        // Duplicate deliveries must be discarded by task-id dedup.
-        ProtocolScenario {
-            name: "dup_delivery",
-            places: 2,
-            workers_per_place: 1,
-            tasks: vec![flex(0), flex(0)],
-            faults: ModelFaults {
                 max_dups: 1,
                 ..Default::default()
             },
+            era: Era::Cluster,
+            full_ok: true,
         },
     ]
 }
@@ -863,11 +1753,19 @@ pub fn scenario_by_name(name: &str) -> Option<ProtocolScenario> {
     builtin_scenarios().into_iter().find(|s| s.name == name)
 }
 
-/// Explore every builtin scenario fault-free/mutant-free.
+/// Explore every builtin scenario fault-free/mutant-free, reduced.
+/// (The PR 4 surface explored full; with the scale tier in the suite,
+/// reduced is the only mode that covers every scenario — the
+/// `--compare` cross-validation is what keeps it honest.)
 pub fn check_protocol_all() -> Vec<(&'static str, Outcome)> {
     builtin_scenarios()
         .iter()
-        .map(|sc| (sc.name, explore_protocol(sc, None)))
+        .map(|sc| {
+            (
+                sc.name,
+                explore_protocol_mode(sc, None, Mode::Reduced, None).0,
+            )
+        })
         .collect()
 }
 
@@ -878,26 +1776,53 @@ pub struct MutantCheck {
     pub mutant: &'static str,
     /// Scenario explored.
     pub scenario: &'static str,
-    /// Whether the checker caught it (violations non-empty).
+    /// Whether the checker caught it (violations non-empty and the
+    /// exploration itself did not crash).
     pub caught: bool,
     /// The violations found.
     pub violations: Vec<String>,
+    /// A panic message, if the exploration *errored* instead of
+    /// finishing — distinguished from a catch so a crash can never
+    /// masquerade as detection power.
+    pub error: Option<String>,
 }
 
 /// Re-inject every seeded protocol bug and report whether the checker
-/// caught it. CI requires all of them caught.
+/// caught it. CI requires all of them caught (and none errored).
+/// Mutants are always explored in full mode: reduction soundness
+/// arguments assume the faithful generator, so mutated generators get
+/// the unreduced treatment.
 pub fn check_protocol_mutants() -> Vec<MutantCheck> {
     ProtocolMutant::ALL
         .iter()
         .map(|&m| {
             let name = m.catch_scenario();
             let sc = scenario_by_name(name).expect("catch scenario exists");
-            let outcome = explore_protocol(&sc, Some(m));
-            MutantCheck {
-                mutant: m.name(),
-                scenario: name,
-                caught: !outcome.violations.is_empty(),
-                violations: outcome.violations,
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                explore_protocol(&sc, Some(m))
+            }));
+            match run {
+                Ok(outcome) => MutantCheck {
+                    mutant: m.name(),
+                    scenario: name,
+                    caught: !outcome.violations.is_empty(),
+                    violations: outcome.violations,
+                    error: None,
+                },
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    MutantCheck {
+                        mutant: m.name(),
+                        scenario: name,
+                        caught: false,
+                        violations: Vec::new(),
+                        error: Some(msg),
+                    }
+                }
             }
         })
         .collect()
@@ -908,20 +1833,55 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_base_scenarios_are_clean() {
-        for (name, outcome) in check_protocol_all() {
+    fn all_base_scenarios_are_clean_reduced() {
+        for sc in builtin_scenarios() {
+            // The scale tier is exercised by `repro check protocol`
+            // (release binary, CI wall budget), not debug unit tests.
+            if !sc.full_ok {
+                continue;
+            }
+            let (outcome, stats) = explore_protocol_mode(&sc, None, Mode::Reduced, None);
             assert!(
                 outcome.violations.is_empty(),
-                "{name}: {:?}",
+                "{}: {:?}",
+                sc.name,
                 outcome.violations
             );
-            assert!(outcome.states > 10, "{name} explored too little");
-            assert!(outcome.terminals > 0, "{name} never terminated");
-            // Keep the scenarios explorable in CI.
+            assert!(outcome.states > 10, "{} explored too little", sc.name);
+            assert!(outcome.terminals > 0, "{} never terminated", sc.name);
+            assert!(!stats.truncated);
+        }
+    }
+
+    #[test]
+    fn reduced_and_full_verdicts_agree_on_every_legacy_scenario() {
+        for sc in builtin_scenarios() {
+            if !sc.full_ok {
+                continue;
+            }
+            let (full, _) = explore_protocol_mode(&sc, None, Mode::Full, None);
+            let (reduced, _) = explore_protocol_mode(&sc, None, Mode::Reduced, None);
+            assert_eq!(
+                full.violations.is_empty(),
+                reduced.violations.is_empty(),
+                "{}: verdicts diverged (full {:?}, reduced {:?})",
+                sc.name,
+                full.violations,
+                reduced.violations
+            );
             assert!(
-                outcome.states < 2_000_000,
-                "{name} exploded to {} states",
-                outcome.states
+                reduced.states <= full.states,
+                "{}: reduction grew the state space ({} > {})",
+                sc.name,
+                reduced.states,
+                full.states
+            );
+            // Keep the full scenarios explorable in CI.
+            assert!(
+                full.states < 2_000_000,
+                "{} exploded to {} states",
+                sc.name,
+                full.states
             );
         }
     }
@@ -936,11 +1896,20 @@ mod tests {
             ("skip-latch-decrement", "latch stuck"),
             ("drop-recovered-tasks", "lost by fail-stop"),
             ("dup-delivery-remaps", "exactly-once"),
+            ("skip-disown-fence", "disown fence"),
+            ("accept-stale-epoch-lease", "stale-epoch"),
         ];
         let checks = check_protocol_mutants();
         assert_eq!(checks.len(), expected.len());
         for (check, (mutant, needle)) in checks.iter().zip(expected) {
             assert_eq!(check.mutant, mutant);
+            assert!(
+                check.error.is_none(),
+                "mutant {} errored on {}: {:?}",
+                check.mutant,
+                check.scenario,
+                check.error
+            );
             assert!(
                 check.caught,
                 "mutant {} escaped on {}",
@@ -963,11 +1932,63 @@ mod tests {
             "kill_recover",
             "kill_restart",
             "dup_delivery",
+            "cluster_reclaim",
+            "cluster_epoch",
         ] {
             let sc = scenario_by_name(name).unwrap();
             let o = explore_protocol(&sc, None);
             assert!(o.violations.is_empty(), "{name}: {:?}", o.violations);
             assert!(o.terminals > 0, "{name}");
         }
+    }
+
+    #[test]
+    fn cluster_recovery_exercises_the_custody_poll() {
+        // The reclaim scenario must actually reach vanished tasks,
+        // custody doubt and reinjection — otherwise the cluster
+        // transitions are dead code and the two cluster mutants prove
+        // nothing.
+        let sc = scenario_by_name("cluster_reclaim").unwrap();
+        let ctx = Ctx {
+            sc: &sc,
+            mutant: None,
+        };
+        let mut seen_vanished = false;
+        let mut seen_doubt = false;
+        let mut seen_reinject = false;
+        let sys = ProtoSys {
+            ctx: Ctx {
+                sc: &sc,
+                mutant: None,
+            },
+            mode: Mode::Full,
+            canon: canon::Canonizer::new(&sc),
+        };
+        let mut bad = BTreeSet::new();
+        let mut stack = vec![sys.initial()];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(sys.key(&stack[0]));
+        while let Some(s) = stack.pop() {
+            for t in 0..s.tasks.len() {
+                if s.tasks[t] == Loc::Vanished {
+                    seen_vanished = true;
+                    if matches!(s.lease[t], Lease::InDoubt { .. }) {
+                        seen_doubt = true;
+                    }
+                }
+                if matches!(s.tasks[t], Loc::InFlight { .. }) && s.killed && s.exec[t] == 0 {
+                    seen_reinject = true;
+                }
+            }
+            for succ in ctx.successors(&s, &mut bad) {
+                let k = sys.key(&succ.state);
+                if seen.insert(k) {
+                    stack.push(succ.state);
+                }
+            }
+        }
+        assert!(seen_vanished, "kill never stranded a task");
+        assert!(seen_doubt, "sweep never opened a custody poll");
+        assert!(seen_reinject, "custody never reinjected a task");
     }
 }

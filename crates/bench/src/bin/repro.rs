@@ -10,6 +10,8 @@
 //! repro bench --check FILE
 //! repro lint [ROOT]
 //! repro check [interleave | protocol | mutants | hb FILE.jsonl] [--scenario NAME] [--list]
+//! repro check protocol [--scenario NAME] [--full] [--compare]
+//! repro check tla [--scenario NAME] [--out FILE]
 //! repro conform FILE.jsonl [--policy NAME]
 //!
 //! experiments:
@@ -46,8 +48,12 @@
 //! given root) and exits nonzero with `file:line` diagnostics on any
 //! violation. `repro check` runs the bounded Chase-Lev/FIFO
 //! interleaving checker (`interleave`), the Algorithm 1 protocol
-//! model checker (`protocol`), or the protocol-mutation smoke test
-//! (`mutants`); `--scenario NAME` restricts a checker to one builtin
+//! model checker (`protocol` — reduced by default, `--full` for the
+//! unreduced exploration, `--full --compare` for the reduced/full
+//! cross-validation), the protocol-mutation smoke test (`mutants`;
+//! exit 3 when a mutant exploration crashes rather than catches), or
+//! the TLA+ exporter (`tla [--out FILE]`, module named after the file
+//! stem); `--scenario NAME` restricts a checker to one builtin
 //! scenario and `--list` enumerates them. `repro check hb FILE`
 //! validates a `*.trace.jsonl` file; `repro conform FILE` replays one
 //! against the Algorithm 1 steal-order automaton (pass `--policy` to
@@ -83,6 +89,8 @@ fn main() {
     let mut validate = false;
     let mut scenario: Option<String> = None;
     let mut list = false;
+    let mut full = false;
+    let mut compare = false;
     let mut suite = perf::BenchSuite::Quick;
     let mut bench_out: Option<String> = None;
     let mut baseline: Option<String> = None;
@@ -94,6 +102,8 @@ fn main() {
         match args[i].as_str() {
             "--validate" => validate = true,
             "--list" => list = true,
+            "--full" => full = true,
+            "--compare" => compare = true,
             "--scenario" => {
                 i += 1;
                 scenario = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -201,8 +211,9 @@ fn main() {
         }
         match positional.get(1).map(String::as_str) {
             None | Some("interleave") => run_check_interleave(scenario.as_deref()),
-            Some("protocol") => run_check_protocol(scenario.as_deref()),
+            Some("protocol") => run_check_protocol(scenario.as_deref(), full, compare),
             Some("mutants") => run_check_mutants(),
+            Some("tla") => run_check_tla(scenario.as_deref(), bench_out.as_deref()),
             Some("hb") => {
                 let Some(path) = positional.get(2) else {
                     eprintln!("usage: repro check hb FILE.jsonl");
@@ -212,7 +223,7 @@ fn main() {
             }
             Some(other) => {
                 eprintln!(
-                    "unknown check '{other}' (expected: interleave, protocol, mutants, hb FILE.jsonl)"
+                    "unknown check '{other}' (expected: interleave, protocol, mutants, tla, hb FILE.jsonl)"
                 );
                 std::process::exit(2);
             }
@@ -355,7 +366,7 @@ fn main() {
         );
         eprintln!("or: repro lint [ROOT]");
         eprintln!(
-            "or: repro check [interleave | protocol | mutants | hb FILE.jsonl] [--scenario NAME] [--list]"
+            "or: repro check [interleave | protocol | mutants | tla | hb FILE.jsonl] [--scenario NAME] [--list] [--full] [--compare] [--out FILE]"
         );
         eprintln!("or: repro conform FILE.jsonl [--policy NAME]");
         std::process::exit(2);
@@ -452,19 +463,24 @@ fn run_check_list() {
         println!("  {}", s.name);
     }
     println!("  shared_fifo");
-    println!("protocol scenarios (repro check protocol --scenario NAME):");
+    println!("protocol scenarios (repro check protocol --scenario NAME; also repro check tla):");
     for s in distws_analyze::protocol::builtin_scenarios() {
+        let mut notes: Vec<&str> = Vec::new();
+        if s.faults.kill_place.is_some() || s.faults.max_drops > 0 || s.faults.max_dups > 0 {
+            notes.push("faults");
+        }
+        if !s.full_ok {
+            notes.push("scale: reduced-only");
+        }
         println!(
-            "  {:<20} {} places x {} workers, {} tasks{}",
+            "  {:<24} {:>7}  {} places x {} workers, {} tasks{}{}",
             s.name,
+            distws_analyze::era_name(s.era),
             s.places,
             s.workers_per_place,
             s.tasks.len(),
-            if s.faults.kill_place.is_some() || s.faults.max_drops > 0 || s.faults.max_dups > 0 {
-                " (faults)"
-            } else {
-                ""
-            }
+            if notes.is_empty() { "" } else { " — " },
+            notes.join(", ")
         );
     }
     println!("protocol mutants (repro check mutants):");
@@ -531,29 +547,191 @@ fn run_check_interleave(scenario: Option<&str>) {
     println!("(no lost task, no double-take, no use-after-grow on any explored schedule)");
 }
 
-/// `repro check protocol` — explicit-state model checking of
-/// Algorithm 1 over every builtin scenario (or one `--scenario`).
-fn run_check_protocol(scenario: Option<&str>) {
-    hr("Algorithm 1 protocol model check — mapping, steal order, chunks, latch");
-    let results: Vec<(&str, distws_analyze::Outcome)> = match scenario {
-        Some(name) => {
-            let Some(sc) = distws_analyze::scenario_by_name(name) else {
+/// State cap for `--full` runs of the scale scenarios (the ones whose
+/// unreduced state space is the point of the reductions): exploration
+/// truncates there and the row is marked, never reported as proof.
+const FULL_EXPLORE_CAP: u64 = 2_000_000;
+
+/// Resolve `--scenario` (or all builtin protocol scenarios).
+fn protocol_scenario_set(scenario: Option<&str>) -> Vec<distws_analyze::ProtocolScenario> {
+    match scenario {
+        Some(name) => match distws_analyze::scenario_by_name(name) {
+            Some(sc) => vec![sc],
+            None => {
                 eprintln!("unknown protocol scenario '{name}' (see repro check --list)");
                 std::process::exit(2);
-            };
-            vec![(sc.name, distws_analyze::explore_protocol(&sc, None))]
+            }
+        },
+        None => distws_analyze::protocol_scenarios(),
+    }
+}
+
+/// `repro check protocol [--scenario NAME] [--full] [--compare]` —
+/// explicit-state model checking of Algorithm 1 (sim and cluster
+/// eras). Default mode is reduced (POR + symmetry); `--full` forces
+/// the unreduced exploration (capped on scale scenarios); `--compare`
+/// runs both and cross-validates the verdicts.
+fn run_check_protocol(scenario: Option<&str>, full: bool, compare: bool) {
+    use distws_analyze::Mode;
+    hr("Algorithm 1 protocol model check — mapping, steal order, chunks, latch, recovery");
+    let scs = protocol_scenario_set(scenario);
+    if compare {
+        run_check_protocol_compare(&scs);
+        return;
+    }
+    let mode = if full { Mode::Full } else { Mode::Reduced };
+    println!(
+        "{:<24} {:>7} {:>9} {:>12} {:>7} {:>8} {:>8} {:>8}",
+        "scenario", "era", "states", "transitions", "peakq", "ample", "proviso", "wall ms"
+    );
+    let mut failed = false;
+    let mut truncated = false;
+    for sc in &scs {
+        let cap = (full && !sc.full_ok)
+            .then_some(FULL_EXPLORE_CAP)
+            .or_else(|| {
+                // Debugging knob: bound any run's stored states.
+                std::env::var("REPRO_STATE_CAP")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            });
+        let t0 = std::time::Instant::now();
+        let (out, stats) = distws_analyze::explore_protocol_mode(sc, None, mode, cap);
+        let wall = t0.elapsed().as_millis();
+        println!(
+            "{:<24} {:>7} {:>8}{} {:>12} {:>7} {:>8} {:>8} {:>8}",
+            sc.name,
+            distws_analyze::era_name(sc.era),
+            out.states,
+            if stats.truncated { "*" } else { " " },
+            stats.transitions,
+            stats.peak_queue,
+            stats.ample_states,
+            stats.proviso_fallbacks,
+            wall
+        );
+        truncated |= stats.truncated;
+        for v in &out.violations {
+            eprintln!("  {}: {v}", sc.name);
+            failed = true;
         }
-        None => distws_analyze::check_protocol_all(),
-    };
-    print_outcomes(&results, "protocol");
+    }
+    if truncated {
+        println!(
+            "(* capped at {FULL_EXPLORE_CAP} states: full exploration of a scale scenario is a \
+             partial verdict — run reduced mode for the proof)"
+        );
+    }
+    if failed {
+        eprintln!("repro check: protocol violations found");
+        std::process::exit(1);
+    }
     println!(
         "(no sensitive migration, exactly-once, no lost latch decrement, \
-         termination — on every explored schedule)"
+         termination — on every explored schedule; mode: {})",
+        if full { "full" } else { "reduced" }
     );
 }
 
+/// `repro check protocol --full --compare` — cross-validate the
+/// reductions: on every full-explorable scenario, the reduced and full
+/// explorations must return the same verdict with
+/// states(reduced) ≤ states(full).
+fn run_check_protocol_compare(scs: &[distws_analyze::ProtocolScenario]) {
+    use distws_analyze::Mode;
+    println!(
+        "{:<24} {:>12} {:>12} {:>7} {:>9} {:>9}",
+        "scenario", "full states", "red. states", "ratio", "wall ms", "verdict"
+    );
+    let mut failed = false;
+    for sc in scs {
+        if !sc.full_ok {
+            println!(
+                "{:<24} {:>12} {:>12} {:>7} {:>9} {:>9}",
+                sc.name, "(skipped)", "-", "-", "-", "-"
+            );
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let (full, _) = distws_analyze::explore_protocol_mode(sc, None, Mode::Full, None);
+        let (reduced, _) = distws_analyze::explore_protocol_mode(sc, None, Mode::Reduced, None);
+        let wall = t0.elapsed().as_millis();
+        let agree = full.violations.is_empty() == reduced.violations.is_empty();
+        let shrank = reduced.states <= full.states;
+        println!(
+            "{:<24} {:>12} {:>12} {:>6.1}x {:>9} {:>9}",
+            sc.name,
+            full.states,
+            reduced.states,
+            full.states as f64 / reduced.states.max(1) as f64,
+            wall,
+            if agree && shrank { "agree" } else { "DIVERGED" }
+        );
+        if !agree {
+            eprintln!(
+                "  {}: verdicts diverged (full {:?}, reduced {:?})",
+                sc.name, full.violations, reduced.violations
+            );
+            failed = true;
+        }
+        if !shrank {
+            eprintln!(
+                "  {}: reduction grew the state space ({} > {})",
+                sc.name, reduced.states, full.states
+            );
+            failed = true;
+        }
+        for v in &full.violations {
+            eprintln!("  {}: {v}", sc.name);
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("repro check: reduced/full cross-validation failed");
+        std::process::exit(1);
+    }
+    println!(
+        "(reduced and full explorations agree on every verdict; skipped rows are scale scenarios)"
+    );
+}
+
+/// `repro check tla [--scenario NAME] [--out FILE]` — export a
+/// scenario's transition relation as a TLC-checkable TLA+ module. The
+/// module name is the output file stem (TLC requires them to match),
+/// or the scenario name when printing to stdout.
+fn run_check_tla(scenario: Option<&str>, out: Option<&str>) {
+    let name = scenario.unwrap_or("sensitive_pinning");
+    let Some(sc) = distws_analyze::scenario_by_name(name) else {
+        eprintln!("unknown protocol scenario '{name}' (see repro check --list)");
+        std::process::exit(2);
+    };
+    match out {
+        Some(path) => {
+            let module = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(sc.name);
+            let text = distws_analyze::export_tla(&sc, module);
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("repro check tla: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!(
+                "repro check tla: wrote module {module} (scenario {}) to {path}",
+                sc.name
+            );
+        }
+        None => {
+            print!("{}", distws_analyze::export_tla(&sc, sc.name));
+        }
+    }
+}
+
 /// `repro check mutants` — re-inject the seeded protocol bugs and
-/// require the checker to catch each one.
+/// require the checker to catch each one. A mutant whose exploration
+/// *panics* is an ERROR (exit 3), not a catch: a crash proves nothing
+/// about the checker's detection power, and conflating the two exit
+/// paths once let a crash masquerade as a catch.
 fn run_check_mutants() {
     hr("Protocol mutation smoke — every seeded Algorithm 1 bug must be caught");
     println!(
@@ -561,17 +739,31 @@ fn run_check_mutants() {
         "mutant", "scenario", "caught", "violations"
     );
     let mut escaped = false;
+    let mut errored = false;
     for check in distws_analyze::check_protocol_mutants() {
+        let status = if check.error.is_some() {
+            errored = true;
+            "ERROR"
+        } else if check.caught {
+            "yes"
+        } else {
+            escaped = true;
+            "NO"
+        };
         println!(
             "{:<28} {:<20} {:>8} {:>11}",
             check.mutant,
             check.scenario,
-            if check.caught { "yes" } else { "NO" },
+            status,
             check.violations.len()
         );
-        if !check.caught {
-            escaped = true;
+        if let Some(e) = &check.error {
+            eprintln!("  {}: exploration panicked: {e}", check.mutant);
         }
+    }
+    if errored {
+        eprintln!("repro check: mutant exploration errored (a crash is not a catch)");
+        std::process::exit(3);
     }
     if escaped {
         eprintln!("repro check: a seeded protocol mutant escaped the checker");

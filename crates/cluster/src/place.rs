@@ -65,6 +65,7 @@ use distws_core::{ClusterConfig, GlobalWorkerId, Locality, PlaceId, SplitMix64, 
 use distws_deque::{deque as chase_lev, SharedFifo, Stealer, Worker as PrivateDeque};
 use distws_json::Value;
 use distws_runtime::{IdleAction, IdleGate, SharedBoard};
+use distws_sched::protocol::lease_is_stale;
 use distws_sched::{ClusterView, DequeChoice, Policy, StealStep, TaskMeta};
 use distws_trace::{StealTier, TraceEvent, TraceEventKind};
 use std::collections::{HashMap, HashSet};
@@ -556,7 +557,9 @@ impl Node {
     /// in-flight `TaskMoved` can land, then open a custody poll for
     /// every task whose payload the dead incarnation was the last
     /// known carrier of: entries still located there
-    /// (`loc == p && loc_epoch <= dying`) *and* entries the
+    /// (`loc == p` with `lease_is_stale(loc_epoch, dying)` — the
+    /// shared fencing predicate from `distws_sched::protocol`, also
+    /// used by the model's cluster-era transitions) *and* entries the
     /// incarnation leased away without the recipient confirming —
     /// either side of that hand-off may or may not have happened, and
     /// only the live peers know. Each candidate is re-injected only
@@ -603,9 +606,10 @@ impl Node {
                 .iter()
                 .filter(|(_, e)| {
                     !e.done
-                        && ((e.loc == p && e.loc_epoch <= dying)
+                        && ((e.loc == p && lease_is_stale(e.loc_epoch, dying))
                             || (!e.settled
-                                && e.lessor.is_some_and(|(lp, le)| lp == p && le <= dying)))
+                                && e.lessor
+                                    .is_some_and(|(lp, le)| lp == p && lease_is_stale(le, dying))))
                 })
                 .map(|(id, _)| *id)
                 .collect();
@@ -848,8 +852,12 @@ impl Node {
         // process (whose revival the registry may not have processed
         // yet).
         let swept_at = reg.swept.get(&to).copied();
-        let stale = to != 0 && swept_at.is_some_and(|s| to_epoch <= s);
-        let sender_swept = !confirm && reg.swept.get(&from).is_some_and(|&s| from_epoch <= s);
+        let stale = to != 0 && swept_at.is_some_and(|s| lease_is_stale(to_epoch, s));
+        let sender_swept = !confirm
+            && reg
+                .swept
+                .get(&from)
+                .is_some_and(|&s| lease_is_stale(from_epoch, s));
         let (cur_loc, cur_epoch, settled) = match reg.tasks.get(&id) {
             None => {
                 // Orphans keep the old rule — a swept sender's lease
@@ -921,7 +929,8 @@ impl Node {
         //
         // Any other `cur_loc` means a newer confirm/lease re-homed
         // the task already; re-polling would risk running it twice.
-        let still_at_dead_target = cur_loc == to && swept_at.is_some_and(|s| cur_epoch <= s);
+        let still_at_dead_target =
+            cur_loc == to && swept_at.is_some_and(|s| lease_is_stale(cur_epoch, s));
         let still_at_lessor = !confirm && cur_loc == from && cur_epoch <= from_epoch;
         if !still_at_dead_target && !still_at_lessor {
             return;
@@ -988,7 +997,10 @@ impl Node {
             // `swept_of(p, e)` below: incarnation `e` of place `p` has
             // already been (or is being) reclaimed — copies there are
             // gone.
-            let from_swept = reg.swept.get(&from).is_some_and(|&s| from_epoch <= s);
+            let from_swept = reg
+                .swept
+                .get(&from)
+                .is_some_and(|&s| lease_is_stale(from_epoch, s));
             match known {
                 None => {
                     let id = t.id;
@@ -1006,7 +1018,11 @@ impl Node {
                             // delivering a second copy.
                             self.register_locked(&mut reg, fresh, from, from_epoch);
                             let pending_at_swept = reg.tasks.get(&id).is_some_and(|e| {
-                                !e.done && reg.swept.get(&e.loc).is_some_and(|&s| e.loc_epoch <= s)
+                                !e.done
+                                    && reg
+                                        .swept
+                                        .get(&e.loc)
+                                        .is_some_and(|&s| lease_is_stale(e.loc_epoch, s))
                             });
                             if pending_at_swept {
                                 self.poll_custody_locked(&mut reg, id, from, from_epoch);
@@ -1025,7 +1041,7 @@ impl Node {
                         self.register_locked(&mut reg, fresh, from, from_epoch);
                     } else if let Some(&(loc, le, _, _)) = reg.orphan_moved.get(&id) {
                         let holder_swept =
-                            loc != 0 && reg.swept.get(&loc).is_some_and(|&s| le <= s);
+                            loc != 0 && reg.swept.get(&loc).is_some_and(|&s| lease_is_stale(le, s));
                         if holder_swept {
                             // A thief held the first copy but its
                             // incarnation was swept: deliver fresh.
