@@ -64,6 +64,14 @@ use distws_bench as bench;
 use distws_bench::{perf, Scale};
 use std::io::Write;
 
+/// Short git commit baked in at compile time (`build.rs`), so the
+/// benched binary's provenance is always printed — a stale
+/// `target/release/repro` from an older checkout is the classic way to
+/// gate CI against the wrong code.
+fn build_hash() -> &'static str {
+    option_env!("DISTWS_BUILD_HASH").unwrap_or("unknown")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // The cluster subcommands carry their own flag namespace
@@ -97,6 +105,9 @@ fn main() {
     let mut threshold = perf::DEFAULT_THRESHOLD_PCT;
     let mut gate = true;
     let mut check_path: Option<String> = None;
+    let mut max_tasks: u64 = u64::MAX;
+    let mut max_wall_s: Option<f64> = None;
+    let mut max_rss_mb: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -190,6 +201,39 @@ fn main() {
                     eprintln!("--check needs a BENCH_*.json path");
                     std::process::exit(2);
                 }));
+            }
+            "--max-tasks" => {
+                i += 1;
+                max_tasks = args
+                    .get(i)
+                    .and_then(|s| s.replace('_', "").parse::<u64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-tasks needs an integer task bound");
+                        std::process::exit(2);
+                    });
+            }
+            "--max-wall-s" => {
+                i += 1;
+                max_wall_s = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|t| t.is_finite() && *t > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--max-wall-s needs a positive seconds budget");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--max-rss-mb" => {
+                i += 1;
+                max_rss_mb = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--max-rss-mb needs an integer MiB budget");
+                            std::process::exit(2);
+                        }),
+                );
             }
             flag if flag.starts_with("--") => {
                 eprintln!("unexpected argument {flag}");
@@ -290,6 +334,29 @@ fn main() {
             baseline.as_deref(),
             threshold,
             gate,
+        );
+        return;
+    }
+    if positional.first().map(String::as_str) == Some("scale") {
+        if positional.len() > 1 {
+            eprintln!(
+                "usage: repro scale [--seed S] [--out FILE] [--baseline FILE] [--threshold PCT] [--no-gate] [--max-tasks N] [--max-wall-s SEC] [--max-rss-mb MiB] | repro scale --check FILE"
+            );
+            std::process::exit(2);
+        }
+        if let Some(path) = check_path {
+            run_scale_check(&path);
+            return;
+        }
+        run_scale_sweep(
+            seed.unwrap_or(0),
+            bench_out.as_deref(),
+            baseline.as_deref(),
+            threshold,
+            gate,
+            max_tasks,
+            max_wall_s,
+            max_rss_mb,
         );
         return;
     }
@@ -1094,19 +1161,35 @@ fn print_chaos(spec_text: &str, seed: u64, rows: &[bench::ChaosRow]) {
     println!("(every level validated its application output and executed every spawned task exactly once)");
 }
 
-/// In-memory sink keeping the events for the Chrome exporter while
-/// accumulating the JSONL stream byte-for-byte as it will hit disk.
-#[derive(Default)]
+/// Streams JSONL straight to the trace file through a buffered sink
+/// while keeping the events in memory for the Chrome exporter and the
+/// conformance replay.
 struct TeeSink {
     events: Vec<distws_trace::TraceEvent>,
-    jsonl: String,
+    file: distws_trace::BufferedJsonlSink<std::fs::File>,
+}
+
+impl TeeSink {
+    fn jsonl(&self) -> String {
+        // Rebuilt from the retained events: byte-identical to the file
+        // contents, since the buffered sink wrote exactly these lines.
+        let mut s = String::new();
+        for ev in &self.events {
+            s.push_str(&ev.to_jsonl());
+            s.push('\n');
+        }
+        s
+    }
 }
 
 impl distws_trace::TraceSink for TeeSink {
     fn record(&mut self, ev: distws_trace::TraceEvent) {
-        self.jsonl.push_str(&ev.to_jsonl());
-        self.jsonl.push('\n');
+        self.file.record(ev);
         self.events.push(ev);
+    }
+
+    fn flush(&mut self) {
+        self.file.flush();
     }
 }
 
@@ -1138,7 +1221,18 @@ fn run_trace(app_name: &str, scale: Scale, policy_name: &str, seed: Option<u64>,
     let mut cfg = SimConfig::new(cluster.clone());
     cfg.seed = effective_seed;
     cfg.sample_interval_ns = Some(interval);
-    let mut sink = TeeSink::default();
+    // The JSONL stream goes straight to disk through the buffered sink
+    // as the simulation runs, so a large trace never sits in memory
+    // twice.
+    std::fs::create_dir_all(dir).expect("create trace dir");
+    let slug = app.name().to_ascii_lowercase().replace(' ', "_");
+    let trace_path = format!("{dir}/{slug}.trace.jsonl");
+    let mut sink = TeeSink {
+        events: Vec::new(),
+        file: distws_trace::BufferedJsonlSink::new(
+            std::fs::File::create(&trace_path).expect("create trace file"),
+        ),
+    };
     let app = bench::app_by_name(app_name, scale).unwrap();
     let (report, series) =
         Simulation::with_config(cfg, policy).run_app_traced(app.as_ref(), &mut sink);
@@ -1167,8 +1261,10 @@ fn run_trace(app_name: &str, scale: Scale, policy_name: &str, seed: Option<u64>,
     println!();
     print_percentiles(&report);
 
-    std::fs::create_dir_all(dir).expect("create trace dir");
-    let slug = report.app.to_ascii_lowercase().replace(' ', "_");
+    let jsonl = sink.jsonl();
+    let TeeSink { events, file } = sink;
+    file.into_inner().expect("flush trace file");
+    eprintln!("wrote {trace_path}");
     let write = |suffix: &str, body: &str| {
         let path = format!("{dir}/{slug}.{suffix}");
         let mut f = std::fs::File::create(&path).expect("create trace file");
@@ -1178,10 +1274,9 @@ fn run_trace(app_name: &str, scale: Scale, policy_name: &str, seed: Option<u64>,
         }
         eprintln!("wrote {path}");
     };
-    write("trace.jsonl", &sink.jsonl);
     write(
         "chrome.json",
-        &distws_trace::chrome_trace(&sink.events, &cluster).render(),
+        &distws_trace::chrome_trace(&events, &cluster).render(),
     );
     write("series.json", &series.to_json().render_pretty());
     write("report.json", &distws_json::to_string_pretty(&report));
@@ -1190,7 +1285,7 @@ fn run_trace(app_name: &str, scale: Scale, policy_name: &str, seed: Option<u64>,
     // automaton under this policy's chunk/re-probe contract.
     let cfg = distws_analyze::ConformConfig::for_policy(policy_name)
         .unwrap_or_else(distws_analyze::ConformConfig::generic);
-    let conform = distws_analyze::conform_str(&sink.jsonl, &cfg);
+    let conform = distws_analyze::conform_str(&jsonl, &cfg);
     for v in &conform.violations {
         eprintln!("conformance: {v}");
     }
@@ -1249,9 +1344,10 @@ fn run_bench(
 ) {
     let points = perf::matrix(suite);
     hr(&format!(
-        "repro bench — suite {} ({} cells, seed {seed})",
+        "repro bench — suite {} ({} cells, seed {seed}, build {})",
         suite.name(),
-        points.len()
+        points.len(),
+        build_hash(),
     ));
     let report = perf::run_suite(suite, seed, |i, p| {
         eprintln!(
@@ -1316,6 +1412,159 @@ fn run_bench(
                 std::process::exit(1);
             }
             println!("(--no-gate: not failing)");
+        }
+    }
+}
+
+/// `repro scale` — the cluster-scale engine sweep (see
+/// `distws_bench::scale`). Runs every grid cell with `tasks <=
+/// max_tasks`, writes/updates `BENCH_scale.json`, gates events/sec
+/// against the committed baseline, and optionally enforces wall/RSS
+/// budgets (the CI smoke runs a bounded cell under both).
+#[allow(clippy::too_many_arguments)]
+fn run_scale_sweep(
+    seed: u64,
+    out: Option<&str>,
+    baseline: Option<&str>,
+    threshold_pct: f64,
+    gate: bool,
+    max_tasks: u64,
+    max_wall_s: Option<f64>,
+    max_rss_mb: Option<u64>,
+) {
+    use bench::scale;
+
+    let points: Vec<scale::ScalePoint> = scale::scale_matrix()
+        .into_iter()
+        .filter(|p| p.tasks <= max_tasks)
+        .collect();
+    if points.is_empty() {
+        eprintln!("repro scale: --max-tasks {max_tasks} excludes every grid cell");
+        std::process::exit(2);
+    }
+    hr(&format!(
+        "repro scale — engine sweep ({} of {} cells, seed {seed}, build {})",
+        points.len(),
+        scale::scale_matrix().len(),
+        build_hash(),
+    ));
+    let total = points.len();
+    let report = scale::run_scale(seed, max_tasks, |i, p| {
+        eprintln!(
+            "[{}/{total}] ScaleFanout / DistWS on {}x{}, {} tasks ...",
+            i + 1,
+            p.places,
+            p.workers_per_place,
+            p.tasks
+        );
+    });
+    print!("{}", scale::render_scale_table(&report));
+
+    // Load the baseline BEFORE overwriting the default output path —
+    // with no --baseline / --out, both are the committed BENCH file.
+    let out_path = out.unwrap_or(scale::SCALE_DEFAULT_OUT).to_string();
+    let baseline_path = baseline.unwrap_or(&out_path).to_string();
+    let baseline_report = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match scale::parse_scale_report(&text) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("baseline {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => {
+            eprintln!("no baseline at {baseline_path}; skipping the regression gate");
+            None
+        }
+    };
+
+    distws_json::write_json_file(std::path::Path::new(&out_path), &report)
+        .expect("write scale json");
+    eprintln!("wrote {out_path}");
+
+    let mut failed = false;
+    if let Some(budget) = max_wall_s {
+        for c in &report.cells {
+            if c.wall_ms > budget * 1e3 {
+                println!(
+                    "wall budget: {}x{} x {} tasks took {:.1}s (budget {budget}s)",
+                    c.places,
+                    c.workers_per_place,
+                    c.tasks,
+                    c.wall_ms / 1e3
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(budget) = max_rss_mb {
+        for c in &report.cells {
+            if c.peak_rss_kb > budget * 1024 {
+                println!(
+                    "rss budget: {}x{} x {} tasks peaked at {} MiB (budget {budget} MiB)",
+                    c.places,
+                    c.workers_per_place,
+                    c.tasks,
+                    c.peak_rss_kb / 1024
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(base) = baseline_report {
+        let regressions = scale::compare_scale(&report, &base, threshold_pct);
+        if regressions.is_empty() {
+            println!(
+                "\nregression gate: ok ({} cells within {threshold_pct}% of baseline events/sec)",
+                report.cells.len()
+            );
+        } else {
+            println!(
+                "\nregression gate: {} cell(s) slower than baseline by more than {threshold_pct}%:",
+                regressions.len()
+            );
+            for r in &regressions {
+                println!(
+                    "  {}x{} x {} tasks: {:.0} -> {:.0} events/sec (-{:.1}%)",
+                    r.point.places,
+                    r.point.workers_per_place,
+                    r.point.tasks,
+                    r.baseline_eps,
+                    r.current_eps,
+                    r.drop_pct
+                );
+            }
+            if gate {
+                failed = true;
+            } else {
+                println!("(--no-gate: not failing)");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// `repro scale --check FILE` — schema-validate a scale trajectory.
+fn run_scale_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    match bench::scale::parse_scale_report(&text) {
+        Ok(r) => {
+            println!(
+                "{path}: ok (schema v{}, seed {}, {} cells)",
+                r.schema_version,
+                r.seed,
+                r.cells.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod perf;
+pub mod scale;
 
 use distws_apps as apps;
 use distws_core::{ClusterConfig, RunReport, Workload};

@@ -1,0 +1,48 @@
+//! PR invariant: the engine hot-path rework (calendar event queue,
+//! task/latch arenas, worker bitsets, cached victim lists, buffered
+//! sinks) must not move a single counter.
+//!
+//! Re-runs every quick-suite matrix cell in-process and asserts the
+//! deterministic fields — tasks, virtual makespan, event count, all
+//! metrics counters and gauges — are bit-identical to the committed
+//! `BENCH_quick.json` baseline. Wall-clock fields (`wall_ms`,
+//! `events_per_sec`, `phase_ns`, `peak_rss_kb`) are machine-dependent
+//! and excluded.
+
+use distws_bench::perf::{matrix, parse_report, run_cell, BenchSuite};
+
+#[test]
+fn quick_suite_counters_match_committed_baseline() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_quick.json"
+    ))
+    .expect("committed BENCH_quick.json");
+    let baseline = parse_report(&text).expect("parse BENCH_quick.json");
+
+    let points = matrix(BenchSuite::Quick);
+    assert_eq!(
+        points.len(),
+        baseline.cells.len(),
+        "matrix and baseline disagree on cell count"
+    );
+    for (point, want) in points.iter().zip(&baseline.cells) {
+        let got = run_cell(point, baseline.seed, 1);
+        assert_eq!(got.key(), want.key(), "cell identity drifted");
+        let cell = format!("{} / {}", got.app, got.policy);
+        assert_eq!(got.tasks, want.tasks, "{cell}: tasks");
+        assert_eq!(got.events, want.events, "{cell}: events");
+        assert_eq!(
+            got.makespan_ms.to_bits(),
+            want.makespan_ms.to_bits(),
+            "{cell}: makespan {} != {}",
+            got.makespan_ms,
+            want.makespan_ms
+        );
+        assert_eq!(
+            got.metrics.counters, want.metrics.counters,
+            "{cell}: counters"
+        );
+        assert_eq!(got.metrics.gauges, want.metrics.gauges, "{cell}: gauges");
+    }
+}

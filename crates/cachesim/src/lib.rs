@@ -64,7 +64,7 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Line {
     tag: u64,
     valid: bool,
@@ -131,6 +131,12 @@ impl Cache {
 
     /// Replay a contiguous access of `bytes` at `(obj, offset)`,
     /// touching every covered line. Returns the number of misses.
+    ///
+    /// Long sweeps take a closed-form path that is bit-exact with the
+    /// line-by-line replay (same stats, same final line/stamp state —
+    /// property-tested below) but costs O(sets × ways) instead of
+    /// O(lines): the engine replays every task's footprint, so
+    /// megabyte accesses dominated the simulator's dispatch phase.
     pub fn access(&mut self, obj: u64, offset: u64, bytes: u64) -> u64 {
         if bytes == 0 {
             return 0;
@@ -139,12 +145,111 @@ impl Cache {
         let base = (obj << 40).wrapping_add(offset);
         let first = base / self.cfg.line_bytes;
         let last = (base + bytes - 1) / self.cfg.line_bytes;
+        let lines = last - first + 1;
+        if lines >= 4 * self.cfg.sets as u64 * self.cfg.ways as u64 {
+            return self.sweep_fast(first, lines);
+        }
         let mut misses = 0;
         for line in first..=last {
             if !self.touch_line(line * self.cfg.line_bytes) {
                 misses += 1;
             }
         }
+        misses
+    }
+
+    /// Closed-form contiguous sweep over line addresses
+    /// `first .. first + lines`, exactly equivalent to calling
+    /// [`Self::touch_line`] once per line in ascending order.
+    ///
+    /// Within one sweep every touched line is distinct, so a hit can
+    /// only match a line resident *before* the sweep, and pre-sweep
+    /// stamps are all smaller than any stamp the sweep assigns. Per
+    /// set that means the first `ways` touches each consume exactly
+    /// one pre-sweep way (a hit refreshes it, a miss evicts the LRU /
+    /// first-invalid one) — simulated verbatim — after which the set
+    /// holds only sweep lines and the remaining touches are guaranteed
+    /// misses cycling through the ways in their fill order, which is
+    /// computed arithmetically.
+    fn sweep_fast(&mut self, first: u64, lines: u64) -> u64 {
+        let sets = self.cfg.sets as u64;
+        let ways = self.cfg.ways as usize;
+        let set_shift = self.cfg.sets.trailing_zeros();
+        let clock0 = self.clock;
+        let mut misses = 0u64;
+        // Per-set scratch: the slot filled/refreshed by phase-1 touch q.
+        let mut slot_order = [0usize; 64];
+        let mut order_buf: Vec<usize> = Vec::new();
+        let order: &mut [usize] = if ways <= slot_order.len() {
+            &mut slot_order[..ways]
+        } else {
+            order_buf.resize(ways, 0);
+            &mut order_buf[..]
+        };
+
+        for s in 0..sets {
+            // Sweep offset of this set's first touch.
+            let j0 = (s + sets - (first % sets)) % sets;
+            if j0 >= lines {
+                continue;
+            }
+            let k = (lines - j0).div_ceil(sets); // touches to this set
+            let base = (s as usize) * ways;
+            let set_lines = &mut self.lines[base..base + ways];
+
+            // Phase 1: the first min(k, ways) touches, replayed exactly.
+            let p = (k as usize).min(ways);
+            for (q, slot) in order.iter_mut().enumerate().take(p) {
+                let line_addr = first + j0 + q as u64 * sets;
+                let tag = line_addr >> set_shift;
+                let clock = clock0 + j0 + q as u64 * sets + 1;
+                let hit = set_lines.iter().position(|l| l.valid && l.tag == tag);
+                if let Some(i) = hit {
+                    set_lines[i].stamp = clock;
+                }
+                *slot = match hit {
+                    Some(i) => i,
+                    None => {
+                        misses += 1;
+                        let (i, _) = set_lines
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| if l.valid { l.stamp } else { 0 })
+                            .expect("ways > 0");
+                        set_lines[i] = Line {
+                            tag,
+                            valid: true,
+                            stamp: clock,
+                        };
+                        i
+                    }
+                };
+            }
+
+            // Phase 2: guaranteed misses cycling through the ways in
+            // phase-1 fill order; only each slot's last touch survives.
+            if k as usize > ways {
+                let m = k - ways as u64;
+                misses += m;
+                for (x, &slot) in order.iter().enumerate() {
+                    let x = x as u64;
+                    if x >= m {
+                        break;
+                    }
+                    let r = x + (m - 1 - x) / ways as u64 * ways as u64;
+                    let q = ways as u64 + r;
+                    let line_addr = first + j0 + q * sets;
+                    set_lines[slot] = Line {
+                        tag: line_addr >> set_shift,
+                        valid: true,
+                        stamp: clock0 + j0 + q * sets + 1,
+                    };
+                }
+            }
+        }
+        self.clock = clock0 + lines;
+        self.stats.accesses += lines;
+        self.stats.misses += misses;
         misses
     }
 
@@ -250,5 +355,72 @@ mod tests {
         let mut c = Cache::new(CacheConfig::l1d());
         assert_eq!(c.access(1, 0, 0), 0);
         assert_eq!(c.stats().accesses, 0);
+    }
+
+    /// Line-by-line reference replay of `access`, bypassing the
+    /// closed-form sweep path.
+    fn access_ref(c: &mut Cache, obj: u64, offset: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let base = (obj << 40).wrapping_add(offset);
+        let first = base / c.cfg.line_bytes;
+        let last = (base + bytes - 1) / c.cfg.line_bytes;
+        let mut misses = 0;
+        for line in first..=last {
+            if !c.touch_line(line * c.cfg.line_bytes) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// The closed-form sweep must be bit-exact with the line-by-line
+    /// replay: same miss counts, same counters, same final line/stamp
+    /// state — over random mixes of short and long accesses on several
+    /// geometries.
+    #[test]
+    fn fast_sweep_is_bit_exact_with_reference() {
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for cfg in [
+            CacheConfig::l1d(),
+            CacheConfig {
+                line_bytes: 64,
+                sets: 8,
+                ways: 2,
+            },
+            CacheConfig {
+                line_bytes: 32,
+                sets: 16,
+                ways: 4,
+            },
+        ] {
+            let mut fast = Cache::new(cfg);
+            let mut refc = Cache::new(cfg);
+            for i in 0..200 {
+                let obj = next() % 3;
+                let offset = next() % (cfg.capacity() * 2);
+                // Mix tiny touches with sweeps far beyond capacity so
+                // both the slow and the closed-form path are exercised,
+                // interleaved, against warm and cold state.
+                let bytes = match i % 4 {
+                    0 => next() % 256,
+                    1 => cfg.capacity() / 2 + next() % cfg.capacity(),
+                    _ => 4 * cfg.capacity() + next() % (8 * cfg.capacity()),
+                };
+                let mf = fast.access(obj, offset, bytes);
+                let mr = access_ref(&mut refc, obj, offset, bytes);
+                assert_eq!(mf, mr, "miss count diverged (cfg {cfg:?}, step {i})");
+                assert_eq!(fast.stats, refc.stats, "stats diverged at step {i}");
+                assert_eq!(fast.clock, refc.clock, "clock diverged at step {i}");
+                assert_eq!(fast.lines, refc.lines, "line state diverged at step {i}");
+            }
+        }
     }
 }

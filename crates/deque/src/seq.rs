@@ -97,6 +97,14 @@ impl<T> SeqSharedFifo<T> {
         self.inner.drain(..n).collect()
     }
 
+    /// [`Self::take_chunk`] into a caller-owned buffer (cleared first),
+    /// so a hot loop can reuse one allocation across steals.
+    pub fn take_chunk_into(&mut self, chunk: usize, out: &mut Vec<T>) {
+        out.clear();
+        let n = chunk.min(self.inner.len());
+        out.extend(self.inner.drain(..n));
+    }
+
     /// Number of queued tasks.
     pub fn len(&self) -> usize {
         self.inner.len()

@@ -96,6 +96,16 @@ impl Policy for AdaptiveWs {
         self.inner.steal_sequence(thief, view, rng)
     }
 
+    fn steal_sequence_into(
+        &mut self,
+        thief: GlobalWorkerId,
+        view: &dyn ClusterView,
+        rng: &mut SplitMix64,
+        out: &mut Vec<StealStep>,
+    ) {
+        self.inner.steal_sequence_into(thief, view, rng, out);
+    }
+
     fn may_migrate(&self, _locality: Locality) -> bool {
         // The annotation is deliberately overridden: whatever the
         // heuristic pooled in a shared deque is fair game. Remote-

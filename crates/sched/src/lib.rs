@@ -76,6 +76,21 @@ pub trait Policy: Send {
         rng: &mut SplitMix64,
     ) -> Vec<StealStep>;
 
+    /// [`Self::steal_sequence`] into a caller-owned buffer (cleared
+    /// first). The engine's steal loop reuses one buffer across every
+    /// round, so hot policies override this allocation-free and route
+    /// `steal_sequence` through it; the default simply delegates.
+    fn steal_sequence_into(
+        &mut self,
+        thief: distws_core::GlobalWorkerId,
+        view: &dyn ClusterView,
+        rng: &mut SplitMix64,
+        out: &mut Vec<StealStep>,
+    ) {
+        out.clear();
+        out.extend(self.steal_sequence(thief, view, rng));
+    }
+
     /// Whether a task of the given locality may ever migrate across
     /// places under this policy. Engines assert this on every
     /// migration, so the paper's guarantee — sensitive tasks never

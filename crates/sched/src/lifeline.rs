@@ -90,21 +90,33 @@ impl Policy for LifelineWs {
         view: &dyn ClusterView,
         rng: &mut SplitMix64,
     ) -> Vec<StealStep> {
+        let mut out = Vec::new();
+        self.steal_sequence_into(thief, view, rng, &mut out);
+        out
+    }
+
+    fn steal_sequence_into(
+        &mut self,
+        thief: GlobalWorkerId,
+        view: &dyn ClusterView,
+        rng: &mut SplitMix64,
+        out: &mut Vec<StealStep>,
+    ) {
         let cfg = view.config();
         let place = cfg.place_of(thief);
-        let mut steps = protocol::local_steps().to_vec();
+        out.clear();
+        out.extend_from_slice(&protocol::local_steps());
         if cfg.places > 1 {
             for _ in 0..self.random_attempts {
                 let mut v = PlaceId(rng.below(cfg.places as u64) as u32);
                 if v == place {
                     v = PlaceId((v.0 + 1) % cfg.places);
                 }
-                steps.push(StealStep::StealRemoteShared(v));
+                out.push(StealStep::StealRemoteShared(v));
             }
             // All random attempts failed: quiesce on the lifelines.
-            steps.push(StealStep::Quiesce);
+            out.push(StealStep::Quiesce);
         }
-        steps
     }
 
     fn may_migrate(&self, locality: Locality) -> bool {

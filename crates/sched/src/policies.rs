@@ -90,6 +90,45 @@ impl FailBackoff {
     }
 }
 
+/// Precomputed victim bookkeeping: the "every place but mine" base
+/// lists (and their ring-distance-sorted variants) are built once per
+/// cluster size, and one reusable scratch buffer replaces the per-round
+/// collect + sort of [`VictimOrder::victims`]. The randomized order
+/// performs the exact same Fisher–Yates draws over the exact same base
+/// list, so steal sequences are unchanged byte for byte (pinned against
+/// a reference implementation in `tests/victim_order.rs`).
+#[derive(Debug, Clone, Default)]
+struct VictimCache {
+    places: u32,
+    /// `base[from]` = all other places in ascending id order.
+    base: Vec<Vec<PlaceId>>,
+    /// `ring[from]` = all other places by ring distance, then id.
+    ring: Vec<Vec<PlaceId>>,
+    /// Per-round `(shared_len, place)` working buffer.
+    scratch: Vec<(usize, PlaceId)>,
+}
+
+impl VictimCache {
+    fn ensure(&mut self, places: u32) {
+        if self.places == places && !self.base.is_empty() {
+            return;
+        }
+        self.places = places;
+        let others = |from: u32| (0..places).map(PlaceId).filter(move |p| p.0 != from);
+        self.base = (0..places).map(|from| others(from).collect()).collect();
+        self.ring = (0..places)
+            .map(|from| {
+                let mut v: Vec<PlaceId> = others(from).collect();
+                v.sort_by_key(|p| {
+                    let d = from.abs_diff(p.0);
+                    (d.min(places - d), p.0)
+                });
+                v
+            })
+            .collect();
+    }
+}
+
 /// Append the distributed-stealing tail of Algorithm 1 (lines 18–29):
 /// visit up to `budget` remote places' shared deques, re-probing the
 /// network after every failed attempt.
@@ -100,18 +139,45 @@ fn push_remote_visits(
     order: VictimOrder,
     budget: usize,
     rng: &mut SplitMix64,
+    cache: &mut VictimCache,
 ) {
-    let mut victims = order.victims(from, view.config().places, rng);
+    cache.ensure(view.config().places);
+    let VictimCache {
+        base,
+        ring,
+        scratch,
+        ..
+    } = cache;
+    let list = match order {
+        VictimOrder::Random => &base[from.0 as usize],
+        VictimOrder::NearestFirstRing => &ring[from.0 as usize],
+    };
+    scratch.clear();
+    scratch.extend(list.iter().map(|p| (0usize, *p)));
+    if order == VictimOrder::Random {
+        // Same draws, same swaps as shuffling the bare place list.
+        rng.shuffle(scratch);
+    }
+    for e in scratch.iter_mut() {
+        e.0 = view.shared_len(e.1);
+    }
     // §VI.B: every place maintains a status object that lets thieves
     // "identify idle or lightly-loaded places" — so probe the places
-    // with visibly pooled work first (stable sort keeps the base order
-    // among equally-loaded victims), and don't pay round trips to
+    // with visibly pooled work first, and don't pay round trips to
     // places the status board already shows empty beyond a small
-    // staleness allowance.
-    victims.sort_by_key(|p| std::cmp::Reverse(view.shared_len(*p)));
-    let loaded = victims.iter().filter(|p| view.shared_len(**p) > 0).count();
+    // staleness allowance. In-place insertion sort, descending: an
+    // element only moves left past *strictly smaller* keys, which is
+    // exactly the stable `sort_by_key(Reverse(len))` order.
+    for i in 1..scratch.len() {
+        let mut j = i;
+        while j > 0 && scratch[j - 1].0 < scratch[j].0 {
+            scratch.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    let loaded = scratch.iter().filter(|(len, _)| *len > 0).count();
     let keep = (loaded + 2).min(budget);
-    for victim in victims.into_iter().take(keep) {
+    for &(_, victim) in scratch.iter().take(keep) {
         // Lines 22–27 + the line 19 re-probe after a failed attempt.
         steps.extend(protocol::remote_visit(victim));
     }
@@ -144,13 +210,26 @@ impl Policy for X10Ws {
 
     fn steal_sequence(
         &mut self,
+        thief: GlobalWorkerId,
+        view: &dyn ClusterView,
+        rng: &mut SplitMix64,
+    ) -> Vec<StealStep> {
+        let mut out = Vec::new();
+        self.steal_sequence_into(thief, view, rng, &mut out);
+        out
+    }
+
+    fn steal_sequence_into(
+        &mut self,
         _thief: GlobalWorkerId,
         _view: &dyn ClusterView,
         _rng: &mut SplitMix64,
-    ) -> Vec<StealStep> {
+        out: &mut Vec<StealStep>,
+    ) {
         // Lines 9–13 only: X10WS never consults the shared deque or the
         // network beyond the inbox probe.
-        protocol::local_steps()[..3].to_vec()
+        out.clear();
+        out.extend_from_slice(&protocol::local_steps()[..3]);
     }
 
     fn may_migrate(&self, _locality: Locality) -> bool {
@@ -187,6 +266,7 @@ pub struct DistWs {
     /// ablation (flexible tasks then always go to the shared deque).
     pub respect_utilization: bool,
     backoff: FailBackoff,
+    cache: VictimCache,
 }
 
 impl Default for DistWs {
@@ -196,6 +276,7 @@ impl Default for DistWs {
             chunk_policy: ChunkPolicy::Fixed(protocol::REMOTE_STEAL_CHUNK),
             respect_utilization: true,
             backoff: FailBackoff::default(),
+            cache: VictimCache::default(),
         }
     }
 }
@@ -272,11 +353,31 @@ impl Policy for DistWs {
         view: &dyn ClusterView,
         rng: &mut SplitMix64,
     ) -> Vec<StealStep> {
+        let mut out = Vec::new();
+        self.steal_sequence_into(thief, view, rng, &mut out);
+        out
+    }
+
+    fn steal_sequence_into(
+        &mut self,
+        thief: GlobalWorkerId,
+        view: &dyn ClusterView,
+        rng: &mut SplitMix64,
+        out: &mut Vec<StealStep>,
+    ) {
         let place = view.config().place_of(thief);
-        let mut steps = protocol::local_steps().to_vec(); // lines 9–15
+        out.clear();
+        out.extend_from_slice(&protocol::local_steps()); // lines 9–15
         let budget = self.backoff.budget(thief, view.config().places);
-        push_remote_visits(&mut steps, place, view, self.victim_order, budget, rng);
-        steps
+        push_remote_visits(
+            out,
+            place,
+            view,
+            self.victim_order,
+            budget,
+            rng,
+            &mut self.cache,
+        );
     }
 
     fn may_migrate(&self, locality: Locality) -> bool {
@@ -314,6 +415,7 @@ pub struct DistWsNs {
     chunk: usize,
     rr: u64,
     backoff: FailBackoff,
+    cache: VictimCache,
 }
 
 impl Default for DistWsNs {
@@ -323,6 +425,7 @@ impl Default for DistWsNs {
             chunk: protocol::REMOTE_STEAL_CHUNK,
             rr: 0,
             backoff: FailBackoff::default(),
+            cache: VictimCache::default(),
         }
     }
 }
@@ -354,11 +457,31 @@ impl Policy for DistWsNs {
         view: &dyn ClusterView,
         rng: &mut SplitMix64,
     ) -> Vec<StealStep> {
+        let mut out = Vec::new();
+        self.steal_sequence_into(thief, view, rng, &mut out);
+        out
+    }
+
+    fn steal_sequence_into(
+        &mut self,
+        thief: GlobalWorkerId,
+        view: &dyn ClusterView,
+        rng: &mut SplitMix64,
+        out: &mut Vec<StealStep>,
+    ) {
         let place = view.config().place_of(thief);
-        let mut steps = protocol::local_steps().to_vec();
+        out.clear();
+        out.extend_from_slice(&protocol::local_steps());
         let budget = self.backoff.budget(thief, view.config().places);
-        push_remote_visits(&mut steps, place, view, self.victim_order, budget, rng);
-        steps
+        push_remote_visits(
+            out,
+            place,
+            view,
+            self.victim_order,
+            budget,
+            rng,
+            &mut self.cache,
+        );
     }
 
     fn may_migrate(&self, _locality: Locality) -> bool {
@@ -411,9 +534,22 @@ impl Policy for RandomWs {
         view: &dyn ClusterView,
         rng: &mut SplitMix64,
     ) -> Vec<StealStep> {
+        let mut out = Vec::new();
+        self.steal_sequence_into(thief, view, rng, &mut out);
+        out
+    }
+
+    fn steal_sequence_into(
+        &mut self,
+        thief: GlobalWorkerId,
+        view: &dyn ClusterView,
+        rng: &mut SplitMix64,
+        out: &mut Vec<StealStep>,
+    ) {
         let cfg = view.config();
         let place = cfg.place_of(thief);
-        let mut steps = protocol::local_steps().to_vec();
+        out.clear();
+        out.extend_from_slice(&protocol::local_steps());
         if cfg.places > 1 {
             // One random victim per round; a missed steal does not
             // inform future steals (the property lifelines fix).
@@ -421,9 +557,8 @@ impl Policy for RandomWs {
             if v == place {
                 v = PlaceId((v.0 + 1) % cfg.places);
             }
-            steps.push(StealStep::StealRemoteShared(v));
+            out.push(StealStep::StealRemoteShared(v));
         }
-        steps
     }
 
     fn may_migrate(&self, locality: Locality) -> bool {

@@ -1,0 +1,282 @@
+//! A calendar (bucket) event queue for the DES hot path.
+//!
+//! [`CalendarQueue`] replaces the engine's former single global
+//! `BinaryHeap<Event>`: future events are spread over a ring of
+//! fixed-width virtual-time buckets (Brown's calendar queue), so a
+//! push is O(1) routing instead of an O(log n) sift through one heap
+//! holding every pending event. Only the *active window* — the
+//! earliest bucket — is kept heap-ordered, and pops come from it.
+//!
+//! The pop order is **exactly** the `(time, seq)` order of a single
+//! binary heap (property-tested in `tests/calendar.rs`): `seq` is a
+//! monotone push counter, so ties on virtual time break in push order,
+//! byte-for-byte reproducing the pre-calendar event schedule. The
+//! structure relies on the DES invariant that a push is never earlier
+//! than the event currently being dispatched; a push below the active
+//! window still lands in the active heap and stays correctly ordered.
+//!
+//! Bucket width is chosen adaptively: the queue starts unbucketed
+//! (everything pools in an overflow bin) and on the first pop — and
+//! whenever ring and window drain while the overflow holds events —
+//! it re-buckets, sizing `width` so the observed span spreads at
+//! roughly one event per bucket across a [`RING_BUCKETS`]-slot ring.
+//! Far-future events (beyond the ring horizon, e.g. fault-injection
+//! kills) wait in the overflow bin until the window reaches them.
+
+use std::collections::BinaryHeap;
+
+/// Number of bucket slots in the ring. 512 buckets at the adaptive
+/// width cover the observed event span; a larger ring only helps
+/// pathologically sparse schedules, which re-bucket instead.
+pub const RING_BUCKETS: usize = 512;
+
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Calendar/bucket priority queue popping `(time, push order)` minima.
+pub struct CalendarQueue<T> {
+    /// Heap over the active window: every queued event with
+    /// `time < active_end` is here, so its minimum is the global one.
+    active: BinaryHeap<Entry<T>>,
+    /// Exclusive virtual-time bound of the active window.
+    active_end: u64,
+    /// Bucket width in virtual ns; 0 = unbucketed startup state.
+    width: u64,
+    /// `ring[(base + i) % RING_BUCKETS]` covers
+    /// `[active_end + i*width, active_end + (i+1)*width)`, unsorted.
+    ring: Vec<Vec<Entry<T>>>,
+    base: usize,
+    ring_len: usize,
+    /// Events beyond the ring horizon (and everything pre-first-pop).
+    overflow: Vec<Entry<T>>,
+    /// Earliest time in `overflow` (`u64::MAX` when empty). The pop
+    /// path folds overflow events back into the active window the
+    /// moment the window reaches them, so a stream of near-term pushes
+    /// can never advance the ring past a parked far-future event.
+    overflow_min: u64,
+    seq: u64,
+    len: usize,
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            active: BinaryHeap::new(),
+            active_end: 0,
+            width: 0,
+            ring: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
+            base: 0,
+            ring_len: 0,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Queued event count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue `item` at `time`. Ties on `time` pop in push order.
+    pub fn push(&mut self, time: u64, item: T) {
+        self.seq += 1;
+        let e = Entry {
+            time,
+            seq: self.seq,
+            item,
+        };
+        self.len += 1;
+        self.route(e);
+    }
+
+    fn route(&mut self, e: Entry<T>) {
+        if self.width == 0 {
+            self.overflow_min = self.overflow_min.min(e.time);
+            self.overflow.push(e);
+            return;
+        }
+        if e.time < self.active_end {
+            self.active.push(e);
+            return;
+        }
+        let idx = (e.time - self.active_end) / self.width;
+        if idx < RING_BUCKETS as u64 {
+            let slot = (self.base + idx as usize) % RING_BUCKETS;
+            self.ring[slot].push(e);
+            self.ring_len += 1;
+        } else {
+            self.overflow_min = self.overflow_min.min(e.time);
+            self.overflow.push(e);
+        }
+    }
+
+    /// Pop the earliest event (`(time, push order)` minimum).
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        loop {
+            if let Some(e) = self.active.pop() {
+                self.len -= 1;
+                return Some((e.time, e.item));
+            }
+            if self.ring_len > 0 {
+                // Advance the window to the next non-empty bucket and
+                // heap its events. Bounded by RING_BUCKETS steps.
+                loop {
+                    let slot = self.base;
+                    self.base = (self.base + 1) % RING_BUCKETS;
+                    self.active_end += self.width;
+                    // Fold back any overflow events the window has now
+                    // reached: they order before (or tie-interleave
+                    // with) this bucket's events.
+                    if self.overflow_min < self.active_end {
+                        self.drain_overflow_into_active();
+                    }
+                    if !self.ring[slot].is_empty() {
+                        let bucket = std::mem::take(&mut self.ring[slot]);
+                        self.ring_len -= bucket.len();
+                        if self.active.is_empty() {
+                            self.active = BinaryHeap::from(bucket);
+                        } else {
+                            self.active.extend(bucket);
+                        }
+                        break;
+                    }
+                    if !self.active.is_empty() {
+                        // The fold-back alone put events in the window.
+                        break;
+                    }
+                }
+            } else if !self.overflow.is_empty() {
+                self.rebucket();
+            } else {
+                return None;
+            }
+        }
+    }
+
+    /// Re-seed window, width and ring from the overflow bin: aim for
+    /// one event per bucket over the span actually present.
+    fn rebucket(&mut self) {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for e in &self.overflow {
+            min = min.min(e.time);
+            max = max.max(e.time);
+        }
+        self.width = ((max - min) / self.overflow.len() as u64).max(1);
+        self.active_end = min + self.width;
+        self.base = 0;
+        self.overflow_min = u64::MAX;
+        for e in std::mem::take(&mut self.overflow) {
+            self.route(e);
+        }
+    }
+
+    /// Move every overflow event with `time < active_end` into the
+    /// active heap, recomputing the watermark for the rest.
+    fn drain_overflow_into_active(&mut self) {
+        let bound = self.active_end;
+        let mut min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].time < bound {
+                self.active.push(self.overflow.swap_remove(i));
+            } else {
+                min = min.min(self.overflow[i].time);
+                i += 1;
+            }
+        }
+        self.overflow_min = min;
+    }
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = CalendarQueue::new();
+        q.push(30, "c");
+        q.push(10, "a1");
+        q.push(10, "a2");
+        q.push(20, "b");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((10, "a1")));
+        assert_eq!(q.pop(), Some((10, "a2")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_monotone() {
+        let mut q = CalendarQueue::new();
+        q.push(0, 0u64);
+        let mut last = 0;
+        let mut popped = 0;
+        let mut n = 0u64;
+        while let Some((t, x)) = q.pop() {
+            assert!(t >= last, "pop went backwards");
+            last = t;
+            popped += 1;
+            // Each event schedules a couple more, DES style.
+            if n < 200 {
+                n += 1;
+                q.push(t + (x * 7919) % 513, n);
+                if n < 100 {
+                    n += 1;
+                    q.push(t + 100_000 + (x % 7) * 1_000_000, n);
+                }
+            }
+        }
+        assert_eq!(popped, n + 1);
+    }
+
+    #[test]
+    fn far_future_events_survive_in_overflow() {
+        let mut q = CalendarQueue::new();
+        q.push(5, "near");
+        q.push(10_000_000_000, "far"); // fault-kill style horizon
+        q.push(6, "near2");
+        assert_eq!(q.pop(), Some((5, "near")));
+        assert_eq!(q.pop(), Some((6, "near2")));
+        assert_eq!(q.pop(), Some((10_000_000_000, "far")));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,13 +1,14 @@
 //! The discrete-event engine.
 
+use crate::calendar::CalendarQueue;
 use crate::faults::FaultConfig;
 use crate::scope::SimScope;
 use distws_cachesim::{Cache, CacheConfig};
 use distws_core::rng::SplitMix64;
 use distws_core::{
-    CacheSummary, ClusterConfig, CostModel, FaultSummary, FinishLatch, Footprint, GlobalWorkerId,
-    Locality, PlaceId, RunReport, StealCounts, TaskBody, TaskId, TaskSpec, UtilizationSummary,
-    Workload,
+    Access, CacheSummary, ClusterConfig, CostModel, FaultSummary, FinishLatch, Footprint,
+    GlobalWorkerId, Locality, PlaceId, RunReport, StealCounts, TaskBody, TaskId, TaskSpec,
+    UtilizationSummary, Workload,
 };
 use distws_deque::{SeqPrivateDeque, SeqSharedFifo};
 use distws_metrics::{Counter, Gauge, MetricsSink, NullMetrics, Phase};
@@ -17,7 +18,7 @@ use distws_trace::{
     Histogram, MessageKind, NullSink, PlaceSample, StealTier, TimeSeries, TraceEvent,
     TraceEventKind, TraceSink,
 };
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 fn trace_msg_kind(kind: MsgKind) -> MessageKind {
@@ -179,6 +180,16 @@ impl Simulation {
 // Internal state
 // ---------------------------------------------------------------------------
 
+/// Arena index of an in-flight [`Task`] — the 4-byte handle that moves
+/// through deques and the event queue instead of the ~200-byte task.
+type TaskRef = u32;
+
+/// Arena index of an interned [`FinishLatch`].
+type LatchRef = u32;
+
+/// `LatchRef` sentinel for "task carries no latch".
+const NO_LATCH: LatchRef = u32::MAX;
+
 /// A runnable task instance inside the engine.
 struct Task {
     id: TaskId,
@@ -195,13 +206,138 @@ struct Task {
     footprint: Footprint,
     #[allow(dead_code)]
     label: &'static str,
-    latch: Option<Arc<FinishLatch>>,
+    latch: LatchRef,
     body: TaskBody,
 }
 
+/// Slab arena of in-flight tasks. Slots are recycled through a LIFO
+/// free list the moment a task starts executing, so the live slot
+/// count tracks the number of *queued* tasks, not tasks ever spawned.
+#[derive(Default)]
+struct TaskArena {
+    slots: Vec<Option<Task>>,
+    free: Vec<TaskRef>,
+}
+
+impl TaskArena {
+    fn alloc(&mut self, task: Task) -> TaskRef {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(task);
+                i
+            }
+            None => {
+                self.slots.push(Some(task));
+                (self.slots.len() - 1) as TaskRef
+            }
+        }
+    }
+
+    /// Remove the task, recycling its slot immediately. A `TaskRef` is
+    /// a unique handle (exactly one queue or event holds it), so the
+    /// slot is provably occupied; the panic documents that invariant.
+    fn take(&mut self, r: TaskRef) -> Task {
+        let Some(task) = self.slots[r as usize].take() else {
+            panic!("task slot {r} already freed");
+        };
+        self.free.push(r);
+        task
+    }
+
+    fn get(&self, r: TaskRef) -> &Task {
+        match self.slots[r as usize].as_ref() {
+            Some(task) => task,
+            None => panic!("task slot {r} already freed"),
+        }
+    }
+
+    fn get_mut(&mut self, r: TaskRef) -> &mut Task {
+        match self.slots[r as usize].as_mut() {
+            Some(task) => task,
+            None => panic!("task slot {r} already freed"),
+        }
+    }
+}
+
+/// Interning arena for finish latches: tasks carry a `LatchRef`
+/// instead of an `Arc<FinishLatch>` clone. A latch's slot is freed as
+/// soon as its pending count drains to zero (every outstanding task
+/// holding the ref accounts for at least one pending completion, so a
+/// live ref can never point at a freed slot); re-arming a drained
+/// latch simply re-interns it.
+#[derive(Default)]
+struct LatchArena {
+    slots: Vec<Option<Arc<FinishLatch>>>,
+    free: Vec<LatchRef>,
+    /// `Arc` pointer → slot. Entries are removed on free, so pointer
+    /// reuse by a later allocation can never alias a stale slot.
+    by_ptr: BTreeMap<usize, LatchRef>,
+}
+
+impl LatchArena {
+    fn intern(&mut self, latch: Arc<FinishLatch>) -> LatchRef {
+        let key = Arc::as_ptr(&latch) as usize;
+        if let Some(&i) = self.by_ptr.get(&key) {
+            return i;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(latch);
+                i
+            }
+            None => {
+                self.slots.push(Some(latch));
+                (self.slots.len() - 1) as LatchRef
+            }
+        };
+        self.by_ptr.insert(key, i);
+        i
+    }
+
+    /// Count one completion, freeing the slot once the latch drains.
+    fn complete_one(&mut self, r: LatchRef) -> Option<TaskSpec> {
+        let Some(latch) = self.slots[r as usize].as_ref() else {
+            panic!("latch slot {r} already freed");
+        };
+        let cont = latch.complete_one();
+        if latch.pending() == 0 {
+            let key = Arc::as_ptr(latch) as usize;
+            self.by_ptr.remove(&key);
+            self.slots[r as usize] = None;
+            self.free.push(r);
+        }
+        cont
+    }
+}
+
+/// Set or clear bit `i` of a worker bitset.
+#[inline]
+fn set_bit(bits: &mut [u64], i: usize, on: bool) {
+    let mask = 1u64 << (i % 64);
+    if on {
+        bits[i / 64] |= mask;
+    } else {
+        bits[i / 64] &= !mask;
+    }
+}
+
+/// Word `wd` of a bitset, masked to global-worker range `[start, end)`.
+#[inline]
+fn range_word(bits: &[u64], wd: usize, start: usize, end: usize) -> u64 {
+    let mut m = bits[wd];
+    let lo = wd * 64;
+    if start > lo {
+        m &= !0u64 << (start - lo);
+    }
+    if end < lo + 64 {
+        m &= (1u64 << (end - lo)) - 1;
+    }
+    m
+}
+
 enum EventKind {
-    /// Task lands at `task.exec_home`: map & enqueue.
-    Arrive(Task),
+    /// Task lands at its `exec_home`: map & enqueue.
+    Arrive(TaskRef),
     /// Worker finished its current task.
     Free(GlobalWorkerId),
     /// Prod a parked worker to retry acquiring work. `strong` also
@@ -212,30 +348,6 @@ enum EventKind {
     PlaceFail(PlaceId, /* hard (SIGKILL-style, silent) */ bool),
     /// A killed place rejoins the cluster empty-handed.
     PlaceRestart(PlaceId),
-}
-
-struct Event {
-    time: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,7 +361,7 @@ enum WorkerStatus {
 }
 
 struct WorkerState {
-    deque: SeqPrivateDeque<Task>,
+    deque: SeqPrivateDeque<TaskRef>,
     cache: Option<Cache>,
     status: WorkerStatus,
     /// Pending Wake event already scheduled (dedup).
@@ -264,11 +376,11 @@ struct WorkerState {
     busy_ns: u64,
     overhead_ns: u64,
     /// Latch of the task currently executing, processed at `Free`.
-    finishing_latch: Option<Arc<FinishLatch>>,
+    finishing_latch: LatchRef,
 }
 
 struct PlaceState {
-    shared: SeqSharedFifo<Task>,
+    shared: SeqSharedFifo<TaskRef>,
     /// Places quiesced on us (they named us as a lifeline).
     lifeline_dependents: Vec<PlaceId>,
     /// Round-robin cursor for private-deque target selection.
@@ -315,11 +427,26 @@ struct Engine<'p> {
     cfg: SimConfig,
     policy: &'p mut dyn Policy,
     rng: SplitMix64,
-    heap: BinaryHeap<Event>,
-    seq: u64,
+    queue: CalendarQueue<EventKind>,
+    tasks: TaskArena,
+    latches: LatchArena,
     workers: Vec<WorkerState>,
     places: Vec<PlaceState>,
     board: Board,
+    /// Worker bitsets, maintained by `refresh_bits` after every
+    /// `counted`/`status`/`wake_pending` mutation. They turn the
+    /// linear worker scans of task mapping and wakeups into word
+    /// scans: `idle` = unclaimed and not Busy, `dormant` = Dormant
+    /// with no Wake in flight, `quiesced` = Quiesced with no Wake in
+    /// flight (workers a wake would actually move).
+    idle_bits: Vec<u64>,
+    dormant_bits: Vec<u64>,
+    quiesced_bits: Vec<u64>,
+    /// Reusable buffers for the steal loop and task execution.
+    steal_buf: Vec<StealStep>,
+    chunk_buf: Vec<TaskRef>,
+    spawn_buf: Vec<TaskSpec>,
+    access_buf: Vec<Access>,
     net: Network,
     steals: StealCounts,
     remote_refs: u64,
@@ -378,9 +505,16 @@ impl<'p> Engine<'p> {
                 avail_at: 0,
                 busy_ns: 0,
                 overhead_ns: 0,
-                finishing_latch: None,
+                finishing_latch: NO_LATCH,
             })
             .collect();
+        // Every worker starts Dormant, unclaimed, with no wake in
+        // flight: idle and dormant bits all set, quiesced all clear.
+        let words = nw.div_ceil(64);
+        let mut all_workers = vec![0u64; words];
+        for i in 0..nw {
+            all_workers[i / 64] |= 1u64 << (i % 64);
+        }
         let places = (0..np)
             .map(|_| PlaceState {
                 shared: SeqSharedFifo::new(),
@@ -392,10 +526,18 @@ impl<'p> Engine<'p> {
             cfg: cfg.clone(),
             policy,
             rng: SplitMix64::new(cfg.seed),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: CalendarQueue::new(),
+            tasks: TaskArena::default(),
+            latches: LatchArena::default(),
             workers,
             places,
+            idle_bits: all_workers.clone(),
+            dormant_bits: all_workers,
+            quiesced_bits: vec![0u64; words],
+            steal_buf: Vec::new(),
+            chunk_buf: Vec::new(),
+            spawn_buf: Vec::new(),
+            access_buf: Vec::new(),
             board: Board {
                 cfg: cluster.clone(),
                 busy: vec![0; np],
@@ -602,28 +744,33 @@ impl<'p> Engine<'p> {
     /// re-enqueueing preserves exactly-once. `extra_ns` is added on
     /// top of the detection delay (hard kills recover via the silent
     /// path: silence detection plus the lease grace).
-    fn recover_task(&mut self, now: u64, mut task: Task, from: PlaceId, extra_ns: u64) {
-        let target = if self.alive[task.origin_home.index()] {
-            task.origin_home
+    fn recover_task(&mut self, now: u64, tr: TaskRef, from: PlaceId, extra_ns: u64) {
+        let origin_home = self.tasks.get(tr).origin_home;
+        let target = if self.alive[origin_home.index()] {
+            origin_home
         } else {
             PlaceId(0)
         };
-        task.exec_home = target;
-        task.carried = false;
+        {
+            let task = self.tasks.get_mut(tr);
+            task.exec_home = target;
+            task.carried = false;
+        }
         self.fault_stats.tasks_recovered += 1;
         if self.tracing {
+            let task = self.tasks.get(tr).id;
             let w = self.cfg.cluster.global(from, distws_core::WorkerId(0));
             self.emit(
                 now,
                 w,
                 TraceEventKind::TaskRecover {
-                    task: task.id,
+                    task,
                     from,
                     to: target,
                 },
             );
         }
-        self.schedule(now + self.detect_ns + extra_ns, EventKind::Arrive(task));
+        self.schedule(now + self.detect_ns + extra_ns, EventKind::Arrive(tr));
     }
 
     /// `hard` marks a SIGKILL-style death: the place cannot announce
@@ -659,6 +806,7 @@ impl<'p> Engine<'p> {
             if self.workers[w.index()].status != WorkerStatus::Busy {
                 self.unclaim(w);
                 self.workers[w.index()].status = WorkerStatus::Dormant;
+                self.refresh_bits(w);
             }
         }
         // No lifeline pushes to or from a dead place.
@@ -682,32 +830,30 @@ impl<'p> Engine<'p> {
         let wpp = self.cfg.cluster.workers_per_place;
         for i in 0..wpp {
             let w = self.cfg.cluster.global(p, distws_core::WorkerId(i));
-            let ws = &mut self.workers[w.index()];
-            // A worker still Busy from before the kill has a pending
-            // Free event for its in-flight task; forcing it Dormant
-            // here would let a wake start a second task and orphan the
-            // first one's latch. It rejoins via on_free, whose
-            // alive-check now passes.
-            if ws.status == WorkerStatus::Busy {
-                continue;
+            {
+                let ws = &mut self.workers[w.index()];
+                // A worker still Busy from before the kill has a
+                // pending Free event for its in-flight task; forcing
+                // it Dormant here would let a wake start a second task
+                // and orphan the first one's latch. It rejoins via
+                // on_free, whose alive-check now passes.
+                if ws.status == WorkerStatus::Busy {
+                    continue;
+                }
+                ws.status = WorkerStatus::Dormant;
+                ws.avail_at = ws.avail_at.max(now);
             }
-            ws.status = WorkerStatus::Dormant;
-            ws.avail_at = ws.avail_at.max(now);
+            self.refresh_bits(w);
             self.wake(now, w, self.cfg.cost.shared_deque_op_ns + w.0 as u64, true);
         }
     }
 
     fn schedule(&mut self, time: u64, kind: EventKind) {
-        self.seq += 1;
-        self.heap.push(Event {
-            time,
-            seq: self.seq,
-            kind,
-        });
+        self.queue.push(time, kind);
         if self.metering {
             self.metrics.add(Counter::EventQueuePushes, 1);
             self.metrics
-                .gauge_max(Gauge::EventQueueMaxDepth, self.heap.len() as u64);
+                .gauge_max(Gauge::EventQueueMaxDepth, self.queue.len() as u64);
         }
     }
 
@@ -716,13 +862,17 @@ impl<'p> Engine<'p> {
         spec: TaskSpec,
         spawned_at: PlaceId,
         spawner: Option<GlobalWorkerId>,
-    ) -> Task {
+    ) -> TaskRef {
         self.next_task += 1;
         self.tasks_spawned += 1;
         if self.metering {
             self.metrics.add(Counter::TasksAllocated, 1);
         }
-        Task {
+        let latch = match spec.latch {
+            Some(l) => self.latches.intern(l),
+            None => NO_LATCH,
+        };
+        self.tasks.alloc(Task {
             id: TaskId(self.next_task),
             locality: spec.locality,
             origin_home: spec.home,
@@ -733,9 +883,9 @@ impl<'p> Engine<'p> {
             est: spec.est_cost_ns,
             footprint: spec.footprint,
             label: spec.label,
-            latch: spec.latch,
+            latch,
             body: spec.body,
-        }
+        })
     }
 
     fn inject_roots(&mut self, roots: Vec<TaskSpec>) {
@@ -745,18 +895,19 @@ impl<'p> Engine<'p> {
         for spec in roots {
             let home = spec.home;
             let fp = spec.migration_bytes();
-            let task = self.make_task(spec, home, None);
+            let tr = self.make_task(spec, home, None);
             if self.tracing {
-                self.emit(0, main, TraceEventKind::Spawn { task: task.id });
+                let task = self.tasks.get(tr).id;
+                self.emit(0, main, TraceEventKind::Spawn { task });
             }
             // Distributing roots to other places is real communication.
             if home == PlaceId(0) {
-                self.schedule(0, EventKind::Arrive(task));
+                self.schedule(0, EventKind::Arrive(tr));
             } else {
                 let bytes = self.cfg.cost.closure_bytes + fp;
                 let cost = self.reliable_send(0, PlaceId(0), home, MsgKind::TaskMigrate, bytes);
                 self.drain_net(0, main);
-                self.schedule(cost, EventKind::Arrive(task));
+                self.schedule(cost, EventKind::Arrive(tr));
             }
         }
     }
@@ -767,7 +918,7 @@ impl<'p> Engine<'p> {
         if self.metering {
             self.metrics.phase_start(Phase::EventDispatch);
         }
-        while let Some(ev) = self.heap.pop() {
+        while let Some((now, kind)) = self.queue.pop() {
             self.events += 1;
             if self.metering {
                 self.metrics.add(Counter::EventsProcessed, 1);
@@ -778,7 +929,6 @@ impl<'p> Engine<'p> {
                 "event budget exceeded ({}) — runaway simulation?",
                 self.cfg.max_events
             );
-            let now = ev.time;
             self.makespan = self.makespan.max(now);
             if self.series.is_some() {
                 if self.metering {
@@ -789,8 +939,8 @@ impl<'p> Engine<'p> {
                     self.metrics.phase_end(Phase::TraceEmission);
                 }
             }
-            match ev.kind {
-                EventKind::Arrive(task) => self.map_and_enqueue(now, task),
+            match kind {
+                EventKind::Arrive(tr) => self.map_and_enqueue(now, tr),
                 EventKind::Free(w) => self.on_free(now, w),
                 EventKind::Wake(w, strong) => self.on_wake(now, w, strong),
                 EventKind::PlaceFail(p, hard) => self.on_place_fail(now, p, hard),
@@ -836,11 +986,36 @@ impl<'p> Engine<'p> {
         self.cfg.cluster.place_of(w)
     }
 
+    /// Recompute worker `w`'s bits from its state. Must follow every
+    /// mutation of `counted`, `status` or `wake_pending`.
+    #[inline]
+    fn refresh_bits(&mut self, w: GlobalWorkerId) {
+        let i = w.index();
+        let ws = &self.workers[i];
+        let unpended = !ws.wake_pending;
+        set_bit(
+            &mut self.idle_bits,
+            i,
+            !ws.counted && ws.status != WorkerStatus::Busy,
+        );
+        set_bit(
+            &mut self.dormant_bits,
+            i,
+            ws.status == WorkerStatus::Dormant && unpended,
+        );
+        set_bit(
+            &mut self.quiesced_bits,
+            i,
+            ws.status == WorkerStatus::Quiesced && unpended,
+        );
+    }
+
     fn claim(&mut self, w: GlobalWorkerId) {
         let p = self.place_of(w).index();
         if !self.workers[w.index()].counted {
             self.workers[w.index()].counted = true;
             self.board.busy[p] += 1;
+            self.refresh_bits(w);
         }
     }
 
@@ -849,6 +1024,7 @@ impl<'p> Engine<'p> {
         if self.workers[w.index()].counted {
             self.workers[w.index()].counted = false;
             self.board.busy[p] -= 1;
+            self.refresh_bits(w);
         }
     }
 
@@ -861,11 +1037,13 @@ impl<'p> Engine<'p> {
             return;
         }
         ws.wake_pending = true;
+        self.refresh_bits(w);
         self.schedule(now + delay, EventKind::Wake(w, strong));
     }
 
     fn on_wake(&mut self, now: u64, w: GlobalWorkerId, strong: bool) {
         self.workers[w.index()].wake_pending = false;
+        self.refresh_bits(w);
         match self.workers[w.index()].status {
             WorkerStatus::Busy => {}
             WorkerStatus::Quiesced if !strong => {}
@@ -880,27 +1058,29 @@ impl<'p> Engine<'p> {
                 self.emit(now, w, TraceEventKind::TaskEnd { task });
             }
         }
-        let latch = self.workers[w.index()].finishing_latch.take();
+        let latch = std::mem::replace(&mut self.workers[w.index()].finishing_latch, NO_LATCH);
         // Leave Busy state before acquiring again.
         self.workers[w.index()].status = WorkerStatus::Dormant;
-        if let Some(latch) = latch {
-            if let Some(cont) = latch.complete_one() {
+        self.refresh_bits(w);
+        if latch != NO_LATCH {
+            if let Some(cont) = self.latches.complete_one(latch) {
                 // Release the continuation from this place.
                 let here = self.place_of(w);
                 let cont_home = cont.home;
                 let fp = cont.migration_bytes();
-                let task = self.make_task(cont, here, Some(w));
+                let tr = self.make_task(cont, here, Some(w));
                 if self.tracing {
-                    self.emit(now, w, TraceEventKind::Spawn { task: task.id });
+                    let task = self.tasks.get(tr).id;
+                    self.emit(now, w, TraceEventKind::Spawn { task });
                 }
                 if cont_home == here {
-                    self.schedule(now, EventKind::Arrive(task));
+                    self.schedule(now, EventKind::Arrive(tr));
                 } else {
                     let bytes = self.cfg.cost.closure_bytes + fp;
                     let cost =
                         self.reliable_send(now, here, cont_home, MsgKind::TaskMigrate, bytes);
                     self.drain_net(now, w);
-                    self.schedule(now + cost, EventKind::Arrive(task));
+                    self.schedule(now + cost, EventKind::Arrive(tr));
                 }
             }
         }
@@ -915,27 +1095,31 @@ impl<'p> Engine<'p> {
 
     // -- mapping (Algorithm 1 lines 1–8) --------------------------------------
 
-    fn map_and_enqueue(&mut self, now: u64, task: Task) {
-        let place = task.exec_home;
+    fn map_and_enqueue(&mut self, now: u64, tr: TaskRef) {
+        let place = self.tasks.get(tr).exec_home;
         // A task landing at a dead place was in flight when the place
         // failed (or was queued behind the failure event): recover it.
         if self.faulty && !self.alive[place.index()] {
-            self.recover_task(now, task, place, 0);
+            self.recover_task(now, tr, place, 0);
             return;
         }
-        let meta = TaskMeta {
-            home: place,
-            locality: task.locality,
-            spawned_at: task.spawned_at,
-            est_cost_ns: task.est,
-            footprint_bytes: task.footprint.total_bytes(),
+        let meta = {
+            let task = self.tasks.get(tr);
+            TaskMeta {
+                home: place,
+                locality: task.locality,
+                spawned_at: task.spawned_at,
+                est_cost_ns: task.est,
+                footprint_bytes: task.footprint.total_bytes(),
+            }
         };
         let choice = self.policy.map_task(&meta, &self.board, &mut self.rng);
         match choice {
             DequeChoice::Private => {
-                let target = self.pick_private_target(place, task.spawner);
+                let spawner = self.tasks.get(tr).spawner;
+                let target = self.pick_private_target(place, spawner);
                 let cap_before = self.workers[target.index()].deque.capacity();
-                self.workers[target.index()].deque.push(task);
+                self.workers[target.index()].deque.push(tr);
                 self.board.private_len[target.index()] += 1;
                 if self.metering {
                     let d = &self.workers[target.index()].deque;
@@ -961,13 +1145,13 @@ impl<'p> Engine<'p> {
                     while let Some(&q) = self.places[place.index()].lifeline_dependents.first() {
                         self.places[place.index()].lifeline_dependents.remove(0);
                         if self.alive[q.index()] {
-                            self.push_to_lifeline(now, place, q, task);
+                            self.push_to_lifeline(now, place, q, tr);
                             return;
                         }
                     }
                 }
                 let cap_before = self.places[place.index()].shared.capacity();
-                self.places[place.index()].shared.push(task);
+                self.places[place.index()].shared.push(tr);
                 self.board.shared_len[place.index()] += 1;
                 if self.metering {
                     let q = &self.places[place.index()].shared;
@@ -982,10 +1166,16 @@ impl<'p> Engine<'p> {
         }
         // Any arrival of work also prods quiesced workers of the place
         // (they re-run their loop and re-quiesce if they lose the race).
-        let wpp = self.cfg.cluster.workers_per_place;
-        for i in 0..wpp {
-            let w = self.cfg.cluster.global(place, distws_core::WorkerId(i));
-            if self.workers[w.index()].status == WorkerStatus::Quiesced {
+        // Word-snapshot iteration: a wake only clears the woken
+        // worker's own bit, already removed from the snapshot.
+        let wpp = self.cfg.cluster.workers_per_place as usize;
+        let start = place.index() * wpp;
+        let end = start + wpp;
+        for wd in start / 64..=(end - 1) / 64 {
+            let mut m = range_word(&self.quiesced_bits, wd, start, end);
+            while m != 0 {
+                let w = GlobalWorkerId((wd * 64 + m.trailing_zeros() as usize) as u32);
+                m &= m - 1;
                 let d = self.cfg.cost.shared_deque_op_ns + w.0 as u64;
                 self.wake(now, w, d, true);
             }
@@ -999,12 +1189,15 @@ impl<'p> Engine<'p> {
     ) -> GlobalWorkerId {
         let wpp = self.cfg.cluster.workers_per_place;
         // Prefer an idle (unclaimed, parked) worker — Algorithm 1 maps
-        // tasks on under-utilized places directly to idle workers.
-        for i in 0..wpp {
-            let w = self.cfg.cluster.global(place, distws_core::WorkerId(i));
-            let ws = &self.workers[w.index()];
-            if !ws.counted && ws.status != WorkerStatus::Busy {
-                return w;
+        // tasks on under-utilized places directly to idle workers. The
+        // bitset scan returns the lowest-indexed idle worker, the same
+        // worker the former linear scan found.
+        let start = place.index() * wpp as usize;
+        let end = start + wpp as usize;
+        for wd in start / 64..=(end - 1) / 64 {
+            let m = range_word(&self.idle_bits, wd, start, end);
+            if m != 0 {
+                return GlobalWorkerId((wd * 64 + m.trailing_zeros() as usize) as u32);
             }
         }
         // Help-first: the spawning worker keeps its own children.
@@ -1024,27 +1217,36 @@ impl<'p> Engine<'p> {
     }
 
     fn wake_for_shared(&mut self, now: u64, place: PlaceId) {
-        let cfg = self.cfg.cluster.clone();
+        let places = self.cfg.cluster.places;
+        let wpp = self.cfg.cluster.workers_per_place as usize;
         let base = self.cfg.cost.shared_deque_op_ns;
-        // All dormant co-located workers.
-        for i in 0..cfg.workers_per_place {
-            let w = cfg.global(place, distws_core::WorkerId(i));
-            if self.workers[w.index()].status == WorkerStatus::Dormant {
+        // All dormant co-located workers, in ascending worker order
+        // (word-snapshot iteration, see map_and_enqueue).
+        let start = place.index() * wpp;
+        let end = start + wpp;
+        for wd in start / 64..=(end - 1) / 64 {
+            let mut m = range_word(&self.dormant_bits, wd, start, end);
+            while m != 0 {
+                let w = GlobalWorkerId((wd * 64 + m.trailing_zeros() as usize) as u32);
+                m &= m - 1;
                 self.wake(now, w, base + w.0 as u64, false);
             }
         }
         // A bounded number of remote dormant workers (they will pay
-        // their own probe round trips when they retry).
+        // their own probe round trips when they retry): the first
+        // dormant unpended worker of each of the next places.
         let mut budget = self.cfg.remote_wake_limit;
-        for off in 1..cfg.places {
+        for off in 1..places {
             if budget == 0 {
                 break;
             }
-            let p = PlaceId((place.0 + off) % cfg.places);
-            for i in 0..cfg.workers_per_place {
-                let w = cfg.global(p, distws_core::WorkerId(i));
-                let ws = &self.workers[w.index()];
-                if ws.status == WorkerStatus::Dormant && !ws.wake_pending {
+            let p = PlaceId((place.0 + off) % places);
+            let start = p.index() * wpp;
+            let end = start + wpp;
+            for wd in start / 64..=(end - 1) / 64 {
+                let m = range_word(&self.dormant_bits, wd, start, end);
+                if m != 0 {
+                    let w = GlobalWorkerId((wd * 64 + m.trailing_zeros() as usize) as u32);
                     // Discovery delay: one network round trip.
                     let d = base + 2 * self.cfg.cost.net_latency_ns + w.0 as u64;
                     self.wake(now, w, d, false);
@@ -1055,12 +1257,15 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn push_to_lifeline(&mut self, now: u64, from: PlaceId, to: PlaceId, mut task: Task) {
+    fn push_to_lifeline(&mut self, now: u64, from: PlaceId, to: PlaceId, tr: TaskRef) {
+        let (locality, bytes) = {
+            let task = self.tasks.get(tr);
+            (task.locality, task.footprint.total_bytes())
+        };
         assert!(
-            self.policy.may_migrate(task.locality),
+            self.policy.may_migrate(locality),
             "lifeline push of non-migratable task"
         );
-        let bytes = task.footprint.total_bytes();
         let cost = self.reliable_send(
             now,
             from,
@@ -1068,8 +1273,11 @@ impl<'p> Engine<'p> {
             MsgKind::TaskMigrate,
             self.cfg.cost.closure_bytes + bytes,
         );
-        task.exec_home = to;
-        task.carried = true;
+        {
+            let task = self.tasks.get_mut(tr);
+            task.exec_home = to;
+            task.carried = true;
+        }
         self.steals.remote += 1;
         // A lifeline push is a tier-2 acquisition with no thief-side
         // attempt, so only the success counter moves.
@@ -1079,19 +1287,12 @@ impl<'p> Engine<'p> {
         if self.tracing {
             // The push is place-level (no thief worker yet); attribute
             // it to the victim place's first worker.
+            let task = self.tasks.get(tr).id;
             let w = self.cfg.cluster.global(from, distws_core::WorkerId(0));
             self.drain_net(now, w);
-            self.emit(
-                now,
-                w,
-                TraceEventKind::Migration {
-                    task: task.id,
-                    from,
-                    to,
-                },
-            );
+            self.emit(now, w, TraceEventKind::Migration { task, from, to });
         }
-        self.schedule(now + cost, EventKind::Arrive(task));
+        self.schedule(now + cost, EventKind::Arrive(tr));
     }
 
     // -- stealing (Algorithm 1 lines 9–29) ------------------------------------
@@ -1102,16 +1303,20 @@ impl<'p> Engine<'p> {
         if self.faulty && !self.alive[place.index()] {
             self.unclaim(w);
             self.workers[w.index()].status = WorkerStatus::Dormant;
+            self.refresh_bits(w);
             return;
         }
         // Serialize this worker's activities: a steal round cannot
         // start before the previous round / task ended.
         let now = now.max(self.workers[w.index()].avail_at);
-        let steps = self.policy.steal_sequence(w, &self.board, &mut self.rng);
+        let mut steps = std::mem::take(&mut self.steal_buf);
+        self.policy
+            .steal_sequence_into(w, &self.board, &mut self.rng, &mut steps);
         let mut overhead = 0u64;
-        let mut got: Option<Task> = None;
+        let mut got: Option<TaskRef> = None;
+        let mut quiesce = false;
 
-        for step in steps {
+        for &step in steps.iter() {
             if self.metering {
                 if let Some(tier) = step.tier_index() {
                     self.metrics.add(Counter::steal_attempts(tier), 1);
@@ -1158,12 +1363,13 @@ impl<'p> Engine<'p> {
                             }
                             self.hists.steal_local_private.record(overhead);
                             if self.tracing {
+                                let task = self.tasks.get(t).id;
                                 self.emit(
                                     now + overhead,
                                     w,
                                     TraceEventKind::StealSuccess {
                                         tier: StealTier::LocalPrivate,
-                                        task: t.id,
+                                        task,
                                         victim: place,
                                         latency_ns: overhead,
                                     },
@@ -1193,12 +1399,13 @@ impl<'p> Engine<'p> {
                         }
                         self.hists.steal_local_shared.record(overhead);
                         if self.tracing {
+                            let task = self.tasks.get(t).id;
                             self.emit(
                                 now + overhead,
                                 w,
                                 TraceEventKind::StealSuccess {
                                     tier: StealTier::LocalShared,
-                                    task: t.id,
+                                    task,
                                     victim: place,
                                     latency_ns: overhead,
                                 },
@@ -1232,36 +1439,44 @@ impl<'p> Engine<'p> {
                     }
                     let victim_len = self.board.shared_len[victim.index()];
                     let chunk = self.policy.remote_chunk_for(victim_len);
-                    let tasks = self.places[victim.index()].shared.take_chunk(chunk);
-                    self.board.shared_len[victim.index()] -= tasks.len();
+                    let mut taken = std::mem::take(&mut self.chunk_buf);
+                    self.places[victim.index()]
+                        .shared
+                        .take_chunk_into(chunk, &mut taken);
+                    self.board.shared_len[victim.index()] -= taken.len();
                     let mut bytes = 0;
-                    for t in &tasks {
+                    for &t in &taken {
+                        let locality = self.tasks.get(t).locality;
                         assert!(
-                            self.policy.may_migrate(t.locality),
+                            self.policy.may_migrate(locality),
                             "policy {} migrated a non-migratable task",
                             self.policy.name()
                         );
-                        bytes += self.cfg.cost.closure_bytes + t.footprint.total_bytes();
+                        bytes +=
+                            self.cfg.cost.closure_bytes + self.tasks.get(t).footprint.total_bytes();
                     }
                     overhead += self.net.migrate_task(victim, place, bytes);
                     self.drain_net(now + overhead, w);
-                    self.steals.remote += tasks.len() as u64;
+                    self.steals.remote += taken.len() as u64;
                     if self.metering {
                         self.metrics
-                            .add(Counter::steal_successes(2), tasks.len() as u64);
+                            .add(Counter::steal_successes(2), taken.len() as u64);
                     }
-                    let mut iter = tasks.into_iter();
-                    if let Some(mut first) = iter.next() {
-                        first.exec_home = place;
-                        first.carried = true;
+                    if let Some(&first) = taken.first() {
+                        {
+                            let t = self.tasks.get_mut(first);
+                            t.exec_home = place;
+                            t.carried = true;
+                        }
                         self.hists.steal_remote.record(overhead);
                         if self.tracing {
+                            let task = self.tasks.get(first).id;
                             self.emit(
                                 now + overhead,
                                 w,
                                 TraceEventKind::StealSuccess {
                                     tier: StealTier::Remote,
-                                    task: first.id,
+                                    task,
                                     victim,
                                     latency_ns: overhead,
                                 },
@@ -1270,7 +1485,7 @@ impl<'p> Engine<'p> {
                                 now + overhead,
                                 w,
                                 TraceEventKind::Migration {
-                                    task: first.id,
+                                    task,
                                     from: victim,
                                     to: place,
                                 },
@@ -1281,15 +1496,19 @@ impl<'p> Engine<'p> {
                     // Chunk extras land at the thief place and are
                     // re-mapped there, feeding co-located workers.
                     let arrive_at = now + overhead;
-                    for mut t in iter {
-                        t.exec_home = place;
-                        t.carried = true;
+                    for &t in taken.iter().skip(1) {
+                        {
+                            let t = self.tasks.get_mut(t);
+                            t.exec_home = place;
+                            t.carried = true;
+                        }
                         if self.tracing {
+                            let task = self.tasks.get(t).id;
                             self.emit(
                                 arrive_at,
                                 w,
                                 TraceEventKind::Migration {
-                                    task: t.id,
+                                    task,
                                     from: victim,
                                     to: place,
                                 },
@@ -1297,30 +1516,39 @@ impl<'p> Engine<'p> {
                         }
                         self.schedule(arrive_at, EventKind::Arrive(t));
                     }
+                    taken.clear();
+                    self.chunk_buf = taken;
                 }
                 StealStep::Quiesce => {
-                    self.workers[w.index()].overhead_ns += overhead;
-                    self.workers[w.index()].avail_at = now + overhead;
-                    self.makespan = self.makespan.max(now + overhead);
-                    self.unclaim(w);
-                    self.workers[w.index()].status = WorkerStatus::Quiesced;
-                    self.note_parked(now + overhead, w);
-                    // Register on the lifeline partners.
-                    let partners = self
-                        .policy
-                        .lifeline_partners(place, self.cfg.cluster.places);
-                    for o in partners {
-                        let deps = &mut self.places[o.index()].lifeline_dependents;
-                        if !deps.contains(&place) {
-                            deps.push(place);
-                        }
-                    }
-                    return;
+                    quiesce = true;
+                    break;
                 }
             }
             if got.is_some() {
                 break;
             }
+        }
+        self.steal_buf = steps;
+
+        if quiesce {
+            self.workers[w.index()].overhead_ns += overhead;
+            self.workers[w.index()].avail_at = now + overhead;
+            self.makespan = self.makespan.max(now + overhead);
+            self.unclaim(w);
+            self.workers[w.index()].status = WorkerStatus::Quiesced;
+            self.refresh_bits(w);
+            self.note_parked(now + overhead, w);
+            // Register on the lifeline partners.
+            let partners = self
+                .policy
+                .lifeline_partners(place, self.cfg.cluster.places);
+            for o in partners {
+                let deps = &mut self.places[o.index()].lifeline_dependents;
+                if !deps.contains(&place) {
+                    deps.push(place);
+                }
+            }
+            return;
         }
 
         self.workers[w.index()].overhead_ns += overhead;
@@ -1328,11 +1556,12 @@ impl<'p> Engine<'p> {
         self.makespan = self.makespan.max(now + overhead);
         self.policy.note_result(w, got.is_some());
         match got {
-            Some(task) => self.start_task(now + overhead, w, task),
+            Some(tr) => self.start_task(now + overhead, w, tr),
             None => {
                 self.steals.failed_attempts += 1;
                 self.unclaim(w);
                 self.workers[w.index()].status = WorkerStatus::Dormant;
+                self.refresh_bits(w);
                 self.note_parked(now + overhead, w);
             }
         }
@@ -1354,7 +1583,7 @@ impl<'p> Engine<'p> {
         w: GlobalWorkerId,
         place: PlaceId,
         victim: PlaceId,
-        got: &mut Option<Task>,
+        got: &mut Option<TaskRef>,
     ) {
         let retry = self.retry;
         let mut attempt: u32 = 1;
@@ -1386,16 +1615,21 @@ impl<'p> Engine<'p> {
                     } else {
                         let victim_len = self.board.shared_len[victim.index()];
                         let chunk = self.policy.remote_chunk_for(victim_len);
-                        let tasks = self.places[victim.index()].shared.take_chunk(chunk);
-                        self.board.shared_len[victim.index()] -= tasks.len();
+                        let mut taken = std::mem::take(&mut self.chunk_buf);
+                        self.places[victim.index()]
+                            .shared
+                            .take_chunk_into(chunk, &mut taken);
+                        self.board.shared_len[victim.index()] -= taken.len();
                         let mut bytes = 0;
-                        for t in &tasks {
+                        for &t in &taken {
+                            let locality = self.tasks.get(t).locality;
                             assert!(
-                                self.policy.may_migrate(t.locality),
+                                self.policy.may_migrate(locality),
                                 "policy {} migrated a non-migratable task",
                                 self.policy.name()
                             );
-                            bytes += self.cfg.cost.closure_bytes + t.footprint.total_bytes();
+                            bytes += self.cfg.cost.closure_bytes
+                                + self.tasks.get(t).footprint.total_bytes();
                         }
                         match self.net.transmit(
                             send_t + c_req,
@@ -1407,23 +1641,26 @@ impl<'p> Engine<'p> {
                             SendFate::Delivered { cost_ns: c_mig } => {
                                 *overhead += c_req + c_mig;
                                 self.drain_net(now + *overhead, w);
-                                self.steals.remote += tasks.len() as u64;
+                                self.steals.remote += taken.len() as u64;
                                 if self.metering {
                                     self.metrics
-                                        .add(Counter::steal_successes(2), tasks.len() as u64);
+                                        .add(Counter::steal_successes(2), taken.len() as u64);
                                 }
-                                let mut iter = tasks.into_iter();
-                                if let Some(mut first) = iter.next() {
-                                    first.exec_home = place;
-                                    first.carried = true;
+                                if let Some(&first) = taken.first() {
+                                    {
+                                        let t = self.tasks.get_mut(first);
+                                        t.exec_home = place;
+                                        t.carried = true;
+                                    }
                                     self.hists.steal_remote.record(*overhead);
                                     if self.tracing {
+                                        let task = self.tasks.get(first).id;
                                         self.emit(
                                             now + *overhead,
                                             w,
                                             TraceEventKind::StealSuccess {
                                                 tier: StealTier::Remote,
-                                                task: first.id,
+                                                task,
                                                 victim,
                                                 latency_ns: *overhead,
                                             },
@@ -1432,7 +1669,7 @@ impl<'p> Engine<'p> {
                                             now + *overhead,
                                             w,
                                             TraceEventKind::Migration {
-                                                task: first.id,
+                                                task,
                                                 from: victim,
                                                 to: place,
                                             },
@@ -1441,15 +1678,19 @@ impl<'p> Engine<'p> {
                                     *got = Some(first);
                                 }
                                 let arrive_at = now + *overhead;
-                                for mut t in iter {
-                                    t.exec_home = place;
-                                    t.carried = true;
+                                for &t in taken.iter().skip(1) {
+                                    {
+                                        let t = self.tasks.get_mut(t);
+                                        t.exec_home = place;
+                                        t.carried = true;
+                                    }
                                     if self.tracing {
+                                        let task = self.tasks.get(t).id;
                                         self.emit(
                                             arrive_at,
                                             w,
                                             TraceEventKind::Migration {
-                                                task: t.id,
+                                                task,
                                                 from: victim,
                                                 to: place,
                                             },
@@ -1457,6 +1698,8 @@ impl<'p> Engine<'p> {
                                     }
                                     self.schedule(arrive_at, EventKind::Arrive(t));
                                 }
+                                taken.clear();
+                                self.chunk_buf = taken;
                                 return;
                             }
                             SendFate::Dropped => {
@@ -1465,11 +1708,13 @@ impl<'p> Engine<'p> {
                                 // its lease table and re-enqueues the
                                 // tasks (still homed there) when the
                                 // lease expires; the thief times out.
-                                self.fault_stats.lease_reclaims += tasks.len() as u64;
+                                self.fault_stats.lease_reclaims += taken.len() as u64;
                                 let reclaim_at = send_t + c_req + self.lease_timeout_ns;
-                                for t in tasks {
+                                for &t in &taken {
                                     self.schedule(reclaim_at, EventKind::Arrive(t));
                                 }
+                                taken.clear();
+                                self.chunk_buf = taken;
                             }
                         }
                     }
@@ -1499,18 +1744,30 @@ impl<'p> Engine<'p> {
 
     // -- execution -------------------------------------------------------------
 
-    fn start_task(&mut self, t: u64, w: GlobalWorkerId, task: Task) {
+    fn start_task(&mut self, t: u64, w: GlobalWorkerId, tr: TaskRef) {
+        // Take the task out of the arena; its slot is immediately
+        // reusable by the children this execution spawns.
+        let task = self.tasks.take(tr);
         let place = self.place_of(w);
         self.claim(w);
         self.workers[w.index()].status = WorkerStatus::Busy;
+        self.refresh_bits(w);
         self.note_unparked(t, w);
         if self.tracing {
             self.emit(t, w, TraceEventKind::TaskStart { task: task.id });
         }
         self.running[w.index()] = Some(task.id);
 
-        // Run the body for real, recording its behaviour.
-        let mut scope = SimScope::new(place, task.origin_home, w, task.id);
+        // Run the body for real, recording its behaviour into the
+        // engine's reusable spawn/access buffers.
+        let mut scope = SimScope::with_buffers(
+            place,
+            task.origin_home,
+            w,
+            task.id,
+            std::mem::take(&mut self.spawn_buf),
+            std::mem::take(&mut self.access_buf),
+        );
         if self.metering {
             self.metrics.phase_start(Phase::TaskExecution);
         }
@@ -1592,13 +1849,14 @@ impl<'p> Engine<'p> {
         // execution window (a coarse task feeds the cluster while it
         // runs, as under a real help-first runtime).
         let n = scope.spawned.len() as u64;
-        for (i, spec) in scope.spawned.into_iter().enumerate() {
+        for (i, spec) in scope.spawned.drain(..).enumerate() {
             let rt = t + duration * (i as u64 + 1) / (n + 1);
             let child_home = spec.home;
             let fp = spec.migration_bytes();
             let child = self.make_task(spec, place, Some(w));
             if self.tracing {
-                self.emit(rt, w, TraceEventKind::Spawn { task: child.id });
+                let task = self.tasks.get(child).id;
+                self.emit(rt, w, TraceEventKind::Spawn { task });
             }
             if child_home == place {
                 self.schedule(rt, EventKind::Arrive(child));
@@ -1611,6 +1869,11 @@ impl<'p> Engine<'p> {
                 self.schedule(rt + cost, EventKind::Arrive(child));
             }
         }
+
+        // Hand the (now empty) buffers back for the next execution.
+        scope.accesses.clear();
+        self.spawn_buf = scope.spawned;
+        self.access_buf = scope.accesses;
 
         self.workers[w.index()].finishing_latch = task.latch;
         self.schedule(finish, EventKind::Free(w));

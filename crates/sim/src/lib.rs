@@ -41,6 +41,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 mod engine;
 pub mod faults;
 mod scope;

@@ -21,15 +21,31 @@ pub(crate) struct SimScope {
 }
 
 impl SimScope {
+    #[cfg(test)]
     pub fn new(here: PlaceId, home: PlaceId, worker: GlobalWorkerId, task: TaskId) -> Self {
+        Self::with_buffers(here, home, worker, task, Vec::new(), Vec::new())
+    }
+
+    /// Scope over caller-owned (empty) spawn/access buffers — the
+    /// engine hands the same two vectors to every task execution so
+    /// the per-task allocations disappear from the hot path.
+    pub fn with_buffers(
+        here: PlaceId,
+        home: PlaceId,
+        worker: GlobalWorkerId,
+        task: TaskId,
+        spawned: Vec<TaskSpec>,
+        accesses: Vec<Access>,
+    ) -> Self {
+        debug_assert!(spawned.is_empty() && accesses.is_empty());
         SimScope {
             here,
             home,
             worker,
             task,
-            spawned: Vec::new(),
+            spawned,
             charged: 0,
-            accesses: Vec::new(),
+            accesses,
         }
     }
 }

@@ -46,5 +46,5 @@ pub use chrome::{chrome_trace, chrome_trace_with_counters};
 pub use event::{MessageKind, StealTier, TraceEvent, TraceEventKind};
 pub use hist::Histogram;
 pub use series::{PlaceSample, Sample, TimeSeries};
-pub use sink::{JsonlSink, NullSink, RingSink, SharedSink, TraceSink};
+pub use sink::{BufferedJsonlSink, JsonlSink, NullSink, RingSink, SharedSink, TraceSink};
 pub use timeline::render_timeline;
