@@ -6,8 +6,8 @@
 //! deque, causally-ordered traces) into machine-checked ones.
 //!
 //! * [`lint`] — a token-level determinism lint over the workspace's
-//!   `src/` trees (string/comment-aware hand-rolled lexer, five rules,
-//!   per-file `// distws-lint: allow(rule)` pragmas). Surface:
+//!   `src/` trees (string/comment-aware hand-rolled lexer, seven
+//!   rules, per-file `// distws-lint: allow(rule)` pragmas). Surface:
 //!   `repro lint`.
 //! * [`interleave`] — a bounded-DFS schedule explorer ("mini-loom")
 //!   that re-states the Chase–Lev deque and the shared FIFO as step
@@ -28,6 +28,13 @@
 //!   (incarnation epochs, custody polls, disown fences mirroring
 //!   `distws-cluster`) and seeded protocol mutants that the checker
 //!   must catch. Surface: `repro check protocol` and
+//!   `repro check mutants`.
+//! * [`liveness`] — temporal checking over the same protocol graph:
+//!   a nested-DFS accepting-cycle detector with weak fairness on
+//!   workers and message delivery, checking eventual task execution,
+//!   lifeline wakeup, and steal-retry progress, with lasso (stem +
+//!   cycle) counterexamples for the seeded livelock mutants. Surface:
+//!   `repro check liveness` and the liveness half of
 //!   `repro check mutants`.
 //! * [`reduce`] — the shared memoized-DFS exploration engine with
 //!   ample-set partial-order reduction (visited-proviso cycle guard),
@@ -56,6 +63,7 @@ pub mod hb;
 pub mod interleave;
 pub mod lexer;
 pub mod lint;
+pub mod liveness;
 pub mod protocol;
 pub mod reduce;
 pub mod tla;
@@ -66,6 +74,7 @@ pub use interleave::{
     builtin_scenarios, check_all, explore, explore_fifo, fifo_scenario, Outcome, Scenario,
 };
 pub use lint::{lint_source, lint_workspace, Rule, Violation};
+pub use liveness::{check_liveness, Lasso, LivenessReport, Property};
 pub use protocol::{
     builtin_scenarios as protocol_scenarios, check_protocol_all, check_protocol_mutants, era_name,
     explore_protocol, explore_protocol_mode, scenario_by_name, Era, ModelFaults, ModelTask,

@@ -1,6 +1,6 @@
 //! The determinism lint pass.
 //!
-//! Six token-level rules encode the repo's reproducibility contract
+//! Seven token-level rules encode the repo's reproducibility contract
 //! (every figure, trace and report must regenerate byte-identically
 //! from a seed):
 //!
@@ -12,6 +12,7 @@
 //! | `unwrap-hot-path` | `.unwrap()` / `.expect(…)` | `sim/src/engine.rs` |
 //! | `safety-comment` | `unsafe {` / `unsafe impl` without a `// SAFETY:` comment ≤ 3 lines above | everywhere |
 //! | `net-process` | `std::net`/`std::os::unix::net` socket types, `process::Command` | everywhere except `cluster`, `bench` |
+//! | `unbounded-spin` | `loop`/`while` retry loops issuing a steal/probe/reconnect with no backoff, budget or `break` | `sched`, `cluster` |
 //!
 //! `hash-iter` is deliberately an over-approximation: proving "this
 //! map is never iterated" needs type information a token scanner does
@@ -49,6 +50,8 @@ pub enum Rule {
     SafetyComment,
     /// Socket types / `process::Command` outside the cluster runtime.
     NetProcess,
+    /// A steal/probe/reconnect retry loop with no visible bound.
+    UnboundedSpin,
 }
 
 impl Rule {
@@ -61,11 +64,12 @@ impl Rule {
             Rule::UnwrapHotPath => "unwrap-hot-path",
             Rule::SafetyComment => "safety-comment",
             Rule::NetProcess => "net-process",
+            Rule::UnboundedSpin => "unbounded-spin",
         }
     }
 
     /// Every rule, in diagnostic order.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::HashIter,
             Rule::WallClock,
@@ -73,6 +77,7 @@ impl Rule {
             Rule::UnwrapHotPath,
             Rule::SafetyComment,
             Rule::NetProcess,
+            Rule::UnboundedSpin,
         ]
     }
 
@@ -120,6 +125,14 @@ const WALL_CLOCK_ALLOWED_CRATES: &[&str] = &["runtime", "bench", "metrics", "clu
 /// Everything else must stay runnable in the deterministic simulator,
 /// where IO and process boundaries are modelled, not real.
 const NET_ALLOWED_CRATES: &[&str] = &["cluster", "bench"];
+/// Crates whose retry loops must visibly terminate: the scheduler
+/// policies and the real cluster runtime. The liveness checker proves
+/// the *protocol* makes progress under weak fairness
+/// (`distws_analyze::liveness`, steal-progress); this rule keeps the
+/// *implementation's* spin sites honest — every loop that issues a
+/// steal, probe or reconnect must carry a backoff, a budget check, or
+/// a `break` somewhere in its body.
+const SPIN_SCOPED_CRATES: &[&str] = &["sched", "cluster"];
 
 /// Crate name (the `<c>` of `crates/<c>/src/...`) a workspace-relative
 /// path belongs to; `None` for the root `src/`.
@@ -170,6 +183,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
     let hash_scoped = krate.is_some_and(|c| HASH_FORBIDDEN_CRATES.contains(&c));
     let wall_scoped = !krate.is_some_and(|c| WALL_CLOCK_ALLOWED_CRATES.contains(&c));
     let net_scoped = !krate.is_some_and(|c| NET_ALLOWED_CRATES.contains(&c));
+    let spin_scoped = krate.is_some_and(|c| SPIN_SCOPED_CRATES.contains(&c));
     let engine_scoped = rel_path.ends_with("sim/src/engine.rs");
 
     for (i, t) in code.iter().enumerate() {
@@ -245,6 +259,20 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
                  runtime; deterministic code may not fork"
                     .to_string(),
             ),
+            "loop" | "while" if spin_scoped => {
+                if let Some(call) = unbounded_spin_call(&code, i) {
+                    push(
+                        Rule::UnboundedSpin,
+                        t.line,
+                        format!(
+                            "retry loop issues `{call}` with no backoff, budget \
+                             check or `break`; an empty victim spins this worker \
+                             forever — bound it (see RetryPolicy / \
+                             STEAL_RETRY_BUDGET)"
+                        ),
+                    );
+                }
+            }
             "unsafe"
                 if begins_block_or_impl(&code, i) && !has_safety_comment(&comments, t.line) =>
             {
@@ -300,6 +328,66 @@ fn in_test_span(code: &[&Tok], i: usize) -> bool {
         }
     }
     false
+}
+
+/// Retry-ish operation names: anything that *asks another party for
+/// work or a connection* and can come back empty-handed.
+const SPIN_CALLS: &[&str] = &["steal", "probe", "reconnect"];
+/// Evidence the loop is bounded. `break` exits it outright; a
+/// `backoff`/`budget` ident means the body consults a retry policy
+/// (`RetryPolicy::backoff`, `budget()` checks, decrementing budgets).
+const SPIN_ESCAPES: &[&str] = &["backoff", "budget"];
+
+/// For a `loop`/`while` keyword at `code[i]`: the name of a
+/// steal/probe/reconnect invocation inside the loop body, if the body
+/// shows no bound (no `break`, no backoff/budget ident). `None` means
+/// the loop is fine.
+///
+/// Token-level, so deliberately approximate in both directions: an
+/// invocation is an ident *containing* a [`SPIN_CALLS`] word followed
+/// by `(` (call) or `{` (frame construction — sending a `StealProbe`
+/// is issuing a probe), and a `break` anywhere in the body counts even
+/// if it belongs to a nested loop. Genuine unconditional spins (the
+/// thing Algorithm 1's retry budget exists to prevent) have neither;
+/// anything cleverer earns a `distws-lint: allow(unbounded-spin)`
+/// pragma and a comment explaining its bound.
+fn unbounded_spin_call(code: &[&Tok], i: usize) -> Option<String> {
+    // Scan the loop header (a `while` condition counts: `while budget
+    // > 0 { … }` is bounded by its condition) and the brace-matched
+    // body. A `;` or `}` before any `{` means this wasn't a loop
+    // header after all (e.g. `loop` as a field name).
+    let mut depth = 0usize;
+    let mut spin: Option<String> = None;
+    let mut j = i + 1;
+    while j < code.len() {
+        match code[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                if depth <= 1 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        if code[j].kind == TokKind::Ident {
+            let name = code[j].text.to_ascii_lowercase();
+            if code[j].text == "break" || SPIN_ESCAPES.iter().any(|e| name.contains(e)) {
+                return None;
+            }
+            if spin.is_none()
+                && SPIN_CALLS.iter().any(|c| name.contains(c))
+                && code
+                    .get(j + 1)
+                    .is_some_and(|n| n.text == "(" || n.text == "{")
+            {
+                spin = Some(code[j].text.clone());
+            }
+        }
+        j += 1;
+    }
+    spin
 }
 
 /// `unsafe {` or `unsafe impl` — the forms that *perform* unsafe
@@ -503,6 +591,47 @@ mod tests {
     fn cluster_may_read_wall_clock() {
         let src = "let t = Instant::now();\n";
         assert!(lint_source("crates/cluster/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_spin_flags_bare_retry_loops() {
+        let bad = "fn f(&mut self) { loop { if let Some(t) = self.try_steal() { return t; } } }\n";
+        let v = lint_source("crates/sched/src/x.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnboundedSpin);
+        // Out of scope: the simulator models spinning explicitly.
+        assert!(lint_source("crates/sim/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn unbounded_spin_accepts_bounded_loops() {
+        // A `break` bounds the loop.
+        let brk = "loop { if probe(v).is_none() { break; } }\n";
+        assert!(lint_source("crates/cluster/src/x.rs", brk).is_empty());
+        // Consulting a retry budget bounds it.
+        let bud = "loop { steal_from(v); if attempt > self.retry.budget() { return None; } }\n";
+        assert!(lint_source("crates/sched/src/x.rs", bud).is_empty());
+        // A backoff call counts as a bound.
+        let back = "loop { reconnect(p); sleep(self.retry.backoff(a, rng)); }\n";
+        assert!(lint_source("crates/cluster/src/x.rs", back).is_empty());
+        // A budget in the `while` condition counts too.
+        let cond = "while budget > 0 { steal_from(v); }\n";
+        assert!(lint_source("crates/sched/src/x.rs", cond).is_empty());
+        // A loop with no steal/probe/reconnect at all never fires.
+        let idle = "loop { if done() { return; } sleep(ms); }\n";
+        assert!(lint_source("crates/cluster/src/x.rs", idle).is_empty());
+    }
+
+    #[test]
+    fn unbounded_spin_counts_frame_construction() {
+        // Building a StealProbe frame in a loop is issuing a probe.
+        let bad = "loop { send(v, Frame::StealProbe { id }); wait(id); }\n";
+        let v = lint_source("crates/cluster/src/x.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnboundedSpin);
+        // Pragma escape, like every other rule.
+        let allowed = format!("// distws-lint: allow(unbounded-spin)\n{bad}");
+        assert!(lint_source("crates/cluster/src/x.rs", &allowed).is_empty());
     }
 
     #[test]

@@ -175,11 +175,30 @@ pub enum ProtocolMutant {
     /// Cluster era: the death sweep accepts a lease held under a
     /// stale incarnation epoch instead of opening a custody poll.
     AcceptStaleEpochLease,
+    /// Livelock: the line 19 re-probe loop never backs off — a worker
+    /// whose sweep comes up empty starts a new round instead of
+    /// parking dormant, spinning forever.
+    ReprobeNoBackoff,
+    /// Livelock: the remote-sweep retry budget is ignored — a failed
+    /// visit does not clear the victim's `untried` bit, so the sweep
+    /// revisits the same empty place forever.
+    RetryBudgetIgnored,
+    /// Livelock: the lifeline wakeup is lost — a delivery maps the
+    /// task but never wakes the dormant workers at the place, so the
+    /// task parks silently in a sleeping worker's private deque.
+    LostLifelineWakeup,
+    /// Livelock: a restarted place re-parks recovered tasks forever —
+    /// a delivery of a task at the rejoined incarnation puts it back
+    /// in flight instead of mapping it.
+    RestartReparkLoop,
 }
 
 impl ProtocolMutant {
-    /// All seeded mutants, in catch-test order.
-    pub const ALL: [ProtocolMutant; 9] = [
+    /// All seeded mutants, in catch-test order. The last four are
+    /// livelock mutants: they violate no safety invariant reachable by
+    /// the terminal checks alone and must be caught by the liveness
+    /// layer as fair accepting cycles ([`crate::liveness`]).
+    pub const ALL: [ProtocolMutant; 13] = [
         ProtocolMutant::SkipReprobe,
         ProtocolMutant::StealSensitiveRemotely,
         ProtocolMutant::LocalChunkTwo,
@@ -189,6 +208,10 @@ impl ProtocolMutant {
         ProtocolMutant::DupDeliveryRemaps,
         ProtocolMutant::SkipDisownFence,
         ProtocolMutant::AcceptStaleEpochLease,
+        ProtocolMutant::ReprobeNoBackoff,
+        ProtocolMutant::RetryBudgetIgnored,
+        ProtocolMutant::LostLifelineWakeup,
+        ProtocolMutant::RestartReparkLoop,
     ];
 
     /// Stable display name.
@@ -203,7 +226,24 @@ impl ProtocolMutant {
             ProtocolMutant::DupDeliveryRemaps => "dup-delivery-remaps",
             ProtocolMutant::SkipDisownFence => "skip-disown-fence",
             ProtocolMutant::AcceptStaleEpochLease => "accept-stale-epoch-lease",
+            ProtocolMutant::ReprobeNoBackoff => "reprobe-no-backoff",
+            ProtocolMutant::RetryBudgetIgnored => "retry-budget-ignored",
+            ProtocolMutant::LostLifelineWakeup => "lost-lifeline-wakeup",
+            ProtocolMutant::RestartReparkLoop => "restart-repark-loop",
         }
+    }
+
+    /// Is this a seeded *livelock* (progress) bug rather than a safety
+    /// bug? Livelock mutants are caught by the nested-DFS liveness
+    /// layer as fair accepting cycles, not by the safety checker.
+    pub fn is_livelock(self) -> bool {
+        matches!(
+            self,
+            ProtocolMutant::ReprobeNoBackoff
+                | ProtocolMutant::RetryBudgetIgnored
+                | ProtocolMutant::LostLifelineWakeup
+                | ProtocolMutant::RestartReparkLoop
+        )
     }
 
     /// The scenario whose exploration must catch this mutant.
@@ -218,6 +258,26 @@ impl ProtocolMutant {
             ProtocolMutant::DupDeliveryRemaps => "dup_delivery",
             ProtocolMutant::SkipDisownFence => "cluster_reclaim",
             ProtocolMutant::AcceptStaleEpochLease => "cluster_epoch",
+            ProtocolMutant::ReprobeNoBackoff => "reprobe_sweep",
+            ProtocolMutant::RetryBudgetIgnored => "sensitive_pinning",
+            ProtocolMutant::LostLifelineWakeup => "spawn_tree",
+            ProtocolMutant::RestartReparkLoop => "kill_restart",
+        }
+    }
+
+    /// The property expected to catch this mutant: `"safety"` for the
+    /// invariant mutants, or the liveness property name (see
+    /// [`crate::liveness::Property`]) for the livelock mutants. The
+    /// mutant runner reports the *actual* catching properties and the
+    /// mutation tests pin this expectation against them.
+    pub fn catch_property(self) -> &'static str {
+        match self {
+            ProtocolMutant::ReprobeNoBackoff | ProtocolMutant::RetryBudgetIgnored => {
+                "steal-progress"
+            }
+            ProtocolMutant::LostLifelineWakeup => "lifeline-wakeup",
+            ProtocolMutant::RestartReparkLoop => "eventual-execution",
+            _ => "safety",
         }
     }
 }
@@ -388,10 +448,174 @@ pub(crate) struct State {
     pub(crate) restarted: bool,
 }
 
+/// The process a transition belongs to, for the weak-fairness
+/// acceptance conditions of the liveness layer ([`crate::liveness`]).
+/// Weak fairness is imposed per agent: a continuously enabled agent
+/// must eventually step. Fault injections are adversarial — the
+/// environment is never *obliged* to kill or restart a place — so
+/// [`Agent::Env`] transitions carry no fairness obligation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Agent {
+    /// Message delivery, duplicate arrival, and the cluster
+    /// coordinator (sweep / custody poll / reinject).
+    Net,
+    /// Worker `w` (global index) walking the Algorithm 1 automaton.
+    Worker(u8),
+    /// Adversarial fault scheduler: kill, restart, stale-copy races.
+    Env,
+}
+
+/// Compact label for one generated transition — the readable vocabulary
+/// lasso counterexamples are printed in. Tags are data, not strings:
+/// the successor hot path must not allocate per transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepTag {
+    /// Network delivers task `t` at place `to` (Algorithm 1 lines 1–8).
+    Deliver { t: u8, to: u8 },
+    /// Network duplicates the delivery of `t` (ghost seeded).
+    DupDeliver { t: u8, to: u8 },
+    /// Arrival at a dead place re-routes `t` toward place 0.
+    Reroute { t: u8 },
+    /// A duplicate / stale `TaskMoved` copy of `t` surfaces.
+    GhostArrive { t: u8 },
+    /// Fail-stop kill of place `p`.
+    Kill { p: u8 },
+    /// Kill of place `p` racing a late `TaskMoved` copy of task `t`.
+    KillStaleCopy { p: u8, t: u8 },
+    /// Place `p` rejoins (new incarnation in the cluster era).
+    Restart { p: u8 },
+    /// Death sweep puts task `t`'s lease in doubt (custody poll opens).
+    LeaseDoubt { t: u8 },
+    /// A `TaskMoved` note settles `t`'s lease at its holder.
+    LeaseConfirm { t: u8 },
+    /// The named custodian disclaims `t`; the custody poll opens.
+    Disclaim { t: u8 },
+    /// Place `q` answers the custody poll for task `t`.
+    PollAnswer { t: u8, q: u8 },
+    /// Every live place disclaimed: `t` reinjected toward home-or-0.
+    Reinject { t: u8 },
+    /// Worker `w` polls its private deque empty (line 9 miss).
+    PollEmpty { w: u8 },
+    /// Worker `w` pops task `t` from its private deque (line 9 hit).
+    PollRun { w: u8, t: u8 },
+    /// Worker `w` probes the network (line 11).
+    ProbeAdvance { w: u8 },
+    /// Worker `w` steals task `t` from co-located worker `v` (line 13).
+    CoSteal { w: u8, v: u8, t: u8 },
+    /// Worker `w` finds no co-located victim (line 13 miss).
+    CoStealFail { w: u8 },
+    /// Worker `w` takes task `t` from the local shared deque (line 15).
+    TakeShared { w: u8, t: u8 },
+    /// Worker `w` finds the local shared deque empty (line 15 miss).
+    SharedEmpty { w: u8 },
+    /// Worker `w` parks dormant: sweep exhausted, no visible work.
+    Park { w: u8 },
+    /// Worker `w` restarts its steal round: sweep exhausted but local
+    /// work became visible mid-round.
+    NewRound { w: u8 },
+    /// Worker `w`'s remote steal at place `q` fails (lines 22–27 miss).
+    VisitFail { w: u8, q: u8 },
+    /// Worker `w` steals task `t` (chunk head) from place `q`.
+    RemoteSteal { w: u8, q: u8, t: u8 },
+    /// Worker `w`'s steal from place `q` loses its migrate payload.
+    StealDropped { w: u8, q: u8 },
+    /// Worker `w` completes task `t` (finish-latch decrement, spawns).
+    Complete { w: u8, t: u8 },
+    /// Stutter self-loop added at states with no fair transition
+    /// (terminal or environment-only): the standard stutter extension
+    /// of maximal finite runs, so a quiescent deadlock with work left
+    /// behind shows up as a fair accepting cycle, not a silent dead
+    /// end.
+    Stutter,
+}
+
+impl StepTag {
+    /// The agent obliged (or not, for [`Agent::Env`]) by weak fairness
+    /// to take this transition.
+    pub(crate) fn agent(self) -> Agent {
+        use StepTag::*;
+        match self {
+            Deliver { .. } | DupDeliver { .. } | Reroute { .. } | GhostArrive { .. } => Agent::Net,
+            LeaseDoubt { .. } | LeaseConfirm { .. } | Disclaim { .. } => Agent::Net,
+            PollAnswer { .. } | Reinject { .. } => Agent::Net,
+            Kill { .. } | KillStaleCopy { .. } | Restart { .. } | Stutter => Agent::Env,
+            PollEmpty { w } | PollRun { w, .. } | ProbeAdvance { w } => Agent::Worker(w),
+            CoSteal { w, .. } | CoStealFail { w } => Agent::Worker(w),
+            TakeShared { w, .. } | SharedEmpty { w } => Agent::Worker(w),
+            Park { w } | NewRound { w } => Agent::Worker(w),
+            VisitFail { w, .. } | RemoteSteal { w, .. } | StealDropped { w, .. } => {
+                Agent::Worker(w)
+            }
+            Complete { w, .. } => Agent::Worker(w),
+        }
+    }
+
+    /// Is this a futile steal-retry step? The `steal-progress` property
+    /// rejects fair cycles that take retry steps forever without any
+    /// intervening acquisition or completion.
+    pub(crate) fn is_retry(self) -> bool {
+        matches!(
+            self,
+            StepTag::PollEmpty { .. }
+                | StepTag::ProbeAdvance { .. }
+                | StepTag::CoStealFail { .. }
+                | StepTag::SharedEmpty { .. }
+                | StepTag::NewRound { .. }
+                | StepTag::VisitFail { .. }
+        )
+    }
+
+    /// Readable rendering for lasso counterexamples.
+    pub(crate) fn render(self) -> String {
+        use StepTag::*;
+        match self {
+            Deliver { t, to } => format!("deliver task {t} at place {to}"),
+            DupDeliver { t, to } => {
+                format!("network duplicates delivery of task {t} to place {to}")
+            }
+            Reroute { t } => format!("re-route task {t} (dead destination) toward place 0"),
+            GhostArrive { t } => format!("late duplicate copy of task {t} arrives"),
+            Kill { p } => format!("kill place {p}"),
+            KillStaleCopy { p, t } => {
+                format!("kill place {p} with a stale TaskMoved copy of task {t} in flight")
+            }
+            Restart { p } => format!("restart place {p}"),
+            LeaseDoubt { t } => format!("coordinator: stale lease on task {t} put in doubt"),
+            LeaseConfirm { t } => format!("coordinator: lease on task {t} settles at its holder"),
+            Disclaim { t } => format!("coordinator: custodian disclaims task {t}"),
+            PollAnswer { t, q } => format!("place {q} answers the custody poll for task {t}"),
+            Reinject { t } => format!("coordinator: reinject task {t}"),
+            PollEmpty { w } => format!("worker {w}: private deque empty (line 9)"),
+            PollRun { w, t } => format!("worker {w}: run task {t} from its private deque"),
+            ProbeAdvance { w } => format!("worker {w}: probe the network (line 11)"),
+            CoSteal { w, v, t } => format!("worker {w}: steal task {t} from co-worker {v}"),
+            CoStealFail { w } => format!("worker {w}: no co-located victim (line 13)"),
+            TakeShared { w, t } => format!("worker {w}: take task {t} from the shared deque"),
+            SharedEmpty { w } => format!("worker {w}: local shared deque empty (line 15)"),
+            Park { w } => format!("worker {w}: park dormant"),
+            NewRound { w } => format!("worker {w}: sweep exhausted, new steal round"),
+            VisitFail { w, q } => format!("worker {w}: failed remote steal at place {q}"),
+            RemoteSteal { w, q, t } => format!("worker {w}: remote-steal task {t} from place {q}"),
+            StealDropped { w, q } => format!("worker {w}: migrate payload from place {q} dropped"),
+            Complete { w, t } => format!("worker {w}: complete task {t}"),
+            Stutter => "(stutter — no fair transition enabled)".to_string(),
+        }
+    }
+}
+
+/// A labeled successor: the state plus the reduction class and the
+/// transition tag the liveness layer needs. The safety path strips the
+/// tag back off via [`Ctx::successors`].
+pub(crate) struct LSucc {
+    pub(crate) state: State,
+    pub(crate) class: StepClass,
+    pub(crate) tag: StepTag,
+}
+
 /// Scenario + mutant context shared by the transition generator.
-struct Ctx<'a> {
-    sc: &'a ProtocolScenario,
-    mutant: Option<ProtocolMutant>,
+pub(crate) struct Ctx<'a> {
+    pub(crate) sc: &'a ProtocolScenario,
+    pub(crate) mutant: Option<ProtocolMutant>,
 }
 
 /// Fixed-capacity task-index list for the successor hot path. The
@@ -438,11 +662,11 @@ impl<'a> Ctx<'a> {
         self.sc.workers_per_place as usize
     }
 
-    fn workers(&self) -> usize {
+    pub(crate) fn workers(&self) -> usize {
         self.sc.places as usize * self.wpp()
     }
 
-    fn place_of(&self, w: usize) -> u8 {
+    pub(crate) fn place_of(&self, w: usize) -> u8 {
         (w / self.wpp()) as u8
     }
 
@@ -493,6 +717,34 @@ impl<'a> Ctx<'a> {
         })
     }
 
+    /// Liveness atomic proposition (`eventual-execution`): a task that
+    /// has not reached [`Loc::Done`]. [`Loc::Lost`] is excluded — a
+    /// lost task is a *safety* violation (flagged at terminals), not a
+    /// progress obligation the scheduler could still discharge.
+    pub(crate) fn unfinished_task(&self, s: &State) -> Option<usize> {
+        s.tasks
+            .iter()
+            .position(|l| !matches!(l, Loc::Done | Loc::Lost))
+    }
+
+    /// Liveness atomic proposition (`lifeline-wakeup`): a dormant
+    /// worker with a pending lifeline push — work already mapped at
+    /// its place (its own private deque or the place's shared pool)
+    /// or a delivery still in flight toward its place.
+    pub(crate) fn lost_wakeup(&self, s: &State) -> Option<usize> {
+        (0..self.workers()).find(|&w| {
+            s.phases[w] == Phase::Dormant && {
+                let p = self.place_of(w);
+                s.tasks.iter().any(|l| match *l {
+                    Loc::Private { w: pw } => pw as usize == w,
+                    Loc::Shared { p: sp } => sp == p,
+                    Loc::InFlight { to } => to == p,
+                    _ => false,
+                })
+            }
+        })
+    }
+
     /// Algorithm 1 lines 1–8: map a delivered task at place `x`. The
     /// checker recomputes the lines 5–8 predicate independently and
     /// flags any divergence (catches `MapFlexiblePrivateAlways`). In
@@ -534,15 +786,21 @@ impl<'a> Ctx<'a> {
                 .find(|&w| !matches!(s.phases[w], Phase::Busy { .. } | Phase::Dead))
                 .unwrap_or(base);
             s.tasks[t] = Loc::Private { w: target as u8 };
-            if s.phases[target] == Phase::Dormant {
+            // The lifeline push: mapping work at a place wakes its
+            // dormant workers. The lost-wakeup livelock mutant drops
+            // exactly this signal, parking the task in a sleeping
+            // worker's deque forever.
+            if s.phases[target] == Phase::Dormant && !self.is(ProtocolMutant::LostLifelineWakeup) {
                 s.phases[target] = Phase::Idle;
             }
         } else {
             s.tasks[t] = Loc::Shared { p: x };
             let base = x as usize * self.wpp();
-            for w in base..base + self.wpp() {
-                if s.phases[w] == Phase::Dormant {
-                    s.phases[w] = Phase::Idle;
+            if !self.is(ProtocolMutant::LostLifelineWakeup) {
+                for w in base..base + self.wpp() {
+                    if s.phases[w] == Phase::Dormant {
+                        s.phases[w] = Phase::Idle;
+                    }
                 }
             }
         }
@@ -560,12 +818,19 @@ impl<'a> Ctx<'a> {
         s.phases[w] = Phase::Busy { task: t as u8 };
     }
 
-    /// All successor states of `s`, recording property violations into
-    /// `bad` as transitions are generated.
-    fn successors(&self, s: &State, bad: &mut BTreeSet<String>) -> Vec<Succ<State>> {
-        let mut out: Vec<Succ<State>> = Vec::new();
-        let push = |out: &mut Vec<Succ<State>>, n: State, class: StepClass| {
-            out.push(Succ { state: n, class });
+    /// All successor states of `s`, labeled with the transition tag and
+    /// fairness agent, recording property violations into `bad` as
+    /// transitions are generated. The safety path consumes this through
+    /// [`Ctx::successors`]; the liveness layer needs the labels for its
+    /// acceptance conditions and lasso counterexamples.
+    pub(crate) fn successors_labeled(&self, s: &State, bad: &mut BTreeSet<String>) -> Vec<LSucc> {
+        let mut out: Vec<LSucc> = Vec::new();
+        let push = |out: &mut Vec<LSucc>, n: State, class: StepClass, tag: StepTag| {
+            out.push(LSucc {
+                state: n,
+                class,
+                tag,
+            });
         };
 
         // --- Network delivery (the engine's Arrive event) -----------
@@ -577,12 +842,39 @@ impl<'a> Ctx<'a> {
                 // Arrival at a dead place: recovery re-routes to place 0.
                 let mut n = s.clone();
                 n.tasks[t] = Loc::InFlight { to: 0 };
-                push(&mut out, n, StepClass::Other);
+                push(
+                    &mut out,
+                    n,
+                    StepClass::Other,
+                    StepTag::Reroute { t: t as u8 },
+                );
+                continue;
+            }
+            if self.is(ProtocolMutant::RestartReparkLoop)
+                && s.restarted
+                && Some(to) == self.sc.faults.kill_place
+            {
+                // Livelock mutant: the rejoined incarnation re-parks
+                // every recovered task instead of mapping it — the
+                // delivery puts the task straight back in flight, a
+                // self-loop the liveness layer must flag as a fair
+                // non-progress cycle.
+                push(
+                    &mut out,
+                    s.clone(),
+                    StepClass::Other,
+                    StepTag::Deliver { t: t as u8, to },
+                );
                 continue;
             }
             let mut n = s.clone();
             self.map_deliver(&mut n, t, to, bad);
-            push(&mut out, n, StepClass::Other);
+            push(
+                &mut out,
+                n,
+                StepClass::Other,
+                StepTag::Deliver { t: t as u8, to },
+            );
             if !self.cluster() && s.dups_left > 0 && s.dup_ghost & (1 << t) == 0 {
                 // The network also duplicated this delivery.
                 let mut n = s.clone();
@@ -590,7 +882,12 @@ impl<'a> Ctx<'a> {
                 n.dup_ghost |= 1 << t;
                 n.dup_dest[t] = to;
                 n.dups_left -= 1;
-                push(&mut out, n, StepClass::Other);
+                push(
+                    &mut out,
+                    n,
+                    StepClass::Other,
+                    StepTag::DupDeliver { t: t as u8, to },
+                );
             }
         }
 
@@ -622,7 +919,12 @@ impl<'a> Ctx<'a> {
             }
             // Faithful: the place's task table already saw this id —
             // the duplicate is discarded.
-            push(&mut out, n, StepClass::Other);
+            push(
+                &mut out,
+                n,
+                StepClass::Other,
+                StepTag::GhostArrive { t: t as u8 },
+            );
         }
 
         // --- Fail-stop kill and restart -----------------------------
@@ -656,7 +958,7 @@ impl<'a> Ctx<'a> {
                                 }
                             }
                         }
-                        push(&mut out, n, StepClass::Other);
+                        push(&mut out, n, StepClass::Other, StepTag::Kill { p: k });
                     }
                     Era::Cluster => {
                         // A real SIGKILL: every worker dies mid-step and
@@ -698,11 +1000,16 @@ impl<'a> Ctx<'a> {
                                     n.stale_ghost |= 1 << t;
                                     n.dup_dest[t] = dest;
                                     n.dups_left -= 1;
-                                    push(&mut out, n, StepClass::Other);
+                                    push(
+                                        &mut out,
+                                        n,
+                                        StepClass::Other,
+                                        StepTag::KillStaleCopy { p: k, t: t as u8 },
+                                    );
                                 }
                             }
                         }
-                        push(&mut out, base, StepClass::Other);
+                        push(&mut out, base, StepClass::Other, StepTag::Kill { p: k });
                     }
                 }
             } else if self.sc.faults.restart && !s.restarted {
@@ -720,7 +1027,7 @@ impl<'a> Ctx<'a> {
                         n.phases[w] = Phase::Idle;
                     }
                 }
-                push(&mut out, n, StepClass::Other);
+                push(&mut out, n, StepClass::Other, StepTag::Restart { p: k });
             }
         }
 
@@ -752,7 +1059,12 @@ impl<'a> Ctx<'a> {
                                 n.lease[t] = Lease::InDoubt { answered: 0 };
                             }
                             if n != *s {
-                                push(&mut out, n, StepClass::Other);
+                                push(
+                                    &mut out,
+                                    n,
+                                    StepClass::Other,
+                                    StepTag::LeaseDoubt { t: t as u8 },
+                                );
                             }
                         } else if let Some(q) = self.cur_place(s, t) {
                             if q != p {
@@ -764,7 +1076,12 @@ impl<'a> Ctx<'a> {
                                     p: q,
                                     e: n.epochs[q as usize],
                                 };
-                                push(&mut out, n, StepClass::Other);
+                                push(
+                                    &mut out,
+                                    n,
+                                    StepClass::Other,
+                                    StepTag::LeaseConfirm { t: t as u8 },
+                                );
                             }
                         } else if s.tasks[t] == Loc::Vanished {
                             // The lease names a live incarnation that does
@@ -776,7 +1093,12 @@ impl<'a> Ctx<'a> {
                             n.lease[t] = Lease::InDoubt {
                                 answered: if s.alive[p as usize] { 1 << p } else { 0 },
                             };
-                            push(&mut out, n, StepClass::Other);
+                            push(
+                                &mut out,
+                                n,
+                                StepClass::Other,
+                                StepTag::Disclaim { t: t as u8 },
+                            );
                         }
                     }
                     Lease::InDoubt { answered } => {
@@ -798,7 +1120,12 @@ impl<'a> Ctx<'a> {
                                     answered: answered | (1 << q),
                                 };
                             }
-                            push(&mut out, n, StepClass::Other);
+                            push(
+                                &mut out,
+                                n,
+                                StepClass::Other,
+                                StepTag::PollAnswer { t: t as u8, q },
+                            );
                         }
                         if answered & alive_mask == alive_mask && s.tasks[t] == Loc::Vanished {
                             // Every live place disclaimed custody: the
@@ -809,7 +1136,12 @@ impl<'a> Ctx<'a> {
                             let dest = if n.alive[home as usize] { home } else { 0 };
                             n.tasks[t] = Loc::InFlight { to: dest };
                             n.lease[t] = Lease::None;
-                            push(&mut out, n, StepClass::Other);
+                            push(
+                                &mut out,
+                                n,
+                                StepClass::Other,
+                                StepTag::Reinject { t: t as u8 },
+                            );
                         }
                     }
                 }
@@ -853,12 +1185,20 @@ impl<'a> Ctx<'a> {
                         } else {
                             StepClass::Other
                         };
-                        push(&mut out, n, class);
+                        push(&mut out, n, class, StepTag::PollEmpty { w: w as u8 });
                     } else {
                         for t in mine.iter() {
                             let mut n = s.clone();
                             self.start(&mut n, w, t);
-                            push(&mut out, n, StepClass::Other);
+                            push(
+                                &mut out,
+                                n,
+                                StepClass::Other,
+                                StepTag::PollRun {
+                                    w: w as u8,
+                                    t: t as u8,
+                                },
+                            );
                         }
                     }
                 }
@@ -872,7 +1212,12 @@ impl<'a> Ctx<'a> {
                     // CoWorker does not change.
                     let mut n = s.clone();
                     n.phases[w] = Phase::CoWorker;
-                    push(&mut out, n, StepClass::PhaseAdvance);
+                    push(
+                        &mut out,
+                        n,
+                        StepClass::PhaseAdvance,
+                        StepTag::ProbeAdvance { w: w as u8 },
+                    );
                 }
                 Phase::CoWorker => {
                     // Line 13: steal from a co-located worker.
@@ -912,7 +1257,16 @@ impl<'a> Ctx<'a> {
                         for extra in take.iter().skip(1) {
                             n.tasks[extra] = Loc::Private { w: w as u8 };
                         }
-                        push(&mut out, n, StepClass::Other);
+                        push(
+                            &mut out,
+                            n,
+                            StepClass::Other,
+                            StepTag::CoSteal {
+                                w: w as u8,
+                                v: v as u8,
+                                t: take.get(0) as u8,
+                            },
+                        );
                     }
                     if !any {
                         let mut n = s.clone();
@@ -949,7 +1303,7 @@ impl<'a> Ctx<'a> {
                         } else {
                             StepClass::Other
                         };
-                        push(&mut out, n, class);
+                        push(&mut out, n, class, StepTag::CoStealFail { w: w as u8 });
                     }
                 }
                 Phase::LocalShared => {
@@ -979,17 +1333,29 @@ impl<'a> Ctx<'a> {
                                 untried: self.sweep_mask(p),
                                 probed: true,
                             }
-                        } else if self.work_visible(s, w) {
+                        } else if self.work_visible(s, w)
+                            || self.is(ProtocolMutant::ReprobeNoBackoff)
+                        {
+                            // The no-backoff livelock mutant never
+                            // parks: an empty round restarts at line 9.
                             Phase::Idle
                         } else {
                             Phase::Dormant
                         };
-                        push(&mut out, n, class);
+                        push(&mut out, n, class, StepTag::SharedEmpty { w: w as u8 });
                     } else {
                         for t in pooled.iter() {
                             let mut n = s.clone();
                             self.start(&mut n, w, t);
-                            push(&mut out, n, StepClass::Other);
+                            push(
+                                &mut out,
+                                n,
+                                StepClass::Other,
+                                StepTag::TakeShared {
+                                    w: w as u8,
+                                    t: t as u8,
+                                },
+                            );
                         }
                     }
                 }
@@ -998,7 +1364,8 @@ impl<'a> Ctx<'a> {
                         // Sweep exhausted: park — unless local work
                         // appeared mid-round (the engine's atomic
                         // acquire would have seen it).
-                        let visible = self.work_visible(s, w);
+                        let visible =
+                            self.work_visible(s, w) || self.is(ProtocolMutant::ReprobeNoBackoff);
                         let mut n = s.clone();
                         n.phases[w] = if visible { Phase::Idle } else { Phase::Dormant };
                         // Parking reads only this worker's private
@@ -1016,7 +1383,12 @@ impl<'a> Ctx<'a> {
                         } else {
                             StepClass::Other
                         };
-                        push(&mut out, n, class);
+                        let tag = if visible {
+                            StepTag::NewRound { w: w as u8 }
+                        } else {
+                            StepTag::Park { w: w as u8 }
+                        };
+                        push(&mut out, n, class, tag);
                         continue;
                     }
                     for q in 0..self.sc.places {
@@ -1033,7 +1405,14 @@ impl<'a> Ctx<'a> {
                                  attempt"
                             ));
                         }
-                        let rest = untried & !(1 << q);
+                        // Livelock mutant: the retry budget is ignored —
+                        // a failed visit leaves the victim's untried
+                        // bit set, so the sweep can revisit it forever.
+                        let rest = if self.is(ProtocolMutant::RetryBudgetIgnored) {
+                            untried
+                        } else {
+                            untried & !(1 << q)
+                        };
                         let after_fail = Phase::Remote {
                             untried: rest,
                             probed: !self.is(ProtocolMutant::SkipReprobe),
@@ -1073,7 +1452,7 @@ impl<'a> Ctx<'a> {
                             } else {
                                 StepClass::Other
                             };
-                            push(&mut out, n, class);
+                            push(&mut out, n, class, StepTag::VisitFail { w: w as u8, q });
                             continue;
                         }
                         let mut take = pool;
@@ -1100,7 +1479,16 @@ impl<'a> Ctx<'a> {
                         for extra in take.iter().skip(1) {
                             n.tasks[extra] = Loc::Private { w: w as u8 };
                         }
-                        push(&mut out, n, StepClass::Other);
+                        push(
+                            &mut out,
+                            n,
+                            StepClass::Other,
+                            StepTag::RemoteSteal {
+                                w: w as u8,
+                                q,
+                                t: take.get(0) as u8,
+                            },
+                        );
                         if s.drops_left > 0 {
                             // The migrate payload is lost in flight:
                             // the thief times out empty-handed and the
@@ -1111,7 +1499,12 @@ impl<'a> Ctx<'a> {
                             }
                             n.phases[w] = after_fail;
                             n.drops_left -= 1;
-                            push(&mut out, n, StepClass::Other);
+                            push(
+                                &mut out,
+                                n,
+                                StepClass::Other,
+                                StepTag::StealDropped { w: w as u8, q },
+                            );
                         }
                     }
                 }
@@ -1155,12 +1548,31 @@ impl<'a> Ctx<'a> {
                     } else {
                         Phase::Dead
                     };
-                    push(&mut out, n, StepClass::Completion);
+                    push(
+                        &mut out,
+                        n,
+                        StepClass::Completion,
+                        StepTag::Complete {
+                            w: w as u8,
+                            t: task,
+                        },
+                    );
                 }
             }
         }
 
         out
+    }
+
+    /// Unlabeled successor view for the safety engine (`crate::reduce`).
+    fn successors(&self, s: &State, bad: &mut BTreeSet<String>) -> Vec<Succ<State>> {
+        self.successors_labeled(s, bad)
+            .into_iter()
+            .map(|l| Succ {
+                state: l.state,
+                class: l.class,
+            })
+            .collect()
     }
 
     /// Quiescence checks on a transition-free state.
@@ -1189,6 +1601,25 @@ impl<'a> Ctx<'a> {
     /// §5 for the class-by-class independence argument). Only consulted
     /// by the reduced exploration mode.
     fn ample(&self, s: &State, succs: &[Succ<State>]) -> Option<usize> {
+        self.ample_classes(s, succs.len(), |i| succs[i].class)
+    }
+
+    /// Labeled-successor view of the same nomination, used by the
+    /// liveness certificate scan (`crate::liveness`) so reduced-mode
+    /// liveness walks exactly the graph the safety engine walks.
+    pub(crate) fn ample_labeled(&self, s: &State, succs: &[LSucc]) -> Option<usize> {
+        self.ample_classes(s, succs.len(), |i| succs[i].class)
+    }
+
+    /// Shared ample-set body, generic over how a successor's
+    /// [`StepClass`] is fetched so the safety and liveness engines
+    /// cannot drift apart.
+    fn ample_classes<F: Fn(usize) -> StepClass>(
+        &self,
+        s: &State,
+        n: usize,
+        class: F,
+    ) -> Option<usize> {
         // A pending kill conflicts with everything (it overwrites
         // worker phases wholesale); no reduction until it has fired.
         let kill_inert = self.sc.faults.kill_place.is_none() || s.killed;
@@ -1211,17 +1642,14 @@ impl<'a> Ctx<'a> {
             return Some(0);
         }
         // Probe → CoWorker: deterministic, invisible, process-local.
-        if let Some(i) = succs
-            .iter()
-            .position(|x| x.class == StepClass::PhaseAdvance)
-        {
+        if let Some(i) = (0..n).find(|&i| class(i) == StepClass::PhaseAdvance) {
             return Some(i);
         }
         // A sweep step against a statically workless place: a pure
         // τ-step by the FreeVisit confluence argument — any co-enabled
         // transition either commutes with it exactly or (the worker's
         // own successful steal) erases the untried mask it touched.
-        if let Some(i) = succs.iter().position(|x| x.class == StepClass::FreeVisit) {
+        if let Some(i) = (0..n).find(|&i| class(i) == StepClass::FreeVisit) {
             return Some(i);
         }
         // A completion commutes with every other enabled transition
@@ -1235,7 +1663,7 @@ impl<'a> Ctx<'a> {
             && self.no_spawnable_children(s)
             && self.cluster_quiet(s)
         {
-            if let Some(i) = succs.iter().position(|x| x.class == StepClass::Completion) {
+            if let Some(i) = (0..n).find(|&i| class(i) == StepClass::Completion) {
                 return Some(i);
             }
         }
@@ -1396,7 +1824,7 @@ impl<'a> Ctx<'a> {
     }
 }
 
-fn init_state(sc: &ProtocolScenario) -> State {
+pub(crate) fn init_state(sc: &ProtocolScenario) -> State {
     let ctx = Ctx { sc, mutant: None };
     State {
         tasks: sc
@@ -1776,22 +2204,32 @@ pub struct MutantCheck {
     pub mutant: &'static str,
     /// Scenario explored.
     pub scenario: &'static str,
-    /// Whether the checker caught it (violations non-empty and the
-    /// exploration itself did not crash).
+    /// The property expected to catch this mutant: `"safety"` or a
+    /// liveness property name ([`ProtocolMutant::catch_property`]).
+    pub property: &'static str,
+    /// Whether the *designated* property caught it (and nothing
+    /// crashed).
     pub caught: bool,
-    /// The violations found.
+    /// Everything that flagged the mutant: `"safety"` and/or liveness
+    /// property names. A livelock mutant may trip several.
+    pub caught_by: Vec<&'static str>,
+    /// The safety violations found.
     pub violations: Vec<String>,
+    /// The designated liveness property's lasso counterexample, for
+    /// livelock mutants.
+    pub lasso: Option<crate::liveness::Lasso>,
     /// A panic message, if the exploration *errored* instead of
     /// finishing — distinguished from a catch so a crash can never
     /// masquerade as detection power.
     pub error: Option<String>,
 }
 
-/// Re-inject every seeded protocol bug and report whether the checker
-/// caught it. CI requires all of them caught (and none errored).
-/// Mutants are always explored in full mode: reduction soundness
-/// arguments assume the faithful generator, so mutated generators get
-/// the unreduced treatment.
+/// Re-inject every seeded protocol bug — safety and livelock — and
+/// report which property caught it. CI requires every mutant caught
+/// by its designated property (and none errored). Mutants are always
+/// explored in full mode: reduction soundness arguments assume the
+/// faithful generator, so mutated generators get the unreduced
+/// treatment.
 pub fn check_protocol_mutants() -> Vec<MutantCheck> {
     ProtocolMutant::ALL
         .iter()
@@ -1799,16 +2237,36 @@ pub fn check_protocol_mutants() -> Vec<MutantCheck> {
             let name = m.catch_scenario();
             let sc = scenario_by_name(name).expect("catch scenario exists");
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                explore_protocol(&sc, Some(m))
+                let outcome = explore_protocol(&sc, Some(m));
+                let liveness = crate::liveness::check_liveness(&sc, Some(m), Mode::Full, None);
+                (outcome, liveness)
             }));
             match run {
-                Ok(outcome) => MutantCheck {
-                    mutant: m.name(),
-                    scenario: name,
-                    caught: !outcome.violations.is_empty(),
-                    violations: outcome.violations,
-                    error: None,
-                },
+                Ok((outcome, liveness)) => {
+                    let mut caught_by = Vec::new();
+                    if !outcome.violations.is_empty() {
+                        caught_by.push("safety");
+                    }
+                    let mut lasso = None;
+                    for r in &liveness {
+                        if !r.holds {
+                            caught_by.push(r.property.name());
+                            if r.property.name() == m.catch_property() {
+                                lasso = r.lasso.clone();
+                            }
+                        }
+                    }
+                    MutantCheck {
+                        mutant: m.name(),
+                        scenario: name,
+                        property: m.catch_property(),
+                        caught: caught_by.contains(&m.catch_property()),
+                        caught_by,
+                        violations: outcome.violations,
+                        lasso,
+                        error: None,
+                    }
+                }
                 Err(panic) => {
                     let msg = panic
                         .downcast_ref::<String>()
@@ -1818,8 +2276,11 @@ pub fn check_protocol_mutants() -> Vec<MutantCheck> {
                     MutantCheck {
                         mutant: m.name(),
                         scenario: name,
+                        property: m.catch_property(),
                         caught: false,
+                        caught_by: Vec::new(),
                         violations: Vec::new(),
+                        lasso: None,
                         error: Some(msg),
                     }
                 }
@@ -1888,7 +2349,10 @@ mod tests {
 
     #[test]
     fn every_seeded_mutant_is_caught_with_the_right_message() {
-        let expected = [
+        // Safety mutants must trip a violation containing the needle;
+        // livelock mutants must be caught by their designated
+        // temporal property with a lasso counterexample.
+        let safety_needles = [
             ("skip-reprobe", "line 19"),
             ("steal-sensitive-remotely", "sensitive task migrated"),
             ("local-chunk-two", "line 13 chunk"),
@@ -1900,9 +2364,8 @@ mod tests {
             ("accept-stale-epoch-lease", "stale-epoch"),
         ];
         let checks = check_protocol_mutants();
-        assert_eq!(checks.len(), expected.len());
-        for (check, (mutant, needle)) in checks.iter().zip(expected) {
-            assert_eq!(check.mutant, mutant);
+        assert_eq!(checks.len(), ProtocolMutant::ALL.len());
+        for check in &checks {
             assert!(
                 check.error.is_none(),
                 "mutant {} errored on {}: {:?}",
@@ -1912,16 +2375,33 @@ mod tests {
             );
             assert!(
                 check.caught,
-                "mutant {} escaped on {}",
-                check.mutant, check.scenario
+                "mutant {} escaped its designated property {} on {} (caught by {:?})",
+                check.mutant, check.property, check.scenario, check.caught_by
             );
-            assert!(
-                check.violations.iter().any(|v| v.contains(needle)),
-                "mutant {} caught for the wrong reason on {}: {:?}",
-                check.mutant,
-                check.scenario,
-                check.violations
-            );
+            if check.property == "safety" {
+                let needle = safety_needles
+                    .iter()
+                    .find(|(m, _)| *m == check.mutant)
+                    .map(|(_, n)| *n)
+                    .unwrap_or_else(|| panic!("no needle for {}", check.mutant));
+                assert!(
+                    check.violations.iter().any(|v| v.contains(needle)),
+                    "mutant {} caught for the wrong reason on {}: {:?}",
+                    check.mutant,
+                    check.scenario,
+                    check.violations
+                );
+            } else {
+                let lasso = check
+                    .lasso
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("livelock mutant {} has no lasso", check.mutant));
+                assert!(
+                    !lasso.cycle.is_empty(),
+                    "mutant {}: empty lasso cycle",
+                    check.mutant
+                );
+            }
         }
     }
 

@@ -88,7 +88,7 @@ impl Hasher for FxHasher {
     }
 }
 
-type FxBuild = BuildHasherDefault<FxHasher>;
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
 
 /// Result of exploring one scenario. (Re-exported as
 /// `distws_analyze::Outcome`; kept here so both checkers share it.)

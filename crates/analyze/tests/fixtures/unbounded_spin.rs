@@ -1,0 +1,55 @@
+//! Seeded `unbounded-spin` violations: retry loops that ask another
+//! party for work or a connection without any visible bound.
+
+fn spin_until_victory(&mut self) -> Task {
+    loop {
+        if let Some(t) = self.try_steal(self.victim) {
+            return t;
+        }
+    }
+}
+
+fn probe_forever(&mut self, v: PlaceId) -> Vec<Task> {
+    while self.inbox.is_empty() {
+        self.send(v, Frame::StealProbe { id: self.seq() });
+    }
+    self.inbox.drain()
+}
+
+// Near-misses: each of these loops is visibly bounded.
+
+fn bounded_by_budget(&mut self, v: PlaceId) -> Option<Task> {
+    let mut attempt = 1;
+    loop {
+        if let Some(t) = self.try_steal(v) {
+            return Some(t);
+        }
+        if attempt > self.retry.budget() {
+            return None;
+        }
+        attempt += 1;
+    }
+}
+
+fn bounded_by_backoff(&mut self, p: PlaceId) {
+    loop {
+        self.reconnect(p);
+        std::thread::sleep(self.retry.backoff(1, &mut self.rng));
+    }
+}
+
+fn bounded_by_break(&mut self, v: PlaceId) -> Option<Task> {
+    loop {
+        match self.probe(v) {
+            Some(t) => return Some(t),
+            None => break,
+        }
+    }
+    None
+}
+
+fn no_spin_call_at_all(&self) {
+    while !self.shutdown() {
+        std::thread::sleep(POLL);
+    }
+}

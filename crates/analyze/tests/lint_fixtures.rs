@@ -82,6 +82,24 @@ fn net_process_fires_outside_cluster_and_bench() {
 }
 
 #[test]
+fn unbounded_spin_fires_in_sched_and_cluster() {
+    let src = include_str!("fixtures/unbounded_spin.rs");
+    // The bare steal loop (line 5) and the probe-until-nonempty
+    // `while` (line 13); the budget / backoff / `break` loops and the
+    // spin-free shutdown poll are near-misses.
+    assert_eq!(
+        lines_for(Rule::UnboundedSpin, "crates/sched/src/bad.rs", src),
+        vec![5, 13]
+    );
+    assert_eq!(
+        lines_for(Rule::UnboundedSpin, "crates/cluster/src/bad.rs", src),
+        vec![5, 13]
+    );
+    // Out of scope: the simulator and runtime model retry explicitly.
+    assert!(lines_for(Rule::UnboundedSpin, "crates/sim/src/ok.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_has_no_violations_under_strictest_scoping() {
     let src = include_str!("fixtures/clean.rs");
     let vs = lint_source("crates/sim/src/engine.rs", src);

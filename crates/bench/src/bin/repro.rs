@@ -9,8 +9,9 @@
 //! repro bench [--suite quick|full] [--seed S] [--out FILE] [--baseline FILE] [--threshold PCT] [--no-gate]
 //! repro bench --check FILE
 //! repro lint [ROOT]
-//! repro check [interleave | protocol | mutants | hb FILE.jsonl] [--scenario NAME] [--list]
-//! repro check protocol [--scenario NAME] [--full] [--compare]
+//! repro check [interleave | protocol | liveness | mutants | hb FILE.jsonl] [--scenario NAME] [--list]
+//! repro check protocol [--scenario NAME] [--full] [--compare] [--json]
+//! repro check liveness [--scenario NAME] [--full] [--compare] [--json]
 //! repro check tla [--scenario NAME] [--out FILE]
 //! repro conform FILE.jsonl [--policy NAME]
 //!
@@ -61,7 +62,7 @@
 //! `docs/analysis.md`.
 
 use distws_bench as bench;
-use distws_bench::{perf, Scale};
+use distws_bench::{checkjson, perf, Scale};
 use std::io::Write;
 
 /// Short git commit baked in at compile time (`build.rs`), so the
@@ -149,8 +150,16 @@ fn main() {
                 };
             }
             "--json" => {
-                i += 1;
-                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| ".".into()));
+                // Takes a directory for the experiment commands
+                // (`repro trace ... --json DIR`); for the check
+                // commands it is a bare flag (JSON to stdout), so
+                // only consume a value that isn't another flag.
+                if args.get(i + 1).is_some_and(|a| !a.starts_with("--")) {
+                    i += 1;
+                    json_dir = Some(args[i].clone());
+                } else {
+                    json_dir = Some(".".into());
+                }
             }
             "--policy" => {
                 i += 1;
@@ -253,9 +262,11 @@ fn main() {
             run_check_list();
             return;
         }
+        let json = json_dir.is_some();
         match positional.get(1).map(String::as_str) {
             None | Some("interleave") => run_check_interleave(scenario.as_deref()),
-            Some("protocol") => run_check_protocol(scenario.as_deref(), full, compare),
+            Some("protocol") => run_check_protocol(scenario.as_deref(), full, compare, json),
+            Some("liveness") => run_check_liveness(scenario.as_deref(), full, compare, json),
             Some("mutants") => run_check_mutants(),
             Some("tla") => run_check_tla(scenario.as_deref(), bench_out.as_deref()),
             Some("hb") => {
@@ -267,7 +278,7 @@ fn main() {
             }
             Some(other) => {
                 eprintln!(
-                    "unknown check '{other}' (expected: interleave, protocol, mutants, tla, hb FILE.jsonl)"
+                    "unknown check '{other}' (expected: interleave, protocol, liveness, mutants, tla, hb FILE.jsonl)"
                 );
                 std::process::exit(2);
             }
@@ -433,7 +444,7 @@ fn main() {
         );
         eprintln!("or: repro lint [ROOT]");
         eprintln!(
-            "or: repro check [interleave | protocol | mutants | tla | hb FILE.jsonl] [--scenario NAME] [--list] [--full] [--compare] [--out FILE]"
+            "or: repro check [interleave | protocol | liveness | mutants | tla | hb FILE.jsonl] [--scenario NAME] [--list] [--full] [--compare] [--json] [--out FILE]"
         );
         eprintln!("or: repro conform FILE.jsonl [--policy NAME]");
         std::process::exit(2);
@@ -516,7 +527,7 @@ fn run_lint(root: Option<&str>) {
         println!("{v}");
     }
     if violations.is_empty() {
-        println!("repro lint: workspace clean (hash-iter, wall-clock, unseeded-rng, unwrap-hot-path, safety-comment, net-process)");
+        println!("repro lint: workspace clean (hash-iter, wall-clock, unseeded-rng, unwrap-hot-path, safety-comment, net-process, unbounded-spin)");
     } else {
         eprintln!("repro lint: {} violation(s)", violations.len());
         std::process::exit(1);
@@ -530,7 +541,9 @@ fn run_check_list() {
         println!("  {}", s.name);
     }
     println!("  shared_fifo");
-    println!("protocol scenarios (repro check protocol --scenario NAME; also repro check tla):");
+    println!(
+        "protocol scenarios (repro check protocol|liveness --scenario NAME; also repro check tla):"
+    );
     for s in distws_analyze::protocol::builtin_scenarios() {
         let mut notes: Vec<&str> = Vec::new();
         if s.faults.kill_place.is_some() || s.faults.max_drops > 0 || s.faults.max_dups > 0 {
@@ -550,9 +563,23 @@ fn run_check_list() {
             notes.join(", ")
         );
     }
+    println!("liveness properties (repro check liveness):");
+    for p in distws_analyze::Property::ALL {
+        println!("  {:<28} {}", p.name(), p.formula());
+    }
     println!("protocol mutants (repro check mutants):");
     for m in distws_analyze::ProtocolMutant::ALL {
-        println!("  {:<28} caught by {}", m.name(), m.catch_scenario());
+        println!(
+            "  {:<28} {:<9} caught by {} on {}",
+            m.name(),
+            if m.is_livelock() {
+                "livelock"
+            } else {
+                "safety"
+            },
+            m.catch_property(),
+            m.catch_scenario()
+        );
     }
 }
 
@@ -633,57 +660,83 @@ fn protocol_scenario_set(scenario: Option<&str>) -> Vec<distws_analyze::Protocol
     }
 }
 
-/// `repro check protocol [--scenario NAME] [--full] [--compare]` —
-/// explicit-state model checking of Algorithm 1 (sim and cluster
-/// eras). Default mode is reduced (POR + symmetry); `--full` forces
-/// the unreduced exploration (capped on scale scenarios); `--compare`
-/// runs both and cross-validates the verdicts.
-fn run_check_protocol(scenario: Option<&str>, full: bool, compare: bool) {
+/// The `--scenario`/`REPRO_STATE_CAP` state-cap policy shared by the
+/// protocol and liveness checks.
+fn explore_cap(full: bool, sc: &distws_analyze::ProtocolScenario) -> Option<u64> {
+    (full && !sc.full_ok)
+        .then_some(FULL_EXPLORE_CAP)
+        .or_else(|| {
+            // Debugging knob: bound any run's stored states.
+            std::env::var("REPRO_STATE_CAP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+}
+
+/// `repro check protocol [--scenario NAME] [--full] [--compare]
+/// [--json]` — explicit-state model checking of Algorithm 1 (sim and
+/// cluster eras). Default mode is reduced (POR + symmetry); `--full`
+/// forces the unreduced exploration (capped on scale scenarios);
+/// `--compare` runs both and cross-validates the verdicts; `--json`
+/// prints the stats table as JSON instead of the human table.
+fn run_check_protocol(scenario: Option<&str>, full: bool, compare: bool, json: bool) {
     use distws_analyze::Mode;
-    hr("Algorithm 1 protocol model check — mapping, steal order, chunks, latch, recovery");
-    let scs = protocol_scenario_set(scenario);
     if compare {
-        run_check_protocol_compare(&scs);
+        run_check_protocol_compare(&protocol_scenario_set(scenario));
         return;
     }
+    if !json {
+        hr("Algorithm 1 protocol model check — mapping, steal order, chunks, latch, recovery");
+    }
+    let scs = protocol_scenario_set(scenario);
     let mode = if full { Mode::Full } else { Mode::Reduced };
-    println!(
-        "{:<24} {:>7} {:>9} {:>12} {:>7} {:>8} {:>8} {:>8}",
-        "scenario", "era", "states", "transitions", "peakq", "ample", "proviso", "wall ms"
-    );
+    if !json {
+        println!(
+            "{:<24} {:>7} {:>9} {:>12} {:>7} {:>8} {:>8} {:>8}",
+            "scenario", "era", "states", "transitions", "peakq", "ample", "proviso", "wall ms"
+        );
+    }
     let mut failed = false;
     let mut truncated = false;
+    let mut rows = Vec::new();
     for sc in &scs {
-        let cap = (full && !sc.full_ok)
-            .then_some(FULL_EXPLORE_CAP)
-            .or_else(|| {
-                // Debugging knob: bound any run's stored states.
-                std::env::var("REPRO_STATE_CAP")
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-            });
+        let cap = explore_cap(full, sc);
         let t0 = std::time::Instant::now();
         let (out, stats) = distws_analyze::explore_protocol_mode(sc, None, mode, cap);
         let wall = t0.elapsed().as_millis();
-        println!(
-            "{:<24} {:>7} {:>8}{} {:>12} {:>7} {:>8} {:>8} {:>8}",
-            sc.name,
-            distws_analyze::era_name(sc.era),
-            out.states,
-            if stats.truncated { "*" } else { " " },
-            stats.transitions,
-            stats.peak_queue,
-            stats.ample_states,
-            stats.proviso_fallbacks,
-            wall
-        );
+        if json {
+            rows.push(checkjson::protocol_row(
+                sc.name,
+                distws_analyze::era_name(sc.era),
+                &out,
+                &stats,
+                wall as u64,
+            ));
+        } else {
+            println!(
+                "{:<24} {:>7} {:>8}{} {:>12} {:>7} {:>8} {:>8} {:>8}",
+                sc.name,
+                distws_analyze::era_name(sc.era),
+                out.states,
+                if stats.truncated { "*" } else { " " },
+                stats.transitions,
+                stats.peak_queue,
+                stats.ample_states,
+                stats.proviso_fallbacks,
+                wall
+            );
+        }
         truncated |= stats.truncated;
         for v in &out.violations {
             eprintln!("  {}: {v}", sc.name);
             failed = true;
         }
     }
-    if truncated {
+    if json {
+        let report =
+            checkjson::check_report("protocol", if full { "full" } else { "reduced" }, rows);
+        println!("{}", report.render_pretty());
+    } else if truncated {
         println!(
             "(* capped at {FULL_EXPLORE_CAP} states: full exploration of a scale scenario is a \
              partial verdict — run reduced mode for the proof)"
@@ -693,10 +746,203 @@ fn run_check_protocol(scenario: Option<&str>, full: bool, compare: bool) {
         eprintln!("repro check: protocol violations found");
         std::process::exit(1);
     }
+    if !json {
+        println!(
+            "(no sensitive migration, exactly-once, no lost latch decrement, \
+             termination — on every explored schedule; mode: {})",
+            if full { "full" } else { "reduced" }
+        );
+    }
+}
+
+/// `repro check liveness [--scenario NAME] [--full] [--compare]
+/// [--json]` — temporal checking over the protocol scenarios: the
+/// three weak-fairness properties (eventual-execution,
+/// lifeline-wakeup, steal-progress) via the acyclicity certificate +
+/// nested-DFS layer. `--full` runs the phase-1 scan unreduced;
+/// `--compare` cross-validates reduced vs full verdicts per property.
+fn run_check_liveness(scenario: Option<&str>, full: bool, compare: bool, json: bool) {
+    use distws_analyze::liveness::check_liveness;
+    use distws_analyze::Mode;
+    let scs = protocol_scenario_set(scenario);
+    if compare {
+        run_check_liveness_compare(&scs);
+        return;
+    }
+    if !json {
+        hr("Protocol liveness check — eventual execution, lifeline wakeup, steal progress");
+        println!(
+            "{:<24} {:>7} {:>9} {:>12} {:>7} {:>22} {:>8}",
+            "scenario", "era", "states", "transitions", "cyclic", "verdicts (P1/P2/P3)", "wall ms"
+        );
+    }
+    let mut failed = false;
+    let mut rows = Vec::new();
+    for sc in &scs {
+        let cap = explore_cap(full, sc);
+        let mode = if full { Mode::Full } else { Mode::Reduced };
+        let t0 = std::time::Instant::now();
+        let reports = check_liveness(sc, None, mode, cap);
+        let wall = t0.elapsed().as_millis();
+        if json {
+            rows.push(checkjson::liveness_row(
+                sc.name,
+                distws_analyze::era_name(sc.era),
+                &reports,
+                wall as u64,
+            ));
+        } else {
+            let verdicts: Vec<&str> = reports
+                .iter()
+                .map(|r| {
+                    if r.truncated {
+                        "cap"
+                    } else if r.holds {
+                        "ok"
+                    } else {
+                        "FAIL"
+                    }
+                })
+                .collect();
+            let first = &reports[0];
+            println!(
+                "{:<24} {:>7} {:>8}{} {:>12} {:>7} {:>22} {:>8}",
+                sc.name,
+                distws_analyze::era_name(sc.era),
+                first.graph_states,
+                if reports.iter().any(|r| r.truncated) {
+                    "*"
+                } else {
+                    " "
+                },
+                first.graph_transitions,
+                if first.cyclic { "yes" } else { "no" },
+                verdicts.join("/"),
+                wall
+            );
+        }
+        for r in &reports {
+            if !r.holds {
+                failed = true;
+                eprintln!("  {}: {} violated", sc.name, r.property.name());
+                if let Some(lasso) = &r.lasso {
+                    print_lasso(sc.name, lasso);
+                }
+            }
+        }
+    }
+    if json {
+        let report =
+            checkjson::check_report("liveness", if full { "full" } else { "reduced" }, rows);
+        println!("{}", report.render_pretty());
+    }
+    if failed {
+        eprintln!("repro check: liveness violations found");
+        std::process::exit(1);
+    }
+    if !json {
+        println!(
+            "(every task eventually executes, every pending lifeline push wakes its \
+             worker, no fair steal-retry livelock — under weak fairness on workers \
+             and delivery; mode: {})",
+            if full { "full" } else { "reduced" }
+        );
+    }
+}
+
+/// Print a lasso counterexample: stem then cycle, elided in the
+/// middle when very long.
+fn print_lasso(scenario: &str, lasso: &distws_analyze::Lasso) {
+    let print_part = |label: &str, steps: &[String]| {
+        eprintln!("  {scenario}: {label} ({} steps):", steps.len());
+        const HEAD: usize = 12;
+        const TAIL: usize = 6;
+        if steps.len() <= HEAD + TAIL + 2 {
+            for s in steps {
+                eprintln!("    {s}");
+            }
+        } else {
+            for s in &steps[..HEAD] {
+                eprintln!("    {s}");
+            }
+            eprintln!("    ... ({} steps elided)", steps.len() - HEAD - TAIL);
+            for s in &steps[steps.len() - TAIL..] {
+                eprintln!("    {s}");
+            }
+        }
+    };
+    if !lasso.stem.is_empty() {
+        print_part("stem", &lasso.stem);
+    }
+    print_part("cycle (repeats forever)", &lasso.cycle);
+}
+
+/// `repro check liveness --compare` — reduced and full phase-1 scans
+/// must agree on every property verdict (the liveness counterpart of
+/// the PR 8 `--full --compare` cross-check).
+fn run_check_liveness_compare(scs: &[distws_analyze::ProtocolScenario]) {
+    use distws_analyze::liveness::check_liveness;
+    use distws_analyze::Mode;
     println!(
-        "(no sensitive migration, exactly-once, no lost latch decrement, \
-         termination — on every explored schedule; mode: {})",
-        if full { "full" } else { "reduced" }
+        "{:<24} {:>12} {:>12} {:>22} {:>9}",
+        "scenario", "full states", "red. states", "verdicts (P1/P2/P3)", "agree"
+    );
+    let mut failed = false;
+    for sc in scs {
+        if !sc.full_ok {
+            println!(
+                "{:<24} {:>12} {:>12} {:>22} {:>9}",
+                sc.name, "(skipped)", "-", "-", "-"
+            );
+            continue;
+        }
+        let full = check_liveness(sc, None, Mode::Full, None);
+        let reduced = check_liveness(sc, None, Mode::Reduced, None);
+        let agree = full
+            .iter()
+            .zip(&reduced)
+            .all(|(f, r)| f.holds == r.holds && f.cyclic == r.cyclic);
+        let verdicts: Vec<&str> = reduced
+            .iter()
+            .map(|r| if r.holds { "ok" } else { "FAIL" })
+            .collect();
+        println!(
+            "{:<24} {:>12} {:>12} {:>22} {:>9}",
+            sc.name,
+            full[0].graph_states,
+            reduced[0].graph_states,
+            verdicts.join("/"),
+            if agree { "agree" } else { "DIVERGED" }
+        );
+        if !agree {
+            for (f, r) in full.iter().zip(&reduced) {
+                if f.holds != r.holds || f.cyclic != r.cyclic {
+                    eprintln!(
+                        "  {}: {} diverged (full holds={} cyclic={}, reduced holds={} cyclic={})",
+                        sc.name,
+                        f.property.name(),
+                        f.holds,
+                        f.cyclic,
+                        r.holds,
+                        r.cyclic
+                    );
+                }
+            }
+            failed = true;
+        }
+        for r in &full {
+            if !r.holds {
+                eprintln!("  {}: {} violated (full mode)", sc.name, r.property.name());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("repro check: liveness reduced/full cross-validation failed");
+        std::process::exit(1);
+    }
+    println!(
+        "(reduced and full liveness verdicts agree on every property; skipped rows are scale scenarios)"
     );
 }
 
@@ -794,16 +1040,17 @@ fn run_check_tla(scenario: Option<&str>, out: Option<&str>) {
     }
 }
 
-/// `repro check mutants` — re-inject the seeded protocol bugs and
-/// require the checker to catch each one. A mutant whose exploration
-/// *panics* is an ERROR (exit 3), not a catch: a crash proves nothing
-/// about the checker's detection power, and conflating the two exit
-/// paths once let a crash masquerade as a catch.
+/// `repro check mutants` — re-inject the seeded protocol bugs (safety
+/// *and* livelock) and require each one caught by its designated
+/// property, reporting what actually caught it. A mutant whose
+/// exploration *panics* is an ERROR (exit 3), not a catch: a crash
+/// proves nothing about the checker's detection power, and conflating
+/// the two exit paths once let a crash masquerade as a catch.
 fn run_check_mutants() {
     hr("Protocol mutation smoke — every seeded Algorithm 1 bug must be caught");
     println!(
-        "{:<28} {:<20} {:>8} {:>11}",
-        "mutant", "scenario", "caught", "violations"
+        "{:<28} {:<20} {:>8} {:<19} caught by",
+        "mutant", "scenario", "caught", "property"
     );
     let mut escaped = false;
     let mut errored = false;
@@ -818,14 +1065,24 @@ fn run_check_mutants() {
             "NO"
         };
         println!(
-            "{:<28} {:<20} {:>8} {:>11}",
+            "{:<28} {:<20} {:>8} {:<19} {}",
             check.mutant,
             check.scenario,
             status,
-            check.violations.len()
+            check.property,
+            if check.caught_by.is_empty() {
+                "-".to_string()
+            } else {
+                check.caught_by.join(", ")
+            }
         );
         if let Some(e) = &check.error {
             eprintln!("  {}: exploration panicked: {e}", check.mutant);
+        }
+        // Livelock mutants must come with a concrete counterexample:
+        // print the lasso so a regression is debuggable from CI logs.
+        if let Some(lasso) = &check.lasso {
+            print_lasso(check.scenario, lasso);
         }
     }
     if errored {
@@ -833,10 +1090,13 @@ fn run_check_mutants() {
         std::process::exit(3);
     }
     if escaped {
-        eprintln!("repro check: a seeded protocol mutant escaped the checker");
+        eprintln!("repro check: a seeded protocol mutant escaped its designated property");
         std::process::exit(1);
     }
-    println!("(the checker has the detection power the protocol properties require)");
+    println!(
+        "(the checker has the detection power the protocol safety and liveness \
+         properties require)"
+    );
 }
 
 /// `repro conform FILE.jsonl [--policy NAME]` — replay a trace against

@@ -1,0 +1,103 @@
+//! Machine-readable output for `repro check protocol --json` and
+//! `repro check liveness --json`: the per-scenario stats table
+//! (states / transitions / ample / proviso / wall) plus liveness
+//! verdicts, rendered with `distws-json` so downstream tooling (CI
+//! trend scripts, the bench harness) can consume checker runs without
+//! scraping the human table.
+//!
+//! Schema (stable; `crates/bench/tests/check_json.rs` pins it):
+//!
+//! ```json
+//! {
+//!   "kind": "protocol" | "liveness",
+//!   "mode": "reduced" | "full",
+//!   "scenarios": [
+//!     {
+//!       "scenario": "sensitive_pinning",
+//!       "era": "sim",
+//!       "states": 123, "transitions": 456, "peak_queue": 7,
+//!       "ample_states": 89, "proviso_fallbacks": 0,
+//!       "truncated": false, "wall_ms": 3,
+//!       "violations": ["..."],
+//!       "liveness": [            // liveness runs only
+//!         {
+//!           "property": "eventual-execution",
+//!           "holds": true, "cyclic": false, "truncated": false,
+//!           "graph_states": 123, "graph_transitions": 456,
+//!           "product_states": 0,
+//!           "lasso": { "stem": ["..."], "cycle": ["..."] }  // on violation
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use distws_analyze::liveness::LivenessReport;
+use distws_analyze::{ExploreStats, Outcome};
+use distws_json::Value;
+
+/// One liveness verdict as a JSON object (`lasso` present only on a
+/// violation).
+pub fn liveness_value(r: &LivenessReport) -> Value {
+    let mut v = Value::object();
+    v.set("property", r.property.name())
+        .set("holds", r.holds)
+        .set("cyclic", r.cyclic)
+        .set("truncated", r.truncated)
+        .set("graph_states", r.graph_states)
+        .set("graph_transitions", r.graph_transitions)
+        .set("product_states", r.product_states);
+    if let Some(lasso) = &r.lasso {
+        let mut l = Value::object();
+        l.set("stem", &lasso.stem).set("cycle", &lasso.cycle);
+        v.set("lasso", l);
+    }
+    v
+}
+
+/// One `repro check protocol` table row.
+pub fn protocol_row(
+    scenario: &str,
+    era: &str,
+    out: &Outcome,
+    stats: &ExploreStats,
+    wall_ms: u64,
+) -> Value {
+    let mut v = Value::object();
+    v.set("scenario", scenario)
+        .set("era", era)
+        .set("states", out.states)
+        .set("transitions", stats.transitions)
+        .set("peak_queue", stats.peak_queue)
+        .set("ample_states", stats.ample_states)
+        .set("proviso_fallbacks", stats.proviso_fallbacks)
+        .set("truncated", stats.truncated)
+        .set("wall_ms", wall_ms)
+        .set("violations", &out.violations);
+    v
+}
+
+/// One `repro check liveness` table row: the scenario's three
+/// property verdicts plus the phase-1 graph size.
+pub fn liveness_row(scenario: &str, era: &str, reports: &[LivenessReport], wall_ms: u64) -> Value {
+    let mut v = Value::object();
+    v.set("scenario", scenario).set("era", era);
+    if let Some(r) = reports.first() {
+        v.set("states", r.graph_states)
+            .set("transitions", r.graph_transitions)
+            .set("truncated", reports.iter().any(|r| r.truncated));
+    }
+    v.set("wall_ms", wall_ms).set(
+        "liveness",
+        reports.iter().map(liveness_value).collect::<Vec<_>>(),
+    );
+    v
+}
+
+/// The top-level report envelope.
+pub fn check_report(kind: &str, mode: &str, rows: Vec<Value>) -> Value {
+    let mut v = Value::object();
+    v.set("kind", kind).set("mode", mode).set("scenarios", rows);
+    v
+}

@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkjson;
 pub mod perf;
 pub mod scale;
 

@@ -1,0 +1,106 @@
+//! Schema fixture for `repro check ... --json`: the machine-readable
+//! checker output is a documented surface (CI trend tooling parses
+//! it), so its shape is pinned here against real checker runs.
+
+use distws_analyze::liveness::check_liveness;
+use distws_analyze::{explore_protocol_mode, scenario_by_name, Mode, ProtocolMutant};
+use distws_bench::checkjson;
+use distws_json::Value;
+
+#[test]
+fn protocol_report_schema() {
+    let sc = scenario_by_name("sensitive_pinning").unwrap();
+    let (out, stats) = explore_protocol_mode(&sc, None, Mode::Reduced, None);
+    let row = checkjson::protocol_row(sc.name, "sim", &out, &stats, 7);
+    let report = checkjson::check_report("protocol", "reduced", vec![row]);
+    // Round-trip through the renderer: downstream consumers see text.
+    let v = Value::parse(&report.render_pretty()).expect("valid JSON");
+    assert_eq!(v.get("kind").and_then(Value::as_str), Some("protocol"));
+    assert_eq!(v.get("mode").and_then(Value::as_str), Some("reduced"));
+    let rows = v
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .expect("scenarios array");
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0];
+    assert_eq!(
+        r.get("scenario").and_then(Value::as_str),
+        Some("sensitive_pinning")
+    );
+    assert_eq!(r.get("era").and_then(Value::as_str), Some("sim"));
+    for key in [
+        "states",
+        "transitions",
+        "peak_queue",
+        "ample_states",
+        "proviso_fallbacks",
+        "wall_ms",
+    ] {
+        assert!(
+            r.get(key).and_then(Value::as_u64).is_some(),
+            "missing numeric field {key}"
+        );
+    }
+    assert!(r.get("truncated").is_some());
+    assert_eq!(
+        r.get("violations")
+            .and_then(Value::as_array)
+            .map(|a| a.len()),
+        Some(0),
+        "clean scenario must report an empty violations array"
+    );
+    assert_eq!(r.get("wall_ms").and_then(Value::as_u64), Some(7));
+}
+
+#[test]
+fn liveness_report_schema_clean_scenario() {
+    let sc = scenario_by_name("sensitive_pinning").unwrap();
+    let reports = check_liveness(&sc, None, Mode::Reduced, None);
+    let row = checkjson::liveness_row(sc.name, "sim", &reports, 3);
+    let report = checkjson::check_report("liveness", "reduced", vec![row]);
+    let v = Value::parse(&report.render_pretty()).expect("valid JSON");
+    assert_eq!(v.get("kind").and_then(Value::as_str), Some("liveness"));
+    let rows = v.get("scenarios").and_then(Value::as_array).unwrap();
+    let verdicts = rows[0]
+        .get("liveness")
+        .and_then(Value::as_array)
+        .expect("liveness verdict array");
+    assert_eq!(verdicts.len(), 3, "one verdict per built-in property");
+    let names: Vec<&str> = verdicts
+        .iter()
+        .map(|p| p.get("property").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        ["eventual-execution", "lifeline-wakeup", "steal-progress"]
+    );
+    for p in verdicts {
+        assert_eq!(p.get("holds").and_then(Value::as_bool), Some(true));
+        assert_eq!(p.get("cyclic").and_then(Value::as_bool), Some(false));
+        assert!(p.get("graph_states").and_then(Value::as_u64).unwrap() > 0);
+        assert!(
+            p.get("lasso").is_none(),
+            "a holding property must not carry a lasso"
+        );
+    }
+}
+
+#[test]
+fn liveness_report_schema_violation_carries_lasso() {
+    let m = ProtocolMutant::ReprobeNoBackoff;
+    let sc = scenario_by_name(m.catch_scenario()).unwrap();
+    let reports = check_liveness(&sc, Some(m), Mode::Full, None);
+    let row = checkjson::liveness_row(sc.name, "sim", &reports, 0);
+    let v = Value::parse(&row.render_pretty()).expect("valid JSON");
+    let verdicts = v.get("liveness").and_then(Value::as_array).unwrap();
+    let progress = verdicts
+        .iter()
+        .find(|p| p.get("property").and_then(Value::as_str) == Some("steal-progress"))
+        .unwrap();
+    assert_eq!(progress.get("holds").and_then(Value::as_bool), Some(false));
+    let lasso = progress.get("lasso").expect("violation carries a lasso");
+    let cycle = lasso.get("cycle").and_then(Value::as_array).unwrap();
+    assert!(!cycle.is_empty());
+    assert!(cycle.iter().all(|s| s.as_str().is_some()));
+    assert!(lasso.get("stem").and_then(Value::as_array).is_some());
+}

@@ -100,6 +100,14 @@ impl Value {
         }
     }
 
+    /// Boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

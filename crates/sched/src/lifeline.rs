@@ -13,7 +13,7 @@
 //! bursty), while DistWS beats plain random stealing by ~9% — our
 //! reproduction regenerates exactly that comparison.
 
-use crate::protocol;
+use crate::protocol::{self, LIFELINE_BASE, LIFELINE_RANDOM_ATTEMPTS};
 use crate::view::{ClusterView, DequeChoice, StealStep, TaskMeta};
 use crate::Policy;
 use distws_core::rng::SplitMix64;
@@ -32,8 +32,8 @@ pub struct LifelineWs {
 impl Default for LifelineWs {
     fn default() -> Self {
         LifelineWs {
-            random_attempts: 2,
-            base: 2,
+            random_attempts: LIFELINE_RANDOM_ATTEMPTS,
+            base: LIFELINE_BASE,
         }
     }
 }

@@ -32,6 +32,29 @@ pub const LOCAL_STEAL_CHUNK: usize = 1;
 /// one to execute immediately, one to amortize the migration round trip.
 pub const REMOTE_STEAL_CHUNK: usize = 2;
 
+/// Retries against the *same* victim after a steal-probe timeout
+/// before the thief moves to the next victim in the sweep
+/// ([`crate::retry::RetryPolicy::budget`]'s default). Finite by
+/// construction: the liveness layer's `steal-progress` property
+/// (`distws_analyze::liveness`) checks that no fair execution retries
+/// forever without acquiring work, which is exactly the bug an
+/// unbounded budget would introduce.
+pub const STEAL_RETRY_BUDGET: u32 = 2;
+
+/// Base of the lifeline hypercube graph (§ Saraswat et al.): place
+/// `i`'s lifelines go to `(i + base^k) mod P`. Shared with
+/// [`crate::lifeline::LifelineWs`]'s default so the model checker's
+/// `lifeline-wakeup` property and the runtime agree on the wakeup
+/// topology.
+pub const LIFELINE_BASE: u32 = 2;
+
+/// Random-victim attempts a lifeline thief makes before falling back
+/// to its lifeline edges and going dormant
+/// ([`crate::lifeline::LifelineWs`]'s default). Bounded so a failed
+/// sweep terminates in the dormant state the `lifeline-wakeup`
+/// property guards.
+pub const LIFELINE_RANDOM_ATTEMPTS: u32 = 2;
+
 /// The steal tiers of Algorithm 1 in protocol order, as the stable wire
 /// names used by the trace layer (`distws_trace::StealTier`). A worker's
 /// steal round must attempt tiers in non-decreasing index order; a

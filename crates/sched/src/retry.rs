@@ -9,6 +9,7 @@
 //! discrete-event simulator (virtual time) and the threaded runtime
 //! (wall-clock time) so both degrade the same way.
 
+use crate::protocol::STEAL_RETRY_BUDGET;
 use distws_core::SplitMix64;
 
 /// Timeout, backoff and retry-budget parameters for one remote probe.
@@ -40,7 +41,7 @@ impl Default for RetryPolicy {
             backoff_base_ns: 10_000,
             backoff_max_ns: 160_000,
             jitter_ns: 5_000,
-            budget: 2,
+            budget: STEAL_RETRY_BUDGET,
         }
     }
 }

@@ -102,6 +102,51 @@ fn matches_binary_heap_on_free_form_streams() {
     }
 }
 
+/// Directed regression for the `overflow_min` watermark: a window
+/// advance that reaches a far-future event parked in the overflow bin
+/// must fold it back into the active heap *before* popping any later
+/// ring bucket. Without the fold-back check in the advance loop, the
+/// ring would march straight past the parked event and pop 10_001
+/// before 10_000.
+#[test]
+fn window_advance_folds_back_overflow_parked_events() {
+    let mut cal = CalendarQueue::new();
+    // Seed the adaptive sizing: two events spanning 2 ns rebucket on
+    // the first pop to width = 1, leaving active_end = 3 after both
+    // pops. The 512-bucket ring then covers [3, 515).
+    cal.push(0, 100);
+    cal.push(2, 101);
+    assert_eq!(cal.pop(), Some((0, 100)));
+    assert_eq!(cal.pop(), Some((2, 101)));
+    // Beyond the ring horizon: parks in the overflow bin, recorded
+    // only by the `overflow_min = 10_000` watermark.
+    cal.push(10_000, 500);
+    // Near-term stream, each push inside the ring horizon: walks the
+    // window up to active_end = 9_501 without ever touching overflow.
+    let mut t = 500;
+    while t <= 9_500 {
+        cal.push(t, t);
+        assert_eq!(cal.pop(), Some((t, t)), "near-term stream at {t}");
+        t += 500;
+    }
+    assert_eq!(cal.len(), 1, "parked event still queued");
+    // Straddle the parked time. Popping 9_999 stops the window at
+    // exactly active_end = 10_000 (watermark not yet reached); the
+    // next advance crosses it and must fold 10_000 back in ahead of
+    // the 10_001 bucket.
+    cal.push(9_999, 600);
+    cal.push(10_001, 601);
+    assert_eq!(cal.pop(), Some((9_999, 600)));
+    assert_eq!(
+        cal.pop(),
+        Some((10_000, 500)),
+        "parked event must not be skipped"
+    );
+    assert_eq!(cal.pop(), Some((10_001, 601)));
+    assert_eq!(cal.pop(), None);
+    assert!(cal.is_empty());
+}
+
 #[test]
 fn tie_storms_pop_in_push_order() {
     // Many events on few distinct times: the intra-bucket tie-break
